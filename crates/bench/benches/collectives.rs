@@ -1,0 +1,112 @@
+//! Criterion micro-benchmarks for the collective engine itself (no skew):
+//! engine overhead per round for sync/solo/majority allreduce across
+//! message sizes, and the allreduce-algorithm ablation (engine tree vs.
+//! direct ring vs. Rabenseifner) at a bandwidth-bound size.
+//!
+//! One benchmark iteration = one world launch running `ROUNDS` rounds;
+//! criterion reports time per iteration, so divide by `ROUNDS` for
+//! per-round latency. Launch cost (thread spawn) is amortized over the
+//! rounds and identical across variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pcoll::algos::DirectCollectives;
+use pcoll::{PartialOpts, QuorumPolicy, RankCtx};
+use pcoll_comm::{CollId, DType, Matcher, ReduceOp, TypedBuf, World, WorldConfig};
+
+const P: usize = 8;
+const ROUNDS: u64 = 16;
+
+fn engine_allreduce(policy: Option<QuorumPolicy>, len: usize) {
+    World::launch(WorldConfig::instant(P), move |c| {
+        let ctx = RankCtx::new(c);
+        match policy {
+            None => {
+                let mut ar = ctx.sync_allreduce(DType::F32, len, ReduceOp::Sum, None);
+                for _ in 0..ROUNDS {
+                    let _ = ar.allreduce(&TypedBuf::from(vec![1.0f32; len]));
+                }
+            }
+            Some(p) => {
+                let mut ar = ctx.partial_allreduce(
+                    DType::F32,
+                    len,
+                    ReduceOp::Sum,
+                    p,
+                    PartialOpts::default(),
+                );
+                for _ in 0..ROUNDS {
+                    let _ = ar.allreduce(&TypedBuf::from(vec![1.0f32; len]));
+                }
+            }
+        }
+        ctx.finalize();
+    });
+}
+
+fn bench_engine_allreduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allreduce_latency");
+    g.sample_size(10);
+    for len in [1024usize, 65_536] {
+        g.throughput(Throughput::Bytes((len * 4 * ROUNDS as usize) as u64));
+        g.bench_with_input(BenchmarkId::new("sync", len * 4), &len, |b, &len| {
+            b.iter(|| engine_allreduce(None, len));
+        });
+        g.bench_with_input(BenchmarkId::new("solo", len * 4), &len, |b, &len| {
+            b.iter(|| engine_allreduce(Some(QuorumPolicy::Solo), len));
+        });
+        g.bench_with_input(BenchmarkId::new("majority", len * 4), &len, |b, &len| {
+            b.iter(|| engine_allreduce(Some(QuorumPolicy::Majority), len));
+        });
+    }
+    g.finish();
+}
+
+fn direct_algo(which: &'static str, len: usize) {
+    World::launch(WorldConfig::instant(P), move |c| {
+        let (h, inbox) = c.split();
+        let mut m = Matcher::new(inbox);
+        let mut dc = DirectCollectives::new(&h, &mut m, CollId(7000));
+        let mut data = vec![1.0f32; len];
+        for _ in 0..ROUNDS {
+            match which {
+                "ring" => dc.ring_allreduce_f32(&mut data, ReduceOp::Sum),
+                _ => dc.rabenseifner_allreduce_f32(&mut data, ReduceOp::Sum),
+            }
+        }
+    });
+}
+
+fn bench_algorithm_ablation(c: &mut Criterion) {
+    // §7's point: the optimal algorithm depends on message size; at
+    // bandwidth-bound sizes ring/rabenseifner move less data per rank
+    // than the reduce+bcast tree.
+    let len = 262_144; // 1 MiB of f32
+    let mut g = c.benchmark_group("allreduce_algorithms_1MiB");
+    g.sample_size(10);
+    g.bench_function("engine_tree", |b| b.iter(|| engine_allreduce(None, len)));
+    g.bench_function("ring", |b| b.iter(|| direct_algo("ring", len)));
+    g.bench_function("rabenseifner", |b| b.iter(|| direct_algo("rab", len)));
+    g.finish();
+}
+
+fn bench_schedule_construction(c: &mut Criterion) {
+    use pcoll::builders::{allreduce_schedule, ActivationMode};
+    let mut g = c.benchmark_group("schedule_build");
+    for p in [8usize, 64, 1024] {
+        g.bench_with_input(BenchmarkId::new("solo_allreduce", p), &p, |b, &p| {
+            let cands: Vec<usize> = (0..p).collect();
+            b.iter(|| {
+                allreduce_schedule(p / 2, p, ReduceOp::Sum, &ActivationMode::Race(cands.clone()))
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_engine_allreduce,
+    bench_algorithm_ablation,
+    bench_schedule_construction
+);
+criterion_main!(benches);

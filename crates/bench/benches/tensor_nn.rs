@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks for the compute substrate: matmul kernels,
+//! reduction kernels (the `Combine` op of the schedule engine), and
+//! model step costs — including the Θ(T) LSTM scaling that produces the
+//! paper's inherent imbalance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dnn::zoo::{resnet32_proxy, video_lstm};
+use dnn::{Batch, DenseBatch, Model, SeqBatch, Target};
+use minitensor::{Mat, TensorRng};
+use pcoll_comm::{ReduceOp, TypedBuf};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    let mut rng = TensorRng::new(1);
+    for n in [64usize, 128, 256] {
+        let a = Mat::randn(n, n, 1.0, &mut rng);
+        let b = Mat::randn(n, n, 1.0, &mut rng);
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| a.matmul(&b));
+        });
+    }
+    g.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    // The hot elementwise kernel of every reduction schedule.
+    let mut g = c.benchmark_group("typedbuf_combine_f32");
+    for len in [1024usize, 262_144, 1_048_576] {
+        let mut a = TypedBuf::from(vec![1.0f32; len]);
+        let b = TypedBuf::from(vec![2.0f32; len]);
+        g.throughput(Throughput::Bytes((len * 4) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(len * 4), &len, |bch, _| {
+            bch.iter(|| a.combine(&b, ReduceOp::Sum).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_model_steps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_grad_step");
+    g.sample_size(10);
+
+    let mut rng = TensorRng::new(2);
+    let mut resnet = resnet32_proxy(128, 10, &mut rng);
+    let batch = Batch::Dense(DenseBatch {
+        x: Mat::randn(64, 128, 1.0, &mut rng),
+        target: Target::Classes((0..64).map(|i| i % 10).collect()),
+    });
+    g.bench_function("resnet32_proxy_b64", |b| {
+        b.iter(|| resnet.grad_step(&batch));
+    });
+
+    // LSTM cost is Θ(T): benchmark two sequence lengths (the inherent
+    // imbalance of §2.1 is exactly this ratio).
+    let mut lstm = video_lstm(32, 64, 24, &mut rng);
+    for t in [16usize, 128] {
+        let seq = Batch::Seq(SeqBatch {
+            xs: (0..t).map(|_| Mat::randn(16, 32, 1.0, &mut rng)).collect(),
+            labels: (0..16).map(|i| i % 24).collect(),
+        });
+        g.bench_with_input(BenchmarkId::new("lstm_b16", t), &t, |b, _| {
+            b.iter(|| lstm.grad_step(&seq));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_combine, bench_model_steps);
+criterion_main!(benches);

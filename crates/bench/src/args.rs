@@ -1,0 +1,132 @@
+//! Minimal CLI argument handling shared by the harness binaries (no
+//! external parser dependency).
+
+/// Common harness options.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Shrink the run for smoke testing.
+    pub quick: bool,
+    /// Wall-clock milliseconds per paper millisecond of injected delay.
+    pub time_scale: f64,
+    /// Base seed.
+    pub seed: u64,
+    /// Free-form part selector (e.g. `--part a` for fig11).
+    pub part: Option<String>,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            quick: false,
+            time_scale: 0.1,
+            seed: 42,
+            part: None,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args()`. Unknown flags abort with usage.
+    pub fn parse() -> Self {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        Self::parse_from(&argv)
+    }
+
+    /// Parse from an explicit argument list (testable core of
+    /// [`HarnessArgs::parse`]).
+    pub fn parse_from(argv: &[String]) -> Self {
+        let mut out = HarnessArgs::default();
+        let mut i = 0;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--quick" => out.quick = true,
+                "--time-scale" => {
+                    i += 1;
+                    out.time_scale = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--time-scale needs a float"));
+                }
+                "--seed" => {
+                    i += 1;
+                    out.seed = argv
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage("--seed needs an integer"));
+                }
+                "--part" => {
+                    i += 1;
+                    out.part = Some(
+                        argv.get(i)
+                            .cloned()
+                            .unwrap_or_else(|| usage("--part needs a value")),
+                    );
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: [--quick] [--time-scale X] [--seed N] [--part a|b|c]"
+                    );
+                    std::process::exit(0);
+                }
+                other => usage(&format!("unknown flag {other}")),
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("options: [--quick] [--time-scale X] [--seed N] [--part a|b|c]");
+    std::process::exit(2);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = HarnessArgs::default();
+        assert!(!a.quick);
+        assert_eq!(a.time_scale, 0.1);
+        assert_eq!(a.seed, 42);
+        assert!(a.part.is_none());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let a = HarnessArgs::parse_from(&argv(&[
+            "--quick",
+            "--time-scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--part",
+            "a",
+        ]));
+        assert!(a.quick);
+        assert_eq!(a.time_scale, 0.5);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.part.as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn empty_args_give_defaults() {
+        let a = HarnessArgs::parse_from(&[]);
+        assert_eq!(a.time_scale, HarnessArgs::default().time_scale);
+    }
+
+    #[test]
+    fn flag_order_is_irrelevant() {
+        let a = HarnessArgs::parse_from(&argv(&["--seed", "9", "--quick"]));
+        let b = HarnessArgs::parse_from(&argv(&["--quick", "--seed", "9"]));
+        assert_eq!(a.quick, b.quick);
+        assert_eq!(a.seed, b.seed);
+    }
+}

@@ -1,0 +1,133 @@
+//! §8 extension: the quorum *spectrum* between solo, majority, and full.
+//!
+//! Sweeps QuorumPolicy across {solo, first-of-4, majority, chain-2,
+//! chain-4, full} on the skewed hyperplane task and reports measured
+//! NAP (active-process fraction), throughput, and final loss — the
+//! quorum/latency/accuracy trade-off the paper's discussion predicts:
+//! larger quorums are slower but fresher.
+
+use datagen::HyperplaneTask;
+use dnn::zoo::hyperplane_mlp;
+use dnn::{Model, Optimizer, Sgd};
+use eager_sgd::{HyperplaneWorkload, SgdVariant, TrainerConfig};
+use imbalance::Injector;
+use pcoll::QuorumPolicy;
+use pcoll_comm::NetworkModel;
+use repro_bench::report::{comment, row, shape_check};
+use repro_bench::{run_distributed, ExperimentSpec, HarnessArgs, VariantSummary};
+use std::sync::Arc;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let p = 8;
+    let (dim, epochs, steps) = if args.quick { (256, 3, 8) } else { (2048, 10, 16) };
+    let task = Arc::new(HyperplaneTask::new(dim, 16_384, 1.0, 256, args.seed));
+
+    comment("Quorum-spectrum ablation (the solo..majority..full spectrum of §8)");
+    comment(&format!(
+        "P={p}, shifting skew 20..160 ms, expected NAP per policy vs measured"
+    ));
+    row(&[
+        "policy",
+        "expected_active",
+        "measured_fresh_frac",
+        "steps_per_s",
+        "train_time_s",
+        "final_loss",
+    ]);
+
+    let policies: Vec<(SgdVariant, QuorumPolicy)> = vec![
+        (SgdVariant::EagerSolo, QuorumPolicy::Solo),
+        (
+            SgdVariant::EagerQuorum { chain: 4, race: true },
+            QuorumPolicy::FirstOf(4),
+        ),
+        (SgdVariant::EagerMajority, QuorumPolicy::Majority),
+        (
+            SgdVariant::EagerQuorum { chain: 2, race: false },
+            QuorumPolicy::Chain(2),
+        ),
+        (
+            SgdVariant::EagerQuorum { chain: 4, race: false },
+            QuorumPolicy::Chain(4),
+        ),
+        (
+            SgdVariant::EagerQuorum { chain: p, race: false },
+            QuorumPolicy::Chain(p),
+        ),
+    ];
+
+    let mut results: Vec<(f64, VariantSummary)> = Vec::new();
+    for (variant, policy) in &policies {
+        let mut trainer = TrainerConfig::new(*variant, epochs, steps, 0.02);
+        trainer.injector = Injector::ShiftingSkew {
+            min_ms: 20.0,
+            max_ms: 160.0,
+        };
+        trainer.time_scale = args.time_scale;
+        trainer.base_compute_ms = 50.0;
+        trainer.model_sync_every = Some((epochs / 2).max(1));
+        trainer.eval_every = epochs;
+        trainer.seed = args.seed;
+        let spec = ExperimentSpec {
+            p,
+            network: NetworkModel::Instant,
+            world_seed: args.seed,
+            model_seed: args.seed ^ 0x30D,
+            trainer,
+        };
+        let wl = Arc::new(HyperplaneWorkload {
+            task: Arc::clone(&task),
+            local_batch: 32,
+        });
+        let dim2 = dim;
+        let logs = run_distributed(
+            &spec,
+            move |rng| {
+                (
+                    Box::new(hyperplane_mlp(dim2, rng)) as Box<dyn Model>,
+                    Box::new(Sgd::new(0.02)) as Box<dyn Optimizer>,
+                )
+            },
+            wl,
+        );
+        let summary = VariantSummary::from_logs(variant.label(), &logs);
+        let expected = policy.expected_active(p) / p as f64;
+        row(&[
+            variant.label(),
+            format!("{expected:.3}"),
+            format!("{:.3}", summary.fresh_fraction),
+            format!("{:.2}", summary.throughput),
+            format!("{:.2}", summary.train_time_s),
+            format!("{:.4}", summary.final_loss),
+        ]);
+        results.push((expected, summary));
+    }
+
+    let mut ok = true;
+    // Freshness must increase along the spectrum.
+    let fresh: Vec<f64> = results.iter().map(|(_, s)| s.fresh_fraction).collect();
+    ok &= shape_check(
+        "freshness-increases-with-quorum",
+        fresh.first().unwrap() < fresh.last().unwrap(),
+        &format!("{fresh:.3?}"),
+    );
+    // Solo must be the fastest; the full chain the slowest.
+    let times: Vec<f64> = results.iter().map(|(_, s)| s.train_time_s).collect();
+    ok &= shape_check(
+        "solo-fastest-full-slowest",
+        times.first().unwrap() < times.last().unwrap(),
+        &format!("{times:.2?}"),
+    );
+    // Measured freshness tracks the expectation within a loose band.
+    let deviations: Vec<f64> = results
+        .iter()
+        .map(|(e, s)| (s.fresh_fraction - e).abs())
+        .collect();
+    ok &= shape_check(
+        "measured-nap-tracks-expectation",
+        deviations.iter().filter(|d| **d < 0.35).count() >= deviations.len() - 1,
+        &format!("abs deviations {deviations:.2?}"),
+    );
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,207 @@
+//! Fig. 11: ResNet-50 proxy on synthetic ImageNet, 64 ranks, light cloud
+//! imbalance (4 random ranks delayed 300/460 ms per step).
+//!
+//! - (a) throughput: paper reports eager-solo 1.25×/1.23× over Deep500
+//!   and 1.14×/1.22× over Horovod at 300/460 ms.
+//! - (b, c) train/test top-1 accuracy vs. time: eager within ≈0.6 % of
+//!   the synchronous baselines; *without* the 10-epoch model sync, test
+//!   accuracy drops ≈1 % (§6.2.2) — reproduced as the `nosync` variant.
+//!
+//! `--part a` runs only the throughput comparison; `--part b` adds the
+//! accuracy runs (default: both).
+
+use datagen::GaussianMixtureTask;
+use dnn::optim::LrSchedule;
+use dnn::zoo::resnet_proxy;
+use dnn::{Model, Optimizer, Sgd};
+use eager_sgd::{ImageWorkload, SgdVariant, TrainerConfig};
+use imbalance::Injector;
+use pcoll_comm::NetworkModel;
+use repro_bench::report::{comment, epoch_series, epoch_series_header, shape_check, summary_table};
+use repro_bench::{run_distributed, ExperimentSpec, HarnessArgs, VariantSummary};
+use std::sync::Arc;
+
+struct Fig11 {
+    args: HarnessArgs,
+    p: usize,
+    epochs: usize,
+    steps: usize,
+    local_batch: usize,
+    task: Arc<GaussianMixtureTask>,
+    in_dim: usize,
+    classes: usize,
+}
+
+impl Fig11 {
+    fn run(
+        &self,
+        variant: SgdVariant,
+        inject_ms: f64,
+        model_sync: Option<usize>,
+        label: &str,
+    ) -> VariantSummary {
+        let mut trainer = TrainerConfig::new(variant, self.epochs, self.steps, 0.8);
+        trainer.lr = LrSchedule::staircase(0.8, &[self.epochs * 3 / 4], 0.2);
+        trainer.grad_clip = Some(10.0);
+        trainer.injector = Injector::RandomRanks {
+            k: 4,
+            amount_ms: inject_ms,
+            seed: self.args.seed ^ 0xF11,
+        };
+        trainer.time_scale = self.args.time_scale;
+        // Paper single-GPU: 1.56 steps/s at batch 128 ⇒ ≈640 ms/step.
+        trainer.base_compute_ms = 640.0;
+        trainer.model_sync_every = model_sync;
+        trainer.eval_every = (self.epochs / 4).max(1);
+        trainer.seed = self.args.seed;
+        let spec = ExperimentSpec {
+            p: self.p,
+            network: NetworkModel::Instant,
+            world_seed: self.args.seed,
+            model_seed: self.args.seed ^ 0x30D,
+            trainer,
+        };
+        let wl = Arc::new(ImageWorkload {
+            task: Arc::clone(&self.task),
+            local_batch: self.local_batch,
+            train_eval_batches: 4,
+        });
+        let (in_dim, classes) = (self.in_dim, self.classes);
+        let logs = run_distributed(
+            &spec,
+            move |rng| {
+                (
+                    Box::new(resnet_proxy(in_dim, 64, 8, classes, rng)) as Box<dyn Model>,
+                    Box::new(Sgd::new(0.8)) as Box<dyn Optimizer>,
+                )
+            },
+            wl,
+        );
+        epoch_series(label, &logs);
+        VariantSummary::from_logs(label, &logs)
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let (p, epochs, steps, in_dim, classes) = if args.quick {
+        (8, 4, 6, 64, 10)
+    } else {
+        (64, 12, 25, 128, 50)
+    };
+    let local_batch = 32;
+    let task = Arc::new(GaussianMixtureTask::new(
+        in_dim,
+        classes,
+        1_281_167,
+        1.0,
+        1024,
+        args.seed,
+    ));
+    let f = Fig11 {
+        p,
+        epochs,
+        steps,
+        local_batch,
+        task,
+        in_dim,
+        classes,
+        args: args.clone(),
+    };
+
+    comment("Fig 11: ResNet-50 proxy / synthetic ImageNet, light cloud imbalance");
+    comment(&format!(
+        "P={p}, 4-of-P ranks delayed per step, epochs={epochs}x{steps}, time_scale={}",
+        args.time_scale
+    ));
+    comment("paper 11a: eager-solo 1.25x/1.23x over Deep500, 1.14x/1.22x over Horovod");
+    comment("paper 11b/c: eager within ~0.6% accuracy; no model sync costs ~1% test acc");
+    epoch_series_header();
+
+    let part = args.part.clone().unwrap_or_else(|| "ab".into());
+    let mut summaries = Vec::new();
+    let mut ok = true;
+
+    if part.contains('a') || part.contains('b') {
+        for &inj in &[300.0, 460.0] {
+            let d500 = f.run(
+                SgdVariant::SynchDeep500,
+                inj,
+                Some(10),
+                &format!("synch-SGD-{}(Deep500)", inj as u64),
+            );
+            let hvd = f.run(
+                SgdVariant::SynchHorovod,
+                inj,
+                Some(10),
+                &format!("synch-SGD-{}(Horovod)", inj as u64),
+            );
+            let eager = f.run(
+                SgdVariant::EagerSolo,
+                inj,
+                Some(10),
+                &format!("eager-SGD-{}(solo)", inj as u64),
+            );
+            let s_d = eager.speedup_over(&d500);
+            let s_h = eager.speedup_over(&hvd);
+            ok &= shape_check(
+                &format!("eager-beats-deep500-at-{}ms", inj as u64),
+                s_d > 1.1,
+                &format!("{s_d:.2}x (paper 1.25x/1.23x)"),
+            );
+            ok &= shape_check(
+                &format!("eager-beats-horovod-at-{}ms", inj as u64),
+                s_h > 1.05,
+                &format!("{s_h:.2}x (paper 1.14x/1.22x)"),
+            );
+            if part.contains('b') && !args.quick {
+                let acc_gap = d500
+                    .final_test
+                    .zip(eager.final_test)
+                    .map(|(a, b)| a.top1 - b.top1)
+                    .unwrap_or(f32::NAN);
+                // At our 25x-shortened budget eager lags sync by a few
+                // epochs of accuracy mid-convergence; the paper's 90
+                // epochs close the gap to ~0.6%. Band: 6%.
+                ok &= shape_check(
+                    &format!("accuracy-within-6pct-at-{}ms", inj as u64),
+                    acc_gap < 0.06,
+                    &format!("gap {:.3} (paper ~0.006 at 90 epochs)", acc_gap),
+                );
+            }
+            summaries.extend([d500, hvd, eager]);
+        }
+    }
+
+    if part.contains('b') {
+        // §6.2.2 ablation: no periodic model synchronization.
+        let nosync = f.run(SgdVariant::EagerSolo, 300.0, None, "eager-SGD-300(solo,nosync)");
+        let synced = summaries
+            .iter()
+            .find(|s| s.label.starts_with("eager-SGD-300(solo)"))
+            .expect("solo-300 ran");
+        if args.quick {
+            println!("SHAPE-CHECK SKIP model-sync-ablation (--quick runs too few steps)");
+        } else {
+            let gap = synced
+                .final_test
+                .zip(nosync.final_test)
+                .map(|(a, b)| a.top1 - b.top1)
+                .unwrap_or(f32::NAN);
+            // The paper's ~1.1% no-sync penalty emerges at full
+            // convergence; at this budget it is within run-to-run noise,
+            // so report rather than assert a direction.
+            println!(
+                "# model-sync ablation: synced {:.3} vs nosync {:.3} top-1 \
+                 (paper: 75.2% vs 74.1% at 90 epochs)",
+                synced.final_test.map_or(f32::NAN, |t| t.top1),
+                nosync.final_test.map_or(f32::NAN, |t| t.top1)
+            );
+            let _ = gap;
+        }
+        summaries.push(nosync);
+    }
+
+    summary_table(&summaries);
+    std::process::exit(i32::from(!ok));
+}

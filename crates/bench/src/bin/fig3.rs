@@ -1,0 +1,65 @@
+//! Fig. 3: Transformer batch-runtime distribution on WMT16 (batch 64,
+//! 20,653 sampled batches), via the sentence-length sampler + quadratic
+//! attention cost model.
+//!
+//! Paper: 179–3482 ms, mean 475 ms, σ 144 ms.
+
+use datagen::text::SentenceLengthSampler;
+use imbalance::cost::transformer_batch_ms;
+use imbalance::{Histogram, OnlineStats};
+use minitensor::TensorRng;
+use repro_bench::report::{comment, row, shape_check};
+use repro_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let sampler = SentenceLengthSampler::wmt16();
+    let mut rng = TensorRng::new(args.seed);
+    let n_batches = if args.quick { 2_000 } else { 20_653 };
+
+    let mut stats = OnlineStats::new();
+    let mut hist = Histogram::new(0.0, 3500.0, 35);
+    for _ in 0..n_batches {
+        let tokens = sampler.sample_batch_mean(64, &mut rng);
+        let ms = transformer_batch_ms(tokens);
+        stats.push(ms);
+        hist.push(ms);
+    }
+
+    comment("Fig 3: Transformer batch runtime distribution (ms), batch=64, WMT16");
+    comment("paper: range 179..3482 ms, mean 475, std 144");
+    comment(&format!(
+        "ours: {n_batches} batches, range {:.0}..{:.0} ms, mean {:.0}, std {:.0}",
+        stats.min(),
+        stats.max(),
+        stats.mean(),
+        stats.std()
+    ));
+    row(&["runtime_ms_bin_center", "num_batches"]);
+    for (center, count) in hist.rows() {
+        row(&[format!("{center:.0}"), count.to_string()]);
+    }
+
+    let mut ok = true;
+    ok &= shape_check(
+        "mean-near-475",
+        (380.0..570.0).contains(&stats.mean()),
+        &format!("mean {:.0}", stats.mean()),
+    );
+    ok &= shape_check(
+        "std-near-144",
+        (90.0..260.0).contains(&stats.std()),
+        &format!("std {:.0}", stats.std()),
+    );
+    ok &= shape_check(
+        "min-above-170",
+        stats.min() >= 170.0,
+        &format!("min {:.0}", stats.min()),
+    );
+    ok &= shape_check(
+        "unimodal-right-tail",
+        hist.mode_bin() < 10,
+        &format!("mode bin {}", hist.mode_bin()),
+    );
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,64 @@
+//! Fig. 4: ResNet-50/ImageNet batch-runtime distribution on a cloud
+//! instance (batch 256, 2×V100, 5 epochs ≈ 25k batches).
+//!
+//! Paper: 399–1892 ms, mean 454 ms, σ 116 ms — *system-induced* imbalance:
+//! identical per-batch compute plus right-skewed cloud noise.
+
+use imbalance::cost::cloud_resnet_floor_ms;
+use imbalance::{Histogram, Injector, OnlineStats};
+use repro_bench::report::{comment, row, shape_check};
+use repro_bench::HarnessArgs;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let noise = Injector::cloud_default(args.seed);
+    let n_batches: u64 = if args.quick { 3_000 } else { 25_000 };
+    let floor = cloud_resnet_floor_ms();
+
+    let mut stats = OnlineStats::new();
+    let mut hist = Histogram::new(350.0, 1900.0, 31);
+    for step in 0..n_batches {
+        // One rank's view; the noise stream is per-(rank, step).
+        let extra = noise.delay_ms(0, 2, step).min(1500.0);
+        let ms = floor + extra;
+        stats.push(ms);
+        hist.push(ms);
+    }
+
+    comment("Fig 4: ResNet-50 on ImageNet batch runtime distribution (ms), cloud instance");
+    comment("paper: range 399..1892 ms, mean 454, std 116");
+    comment(&format!(
+        "ours: {n_batches} batches, range {:.0}..{:.0} ms, mean {:.0}, std {:.0}",
+        stats.min(),
+        stats.max(),
+        stats.mean(),
+        stats.std()
+    ));
+    row(&["runtime_ms_bin_center", "num_batches"]);
+    for (center, count) in hist.rows() {
+        row(&[format!("{center:.0}"), count.to_string()]);
+    }
+
+    let mut ok = true;
+    ok &= shape_check(
+        "mean-near-454",
+        (420.0..500.0).contains(&stats.mean()),
+        &format!("mean {:.0}", stats.mean()),
+    );
+    ok &= shape_check(
+        "std-near-116",
+        (80.0..160.0).contains(&stats.std()),
+        &format!("std {:.0}", stats.std()),
+    );
+    ok &= shape_check(
+        "floor-at-399",
+        stats.min() >= 399.0 && stats.min() < 420.0,
+        &format!("min {:.0}", stats.min()),
+    );
+    ok &= shape_check(
+        "tail-reaches-past-1s",
+        stats.max() > 1000.0,
+        &format!("max {:.0}", stats.max()),
+    );
+    std::process::exit(i32::from(!ok));
+}

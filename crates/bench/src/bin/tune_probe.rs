@@ -1,0 +1,50 @@
+//! Scratch hyperparameter probe (single rank, no comm): find learning
+//! rates at which the proxy models actually learn their synthetic tasks.
+//! Not part of the figure suite; used to calibrate the harnesses.
+
+use datagen::GaussianMixtureTask;
+use dnn::zoo::resnet_proxy;
+use dnn::{Model, Momentum, Optimizer};
+use minitensor::TensorRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let lr: f32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let blocks: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let noise: f32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+    let steps: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let clip: f32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(f32::INFINITY);
+    let classes: usize = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let momentum: f32 = args.get(6).and_then(|s| s.parse().ok()).unwrap_or(0.9);
+
+    let task = GaussianMixtureTask::new(128, classes, 1_000_000, noise, 1024, 42);
+    let mut rng = TensorRng::new(42 ^ 0x30D);
+    let mut model = resnet_proxy(128, 64, blocks, classes, &mut rng);
+    let n = model.num_params();
+    let mut opt = Momentum::new(lr, momentum, n);
+    let mut grads = vec![0.0f32; n];
+    let mut delta = vec![0.0f32; n];
+    let mut data_rng = TensorRng::new(7);
+
+    for step in 0..steps {
+        // Global batch 2048 as 64 ranks x 32 — single-process equivalent:
+        // a 2048 batch averaged gradient.
+        let batch = task.sample_batch(2048, &mut data_rng);
+        let loss = model.grad_step(&batch);
+        model.write_grads(&mut grads);
+        let norm = grads.iter().map(|g| g * g).sum::<f32>().sqrt();
+        if norm > clip {
+            let s = clip / norm;
+            grads.iter_mut().for_each(|g| *g *= s);
+        }
+        opt.delta(&grads, &mut delta);
+        model.apply_delta(&delta);
+        if step % 50 == 0 || step + 1 == steps {
+            let e = model.evaluate(&task.validation());
+            println!(
+                "step {step:>4} loss {loss:>8.4} gnorm {norm:>9.3} val_top1 {:.3} top5 {:.3}",
+                e.top1, e.top5
+            );
+        }
+    }
+}

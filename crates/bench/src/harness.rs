@@ -1,0 +1,142 @@
+//! The distributed experiment runner shared by all training figures.
+
+use eager_sgd::metrics::EvalRecord;
+use eager_sgd::{run_rank, TrainLog, TrainerConfig, Workload};
+use dnn::{Model, Optimizer};
+use minitensor::TensorRng;
+use pcoll::RankCtx;
+use pcoll_comm::{NetworkModel, World, WorldConfig};
+use std::sync::Arc;
+
+/// Everything needed to launch one training configuration.
+#[derive(Clone)]
+pub struct ExperimentSpec {
+    pub p: usize,
+    pub network: NetworkModel,
+    pub world_seed: u64,
+    /// Seed for model initialization — identical on every rank so local
+    /// views start equal (the data-parallel contract).
+    pub model_seed: u64,
+    pub trainer: TrainerConfig,
+}
+
+/// Run one training configuration across `p` rank threads and return the
+/// per-rank logs.
+pub fn run_distributed<MF>(
+    spec: &ExperimentSpec,
+    model_factory: MF,
+    workload: Arc<dyn Workload>,
+) -> Vec<TrainLog>
+where
+    MF: Fn(&mut TensorRng) -> (Box<dyn Model>, Box<dyn Optimizer>) + Send + Sync + 'static,
+{
+    let spec2 = spec.clone();
+    World::launch(
+        WorldConfig {
+            nranks: spec.p,
+            network: spec.network,
+            seed: spec.world_seed,
+        },
+        move |c| {
+            let ctx = RankCtx::new(c);
+            let mut init_rng = TensorRng::new(spec2.model_seed);
+            let (mut model, mut opt) = model_factory(&mut init_rng);
+            let log = run_rank(&ctx, model.as_mut(), opt.as_mut(), workload.as_ref(), &spec2.trainer);
+            ctx.finalize();
+            log
+        },
+    )
+}
+
+/// Aggregated view of one variant's run, for summary tables.
+#[derive(Debug, Clone)]
+pub struct VariantSummary {
+    pub label: String,
+    /// Mean steps/s across ranks.
+    pub throughput: f64,
+    /// Mean total training time across ranks (s).
+    pub train_time_s: f64,
+    /// Rank 0's final training loss.
+    pub final_loss: f32,
+    /// Rank 0's final test evaluation, if any.
+    pub final_test: Option<EvalRecord>,
+    /// Rank 0's final train evaluation, if any.
+    pub final_train: Option<EvalRecord>,
+    /// Fraction of rounds where ranks contributed fresh gradients
+    /// (mean across ranks; 1.0 for synchronous variants).
+    pub fresh_fraction: f64,
+}
+
+impl VariantSummary {
+    pub fn from_logs(label: impl Into<String>, logs: &[TrainLog]) -> Self {
+        let p = logs.len().max(1) as f64;
+        let throughput = logs.iter().map(|l| l.mean_throughput()).sum::<f64>() / p;
+        let train_time_s = logs.iter().map(|l| l.total_train_s).sum::<f64>() / p;
+        let fresh_fraction = logs
+            .iter()
+            .map(|l| {
+                if l.steps == 0 {
+                    0.0
+                } else {
+                    l.fresh_rounds as f64 / l.steps as f64
+                }
+            })
+            .sum::<f64>()
+            / p;
+        let rank0 = &logs[0];
+        VariantSummary {
+            label: label.into(),
+            throughput,
+            train_time_s,
+            final_loss: rank0.final_loss().unwrap_or(f32::NAN),
+            final_test: rank0.final_test(),
+            final_train: rank0.epochs.iter().rev().find_map(|e| e.train),
+            fresh_fraction,
+        }
+    }
+
+    /// Speedup of `self` over `base` in training time.
+    pub fn speedup_over(&self, base: &VariantSummary) -> f64 {
+        base.train_time_s / self.train_time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::HyperplaneTask;
+    use dnn::zoo::hyperplane_mlp;
+    use dnn::Sgd;
+    use eager_sgd::{HyperplaneWorkload, SgdVariant};
+
+    #[test]
+    fn runner_round_trips_a_tiny_experiment() {
+        let task = Arc::new(HyperplaneTask::new(16, 256, 0.05, 32, 3));
+        let spec = ExperimentSpec {
+            p: 2,
+            network: NetworkModel::Instant,
+            world_seed: 1,
+            model_seed: 2,
+            trainer: TrainerConfig::new(SgdVariant::SynchDeep500, 2, 4, 0.02),
+        };
+        let wl = Arc::new(HyperplaneWorkload {
+            task,
+            local_batch: 8,
+        });
+        let logs = run_distributed(
+            &spec,
+            |rng| {
+                (
+                    Box::new(hyperplane_mlp(16, rng)) as Box<dyn Model>,
+                    Box::new(Sgd::new(0.02)) as Box<dyn Optimizer>,
+                )
+            },
+            wl,
+        );
+        assert_eq!(logs.len(), 2);
+        let s = VariantSummary::from_logs("test", &logs);
+        assert!(s.throughput > 0.0);
+        assert!(s.final_loss.is_finite());
+        assert!((s.fresh_fraction - 1.0).abs() < 1e-9, "sync is always fresh");
+    }
+}

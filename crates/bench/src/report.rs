@@ -1,0 +1,96 @@
+//! Output helpers: TSV rows, provenance headers, shape checks.
+
+use crate::harness::VariantSummary;
+
+/// Print a `#`-prefixed provenance/comment line.
+pub fn comment(s: &str) {
+    println!("# {s}");
+}
+
+/// Print one TSV row.
+pub fn row<S: AsRef<str>>(cols: &[S]) {
+    let joined: Vec<&str> = cols.iter().map(|c| c.as_ref()).collect();
+    println!("{}", joined.join("\t"));
+}
+
+/// Print a `SHAPE-CHECK` verdict line; returns `ok` so callers can tally.
+pub fn shape_check(name: &str, ok: bool, detail: &str) -> bool {
+    println!(
+        "SHAPE-CHECK {} {} ({detail})",
+        if ok { "PASS" } else { "FAIL" },
+        name
+    );
+    ok
+}
+
+/// Print the standard summary block for a set of variant runs.
+pub fn summary_table(summaries: &[VariantSummary]) {
+    row(&[
+        "variant",
+        "steps_per_s",
+        "train_time_s",
+        "final_loss",
+        "test_top1",
+        "test_top5",
+        "fresh_frac",
+    ]);
+    for s in summaries {
+        row(&[
+            s.label.clone(),
+            format!("{:.3}", s.throughput),
+            format!("{:.2}", s.train_time_s),
+            format!("{:.4}", s.final_loss),
+            s.final_test
+                .map_or("-".into(), |t| format!("{:.3}", t.top1)),
+            s.final_test
+                .map_or("-".into(), |t| format!("{:.3}", t.top5)),
+            format!("{:.3}", s.fresh_fraction),
+        ]);
+    }
+}
+
+/// Epoch-series block: one row per epoch of rank 0, prefixed by the
+/// variant label (the format the figures plot directly).
+pub fn epoch_series(label: &str, logs: &[eager_sgd::TrainLog]) {
+    for e in &logs[0].epochs {
+        let mut cols = vec![
+            label.to_string(),
+            e.epoch.to_string(),
+            format!("{:.3}", e.train_time_s),
+            format!("{:.5}", e.mean_loss),
+            format!("{:.3}", e.throughput),
+        ];
+        match e.test {
+            Some(t) => {
+                cols.push(format!("{:.4}", t.loss));
+                cols.push(format!("{:.4}", t.top1));
+                cols.push(format!("{:.4}", t.top5));
+            }
+            None => cols.extend(["-".into(), "-".into(), "-".into()]),
+        }
+        match e.train {
+            Some(t) => {
+                cols.push(format!("{:.4}", t.top1));
+                cols.push(format!("{:.4}", t.top5));
+            }
+            None => cols.extend(["-".into(), "-".into()]),
+        }
+        row(&cols);
+    }
+}
+
+/// Header for [`epoch_series`] blocks.
+pub fn epoch_series_header() {
+    row(&[
+        "variant",
+        "epoch",
+        "train_time_s",
+        "mean_loss",
+        "steps_per_s",
+        "test_loss",
+        "test_top1",
+        "test_top5",
+        "train_top1",
+        "train_top5",
+    ]);
+}

@@ -1,0 +1,440 @@
+//! Classic blocking allreduce algorithms implemented directly over the
+//! point-to-point [`Matcher`] (no schedule engine): ring allreduce
+//! (bandwidth-optimal, Baidu/Horovod-style) and Rabenseifner's algorithm
+//! (recursive-halving reduce-scatter + recursive-doubling allgather).
+//!
+//! These exist for the §7-motivated ablation — "the optimal algorithm
+//! depends on network topology, number of processes, and message size" —
+//! so the benchmark harness can compare the engine's tree allreduce with
+//! the standard large-message algorithms. They are synchronous by
+//! construction (each phase blocks on its receive).
+
+use pcoll_comm::{CollId, CommHandle, Matcher, ReduceOp, TypedBuf, WireTag};
+
+/// Context for direct (engine-less) collective algorithms.
+pub struct DirectCollectives<'a> {
+    pub handle: &'a CommHandle,
+    pub matcher: &'a mut Matcher,
+    /// Collective id carried on the wire (keep distinct from engine
+    /// collectives if both are in flight — they must not share an inbox).
+    pub coll: CollId,
+    round: u64,
+}
+
+impl<'a> DirectCollectives<'a> {
+    pub fn new(handle: &'a CommHandle, matcher: &'a mut Matcher, coll: CollId) -> Self {
+        DirectCollectives {
+            handle,
+            matcher,
+            coll,
+            round: 0,
+        }
+    }
+
+    fn tag(&self, sem: u32) -> WireTag {
+        WireTag::new(self.coll, self.round, sem)
+    }
+
+    /// Ring allreduce on an f32 buffer: P−1 reduce-scatter steps plus
+    /// P−1 allgather steps over contiguous chunks. Works for any P.
+    pub fn ring_allreduce_f32(&mut self, data: &mut [f32], op: ReduceOp) {
+        let p = self.handle.size();
+        let me = self.handle.rank();
+        self.round += 1;
+        if p == 1 {
+            return;
+        }
+        let n = data.len();
+        // Chunk c covers chunk_range(c); the last chunk absorbs the tail.
+        let base = n / p;
+        let chunk_range = |c: usize| -> std::ops::Range<usize> {
+            let start = c * base;
+            let end = if c + 1 == p { n } else { (c + 1) * base };
+            start..end
+        };
+        let next = (me + 1) % p;
+        let prev = (me + p - 1) % p;
+
+        // Reduce-scatter: in step s we send chunk (me - s) and receive
+        // chunk (me - s - 1), accumulating into it.
+        for s in 0..p - 1 {
+            let send_chunk = (me + p - s) % p;
+            let recv_chunk = (me + p - s - 1) % p;
+            let payload = TypedBuf::from(data[chunk_range(send_chunk)].to_vec());
+            self.handle.send(next, self.tag(s as u32), Some(payload));
+            let msg = self
+                .matcher
+                .recv(prev, self.tag(s as u32))
+                .expect("ring reduce-scatter recv");
+            let incoming = msg.payload.expect("data message");
+            let incoming = incoming.as_f32().expect("f32 ring");
+            let dst = &mut data[chunk_range(recv_chunk)];
+            debug_assert_eq!(dst.len(), incoming.len());
+            match op {
+                ReduceOp::Sum => dst.iter_mut().zip(incoming).for_each(|(d, s)| *d += *s),
+                ReduceOp::Prod => dst.iter_mut().zip(incoming).for_each(|(d, s)| *d *= *s),
+                ReduceOp::Min => dst
+                    .iter_mut()
+                    .zip(incoming)
+                    .for_each(|(d, s)| *d = d.min(*s)),
+                ReduceOp::Max => dst
+                    .iter_mut()
+                    .zip(incoming)
+                    .for_each(|(d, s)| *d = d.max(*s)),
+            }
+        }
+
+        // Allgather: circulate the fully-reduced chunks.
+        for s in 0..p - 1 {
+            let send_chunk = (me + 1 + p - s) % p;
+            let recv_chunk = (me + p - s) % p;
+            let sem = 1000 + s as u32;
+            let payload = TypedBuf::from(data[chunk_range(send_chunk)].to_vec());
+            self.handle.send(next, self.tag(sem), Some(payload));
+            let msg = self
+                .matcher
+                .recv(prev, self.tag(sem))
+                .expect("ring allgather recv");
+            let incoming = msg.payload.expect("data message");
+            let incoming = incoming.as_f32().expect("f32 ring");
+            data[chunk_range(recv_chunk)].copy_from_slice(incoming);
+        }
+    }
+
+    /// Rabenseifner's allreduce for power-of-two P: recursive-halving
+    /// reduce-scatter followed by recursive-doubling allgather.
+    pub fn rabenseifner_allreduce_f32(&mut self, data: &mut [f32], op: ReduceOp) {
+        let p = self.handle.size();
+        let me = self.handle.rank();
+        self.round += 1;
+        assert!(p.is_power_of_two(), "rabenseifner requires power-of-two P");
+        if p == 1 {
+            return;
+        }
+        let n = data.len();
+        let levels = p.trailing_zeros();
+
+        // Recursive halving: at level k, exchange the half of the current
+        // window that the partner owns, and recurse into our half.
+        let mut lo = 0usize;
+        let mut hi = n;
+        let mut halves: Vec<(usize, usize)> = Vec::with_capacity(levels as usize);
+        for k in 0..levels {
+            let partner = me ^ (1usize << (levels - 1 - k));
+            let mid = lo + (hi - lo) / 2;
+            // Lower rank of the pair keeps [lo, mid), the higher keeps [mid, hi).
+            let (keep, give) = if me < partner {
+                ((lo, mid), (mid, hi))
+            } else {
+                ((mid, hi), (lo, mid))
+            };
+            let sem = 2000 + k;
+            let payload = TypedBuf::from(data[give.0..give.1].to_vec());
+            self.handle.send(partner, self.tag(sem), Some(payload));
+            let msg = self
+                .matcher
+                .recv(partner, self.tag(sem))
+                .expect("halving recv");
+            let incoming = msg.payload.expect("data");
+            let incoming = incoming.as_f32().expect("f32");
+            let dst = &mut data[keep.0..keep.1];
+            debug_assert_eq!(dst.len(), incoming.len());
+            match op {
+                ReduceOp::Sum => dst.iter_mut().zip(incoming).for_each(|(d, s)| *d += *s),
+                ReduceOp::Prod => dst.iter_mut().zip(incoming).for_each(|(d, s)| *d *= *s),
+                ReduceOp::Min => dst
+                    .iter_mut()
+                    .zip(incoming)
+                    .for_each(|(d, s)| *d = d.min(*s)),
+                ReduceOp::Max => dst
+                    .iter_mut()
+                    .zip(incoming)
+                    .for_each(|(d, s)| *d = d.max(*s)),
+            }
+            halves.push((keep.0, keep.1));
+            lo = keep.0;
+            hi = keep.1;
+        }
+
+        // Recursive doubling allgather: unwind, exchanging the window we
+        // own for the partner's.
+        for k in (0..levels).rev() {
+            let partner = me ^ (1usize << (levels - 1 - k));
+            let (own_lo, own_hi) = (lo, hi);
+            let (parent_lo, parent_hi) = if k == 0 {
+                (0, n)
+            } else {
+                halves[k as usize - 1]
+            };
+            let sem = 3000 + k;
+            let payload = TypedBuf::from(data[own_lo..own_hi].to_vec());
+            self.handle.send(partner, self.tag(sem), Some(payload));
+            let msg = self
+                .matcher
+                .recv(partner, self.tag(sem))
+                .expect("doubling recv");
+            let incoming = msg.payload.expect("data");
+            let incoming = incoming.as_f32().expect("f32");
+            // The partner owns the other half of our parent window.
+            let (other_lo, other_hi) = if own_lo == parent_lo {
+                (own_hi, parent_hi)
+            } else {
+                (parent_lo, own_lo)
+            };
+            data[other_lo..other_hi].copy_from_slice(incoming);
+            lo = parent_lo;
+            hi = parent_hi;
+        }
+    }
+}
+
+impl<'a> DirectCollectives<'a> {
+    /// Ring allgather: each rank contributes `block` and receives the
+    /// concatenation of all ranks' blocks in rank order. P−1 hops, each
+    /// forwarding the block received on the previous hop.
+    pub fn allgather_f32(&mut self, block: &[f32]) -> Vec<f32> {
+        let p = self.handle.size();
+        let me = self.handle.rank();
+        self.round += 1;
+        let n = block.len();
+        let mut out = vec![0.0f32; n * p];
+        out[me * n..(me + 1) * n].copy_from_slice(block);
+        if p == 1 {
+            return out;
+        }
+        let next = (me + 1) % p;
+        let prev = (me + p - 1) % p;
+        let mut outgoing = block.to_vec();
+        for s in 0..p - 1 {
+            let sem = 4000 + s as u32;
+            self.handle
+                .send(next, self.tag(sem), Some(TypedBuf::from(outgoing.clone())));
+            let msg = self
+                .matcher
+                .recv(prev, self.tag(sem))
+                .expect("allgather recv");
+            let incoming = msg.payload.expect("data");
+            let incoming = incoming.as_f32().expect("f32").to_vec();
+            // The block arriving at step s originated at rank (me-1-s).
+            let origin = (me + p - 1 - s) % p;
+            out[origin * n..(origin + 1) * n].copy_from_slice(&incoming);
+            outgoing = incoming;
+        }
+        out
+    }
+
+    /// Reduce-scatter (ring): input is `p` equal blocks concatenated;
+    /// returns this rank's fully reduced block (block index = rank).
+    /// This is the first phase of ring allreduce, exposed directly.
+    pub fn reduce_scatter_f32(&mut self, data: &[f32], op: ReduceOp) -> Vec<f32> {
+        let p = self.handle.size();
+        let me = self.handle.rank();
+        self.round += 1;
+        assert_eq!(data.len() % p.max(1), 0, "data must split into P blocks");
+        let n = data.len() / p;
+        if p == 1 {
+            return data.to_vec();
+        }
+        let next = (me + 1) % p;
+        let prev = (me + p - 1) % p;
+        let mut acc: Vec<Vec<f32>> = (0..p).map(|c| data[c * n..(c + 1) * n].to_vec()).collect();
+        // Chunk c starts its accumulation journey at rank c+1 and ends,
+        // fully reduced, at rank c after p−1 hops: at step s rank r sends
+        // chunk (r−1−s) and folds in chunk (r−2−s); after the last step
+        // the chunk received is exactly r.
+        for s in 0..p - 1 {
+            let send_chunk = (me + 2 * p - 1 - s) % p;
+            let recv_chunk = (me + 2 * p - 2 - s) % p;
+            let sem = 5000 + s as u32;
+            self.handle.send(
+                next,
+                self.tag(sem),
+                Some(TypedBuf::from(acc[send_chunk].clone())),
+            );
+            let msg = self
+                .matcher
+                .recv(prev, self.tag(sem))
+                .expect("reduce-scatter recv");
+            let incoming = msg.payload.expect("data");
+            let incoming = incoming.as_f32().expect("f32");
+            let dst = &mut acc[recv_chunk];
+            match op {
+                ReduceOp::Sum => dst.iter_mut().zip(incoming).for_each(|(d, s)| *d += *s),
+                ReduceOp::Prod => dst.iter_mut().zip(incoming).for_each(|(d, s)| *d *= *s),
+                ReduceOp::Min => dst
+                    .iter_mut()
+                    .zip(incoming)
+                    .for_each(|(d, s)| *d = d.min(*s)),
+                ReduceOp::Max => dst
+                    .iter_mut()
+                    .zip(incoming)
+                    .for_each(|(d, s)| *d = d.max(*s)),
+            }
+        }
+        acc[me].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcoll_comm::{World, WorldConfig};
+
+    fn run_ring(p: usize, n: usize) -> Vec<Vec<f32>> {
+        World::launch(WorldConfig::instant(p), move |c| {
+            let me = c.rank();
+            let (h, inbox) = c.split();
+            let mut m = Matcher::new(inbox);
+            let mut dc = DirectCollectives::new(&h, &mut m, CollId(9000));
+            let mut data: Vec<f32> = (0..n).map(|i| (me * n + i) as f32).collect();
+            dc.ring_allreduce_f32(&mut data, ReduceOp::Sum);
+            data
+        })
+    }
+
+    fn expected_sum(p: usize, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| (0..p).map(|r| (r * n + i) as f32).sum())
+            .collect()
+    }
+
+    #[test]
+    fn ring_allreduce_sums_correctly() {
+        for (p, n) in [(2, 8), (3, 10), (4, 4), (5, 17), (8, 64)] {
+            let out = run_ring(p, n);
+            let want = expected_sum(p, n);
+            for (r, v) in out.iter().enumerate() {
+                assert_eq!(v, &want, "p={p} n={n} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_handles_len_smaller_than_p() {
+        // Degenerate chunking: most chunks empty.
+        let out = run_ring(8, 3);
+        let want = expected_sum(8, 3);
+        for v in out {
+            assert_eq!(v, want);
+        }
+    }
+
+    #[test]
+    fn rabenseifner_matches_ring() {
+        for (p, n) in [(2usize, 8usize), (4, 16), (8, 64), (16, 33)] {
+            let out = World::launch(WorldConfig::instant(p), move |c| {
+                let me = c.rank();
+                let (h, inbox) = c.split();
+                let mut m = Matcher::new(inbox);
+                let mut dc = DirectCollectives::new(&h, &mut m, CollId(9001));
+                let mut data: Vec<f32> = (0..n).map(|i| (me * n + i) as f32).collect();
+                dc.rabenseifner_allreduce_f32(&mut data, ReduceOp::Sum);
+                data
+            });
+            let want = expected_sum(p, n);
+            for (r, v) in out.iter().enumerate() {
+                assert_eq!(v, &want, "p={p} n={n} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn ring_max_reduction() {
+        let p = 4;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let me = c.rank();
+            let (h, inbox) = c.split();
+            let mut m = Matcher::new(inbox);
+            let mut dc = DirectCollectives::new(&h, &mut m, CollId(9002));
+            let mut data = vec![me as f32, -(me as f32)];
+            dc.ring_allreduce_f32(&mut data, ReduceOp::Max);
+            data
+        });
+        for v in out {
+            assert_eq!(v, vec![3.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn allgather_concatenates_in_rank_order() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let n = 3;
+            let out = World::launch(WorldConfig::instant(p), move |c| {
+                let me = c.rank();
+                let (h, inbox) = c.split();
+                let mut m = Matcher::new(inbox);
+                let mut dc = DirectCollectives::new(&h, &mut m, CollId(9100));
+                let block: Vec<f32> = (0..n).map(|i| (me * 10 + i) as f32).collect();
+                dc.allgather_f32(&block)
+            });
+            let want: Vec<f32> = (0..p)
+                .flat_map(|r| (0..n).map(move |i| (r * 10 + i) as f32))
+                .collect();
+            for (r, v) in out.iter().enumerate() {
+                assert_eq!(v, &want, "p={p} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_gives_each_rank_its_block() {
+        for p in [2usize, 4, 6] {
+            let n = 2; // block length
+            let out = World::launch(WorldConfig::instant(p), move |c| {
+                let me = c.rank();
+                let (h, inbox) = c.split();
+                let mut m = Matcher::new(inbox);
+                let mut dc = DirectCollectives::new(&h, &mut m, CollId(9101));
+                // Every rank contributes value (me+1) in every position.
+                let data = vec![(me + 1) as f32; n * p];
+                dc.reduce_scatter_f32(&data, ReduceOp::Sum)
+            });
+            let total: f32 = (1..=p).map(|x| x as f32).sum();
+            for (r, v) in out.iter().enumerate() {
+                assert_eq!(v, &vec![total; n], "p={p} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_scatter_then_allgather_equals_allreduce() {
+        // The Rabenseifner identity, on the ring primitives.
+        let p = 4;
+        let n = 2;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let me = c.rank();
+            let (h, inbox) = c.split();
+            let mut m = Matcher::new(inbox);
+            let mut dc = DirectCollectives::new(&h, &mut m, CollId(9102));
+            let data: Vec<f32> = (0..n * p).map(|i| (me * 100 + i) as f32).collect();
+            let mine = dc.reduce_scatter_f32(&data, ReduceOp::Sum);
+            let gathered = dc.allgather_f32(&mine);
+            let mut direct = data.clone();
+            dc.ring_allreduce_f32(&mut direct, ReduceOp::Sum);
+            (gathered, direct)
+        });
+        for (r, (gathered, direct)) in out.iter().enumerate() {
+            assert_eq!(gathered, direct, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn multiple_sequential_ring_calls() {
+        let p = 4;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let (h, inbox) = c.split();
+            let mut m = Matcher::new(inbox);
+            let mut dc = DirectCollectives::new(&h, &mut m, CollId(9003));
+            let mut results = Vec::new();
+            for round in 1..=3 {
+                let mut data = vec![round as f32];
+                dc.ring_allreduce_f32(&mut data, ReduceOp::Sum);
+                results.push(data[0]);
+            }
+            results
+        });
+        for v in out {
+            assert_eq!(v, vec![4.0, 8.0, 12.0]);
+        }
+    }
+}

@@ -1,0 +1,697 @@
+//! Schedule builders for all collectives.
+//!
+//! Every builder is SPMD: each rank constructs its own view of the same
+//! global communication structure, and the `(peer, sem)` pair of every send
+//! matches exactly one receive on the peer (checked by the cross-rank
+//! property test at the bottom of this file).
+//!
+//! ## Semantic tag namespaces
+//!
+//! | range     | meaning                                   |
+//! |-----------|-------------------------------------------|
+//! | `0x100+k` | activation broadcast hop at tree step `k` |
+//! | `0x200+k` | recursive-doubling data exchange, level `k` |
+//! | `0x300+k` | quorum chain token to candidate `k`       |
+//! | `0x400+k` | dissemination barrier, round `k`          |
+//! | `0x500`   | binomial broadcast payload                |
+//! | `0x600+k` | binomial reduce payload from child at level `k` |
+//!
+//! ## The activation phase (§4.1.1)
+//!
+//! The activation broadcast is "a modified version of the recursive
+//! doubling communication scheme ... equivalent to the union of P binomial
+//! trees rooted at the different nodes". Concretely, with `L = log2(P)`
+//! steps, in the tree rooted at initiator `i` a rank `r` *receives* the
+//! activation at step `h = highest_bit(r XOR i)` from `r XOR 2^h`, and
+//! *forwards* it at every step `j > h` to `r XOR 2^j`. Because `h` depends
+//! only on `r XOR i`, posting one receive per step (`R_act[k]` from
+//! `r XOR 2^k`) and one send per step with OR-dependencies on the
+//! lower-step receives covers **all** P possible initiators with `O(log P)`
+//! consumable operations — precisely the paper's Fig. 6 schedule.
+
+use crate::topology::{log2_exact, rd_partner, require_power_of_two};
+use pcoll_comm::{Rank, ReduceOp};
+use pcoll_sched::{OpId, OpKind, Schedule, ScheduleBuilder, Slot, CONTRIB_SLOT};
+
+pub const SEM_ACT: u32 = 0x100;
+pub const SEM_DATA: u32 = 0x200;
+pub const SEM_CHAIN: u32 = 0x300;
+pub const SEM_BARRIER: u32 = 0x400;
+pub const SEM_BCAST: u32 = 0x500;
+pub const SEM_REDUCE: u32 = 0x600;
+
+/// How the activation phase of a partial collective starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ActivationMode {
+    /// Any of the listed candidate ranks may initiate; the first to arrive
+    /// wins (solo = all ranks are candidates).
+    Race(Vec<Rank>),
+    /// The listed candidates must arrive in order; the last one initiates
+    /// after receiving the chain token (majority = a single candidate).
+    Chain(Vec<Rank>),
+    /// No activation broadcast: every rank's data sends wait for its own
+    /// internal activation (synchronous semantics / quorum = P).
+    Full,
+}
+
+/// Build the partial (or full) allreduce schedule for `rank` of `p` ranks.
+///
+/// The data phase is a recursive-doubling allreduce over slot 0
+/// ([`CONTRIB_SLOT`]); level-`k` exchanges land in scratch slot `1 + k`.
+/// The completion op is the final combine; the result is slot 0.
+pub fn allreduce_schedule(rank: Rank, p: usize, op: ReduceOp, mode: &ActivationMode) -> Schedule {
+    require_power_of_two(p);
+    let levels = log2_exact(p);
+    let mut b = ScheduleBuilder::new();
+    b.slots(1 + levels as usize);
+
+    if p == 1 {
+        // Degenerate world: the gate is the whole collective.
+        let gate = b.op(OpKind::InternalGate, vec![]);
+        b.completion(gate).result_slot(CONTRIB_SLOT);
+        return b.build();
+    }
+
+    // --- Activation phase: who may fire the broadcast from this rank? ---
+    // `n0` is the local initiation event (the paper's N0), present only on
+    // ranks entitled to initiate under `mode`.
+    let n0: Option<OpId> = match mode {
+        ActivationMode::Race(candidates) => candidates
+            .contains(&rank)
+            .then(|| b.op(OpKind::InternalGate, vec![])),
+        ActivationMode::Chain(candidates) => {
+            let pos = candidates.iter().position(|&c| c == rank);
+            match pos {
+                None => None,
+                Some(k) => {
+                    let gate = b.op(OpKind::InternalGate, vec![]);
+                    // Receive the token from the previous candidate (k>0).
+                    let ready = if k == 0 {
+                        gate
+                    } else {
+                        let tok = b.op(
+                            OpKind::Recv {
+                                peer: candidates[k - 1],
+                                sem: SEM_CHAIN + k as u32,
+                                into: None,
+                            },
+                            vec![],
+                        );
+                        b.op(OpKind::Nop, vec![gate, tok])
+                    };
+                    if k + 1 < candidates.len() {
+                        // Forward the token; we are not the initiator.
+                        b.op(
+                            OpKind::SendCtl {
+                                peer: candidates[k + 1],
+                                sem: SEM_CHAIN + (k + 1) as u32,
+                            },
+                            vec![ready],
+                        );
+                        None
+                    } else {
+                        // Last candidate in the chain initiates.
+                        Some(ready)
+                    }
+                }
+            }
+        }
+        ActivationMode::Full => Some(b.op(OpKind::InternalGate, vec![])),
+    };
+
+    // --- Activation broadcast (omitted entirely in Full mode). ---
+    // n1 = "this rank is activated": OR of local initiation and every
+    // possible activation receive.
+    let n1: OpId = if matches!(mode, ActivationMode::Full) {
+        n0.expect("full mode always has a gate")
+    } else {
+        let mut act_recvs = Vec::with_capacity(levels as usize);
+        for k in 0..levels {
+            act_recvs.push(b.op(
+                OpKind::Recv {
+                    peer: rd_partner(rank, k),
+                    sem: SEM_ACT + k,
+                    into: None,
+                },
+                vec![],
+            ));
+        }
+        for j in 0..levels {
+            // Send at step j if we initiated, or if we received the
+            // activation at any step below j. A rank that can never
+            // initiate has no step-0 send (its dep set would be empty).
+            let mut deps: Vec<OpId> = n0.iter().copied().collect();
+            deps.extend(act_recvs.iter().take(j as usize));
+            if !deps.is_empty() {
+                b.op_or(
+                    OpKind::SendCtl {
+                        peer: rd_partner(rank, j),
+                        sem: SEM_ACT + j,
+                    },
+                    deps,
+                );
+            }
+        }
+        let mut n1_deps: Vec<OpId> = n0.iter().copied().collect();
+        n1_deps.extend(act_recvs.iter().copied());
+        b.op_or(OpKind::Nop, n1_deps)
+    };
+
+    // --- Data phase: recursive doubling over the contribution slot. ---
+    let mut prev_combine: Option<OpId> = None;
+    for k in 0..levels {
+        let peer = rd_partner(rank, k);
+        let scratch: Slot = 1 + k as usize;
+        let recv = b.op(
+            OpKind::Recv {
+                peer,
+                sem: SEM_DATA + k,
+                into: Some(scratch),
+            },
+            vec![],
+        );
+        let send_dep = prev_combine.unwrap_or(n1);
+        let send = b.op(
+            OpKind::SendData {
+                peer,
+                sem: SEM_DATA + k,
+                src: CONTRIB_SLOT,
+            },
+            vec![send_dep],
+        );
+        // Combine only after our level-k value went out, so the partner
+        // never sees its own contribution reflected back.
+        let combine = b.op(
+            OpKind::Combine {
+                op,
+                src: scratch,
+                dst: CONTRIB_SLOT,
+            },
+            vec![send, recv],
+        );
+        prev_combine = Some(combine);
+    }
+    b.completion(prev_combine.expect("p > 1 has at least one level"))
+        .result_slot(CONTRIB_SLOT);
+    b.build()
+}
+
+/// Dissemination barrier for any `p` (not just powers of two):
+/// `ceil(log2 p)` rounds; in round `k` send to `(r + 2^k) mod p` and wait
+/// for `(r - 2^k) mod p`. Purely synchronous (gated on internal
+/// activation); carries no data.
+pub fn barrier_schedule(rank: Rank, p: usize) -> Schedule {
+    let mut b = ScheduleBuilder::new();
+    b.slots(0);
+    let gate = b.op(OpKind::InternalGate, vec![]);
+    if p == 1 {
+        b.completion(gate);
+        return b.build();
+    }
+    let rounds = usize::BITS - (p - 1).leading_zeros();
+    let mut prev = gate;
+    for k in 0..rounds {
+        let dist = 1usize << k;
+        let to = (rank + dist) % p;
+        let from = (rank + p - dist % p) % p;
+        let send = b.op(OpKind::SendCtl { peer: to, sem: SEM_BARRIER + k }, vec![prev]);
+        let recv = b.op(
+            OpKind::Recv {
+                peer: from,
+                sem: SEM_BARRIER + k,
+                into: None,
+            },
+            vec![],
+        );
+        prev = b.op(OpKind::Nop, vec![send, recv]);
+    }
+    b.completion(prev);
+    b.build()
+}
+
+/// Binomial-tree broadcast from `root` (any `p`). The root's send cascade
+/// is gated on its internal activation; non-root ranks forward upon
+/// receipt, so only the root's arrival matters — which is the broadcast
+/// contract. The result slot holds the payload on every rank.
+pub fn bcast_schedule(rank: Rank, p: usize, root: Rank) -> Schedule {
+    let mut b = ScheduleBuilder::new();
+    b.slots(1);
+    let rel = (rank + p - root) % p;
+    let recv_level = if rel == 0 {
+        None
+    } else {
+        Some(crate::topology::highest_bit(rel))
+    };
+    let trigger: OpId = match recv_level {
+        None => b.op(OpKind::InternalGate, vec![]),
+        Some(h) => {
+            let parent_rel = rel - (1usize << h);
+            let parent = (parent_rel + root) % p;
+            b.op(
+                OpKind::Recv {
+                    peer: parent,
+                    sem: SEM_BCAST,
+                    into: Some(CONTRIB_SLOT),
+                },
+                vec![],
+            )
+        }
+    };
+    // Forward to children: rel + 2^j for every level j above our receive
+    // level (all levels for the root), bounded by the world size.
+    let levels = usize::BITS - p.leading_zeros(); // enough steps to cover p
+    let from = recv_level.map_or(0, |h| h + 1);
+    let mut last_ops = vec![trigger];
+    for j in (from..levels).rev() {
+        let child_rel = rel + (1usize << j);
+        if child_rel < p {
+            let child = (child_rel + root) % p;
+            last_ops.push(b.op(
+                OpKind::SendData {
+                    peer: child,
+                    sem: SEM_BCAST,
+                    src: CONTRIB_SLOT,
+                },
+                vec![trigger],
+            ));
+        }
+    }
+    let done = b.op(OpKind::Nop, last_ops);
+    b.completion(done).result_slot(CONTRIB_SLOT);
+    b.build()
+}
+
+/// Binomial-tree reduce to `root` (any `p`): children send their partial
+/// sums up; each rank combines child payloads into its contribution before
+/// forwarding. Synchronous (every rank's sends are gated on its own
+/// activation). Only the root's result slot is meaningful.
+pub fn reduce_schedule(rank: Rank, p: usize, root: Rank, op: ReduceOp) -> Schedule {
+    let mut b = ScheduleBuilder::new();
+    let rel = (rank + p - root) % p;
+    let gate = b.op(OpKind::InternalGate, vec![]);
+    if p == 1 {
+        b.slots(1);
+        b.completion(gate).result_slot(CONTRIB_SLOT);
+        return b.build();
+    }
+    // The reduce tree mirrors the bcast tree: our children are
+    // rel + 2^j < p for every level j above our own join level h
+    // (all levels for the root); we send our partial sum to rel - 2^h.
+    // A child at rel + 2^j has join level j, so it sends with sem
+    // SEM_REDUCE + j and we post the matching receive.
+    let recv_level = if rel == 0 {
+        None
+    } else {
+        Some(crate::topology::highest_bit(rel))
+    };
+    let levels = usize::BITS - p.leading_zeros();
+    let from = recv_level.map_or(0, |h| h + 1);
+    let mut slot_count = 1;
+    let mut prev = gate;
+    for j in from..levels {
+        let child_rel = rel + (1usize << j);
+        if child_rel >= p {
+            continue;
+        }
+        let child = (child_rel + root) % p;
+        let scratch = slot_count;
+        slot_count += 1;
+        let recv = b.op(
+            OpKind::Recv {
+                peer: child,
+                sem: SEM_REDUCE + j,
+                into: Some(scratch),
+            },
+            vec![],
+        );
+        let comb = b.op(
+            OpKind::Combine {
+                op,
+                src: scratch,
+                dst: CONTRIB_SLOT,
+            },
+            // Chain combines so two children never write slot 0 at once,
+            // and gate on activation so the contribution exists.
+            vec![recv, prev],
+        );
+        prev = comb;
+    }
+    b.slots(slot_count);
+    let ready = prev;
+    let completion = match recv_level {
+        None => ready, // root: all children folded in
+        Some(h) => {
+            let parent_rel = rel - (1usize << h);
+            let parent = (parent_rel + root) % p;
+            b.op(
+                OpKind::SendData {
+                    peer: parent,
+                    sem: SEM_REDUCE + h,
+                    src: CONTRIB_SLOT,
+                },
+                vec![ready],
+            )
+        }
+    };
+    b.completion(completion);
+    if rel == 0 {
+        b.result_slot(CONTRIB_SLOT);
+    }
+    b.build()
+}
+
+/// Synchronous allreduce for *any* world size: a binomial reduce to rank
+/// `root` composed with a binomial broadcast back out, in one schedule.
+/// Every rank's sends are gated on its own internal activation, so the
+/// operation "cannot terminate before the slowest process joins" — the
+/// `MPI_Allreduce` semantics the paper baselines against. The broadcast
+/// also makes the result bitwise identical on every rank (it is computed
+/// once, at the root).
+pub fn sync_allreduce_schedule(rank: Rank, p: usize, root: Rank, op: ReduceOp) -> Schedule {
+    let mut b = ScheduleBuilder::new();
+    let gate = b.op(OpKind::InternalGate, vec![]);
+    if p == 1 {
+        b.slots(1);
+        b.completion(gate).result_slot(CONTRIB_SLOT);
+        return b.build();
+    }
+    let rel = (rank + p - root) % p;
+    let join_level = if rel == 0 {
+        None
+    } else {
+        Some(crate::topology::highest_bit(rel))
+    };
+    let levels = usize::BITS - p.leading_zeros();
+
+    // --- Reduce phase: fold children's partial sums into slot 0. ---
+    let from = join_level.map_or(0, |h| h + 1);
+    let mut slot_count = 1;
+    let mut prev = gate;
+    for j in from..levels {
+        let child_rel = rel + (1usize << j);
+        if child_rel >= p {
+            continue;
+        }
+        let child = (child_rel + root) % p;
+        let scratch = slot_count;
+        slot_count += 1;
+        let recv = b.op(
+            OpKind::Recv {
+                peer: child,
+                sem: SEM_REDUCE + j,
+                into: Some(scratch),
+            },
+            vec![],
+        );
+        prev = b.op(
+            OpKind::Combine {
+                op,
+                src: scratch,
+                dst: CONTRIB_SLOT,
+            },
+            vec![recv, prev],
+        );
+    }
+    b.slots(slot_count);
+
+    // --- Turnaround: send partial sum up / receive the total down. ---
+    let have_total: OpId = match join_level {
+        None => prev, // root holds the total once all children folded in
+        Some(h) => {
+            let parent_rel = rel - (1usize << h);
+            let parent = (parent_rel + root) % p;
+            let up = b.op(
+                OpKind::SendData {
+                    peer: parent,
+                    sem: SEM_REDUCE + h,
+                    src: CONTRIB_SLOT,
+                },
+                vec![prev],
+            );
+            // The broadcast payload overwrites our partial sum.
+            b.op(
+                OpKind::Recv {
+                    peer: parent,
+                    sem: SEM_BCAST,
+                    into: Some(CONTRIB_SLOT),
+                },
+                vec![up],
+            )
+        }
+    };
+
+    // --- Broadcast phase: forward the total to our bcast children. ---
+    let mut finals = vec![have_total];
+    for j in (from..levels).rev() {
+        let child_rel = rel + (1usize << j);
+        if child_rel >= p {
+            continue;
+        }
+        let child = (child_rel + root) % p;
+        finals.push(b.op(
+            OpKind::SendData {
+                peer: child,
+                sem: SEM_BCAST,
+                src: CONTRIB_SLOT,
+            },
+            vec![have_total],
+        ));
+    }
+    let done = b.op(OpKind::Nop, finals);
+    b.completion(done).result_slot(CONTRIB_SLOT);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// Every send must have exactly one matching receive on the peer, and
+    /// vice versa — the SPMD pairing invariant that makes the engine's
+    /// message routing sound.
+    fn check_send_recv_pairing(schedules: &[Schedule]) {
+        let p = schedules.len();
+        // (from, to, sem) -> count
+        let mut sends: HashMap<(Rank, Rank, u32), usize> = HashMap::new();
+        let mut recvs: HashMap<(Rank, Rank, u32), usize> = HashMap::new();
+        for (r, s) in schedules.iter().enumerate() {
+            for op in &s.ops {
+                match op.kind {
+                    OpKind::SendData { peer, sem, .. } | OpKind::SendCtl { peer, sem } => {
+                        assert!(peer < p);
+                        *sends.entry((r, peer, sem)).or_default() += 1;
+                    }
+                    OpKind::Recv { peer, sem, .. } => {
+                        assert!(peer < p);
+                        *recvs.entry((peer, r, sem)).or_default() += 1;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (key, n) in &sends {
+            assert_eq!(*n, 1, "duplicate send {key:?}");
+            assert!(
+                recvs.contains_key(key),
+                "send {key:?} has no matching receive"
+            );
+        }
+        // Receives may outnumber sends (activation receives exist for all
+        // possible initiators), but each must be unique.
+        for (key, n) in &recvs {
+            assert_eq!(*n, 1, "duplicate receive {key:?}");
+        }
+    }
+
+    fn all_schedules(p: usize, mode: &dyn Fn(Rank) -> Schedule) -> Vec<Schedule> {
+        (0..p).map(mode).collect()
+    }
+
+    #[test]
+    fn solo_allreduce_pairing_all_sizes() {
+        for p in [2usize, 4, 8, 16, 32] {
+            let cands: Vec<Rank> = (0..p).collect();
+            let scheds = all_schedules(p, &|r| {
+                allreduce_schedule(r, p, ReduceOp::Sum, &ActivationMode::Race(cands.clone()))
+            });
+            check_send_recv_pairing(&scheds);
+            for s in &scheds {
+                s.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn majority_allreduce_pairing() {
+        for p in [2usize, 8, 16] {
+            for init in [0, p / 2, p - 1] {
+                let scheds = all_schedules(p, &|r| {
+                    allreduce_schedule(r, p, ReduceOp::Sum, &ActivationMode::Chain(vec![init]))
+                });
+                check_send_recv_pairing(&scheds);
+            }
+        }
+    }
+
+    #[test]
+    fn chain_allreduce_pairing() {
+        let p = 8;
+        let chain = vec![3usize, 0, 6];
+        let scheds = all_schedules(p, &|r| {
+            allreduce_schedule(r, p, ReduceOp::Sum, &ActivationMode::Chain(chain.clone()))
+        });
+        check_send_recv_pairing(&scheds);
+    }
+
+    #[test]
+    fn full_allreduce_has_no_activation_ops() {
+        let p = 8;
+        let s = allreduce_schedule(2, p, ReduceOp::Sum, &ActivationMode::Full);
+        for op in &s.ops {
+            match op.kind {
+                OpKind::SendCtl { sem, .. } | OpKind::Recv { sem, into: None, .. } => {
+                    assert!(
+                        !(SEM_ACT..SEM_DATA).contains(&sem),
+                        "full mode must not carry activation hops"
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn solo_initiator_sends_at_every_step() {
+        // The initiator (any rank in Race-all) must have L activation
+        // sends; pure receivers in Chain mode have L-1 (no step-0 send).
+        let p = 16;
+        let all: Vec<Rank> = (0..p).collect();
+        let solo = allreduce_schedule(5, p, ReduceOp::Sum, &ActivationMode::Race(all));
+        let n_act_sends = solo
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::SendCtl { sem, .. } if (SEM_ACT..SEM_ACT+0x100).contains(&sem)))
+            .count();
+        assert_eq!(n_act_sends, 4, "log2(16) activation sends");
+
+        let maj = allreduce_schedule(5, p, ReduceOp::Sum, &ActivationMode::Chain(vec![0]));
+        let n_act_sends = maj
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::SendCtl { sem, .. } if (SEM_ACT..SEM_ACT+0x100).contains(&sem)))
+            .count();
+        assert_eq!(n_act_sends, 3, "non-initiator has no step-0 send");
+    }
+
+    #[test]
+    fn schedule_size_is_logarithmic() {
+        // O(log P) ops per rank — the paper's scalability claim for the
+        // activation phase.
+        // Activation: L recvs + L sends + N1; data: 3L; plus the gate.
+        let all64: Vec<Rank> = (0..64).collect();
+        let s64 = allreduce_schedule(0, 64, ReduceOp::Sum, &ActivationMode::Race(all64));
+        assert!(
+            s64.ops.len() <= 5 * 6 + 4,
+            "64-rank schedule should stay O(log P), got {}",
+            s64.ops.len()
+        );
+        let all8: Vec<Rank> = (0..8).collect();
+        let s8 = allreduce_schedule(0, 8, ReduceOp::Sum, &ActivationMode::Race(all8));
+        assert!(s8.ops.len() < s64.ops.len());
+    }
+
+    #[test]
+    fn barrier_pairing_any_p() {
+        for p in [1usize, 2, 3, 5, 8, 12, 16] {
+            let scheds = all_schedules(p, &|r| barrier_schedule(r, p));
+            check_send_recv_pairing(&scheds);
+        }
+    }
+
+    #[test]
+    fn bcast_pairing_any_p_any_root() {
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            for root in 0..p {
+                let scheds = all_schedules(p, &|r| bcast_schedule(r, p, root));
+                check_send_recv_pairing(&scheds);
+                // Tree property: every non-root has exactly one payload recv.
+                for (r, s) in scheds.iter().enumerate() {
+                    let recvs = s
+                        .ops
+                        .iter()
+                        .filter(|o| matches!(o.kind, OpKind::Recv { .. }))
+                        .count();
+                    assert_eq!(recvs, usize::from(r != root), "p={p} root={root} r={r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sync_allreduce_pairing_any_p_any_root() {
+        for p in [1usize, 2, 3, 5, 8, 12, 16, 17] {
+            for root in [0, p / 2, p - 1] {
+                let scheds =
+                    all_schedules(p, &|r| sync_allreduce_schedule(r, p, root, ReduceOp::Sum));
+                check_send_recv_pairing(&scheds);
+                for s in &scheds {
+                    s.validate().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_pairing_any_p_any_root() {
+        for p in [1usize, 2, 3, 5, 8, 13] {
+            for root in 0..p {
+                let scheds = all_schedules(p, &|r| reduce_schedule(r, p, root, ReduceOp::Sum));
+                check_send_recv_pairing(&scheds);
+                // Every non-root sends exactly one payload up.
+                for (r, s) in scheds.iter().enumerate() {
+                    let sends = s
+                        .ops
+                        .iter()
+                        .filter(|o| matches!(o.kind, OpKind::SendData { .. }))
+                        .count();
+                    assert_eq!(sends, usize::from(r != root), "p={p} root={root} r={r}");
+                }
+            }
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// SPMD pairing holds for random chain candidate sets.
+            #[test]
+            fn chain_pairing_random(
+                p_exp in 1u32..5,
+                seed in any::<u64>(),
+                m in 1usize..6,
+            ) {
+                let p = 1usize << p_exp;
+                let cands = crate::topology::round_candidates(
+                    seed, pcoll_comm::CollId(1), 0, p, m);
+                let scheds: Vec<Schedule> = (0..p)
+                    .map(|r| allreduce_schedule(
+                        r, p, ReduceOp::Sum, &ActivationMode::Chain(cands.clone())))
+                    .collect();
+                check_send_recv_pairing(&scheds);
+            }
+
+            /// Barrier pairing for arbitrary world sizes.
+            #[test]
+            fn barrier_pairing_random(p in 1usize..33) {
+                let scheds: Vec<Schedule> =
+                    (0..p).map(|r| barrier_schedule(r, p)).collect();
+                check_send_recv_pairing(&scheds);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Per-rank context: the engine plus SPMD collective constructors.
+//!
+//! [`RankCtx`] is the `MPI_COMM_WORLD` of this library: it owns the rank's
+//! progress engine and hands out collective handles. **Collectives must be
+//! constructed in the same order on every rank** — construction allocates
+//! consecutive collective ids, and ranks agree on which id means what only
+//! if they allocate in lockstep (the usual SPMD contract for communicator
+//! construction).
+
+use crate::partial::{PartialAllreduce, PartialOpts, QuorumPolicy};
+use crate::sync::{SyncAllreduce, SyncBarrier, SyncBcast, SyncReduce};
+use pcoll_comm::{CollId, Communicator, DType, Rank, ReduceOp};
+use pcoll_sched::Engine;
+use std::cell::Cell;
+use std::sync::{Arc, Barrier};
+
+/// Per-rank context (one per rank thread, not shareable across threads).
+pub struct RankCtx {
+    rank: Rank,
+    size: usize,
+    seed: u64,
+    engine: Engine,
+    next_coll: Cell<u32>,
+    barrier: SyncBarrier,
+    host_barrier: Arc<Barrier>,
+}
+
+impl RankCtx {
+    /// Stand up the engine for this rank. Registers the built-in barrier
+    /// as collective 0; user collectives start at id 1.
+    pub fn new(comm: Communicator) -> Self {
+        let rank = comm.rank();
+        let size = comm.size();
+        let seed = comm.seed();
+        let host_barrier = comm.host_barrier_arc();
+        let (handle, inbox) = comm.split();
+        let engine = Engine::spawn(handle, inbox);
+        let barrier = SyncBarrier::register(&engine, CollId(0), rank, size);
+        RankCtx {
+            rank,
+            size,
+            seed,
+            engine,
+            next_coll: Cell::new(1),
+            barrier,
+            host_barrier,
+        }
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size (P).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The world-shared seed (consensus randomness).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The underlying engine (for advanced/diagnostic use).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    fn alloc(&self) -> CollId {
+        let id = self.next_coll.get();
+        self.next_coll.set(id + 1);
+        CollId(id)
+    }
+
+    /// Create a partial allreduce (§4): the eager collective of the paper.
+    /// World size must be a power of two.
+    pub fn partial_allreduce(
+        &self,
+        dtype: DType,
+        len: usize,
+        op: ReduceOp,
+        policy: QuorumPolicy,
+        opts: PartialOpts,
+    ) -> PartialAllreduce {
+        PartialAllreduce::register(
+            &self.engine,
+            self.alloc(),
+            self.rank,
+            self.size,
+            self.seed,
+            dtype,
+            len,
+            op,
+            policy,
+            opts,
+        )
+    }
+
+    /// Create a blocking allreduce (any world size). `scale` multiplies
+    /// the result (pass `Some(1.0 / P)` for averaging).
+    pub fn sync_allreduce(
+        &self,
+        dtype: DType,
+        len: usize,
+        op: ReduceOp,
+        scale: Option<f64>,
+    ) -> SyncAllreduce {
+        SyncAllreduce::register(
+            &self.engine,
+            self.alloc(),
+            self.rank,
+            self.size,
+            dtype,
+            len,
+            op,
+            scale,
+        )
+    }
+
+    /// Create a blocking broadcast from `root`.
+    pub fn bcast(&self, root: Rank) -> SyncBcast {
+        SyncBcast::register(&self.engine, self.alloc(), self.rank, self.size, root)
+    }
+
+    /// Create a blocking reduce to `root`.
+    pub fn reduce(&self, root: Rank, op: ReduceOp) -> SyncReduce {
+        SyncReduce::register(&self.engine, self.alloc(), self.rank, self.size, root, op)
+    }
+
+    /// Message-based barrier across all ranks (the built-in collective 0).
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    /// Host-side (non-modeled) barrier for bench/test alignment.
+    pub fn host_barrier(&self) {
+        self.host_barrier.wait();
+    }
+
+    /// `MPI_Finalize` equivalent: barrier so no peer still needs us, then
+    /// stop the engine. Call exactly once per rank at the end of the SPMD
+    /// program.
+    pub fn finalize(self) {
+        self.barrier.wait();
+        self.engine.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcoll_comm::{TypedBuf, World, WorldConfig};
+
+    #[test]
+    fn multiple_collectives_coexist() {
+        // Two allreduces and a bcast, interleaved across rounds: the ids
+        // allocated SPMD-style keep their traffic separate.
+        let p = 4;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut a = ctx.sync_allreduce(DType::I64, 1, ReduceOp::Sum, None);
+            let mut b = ctx.sync_allreduce(DType::I64, 1, ReduceOp::Max, None);
+            let mut bc = ctx.bcast(0);
+            let me = ctx.rank() as i64;
+            let mut got = Vec::new();
+            for round in 0..4 {
+                let s = a.allreduce(&TypedBuf::from(vec![me + round]));
+                let m = b.allreduce(&TypedBuf::from(vec![me * round]));
+                let payload = TypedBuf::from(vec![round * 100]);
+                let x = bc.bcast((ctx.rank() == 0).then_some(&payload));
+                got.push((
+                    s.as_i64().unwrap()[0],
+                    m.as_i64().unwrap()[0],
+                    x.as_i64().unwrap()[0],
+                ));
+            }
+            ctx.finalize();
+            got
+        });
+        for ranks in out {
+            for (round, (s, m, x)) in ranks.iter().enumerate() {
+                let round = round as i64;
+                assert_eq!(*s, 6 + 4 * round); // Σ(rank) + P*round
+                assert_eq!(*m, 3 * round); // max(rank*round)
+                assert_eq!(*x, round * 100);
+            }
+        }
+    }
+
+    #[test]
+    fn finalize_is_clean_under_skew() {
+        // Heavily skewed ranks finalize without deadlock or panic.
+        let p = 8;
+        World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.sync_allreduce(DType::F32, 16, ReduceOp::Sum, None);
+            std::thread::sleep(std::time::Duration::from_millis(
+                (ctx.rank() as u64 * 13) % 50,
+            ));
+            let _ = ar.allreduce(&TypedBuf::zeros(DType::F32, 16));
+            ctx.finalize();
+        });
+    }
+}

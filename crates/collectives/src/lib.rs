@@ -1,0 +1,39 @@
+//! # pcoll — synchronous and partial collective operations (§4)
+//!
+//! This crate turns the schedule engine (`pcoll-sched`) into user-facing
+//! collectives:
+//!
+//! - [`SyncAllreduce`]: classic blocking allreduce (recursive doubling),
+//!   the `MPI_Allreduce` stand-in — it "cannot terminate before the
+//!   slowest process joins it".
+//! - [`PartialAllreduce`]: the paper's contribution. With
+//!   [`QuorumPolicy::Solo`] any rank that arrives first becomes the
+//!   initiator and broadcasts an activation along a binomial tree rooted at
+//!   itself; every other rank is dragged in by its engine and contributes
+//!   whatever its send buffer holds (fresh, stale, or null). With
+//!   [`QuorumPolicy::Majority`] a pseudo-randomly designated per-round
+//!   initiator (same seed on all ranks ⇒ no communication needed for
+//!   consensus) delays the start so that, in expectation, half the ranks
+//!   arrive before it (§4.2). [`QuorumPolicy::FirstOf`]/[`QuorumPolicy::Chain`]
+//!   generalize this to the solo–majority–full *spectrum* named in §8.
+//! - [`SyncBarrier`]: dissemination barrier; [`SyncBcast`]: binomial-tree
+//!   broadcast (used by the Horovod-style negotiation baseline).
+//! - [`algos`]: blocking ring and Rabenseifner allreduce over the plain
+//!   matcher, for the allreduce-algorithm ablation.
+//!
+//! [`RankCtx`] packages the per-rank engine plus collective constructors;
+//! collectives must be created in the same order on every rank (SPMD), as
+//! with MPI communicator construction.
+
+pub mod algos;
+pub mod builders;
+pub mod ctx;
+pub mod partial;
+pub mod sync;
+pub mod topology;
+
+pub use ctx::RankCtx;
+pub use partial::{
+    AllreduceOutcome, PartialAllreduce, PartialOpts, QuorumPolicy, RoundTrace, StaleMode,
+};
+pub use sync::{SyncAllreduce, SyncBarrier, SyncBcast, SyncReduce};

@@ -1,0 +1,686 @@
+//! Partial allreduce: solo, majority, and the quorum spectrum (§4, §8).
+//!
+//! The application-facing object is [`PartialAllreduce`]; one lives on each
+//! rank and successive [`PartialAllreduce::allreduce`] calls map to
+//! successive rounds of the same persistent schedule. The Fig. 7 buffer
+//! protocol is implemented here:
+//!
+//! - **send buffer**: deposits *accumulate* (`G' = G_stale + G_fresh`).
+//!   The engine snapshots-and-resets it at instance creation, so a rank
+//!   dragged in externally contributes stale-or-null data, and a gradient
+//!   that missed its own round rides along with the next one.
+//! - **receive buffer**: completion overwrites it latest-wins; a slow rank
+//!   that finds its round already completed returns immediately with the
+//!   newest available result (possibly from a later round — the documented
+//!   divergence source that periodic model synchronization repairs, §5).
+//!
+//! Per-round [`RoundTrace`]s record whether this rank's snapshot carried
+//! fresh data — exactly the paper's "active process" definition used for
+//! the NAP (number of active processes) measurements of Fig. 9.
+
+use crate::builders::{allreduce_schedule, ActivationMode};
+use crate::topology::{require_power_of_two, round_candidates};
+use parking_lot::{Condvar, Mutex};
+use pcoll_comm::{CollId, DType, Rank, ReduceOp, TypedBuf};
+use pcoll_sched::{CollectiveTemplate, Engine, Schedule, SnapshotTiming};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which processes may trigger a round, i.e. where on the
+/// solo–majority–full spectrum this collective sits (§8's proposed
+/// extension, with the paper's two variants as the named points).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuorumPolicy {
+    /// Wait-free: every rank is an initiator candidate; the first to
+    /// arrive triggers the round. Expected active processes ≈ 1 under
+    /// full skew (§4.1).
+    Solo,
+    /// One pseudo-random initiator per round; in expectation half the
+    /// ranks arrive before it, so E\[NAP\] = P/2 (§4.2).
+    Majority,
+    /// First of `m` random candidates to arrive initiates:
+    /// E\[NAP\] ≈ P/(m+1). `FirstOf(P)` degenerates to solo.
+    FirstOf(usize),
+    /// All of `m` random candidates must arrive (token chain in candidate
+    /// order); the last one initiates: E\[NAP\] ≈ P·m/(m+1).
+    /// `Chain(1)` is exactly majority.
+    Chain(usize),
+    /// Every rank must arrive (blocking semantics with latest-wins
+    /// result delivery): the spectrum's synchronous endpoint.
+    Full,
+}
+
+impl QuorumPolicy {
+    fn mode(self, seed: u64, coll: CollId, round: u64, p: usize) -> ActivationMode {
+        match self {
+            QuorumPolicy::Solo => ActivationMode::Race((0..p).collect()),
+            QuorumPolicy::Majority => {
+                ActivationMode::Chain(round_candidates(seed, coll, round, p, 1))
+            }
+            QuorumPolicy::FirstOf(m) => {
+                ActivationMode::Race(round_candidates(seed, coll, round, p, m.max(1)))
+            }
+            QuorumPolicy::Chain(m) => {
+                ActivationMode::Chain(round_candidates(seed, coll, round, p, m.max(1)))
+            }
+            QuorumPolicy::Full => ActivationMode::Full,
+        }
+    }
+
+    /// The quorum-size lower bound `Q` of Lemma 5.1 this policy enforces
+    /// deterministically (solo/first-of guarantee only the initiator; a
+    /// chain guarantees its candidates; full guarantees everyone).
+    pub fn guaranteed_quorum(self, p: usize) -> usize {
+        match self {
+            QuorumPolicy::Solo | QuorumPolicy::FirstOf(_) => 1,
+            QuorumPolicy::Majority => 1,
+            QuorumPolicy::Chain(m) => m.min(p),
+            QuorumPolicy::Full => p,
+        }
+    }
+
+    /// The *expected* number of active processes under full skew.
+    pub fn expected_active(self, p: usize) -> f64 {
+        let p = p as f64;
+        match self {
+            QuorumPolicy::Solo => p / (p + 1.0),
+            QuorumPolicy::Majority => p / 2.0,
+            QuorumPolicy::FirstOf(m) => p / (m.min(p as usize) as f64 + 1.0),
+            QuorumPolicy::Chain(m) => {
+                let m = m.min(p as usize) as f64;
+                p * m / (m + 1.0)
+            }
+            QuorumPolicy::Full => p,
+        }
+    }
+}
+
+/// How a deposit that missed its round is treated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StaleMode {
+    /// Accumulate into the next contribution (the paper's Fig. 7 protocol).
+    #[default]
+    Accumulate,
+    /// Overwrite: only the newest gradient survives (ablation).
+    Replace,
+}
+
+/// Options for [`PartialAllreduce`].
+#[derive(Debug, Clone)]
+pub struct PartialOpts {
+    /// Multiply the reduced result by this factor on completion
+    /// (Algorithm 2 line 6 passes `1/P`).
+    pub scale: Option<f64>,
+    /// Stale-gradient handling (ablation hook; default = paper behavior).
+    pub stale_mode: StaleMode,
+    /// How long a blocked `allreduce` call waits before panicking with a
+    /// diagnostic (deadlocks should fail loudly, not hang CI).
+    pub wait_timeout: Duration,
+    /// Keep per-round traces (tiny, but off for long training runs if
+    /// undesired).
+    pub trace: bool,
+}
+
+impl Default for PartialOpts {
+    fn default() -> Self {
+        PartialOpts {
+            scale: None,
+            stale_mode: StaleMode::Accumulate,
+            wait_timeout: Duration::from_secs(60),
+            trace: true,
+        }
+    }
+}
+
+/// Per-round record of this rank's participation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundTrace {
+    pub round: u64,
+    /// Did this rank's snapshot carry a fresh deposit (made since the
+    /// previous snapshot)? This is the paper's "active process" bit.
+    pub fresh: bool,
+    /// Was the snapshot all zeros (a pure G_null contribution)?
+    pub null: bool,
+}
+
+/// What an [`PartialAllreduce::allreduce`] call returns.
+#[derive(Debug, Clone)]
+pub struct AllreduceOutcome {
+    /// The reduced (and optionally scaled) buffer.
+    pub data: TypedBuf,
+    /// The round this call asked for.
+    pub requested_round: u64,
+    /// The round whose result `data` actually is (≥ `requested_round`;
+    /// strictly greater when this rank lagged far enough that its round's
+    /// result was already overwritten — §5's staleness effect).
+    pub result_round: u64,
+}
+
+struct SendBuf {
+    data: TypedBuf,
+    /// Round number of the most recent deposit. A snapshot for round `r`
+    /// is *fresh* iff the buffer holds a deposit made for round `r`
+    /// itself — this rank "arrived before the initiator" (§4.2's active
+    /// process definition, the NAP numerator of Fig. 9). A leftover
+    /// deposit from an earlier round still gets *contributed* (stale
+    /// data), but does not count as fresh.
+    last_deposit_round: Option<u64>,
+}
+
+struct RecvBuf {
+    latest_round: Option<u64>,
+    data: TypedBuf,
+}
+
+struct Shared {
+    dtype: DType,
+    len: usize,
+    opts: PartialOpts,
+    send: Mutex<SendBuf>,
+    recv: Mutex<RecvBuf>,
+    cv: Condvar,
+    traces: Mutex<HashMap<u64, RoundTrace>>,
+    /// Rounds whose result arrived too late (result_round > requested).
+    missed_rounds: AtomicU64,
+    /// Rounds where this rank contributed fresh data.
+    fresh_rounds: AtomicU64,
+    completions: AtomicU64,
+}
+
+/// The engine-side template: builds per-round schedules with the policy's
+/// candidate set and implements snapshot/complete against the shared
+/// buffers.
+struct PartialTemplate {
+    shared: Arc<Shared>,
+    rank: Rank,
+    p: usize,
+    op: ReduceOp,
+    policy: QuorumPolicy,
+    seed: u64,
+    coll: CollId,
+}
+
+impl CollectiveTemplate for PartialTemplate {
+    fn build(&self, round: u64) -> Schedule {
+        let mode = self.policy.mode(self.seed, self.coll, round, self.p);
+        allreduce_schedule(self.rank, self.p, self.op, &mode)
+    }
+
+    fn snapshot(&self, round: u64) -> Option<TypedBuf> {
+        let mut send = self.shared.send.lock();
+        let data = std::mem::replace(
+            &mut send.data,
+            TypedBuf::zeros(self.shared.dtype, self.shared.len),
+        );
+        let fresh = send.last_deposit_round == Some(round);
+        send.last_deposit_round = None;
+        drop(send);
+        if fresh {
+            self.shared.fresh_rounds.fetch_add(1, Ordering::Relaxed);
+        }
+        if self.shared.opts.trace {
+            self.shared.traces.lock().insert(
+                round,
+                RoundTrace {
+                    round,
+                    fresh,
+                    null: data.is_null(),
+                },
+            );
+        }
+        Some(data)
+    }
+
+    fn snapshot_timing(&self, round: u64) -> SnapshotTiming {
+        match self.policy {
+            // Full quorum behaves synchronously: contribution is captured
+            // at internal activation (the deposit made just before).
+            QuorumPolicy::Full => SnapshotTiming::Activation,
+            // Chain candidates gate the round on their own arrival, so
+            // their contribution must be their fresh deposit even if a
+            // chain token created the instance before they arrived.
+            QuorumPolicy::Majority | QuorumPolicy::Chain(_) => {
+                let cands = round_candidates(self.seed, self.coll, round, self.p, match self.policy {
+                    QuorumPolicy::Majority => 1,
+                    QuorumPolicy::Chain(m) => m.max(1),
+                    _ => unreachable!(),
+                });
+                if cands.contains(&self.rank) {
+                    SnapshotTiming::Activation
+                } else {
+                    SnapshotTiming::Creation
+                }
+            }
+            // Race candidates can be dragged in externally before they
+            // arrive; their slot must be filled at creation.
+            QuorumPolicy::Solo | QuorumPolicy::FirstOf(_) => SnapshotTiming::Creation,
+        }
+    }
+
+    fn complete(&self, round: u64, result: Option<TypedBuf>) {
+        let mut data = result.expect("allreduce completion carries data");
+        if let Some(s) = self.shared.opts.scale {
+            data.scale(s);
+        }
+        self.shared.completions.fetch_add(1, Ordering::Relaxed);
+        let mut recv = self.shared.recv.lock();
+        // Latest-wins: never let an out-of-order old round overwrite a
+        // newer result.
+        if recv.latest_round.is_none_or(|l| round > l) {
+            recv.latest_round = Some(round);
+            recv.data = data;
+        }
+        drop(recv);
+        self.shared.cv.notify_all();
+    }
+}
+
+/// Application handle for one partial allreduce collective on one rank.
+///
+/// Not `Sync`: one owner (the training thread) advances rounds.
+pub struct PartialAllreduce {
+    shared: Arc<Shared>,
+    engine: Engine,
+    coll: CollId,
+    next_round: u64,
+    policy: QuorumPolicy,
+    seed: u64,
+    p: usize,
+}
+
+impl PartialAllreduce {
+    /// Register a partial allreduce with the given engine. Must be called
+    /// in the same order on all ranks (SPMD); prefer
+    /// [`crate::RankCtx::partial_allreduce`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn register(
+        engine: &Engine,
+        coll: CollId,
+        rank: Rank,
+        p: usize,
+        seed: u64,
+        dtype: DType,
+        len: usize,
+        op: ReduceOp,
+        policy: QuorumPolicy,
+        opts: PartialOpts,
+    ) -> Self {
+        require_power_of_two(p);
+        let shared = Arc::new(Shared {
+            dtype,
+            len,
+            opts,
+            send: Mutex::new(SendBuf {
+                data: TypedBuf::zeros(dtype, len),
+                last_deposit_round: None,
+            }),
+            recv: Mutex::new(RecvBuf {
+                latest_round: None,
+                data: TypedBuf::zeros(dtype, len),
+            }),
+            cv: Condvar::new(),
+            traces: Mutex::new(HashMap::new()),
+            missed_rounds: AtomicU64::new(0),
+            fresh_rounds: AtomicU64::new(0),
+            completions: AtomicU64::new(0),
+        });
+        engine.register(
+            coll,
+            Box::new(PartialTemplate {
+                shared: Arc::clone(&shared),
+                rank,
+                p,
+                op,
+                policy,
+                seed,
+                coll,
+            }),
+        );
+        PartialAllreduce {
+            shared,
+            engine: engine.clone(),
+            coll,
+            next_round: 0,
+            policy,
+            seed,
+            p,
+        }
+    }
+
+    /// The initiator-candidate ranks of `round` under this policy (all
+    /// ranks for solo, the chain/race set otherwise; every rank for full).
+    pub fn candidates(&self, round: u64) -> Vec<Rank> {
+        match self.policy {
+            QuorumPolicy::Solo | QuorumPolicy::Full => (0..self.p).collect(),
+            QuorumPolicy::Majority => round_candidates(self.seed, self.coll, round, self.p, 1),
+            QuorumPolicy::FirstOf(m) | QuorumPolicy::Chain(m) => {
+                round_candidates(self.seed, self.coll, round, self.p, m.max(1))
+            }
+        }
+    }
+
+    /// Perform one eager round: deposit `contrib`, trigger (or join) the
+    /// round, and return as soon as a result for this round *or any newer
+    /// round* is available.
+    ///
+    /// Fig. 7 in one method: if this rank is fast it initiates (or waits
+    /// for the designated initiator, per policy) and its fresh gradient is
+    /// included; if it is slow, the round already completed with its
+    /// stale/null contribution, the call returns immediately with the
+    /// latest result, and `contrib` stays in the send buffer for the next
+    /// round.
+    pub fn allreduce(&mut self, contrib: &TypedBuf) -> AllreduceOutcome {
+        assert_eq!(contrib.dtype(), self.shared.dtype, "contribution dtype");
+        assert_eq!(contrib.len(), self.shared.len, "contribution length");
+        let round = self.next_round;
+        self.next_round += 1;
+
+        {
+            let mut send = self.shared.send.lock();
+            match self.shared.opts.stale_mode {
+                StaleMode::Accumulate => {
+                    send.data
+                        .combine(contrib, ReduceOp::Sum)
+                        .expect("deposit shape checked above");
+                }
+                StaleMode::Replace => {
+                    send.data = contrib.clone();
+                }
+            }
+            send.last_deposit_round = Some(round);
+        }
+        self.engine.activate(self.coll, round);
+        self.wait_for(round)
+    }
+
+    /// Wait until a result for `round` or newer is available.
+    fn wait_for(&self, round: u64) -> AllreduceOutcome {
+        let deadline = std::time::Instant::now() + self.shared.opts.wait_timeout;
+        let mut recv = self.shared.recv.lock();
+        loop {
+            if let Some(latest) = recv.latest_round {
+                if latest >= round {
+                    if latest > round {
+                        self.shared.missed_rounds.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return AllreduceOutcome {
+                        data: recv.data.clone(),
+                        requested_round: round,
+                        result_round: latest,
+                    };
+                }
+            }
+            let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+            if timeout.is_zero() {
+                panic!(
+                    "partial allreduce {:?} round {round} timed out after {:?} \
+                     (latest completed: {:?})",
+                    self.coll, self.shared.opts.wait_timeout, recv.latest_round
+                );
+            }
+            self.shared.cv.wait_for(&mut recv, timeout);
+        }
+    }
+
+    /// Rounds executed so far on this rank.
+    pub fn rounds(&self) -> u64 {
+        self.next_round
+    }
+
+    /// Per-round participation traces (sorted by round).
+    pub fn traces(&self) -> Vec<RoundTrace> {
+        let mut v: Vec<RoundTrace> = self.shared.traces.lock().values().copied().collect();
+        v.sort_by_key(|t| t.round);
+        v
+    }
+
+    /// (fresh-contribution rounds, rounds whose requested result was
+    /// superseded, completions observed).
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.shared.fresh_rounds.load(Ordering::Relaxed),
+            self.shared.missed_rounds.load(Ordering::Relaxed),
+            self.shared.completions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::RankCtx;
+    use pcoll_comm::{World, WorldConfig};
+
+    fn f32s(v: &[f32]) -> TypedBuf {
+        TypedBuf::from(v.to_vec())
+    }
+
+    #[test]
+    fn chain_of_all_ranks_gives_deterministic_full_sum() {
+        // With every rank on the initiator chain, the round starts only
+        // after everyone arrived, so every contribution is provably fresh
+        // and the sums are exact — this pins down the data-phase math.
+        let p = 8;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.partial_allreduce(
+                DType::F32,
+                4,
+                ReduceOp::Sum,
+                QuorumPolicy::Chain(p),
+                PartialOpts::default(),
+            );
+            let me = ctx.rank() as f32;
+            let mut sums = Vec::new();
+            for r in 0..5u64 {
+                let out = ar.allreduce(&f32s(&[me + r as f32; 4]));
+                sums.push(out.data.as_f32().unwrap()[0]);
+            }
+            ctx.finalize();
+            sums
+        });
+        // Σ over ranks of (rank + r): 28 + 8r for p=8.
+        for sums in out {
+            for (r, s) in sums.iter().enumerate() {
+                assert_eq!(*s, 28.0 + 8.0 * r as f32, "round {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn solo_slow_ranks_contribute_null_then_stale() {
+        // Rank 0 is the only prompt rank in round 0; ranks 1..3 sleep.
+        // Round 0 therefore completes with only rank 0's gradient, and the
+        // sleepers' deposits ride into round 1 as stale data (Fig. 7).
+        let p = 4;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.partial_allreduce(
+                DType::F32,
+                1,
+                ReduceOp::Sum,
+                QuorumPolicy::Solo,
+                PartialOpts::default(),
+            );
+            if ctx.rank() != 0 {
+                std::thread::sleep(Duration::from_millis(300));
+            }
+            let r0 = ar.allreduce(&f32s(&[1.0]));
+            // Message barrier: all round-0 business settles.
+            ctx.barrier();
+            let r1 = ar.allreduce(&f32s(&[1.0]));
+            ctx.barrier();
+            ctx.finalize();
+            (
+                r0.data.as_f32().unwrap()[0],
+                r1.data.as_f32().unwrap()[0],
+                ar.traces(),
+            )
+        });
+        for r in 0..p {
+            // Round 0: only rank 0 was awake.
+            assert_eq!(out[r].0, 1.0, "rank {r} round 0 sum");
+            // Round 1: three stale + at least the initiator's fresh
+            // deposit; at most all four fresh ⇒ sum in [4, 7].
+            assert!(
+                (4.0..=7.0).contains(&out[r].1),
+                "rank {r} round 1 sum {} outside [4,7]",
+                out[r].1
+            );
+        }
+        // Sleepers' round-0 snapshots were null; rank 0's was fresh.
+        for r in 1..p {
+            let t = &out[r].2;
+            assert!(t.iter().any(|t| t.round == 0 && t.null),
+                "rank {r} round-0 contribution must be G_null, traces {t:?}");
+        }
+        assert!(out[0].2.iter().any(|t| t.round == 0 && t.fresh));
+    }
+
+    #[test]
+    fn majority_waits_for_designated_initiator() {
+        // With the initiator forced slow, majority completes only after it
+        // arrives, so everyone's fresh gradient is included.
+        let p = 4;
+        let seed = 11;
+        let out = World::launch(
+            WorldConfig::instant(p).with_seed(seed),
+            move |c| {
+                let ctx = RankCtx::new(c);
+                let mut ar = ctx.partial_allreduce(
+                    DType::F32,
+                    1,
+                    ReduceOp::Sum,
+                    QuorumPolicy::Majority,
+                    PartialOpts::default(),
+                );
+                // The designated initiator of round 0 sleeps; all other
+                // ranks deposit fresh data before it arrives.
+                let init = ar.candidates(0)[0];
+                if ctx.rank() == init {
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                let r0 = ar.allreduce(&f32s(&[1.0]));
+                ctx.barrier();
+                ctx.finalize();
+                r0.data.as_f32().unwrap()[0]
+            },
+        );
+        for (r, v) in out.iter().enumerate() {
+            assert_eq!(*v, 4.0, "rank {r}: majority must include every fresh deposit");
+        }
+    }
+
+    #[test]
+    fn scaling_averages_result() {
+        let p = 4;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.partial_allreduce(
+                DType::F32,
+                1,
+                ReduceOp::Sum,
+                QuorumPolicy::Full,
+                PartialOpts {
+                    scale: Some(1.0 / p as f64),
+                    ..PartialOpts::default()
+                },
+            );
+            let out = ar.allreduce(&f32s(&[8.0]));
+            ctx.finalize();
+            out.data.as_f32().unwrap()[0]
+        });
+        assert_eq!(out, vec![8.0; 4]);
+    }
+
+    #[test]
+    fn full_policy_includes_everyone_despite_skew() {
+        let p = 8;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.partial_allreduce(
+                DType::F32,
+                1,
+                ReduceOp::Sum,
+                QuorumPolicy::Full,
+                PartialOpts::default(),
+            );
+            for _ in 0..3 {
+                std::thread::sleep(Duration::from_millis(7 * ctx.rank() as u64));
+                let out = ar.allreduce(&f32s(&[1.0]));
+                assert_eq!(
+                    out.data.as_f32().unwrap()[0],
+                    p as f32,
+                    "full quorum always sums all fresh contributions"
+                );
+            }
+            ctx.finalize();
+            true
+        });
+        assert_eq!(out, vec![true; 8]);
+    }
+
+    #[test]
+    fn results_are_bitwise_identical_across_ranks() {
+        // Recursive doubling's pairwise exchanges make the reduction order
+        // commute identically on every rank — results must match bitwise.
+        let p = 16;
+        let n = 257;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.partial_allreduce(
+                DType::F32,
+                n,
+                ReduceOp::Sum,
+                QuorumPolicy::Full,
+                PartialOpts::default(),
+            );
+            let me = ctx.rank();
+            let contrib: Vec<f32> = (0..n)
+                .map(|i| ((me * 31 + i) as f32 * 0.1).sin())
+                .collect();
+            let out = ar.allreduce(&TypedBuf::from(contrib));
+            ctx.finalize();
+            out.data.as_f32().unwrap().to_vec()
+        });
+        for r in 1..p {
+            assert_eq!(out[0], out[r], "rank {r} differs from rank 0");
+        }
+    }
+
+    #[test]
+    fn min_and_max_reductions_work() {
+        let p = 4;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut lo = ctx.partial_allreduce(
+                DType::I64,
+                2,
+                ReduceOp::Min,
+                QuorumPolicy::Full,
+                PartialOpts::default(),
+            );
+            let mut hi = ctx.partial_allreduce(
+                DType::I64,
+                2,
+                ReduceOp::Max,
+                QuorumPolicy::Full,
+                PartialOpts::default(),
+            );
+            let me = ctx.rank() as i64;
+            let a = lo.allreduce(&TypedBuf::from(vec![me, -me]));
+            let b = hi.allreduce(&TypedBuf::from(vec![me, -me]));
+            ctx.finalize();
+            (
+                a.data.as_i64().unwrap().to_vec(),
+                b.data.as_i64().unwrap().to_vec(),
+            )
+        });
+        for (lo, hi) in out {
+            assert_eq!(lo, vec![0, -3]);
+            assert_eq!(hi, vec![3, 0]);
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Typed message buffers and elementwise reduction kernels.
+//!
+//! The collective engine is dtype-generic in the way MPI is: a buffer is a
+//! vector of one of the basic types, and reductions ([`ReduceOp`]) combine
+//! two buffers of identical dtype and length elementwise. The `f32` path is
+//! the hot one (gradients); the loops below are written so the compiler can
+//! auto-vectorize them (no bounds checks in the hot loop thanks to
+//! `zip`-style iteration).
+
+use serde::{Deserialize, Serialize};
+
+/// Element type of a [`TypedBuf`], mirroring the MPI basic types the paper's
+/// schedule operations are defined over (a practical subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    F32,
+    F64,
+    I32,
+    I64,
+}
+
+impl DType {
+    /// Size of one element in bytes.
+    #[inline]
+    pub fn size_of(self) -> usize {
+        match self {
+            DType::F32 | DType::I32 => 4,
+            DType::F64 | DType::I64 => 8,
+        }
+    }
+}
+
+/// Reduction operator for [`TypedBuf::combine`]; the same set MPI predefines
+/// for arithmetic reductions (the subset used by the paper's collectives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    Sum,
+    Prod,
+    Min,
+    Max,
+}
+
+/// Errors arising from buffer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BufError {
+    /// Two buffers that must agree in dtype do not.
+    DTypeMismatch { expected: DType, got: DType },
+    /// Two buffers that must agree in length do not.
+    LenMismatch { expected: usize, got: usize },
+}
+
+impl std::fmt::Display for BufError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BufError::DTypeMismatch { expected, got } => {
+                write!(f, "dtype mismatch: expected {expected:?}, got {got:?}")
+            }
+            BufError::LenMismatch { expected, got } => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BufError {}
+
+/// A dense, typed, owned message buffer.
+///
+/// `TypedBuf` is the unit of data every schedule operation manipulates: send
+/// payloads, receive slots, and reduction operands. Moving a `TypedBuf` is
+/// cheap (a `Vec` move), which is what makes "receive straight into the
+/// instance arena" zero-copy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TypedBuf {
+    F32(Vec<f32>),
+    F64(Vec<f64>),
+    I32(Vec<i32>),
+    I64(Vec<i64>),
+}
+
+macro_rules! elementwise {
+    ($dst:expr, $src:expr, $op:expr) => {{
+        debug_assert_eq!($dst.len(), $src.len());
+        match $op {
+            ReduceOp::Sum => {
+                for (d, s) in $dst.iter_mut().zip($src.iter()) {
+                    *d = *d + *s;
+                }
+            }
+            ReduceOp::Prod => {
+                for (d, s) in $dst.iter_mut().zip($src.iter()) {
+                    *d = *d * *s;
+                }
+            }
+            ReduceOp::Min => {
+                for (d, s) in $dst.iter_mut().zip($src.iter()) {
+                    if *s < *d {
+                        *d = *s;
+                    }
+                }
+            }
+            ReduceOp::Max => {
+                for (d, s) in $dst.iter_mut().zip($src.iter()) {
+                    if *s > *d {
+                        *d = *s;
+                    }
+                }
+            }
+        }
+    }};
+}
+
+impl TypedBuf {
+    /// An all-zeros buffer of the given dtype and length — the "null
+    /// gradient" (G_null) absent ranks contribute in a partial collective.
+    pub fn zeros(dtype: DType, len: usize) -> Self {
+        match dtype {
+            DType::F32 => TypedBuf::F32(vec![0.0; len]),
+            DType::F64 => TypedBuf::F64(vec![0.0; len]),
+            DType::I32 => TypedBuf::I32(vec![0; len]),
+            DType::I64 => TypedBuf::I64(vec![0; len]),
+        }
+    }
+
+    /// A zero buffer with the same shape as `self`.
+    pub fn zeros_like(&self) -> Self {
+        Self::zeros(self.dtype(), self.len())
+    }
+
+    /// The buffer's element type.
+    #[inline]
+    pub fn dtype(&self) -> DType {
+        match self {
+            TypedBuf::F32(_) => DType::F32,
+            TypedBuf::F64(_) => DType::F64,
+            TypedBuf::I32(_) => DType::I32,
+            TypedBuf::I64(_) => DType::I64,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            TypedBuf::F32(v) => v.len(),
+            TypedBuf::F64(v) => v.len(),
+            TypedBuf::I32(v) => v.len(),
+            TypedBuf::I64(v) => v.len(),
+        }
+    }
+
+    /// True if the buffer holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Payload size in bytes (what the network model charges for).
+    #[inline]
+    pub fn byte_len(&self) -> usize {
+        self.len() * self.dtype().size_of()
+    }
+
+    /// Elementwise `self = self ⊕ other` under `op`.
+    ///
+    /// This is the `Compute` operation of the schedule DAG (§4.1.1: "simple
+    /// computations defined between two arrays of data items").
+    pub fn combine(&mut self, other: &TypedBuf, op: ReduceOp) -> Result<(), BufError> {
+        if self.dtype() != other.dtype() {
+            return Err(BufError::DTypeMismatch {
+                expected: self.dtype(),
+                got: other.dtype(),
+            });
+        }
+        if self.len() != other.len() {
+            return Err(BufError::LenMismatch {
+                expected: self.len(),
+                got: other.len(),
+            });
+        }
+        match (self, other) {
+            (TypedBuf::F32(d), TypedBuf::F32(s)) => elementwise!(d, s, op),
+            (TypedBuf::F64(d), TypedBuf::F64(s)) => elementwise!(d, s, op),
+            (TypedBuf::I32(d), TypedBuf::I32(s)) => elementwise!(d, s, op),
+            (TypedBuf::I64(d), TypedBuf::I64(s)) => elementwise!(d, s, op),
+            _ => unreachable!("dtype equality checked above"),
+        }
+        Ok(())
+    }
+
+    /// Multiply every element by `factor` (used for the `1/P` averaging in
+    /// Algorithm 2 line 6). Integer buffers round toward zero.
+    pub fn scale(&mut self, factor: f64) {
+        match self {
+            TypedBuf::F32(v) => {
+                let f = factor as f32;
+                for x in v.iter_mut() {
+                    *x *= f;
+                }
+            }
+            TypedBuf::F64(v) => {
+                for x in v.iter_mut() {
+                    *x *= factor;
+                }
+            }
+            TypedBuf::I32(v) => {
+                for x in v.iter_mut() {
+                    *x = (*x as f64 * factor) as i32;
+                }
+            }
+            TypedBuf::I64(v) => {
+                for x in v.iter_mut() {
+                    *x = (*x as f64 * factor) as i64;
+                }
+            }
+        }
+    }
+
+    /// Set every element to zero, keeping the allocation (send-buffer reset
+    /// to G_null after a contribution is consumed, Fig. 7).
+    pub fn clear(&mut self) {
+        match self {
+            TypedBuf::F32(v) => v.iter_mut().for_each(|x| *x = 0.0),
+            TypedBuf::F64(v) => v.iter_mut().for_each(|x| *x = 0.0),
+            TypedBuf::I32(v) => v.iter_mut().for_each(|x| *x = 0),
+            TypedBuf::I64(v) => v.iter_mut().for_each(|x| *x = 0),
+        }
+    }
+
+    /// View as `&[f32]`, if that is the dtype.
+    pub fn as_f32(&self) -> Option<&[f32]> {
+        match self {
+            TypedBuf::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutable view as `&mut [f32]`, if that is the dtype.
+    pub fn as_f32_mut(&mut self) -> Option<&mut [f32]> {
+        match self {
+            TypedBuf::F32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// View as `&[f64]`, if that is the dtype.
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match self {
+            TypedBuf::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// View as `&[i32]`, if that is the dtype.
+    pub fn as_i32(&self) -> Option<&[i32]> {
+        match self {
+            TypedBuf::I32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// View as `&[i64]`, if that is the dtype.
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match self {
+            TypedBuf::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// True if every element is exactly zero (a null contribution).
+    pub fn is_null(&self) -> bool {
+        match self {
+            TypedBuf::F32(v) => v.iter().all(|x| *x == 0.0),
+            TypedBuf::F64(v) => v.iter().all(|x| *x == 0.0),
+            TypedBuf::I32(v) => v.iter().all(|x| *x == 0),
+            TypedBuf::I64(v) => v.iter().all(|x| *x == 0),
+        }
+    }
+}
+
+impl From<Vec<f32>> for TypedBuf {
+    fn from(v: Vec<f32>) -> Self {
+        TypedBuf::F32(v)
+    }
+}
+
+impl From<Vec<f64>> for TypedBuf {
+    fn from(v: Vec<f64>) -> Self {
+        TypedBuf::F64(v)
+    }
+}
+
+impl From<Vec<i32>> for TypedBuf {
+    fn from(v: Vec<i32>) -> Self {
+        TypedBuf::I32(v)
+    }
+}
+
+impl From<Vec<i64>> for TypedBuf {
+    fn from(v: Vec<i64>) -> Self {
+        TypedBuf::I64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_right_shape() {
+        let b = TypedBuf::zeros(DType::F32, 7);
+        assert_eq!(b.dtype(), DType::F32);
+        assert_eq!(b.len(), 7);
+        assert_eq!(b.byte_len(), 28);
+        assert!(b.is_null());
+    }
+
+    #[test]
+    fn combine_sum_f32() {
+        let mut a = TypedBuf::from(vec![1.0f32, 2.0, 3.0]);
+        let b = TypedBuf::from(vec![10.0f32, 20.0, 30.0]);
+        a.combine(&b, ReduceOp::Sum).unwrap();
+        assert_eq!(a.as_f32().unwrap(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn combine_min_max_i64() {
+        let mut a = TypedBuf::from(vec![1i64, 5, -3]);
+        let b = TypedBuf::from(vec![2i64, 4, -7]);
+        let mut a2 = a.clone();
+        a.combine(&b, ReduceOp::Min).unwrap();
+        assert_eq!(a.as_i64().unwrap(), &[1, 4, -7]);
+        a2.combine(&b, ReduceOp::Max).unwrap();
+        assert_eq!(a2.as_i64().unwrap(), &[2, 5, -3]);
+    }
+
+    #[test]
+    fn combine_prod_f64() {
+        let mut a = TypedBuf::from(vec![2.0f64, 3.0]);
+        let b = TypedBuf::from(vec![4.0f64, 5.0]);
+        a.combine(&b, ReduceOp::Prod).unwrap();
+        assert_eq!(a.as_f64().unwrap(), &[8.0, 15.0]);
+    }
+
+    #[test]
+    fn combine_rejects_mismatched_dtype() {
+        let mut a = TypedBuf::from(vec![1.0f32]);
+        let b = TypedBuf::from(vec![1.0f64]);
+        assert!(matches!(
+            a.combine(&b, ReduceOp::Sum),
+            Err(BufError::DTypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn combine_rejects_mismatched_len() {
+        let mut a = TypedBuf::from(vec![1.0f32, 2.0]);
+        let b = TypedBuf::from(vec![1.0f32]);
+        assert!(matches!(
+            a.combine(&b, ReduceOp::Sum),
+            Err(BufError::LenMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn scale_averages() {
+        let mut a = TypedBuf::from(vec![8.0f32, 4.0]);
+        a.scale(0.25);
+        assert_eq!(a.as_f32().unwrap(), &[2.0, 1.0]);
+    }
+
+    #[test]
+    fn clear_keeps_len() {
+        let mut a = TypedBuf::from(vec![8.0f32, 4.0]);
+        a.clear();
+        assert_eq!(a.len(), 2);
+        assert!(a.is_null());
+    }
+
+    #[test]
+    fn scale_integer_truncates() {
+        let mut a = TypedBuf::from(vec![7i32, -7]);
+        a.scale(0.5);
+        assert_eq!(a.as_i32().unwrap(), &[3, -3]);
+    }
+}

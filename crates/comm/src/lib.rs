@@ -1,0 +1,34 @@
+//! # pcoll-comm — in-process message-passing substrate
+//!
+//! This crate provides the communication layer that the partial-collective
+//! engine (`pcoll-sched`, `pcoll`) is built on. It plays the role that
+//! Cray MPICH played in the paper: reliable, tagged, point-to-point message
+//! delivery between `P` ranks.
+//!
+//! Ranks are OS threads inside one process (see [`World::launch`]); a real
+//! network transport could be slotted in behind the same [`CommHandle`] /
+//! [`Inbox`] API. A configurable [`NetworkModel`] injects per-message
+//! latency (`alpha + bytes * beta + jitter`) through a dedicated delivery
+//! thread, preserving per-(src, dst) FIFO ordering (the MPI non-overtaking
+//! rule).
+//!
+//! Design notes:
+//! - Buffers are **typed** ([`TypedBuf`]) rather than raw bytes: reductions
+//!   dispatch on dtype with no `unsafe`.
+//! - Messages are matched downstream on [`WireTag`] = (collective id, round,
+//!   semantic tag); this crate only transports them.
+//! - The [`Matcher`] offers blocking point-to-point receive for direct use
+//!   (tests, simple algorithms); the schedule engine instead takes the raw
+//!   [`Inbox`] and performs its own matching.
+
+pub mod buf;
+pub mod matcher;
+pub mod net;
+pub mod tag;
+pub mod world;
+
+pub use buf::{BufError, DType, ReduceOp, TypedBuf};
+pub use matcher::Matcher;
+pub use net::NetworkModel;
+pub use tag::{CollId, Message, Rank, WireTag};
+pub use world::{CommHandle, Communicator, Envelope, Inbox, World, WorldConfig};

@@ -1,0 +1,190 @@
+//! Blocking point-to-point matching on top of an [`Inbox`].
+//!
+//! The schedule engine does its own matching; `Matcher` exists for direct
+//! point-to-point use — unit tests, simple coordination protocols (the
+//! Horovod-style negotiation baseline), and examples that want MPI-flavoured
+//! `recv(src, tag)` semantics without standing up the engine.
+
+use crate::tag::{Message, Rank, WireTag};
+use crate::world::{Envelope, Inbox};
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// Wraps an [`Inbox`] with an unexpected-message queue so receives can be
+/// posted in any order relative to arrivals.
+pub struct Matcher {
+    inbox: Inbox,
+    /// Messages that arrived before a matching receive was posted.
+    unexpected: HashMap<(Rank, WireTag), VecDeque<Message>>,
+    shutdown_seen: bool,
+}
+
+impl Matcher {
+    pub fn new(inbox: Inbox) -> Self {
+        Matcher {
+            inbox,
+            unexpected: HashMap::new(),
+            shutdown_seen: false,
+        }
+    }
+
+    /// True once a shutdown envelope has been drained.
+    pub fn shutdown_seen(&self) -> bool {
+        self.shutdown_seen
+    }
+
+    /// Blocking receive of the message matching `(src, tag)` exactly.
+    /// Returns `None` if the world is tearing down instead.
+    pub fn recv(&mut self, src: Rank, tag: WireTag) -> Option<Message> {
+        if let Some(q) = self.unexpected.get_mut(&(src, tag)) {
+            if let Some(m) = q.pop_front() {
+                return Some(m);
+            }
+        }
+        loop {
+            match self.inbox.recv()? {
+                Envelope::Data(m) => {
+                    if m.src == src && m.tag == tag {
+                        return Some(m);
+                    }
+                    self.unexpected
+                        .entry((m.src, m.tag))
+                        .or_default()
+                        .push_back(m);
+                }
+                Envelope::Shutdown => {
+                    self.shutdown_seen = true;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Like [`Matcher::recv`] but gives up after `timeout`.
+    pub fn recv_timeout(&mut self, src: Rank, tag: WireTag, timeout: Duration) -> Option<Message> {
+        if let Some(q) = self.unexpected.get_mut(&(src, tag)) {
+            if let Some(m) = q.pop_front() {
+                return Some(m);
+            }
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            match self.inbox.recv_timeout(left)? {
+                Envelope::Data(m) => {
+                    if m.src == src && m.tag == tag {
+                        return Some(m);
+                    }
+                    self.unexpected
+                        .entry((m.src, m.tag))
+                        .or_default()
+                        .push_back(m);
+                }
+                Envelope::Shutdown => {
+                    self.shutdown_seen = true;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Receive from any source with the given tag (MPI_ANY_SOURCE flavour).
+    pub fn recv_any(&mut self, tag: WireTag) -> Option<Message> {
+        for ((_, t), q) in self.unexpected.iter_mut() {
+            if *t == tag {
+                if let Some(m) = q.pop_front() {
+                    return Some(m);
+                }
+            }
+        }
+        loop {
+            match self.inbox.recv()? {
+                Envelope::Data(m) => {
+                    if m.tag == tag {
+                        return Some(m);
+                    }
+                    self.unexpected
+                        .entry((m.src, m.tag))
+                        .or_default()
+                        .push_back(m);
+                }
+                Envelope::Shutdown => {
+                    self.shutdown_seen = true;
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Number of buffered unexpected messages (introspection for tests).
+    pub fn unexpected_len(&self) -> usize {
+        self.unexpected.values().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::CollId;
+    use crate::world::{World, WorldConfig};
+    use crate::TypedBuf;
+
+    fn tag(sem: u32) -> WireTag {
+        WireTag::new(CollId(1), 0, sem)
+    }
+
+    #[test]
+    fn out_of_order_receive_matches() {
+        World::launch(WorldConfig::instant(2), |c| {
+            let me = c.rank();
+            let peer = 1 - me;
+            let (h, inbox) = c.split();
+            let mut m = Matcher::new(inbox);
+            // Both send two differently-tagged messages, then receive in
+            // the opposite order from how they will likely arrive.
+            h.send(peer, tag(0), Some(TypedBuf::from(vec![0i32])));
+            h.send(peer, tag(1), Some(TypedBuf::from(vec![1i32])));
+            let b = m.recv(peer, tag(1)).unwrap();
+            let a = m.recv(peer, tag(0)).unwrap();
+            assert_eq!(a.payload.unwrap().as_i32().unwrap(), &[0]);
+            assert_eq!(b.payload.unwrap().as_i32().unwrap(), &[1]);
+        });
+    }
+
+    #[test]
+    fn recv_any_source() {
+        World::launch(WorldConfig::instant(4), |c| {
+            let me = c.rank();
+            let (h, inbox) = c.split();
+            let mut m = Matcher::new(inbox);
+            if me == 0 {
+                let mut seen = Vec::new();
+                for _ in 0..3 {
+                    let msg = m.recv_any(tag(5)).unwrap();
+                    seen.push(msg.src);
+                }
+                seen.sort_unstable();
+                assert_eq!(seen, vec![1, 2, 3]);
+            } else {
+                h.send(0, tag(5), None);
+            }
+        });
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        World::launch(WorldConfig::instant(2), |c| {
+            let me = c.rank();
+            let peer = 1 - me;
+            let (_h, inbox) = c.split();
+            let mut m = Matcher::new(inbox);
+            // Nothing was sent on tag 9: must time out quickly.
+            assert!(m
+                .recv_timeout(peer, tag(9), Duration::from_millis(30))
+                .is_none());
+        });
+    }
+}

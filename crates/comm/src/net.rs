@@ -1,0 +1,284 @@
+//! Network latency model and the delivery thread.
+//!
+//! Messages optionally pass through a single "network" thread that holds
+//! them until their modeled delivery time: `alpha + wire_bytes * beta +
+//! jitter`. Delivery preserves FIFO per (src, dst) pair — the MPI
+//! non-overtaking rule — by clamping each message's delivery time to be no
+//! earlier than the previous message on the same pair.
+//!
+//! With [`NetworkModel::Instant`] the delivery thread is bypassed entirely
+//! and senders push straight into destination mailboxes (lowest overhead;
+//! the default for unit tests).
+
+use crate::tag::{Message, Rank};
+use crate::world::Envelope;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::{Duration, Instant};
+
+/// Latency model applied to every message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NetworkModel {
+    /// Zero modeled latency; direct handoff to the destination mailbox.
+    Instant,
+    /// First-order alpha-beta (LogP-flavoured) model with uniform jitter.
+    AlphaBeta {
+        /// Per-message base latency.
+        alpha: Duration,
+        /// Transfer cost in nanoseconds per wire byte (1/bandwidth).
+        beta_ns_per_byte: f64,
+        /// Uniform random extra delay in `[0, jitter]` (system noise, §1).
+        jitter: Duration,
+    },
+}
+
+impl NetworkModel {
+    /// An HPC-interconnect-flavoured model (µs-scale alpha, ~10 GiB/s).
+    pub fn hpc() -> Self {
+        NetworkModel::AlphaBeta {
+            alpha: Duration::from_micros(25),
+            beta_ns_per_byte: 0.1,
+            jitter: Duration::from_micros(5),
+        }
+    }
+
+    /// A cloud-Ethernet-flavoured model (higher alpha, ~1 GiB/s, jittery).
+    pub fn cloud() -> Self {
+        NetworkModel::AlphaBeta {
+            alpha: Duration::from_micros(150),
+            beta_ns_per_byte: 1.0,
+            jitter: Duration::from_micros(100),
+        }
+    }
+
+    /// Latency charged to a message of `bytes` wire bytes, excluding jitter.
+    pub fn base_latency(&self, bytes: usize) -> Duration {
+        match self {
+            NetworkModel::Instant => Duration::ZERO,
+            NetworkModel::AlphaBeta {
+                alpha,
+                beta_ns_per_byte,
+                ..
+            } => *alpha + Duration::from_nanos((bytes as f64 * beta_ns_per_byte) as u64),
+        }
+    }
+
+    fn jitter(&self) -> Duration {
+        match self {
+            NetworkModel::Instant => Duration::ZERO,
+            NetworkModel::AlphaBeta { jitter, .. } => *jitter,
+        }
+    }
+}
+
+/// A message in flight, ordered by delivery deadline (then by sequence
+/// number so the heap is a stable queue).
+struct InFlight {
+    due: Instant,
+    seq: u64,
+    dst: Rank,
+    msg: Message,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+pub(crate) enum NetCmd {
+    Send { dst: Rank, msg: Message },
+    Shutdown,
+}
+
+/// Runs the delivery loop: accept sends, hold them until due, release to
+/// destination mailboxes. A deterministic xorshift PRNG provides jitter
+/// (avoids pulling `rand` into the lowest layer).
+pub(crate) fn delivery_loop(
+    model: NetworkModel,
+    rx: Receiver<NetCmd>,
+    mailboxes: Vec<Sender<Envelope>>,
+    seed: u64,
+) {
+    let mut heap: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    // Last scheduled delivery per (src, dst) to enforce non-overtaking.
+    let mut last_due: HashMap<(Rank, Rank), Instant> = HashMap::new();
+    let mut rng_state = seed | 1;
+    let mut next_jitter = |max: Duration| -> Duration {
+        // xorshift64*
+        rng_state ^= rng_state >> 12;
+        rng_state ^= rng_state << 25;
+        rng_state ^= rng_state >> 27;
+        let r = rng_state.wrapping_mul(0x2545F4914F6CDD1D);
+        let nanos = max.as_nanos() as u64;
+        if nanos == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(r % nanos)
+        }
+    };
+
+    loop {
+        // Release everything that is due.
+        let now = Instant::now();
+        while let Some(Reverse(top)) = heap.peek() {
+            if top.due > now {
+                break;
+            }
+            let Reverse(inflight) = heap.pop().expect("peeked");
+            // A closed mailbox means the rank already finished; the message
+            // is dropped, as a real network drops packets to dead hosts.
+            let _ = mailboxes[inflight.dst].send(Envelope::Data(inflight.msg));
+        }
+
+        // Wait for new work until the next deadline (or indefinitely).
+        let cmd = match heap.peek() {
+            Some(Reverse(top)) => {
+                let timeout = top.due.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(timeout) {
+                    Ok(c) => Some(c),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => return,
+                }
+            }
+            None => match rx.recv() {
+                Ok(c) => Some(c),
+                Err(_) => return,
+            },
+        };
+
+        match cmd {
+            Some(NetCmd::Send { dst, msg }) => {
+                let latency = model.base_latency(msg.wire_bytes()) + next_jitter(model.jitter());
+                let mut due = Instant::now() + latency;
+                let key = (msg.src, dst);
+                if let Some(prev) = last_due.get(&key) {
+                    if *prev > due {
+                        due = *prev;
+                    }
+                }
+                last_due.insert(key, due);
+                heap.push(Reverse(InFlight {
+                    due,
+                    seq,
+                    dst,
+                    msg,
+                }));
+                seq += 1;
+            }
+            Some(NetCmd::Shutdown) => return,
+            None => {} // timeout: loop back and release due messages
+        }
+    }
+}
+
+/// Handle for pushing messages into the delivery thread.
+#[derive(Clone)]
+pub(crate) struct NetHandle {
+    pub(crate) tx: Sender<NetCmd>,
+}
+
+pub(crate) fn spawn_network(
+    model: NetworkModel,
+    mailboxes: Vec<Sender<Envelope>>,
+    seed: u64,
+) -> (NetHandle, std::thread::JoinHandle<()>) {
+    let (tx, rx) = unbounded();
+    let join = std::thread::Builder::new()
+        .name("pcoll-net".into())
+        .spawn(move || delivery_loop(model, rx, mailboxes, seed))
+        .expect("spawn network thread");
+    (NetHandle { tx }, join)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::{CollId, WireTag};
+    use crate::TypedBuf;
+
+    fn msg(src: Rank, sem: u32, val: f32) -> Message {
+        Message {
+            src,
+            tag: WireTag::new(CollId(0), 0, sem),
+            payload: Some(TypedBuf::from(vec![val])),
+        }
+    }
+
+    #[test]
+    fn instant_model_has_zero_latency() {
+        assert_eq!(NetworkModel::Instant.base_latency(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn alpha_beta_latency_grows_with_size() {
+        let m = NetworkModel::hpc();
+        assert!(m.base_latency(1 << 22) > m.base_latency(64));
+    }
+
+    #[test]
+    fn delivery_preserves_pairwise_fifo() {
+        // High jitter would reorder without the non-overtaking clamp.
+        let model = NetworkModel::AlphaBeta {
+            alpha: Duration::from_micros(10),
+            beta_ns_per_byte: 0.0,
+            jitter: Duration::from_millis(2),
+        };
+        let (mb_tx, mb_rx) = unbounded();
+        let (net, join) = spawn_network(model, vec![mb_tx], 42);
+        for i in 0..64 {
+            net.tx
+                .send(NetCmd::Send {
+                    dst: 0,
+                    msg: msg(0, i, i as f32),
+                })
+                .unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..64 {
+            match mb_rx.recv_timeout(Duration::from_secs(5)).unwrap() {
+                Envelope::Data(m) => got.push(m.tag.sem),
+                _ => panic!("unexpected envelope"),
+            }
+        }
+        let want: Vec<u32> = (0..64).collect();
+        assert_eq!(got, want, "same-pair messages must not overtake");
+        net.tx.send(NetCmd::Shutdown).unwrap();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn delivery_delays_at_least_alpha() {
+        let model = NetworkModel::AlphaBeta {
+            alpha: Duration::from_millis(5),
+            beta_ns_per_byte: 0.0,
+            jitter: Duration::ZERO,
+        };
+        let (mb_tx, mb_rx) = unbounded();
+        let (net, join) = spawn_network(model, vec![mb_tx], 1);
+        let t0 = Instant::now();
+        net.tx
+            .send(NetCmd::Send {
+                dst: 0,
+                msg: msg(0, 0, 1.0),
+            })
+            .unwrap();
+        let _ = mb_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(5));
+        net.tx.send(NetCmd::Shutdown).unwrap();
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,72 @@
+//! Message addressing: ranks, collective ids, wire tags.
+
+use crate::buf::TypedBuf;
+use serde::{Deserialize, Serialize};
+
+/// A process index in `0..P`, identical in spirit to an MPI rank.
+pub type Rank = usize;
+
+/// Identifier of a registered (persistent) collective. Each logical
+/// collective call-site — e.g. "the gradient allreduce" or "the model-sync
+/// allreduce" — gets one `CollId`; successive executions are distinguished
+/// by the round number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CollId(pub u32);
+
+/// The full matching key carried by every message.
+///
+/// `sem` is a semantic tag namespace owned by the schedule builders (e.g.
+/// "activation hop at tree level k" vs "data exchange at level k"). A
+/// receive operation matches a message when `(src, coll, round, sem)` all
+/// agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WireTag {
+    pub coll: CollId,
+    pub round: u64,
+    pub sem: u32,
+}
+
+impl WireTag {
+    pub fn new(coll: CollId, round: u64, sem: u32) -> Self {
+        WireTag { coll, round, sem }
+    }
+}
+
+/// A delivered message. `payload == None` is a zero-byte control message
+/// (the activation broadcast of a solo/majority collective is one).
+#[derive(Debug)]
+pub struct Message {
+    pub src: Rank,
+    pub tag: WireTag,
+    pub payload: Option<TypedBuf>,
+}
+
+impl Message {
+    /// Bytes on the wire this message is charged for by the network model.
+    /// Control messages cost a small fixed header.
+    pub fn wire_bytes(&self) -> usize {
+        const HEADER: usize = 32;
+        HEADER + self.payload.as_ref().map_or(0, |p| p.byte_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_bytes_counts_header_and_payload() {
+        let m = Message {
+            src: 0,
+            tag: WireTag::new(CollId(1), 0, 0),
+            payload: None,
+        };
+        assert_eq!(m.wire_bytes(), 32);
+        let m = Message {
+            src: 0,
+            tag: WireTag::new(CollId(1), 0, 0),
+            payload: Some(TypedBuf::zeros(crate::DType::F32, 16)),
+        };
+        assert_eq!(m.wire_bytes(), 32 + 64);
+    }
+}

@@ -1,0 +1,355 @@
+//! The rank world: thread-per-rank launcher and per-rank communicators.
+//!
+//! [`World::launch`] stands in for `mpirun`: it spawns `P` rank threads,
+//! hands each a [`Communicator`], runs the given closure SPMD-style, and
+//! joins all ranks, returning their results. A shared [`NetworkModel`]
+//! governs message latency; a shared seed gives all ranks a common source
+//! of pseudo-randomness (the paper's majority collective relies on all
+//! ranks drawing the same per-round initiator, §4.2).
+
+use crate::net::{spawn_network, NetCmd, NetHandle};
+use crate::tag::{Message, Rank, WireTag};
+use crate::{NetworkModel, TypedBuf};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::{Arc, Barrier};
+
+/// What a rank's mailbox receives.
+#[derive(Debug)]
+pub enum Envelope {
+    /// A delivered message.
+    Data(Message),
+    /// Orderly teardown request for whoever drains this mailbox.
+    Shutdown,
+}
+
+/// Configuration for [`World::launch`].
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Number of ranks (P).
+    pub nranks: usize,
+    /// Latency model every message passes through.
+    pub network: NetworkModel,
+    /// Seed shared by all ranks (consensus randomness, §4.2).
+    pub seed: u64,
+}
+
+impl WorldConfig {
+    /// `P` ranks over an instant network, seed 0 — the unit-test default.
+    pub fn instant(nranks: usize) -> Self {
+        WorldConfig {
+            nranks,
+            network: NetworkModel::Instant,
+            seed: 0,
+        }
+    }
+
+    /// `P` ranks over the HPC-flavoured alpha-beta network.
+    pub fn hpc(nranks: usize) -> Self {
+        WorldConfig {
+            nranks,
+            network: NetworkModel::hpc(),
+            seed: 0,
+        }
+    }
+
+    /// Override the shared seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Cloneable sending half of a rank's communicator.
+///
+/// Sends are non-blocking: the payload is handed to the network (or straight
+/// to the destination mailbox under [`NetworkModel::Instant`]) and the call
+/// returns. Buffer ownership moves with the message — there is no
+/// `MPI_Request` to wait on because there is no shared user buffer.
+#[derive(Clone)]
+pub struct CommHandle {
+    rank: Rank,
+    size: usize,
+    seed: u64,
+    net: Option<NetHandle>,
+    mailboxes: Arc<Vec<Sender<Envelope>>>,
+}
+
+impl CommHandle {
+    /// This rank's index.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size (P).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The world-shared seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Send `payload` to `dst` under `tag`. `None` payload = control
+    /// message (activation). Sending to a finished rank is silently
+    /// dropped, like a packet to a dead host.
+    pub fn send(&self, dst: Rank, tag: WireTag, payload: Option<TypedBuf>) {
+        assert!(dst < self.size, "dst {dst} out of range (P={})", self.size);
+        let msg = Message {
+            src: self.rank,
+            tag,
+            payload,
+        };
+        match &self.net {
+            Some(net) => {
+                let _ = net.tx.send(NetCmd::Send { dst, msg });
+            }
+            None => {
+                let _ = self.mailboxes[dst].send(Envelope::Data(msg));
+            }
+        }
+    }
+
+    /// Ask whoever drains `dst`'s mailbox to shut down (used by the engine
+    /// teardown; app code normally never calls this).
+    pub fn send_shutdown(&self, dst: Rank) {
+        let _ = self.mailboxes[dst].send(Envelope::Shutdown);
+    }
+}
+
+/// Receiving half of a rank's communicator: the raw mailbox.
+pub struct Inbox {
+    rx: Receiver<Envelope>,
+}
+
+impl Inbox {
+    /// Block until the next envelope arrives (or all senders are gone).
+    pub fn recv(&self) -> Option<Envelope> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Block with a timeout.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Envelope> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Expose the underlying channel receiver (the schedule engine selects
+    /// over this plus its command channel).
+    pub fn receiver(&self) -> &Receiver<Envelope> {
+        &self.rx
+    }
+}
+
+/// A rank's full communicator: cloneable send half, exclusive receive half,
+/// and a host-side barrier for harness coordination (the message-based
+/// dissemination barrier lives in the `pcoll` crate).
+pub struct Communicator {
+    handle: CommHandle,
+    inbox: Inbox,
+    host_barrier: Arc<Barrier>,
+}
+
+impl Communicator {
+    /// This rank's index.
+    #[inline]
+    pub fn rank(&self) -> Rank {
+        self.handle.rank
+    }
+
+    /// World size (P).
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.handle.size
+    }
+
+    /// The world-shared seed.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.handle.seed
+    }
+
+    /// Clone the send half.
+    pub fn handle(&self) -> CommHandle {
+        self.handle.clone()
+    }
+
+    /// Send helper (see [`CommHandle::send`]).
+    pub fn send(&self, dst: Rank, tag: WireTag, payload: Option<TypedBuf>) {
+        self.handle.send(dst, tag, payload)
+    }
+
+    /// Split into send and receive halves. The receive half is exclusive:
+    /// after this, matching/draining is the caller's job (typically the
+    /// schedule engine's).
+    pub fn split(self) -> (CommHandle, Inbox) {
+        (self.handle, self.inbox)
+    }
+
+    /// Host-side barrier across all rank threads. This is *not* a modeled
+    /// collective — it is test/bench scaffolding (e.g. "synchronize before
+    /// the next iteration", Fig. 8 line 12, when we want exact alignment
+    /// without touching the system under test).
+    pub fn host_barrier(&self) {
+        self.host_barrier.wait();
+    }
+
+    /// Clone the host-barrier handle (so it survives [`Communicator::split`]).
+    pub fn host_barrier_arc(&self) -> Arc<Barrier> {
+        Arc::clone(&self.host_barrier)
+    }
+
+    /// Borrow the inbox without splitting.
+    pub fn inbox(&self) -> &Inbox {
+        &self.inbox
+    }
+}
+
+/// The world launcher (see module docs).
+pub struct World;
+
+impl World {
+    /// Spawn `cfg.nranks` rank threads, run `f` on each, join, and return
+    /// all results indexed by rank. Panics in any rank propagate (after all
+    /// other ranks are joined) so tests fail loudly.
+    pub fn launch<T, F>(cfg: WorldConfig, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Communicator) -> T + Send + Sync + 'static,
+    {
+        assert!(cfg.nranks > 0, "world must have at least one rank");
+        let (mb_txs, mb_rxs): (Vec<_>, Vec<_>) = (0..cfg.nranks).map(|_| unbounded()).unzip();
+        let mailboxes = Arc::new(mb_txs);
+
+        let (net, net_join) = match cfg.network {
+            NetworkModel::Instant => (None, None),
+            model => {
+                let (h, j) = spawn_network(model, mailboxes.as_ref().clone(), cfg.seed ^ 0x5EED);
+                (Some(h), Some(j))
+            }
+        };
+
+        let host_barrier = Arc::new(Barrier::new(cfg.nranks));
+        let f = Arc::new(f);
+        let mut joins = Vec::with_capacity(cfg.nranks);
+        for (rank, rx) in mb_rxs.into_iter().enumerate() {
+            let comm = Communicator {
+                handle: CommHandle {
+                    rank,
+                    size: cfg.nranks,
+                    seed: cfg.seed,
+                    net: net.clone(),
+                    mailboxes: Arc::clone(&mailboxes),
+                },
+                inbox: Inbox { rx },
+                host_barrier: Arc::clone(&host_barrier),
+            };
+            let f = Arc::clone(&f);
+            joins.push(
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .spawn(move || f(comm))
+                    .expect("spawn rank thread"),
+            );
+        }
+
+        let mut results = Vec::with_capacity(cfg.nranks);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for j in joins {
+            match j.join() {
+                Ok(v) => results.push(v),
+                Err(e) => panic = Some(e),
+            }
+        }
+        if let Some(net) = net {
+            let _ = net.tx.send(NetCmd::Shutdown);
+        }
+        if let Some(j) = net_join {
+            let _ = j.join();
+        }
+        if let Some(e) = panic {
+            std::panic::resume_unwind(e);
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::CollId;
+
+    fn tag(sem: u32) -> WireTag {
+        WireTag::new(CollId(7), 0, sem)
+    }
+
+    #[test]
+    fn launch_returns_per_rank_results() {
+        let out = World::launch(WorldConfig::instant(4), |c| c.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn ring_pass_instant() {
+        // Each rank sends its rank to the next; everyone receives prev.
+        let out = World::launch(WorldConfig::instant(4), |c| {
+            let next = (c.rank() + 1) % c.size();
+            c.send(next, tag(0), Some(TypedBuf::from(vec![c.rank() as i64])));
+            match c.inbox().recv() {
+                Some(Envelope::Data(m)) => m.payload.unwrap().as_i64().unwrap()[0],
+                _ => panic!("expected data"),
+            }
+        });
+        assert_eq!(out, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn ring_pass_over_modeled_network() {
+        let out = World::launch(WorldConfig::hpc(8), |c| {
+            let next = (c.rank() + 1) % c.size();
+            c.send(next, tag(0), Some(TypedBuf::from(vec![c.rank() as i64])));
+            match c.inbox().recv() {
+                Some(Envelope::Data(m)) => m.payload.unwrap().as_i64().unwrap()[0],
+                _ => panic!("expected data"),
+            }
+        });
+        let want: Vec<i64> = (0..8).map(|r| ((r + 7) % 8) as i64).collect();
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn host_barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        World::launch(WorldConfig::instant(8), move |c| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            c.host_barrier();
+            // After the barrier every rank must observe all increments.
+            assert_eq!(c2.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn seed_is_shared() {
+        let out = World::launch(WorldConfig::instant(3).with_seed(99), |c| c.seed());
+        assert_eq!(out, vec![99, 99, 99]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rank_panic_propagates() {
+        World::launch(WorldConfig::instant(2), |c| {
+            if c.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,350 @@
+//! Logical ADS(t) round simulator — §5.1's system model, executable.
+//!
+//! The convergence proof models eager-SGD as a sequence of shared
+//! *asynchronous distributed sum* objects with four guarantees (Lemma
+//! 5.1): liveness, safety (consistent average of a subset, same output
+//! everywhere), quorum size `Q ≥ 1`, and staleness bound `τ`. This module
+//! implements those semantics directly — single-threaded and seeded — so
+//! convergence behavior can be property-tested deterministically with
+//! *controllable* `Q` and `τ`, independent of thread scheduling.
+//!
+//! Semantics per round `t`:
+//! 1. an arrival set `A_t` of exactly `Q_t ≥ Q` processes is drawn;
+//! 2. arrived processes contribute their pending (stale) update plus the
+//!    fresh gradient of round `t`; absent processes bank the fresh
+//!    gradient into their pending buffer;
+//! 3. any pending update older than `τ` rounds forces its owner into
+//!    `A_t` (the staleness bound made operational);
+//! 4. everyone observes the same averaged update (safety) and applies it
+//!    to the shared iterate.
+
+use minitensor::TensorRng;
+
+/// A stochastic objective for the simulator.
+pub trait Objective {
+    /// Problem dimension.
+    fn dim(&self) -> usize;
+
+    /// Exact gradient at `w`.
+    fn grad(&self, w: &[f64], out: &mut [f64]);
+
+    /// Objective value at `w`.
+    fn value(&self, w: &[f64]) -> f64;
+
+    /// Stochastic gradient = exact gradient + bounded noise.
+    fn stochastic_grad(&self, w: &[f64], noise_std: f64, rng: &mut TensorRng, out: &mut [f64]) {
+        self.grad(w, out);
+        for o in out.iter_mut() {
+            *o += rng.normal() * noise_std;
+        }
+    }
+}
+
+/// Smooth convex quadratic `f(w) = ½‖w − w*‖²` (L = 1).
+pub struct Quadratic {
+    pub target: Vec<f64>,
+}
+
+impl Objective for Quadratic {
+    fn dim(&self) -> usize {
+        self.target.len()
+    }
+
+    fn grad(&self, w: &[f64], out: &mut [f64]) {
+        for ((o, wi), ti) in out.iter_mut().zip(w).zip(&self.target) {
+            *o = wi - ti;
+        }
+    }
+
+    fn value(&self, w: &[f64]) -> f64 {
+        w.iter()
+            .zip(&self.target)
+            .map(|(a, b)| 0.5 * (a - b) * (a - b))
+            .sum()
+    }
+}
+
+/// Smooth non-convex test function: `f(w) = Σ (w² / (1 + w²))` — bounded
+/// below by 0, L-smooth, with vanishing gradients far out (a standard
+/// non-convex convergence testbed).
+pub struct NonConvex {
+    pub dim: usize,
+}
+
+impl Objective for NonConvex {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn grad(&self, w: &[f64], out: &mut [f64]) {
+        for (o, wi) in out.iter_mut().zip(w) {
+            let d = 1.0 + wi * wi;
+            *o = 2.0 * wi / (d * d);
+        }
+    }
+
+    fn value(&self, w: &[f64]) -> f64 {
+        w.iter().map(|wi| wi * wi / (1.0 + wi * wi)).sum()
+    }
+}
+
+/// Configuration of the logical eager-SGD run.
+#[derive(Debug, Clone)]
+pub struct AdsConfig {
+    /// Number of processes P.
+    pub p: usize,
+    /// Quorum size per round (|A_t| = q, clamped to [1, P]).
+    pub quorum: usize,
+    /// Staleness bound τ: a pending update is force-included after being
+    /// rejected this many consecutive rounds. `u64::MAX` disables the
+    /// bound (pure solo behavior — unbounded error, §5's caveat).
+    pub tau: u64,
+    /// Learning rate α.
+    pub alpha: f64,
+    /// Rounds T.
+    pub rounds: usize,
+    /// Gradient noise (σ of the additive sampling noise).
+    pub noise_std: f64,
+    pub seed: u64,
+}
+
+/// Result of a logical run.
+#[derive(Debug, Clone)]
+pub struct AdsRun {
+    /// ‖∇f(w_t)‖² at every round.
+    pub grad_norms_sq: Vec<f64>,
+    /// f(w_t) at every round.
+    pub values: Vec<f64>,
+    /// min over t of ‖∇f(w_t)‖² — the quantity Theorem 5.2 bounds.
+    pub best_grad_norm_sq: f64,
+    /// Max observed staleness (rounds an update waited before inclusion).
+    pub max_staleness: u64,
+    /// Mean quorum actually included (≥ configured quorum due to forced
+    /// stale flushes).
+    pub mean_included: f64,
+}
+
+/// Execute eager-SGD under the ADS model.
+pub fn run_ads(obj: &dyn Objective, cfg: &AdsConfig) -> AdsRun {
+    let p = cfg.p;
+    let q = cfg.quorum.clamp(1, p);
+    let dim = obj.dim();
+    let mut rng = TensorRng::new(cfg.seed);
+
+    // Shared iterate (safety: everyone sees the same w).
+    let mut w = vec![0.0f64; dim];
+    // Start away from the optimum so there is something to do.
+    for wi in w.iter_mut() {
+        *wi = 2.0 + rng.normal() * 0.5;
+    }
+
+    // Pending (stale) update per process + its age in rounds.
+    let mut pending: Vec<Vec<f64>> = vec![vec![0.0; dim]; p];
+    let mut pending_age: Vec<u64> = vec![0; p];
+
+    let mut grad_norms_sq = Vec::with_capacity(cfg.rounds);
+    let mut values = Vec::with_capacity(cfg.rounds);
+    let mut scratch = vec![0.0f64; dim];
+    let mut max_staleness = 0u64;
+    let mut included_total = 0usize;
+
+    for _t in 0..cfg.rounds {
+        obj.grad(&w, &mut scratch);
+        grad_norms_sq.push(scratch.iter().map(|g| g * g).sum());
+        values.push(obj.value(&w));
+
+        // Draw the arrival set: a uniformly random q-subset.
+        let mut order: Vec<usize> = (0..p).collect();
+        rng.shuffle(&mut order);
+        let mut arrived: Vec<bool> = vec![false; p];
+        for &i in order.iter().take(q) {
+            arrived[i] = true;
+        }
+        // Staleness bound: force-include overdue processes (Lemma 5.1.4).
+        for i in 0..p {
+            if pending_age[i] >= cfg.tau {
+                arrived[i] = true;
+            }
+        }
+
+        // Accumulate the round's sum.
+        let mut sum = vec![0.0f64; dim];
+        let mut included = 0usize;
+        for i in 0..p {
+            // Every process computes a fresh stochastic gradient this
+            // round (it is training continuously).
+            obj.stochastic_grad(&w, cfg.noise_std, &mut rng, &mut scratch);
+            if arrived[i] {
+                for ((s, pend), g) in sum.iter_mut().zip(&pending[i]).zip(&scratch) {
+                    *s += pend + g;
+                }
+                max_staleness = max_staleness.max(pending_age[i]);
+                pending[i].iter_mut().for_each(|x| *x = 0.0);
+                pending_age[i] = 0;
+                included += 1;
+            } else {
+                // Fresh gradient banks into the pending buffer (Fig. 7).
+                for (pend, g) in pending[i].iter_mut().zip(&scratch) {
+                    *pend += g;
+                }
+                pending_age[i] += 1;
+            }
+        }
+        included_total += included;
+
+        // Everyone applies the same averaged update (Safety).
+        for (wi, s) in w.iter_mut().zip(&sum) {
+            *wi -= cfg.alpha * s / p as f64;
+        }
+    }
+
+    let best = grad_norms_sq
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    AdsRun {
+        best_grad_norm_sq: best,
+        grad_norms_sq,
+        values,
+        max_staleness,
+        mean_included: included_total as f64 / cfg.rounds as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_cfg() -> AdsConfig {
+        AdsConfig {
+            p: 8,
+            quorum: 8,
+            tau: 4,
+            alpha: 0.1,
+            rounds: 400,
+            noise_std: 0.05,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn full_quorum_equals_sync_sgd_convergence() {
+        let obj = Quadratic {
+            target: vec![1.0; 8],
+        };
+        let run = run_ads(&obj, &base_cfg());
+        assert!(
+            run.best_grad_norm_sq < 1e-3,
+            "sync quadratic must converge, got {}",
+            run.best_grad_norm_sq
+        );
+        assert_eq!(run.mean_included, 8.0);
+        assert_eq!(run.max_staleness, 0);
+    }
+
+    #[test]
+    fn majority_quorum_still_converges() {
+        let obj = Quadratic {
+            target: vec![1.0; 8],
+        };
+        let cfg = AdsConfig {
+            quorum: 4,
+            ..base_cfg()
+        };
+        let run = run_ads(&obj, &cfg);
+        assert!(
+            run.best_grad_norm_sq < 5e-3,
+            "majority quadratic: {}",
+            run.best_grad_norm_sq
+        );
+    }
+
+    #[test]
+    fn staleness_bound_is_respected() {
+        let obj = Quadratic {
+            target: vec![0.0; 4],
+        };
+        let cfg = AdsConfig {
+            p: 8,
+            quorum: 1,
+            tau: 3,
+            ..base_cfg()
+        };
+        let run = run_ads(&obj, &cfg);
+        assert!(
+            run.max_staleness <= 3,
+            "τ=3 violated: {}",
+            run.max_staleness
+        );
+        // Forced flushes push effective quorum above the configured 1.
+        assert!(run.mean_included > 1.0);
+    }
+
+    #[test]
+    fn nonconvex_reaches_small_gradient() {
+        let obj = NonConvex { dim: 6 };
+        let cfg = AdsConfig {
+            quorum: 4,
+            rounds: 3000,
+            alpha: 0.3,
+            noise_std: 0.02,
+            ..base_cfg()
+        };
+        let run = run_ads(&obj, &cfg);
+        assert!(
+            run.best_grad_norm_sq < 1e-2,
+            "non-convex ‖∇f‖² = {}",
+            run.best_grad_norm_sq
+        );
+    }
+
+    #[test]
+    fn nothing_is_lost_updates_are_conserved() {
+        // With zero noise on a quadratic, the staleness mechanism may
+        // delay but never drop gradient mass: eventually w converges to
+        // the same optimum as sync SGD.
+        let obj = Quadratic {
+            target: vec![3.0; 4],
+        };
+        let cfg = AdsConfig {
+            p: 4,
+            quorum: 2,
+            tau: 5,
+            alpha: 0.05,
+            rounds: 3000,
+            noise_std: 0.0,
+            seed: 9,
+        };
+        let run = run_ads(&obj, &cfg);
+        let final_val = *run.values.last().unwrap();
+        assert!(final_val < 1e-6, "must land at the optimum, f={final_val}");
+    }
+
+    #[test]
+    fn larger_quorum_converges_faster() {
+        // Theorem 5.2: T grows with (P − Q). Compare rounds-to-threshold.
+        let obj = Quadratic {
+            target: vec![1.0; 8],
+        };
+        let rounds_to = |quorum: usize| {
+            let cfg = AdsConfig {
+                quorum,
+                tau: 50,
+                rounds: 2000,
+                noise_std: 0.0,
+                ..base_cfg()
+            };
+            let run = run_ads(&obj, &cfg);
+            run.grad_norms_sq
+                .iter()
+                .position(|&g| g < 1e-4)
+                .unwrap_or(usize::MAX)
+        };
+        let fast = rounds_to(8);
+        let slow = rounds_to(1);
+        assert!(
+            fast < slow,
+            "full quorum ({fast}) must beat solo ({slow}) in rounds"
+        );
+    }
+}

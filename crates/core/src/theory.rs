@@ -1,0 +1,182 @@
+//! Theorem 5.2: the learning-rate bound and iteration count for
+//! eager-SGD convergence on L-smooth non-convex objectives.
+//!
+//! The theorem (under Assumptions 1–2 and the Lemma 5.1 ADS guarantees):
+//! for success parameter ε > 0 there exists a learning rate
+//!
+//! ```text
+//! α ≤ min(  √( εP / (12·L·τ·M·(P−Q)) ),
+//!           εP / (12·L·τ·M·(P−Q)),
+//!           ε  / (12·M²·L) )
+//! ```
+//!
+//! such that running T = Θ((f(w₀) − m) / (ε·α)) iterations reaches an
+//! iterate with ‖∇f(w_t⋆)‖² ≤ ε. (The middle term appears in the arXiv
+//! source as `εP / (4L·3τM(P−Q))`; we keep `12 = 4·3` folded. The
+//! qualitative content — α shrinks with staleness τ and missing quorum
+//! P−Q, and T ≥ Θ((f(w₀)−m)·τ(P−Q)/(P·ε²)) — is what the tests and the
+//! `theory_sweep` harness verify empirically via the ADS simulator.)
+
+use serde::{Deserialize, Serialize};
+
+/// Problem and system constants of Theorem 5.2.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConvergenceParams {
+    /// Smoothness constant L (Assumption 1).
+    pub l_smooth: f64,
+    /// Second-moment bound M (Assumption 2: E‖G‖² ≤ M²).
+    pub m_bound: f64,
+    /// Initial sub-optimality f(w₀) − m.
+    pub f0_gap: f64,
+    /// Number of processes P.
+    pub p: usize,
+    /// Quorum lower bound Q (Lemma 5.1.3).
+    pub q: usize,
+    /// Staleness bound τ (Lemma 5.1.4).
+    pub tau: u64,
+    /// Success parameter ε.
+    pub eps: f64,
+}
+
+impl ConvergenceParams {
+    /// The Theorem 5.2 learning-rate bound. For Q = P (fully synchronous)
+    /// the first two terms are vacuous and only the ε/(12M²L) term
+    /// remains.
+    pub fn max_learning_rate(&self) -> f64 {
+        let p = self.p as f64;
+        let missing = (self.p - self.q.min(self.p)) as f64;
+        let t3 = self.eps / (12.0 * self.m_bound * self.m_bound * self.l_smooth);
+        if missing == 0.0 || self.tau == 0 {
+            return t3;
+        }
+        let denom = 12.0 * self.l_smooth * self.tau as f64 * self.m_bound * missing;
+        let t1 = (self.eps * p / denom).sqrt();
+        let t2 = self.eps * p / denom;
+        t1.min(t2).min(t3)
+    }
+
+    /// T = (f(w₀) − m) / (ε·α): iterations guaranteeing ‖∇f‖² ≤ ε at the
+    /// given learning rate.
+    pub fn iterations(&self, alpha: f64) -> f64 {
+        self.f0_gap / (self.eps * alpha)
+    }
+
+    /// The discussion's lower-bound shape:
+    /// T ≥ Θ((f(w₀) − m)·τ·(P − Q) / (P·ε²)).
+    pub fn iterations_lower_bound_shape(&self) -> f64 {
+        let p = self.p as f64;
+        let missing = (self.p - self.q.min(self.p)) as f64;
+        if missing == 0.0 {
+            return self.f0_gap / (self.eps * self.eps);
+        }
+        self.f0_gap * self.tau as f64 * missing / (p * self.eps * self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> ConvergenceParams {
+        ConvergenceParams {
+            l_smooth: 1.0,
+            m_bound: 2.0,
+            f0_gap: 10.0,
+            p: 8,
+            q: 4,
+            tau: 4,
+            eps: 0.01,
+        }
+    }
+
+    #[test]
+    fn rate_shrinks_with_staleness() {
+        let a = base().max_learning_rate();
+        let mut worse = base();
+        worse.tau = 64;
+        assert!(worse.max_learning_rate() < a);
+    }
+
+    #[test]
+    fn rate_shrinks_as_quorum_drops() {
+        let mut solo = base();
+        solo.q = 1;
+        let mut majority = base();
+        majority.q = 4;
+        assert!(solo.max_learning_rate() <= majority.max_learning_rate());
+    }
+
+    #[test]
+    fn full_quorum_gives_the_sync_rate() {
+        let mut sync = base();
+        sync.q = sync.p;
+        let expect = sync.eps / (12.0 * sync.m_bound * sync.m_bound * sync.l_smooth);
+        assert_eq!(sync.max_learning_rate(), expect);
+    }
+
+    #[test]
+    fn iterations_scale_inverse_eps_squared_when_rate_limited() {
+        // When α is ε-limited, T = f0/(ε·α) ~ 1/ε²: quartering ε must
+        // multiply iterations ≈ 16×.
+        let p1 = base();
+        let t1 = p1.iterations(p1.max_learning_rate());
+        let mut p2 = base();
+        p2.eps = p1.eps / 4.0;
+        let t2 = p2.iterations(p2.max_learning_rate());
+        let ratio = t2 / t1;
+        assert!(
+            (8.0..32.0).contains(&ratio),
+            "T should scale ~1/ε² (got ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn lower_bound_grows_linearly_in_missing_quorum() {
+        let mut q1 = base();
+        q1.q = 7; // one missing
+        let mut q4 = base();
+        q4.q = 4; // four missing
+        let r = q4.iterations_lower_bound_shape() / q1.iterations_lower_bound_shape();
+        assert!((3.9..4.1).contains(&r), "linear in (P−Q), got {r}");
+    }
+
+    /// The bound is *sufficient*: the ADS simulator converges to ‖∇f‖² ≤ ε
+    /// within a constant factor of the predicted iteration count.
+    #[test]
+    fn ads_converges_within_theorem_budget() {
+        use crate::ads::{run_ads, AdsConfig, Quadratic};
+        let params = ConvergenceParams {
+            l_smooth: 1.0,
+            m_bound: 4.0,
+            f0_gap: 30.0,
+            p: 8,
+            q: 4,
+            tau: 4,
+            eps: 0.5,
+        };
+        let alpha = params.max_learning_rate();
+        let t = params.iterations(alpha).ceil() as usize;
+        let obj = Quadratic {
+            target: vec![0.0; 8],
+        };
+        let run = run_ads(
+            &obj,
+            &AdsConfig {
+                p: params.p,
+                quorum: params.q,
+                tau: params.tau,
+                alpha,
+                rounds: (4 * t).min(2_000_000),
+                noise_std: 0.05,
+                seed: 11,
+            },
+        );
+        assert!(
+            run.best_grad_norm_sq <= params.eps,
+            "‖∇f‖² = {} > ε = {} within 4T = {} rounds (α = {alpha})",
+            run.best_grad_norm_sq,
+            params.eps,
+            4 * t
+        );
+    }
+}

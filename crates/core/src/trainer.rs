@@ -1,0 +1,581 @@
+//! The distributed trainer: Algorithm 2 plus the synchronous baselines.
+//!
+//! One [`run_rank`] call executes the full training loop on one rank
+//! (inside a `World::launch` closure). The variant decides how gradients
+//! are accumulated:
+//!
+//! - **Deep500-style synch-SGD** (§3): one blocking allreduce per step,
+//!   communication ordered by construction (our engine's per-collective
+//!   rounds provide the ordering the Deep500 DSGD optimizer gets from
+//!   control dependencies in the DAG).
+//! - **Horovod-style synch-SGD** (§3): same blocking allreduce, preceded
+//!   by a coordinator round-trip (reduce-to-0 + broadcast of a tiny
+//!   readiness word) modeling Horovod's master-based negotiation.
+//! - **eager-SGD** (§5): partial allreduce (solo, majority, or any
+//!   quorum policy); stale gradients accumulate in the send buffer
+//!   (Fig. 7 protocol, implemented in `pcoll::PartialAllreduce`), and the
+//!   models are re-synchronized every `model_sync_every` epochs by a
+//!   blocking average of the weights (§5: "we periodically synchronize
+//!   the models across all processes to eliminate the side effect").
+//!
+//! Time accounting: the x-axes of Figs. 10–13 are *training* time, so
+//! epoch-boundary evaluation (rank 0, inside barriers) is excluded from
+//! the reported clock.
+
+use crate::metrics::{EpochRecord, TrainLog};
+use crate::workloads::Workload;
+use dnn::{EvalMetrics, Model, Optimizer};
+use dnn::optim::LrSchedule;
+use imbalance::Injector;
+use minitensor::TensorRng;
+use pcoll::{PartialAllreduce, PartialOpts, QuorumPolicy, RankCtx, StaleMode, SyncAllreduce};
+use pcoll_comm::{DType, ReduceOp, TypedBuf};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Which SGD the rank runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SgdVariant {
+    /// Blocking allreduce per step (Deep500-style ordered execution).
+    SynchDeep500,
+    /// Negotiation round-trip + blocking allreduce (Horovod-style).
+    SynchHorovod,
+    /// eager-SGD with solo allreduce (§4.1).
+    EagerSolo,
+    /// eager-SGD with majority allreduce (§4.2).
+    EagerMajority,
+    /// eager-SGD with an explicit quorum policy (§8's spectrum).
+    EagerQuorum { chain: usize, race: bool },
+}
+
+impl SgdVariant {
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            SgdVariant::SynchDeep500 => "synch-SGD (Deep500)".into(),
+            SgdVariant::SynchHorovod => "synch-SGD (Horovod)".into(),
+            SgdVariant::EagerSolo => "eager-SGD (solo)".into(),
+            SgdVariant::EagerMajority => "eager-SGD (majority)".into(),
+            SgdVariant::EagerQuorum { chain, race } => {
+                if *race {
+                    format!("eager-SGD (first-of-{chain})")
+                } else {
+                    format!("eager-SGD (chain-{chain})")
+                }
+            }
+        }
+    }
+
+    fn quorum_policy(&self) -> Option<QuorumPolicy> {
+        match self {
+            SgdVariant::EagerSolo => Some(QuorumPolicy::Solo),
+            SgdVariant::EagerMajority => Some(QuorumPolicy::Majority),
+            SgdVariant::EagerQuorum { chain, race } => Some(if *race {
+                QuorumPolicy::FirstOf(*chain)
+            } else {
+                QuorumPolicy::Chain(*chain)
+            }),
+            _ => None,
+        }
+    }
+
+    /// Is this an eager (partial-collective) variant?
+    pub fn is_eager(&self) -> bool {
+        self.quorum_policy().is_some()
+    }
+}
+
+/// How gradients map onto collectives (§3: Horovod fuses several tensors
+/// into one allreduce; Deep500-style non-blocking mode keeps one tagged
+/// allreduce per tensor in flight and issues a waitall before the
+/// update).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GradFusion {
+    /// One allreduce over the whole flattened gradient (Horovod-style
+    /// tensor fusion; the only mode for eager variants, whose send-buffer
+    /// semantics are defined on the fused buffer).
+    #[default]
+    Fused,
+    /// One non-blocking allreduce per parameter tensor, posted together
+    /// and waited together (synchronous variants only).
+    PerTensor,
+}
+
+/// Trainer configuration (shared verbatim by all ranks).
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    pub variant: SgdVariant,
+    pub epochs: usize,
+    pub steps_per_epoch: usize,
+    pub lr: LrSchedule,
+    /// Gradient-to-collective mapping (see [`GradFusion`]).
+    pub fusion: GradFusion,
+    /// Synchronize models every k epochs (eager variants; §5 uses ~10).
+    /// `None` disables (the §6.2.2 ablation: "without model
+    /// synchronization ... accuracy decreases").
+    pub model_sync_every: Option<usize>,
+    /// Delay injection protocol.
+    pub injector: Injector,
+    /// Multiplier mapping the paper's injected milliseconds onto
+    /// wall-clock (see DESIGN.md; ratios are scale-invariant).
+    pub time_scale: f64,
+    /// Simulated balanced per-step compute (paper milliseconds, scaled by
+    /// `time_scale`), standing in for the GPU forward/backward time that
+    /// our CPU proxy models underestimate. Sets the compute-to-injection
+    /// ratio that the speedup factors depend on.
+    pub base_compute_ms: f64,
+    /// Stale-gradient handling in the partial collective (ablation; the
+    /// paper's protocol is `Accumulate`).
+    pub stale_mode: StaleMode,
+    /// Clip the averaged gradient to this global ℓ2 norm before the
+    /// update (None = off). Stale accumulation can transiently double
+    /// gradient magnitudes (G_stale + G_fresh, Fig. 7); clipping keeps
+    /// aggressive learning rates finite without hiding the accuracy
+    /// effects the severe-skew experiments measure.
+    pub grad_clip: Option<f32>,
+    /// Evaluate on rank 0 every k epochs (and at the end).
+    pub eval_every: usize,
+    pub seed: u64,
+}
+
+impl TrainerConfig {
+    pub fn new(variant: SgdVariant, epochs: usize, steps_per_epoch: usize, lr: f32) -> Self {
+        TrainerConfig {
+            variant,
+            epochs,
+            steps_per_epoch,
+            lr: LrSchedule::constant(lr),
+            fusion: GradFusion::Fused,
+            model_sync_every: Some(10),
+            injector: Injector::None,
+            time_scale: 1.0,
+            base_compute_ms: 0.0,
+            stale_mode: StaleMode::Accumulate,
+            grad_clip: None,
+            eval_every: 1,
+            seed: 42,
+        }
+    }
+}
+
+enum GradReducer {
+    Partial(PartialAllreduce),
+    Sync(SyncAllreduce),
+    /// One collective per parameter tensor; `sizes` gives the flat-buffer
+    /// segmentation. All tensors are posted non-blocking, then waited
+    /// (§3's tagged in-flight allreduces + waitall).
+    SyncPerTensor {
+        reducers: Vec<SyncAllreduce>,
+        sizes: Vec<usize>,
+    },
+}
+
+impl GradReducer {
+    /// Reduce `grads` in place semantics: returns the averaged gradient.
+    fn allreduce(&mut self, grads: &[f32]) -> TypedBuf {
+        match self {
+            GradReducer::Partial(ar) => {
+                ar.allreduce(&TypedBuf::from(grads.to_vec())).data
+            }
+            GradReducer::Sync(ar) => ar.allreduce(&TypedBuf::from(grads.to_vec())),
+            GradReducer::SyncPerTensor { reducers, sizes } => {
+                // Post every tensor, then waitall and reassemble.
+                let mut handles = Vec::with_capacity(reducers.len());
+                let mut off = 0;
+                for (r, &n) in reducers.iter_mut().zip(sizes.iter()) {
+                    let seg = TypedBuf::from(grads[off..off + n].to_vec());
+                    handles.push(r.post(&seg));
+                    off += n;
+                }
+                let mut out = Vec::with_capacity(grads.len());
+                for (r, h) in reducers.iter_mut().zip(handles) {
+                    let seg = r.wait(h);
+                    out.extend_from_slice(seg.as_f32().expect("f32 gradients"));
+                }
+                TypedBuf::from(out)
+            }
+        }
+    }
+
+    fn counters(&self) -> (u64, u64) {
+        match self {
+            GradReducer::Partial(ar) => {
+                let (fresh, missed, _) = ar.counters();
+                (fresh, missed)
+            }
+            GradReducer::Sync(ar) => (ar.rounds(), 0),
+            GradReducer::SyncPerTensor { reducers, .. } => {
+                (reducers.first().map_or(0, |r| r.rounds()), 0)
+            }
+        }
+    }
+}
+
+/// Run the full training loop on this rank. SPMD: every rank calls this
+/// with identical `cfg`; the model must be identically initialized on all
+/// ranks (same seed) — as the paper's data-parallel setup requires.
+pub fn run_rank(
+    ctx: &RankCtx,
+    model: &mut dyn Model,
+    opt: &mut dyn Optimizer,
+    workload: &dyn Workload,
+    cfg: &TrainerConfig,
+) -> TrainLog {
+    let rank = ctx.rank();
+    let p = ctx.size();
+    let n = model.num_params();
+    let scale = Some(1.0 / p as f64);
+
+    // SPMD collective construction order: gradient reducer(s),
+    // negotiation pair (Horovod only), weight synchronizer.
+    let mut reducer = match cfg.variant.quorum_policy() {
+        Some(policy) => {
+            assert_eq!(
+                cfg.fusion,
+                GradFusion::Fused,
+                "eager variants define their send-buffer semantics on the fused buffer"
+            );
+            GradReducer::Partial(ctx.partial_allreduce(
+                DType::F32,
+                n,
+                ReduceOp::Sum,
+                policy,
+                PartialOpts {
+                    scale,
+                    stale_mode: cfg.stale_mode,
+                    ..PartialOpts::default()
+                },
+            ))
+        }
+        None => match cfg.fusion {
+            GradFusion::Fused => {
+                GradReducer::Sync(ctx.sync_allreduce(DType::F32, n, ReduceOp::Sum, scale))
+            }
+            GradFusion::PerTensor => {
+                let sizes = model.param_sizes();
+                let reducers = sizes
+                    .iter()
+                    .map(|&len| ctx.sync_allreduce(DType::F32, len, ReduceOp::Sum, scale))
+                    .collect();
+                GradReducer::SyncPerTensor { reducers, sizes }
+            }
+        },
+    };
+    let mut negotiation = (cfg.variant == SgdVariant::SynchHorovod).then(|| {
+        (
+            ctx.reduce(0, ReduceOp::Max),
+            ctx.bcast(0),
+        )
+    });
+    let mut weight_sync = ctx.sync_allreduce(DType::F32, n, ReduceOp::Sum, scale);
+
+    let mut rng = TensorRng::new(cfg.seed ^ (rank as u64).wrapping_mul(0x1F3D_5B79));
+    let mut grads = vec![0.0f32; n];
+    let mut delta = vec![0.0f32; n];
+    let mut flat_params = vec![0.0f32; n];
+
+    let mut log = TrainLog::new(rank);
+    let mut train_time = 0.0f64;
+    let mut step: u64 = 0;
+
+    for epoch in 0..cfg.epochs {
+        opt.set_lr(cfg.lr.at(epoch));
+        let mut loss_sum = 0.0f32;
+        let epoch_t0 = Instant::now();
+
+        for _ in 0..cfg.steps_per_epoch {
+            let batch = workload.sample(rank, step, &mut rng);
+            let loss = model.grad_step(&batch);
+            loss_sum += loss;
+
+            // Simulated balanced compute (GPU-scale step time), then the
+            // injected system noise / slow-rank delays (§6.2).
+            if cfg.base_compute_ms > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(
+                    cfg.base_compute_ms * cfg.time_scale / 1e3,
+                ));
+            }
+            cfg.injector.inject(rank, p, step, cfg.time_scale);
+
+            // Horovod-style negotiation: the coordinator learns which
+            // tensors are ready and broadcasts the agreed order.
+            if let Some((red, bc)) = negotiation.as_mut() {
+                let ready = TypedBuf::from(vec![step as i64]);
+                let _ = red.reduce(&ready);
+                let _ = bc.bcast((rank == 0).then_some(&ready));
+            }
+
+            model.write_grads(&mut grads);
+            let mut avg = reducer.allreduce(&grads);
+            let avg = avg.as_f32_mut().expect("f32 gradients");
+            if let Some(max_norm) = cfg.grad_clip {
+                let norm = avg.iter().map(|g| g * g).sum::<f32>().sqrt();
+                if norm > max_norm {
+                    let s = max_norm / norm;
+                    avg.iter_mut().for_each(|g| *g *= s);
+                }
+            }
+            opt.delta(avg, &mut delta);
+            model.apply_delta(&delta);
+            step += 1;
+        }
+        let epoch_secs = epoch_t0.elapsed().as_secs_f64();
+        train_time += epoch_secs;
+
+        // Periodic model synchronization (eager variants, §5). This is
+        // *inside* the training clock: the paper counts it as (negligible)
+        // training overhead.
+        if cfg.variant.is_eager() {
+            if let Some(every) = cfg.model_sync_every {
+                if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                    let t0 = Instant::now();
+                    model.write_params(&mut flat_params);
+                    let avg = weight_sync.allreduce(&TypedBuf::from(flat_params.clone()));
+                    model.read_params(avg.as_f32().expect("f32 params"));
+                    train_time += t0.elapsed().as_secs_f64();
+                }
+            }
+        }
+
+        // Epoch-boundary evaluation on rank 0, fenced by barriers and
+        // excluded from the training clock.
+        let eval_now = (epoch + 1) % cfg.eval_every.max(1) == 0 || epoch + 1 == cfg.epochs;
+        let (test, train) = if eval_now {
+            ctx.barrier();
+            let result = if rank == 0 {
+                let test = eval_all(model, &workload.test_batches());
+                let train = eval_all(model, &workload.train_batches());
+                (test.map(Into::into), train.map(Into::into))
+            } else {
+                (None, None)
+            };
+            ctx.barrier();
+            result
+        } else {
+            (None, None)
+        };
+
+        log.epochs.push(EpochRecord {
+            epoch,
+            train_time_s: train_time,
+            mean_loss: loss_sum / cfg.steps_per_epoch.max(1) as f32,
+            throughput: cfg.steps_per_epoch as f64 / epoch_secs,
+            test,
+            train,
+        });
+    }
+
+    let (fresh, missed) = reducer.counters();
+    log.fresh_rounds = fresh;
+    log.missed_rounds = missed;
+    log.steps = step;
+    log.total_train_s = train_time;
+    log
+}
+
+fn eval_all(model: &mut dyn Model, batches: &[dnn::Batch]) -> Option<EvalMetrics> {
+    if batches.is_empty() {
+        return None;
+    }
+    let mut acc = EvalMetrics::default();
+    for b in batches {
+        let m = model.evaluate(b);
+        acc.merge(&m);
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::HyperplaneWorkload;
+    use datagen::HyperplaneTask;
+    use dnn::zoo::hyperplane_mlp;
+    use dnn::Sgd;
+    use pcoll_comm::{World, WorldConfig};
+    use std::sync::Arc;
+
+    fn run_variant(variant: SgdVariant, p: usize, epochs: usize) -> Vec<TrainLog> {
+        let task = Arc::new(HyperplaneTask::new(64, 4096, 0.05, 128, 7));
+        World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut rng = TensorRng::new(1234);
+            let mut model = hyperplane_mlp(64, &mut rng);
+            let mut opt = Sgd::new(0.02);
+            let wl = HyperplaneWorkload {
+                task: Arc::clone(&task),
+                local_batch: 32,
+            };
+            let mut cfg = TrainerConfig::new(variant, epochs, 8, 0.02);
+            cfg.model_sync_every = Some(2);
+            cfg.eval_every = 1;
+            let log = run_rank(&ctx, &mut model, &mut opt, &wl, &cfg);
+            ctx.finalize();
+            log
+        })
+    }
+
+    fn final_loss(logs: &[TrainLog]) -> f32 {
+        logs[0]
+            .epochs
+            .last()
+            .and_then(|e| e.test.map(|t| t.loss))
+            .expect("rank 0 evaluated")
+    }
+
+    #[test]
+    fn sync_deep500_converges() {
+        let logs = run_variant(SgdVariant::SynchDeep500, 4, 6);
+        let first = logs[0].epochs[0].mean_loss;
+        let last = final_loss(&logs);
+        assert!(last < first * 0.2, "loss {first} → {last}");
+        assert_eq!(logs[0].steps, 48);
+    }
+
+    #[test]
+    fn sync_horovod_converges() {
+        let logs = run_variant(SgdVariant::SynchHorovod, 4, 6);
+        let first = logs[0].epochs[0].mean_loss;
+        let last = final_loss(&logs);
+        assert!(last < first * 0.2, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn eager_solo_converges_when_balanced() {
+        let logs = run_variant(SgdVariant::EagerSolo, 4, 6);
+        let first = logs[0].epochs[0].mean_loss;
+        let last = final_loss(&logs);
+        assert!(last < first * 0.25, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn eager_majority_converges_when_balanced() {
+        let logs = run_variant(SgdVariant::EagerMajority, 4, 6);
+        let first = logs[0].epochs[0].mean_loss;
+        let last = final_loss(&logs);
+        assert!(last < first * 0.25, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn per_tensor_fusion_matches_fused_bitwise() {
+        // Same summation tree per element ⇒ the two fusion modes must
+        // produce identical trained weights.
+        let run = |fusion: GradFusion| {
+            let task = Arc::new(HyperplaneTask::new(24, 512, 0.05, 32, 7));
+            World::launch(WorldConfig::instant(4), move |c| {
+                let ctx = RankCtx::new(c);
+                let mut rng = TensorRng::new(7);
+                let mut model = hyperplane_mlp(24, &mut rng);
+                let mut opt = Sgd::new(0.03);
+                let wl = HyperplaneWorkload {
+                    task: Arc::clone(&task),
+                    local_batch: 8,
+                };
+                let mut cfg = TrainerConfig::new(SgdVariant::SynchDeep500, 2, 6, 0.03);
+                cfg.fusion = fusion;
+                cfg.eval_every = 100;
+                let _ = run_rank(&ctx, &mut model, &mut opt, &wl, &cfg);
+                let mut flat = vec![0.0f32; Model::num_params(&model)];
+                model.write_params(&mut flat);
+                ctx.finalize();
+                flat
+            })
+        };
+        let fused = run(GradFusion::Fused);
+        let per_tensor = run(GradFusion::PerTensor);
+        assert_eq!(fused, per_tensor);
+    }
+
+    #[test]
+    #[should_panic(expected = "fused buffer")]
+    fn eager_rejects_per_tensor_fusion() {
+        let task = Arc::new(HyperplaneTask::new(8, 64, 0.05, 16, 7));
+        World::launch(WorldConfig::instant(2), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut rng = TensorRng::new(7);
+            let mut model = hyperplane_mlp(8, &mut rng);
+            let mut opt = Sgd::new(0.03);
+            let wl = HyperplaneWorkload {
+                task: Arc::clone(&task),
+                local_batch: 4,
+            };
+            let mut cfg = TrainerConfig::new(SgdVariant::EagerSolo, 1, 1, 0.03);
+            cfg.fusion = GradFusion::PerTensor;
+            let _ = run_rank(&ctx, &mut model, &mut opt, &wl, &cfg);
+        });
+    }
+
+    #[test]
+    fn eager_is_faster_under_injected_skew() {
+        // The core claim, miniaturized: with one random slow rank per
+        // step, eager-solo's training time beats synch-SGD's.
+        let p = 4;
+        let run = |variant| {
+            let task = Arc::new(HyperplaneTask::new(32, 1024, 0.05, 64, 7));
+            let logs = World::launch(WorldConfig::instant(p), move |c| {
+                let ctx = RankCtx::new(c);
+                let mut rng = TensorRng::new(5);
+                let mut model = hyperplane_mlp(32, &mut rng);
+                let mut opt = Sgd::new(0.02);
+                let wl = HyperplaneWorkload {
+                    task: Arc::clone(&task),
+                    local_batch: 16,
+                };
+                let mut cfg = TrainerConfig::new(variant, 2, 10, 0.02);
+                cfg.injector = Injector::RandomRanks {
+                    k: 1,
+                    amount_ms: 30.0,
+                    seed: 3,
+                };
+                cfg.eval_every = 100; // skip eval: pure throughput
+                let log = run_rank(&ctx, &mut model, &mut opt, &wl, &cfg);
+                ctx.finalize();
+                log
+            });
+            logs.iter().map(|l| l.total_train_s).sum::<f64>() / p as f64
+        };
+        let sync_t = run(SgdVariant::SynchDeep500);
+        let eager_t = run(SgdVariant::EagerSolo);
+        assert!(
+            eager_t < sync_t * 0.85,
+            "eager {eager_t:.3}s should beat sync {sync_t:.3}s"
+        );
+    }
+
+    #[test]
+    fn model_sync_restores_consistency() {
+        // After a weight sync epoch, all ranks' params must be identical
+        // even under eager updates with skew.
+        let p = 4;
+        let task = Arc::new(HyperplaneTask::new(16, 512, 0.05, 32, 7));
+        let params = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut rng = TensorRng::new(77);
+            let mut model = hyperplane_mlp(16, &mut rng);
+            let mut opt = Sgd::new(0.05);
+            let wl = HyperplaneWorkload {
+                task: Arc::clone(&task),
+                local_batch: 8,
+            };
+            let mut cfg = TrainerConfig::new(SgdVariant::EagerSolo, 2, 6, 0.05);
+            cfg.injector = Injector::RandomRanks {
+                k: 1,
+                amount_ms: 20.0,
+                seed: 1,
+            };
+            cfg.model_sync_every = Some(2); // sync at the final epoch
+            cfg.eval_every = 100;
+            let _ = run_rank(&ctx, &mut model, &mut opt, &wl, &cfg);
+            let mut flat = vec![0.0f32; Model::num_params(&model)];
+            model.write_params(&mut flat);
+            ctx.finalize();
+            flat
+        });
+        for r in 1..p {
+            assert_eq!(
+                params[0], params[r],
+                "rank {r} weights differ after model sync"
+            );
+        }
+    }
+}

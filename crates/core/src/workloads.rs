@@ -1,0 +1,108 @@
+//! Workload adapters: bind `datagen` tasks to the trainer's sampling
+//! contract (Algorithm 2 line 3: "each process samples b elements from
+//! dataset", with per-rank random streams).
+
+use datagen::{GaussianMixtureTask, HyperplaneTask, SpatialBlobTask, VideoTask};
+use dnn::Batch;
+use minitensor::TensorRng;
+use std::sync::Arc;
+
+/// What the trainer needs from a task.
+pub trait Workload: Send + Sync {
+    /// Sample this rank's minibatch for `step`.
+    fn sample(&self, rank: usize, step: u64, rng: &mut TensorRng) -> Batch;
+
+    /// Held-out evaluation batches.
+    fn test_batches(&self) -> Vec<Batch>;
+
+    /// Training-set evaluation batches (Fig. 11b plots train accuracy).
+    fn train_batches(&self) -> Vec<Batch> {
+        Vec::new()
+    }
+}
+
+/// Hyperplane regression (§6.2.1): balanced compute per batch.
+pub struct HyperplaneWorkload {
+    pub task: Arc<HyperplaneTask>,
+    pub local_batch: usize,
+}
+
+impl Workload for HyperplaneWorkload {
+    fn sample(&self, _rank: usize, _step: u64, rng: &mut TensorRng) -> Batch {
+        self.task.sample_batch(self.local_batch, rng)
+    }
+
+    fn test_batches(&self) -> Vec<Batch> {
+        vec![self.task.validation()]
+    }
+}
+
+/// Gaussian-mixture classification (CIFAR/ImageNet proxies): balanced
+/// compute per batch; imbalance comes from injection.
+pub struct ImageWorkload {
+    pub task: Arc<GaussianMixtureTask>,
+    pub local_batch: usize,
+    /// A fixed subsample of training-like batches for train accuracy.
+    pub train_eval_batches: usize,
+}
+
+impl Workload for ImageWorkload {
+    fn sample(&self, _rank: usize, _step: u64, rng: &mut TensorRng) -> Batch {
+        self.task.sample_batch(self.local_batch, rng)
+    }
+
+    fn test_batches(&self) -> Vec<Batch> {
+        vec![self.task.validation()]
+    }
+
+    fn train_batches(&self) -> Vec<Batch> {
+        let mut rng = TensorRng::new(0xE7A1);
+        (0..self.train_eval_batches)
+            .map(|_| self.task.sample_batch(self.local_batch, &mut rng))
+            .collect()
+    }
+}
+
+/// Spatial image classification for the true-convolution models
+/// (balanced compute; CNN-friendly structure).
+pub struct SpatialWorkload {
+    pub task: Arc<SpatialBlobTask>,
+    pub local_batch: usize,
+}
+
+impl Workload for SpatialWorkload {
+    fn sample(&self, _rank: usize, _step: u64, rng: &mut TensorRng) -> Batch {
+        self.task.sample_batch(self.local_batch, rng)
+    }
+
+    fn test_batches(&self) -> Vec<Batch> {
+        vec![self.task.validation()]
+    }
+}
+
+/// Video classification (§6.3): *inherently* imbalanced — each step's
+/// compute is Θ(bucket length).
+pub struct VideoWorkload {
+    pub task: Arc<VideoTask>,
+    pub eval_videos: usize,
+}
+
+impl Workload for VideoWorkload {
+    fn sample(&self, _rank: usize, _step: u64, rng: &mut TensorRng) -> Batch {
+        let bucket = self.task.sample_bucket(rng);
+        self.task.bucket_batch(bucket)
+    }
+
+    fn test_batches(&self) -> Vec<Batch> {
+        vec![self.task.validation(self.eval_videos)]
+    }
+
+    fn train_batches(&self) -> Vec<Batch> {
+        // A few fixed buckets as a train-accuracy probe.
+        let n = self.task.n_buckets();
+        [0usize, n / 2, n - 1]
+            .iter()
+            .map(|&b| self.task.bucket_batch(b))
+            .collect()
+    }
+}

@@ -1,0 +1,96 @@
+//! WMT16-like sentence-length sampler (Fig. 3's motivation histogram).
+//!
+//! The paper reports Transformer batch runtimes of 179–3482 ms with mean
+//! 475 ms and σ 144 ms over 20,653 sampled batches. Composing this sampler
+//! with `imbalance::cost::transformer_batch_ms`-style cost models
+//! reproduces that unimodal, right-tailed shape.
+
+use minitensor::TensorRng;
+
+/// Log-normal token-count sampler clipped to a plausible WMT16 range.
+#[derive(Debug, Clone)]
+pub struct SentenceLengthSampler {
+    pub mu_log: f64,
+    pub sigma_log: f64,
+    pub min_tokens: usize,
+    pub max_tokens: usize,
+}
+
+impl SentenceLengthSampler {
+    /// Fitted so that the induced batch-runtime distribution matches
+    /// Fig. 3's reported statistics (mean ≈ 475 ms, σ ≈ 144 ms,
+    /// range 179–3482 ms after the quadratic attention cost model).
+    pub fn wmt16() -> Self {
+        SentenceLengthSampler {
+            mu_log: 3.22, // median ≈ 25 tokens
+            sigma_log: 0.34,
+            min_tokens: 6,
+            max_tokens: 110,
+        }
+    }
+
+    /// Draw one sentence length (tokens).
+    pub fn sample(&self, rng: &mut TensorRng) -> usize {
+        let raw = rng.lognormal(self.mu_log, self.sigma_log);
+        raw.clamp(self.min_tokens as f64, self.max_tokens as f64)
+            .round() as usize
+    }
+
+    /// Draw the *average* length of a batch of `batch` sentences (batches
+    /// are bucketed in practice, so per-batch averages vary widely).
+    pub fn sample_batch_mean(&self, batch: usize, rng: &mut TensorRng) -> f64 {
+        // Bucketed batches share similar lengths; model the batch mean as
+        // a single draw (one bucket = one length class).
+        let _ = batch;
+        self.sample(rng) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imbalance_cost_shim::transformer_batch_ms;
+
+    // The imbalance crate depends on nothing here; re-declare the cost
+    // model locally to keep datagen → imbalance decoupled.
+    mod imbalance_cost_shim {
+        pub fn transformer_batch_ms(tokens: f64) -> f64 {
+            120.0 + 9.2 * tokens + 0.16 * tokens * tokens
+        }
+    }
+
+    #[test]
+    fn lengths_are_clipped() {
+        let s = SentenceLengthSampler::wmt16();
+        let mut rng = TensorRng::new(1);
+        for _ in 0..5000 {
+            let l = s.sample(&mut rng);
+            assert!((6..=110).contains(&l));
+        }
+    }
+
+    #[test]
+    fn induced_runtime_matches_fig3_stats() {
+        let s = SentenceLengthSampler::wmt16();
+        let mut rng = TensorRng::new(2);
+        let runtimes: Vec<f64> = (0..20_653)
+            .map(|_| transformer_batch_ms(s.sample_batch_mean(64, &mut rng)))
+            .collect();
+        let n = runtimes.len() as f64;
+        let mean = runtimes.iter().sum::<f64>() / n;
+        let std =
+            (runtimes.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt();
+        let min = runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = runtimes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Paper: mean 475, σ 144, range [179, 3482]. Match the shape:
+        assert!((380.0..570.0).contains(&mean), "mean {mean}");
+        assert!((100.0..260.0).contains(&std), "std {std}");
+        assert!(min >= 170.0, "min {min}");
+        assert!(max <= 3600.0, "max {max}");
+        // Right-skewed: mean above median.
+        let mut sorted = runtimes.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(mean > median, "mean {mean} vs median {median}");
+    }
+}

@@ -1,0 +1,27 @@
+//! # imbalance — load-imbalance injection, statistics and cost models
+//!
+//! The paper's evaluation *injects* delays to simulate imbalance
+//! (§6.2: "we manually inject delays to simulate the dynamic load
+//! imbalance environment") and *measures* inherent imbalance from
+//! variable-length data (§2). This crate provides both sides:
+//!
+//! - [`Injector`]: deterministic delay models reproducing each figure's
+//!   injection protocol (linear skew for the Fig. 9 microbenchmark,
+//!   random-k-of-P for Figs. 10–11, shifting skew for Fig. 12, sampled
+//!   cloud noise for Fig. 4). Determinism matters: every rank computes the
+//!   same "who is slow this step" decision from the shared seed, with no
+//!   extra communication — the same trick majority collectives use for
+//!   initiator consensus.
+//! - [`stats`]: Welford online moments and fixed-width histograms for the
+//!   runtime-distribution figures.
+//! - [`cost`]: batch-runtime models fitted to the paper's reported
+//!   distributions (Fig. 2b: LSTM ≈ 148 + 1.84·frames ms on a P100;
+//!   Fig. 3 / Fig. 4 analogues), used to regenerate the §2 motivation
+//!   histograms and to run "simulated compute" experiments at scale.
+
+pub mod cost;
+pub mod injector;
+pub mod stats;
+
+pub use injector::Injector;
+pub use stats::{Histogram, OnlineStats};

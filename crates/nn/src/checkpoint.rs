@@ -1,0 +1,159 @@
+//! Flat-parameter checkpointing.
+//!
+//! Models serialize as their flat parameter vector plus a shape
+//! fingerprint (the per-tensor sizes), so a checkpoint can only be loaded
+//! into a structurally identical model — the same invariant the
+//! distributed trainer relies on for its fused buffers. The paper's
+//! periodic model synchronization (§5) makes rank 0's weights a faithful
+//! global snapshot at sync boundaries, which is exactly when one would
+//! checkpoint.
+
+use crate::model::Model;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// A serializable snapshot of a model's parameters.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct Checkpoint {
+    /// Per-tensor lengths, used as a structural fingerprint.
+    pub param_sizes: Vec<usize>,
+    /// All parameters, flattened in visitor order.
+    pub params: Vec<f32>,
+    /// Free-form metadata (epoch, step, variant...).
+    pub meta: std::collections::BTreeMap<String, String>,
+}
+
+/// Errors from checkpoint save/load.
+#[derive(Debug)]
+pub enum CheckpointError {
+    Io(std::io::Error),
+    Serde(serde_json::Error),
+    /// The checkpoint's structure does not match the target model.
+    ShapeMismatch {
+        expected: Vec<usize>,
+        found: Vec<usize>,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Serde(e) => write!(f, "checkpoint encode/decode error: {e}"),
+            CheckpointError::ShapeMismatch { expected, found } => write!(
+                f,
+                "checkpoint shape mismatch: model has {expected:?}, file has {found:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CheckpointError {
+    fn from(e: serde_json::Error) -> Self {
+        CheckpointError::Serde(e)
+    }
+}
+
+impl Checkpoint {
+    /// Snapshot a model's current parameters.
+    pub fn capture(model: &dyn Model) -> Self {
+        let mut params = vec![0.0f32; model.num_params()];
+        model.write_params(&mut params);
+        Checkpoint {
+            param_sizes: model.param_sizes(),
+            params,
+            meta: Default::default(),
+        }
+    }
+
+    /// Attach a metadata entry (builder style).
+    pub fn with_meta(mut self, key: &str, value: impl ToString) -> Self {
+        self.meta.insert(key.into(), value.to_string());
+        self
+    }
+
+    /// Restore into a structurally identical model.
+    pub fn restore(&self, model: &mut dyn Model) -> Result<(), CheckpointError> {
+        let expected = model.param_sizes();
+        if expected != self.param_sizes {
+            return Err(CheckpointError::ShapeMismatch {
+                expected,
+                found: self.param_sizes.clone(),
+            });
+        }
+        model.read_params(&self.params);
+        Ok(())
+    }
+
+    /// Write as JSON to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        let mut f = std::fs::File::create(path)?;
+        let s = serde_json::to_string(self)?;
+        f.write_all(s.as_bytes())?;
+        Ok(())
+    }
+
+    /// Read from a JSON file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let mut s = String::new();
+        std::fs::File::open(path)?.read_to_string(&mut s)?;
+        Ok(serde_json::from_str(&s)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{hyperplane_mlp, video_lstm};
+    use minitensor::TensorRng;
+
+    #[test]
+    fn capture_restore_round_trips() {
+        let mut rng = TensorRng::new(1);
+        let src = hyperplane_mlp(16, &mut rng);
+        let ckpt = Checkpoint::capture(&src).with_meta("epoch", 7);
+        let mut dst = hyperplane_mlp(16, &mut rng); // different init
+        ckpt.restore(&mut dst).unwrap();
+        let recaptured = Checkpoint::capture(&dst);
+        assert_eq!(ckpt.params, recaptured.params);
+        assert_eq!(ckpt.param_sizes, recaptured.param_sizes);
+        assert_eq!(ckpt.meta["epoch"], "7");
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut rng = TensorRng::new(2);
+        let src = hyperplane_mlp(16, &mut rng);
+        let ckpt = Checkpoint::capture(&src);
+        let mut wrong = hyperplane_mlp(32, &mut rng);
+        assert!(matches!(
+            ckpt.restore(&mut wrong),
+            Err(CheckpointError::ShapeMismatch { .. })
+        ));
+        let mut very_wrong = video_lstm(8, 8, 4, &mut rng);
+        assert!(ckpt.restore(&mut very_wrong).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut rng = TensorRng::new(3);
+        let src = video_lstm(4, 6, 3, &mut rng);
+        let ckpt = Checkpoint::capture(&src).with_meta("note", "test");
+        let dir = std::env::temp_dir().join("eager_sgd_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(ckpt, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+}

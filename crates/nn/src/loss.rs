@@ -1,0 +1,160 @@
+//! Loss functions: mean-squared error (the hyperplane regression of
+//! §6.2.1 reports MSE validation loss) and softmax cross-entropy (all
+//! classification tasks, with top-1/top-5 accuracy as in §6.2.2–6.3).
+
+use minitensor::Mat;
+
+/// Which loss a [`crate::FeedForward`] model applies to its head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossKind {
+    /// Mean squared error over all output entries.
+    Mse,
+    /// Softmax + cross-entropy over class logits.
+    SoftmaxXent,
+}
+
+/// MSE loss and gradient: `L = mean((pred - target)^2)`.
+pub fn mse(pred: &Mat, target: &Mat) -> (f32, Mat) {
+    assert_eq!(pred.shape(), target.shape(), "mse shapes");
+    let n = pred.len() as f32;
+    let mut grad = pred.clone();
+    grad.sub_assign(target);
+    let loss = grad.as_slice().iter().map(|d| d * d).sum::<f32>() / n;
+    grad.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Row-wise softmax probabilities (numerically stabilized).
+pub fn softmax(logits: &Mat) -> Mat {
+    let mut out = logits.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+    out
+}
+
+/// Softmax cross-entropy loss and logit gradient for integer labels.
+/// `L = -mean_i log softmax(logits_i)[label_i]`;
+/// `dL/dlogits = (softmax - onehot) / batch`.
+pub fn softmax_xent(logits: &Mat, labels: &[usize]) -> (f32, Mat) {
+    assert_eq!(logits.rows(), labels.len(), "one label per row");
+    let batch = logits.rows() as f32;
+    let mut probs = softmax(logits);
+    let mut loss = 0.0f32;
+    for (i, &y) in labels.iter().enumerate() {
+        debug_assert!(y < logits.cols(), "label out of range");
+        let p = probs.get(i, y).max(1e-12);
+        loss -= p.ln();
+        let v = probs.get(i, y);
+        probs.set(i, y, v - 1.0);
+    }
+    probs.scale(1.0 / batch);
+    (loss / batch, probs)
+}
+
+/// Top-k accuracy for integer labels.
+pub fn topk_accuracy(logits: &Mat, labels: &[usize], k: usize) -> f32 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let topk = logits.topk_rows(k);
+    let hits = topk
+        .iter()
+        .zip(labels)
+        .filter(|(t, y)| t.contains(y))
+        .count();
+    hits as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_perfect_prediction() {
+        let p = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let (l, g) = mse(&p, &p);
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|x| *x == 0.0));
+    }
+
+    #[test]
+    fn mse_gradient_direction() {
+        let p = Mat::from_vec(1, 1, vec![3.0]);
+        let t = Mat::from_vec(1, 1, vec![1.0]);
+        let (l, g) = mse(&p, &t);
+        assert_eq!(l, 4.0);
+        assert_eq!(g.as_slice(), &[4.0]); // 2*(3-1)/1
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = Mat::from_vec(2, 3, vec![1.0, 2.0, 3.0, -5.0, 0.0, 5.0]);
+        let s = softmax(&m);
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Mat::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Mat::from_vec(1, 3, vec![101.0, 102.0, 103.0]);
+        let sa = softmax(&a);
+        let sb = softmax(&b);
+        for (x, y) in sa.as_slice().iter().zip(sb.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn xent_gradient_sums_to_zero_per_row() {
+        // (softmax - onehot) rows sum to zero.
+        let logits = Mat::from_vec(2, 4, vec![0.5, -1.0, 2.0, 0.0, 1.0, 1.0, 1.0, 1.0]);
+        let (_, g) = softmax_xent(&logits, &[2, 0]);
+        for i in 0..2 {
+            let s: f32 = g.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn xent_numerical_gradient() {
+        let logits = Mat::from_vec(1, 3, vec![0.2, -0.4, 0.9]);
+        let labels = [1usize];
+        let (_, g) = softmax_xent(&logits, &labels);
+        let eps = 1e-3f32;
+        for j in 0..3 {
+            let mut up = logits.clone();
+            up.set(0, j, logits.get(0, j) + eps);
+            let mut dn = logits.clone();
+            dn.set(0, j, logits.get(0, j) - eps);
+            let (lu, _) = softmax_xent(&up, &labels);
+            let (ld, _) = softmax_xent(&dn, &labels);
+            let num = (lu - ld) / (2.0 * eps);
+            assert!(
+                (g.get(0, j) - num).abs() < 1e-3,
+                "logit {j}: {} vs {num}",
+                g.get(0, j)
+            );
+        }
+    }
+
+    #[test]
+    fn topk_accuracy_counts_hits() {
+        let logits = Mat::from_vec(2, 4, vec![0.9, 0.1, 0.5, 0.0, 0.0, 0.1, 0.2, 0.9]);
+        assert_eq!(topk_accuracy(&logits, &[0, 0], 1), 0.5);
+        assert_eq!(topk_accuracy(&logits, &[2, 2], 2), 1.0);
+        assert_eq!(topk_accuracy(&logits, &[1, 1], 1), 0.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # minitensor — minimal dense f32 tensor library
+//!
+//! Just enough linear algebra for the deep-learning substrate (`dnn`):
+//! a 2-D row-major matrix [`Mat`] with the matmul variants backprop needs
+//! (`A·B`, `Aᵀ·B`, `A·Bᵀ`), elementwise ops, reductions, and seeded random
+//! initialization (Box–Muller normals — `rand_distr` is intentionally not a
+//! dependency).
+//!
+//! The matmul kernels use the i-k-j loop order so the inner loop streams
+//! both operands sequentially (auto-vectorizes well); that is plenty for
+//! the model sizes the reproduction trains, where injected/inherent load
+//! imbalance — not raw FLOPs — dominates step time.
+
+pub mod mat;
+pub mod rng;
+
+pub use mat::Mat;
+pub use rng::TensorRng;

@@ -1,0 +1,497 @@
+//! Row-major 2-D matrix with the operations backprop needs.
+
+use crate::rng::TensorRng;
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major `rows × cols` f32 matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Mat {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
+    }
+
+    /// Build from a closure over (row, col).
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Wrap an existing row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length mismatch");
+        Mat { rows, cols, data }
+    }
+
+    /// i.i.d. normal entries with the given std (mean 0).
+    pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut TensorRng) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| (rng.normal() as f32) * std)
+            .collect();
+        Mat { rows, cols, data }
+    }
+
+    /// He/Kaiming initialization for a layer with `fan_in` inputs.
+    pub fn he_init(rows: usize, cols: usize, fan_in: usize, rng: &mut TensorRng) -> Self {
+        Self::randn(rows, cols, (2.0 / fan_in as f32).sqrt(), rng)
+    }
+
+    /// Xavier/Glorot initialization.
+    pub fn xavier_init(rows: usize, cols: usize, rng: &mut TensorRng) -> Self {
+        let std = (2.0 / (rows + cols) as f32).sqrt();
+        Self::randn(rows, cols, std, rng)
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `C = A · B`.
+    pub fn matmul(&self, b: &Mat) -> Mat {
+        assert_eq!(self.cols, b.rows, "matmul inner dims");
+        let mut c = Mat::zeros(self.rows, b.cols);
+        // i-k-j: stream rows of B against the accumulator row of C.
+        for i in 0..self.rows {
+            let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
+            for k in 0..self.cols {
+                let a_ik = self.data[i * self.cols + k];
+                if a_ik == 0.0 {
+                    continue;
+                }
+                let brow = &b.data[k * b.cols..(k + 1) * b.cols];
+                for (cv, bv) in crow.iter_mut().zip(brow) {
+                    *cv += a_ik * bv;
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = Aᵀ · B` without materializing the transpose (dW in backprop).
+    pub fn matmul_tn(&self, b: &Mat) -> Mat {
+        assert_eq!(self.rows, b.rows, "matmul_tn outer dims");
+        let mut c = Mat::zeros(self.cols, b.cols);
+        for k in 0..self.rows {
+            let arow = &self.data[k * self.cols..(k + 1) * self.cols];
+            let brow = &b.data[k * b.cols..(k + 1) * b.cols];
+            for (i, &a_ki) in arow.iter().enumerate() {
+                if a_ki == 0.0 {
+                    continue;
+                }
+                let crow = &mut c.data[i * b.cols..(i + 1) * b.cols];
+                for (cv, bv) in crow.iter_mut().zip(brow) {
+                    *cv += a_ki * bv;
+                }
+            }
+        }
+        c
+    }
+
+    /// `C = A · Bᵀ` without materializing the transpose (dX in backprop).
+    pub fn matmul_nt(&self, b: &Mat) -> Mat {
+        assert_eq!(self.cols, b.cols, "matmul_nt inner dims");
+        let mut c = Mat::zeros(self.rows, b.rows);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..b.rows {
+                let brow = &b.data[j * b.cols..(j + 1) * b.cols];
+                let mut acc = 0.0f32;
+                for (av, bv) in arow.iter().zip(brow) {
+                    acc += av * bv;
+                }
+                c.data[i * b.rows + j] = acc;
+            }
+        }
+        c
+    }
+
+    /// Materialized transpose.
+    pub fn t(&self) -> Mat {
+        let mut t = Mat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        t
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &Mat) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, other: &Mat) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a -= b;
+        }
+    }
+
+    /// `self += alpha * other` (axpy).
+    pub fn add_scaled(&mut self, other: &Mat, alpha: f32) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// `self *= alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for a in self.data.iter_mut() {
+            *a *= alpha;
+        }
+    }
+
+    /// Add a row vector (1 × cols) to every row (bias broadcast).
+    pub fn add_row_broadcast(&mut self, bias: &Mat) {
+        assert_eq!(bias.rows, 1);
+        assert_eq!(bias.cols, self.cols);
+        for i in 0..self.rows {
+            let row = &mut self.data[i * self.cols..(i + 1) * self.cols];
+            for (r, b) in row.iter_mut().zip(&bias.data) {
+                *r += b;
+            }
+        }
+    }
+
+    /// Column-sum into a 1 × cols row vector (bias gradient).
+    pub fn sum_rows(&self) -> Mat {
+        let mut out = Mat::zeros(1, self.cols);
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for (o, r) in out.data.iter_mut().zip(row) {
+                *o += r;
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Mat {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Elementwise map in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.data.iter_mut() {
+            *x = f(*x);
+        }
+    }
+
+    /// Elementwise `self[i] = f(self[i], other[i])`.
+    pub fn zip_inplace(&mut self, other: &Mat, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape(), other.shape());
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a = f(*a, *b);
+        }
+    }
+
+    /// Elementwise product into a new matrix (Hadamard).
+    pub fn hadamard(&self, other: &Mat) -> Mat {
+        assert_eq!(self.shape(), other.shape());
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius (ℓ2) norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Per-row argmax (predicted class per sample). NaN-tolerant via a
+    /// total ordering — a diverged model yields arbitrary but defined
+    /// predictions rather than a panic.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|i| {
+                let row = self.row(i);
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(j, _)| j)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Per-row indices of the top-k entries, descending (NaN-tolerant).
+    pub fn topk_rows(&self, k: usize) -> Vec<Vec<usize>> {
+        (0..self.rows)
+            .map(|i| {
+                let row = self.row(i);
+                let mut idx: Vec<usize> = (0..row.len()).collect();
+                idx.sort_by(|&a, &b| row[b].total_cmp(&row[a]));
+                idx.truncate(k);
+                idx
+            })
+            .collect()
+    }
+
+    /// Fill with zeros, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Stack rows of `mats` vertically (all must share `cols`).
+    pub fn vstack(mats: &[&Mat]) -> Mat {
+        assert!(!mats.is_empty());
+        let cols = mats[0].cols;
+        let rows: usize = mats.iter().map(|m| m.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for m in mats {
+            assert_eq!(m.cols, cols);
+            data.extend_from_slice(&m.data);
+        }
+        Mat { rows, cols, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Mat, b: &Mat) -> Mat {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut s = 0.0;
+                for k in 0..a.cols() {
+                    s += a.get(i, k) * b.get(k, j);
+                }
+                c.set(i, j, s);
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let mut rng = TensorRng::new(1);
+        let a = Mat::randn(7, 5, 1.0, &mut rng);
+        let b = Mat::randn(5, 9, 1.0, &mut rng);
+        let fast = a.matmul(&b);
+        let slow = naive_matmul(&a, &b);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_is_transpose_matmul() {
+        let mut rng = TensorRng::new(2);
+        let a = Mat::randn(6, 4, 1.0, &mut rng);
+        let b = Mat::randn(6, 3, 1.0, &mut rng);
+        let direct = a.matmul_tn(&b);
+        let via_t = a.t().matmul(&b);
+        for (x, y) in direct.as_slice().iter().zip(via_t.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_is_matmul_transpose() {
+        let mut rng = TensorRng::new(3);
+        let a = Mat::randn(6, 4, 1.0, &mut rng);
+        let b = Mat::randn(5, 4, 1.0, &mut rng);
+        let direct = a.matmul_nt(&b);
+        let via_t = a.matmul(&b.t());
+        for (x, y) in direct.as_slice().iter().zip(via_t.as_slice()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bias_broadcast_and_sum_rows_are_adjoint() {
+        // sum_rows is the gradient of add_row_broadcast: shapes line up and
+        // a constant bias added n-row times sums n times.
+        let mut x = Mat::zeros(4, 3);
+        let bias = Mat::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        x.add_row_broadcast(&bias);
+        let g = x.sum_rows();
+        assert_eq!(g.as_slice(), &[4.0, 8.0, 12.0]);
+    }
+
+    #[test]
+    fn argmax_and_topk() {
+        let m = Mat::from_vec(2, 4, vec![0.1, 0.9, 0.5, 0.2, 9.0, -1.0, 3.0, 8.0]);
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+        assert_eq!(m.topk_rows(2), vec![vec![1, 2], vec![0, 3]]);
+    }
+
+    #[test]
+    fn vstack_concatenates() {
+        let a = Mat::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = Mat::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0]);
+        let s = Mat::vstack(&[&a, &b]);
+        assert_eq!(s.shape(), (3, 2));
+        assert_eq!(s.row(2), &[5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims")]
+    fn mismatched_matmul_panics() {
+        let a = Mat::zeros(2, 3);
+        let b = Mat::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
+            proptest::collection::vec(-10.0f32..10.0, rows * cols)
+                .prop_map(move |v| Mat::from_vec(rows, cols, v))
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(50))]
+
+            /// (A·B)ᵀ == Bᵀ·Aᵀ
+            #[test]
+            fn transpose_of_product(
+                a in arb_mat(4, 3),
+                b in arb_mat(3, 5),
+            ) {
+                let lhs = a.matmul(&b).t();
+                let rhs = b.t().matmul(&a.t());
+                for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                    prop_assert!((x - y).abs() < 1e-3);
+                }
+            }
+
+            /// Matmul distributes over addition: A·(B+C) == A·B + A·C
+            #[test]
+            fn distributivity(
+                a in arb_mat(3, 4),
+                b in arb_mat(4, 2),
+                c in arb_mat(4, 2),
+            ) {
+                let mut bc = b.clone();
+                bc.add_assign(&c);
+                let lhs = a.matmul(&bc);
+                let mut rhs = a.matmul(&b);
+                rhs.add_assign(&a.matmul(&c));
+                for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+                    prop_assert!((x - y).abs() < 1e-2);
+                }
+            }
+
+            /// Double transpose is identity.
+            #[test]
+            fn double_transpose(a in arb_mat(5, 7)) {
+                prop_assert_eq!(a.t().t(), a);
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Text-mode rendering of the paper's §2 motivation: the three runtime
+//! distributions (video LSTM, Transformer/WMT16, cloud ResNet-50) that
+//! justify partial collectives.
+//!
+//! ```sh
+//! cargo run --release --example imbalance_profile
+//! ```
+
+use eager_sgd_repro::prelude::*;
+use datagen::text::SentenceLengthSampler;
+use imbalance::cost::{cloud_resnet_floor_ms, lstm_batch_ms, transformer_batch_ms};
+use imbalance::{Histogram, OnlineStats};
+
+fn render(title: &str, hist: &Histogram, stats: &OnlineStats) {
+    println!("\n{title}");
+    println!(
+        "  n={}, range {:.0}..{:.0} ms, mean {:.0}, std {:.0}",
+        stats.count(),
+        stats.min(),
+        stats.max(),
+        stats.mean(),
+        stats.std()
+    );
+    let peak = hist.rows().iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+    for (center, count) in hist.rows() {
+        if count == 0 {
+            continue;
+        }
+        let bar = "#".repeat((count * 50 / peak).max(1) as usize);
+        println!("  {center:>6.0} ms | {bar} {count}");
+    }
+}
+
+fn main() {
+    println!("runtime distributions behind the paper's motivation (Fig. 2b, 3, 4)");
+
+    // Fig 2b: LSTM on UCF101 — inherent, from video lengths.
+    let task = VideoTask::new(VideoDatasetSpec::ucf101(1.0), 16, 1);
+    let mut h = Histogram::new(0.0, 3500.0, 14);
+    let mut s = OnlineStats::new();
+    for b in 0..task.n_buckets() {
+        let ms = lstm_batch_ms(task.bucket_len(b) as f64);
+        h.push(ms);
+        s.push(ms);
+    }
+    render("LSTM / UCF101 (inherent, from video lengths):", &h, &s);
+
+    // Fig 3: Transformer on WMT16 — inherent, from sentence lengths.
+    let sampler = SentenceLengthSampler::wmt16();
+    let mut rng = TensorRng::new(2);
+    let mut h = Histogram::new(0.0, 3500.0, 14);
+    let mut s = OnlineStats::new();
+    for _ in 0..5000 {
+        let ms = transformer_batch_ms(sampler.sample_batch_mean(64, &mut rng));
+        h.push(ms);
+        s.push(ms);
+    }
+    render("Transformer / WMT16 (inherent, from sentence lengths):", &h, &s);
+
+    // Fig 4: ResNet-50 on a cloud box — system-induced.
+    let noise = Injector::cloud_default(3);
+    let mut h = Histogram::new(350.0, 1900.0, 14);
+    let mut s = OnlineStats::new();
+    for step in 0..5000u64 {
+        let ms = cloud_resnet_floor_ms() + noise.delay_ms(0, 2, step).min(1500.0);
+        h.push(ms);
+        s.push(ms);
+    }
+    render("ResNet-50 / ImageNet on cloud (system-induced):", &h, &s);
+
+    println!(
+        "\nall three are unimodal with long right tails: a blocking allreduce\n\
+         pays the tail every step; a partial allreduce does not."
+    );
+}
