@@ -96,7 +96,12 @@ fn bench_schedule_construction(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("solo_allreduce", p), &p, |b, &p| {
             let cands: Vec<usize> = (0..p).collect();
             b.iter(|| {
-                allreduce_schedule(p / 2, p, ReduceOp::Sum, &ActivationMode::Race(cands.clone()))
+                allreduce_schedule(
+                    p / 2,
+                    p,
+                    ReduceOp::Sum,
+                    &ActivationMode::Race(cands.clone()),
+                )
             });
         });
     }

@@ -63,9 +63,7 @@ impl HarnessArgs {
                     );
                 }
                 "--help" | "-h" => {
-                    eprintln!(
-                        "options: [--quick] [--time-scale X] [--seed N] [--part a|b|c]"
-                    );
+                    eprintln!("options: [--quick] [--time-scale X] [--seed N] [--part a|b|c]");
                     std::process::exit(0);
                 }
                 other => usage(&format!("unknown flag {other}")),

@@ -18,13 +18,7 @@ use std::time::{Duration, Instant};
 /// stale/null response, while late ranks find the round already complete
 /// and return instantly (which *lowers* the cross-rank mean as skew
 /// grows).
-fn solo_latency_ms(
-    p: usize,
-    net: NetworkModel,
-    skew_ms: u64,
-    iters: u64,
-    seed: u64,
-) -> (f64, f64) {
+fn solo_latency_ms(p: usize, net: NetworkModel, skew_ms: u64, iters: u64, seed: u64) -> (f64, f64) {
     let per_rank = World::launch(
         WorldConfig {
             nranks: p,
@@ -45,9 +39,7 @@ fn solo_latency_ms(
             for _ in 0..iters {
                 ctx.host_barrier();
                 if skew_ms > 0 && rank > 0 {
-                    std::thread::sleep(Duration::from_millis(
-                        rank as u64 * skew_ms / p as u64 + 1,
-                    ));
+                    std::thread::sleep(Duration::from_millis(rank as u64 * skew_ms / p as u64 + 1));
                 }
                 let buf = TypedBuf::from(vec![1.0f32; 1024]);
                 let t0 = Instant::now();
@@ -70,7 +62,12 @@ fn main() {
 
     comment("Activation-phase ablation: solo allreduce latency vs transport alpha and skew");
     comment("initiator latency = rank 0 (fastest): where the activation overhead lands");
-    row(&["network", "skew_ms", "mean_latency_ms", "initiator_latency_ms"]);
+    row(&[
+        "network",
+        "skew_ms",
+        "mean_latency_ms",
+        "initiator_latency_ms",
+    ]);
 
     let nets: Vec<(&str, NetworkModel)> = vec![
         ("instant", NetworkModel::Instant),

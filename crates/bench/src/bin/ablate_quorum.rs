@@ -20,7 +20,11 @@ use std::sync::Arc;
 fn main() {
     let args = HarnessArgs::parse();
     let p = 8;
-    let (dim, epochs, steps) = if args.quick { (256, 3, 8) } else { (2048, 10, 16) };
+    let (dim, epochs, steps) = if args.quick {
+        (256, 3, 8)
+    } else {
+        (2048, 10, 16)
+    };
     let task = Arc::new(HyperplaneTask::new(dim, 16_384, 1.0, 256, args.seed));
 
     comment("Quorum-spectrum ablation (the solo..majority..full spectrum of §8)");
@@ -39,20 +43,32 @@ fn main() {
     let policies: Vec<(SgdVariant, QuorumPolicy)> = vec![
         (SgdVariant::EagerSolo, QuorumPolicy::Solo),
         (
-            SgdVariant::EagerQuorum { chain: 4, race: true },
+            SgdVariant::EagerQuorum {
+                chain: 4,
+                race: true,
+            },
             QuorumPolicy::FirstOf(4),
         ),
         (SgdVariant::EagerMajority, QuorumPolicy::Majority),
         (
-            SgdVariant::EagerQuorum { chain: 2, race: false },
+            SgdVariant::EagerQuorum {
+                chain: 2,
+                race: false,
+            },
             QuorumPolicy::Chain(2),
         ),
         (
-            SgdVariant::EagerQuorum { chain: 4, race: false },
+            SgdVariant::EagerQuorum {
+                chain: 4,
+                race: false,
+            },
             QuorumPolicy::Chain(4),
         ),
         (
-            SgdVariant::EagerQuorum { chain: p, race: false },
+            SgdVariant::EagerQuorum {
+                chain: p,
+                race: false,
+            },
             QuorumPolicy::Chain(p),
         ),
     ];

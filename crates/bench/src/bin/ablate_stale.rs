@@ -18,11 +18,17 @@ use std::sync::Arc;
 fn main() {
     let args = HarnessArgs::parse();
     let p = 8;
-    let (dim, epochs, steps) = if args.quick { (256, 4, 8) } else { (2048, 12, 16) };
+    let (dim, epochs, steps) = if args.quick {
+        (256, 4, 8)
+    } else {
+        (2048, 12, 16)
+    };
     let task = Arc::new(HyperplaneTask::new(dim, 16_384, 1.0, 256, args.seed));
 
     comment("Stale-mode ablation: accumulate (paper, Fig. 7) vs replace");
-    comment(&format!("P={p}, eager-solo, skewed 3 of {p} ranks by 120 ms"));
+    comment(&format!(
+        "P={p}, eager-solo, skewed 3 of {p} ranks by 120 ms"
+    ));
     row(&["stale_mode", "final_val_loss", "steps_per_s", "fresh_frac"]);
 
     let run = |mode: StaleMode| -> VariantSummary {
@@ -66,9 +72,7 @@ fn main() {
     let accumulate = run(StaleMode::Accumulate);
     let replace = run(StaleMode::Replace);
     for s in [&accumulate, &replace] {
-        let val = s
-            .final_test
-            .map_or(f32::NAN, |t| t.loss);
+        let val = s.final_test.map_or(f32::NAN, |t| t.loss);
         row(&[
             s.label.clone(),
             format!("{val:.4}"),
@@ -113,7 +117,11 @@ fn main() {
         } else {
             format!("{:.1}", rep_loss / acc_loss)
         },
-        if rep_loss < acc_loss { "lower" } else { "higher" },
+        if rep_loss < acc_loss {
+            "lower"
+        } else {
+            "higher"
+        },
     );
     std::process::exit(i32::from(!ok));
 }

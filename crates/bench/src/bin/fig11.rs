@@ -91,12 +91,7 @@ fn main() {
     };
     let local_batch = 32;
     let task = Arc::new(GaussianMixtureTask::new(
-        in_dim,
-        classes,
-        1_281_167,
-        1.0,
-        1024,
-        args.seed,
+        in_dim, classes, 1_281_167, 1.0, 1024, args.seed,
     ));
     let f = Fig11 {
         p,
@@ -175,7 +170,12 @@ fn main() {
 
     if part.contains('b') {
         // §6.2.2 ablation: no periodic model synchronization.
-        let nosync = f.run(SgdVariant::EagerSolo, 300.0, None, "eager-SGD-300(solo,nosync)");
+        let nosync = f.run(
+            SgdVariant::EagerSolo,
+            300.0,
+            None,
+            "eager-SGD-300(solo,nosync)",
+        );
         let synced = summaries
             .iter()
             .find(|s| s.label.starts_with("eager-SGD-300(solo)"))

@@ -20,7 +20,11 @@ use std::sync::Arc;
 fn main() {
     let args = HarnessArgs::parse();
     let p = 8;
-    let (epochs, steps, in_dim) = if args.quick { (6, 6, 64) } else { (30, 12, 128) };
+    let (epochs, steps, in_dim) = if args.quick {
+        (6, 6, 64)
+    } else {
+        (30, 12, 128)
+    };
     let local_batch = 512 / p;
     let classes = 10;
     let task = Arc::new(GaussianMixtureTask::new(

@@ -49,7 +49,11 @@ fn main() {
     ok &= shape_check(
         "range-matches-paper",
         stats.min() >= 190.0 && stats.min() <= 260.0 && stats.max() >= 2500.0,
-        &format!("[{:.0}, {:.0}] vs paper [201, 3410]", stats.min(), stats.max()),
+        &format!(
+            "[{:.0}, {:.0}] vs paper [201, 3410]",
+            stats.min(),
+            stats.max()
+        ),
     );
     ok &= shape_check(
         "right-skewed-runtimes",

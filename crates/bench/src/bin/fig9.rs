@@ -36,61 +36,57 @@ struct RunResult {
 }
 
 fn bench(algo: Algo, p: usize, len: usize, iters: u64, seed: u64) -> RunResult {
-    let per_rank = World::launch(
-        WorldConfig::instant(p).with_seed(seed),
-        move |c| {
-            let ctx = RankCtx::new(c);
-            let rank = ctx.rank();
-            enum Ar {
-                Sync(SyncAllreduce),
-                Partial(PartialAllreduce),
-            }
-            let mut ar = match algo {
-                Algo::Sync => Ar::Sync(ctx.sync_allreduce(DType::F32, len, ReduceOp::Sum, None)),
-                Algo::Majority => Ar::Partial(ctx.partial_allreduce(
-                    DType::F32,
-                    len,
-                    ReduceOp::Sum,
-                    QuorumPolicy::Majority,
-                    PartialOpts::default(),
-                )),
-                Algo::Solo => Ar::Partial(ctx.partial_allreduce(
-                    DType::F32,
-                    len,
-                    ReduceOp::Sum,
-                    QuorumPolicy::Solo,
-                    PartialOpts::default(),
-                )),
-            };
-            let mut lat = OnlineStats::new();
-            for _it in 0..iters {
-                ctx.host_barrier(); // exact alignment before the skew
-                // Fig. 8 line 4: linear skew, 1 ms .. P ms.
-                std::thread::sleep(Duration::from_millis(rank as u64 + 1));
-                let sendbuf = TypedBuf::from(vec![1.0f32; len]);
-                let t0 = Instant::now();
-                match &mut ar {
-                    Ar::Sync(a) => {
-                        let _ = a.allreduce(&sendbuf);
-                    }
-                    Ar::Partial(a) => {
-                        let _ = a.allreduce(&sendbuf);
-                    }
+    let per_rank = World::launch(WorldConfig::instant(p).with_seed(seed), move |c| {
+        let ctx = RankCtx::new(c);
+        let rank = ctx.rank();
+        enum Ar {
+            Sync(SyncAllreduce),
+            Partial(PartialAllreduce),
+        }
+        let mut ar = match algo {
+            Algo::Sync => Ar::Sync(ctx.sync_allreduce(DType::F32, len, ReduceOp::Sum, None)),
+            Algo::Majority => Ar::Partial(ctx.partial_allreduce(
+                DType::F32,
+                len,
+                ReduceOp::Sum,
+                QuorumPolicy::Majority,
+                PartialOpts::default(),
+            )),
+            Algo::Solo => Ar::Partial(ctx.partial_allreduce(
+                DType::F32,
+                len,
+                ReduceOp::Sum,
+                QuorumPolicy::Solo,
+                PartialOpts::default(),
+            )),
+        };
+        let mut lat = OnlineStats::new();
+        for _it in 0..iters {
+            ctx.host_barrier(); // exact alignment before the skew
+                                // Fig. 8 line 4: linear skew, 1 ms .. P ms.
+            std::thread::sleep(Duration::from_millis(rank as u64 + 1));
+            let sendbuf = TypedBuf::from(vec![1.0f32; len]);
+            let t0 = Instant::now();
+            match &mut ar {
+                Ar::Sync(a) => {
+                    let _ = a.allreduce(&sendbuf);
                 }
-                lat.push(t0.elapsed().as_secs_f64() * 1e3);
-                ctx.barrier(); // Fig. 8 line 12
+                Ar::Partial(a) => {
+                    let _ = a.allreduce(&sendbuf);
+                }
             }
-            let traces = match &ar {
-                Ar::Partial(a) => a.traces(),
-                Ar::Sync(_) => Vec::new(),
-            };
-            ctx.finalize();
-            (lat.mean(), traces)
-        },
-    );
+            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+            ctx.barrier(); // Fig. 8 line 12
+        }
+        let traces = match &ar {
+            Ar::Partial(a) => a.traces(),
+            Ar::Sync(_) => Vec::new(),
+        };
+        ctx.finalize();
+        (lat.mean(), traces)
+    });
 
-    let mean_latency_ms =
-        per_rank.iter().map(|(m, _)| *m).sum::<f64>() / per_rank.len() as f64;
+    let mean_latency_ms = per_rank.iter().map(|(m, _)| *m).sum::<f64>() / per_rank.len() as f64;
     // NAP per round: how many ranks' snapshots carried fresh data.
     let mut nap = Vec::new();
     if algo != Algo::Sync {
@@ -124,13 +120,7 @@ fn main() {
     ));
     comment("paper: solo ~53x and majority ~2.46x latency reduction vs MPI_Allreduce;");
     comment("       NAP(solo) ~= 1, NAP(majority) ~= P/2 with +-sigma band");
-    row(&[
-        "bytes",
-        "algo",
-        "mean_latency_ms",
-        "nap_mean",
-        "nap_std",
-    ]);
+    row(&["bytes", "algo", "mean_latency_ms", "nap_mean", "nap_std"]);
 
     // Aggregate statistics over the latency-bound regime (collective
     // time ≪ injected skew), which is what the paper's 53x/2.46x/NAP
@@ -182,9 +172,7 @@ fn main() {
         "(aggregates below cover the latency-bound regime, sizes <= {LATENCY_BOUND_MAX_BYTES} B)"
     ));
 
-    let gm = |xs: &[f64]| {
-        (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
-    };
+    let gm = |xs: &[f64]| (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp();
     let solo_ratio = gm(&ratios_solo);
     let major_ratio = gm(&ratios_major);
     comment(&format!(

@@ -5,7 +5,9 @@ use repro_bench::report::{comment, row};
 
 fn main() {
     comment("Table 1: Neural networks used for evaluation.");
-    comment("paper_params = Table 1; our_params = instantiated proxy (see DESIGN.md substitutions)");
+    comment(
+        "paper_params = Table 1; our_params = instantiated proxy (see DESIGN.md substitutions)",
+    );
     row(&[
         "task",
         "model",

@@ -20,8 +20,17 @@ fn main() {
     let max_rounds = if args.quick { 80_000 } else { 250_000 };
 
     comment("Theorem 5.2 empirics: rounds to reach ||grad f||^2 <= eps on the ADS simulator");
-    comment(&format!("P={p}, eps={eps}, quadratic + nonconvex objectives"));
-    row(&["objective", "quorum", "tau", "alpha", "rounds_to_eps", "mean_included"]);
+    comment(&format!(
+        "P={p}, eps={eps}, quadratic + nonconvex objectives"
+    ));
+    row(&[
+        "objective",
+        "quorum",
+        "tau",
+        "alpha",
+        "rounds_to_eps",
+        "mean_included",
+    ]);
 
     let objs: Vec<(&str, Box<dyn Objective>)> = vec![
         (

@@ -13,7 +13,10 @@ fn main() {
     let blocks: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
     let noise: f32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
     let steps: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(300);
-    let clip: f32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(f32::INFINITY);
+    let clip: f32 = args
+        .get(4)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(f32::INFINITY);
     let classes: usize = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(50);
     let momentum: f32 = args.get(6).and_then(|s| s.parse().ok()).unwrap_or(0.9);
 

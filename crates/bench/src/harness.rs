@@ -1,8 +1,8 @@
 //! The distributed experiment runner shared by all training figures.
 
+use dnn::{Model, Optimizer};
 use eager_sgd::metrics::EvalRecord;
 use eager_sgd::{run_rank, TrainLog, TrainerConfig, Workload};
-use dnn::{Model, Optimizer};
 use minitensor::TensorRng;
 use pcoll::RankCtx;
 use pcoll_comm::{NetworkModel, World, WorldConfig};
@@ -41,7 +41,13 @@ where
             let ctx = RankCtx::new(c);
             let mut init_rng = TensorRng::new(spec2.model_seed);
             let (mut model, mut opt) = model_factory(&mut init_rng);
-            let log = run_rank(&ctx, model.as_mut(), opt.as_mut(), workload.as_ref(), &spec2.trainer);
+            let log = run_rank(
+                &ctx,
+                model.as_mut(),
+                opt.as_mut(),
+                workload.as_ref(),
+                &spec2.trainer,
+            );
             ctx.finalize();
             log
         },
@@ -137,6 +143,9 @@ mod tests {
         let s = VariantSummary::from_logs("test", &logs);
         assert!(s.throughput > 0.0);
         assert!(s.final_loss.is_finite());
-        assert!((s.fresh_fraction - 1.0).abs() < 1e-9, "sync is always fresh");
+        assert!(
+            (s.fresh_fraction - 1.0).abs() < 1e-9,
+            "sync is always fresh"
+        );
     }
 }

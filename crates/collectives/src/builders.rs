@@ -214,7 +214,13 @@ pub fn barrier_schedule(rank: Rank, p: usize) -> Schedule {
         let dist = 1usize << k;
         let to = (rank + dist) % p;
         let from = (rank + p - dist % p) % p;
-        let send = b.op(OpKind::SendCtl { peer: to, sem: SEM_BARRIER + k }, vec![prev]);
+        let send = b.op(
+            OpKind::SendCtl {
+                peer: to,
+                sem: SEM_BARRIER + k,
+            },
+            vec![prev],
+        );
         let recv = b.op(
             OpKind::Recv {
                 peer: from,
@@ -550,7 +556,10 @@ mod tests {
         let s = allreduce_schedule(2, p, ReduceOp::Sum, &ActivationMode::Full);
         for op in &s.ops {
             match op.kind {
-                OpKind::SendCtl { sem, .. } | OpKind::Recv { sem, into: None, .. } => {
+                OpKind::SendCtl { sem, .. }
+                | OpKind::Recv {
+                    sem, into: None, ..
+                } => {
                     assert!(
                         !(SEM_ACT..SEM_DATA).contains(&sem),
                         "full mode must not carry activation hops"

@@ -242,11 +242,17 @@ impl CollectiveTemplate for PartialTemplate {
             // their contribution must be their fresh deposit even if a
             // chain token created the instance before they arrived.
             QuorumPolicy::Majority | QuorumPolicy::Chain(_) => {
-                let cands = round_candidates(self.seed, self.coll, round, self.p, match self.policy {
-                    QuorumPolicy::Majority => 1,
-                    QuorumPolicy::Chain(m) => m.max(1),
-                    _ => unreachable!(),
-                });
+                let cands = round_candidates(
+                    self.seed,
+                    self.coll,
+                    round,
+                    self.p,
+                    match self.policy {
+                        QuorumPolicy::Majority => 1,
+                        QuorumPolicy::Chain(m) => m.max(1),
+                        _ => unreachable!(),
+                    },
+                );
                 if cands.contains(&self.rank) {
                     SnapshotTiming::Activation
                 } else {
@@ -519,22 +525,24 @@ mod tests {
                 ar.traces(),
             )
         });
-        for r in 0..p {
+        for (r, o) in out.iter().enumerate() {
             // Round 0: only rank 0 was awake.
-            assert_eq!(out[r].0, 1.0, "rank {r} round 0 sum");
+            assert_eq!(o.0, 1.0, "rank {r} round 0 sum");
             // Round 1: three stale + at least the initiator's fresh
             // deposit; at most all four fresh ⇒ sum in [4, 7].
             assert!(
-                (4.0..=7.0).contains(&out[r].1),
+                (4.0..=7.0).contains(&o.1),
                 "rank {r} round 1 sum {} outside [4,7]",
-                out[r].1
+                o.1
             );
         }
         // Sleepers' round-0 snapshots were null; rank 0's was fresh.
-        for r in 1..p {
-            let t = &out[r].2;
-            assert!(t.iter().any(|t| t.round == 0 && t.null),
-                "rank {r} round-0 contribution must be G_null, traces {t:?}");
+        for (r, o) in out.iter().enumerate().skip(1) {
+            let t = &o.2;
+            assert!(
+                t.iter().any(|t| t.round == 0 && t.null),
+                "rank {r} round-0 contribution must be G_null, traces {t:?}"
+            );
         }
         assert!(out[0].2.iter().any(|t| t.round == 0 && t.fresh));
     }
@@ -545,31 +553,31 @@ mod tests {
         // arrives, so everyone's fresh gradient is included.
         let p = 4;
         let seed = 11;
-        let out = World::launch(
-            WorldConfig::instant(p).with_seed(seed),
-            move |c| {
-                let ctx = RankCtx::new(c);
-                let mut ar = ctx.partial_allreduce(
-                    DType::F32,
-                    1,
-                    ReduceOp::Sum,
-                    QuorumPolicy::Majority,
-                    PartialOpts::default(),
-                );
-                // The designated initiator of round 0 sleeps; all other
-                // ranks deposit fresh data before it arrives.
-                let init = ar.candidates(0)[0];
-                if ctx.rank() == init {
-                    std::thread::sleep(Duration::from_millis(200));
-                }
-                let r0 = ar.allreduce(&f32s(&[1.0]));
-                ctx.barrier();
-                ctx.finalize();
-                r0.data.as_f32().unwrap()[0]
-            },
-        );
+        let out = World::launch(WorldConfig::instant(p).with_seed(seed), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.partial_allreduce(
+                DType::F32,
+                1,
+                ReduceOp::Sum,
+                QuorumPolicy::Majority,
+                PartialOpts::default(),
+            );
+            // The designated initiator of round 0 sleeps; all other
+            // ranks deposit fresh data before it arrives.
+            let init = ar.candidates(0)[0];
+            if ctx.rank() == init {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            let r0 = ar.allreduce(&f32s(&[1.0]));
+            ctx.barrier();
+            ctx.finalize();
+            r0.data.as_f32().unwrap()[0]
+        });
         for (r, v) in out.iter().enumerate() {
-            assert_eq!(*v, 4.0, "rank {r}: majority must include every fresh deposit");
+            assert_eq!(
+                *v, 4.0,
+                "rank {r}: majority must include every fresh deposit"
+            );
         }
     }
 
@@ -638,9 +646,7 @@ mod tests {
                 PartialOpts::default(),
             );
             let me = ctx.rank();
-            let contrib: Vec<f32> = (0..n)
-                .map(|i| ((me * 31 + i) as f32 * 0.1).sin())
-                .collect();
+            let contrib: Vec<f32> = (0..n).map(|i| ((me * 31 + i) as f32 * 0.1).sin()).collect();
             let out = ar.allreduce(&TypedBuf::from(contrib));
             ctx.finalize();
             out.data.as_f32().unwrap().to_vec()

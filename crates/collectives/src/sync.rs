@@ -227,7 +227,13 @@ pub struct SyncBcast {
 }
 
 impl SyncBcast {
-    pub(crate) fn register(engine: &Engine, coll: CollId, rank: Rank, p: usize, root: Rank) -> Self {
+    pub(crate) fn register(
+        engine: &Engine,
+        coll: CollId,
+        rank: Rank,
+        p: usize,
+        root: Rank,
+    ) -> Self {
         let shared = SyncShared::new(None);
         engine.register(
             coll,
@@ -434,8 +440,7 @@ mod tests {
         let p = 4;
         let out = World::launch(WorldConfig::instant(p), move |c| {
             let ctx = RankCtx::new(c);
-            let mut ar =
-                ctx.sync_allreduce(DType::F32, 1, ReduceOp::Sum, Some(1.0 / p as f64));
+            let mut ar = ctx.sync_allreduce(DType::F32, 1, ReduceOp::Sum, Some(1.0 / p as f64));
             let r = ar.allreduce(&TypedBuf::from(vec![6.0f32]));
             ctx.finalize();
             r.as_f32().unwrap()[0]

@@ -58,10 +58,7 @@ pub fn binomial_children(root: Rank, rank: Rank, p: usize) -> Vec<Rank> {
     let levels = log2_exact(p);
     let d = rank ^ root;
     let from = if d == 0 { 0 } else { highest_bit(d) + 1 };
-    (from..levels)
-        .rev()
-        .map(|j| rank ^ (1usize << j))
-        .collect()
+    (from..levels).rev().map(|j| rank ^ (1usize << j)).collect()
 }
 
 /// Parent of `rank` in the binomial tree rooted at `root` (None for root).

@@ -84,12 +84,12 @@ macro_rules! elementwise {
         match $op {
             ReduceOp::Sum => {
                 for (d, s) in $dst.iter_mut().zip($src.iter()) {
-                    *d = *d + *s;
+                    *d += *s;
                 }
             }
             ReduceOp::Prod => {
                 for (d, s) in $dst.iter_mut().zip($src.iter()) {
-                    *d = *d * *s;
+                    *d *= *s;
                 }
             }
             ReduceOp::Min => {

@@ -171,12 +171,7 @@ pub(crate) fn delivery_loop(
                     }
                 }
                 last_due.insert(key, due);
-                heap.push(Reverse(InFlight {
-                    due,
-                    seq,
-                    dst,
-                    msg,
-                }));
+                heap.push(Reverse(InFlight { due, seq, dst, msg }));
                 seq += 1;
             }
             Some(NetCmd::Shutdown) => return,

@@ -198,10 +198,7 @@ pub fn run_ads(obj: &dyn Objective, cfg: &AdsConfig) -> AdsRun {
         }
     }
 
-    let best = grad_norms_sq
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
+    let best = grad_norms_sq.iter().cloned().fold(f64::INFINITY, f64::min);
     AdsRun {
         best_grad_norm_sq: best,
         grad_norms_sq,

@@ -24,8 +24,8 @@
 
 use crate::metrics::{EpochRecord, TrainLog};
 use crate::workloads::Workload;
-use dnn::{EvalMetrics, Model, Optimizer};
 use dnn::optim::LrSchedule;
+use dnn::{EvalMetrics, Model, Optimizer};
 use imbalance::Injector;
 use minitensor::TensorRng;
 use pcoll::{PartialAllreduce, PartialOpts, QuorumPolicy, RankCtx, StaleMode, SyncAllreduce};
@@ -174,9 +174,7 @@ impl GradReducer {
     /// Reduce `grads` in place semantics: returns the averaged gradient.
     fn allreduce(&mut self, grads: &[f32]) -> TypedBuf {
         match self {
-            GradReducer::Partial(ar) => {
-                ar.allreduce(&TypedBuf::from(grads.to_vec())).data
-            }
+            GradReducer::Partial(ar) => ar.allreduce(&TypedBuf::from(grads.to_vec())).data,
             GradReducer::Sync(ar) => ar.allreduce(&TypedBuf::from(grads.to_vec())),
             GradReducer::SyncPerTensor { reducers, sizes } => {
                 // Post every tensor, then waitall and reassemble.
@@ -261,12 +259,8 @@ pub fn run_rank(
             }
         },
     };
-    let mut negotiation = (cfg.variant == SgdVariant::SynchHorovod).then(|| {
-        (
-            ctx.reduce(0, ReduceOp::Max),
-            ctx.bcast(0),
-        )
-    });
+    let mut negotiation = (cfg.variant == SgdVariant::SynchHorovod)
+        .then(|| (ctx.reduce(0, ReduceOp::Max), ctx.bcast(0)));
     let mut weight_sync = ctx.sync_allreduce(DType::F32, n, ReduceOp::Sum, scale);
 
     let mut rng = TensorRng::new(cfg.seed ^ (rank as u64).wrapping_mul(0x1F3D_5B79));

@@ -93,7 +93,12 @@ mod tests {
             panic!("values expected");
         };
         for i in 0..4 {
-            let dot: f32 = b.x.row(i).iter().zip(task.coeffs()).map(|(a, c)| a * c).sum();
+            let dot: f32 =
+                b.x.row(i)
+                    .iter()
+                    .zip(task.coeffs())
+                    .map(|(a, c)| a * c)
+                    .sum();
             assert!((y.get(i, 0) - dot).abs() < 1e-5, "noise-free target");
         }
     }

@@ -59,12 +59,7 @@ impl GaussianMixtureTask {
         }
     }
 
-    fn gen(
-        means: &[Vec<f32>],
-        noise_std: f32,
-        n: usize,
-        rng: &mut TensorRng,
-    ) -> (Mat, Vec<usize>) {
+    fn gen(means: &[Vec<f32>], noise_std: f32, n: usize, rng: &mut TensorRng) -> (Mat, Vec<usize>) {
         let classes = means.len();
         let labels: Vec<usize> = (0..n).map(|_| rng.index(classes)).collect();
         let dim = means[0].len();

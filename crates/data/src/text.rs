@@ -78,8 +78,12 @@ mod tests {
             .collect();
         let n = runtimes.len() as f64;
         let mean = runtimes.iter().sum::<f64>() / n;
-        let std =
-            (runtimes.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n).sqrt();
+        let std = (runtimes
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / n)
+            .sqrt();
         let min = runtimes.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = runtimes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         // Paper: mean 475, σ 144, range [179, 3482]. Match the shape:

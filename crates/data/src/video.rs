@@ -122,10 +122,7 @@ impl VideoTask {
         // Length bucketing.
         let mut order: Vec<usize> = (0..videos.len()).collect();
         order.sort_by_key(|&i| videos[i].len);
-        let buckets: Vec<Vec<usize>> = order
-            .chunks(bucket_size)
-            .map(|c| c.to_vec())
-            .collect();
+        let buckets: Vec<Vec<usize>> = order.chunks(bucket_size).map(|c| c.to_vec()).collect();
 
         // Class signal: unit-norm mean + temporal trend direction.
         let unit = |rng: &mut TensorRng, dim: usize, scale: f32| -> Vec<f32> {
@@ -267,9 +264,7 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(maxima, sorted);
         // Every video appears exactly once across buckets.
-        let total: usize = (0..task.n_buckets())
-            .map(|b| task.buckets[b].len())
-            .sum();
+        let total: usize = (0..task.n_buckets()).map(|b| task.buckets[b].len()).sum();
         assert_eq!(total, task.videos().len());
     }
 
@@ -290,9 +285,8 @@ mod tests {
     fn length_scale_shrinks_sequences() {
         let full = VideoTask::new(VideoDatasetSpec::ucf101(1.0), 16, 7);
         let eighth = VideoTask::new(VideoDatasetSpec::ucf101(8.0), 16, 7);
-        let mean = |t: &VideoTask| {
-            t.lengths().iter().sum::<usize>() as f64 / t.lengths().len() as f64
-        };
+        let mean =
+            |t: &VideoTask| t.lengths().iter().sum::<usize>() as f64 / t.lengths().len() as f64;
         let ratio = mean(&full) / mean(&eighth);
         assert!(
             (6.0..10.0).contains(&ratio),

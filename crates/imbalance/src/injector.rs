@@ -166,9 +166,9 @@ mod tests {
         let steps = 4000u64;
         let mut counts = vec![0usize; p];
         for s in 0..steps {
-            for r in 0..p {
+            for (r, c) in counts.iter_mut().enumerate() {
                 if inj.delay_ms(r, p, s) > 0.0 {
-                    counts[r] += 1;
+                    *c += 1;
                 }
             }
         }

@@ -350,10 +350,7 @@ mod tests {
         let x = Mat::from_vec(1, 9, vec![1.0; 9]);
         let y = conv.forward(x, false);
         // Corner sees 4 ones, edge 6, center 9.
-        assert_eq!(
-            y.as_slice(),
-            &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]
-        );
+        assert_eq!(y.as_slice(), &[4.0, 6.0, 4.0, 6.0, 9.0, 6.0, 4.0, 6.0, 4.0]);
     }
 
     #[test]
@@ -370,7 +367,7 @@ mod tests {
         let y = pool.forward(x, true);
         assert_eq!(y.as_slice(), &[6.0, 8.0, 14.0, 16.0]);
         let g = pool.backward(Mat::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]));
-        let mut want = vec![0.0; 16];
+        let mut want = [0.0; 16];
         want[5] = 1.0;
         want[7] = 2.0;
         want[13] = 3.0;
@@ -466,7 +463,7 @@ mod tests {
             .push(pool)
             .push(Dense::new(4 * 4 * 4, 2, &mut rng));
 
-        let mut make_batch = |rng: &mut TensorRng| {
+        let make_batch = |rng: &mut TensorRng| {
             let labels: Vec<usize> = (0..16).map(|_| rng.index(2)).collect();
             let x = Mat::from_fn(16, 64, |i, j| {
                 let (y, x_) = (j / 8, j % 8);

@@ -206,9 +206,7 @@ impl Sequential {
 
 impl Layer for Sequential {
     fn forward(&mut self, x: Mat, train: bool) -> Mat {
-        self.layers
-            .iter_mut()
-            .fold(x, |x, l| l.forward(x, train))
+        self.layers.iter_mut().fold(x, |x, l| l.forward(x, train))
     }
 
     fn backward(&mut self, grad: Mat) -> Mat {

@@ -167,7 +167,7 @@ mod tests {
     fn sgd_minimizes_quadratic() {
         // w ← w - lr·∇(w²/2) converges to 0.
         let mut opt = Sgd::new(0.1);
-        let mut w = vec![10.0f32];
+        let mut w = [10.0f32];
         let mut out = vec![0.0];
         for _ in 0..200 {
             let g = [w[0]];

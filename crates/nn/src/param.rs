@@ -83,7 +83,7 @@ mod tests {
 
     #[test]
     fn flat_roundtrip() {
-        let mut ps = vec![
+        let mut ps = [
             Param::new(Mat::from_vec(1, 2, vec![1.0, 2.0])),
             Param::new(Mat::from_vec(2, 2, vec![3.0, 4.0, 5.0, 6.0])),
         ];
@@ -99,7 +99,7 @@ mod tests {
 
     #[test]
     fn apply_delta_adds() {
-        let mut ps = vec![Param::new(Mat::from_vec(1, 3, vec![1.0, 1.0, 1.0]))];
+        let mut ps = [Param::new(Mat::from_vec(1, 3, vec![1.0, 1.0, 1.0]))];
         apply_delta_flat(ps.iter_mut(), &[0.5, -0.5, 2.0]);
         assert_eq!(ps[0].value.as_slice(), &[1.5, 0.5, 3.0]);
     }
@@ -107,7 +107,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn too_long_flat_buffer_panics() {
-        let ps = vec![Param::new(Mat::zeros(2, 2))];
+        let ps = [Param::new(Mat::zeros(2, 2))];
         let mut flat = vec![0.0; 6];
         write_values_flat(ps.iter(), &mut flat);
     }
@@ -115,7 +115,7 @@ mod tests {
     #[test]
     #[should_panic]
     fn too_short_flat_buffer_panics() {
-        let ps = vec![Param::new(Mat::zeros(2, 2))];
+        let ps = [Param::new(Mat::zeros(2, 2))];
         let mut flat = vec![0.0; 3];
         write_values_flat(ps.iter(), &mut flat);
     }

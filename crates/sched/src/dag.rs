@@ -125,7 +125,10 @@ impl DagState {
     /// Panics if the op already fired — the consumable-op invariant is a
     /// hard error to violate, not a recoverable condition.
     pub fn mark_fired(&mut self, sched: &Schedule, id: OpId) -> Vec<OpId> {
-        assert!(!self.fired[id], "op {id} fired twice (consumable invariant)");
+        assert!(
+            !self.fired[id],
+            "op {id} fired twice (consumable invariant)"
+        );
         self.fired[id] = true;
         let mut ready = Vec::new();
         for &dep in &sched.dependents[id] {
@@ -157,11 +160,7 @@ mod tests {
 
     /// Drive a DAG to quiescence, firing everything reported fireable.
     /// Returns the firing order.
-    fn run_to_quiescence(
-        sched: &Schedule,
-        st: &mut DagState,
-        mut queue: Vec<OpId>,
-    ) -> Vec<OpId> {
+    fn run_to_quiescence(sched: &Schedule, st: &mut DagState, mut queue: Vec<OpId>) -> Vec<OpId> {
         let mut order = Vec::new();
         while let Some(id) = queue.pop() {
             order.push(id);
@@ -307,15 +306,17 @@ mod tests {
         fn arb_schedule() -> impl Strategy<Value = Schedule> {
             (2usize..40).prop_flat_map(|n| {
                 let deps = proptest::collection::vec(
-                    (proptest::collection::vec(0usize..n.max(1), 0..4), any::<bool>()),
+                    (
+                        proptest::collection::vec(0usize..n.max(1), 0..4),
+                        any::<bool>(),
+                    ),
                     n,
                 );
                 deps.prop_map(move |spec| {
                     let mut b = ScheduleBuilder::new();
                     b.slots(1);
                     for (i, (ds, or)) in spec.iter().enumerate() {
-                        let valid: Vec<OpId> =
-                            ds.iter().copied().filter(|&d| d < i).collect();
+                        let valid: Vec<OpId> = ds.iter().copied().filter(|&d| d < i).collect();
                         if *or && !valid.is_empty() {
                             b.op_or(OpKind::Nop, valid);
                         } else {

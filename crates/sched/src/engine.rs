@@ -323,14 +323,15 @@ impl Progress {
     /// Execute fireable ops to quiescence, then handle completion/GC.
     fn drive(&mut self, coll: CollId, round: u64, mut queue: Vec<OpId>) {
         let cs = self.colls.get_mut(&coll).expect("driven coll exists");
-        let inst = cs.instances.get_mut(&round).expect("driven instance exists");
+        let inst = cs
+            .instances
+            .get_mut(&round)
+            .expect("driven instance exists");
         while let Some(id) = queue.pop() {
             let kind = inst.sched.ops[id].kind.clone();
             match kind {
                 OpKind::SendData { peer, sem, src } => {
-                    let payload = inst.bufs[src]
-                        .clone()
-                        .expect("SendData from an empty slot");
+                    let payload = inst.bufs[src].clone().expect("SendData from an empty slot");
                     self.comm
                         .send(peer, WireTag::new(coll, round, sem), Some(payload));
                 }
@@ -697,11 +698,10 @@ mod tests {
                 }
             }
             // The newest round must always complete.
-            let got = sink.wait_for(1);
-            let mut rounds: Vec<u64> = got.iter().map(|(r, _)| *r).collect();
+            let _ = sink.wait_for(1);
             // Give stragglers a moment, then collect what completed.
             std::thread::sleep(Duration::from_millis(200));
-            rounds = sink.results.lock().iter().map(|(r, _)| *r).collect();
+            let rounds: Vec<u64> = sink.results.lock().iter().map(|(r, _)| *r).collect();
             eng.shutdown();
             rounds
         });

@@ -41,7 +41,11 @@ pub enum OpKind {
     SendCtl { peer: Rank, sem: u32 },
     /// Receive the message `(peer, sem)`. If `into` is `Some`, the payload
     /// moves into that slot; control receives use `None`.
-    Recv { peer: Rank, sem: u32, into: Option<Slot> },
+    Recv {
+        peer: Rank,
+        sem: u32,
+        into: Option<Slot>,
+    },
     /// Elementwise `bufs[dst] = bufs[dst] ⊕ bufs[src]`.
     Combine { op: ReduceOp, src: Slot, dst: Slot },
     /// `bufs[dst] = bufs[src].clone()`.
@@ -83,7 +87,10 @@ impl Schedule {
     pub fn validate(&self) -> Result<(), String> {
         let n = self.ops.len();
         if self.completion >= n {
-            return Err(format!("completion op {} out of range {n}", self.completion));
+            return Err(format!(
+                "completion op {} out of range {n}",
+                self.completion
+            ));
         }
         for (i, op) in self.ops.iter().enumerate() {
             for &d in &op.deps {
@@ -137,10 +144,13 @@ impl Schedule {
     /// Receive operations indexed by their matching key, used by the engine
     /// to route arriving messages.
     pub fn recv_index(&self) -> impl Iterator<Item = ((Rank, u32), OpId)> + '_ {
-        self.ops.iter().enumerate().filter_map(|(i, op)| match op.kind {
-            OpKind::Recv { peer, sem, .. } => Some(((peer, sem), i)),
-            _ => None,
-        })
+        self.ops
+            .iter()
+            .enumerate()
+            .filter_map(|(i, op)| match op.kind {
+                OpKind::Recv { peer, sem, .. } => Some(((peer, sem), i)),
+                _ => None,
+            })
     }
 }
 
@@ -227,7 +237,14 @@ mod tests {
         let mut b = ScheduleBuilder::new();
         b.slots(2);
         let gate = b.op(OpKind::InternalGate, vec![]);
-        let send = b.op(OpKind::SendData { peer: 1, sem: 0, src: 0 }, vec![gate]);
+        let send = b.op(
+            OpKind::SendData {
+                peer: 1,
+                sem: 0,
+                src: 0,
+            },
+            vec![gate],
+        );
         let recv = b.op(
             OpKind::Recv {
                 peer: 1,
@@ -268,7 +285,14 @@ mod tests {
     fn bad_slot_is_rejected() {
         let mut b = ScheduleBuilder::new();
         b.slots(1);
-        let s = b.op(OpKind::SendData { peer: 0, sem: 0, src: 5 }, vec![]);
+        let s = b.op(
+            OpKind::SendData {
+                peer: 0,
+                sem: 0,
+                src: 5,
+            },
+            vec![],
+        );
         b.completion(s);
         let _ = b.build();
     }

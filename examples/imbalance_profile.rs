@@ -6,8 +6,8 @@
 //! cargo run --release --example imbalance_profile
 //! ```
 
-use eager_sgd_repro::prelude::*;
 use datagen::text::SentenceLengthSampler;
+use eager_sgd_repro::prelude::*;
 use imbalance::cost::{cloud_resnet_floor_ms, lstm_batch_ms, transformer_batch_ms};
 use imbalance::{Histogram, OnlineStats};
 
@@ -21,7 +21,13 @@ fn render(title: &str, hist: &Histogram, stats: &OnlineStats) {
         stats.mean(),
         stats.std()
     );
-    let peak = hist.rows().iter().map(|(_, c)| *c).max().unwrap_or(1).max(1);
+    let peak = hist
+        .rows()
+        .iter()
+        .map(|(_, c)| *c)
+        .max()
+        .unwrap_or(1)
+        .max(1);
     for (center, count) in hist.rows() {
         if count == 0 {
             continue;
@@ -55,7 +61,11 @@ fn main() {
         h.push(ms);
         s.push(ms);
     }
-    render("Transformer / WMT16 (inherent, from sentence lengths):", &h, &s);
+    render(
+        "Transformer / WMT16 (inherent, from sentence lengths):",
+        &h,
+        &s,
+    );
 
     // Fig 4: ResNet-50 on a cloud box — system-induced.
     let noise = Injector::cloud_default(3);

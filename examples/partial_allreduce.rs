@@ -16,13 +16,8 @@ fn demo(policy: QuorumPolicy, name: &str) {
     println!("--- {name} ---");
     let results = World::launch(WorldConfig::instant(P), move |c| {
         let ctx = RankCtx::new(c);
-        let mut ar = ctx.partial_allreduce(
-            DType::F32,
-            1,
-            ReduceOp::Sum,
-            policy,
-            PartialOpts::default(),
-        );
+        let mut ar =
+            ctx.partial_allreduce(DType::F32, 1, ReduceOp::Sum, policy, PartialOpts::default());
         let mut lines = Vec::new();
         for round in 0..ROUNDS {
             ctx.host_barrier();
@@ -52,14 +47,8 @@ fn demo(policy: QuorumPolicy, name: &str) {
         println!("{line}");
     }
     // How often was the slow rank's own gradient fresh?
-    let slow_fresh = results[7]
-        .1
-        .iter()
-        .filter(|t| t.fresh)
-        .count();
-    println!(
-        "  slow rank contributed fresh data in {slow_fresh}/{ROUNDS} rounds\n"
-    );
+    let slow_fresh = results[7].1.iter().filter(|t| t.fresh).count();
+    println!("  slow rank contributed fresh data in {slow_fresh}/{ROUNDS} rounds\n");
 }
 
 fn main() {
@@ -68,12 +57,18 @@ fn main() {
          rank 7 sleeps 40 ms — watch who makes it into each round's sum:\n"
     );
     demo(QuorumPolicy::Solo, "solo (wait-free, quorum >= 1)");
-    demo(QuorumPolicy::Majority, "majority (random initiator, E[active] = P/2)");
+    demo(
+        QuorumPolicy::Majority,
+        "majority (random initiator, E[active] = P/2)",
+    );
     demo(
         QuorumPolicy::Chain(4),
         "chain-4 (all 4 random candidates must arrive, E[active] = 4P/5)",
     );
-    demo(QuorumPolicy::Full, "full (synchronous endpoint of the spectrum)");
+    demo(
+        QuorumPolicy::Full,
+        "full (synchronous endpoint of the spectrum)",
+    );
     println!(
         "note: sums < 8 mean absent ranks contributed G_null; their deposits\n\
          ride into the next round as stale gradients (Fig. 7's protocol), so\n\

@@ -40,6 +40,7 @@ fn train(variant: SgdVariant) -> (f64, f32) {
             seed: 3,
         };
         cfg.time_scale = 0.25; // 80 ms → 20 ms wall-clock
+
         // Balanced per-step compute keeps ranks loosely in lockstep, as
         // real GPU steps do; without it fast ranks sprint ahead and
         // staleness grows unboundedly (the regime §5 warns about).
@@ -54,10 +55,7 @@ fn train(variant: SgdVariant) -> (f64, f32) {
     });
 
     let time = logs.iter().map(|l| l.total_train_s).sum::<f64>() / logs.len() as f64;
-    let loss = logs[0]
-        .final_test()
-        .map(|t| t.loss)
-        .unwrap_or(f32::NAN);
+    let loss = logs[0].final_test().map(|t| t.loss).unwrap_or(f32::NAN);
     (time, loss)
 }
 

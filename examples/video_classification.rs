@@ -41,10 +41,7 @@ fn main() {
     spec.feat_dim = 16;
     let task = Arc::new(VideoTask::new(spec, 16, 5));
     let lens = task.lengths();
-    let (min, max) = (
-        lens.iter().min().unwrap(),
-        lens.iter().max().unwrap(),
-    );
+    let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
     println!(
         "video dataset: {} videos, {min}..{max} frames — batch compute is \
          Θ(frames),\nso steps are inherently imbalanced (§2.1)\n",
@@ -52,13 +49,9 @@ fn main() {
     );
 
     let (t_sync, a1_sync, a5_sync) = train(SgdVariant::SynchHorovod, Arc::clone(&task));
-    println!(
-        "synch-SGD (Horovod)   : {t_sync:.2} s, top-1 {a1_sync:.3}, top-5 {a5_sync:.3}"
-    );
+    println!("synch-SGD (Horovod)   : {t_sync:.2} s, top-1 {a1_sync:.3}, top-5 {a5_sync:.3}");
     let (t_maj, a1_maj, a5_maj) = train(SgdVariant::EagerMajority, Arc::clone(&task));
-    println!(
-        "eager-SGD (majority)  : {t_maj:.2} s, top-1 {a1_maj:.3}, top-5 {a5_maj:.3}"
-    );
+    println!("eager-SGD (majority)  : {t_maj:.2} s, top-1 {a1_maj:.3}, top-5 {a5_maj:.3}");
     println!(
         "\nmajority speedup {:.2}x with matching accuracy — the Fig. 13 result \
          (paper: 1.27x)",

@@ -1,0 +1,378 @@
+//! Minimal `crossbeam` stand-in: MPMC unbounded channels plus a `select!`
+//! macro restricted to `recv(rx) -> pat => arm` branches (the only form
+//! this workspace uses).
+//!
+//! Blocking multi-channel select is implemented with per-call wakers: the
+//! waiting side registers a waker with every polled channel, re-checks, and
+//! parks with a short backstop timeout so a lost wakeup can only cost
+//! milliseconds, never a deadlock.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        Timeout,
+        Disconnected,
+    }
+
+    pub struct SendError<T>(pub T);
+
+    // Like the real crossbeam: Debug without requiring `T: Debug`.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+    impl std::error::Error for RecvError {}
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// One-shot waker a `select!` call parks on.
+    pub struct SelectWaker {
+        flag: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl SelectWaker {
+        #[allow(clippy::new_without_default)]
+        pub fn new() -> Self {
+            SelectWaker {
+                flag: Mutex::new(false),
+                cv: Condvar::new(),
+            }
+        }
+
+        pub fn notify(&self) {
+            *self.flag.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            self.cv.notify_all();
+        }
+
+        pub fn woken(&self) -> bool {
+            *self.flag.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Park until notified or `timeout` elapses (backstop against lost
+        /// wakeups); resets the flag for reuse.
+        pub fn wait_timeout(&self, timeout: Duration) {
+            let mut flag = self.flag.lock().unwrap_or_else(|e| e.into_inner());
+            if !*flag {
+                let (g, _) = self
+                    .cv
+                    .wait_timeout(flag, timeout)
+                    .unwrap_or_else(|e| e.into_inner());
+                flag = g;
+            }
+            *flag = false;
+        }
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+        wakers: Vec<Arc<SelectWaker>>,
+    }
+
+    impl<T> Inner<T> {
+        fn wake_all(&mut self) {
+            for w in self.wakers.drain(..) {
+                w.notify();
+            }
+        }
+    }
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        cv: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+    }
+
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+                wakers: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.lock();
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            inner.wake_all();
+            drop(inner);
+            self.shared.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.lock();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                inner.wake_all();
+                drop(inner);
+                self.shared.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.lock();
+            match inner.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// `try_recv` folded into the shape `select!` wants: `None` means
+        /// "not ready", `Some(result)` means the branch fires.
+        pub fn try_recv_res(&self) -> Option<Result<T, RecvError>> {
+            match self.try_recv() {
+                Ok(v) => Some(Ok(v)),
+                Err(TryRecvError::Disconnected) => Some(Err(RecvError)),
+                Err(TryRecvError::Empty) => None,
+            }
+        }
+
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.lock();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self
+                    .shared
+                    .cv
+                    .wait(inner)
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut inner = self.shared.lock();
+            loop {
+                if let Some(v) = inner.queue.pop_front() {
+                    return Ok(v);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _) = self
+                    .shared
+                    .cv
+                    .wait_timeout(inner, deadline - now)
+                    .unwrap_or_else(|e| e.into_inner());
+                inner = g;
+            }
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().queue.is_empty()
+        }
+
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// Register a waker to be notified on the next send/disconnect. If
+        /// the channel is already ready, the waker fires immediately so the
+        /// caller's re-check cannot miss a message that raced registration.
+        pub fn register_waker(&self, waker: &Arc<SelectWaker>) {
+            let mut inner = self.shared.lock();
+            if !inner.queue.is_empty() || inner.senders == 0 {
+                waker.notify();
+                return;
+            }
+            inner.wakers.retain(|w| !w.woken());
+            if !inner.wakers.iter().any(|w| Arc::ptr_eq(w, waker)) {
+                inner.wakers.push(Arc::clone(waker));
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.lock().receivers -= 1;
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    // Let `crossbeam::channel::select!` resolve (the exported macro lives
+    // at the crate root).
+    pub use crate::select;
+}
+
+/// `select!` restricted to `recv(receiver) -> pattern => arm` branches.
+///
+/// Branches are polled in order; when none is ready the caller parks on a
+/// fresh waker registered with every branch's channel (5 ms backstop).
+#[macro_export]
+macro_rules! select {
+    ($(recv($rx:expr) -> $res:pat => $body:expr),+ $(,)?) => {{
+        let __waker = ::std::sync::Arc::new($crate::channel::SelectWaker::new());
+        'select: loop {
+            $(
+                if let ::std::option::Option::Some(__r) = ($rx).try_recv_res() {
+                    let $res = __r;
+                    break 'select $body;
+                }
+            )+
+            $(
+                ($rx).register_waker(&__waker);
+            )+
+            __waker.wait_timeout(::core::time::Duration::from_millis(5));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_recv_fifo() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_surfaces() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx2, rx2) = unbounded::<u8>();
+        drop(rx2);
+        assert!(tx2.send(9).is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn select_picks_ready_branch() {
+        let (tx1, rx1) = unbounded::<u8>();
+        let (_tx2, rx2) = unbounded::<u8>();
+        tx1.send(7).unwrap();
+        let got = crate::select! {
+            recv(rx1) -> v => v.unwrap(),
+            recv(rx2) -> v => v.unwrap(),
+        };
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn select_blocks_until_cross_thread_send() {
+        let (tx, rx) = unbounded::<u8>();
+        let (_keep, rx2) = unbounded::<u8>();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(3).unwrap();
+        });
+        let got = crate::select! {
+            recv(rx) -> v => v.unwrap(),
+            recv(rx2) -> v => v.unwrap(),
+        };
+        assert_eq!(got, 3);
+        h.join().unwrap();
+    }
+}

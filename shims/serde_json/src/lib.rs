@@ -1,0 +1,40 @@
+//! Offline `serde_json` shim: `to_string` / `from_str` over the serde
+//! shim's JSON value model.
+
+pub use serde::json::{Error, Value};
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_json())
+}
+
+/// Alias of [`to_string`] (the shim's writer has no pretty mode; the
+/// output stays machine-readable either way).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    to_string(value)
+}
+
+/// Parse a JSON string into a deserializable type.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let v = Value::parse(s)?;
+    T::from_value(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn roundtrip_via_strings() {
+        let v: Vec<Option<u64>> = vec![Some(1), None, Some(u64::MAX)];
+        let s = super::to_string(&v).unwrap();
+        let back: Vec<Option<u64>> = super::from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(super::from_str::<u32>("not json").is_err());
+        assert!(super::from_str::<u32>("\"str\"").is_err());
+    }
+}

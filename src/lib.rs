@@ -45,7 +45,5 @@ pub mod prelude {
     pub use pcoll::{
         PartialAllreduce, PartialOpts, QuorumPolicy, RankCtx, StaleMode, SyncAllreduce,
     };
-    pub use pcoll_comm::{
-        DType, NetworkModel, ReduceOp, TypedBuf, World, WorldConfig,
-    };
+    pub use pcoll_comm::{DType, NetworkModel, ReduceOp, TypedBuf, World, WorldConfig};
 }

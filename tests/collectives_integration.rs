@@ -3,7 +3,6 @@
 //! gradient-conservation property of the Fig. 7 protocol.
 
 use eager_sgd_repro::prelude::*;
-use std::sync::Arc;
 use std::time::Duration;
 
 /// The Fig. 7 protocol conserves gradient mass: across barrier-aligned
@@ -100,8 +99,7 @@ fn sync_allreduce_matches_direct_ring_and_rabenseifner() {
         let me = c.rank();
         let (h, inbox) = c.split();
         let mut m = comm::Matcher::new(inbox);
-        let mut dc =
-            pcoll::algos::DirectCollectives::new(&h, &mut m, comm::CollId(5000));
+        let mut dc = pcoll::algos::DirectCollectives::new(&h, &mut m, comm::CollId(5000));
         let mut data: Vec<f32> = (0..N).map(|i| ((me * N + i) as f32).sin()).collect();
         dc.ring_allreduce_f32(&mut data, ReduceOp::Sum);
         data
@@ -110,8 +108,7 @@ fn sync_allreduce_matches_direct_ring_and_rabenseifner() {
         let me = c.rank();
         let (h, inbox) = c.split();
         let mut m = comm::Matcher::new(inbox);
-        let mut dc =
-            pcoll::algos::DirectCollectives::new(&h, &mut m, comm::CollId(5001));
+        let mut dc = pcoll::algos::DirectCollectives::new(&h, &mut m, comm::CollId(5001));
         let mut data: Vec<f32> = (0..N).map(|i| ((me * N + i) as f32).sin()).collect();
         dc.rabenseifner_allreduce_f32(&mut data, ReduceOp::Sum);
         data

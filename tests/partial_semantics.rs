@@ -15,13 +15,8 @@ fn single_rank_world_is_identity() {
     ] {
         let out = World::launch(WorldConfig::instant(1), move |c| {
             let ctx = RankCtx::new(c);
-            let mut ar = ctx.partial_allreduce(
-                DType::F32,
-                3,
-                ReduceOp::Sum,
-                policy,
-                PartialOpts::default(),
-            );
+            let mut ar =
+                ctx.partial_allreduce(DType::F32, 3, ReduceOp::Sum, policy, PartialOpts::default());
             let r = ar.allreduce(&TypedBuf::from(vec![1.0f32, 2.0, 3.0]));
             ctx.finalize();
             r.data.as_f32().unwrap().to_vec()
@@ -61,7 +56,18 @@ fn replace_mode_drops_stale_mass_accumulate_keeps_it() {
                 },
             );
             if ctx.rank() == 3 {
-                std::thread::sleep(Duration::from_millis(250));
+                // Wait until the other ranks' round 0 has been dragged
+                // through this rank's engine by external activation, so the
+                // deposit below is genuinely stale. (A fixed sleep here is
+                // racy under parallel-test machine load.)
+                let deadline = std::time::Instant::now() + Duration::from_secs(10);
+                while ar.counters().2 == 0 {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "round 0 never completed externally"
+                    );
+                    std::thread::sleep(Duration::from_millis(2));
+                }
             }
             let _r0 = ar.allreduce(&TypedBuf::from(vec![1.0f32]));
             ctx.barrier();
@@ -71,10 +77,40 @@ fn replace_mode_drops_stale_mass_accumulate_keeps_it() {
             r1.data.as_f32().unwrap()[0]
         })
     };
-    let accumulate = run(StaleMode::Accumulate);
-    let replace = run(StaleMode::Replace);
-    assert_eq!(accumulate[0], 5.0, "stale deposit must ride along");
-    assert_eq!(replace[0], 4.0, "replace mode must drop the stale deposit");
+    // Round 1 is still eager: any rank whose fresh deposit loses the race
+    // to the initiator's activation message contributes stale/null data —
+    // that is the semantics under test, but it means the canonical
+    // interleaving (everyone fresh) is likely, not guaranteed. Retry until
+    // it occurs; per-run invariants hold unconditionally.
+    // Each mode retries independently: the two runs are unrelated worlds,
+    // so requiring both to hit the canonical interleaving in the same
+    // iteration would square the residual flake probability.
+    let mut accumulate = None;
+    let mut replace = None;
+    for _ in 0..25 {
+        if accumulate != Some(5.0) {
+            let a = run(StaleMode::Accumulate)[0];
+            // Invariant: sums only come from 1.0 deposits; accumulate can
+            // carry rank 3's stale+fresh mass (max 5).
+            assert!((1.0..=5.0).contains(&a), "accumulate sum out of range: {a}");
+            accumulate = Some(a);
+        }
+        if replace != Some(4.0) {
+            let r = run(StaleMode::Replace)[0];
+            // Invariant: replace never exceeds one unit per rank (max 4).
+            assert!((1.0..=4.0).contains(&r), "replace sum out of range: {r}");
+            replace = Some(r);
+        }
+        if accumulate == Some(5.0) && replace == Some(4.0) {
+            break;
+        }
+    }
+    assert_eq!(accumulate, Some(5.0), "stale deposit must ride along");
+    assert_eq!(
+        replace,
+        Some(4.0),
+        "replace mode must drop the stale deposit"
+    );
 }
 
 #[test]
@@ -204,7 +240,11 @@ fn trace_rounds_are_consistent_with_calls() {
     for (rank, traces) in out.iter().enumerate() {
         assert_eq!(traces.len(), rounds as usize, "rank {rank}");
         for t in traces {
-            assert!(t.fresh, "rank {rank} round {}: chain-P is always fresh", t.round);
+            assert!(
+                t.fresh,
+                "rank {rank} round {}: chain-P is always fresh",
+                t.round
+            );
             assert!(!t.null, "rank {rank} round {}", t.round);
         }
     }

@@ -43,8 +43,14 @@ fn all_variants_converge_without_skew() {
         SgdVariant::SynchHorovod,
         SgdVariant::EagerSolo,
         SgdVariant::EagerMajority,
-        SgdVariant::EagerQuorum { chain: 2, race: false },
-        SgdVariant::EagerQuorum { chain: 3, race: true },
+        SgdVariant::EagerQuorum {
+            chain: 2,
+            race: false,
+        },
+        SgdVariant::EagerQuorum {
+            chain: 3,
+            race: true,
+        },
     ] {
         let logs = hyperplane_run(variant, Injector::None, 5, 0.05);
         let first = logs[0].epochs[0].mean_loss;
