@@ -1,0 +1,270 @@
+//! `tune_adaptive`: the closed-loop quorum controller demo.
+//!
+//! Under a shifting-skew workload (the Fig. 12 protocol: every rank is
+//! delayed every step, amounts rotating across ranks), sweep every static
+//! quorum policy on the solo–majority–full spectrum, then run the
+//! hill-climb and UCB-bandit controllers that re-select the policy every
+//! K rounds from rank-summed telemetry. Reported per variant:
+//!
+//! - raw round rate (steps/s),
+//! - fresh fraction (measured E\[NAP\]/P),
+//! - utility = `fresh_fraction^β × rounds_per_s` — the
+//!   statistically-weighted update throughput the controllers maximize
+//!   (β = 0.5; see `eager_sgd::NapModel::utility`),
+//!
+//! plus the theory model's predicted utilities from the injector's exact
+//! offsets, every controller decision as a JSON line, and a
+//! `BENCH_tune_adaptive.json` artifact.
+//!
+//! SHAPE-CHECKs (full mode): each adaptive controller reaches ≥ 90% of
+//! the best static arm's utility and beats the worst static arm.
+
+use datagen::HyperplaneTask;
+use dnn::zoo::hyperplane_mlp;
+use dnn::{Model, Optimizer, Sgd};
+use eager_sgd::{SgdVariant, TrainLog, TrainerConfig, TunerSetup};
+use imbalance::Injector;
+use pcoll_comm::NetworkModel;
+use pcoll_tune::{
+    adaptive_setup, predict_spectrum, spectrum, static_setup, AdaptiveTunerCfg, ControllerKind,
+};
+use repro_bench::report::{comment, row, shape_check, write_json};
+use repro_bench::{run_distributed, ExperimentSpec, HarnessArgs};
+use serde::Serialize;
+use std::sync::Arc;
+
+const BETA: f64 = 0.5;
+
+#[derive(Debug, Clone, Serialize)]
+struct VariantResult {
+    label: String,
+    adaptive: bool,
+    rounds_per_s: f64,
+    fresh_fraction: f64,
+    utility: f64,
+    train_time_s: f64,
+    final_loss: f32,
+    policy_switches: usize,
+    decisions: Vec<eager_sgd::TuneDecision>,
+}
+
+struct Scenario {
+    p: usize,
+    epochs: usize,
+    steps_per_epoch: usize,
+    period: u64,
+    time_scale: f64,
+    seed: u64,
+}
+
+fn run_variant(sc: &Scenario, label: &str, adaptive: bool, tuner: TunerSetup) -> VariantResult {
+    let task = Arc::new(HyperplaneTask::new(48, 2048, 0.05, 96, 7));
+    let mut trainer = TrainerConfig::new(
+        SgdVariant::EagerSolo, // placeholder; the tuner's initial_policy governs
+        sc.epochs,
+        sc.steps_per_epoch,
+        0.02,
+    );
+    trainer.injector = Injector::ShiftingSkew {
+        min_ms: 10.0,
+        max_ms: 120.0,
+    };
+    trainer.time_scale = sc.time_scale;
+    trainer.base_compute_ms = 10.0;
+    trainer.model_sync_every = Some(sc.epochs); // one final weight sync
+    trainer.eval_every = 1000; // throughput-focused: skip eval
+    trainer.seed = sc.seed;
+    trainer.tuner = Some(tuner);
+    let spec = ExperimentSpec {
+        p: sc.p,
+        network: NetworkModel::Instant,
+        world_seed: sc.seed,
+        model_seed: sc.seed ^ 0xA5,
+        trainer,
+    };
+    let wl = Arc::new(eager_sgd::HyperplaneWorkload {
+        task,
+        local_batch: 16,
+    });
+    let logs: Vec<TrainLog> = run_distributed(
+        &spec,
+        |rng| {
+            (
+                Box::new(hyperplane_mlp(48, rng)) as Box<dyn Model>,
+                Box::new(Sgd::new(0.02)) as Box<dyn Optimizer>,
+            )
+        },
+        wl,
+    );
+    let p = logs.len() as f64;
+    let rounds_per_s = logs
+        .iter()
+        .map(|l| l.steps as f64 / l.total_train_s.max(1e-9))
+        .sum::<f64>()
+        / p;
+    let total_steps: u64 = logs.iter().map(|l| l.steps).sum();
+    let fresh_fraction =
+        logs.iter().map(|l| l.fresh_rounds).sum::<u64>() as f64 / total_steps.max(1) as f64;
+    let decisions = logs[0].decisions.clone();
+    let policy_switches = decisions
+        .windows(2)
+        .filter(|w| w[0].policy != w[1].policy)
+        .count();
+    VariantResult {
+        label: label.to_string(),
+        adaptive,
+        rounds_per_s,
+        fresh_fraction,
+        utility: fresh_fraction.powf(BETA) * rounds_per_s,
+        train_time_s: logs.iter().map(|l| l.total_train_s).sum::<f64>() / p,
+        final_loss: logs[0].final_loss().unwrap_or(f32::NAN),
+        policy_switches,
+        decisions,
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let sc = Scenario {
+        p: if args.quick { 4 } else { 8 },
+        epochs: if args.quick { 1 } else { 3 },
+        steps_per_epoch: if args.quick { 32 } else { 128 },
+        period: if args.quick { 8 } else { 16 },
+        time_scale: args.time_scale,
+        seed: args.seed,
+    };
+
+    comment(&format!(
+        "tune_adaptive: closed-loop quorum control, {} ranks, shifting skew 10–120 ms \
+         (time-scale {}), {} steps, decide every {} rounds, beta {BETA}",
+        sc.p,
+        sc.time_scale,
+        sc.epochs * sc.steps_per_epoch,
+        sc.period
+    ));
+
+    // Theory view: the injector's exact per-step offsets (the multiset is
+    // rotation-invariant, so step 0 is representative).
+    let inj = Injector::ShiftingSkew {
+        min_ms: 10.0,
+        max_ms: 120.0,
+    };
+    let offsets: Vec<f64> = (0..sc.p)
+        .map(|r| inj.delay_ms(r, sc.p, 0) * sc.time_scale)
+        .collect();
+    comment("theory model predictions (exact offsets):");
+    for (policy, pred) in predict_spectrum(&offsets, 0.5, 10.0 * sc.time_scale, BETA) {
+        comment(&format!(
+            "  {policy:<12} E[NAP] {:>5.2}  round {:>7.2} ms  utility {:>8.2}",
+            pred.prediction.e_nap, pred.prediction.round_ms, pred.utility
+        ));
+    }
+
+    // Static sweep over the whole spectrum, then the two adaptive
+    // controllers.
+    let mut results = Vec::new();
+    for policy in spectrum(sc.p) {
+        results.push(run_variant(
+            &sc,
+            &format!("static {policy}"),
+            false,
+            static_setup(policy, sc.period),
+        ));
+    }
+    for (name, kind) in [
+        ("hill-climb", ControllerKind::HillClimb),
+        ("ucb", ControllerKind::Ucb { explore: 0.6 }),
+    ] {
+        results.push(run_variant(
+            &sc,
+            &format!("adaptive {name}"),
+            true,
+            adaptive_setup(AdaptiveTunerCfg {
+                period: sc.period,
+                beta: BETA,
+                kind,
+                ..AdaptiveTunerCfg::default()
+            }),
+        ));
+    }
+
+    row(&[
+        "variant",
+        "rounds_per_s",
+        "fresh_frac",
+        "utility",
+        "train_time_s",
+        "final_loss",
+        "switches",
+    ]);
+    for r in &results {
+        row(&[
+            r.label.clone(),
+            format!("{:.2}", r.rounds_per_s),
+            format!("{:.3}", r.fresh_fraction),
+            format!("{:.2}", r.utility),
+            format!("{:.2}", r.train_time_s),
+            format!("{:.4}", r.final_loss),
+            r.policy_switches.to_string(),
+        ]);
+    }
+
+    comment("controller decisions (JSON, rank 0):");
+    for r in results.iter().filter(|r| r.adaptive) {
+        for d in &r.decisions {
+            println!(
+                "DECISION {} {}",
+                r.label,
+                serde_json::to_string(d).expect("decision serializes")
+            );
+        }
+    }
+
+    let statics: Vec<&VariantResult> = results.iter().filter(|r| !r.adaptive).collect();
+    let best_static = statics
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.utility.partial_cmp(&b.utility).unwrap())
+        .expect("static arms present");
+    let worst_static = statics
+        .iter()
+        .cloned()
+        .min_by(|a, b| a.utility.partial_cmp(&b.utility).unwrap())
+        .expect("static arms present");
+    comment(&format!(
+        "best static: {} (utility {:.2}); worst static: {} (utility {:.2})",
+        best_static.label, best_static.utility, worst_static.label, worst_static.utility
+    ));
+
+    let mut all_ok = true;
+    for r in results.iter().filter(|r| r.adaptive) {
+        let vs_best = r.utility / best_static.utility;
+        let vs_worst = r.utility / worst_static.utility.max(1e-9);
+        comment(&format!(
+            "{}: {:.1}% of best static, {:.2}x worst static",
+            r.label,
+            100.0 * vs_best,
+            vs_worst
+        ));
+        if args.quick {
+            // Quick mode has too few decision windows for the bandit to
+            // settle; report without enforcing.
+            continue;
+        }
+        all_ok &= shape_check(
+            &format!("{} ge 90pct of best static", r.label),
+            vs_best >= 0.9,
+            &format!("{:.1}%", 100.0 * vs_best),
+        );
+        all_ok &= shape_check(
+            &format!("{} beats worst static", r.label),
+            r.utility > worst_static.utility,
+            &format!("{vs_worst:.2}x"),
+        );
+    }
+
+    let _ = write_json("tune_adaptive", &results);
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

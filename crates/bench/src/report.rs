@@ -1,4 +1,5 @@
-//! Output helpers: TSV rows, provenance headers, shape checks.
+//! Output helpers: TSV rows, provenance headers, shape checks, and the
+//! shared `BENCH_*.json` artifact format.
 
 use crate::harness::VariantSummary;
 
@@ -21,6 +22,19 @@ pub fn shape_check(name: &str, ok: bool, detail: &str) -> bool {
         name
     );
     ok
+}
+
+/// Write `value` as pretty JSON to `BENCH_<name>.json` in the current
+/// directory — the one artifact format shared by bench binaries,
+/// telemetry dumps, and controller decision logs (everything involved
+/// derives `serde::Serialize`). Returns the path written.
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<String> {
+    let path = format!("BENCH_{name}.json");
+    let body = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    std::fs::write(&path, body)?;
+    comment(&format!("wrote {path}"));
+    Ok(path)
 }
 
 /// Print the standard summary block for a set of variant runs.

@@ -29,8 +29,9 @@
 //! lower-step receives covers **all** P possible initiators with `O(log P)`
 //! consumable operations — precisely the paper's Fig. 6 schedule.
 
+use crate::partial::QuorumPolicy;
 use crate::topology::{log2_exact, rd_partner, require_power_of_two};
-use pcoll_comm::{Rank, ReduceOp};
+use pcoll_comm::{CollId, Rank, ReduceOp};
 use pcoll_sched::{OpId, OpKind, Schedule, ScheduleBuilder, Slot, CONTRIB_SLOT};
 
 pub const SEM_ACT: u32 = 0x100;
@@ -52,6 +53,33 @@ pub enum ActivationMode {
     /// No activation broadcast: every rank's data sends wait for its own
     /// internal activation (synchronous semantics / quorum = P).
     Full,
+}
+
+/// The per-round policy hook: resolve a [`QuorumPolicy`] into the
+/// [`ActivationMode`] of one specific round. Deterministic in
+/// `(seed, coll, round)`, so every rank materializes the identical mode —
+/// including a rank building the round's schedule on *external*
+/// activation. This is the seam a per-round policy timeline plugs into:
+/// the policy may change between rounds, the mode for a given round never
+/// does.
+pub fn policy_activation_mode(
+    policy: QuorumPolicy,
+    seed: u64,
+    coll: CollId,
+    round: u64,
+    p: usize,
+) -> ActivationMode {
+    // One source of truth for the candidate set: the same derivation
+    // snapshot_timing and candidate queries use.
+    match policy {
+        QuorumPolicy::Full => ActivationMode::Full,
+        QuorumPolicy::Solo | QuorumPolicy::FirstOf(_) => {
+            ActivationMode::Race(policy.round_candidates(seed, coll, round, p))
+        }
+        QuorumPolicy::Majority | QuorumPolicy::Chain(_) => {
+            ActivationMode::Chain(policy.round_candidates(seed, coll, round, p))
+        }
+    }
 }
 
 /// Build the partial (or full) allreduce schedule for `rank` of `p` ranks.

@@ -34,6 +34,7 @@ pub mod topology;
 
 pub use ctx::RankCtx;
 pub use partial::{
-    AllreduceOutcome, PartialAllreduce, PartialOpts, QuorumPolicy, RoundTrace, StaleMode,
+    AllreduceOutcome, PartialAllreduce, PartialOpts, PolicyTimeline, QuorumPolicy, RoundEvent,
+    RoundObserver, RoundTrace, StaleMode,
 };
 pub use sync::{SyncAllreduce, SyncBarrier, SyncBcast, SyncReduce};

@@ -18,12 +18,14 @@
 //! fresh data — exactly the paper's "active process" definition used for
 //! the NAP (number of active processes) measurements of Fig. 9.
 
-use crate::builders::{allreduce_schedule, ActivationMode};
+use crate::builders::{allreduce_schedule, policy_activation_mode};
 use crate::topology::{require_power_of_two, round_candidates};
 use parking_lot::{Condvar, Mutex};
 use pcoll_comm::{CollId, DType, Rank, ReduceOp, TypedBuf};
-use pcoll_sched::{CollectiveTemplate, Engine, Schedule, SnapshotTiming};
+use pcoll_sched::{CollectiveTemplate, Engine, RoundStats, Schedule, SnapshotTiming};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -31,7 +33,7 @@ use std::time::Duration;
 /// Which processes may trigger a round, i.e. where on the
 /// solo–majority–full spectrum this collective sits (§8's proposed
 /// extension, with the paper's two variants as the named points).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum QuorumPolicy {
     /// Wait-free: every rank is an initiator candidate; the first to
     /// arrive triggers the round. Expected active processes ≈ 1 under
@@ -53,19 +55,16 @@ pub enum QuorumPolicy {
 }
 
 impl QuorumPolicy {
-    fn mode(self, seed: u64, coll: CollId, round: u64, p: usize) -> ActivationMode {
+    /// The initiator-candidate ranks of `round` under this policy (all
+    /// ranks for solo/full, the chain/race set otherwise). Deterministic:
+    /// every rank computes the identical list from the shared seed.
+    pub fn round_candidates(self, seed: u64, coll: CollId, round: u64, p: usize) -> Vec<Rank> {
         match self {
-            QuorumPolicy::Solo => ActivationMode::Race((0..p).collect()),
-            QuorumPolicy::Majority => {
-                ActivationMode::Chain(round_candidates(seed, coll, round, p, 1))
+            QuorumPolicy::Solo | QuorumPolicy::Full => (0..p).collect(),
+            QuorumPolicy::Majority => round_candidates(seed, coll, round, p, 1),
+            QuorumPolicy::FirstOf(m) | QuorumPolicy::Chain(m) => {
+                round_candidates(seed, coll, round, p, m.max(1))
             }
-            QuorumPolicy::FirstOf(m) => {
-                ActivationMode::Race(round_candidates(seed, coll, round, p, m.max(1)))
-            }
-            QuorumPolicy::Chain(m) => {
-                ActivationMode::Chain(round_candidates(seed, coll, round, p, m.max(1)))
-            }
-            QuorumPolicy::Full => ActivationMode::Full,
         }
     }
 
@@ -97,6 +96,125 @@ impl QuorumPolicy {
     }
 }
 
+impl fmt::Display for QuorumPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuorumPolicy::Solo => write!(f, "solo"),
+            QuorumPolicy::Majority => write!(f, "majority"),
+            QuorumPolicy::FirstOf(m) => write!(f, "first-of-{m}"),
+            QuorumPolicy::Chain(m) => write!(f, "chain-{m}"),
+            QuorumPolicy::Full => write!(f, "full"),
+        }
+    }
+}
+
+/// Append-only round → policy schedule, shared between the application
+/// handle and the engine-side template. This is what makes the quorum
+/// policy a *per-round* property instead of a construction-time constant:
+/// a closed-loop tuner appends `(from_round, policy)` segments and both
+/// the app thread (deposits, candidate queries) and the engine thread
+/// (schedule building on internal *or external* activation) resolve the
+/// policy for any round by segment lookup.
+///
+/// SPMD contract: every rank must append identical segments at identical
+/// `from_round` boundaries, and a segment for round `r` must be appended
+/// before any rank can send a message for round `r` (the trainer enforces
+/// this with a consensus-allreduce + barrier around each decision — see
+/// `eager_sgd::trainer`).
+#[derive(Debug)]
+pub struct PolicyTimeline {
+    /// `(from_round, policy)` pairs, strictly increasing in `from_round`.
+    segments: Mutex<Vec<(u64, QuorumPolicy)>>,
+}
+
+impl PolicyTimeline {
+    /// A timeline that applies `initial` from round 0.
+    pub fn new(initial: QuorumPolicy) -> Self {
+        PolicyTimeline {
+            segments: Mutex::new(vec![(0, initial)]),
+        }
+    }
+
+    /// The policy governing `round`.
+    pub fn policy_at(&self, round: u64) -> QuorumPolicy {
+        let segs = self.segments.lock();
+        segs.iter()
+            .rev()
+            .find(|(from, _)| *from <= round)
+            .map(|(_, p)| *p)
+            .expect("timeline starts at round 0")
+    }
+
+    /// Apply `policy` to every round ≥ `from_round`. No-op if the tail
+    /// segment already holds `policy`. Panics if `from_round` precedes the
+    /// current tail segment (segments are append-only; rounds already
+    /// governed by an agreed policy must never be rewritten — an in-flight
+    /// instance may have been built from it).
+    pub fn set_from(&self, from_round: u64, policy: QuorumPolicy) {
+        let mut segs = self.segments.lock();
+        let &(tail_from, tail_policy) = segs.last().expect("timeline never empty");
+        assert!(
+            from_round >= tail_from,
+            "policy segments are append-only: {from_round} < {tail_from}"
+        );
+        if tail_policy == policy {
+            return;
+        }
+        if from_round == tail_from {
+            segs.last_mut().expect("timeline never empty").1 = policy;
+        } else {
+            segs.push((from_round, policy));
+        }
+    }
+
+    /// Number of policy switches applied so far (segments beyond the
+    /// initial one).
+    pub fn switch_count(&self) -> usize {
+        self.segments.lock().len() - 1
+    }
+
+    /// Snapshot of the `(from_round, policy)` segments.
+    pub fn segments(&self) -> Vec<(u64, QuorumPolicy)> {
+        self.segments.lock().clone()
+    }
+}
+
+/// One completed round as seen by this rank — the unit of telemetry the
+/// partial collective publishes to a [`RoundObserver`] (and, through it,
+/// onto `pcoll_tune`'s bus). `fresh` is the paper's "active process" bit
+/// (the NAP numerator of Fig. 9); `latency_ms` and `external` come from
+/// the engine's [`RoundStats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundEvent {
+    /// Collective id (raw).
+    pub coll: u32,
+    pub round: u64,
+    /// The policy that governed this round.
+    pub policy: QuorumPolicy,
+    /// Did this rank's snapshot carry a fresh deposit?
+    pub fresh: bool,
+    /// Was the snapshot all zeros (pure G_null)?
+    pub null: bool,
+    /// Was this rank dragged in by a peer (external activation)?
+    pub external: bool,
+    /// Instance-creation → completion wall time on this rank.
+    pub latency_ms: f64,
+}
+
+/// Telemetry sink for per-round completion events and staleness misses.
+/// Called from the engine thread (`on_round`) and the application thread
+/// (`on_miss`); implementations must be cheap and non-blocking — the
+/// intended implementation is a lock-light channel publisher
+/// (`pcoll_tune::TelemetryBus`).
+pub trait RoundObserver: Send + Sync {
+    /// A round completed on this rank.
+    fn on_round(&self, ev: &RoundEvent);
+
+    /// An `allreduce` call found its requested round already superseded
+    /// (§5's staleness effect): the caller got `result_round`'s data.
+    fn on_miss(&self, _requested_round: u64, _result_round: u64) {}
+}
+
 /// How a deposit that missed its round is treated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum StaleMode {
@@ -108,7 +226,7 @@ pub enum StaleMode {
 }
 
 /// Options for [`PartialAllreduce`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct PartialOpts {
     /// Multiply the reduced result by this factor on completion
     /// (Algorithm 2 line 6 passes `1/P`).
@@ -121,6 +239,20 @@ pub struct PartialOpts {
     /// Keep per-round traces (tiny, but off for long training runs if
     /// undesired).
     pub trace: bool,
+    /// Per-round telemetry sink (completion events, staleness misses).
+    pub observer: Option<Arc<dyn RoundObserver>>,
+}
+
+impl fmt::Debug for PartialOpts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PartialOpts")
+            .field("scale", &self.scale)
+            .field("stale_mode", &self.stale_mode)
+            .field("wait_timeout", &self.wait_timeout)
+            .field("trace", &self.trace)
+            .field("observer", &self.observer.as_ref().map(|_| ".."))
+            .finish()
+    }
 }
 
 impl Default for PartialOpts {
@@ -130,12 +262,13 @@ impl Default for PartialOpts {
             stale_mode: StaleMode::Accumulate,
             wait_timeout: Duration::from_secs(60),
             trace: true,
+            observer: None,
         }
     }
 }
 
 /// Per-round record of this rank's participation.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RoundTrace {
     pub round: u64,
     /// Did this rank's snapshot carry a fresh deposit (made since the
@@ -182,6 +315,10 @@ struct Shared {
     recv: Mutex<RecvBuf>,
     cv: Condvar,
     traces: Mutex<HashMap<u64, RoundTrace>>,
+    /// `(fresh, null)` of the latest snapshot per round, kept only while an
+    /// observer is wired: consumed by `on_round_stats` to assemble the
+    /// completed [`RoundEvent`].
+    snap_flags: Mutex<HashMap<u64, (bool, bool)>>,
     /// Rounds whose result arrived too late (result_round > requested).
     missed_rounds: AtomicU64,
     /// Rounds where this rank contributed fresh data.
@@ -197,14 +334,15 @@ struct PartialTemplate {
     rank: Rank,
     p: usize,
     op: ReduceOp,
-    policy: QuorumPolicy,
+    timeline: Arc<PolicyTimeline>,
     seed: u64,
     coll: CollId,
 }
 
 impl CollectiveTemplate for PartialTemplate {
     fn build(&self, round: u64) -> Schedule {
-        let mode = self.policy.mode(self.seed, self.coll, round, self.p);
+        let policy = self.timeline.policy_at(round);
+        let mode = policy_activation_mode(policy, self.seed, self.coll, round, self.p);
         allreduce_schedule(self.rank, self.p, self.op, &mode)
     }
 
@@ -230,11 +368,18 @@ impl CollectiveTemplate for PartialTemplate {
                 },
             );
         }
+        if self.shared.opts.observer.is_some() {
+            self.shared
+                .snap_flags
+                .lock()
+                .insert(round, (fresh, data.is_null()));
+        }
         Some(data)
     }
 
     fn snapshot_timing(&self, round: u64) -> SnapshotTiming {
-        match self.policy {
+        let policy = self.timeline.policy_at(round);
+        match policy {
             // Full quorum behaves synchronously: contribution is captured
             // at internal activation (the deposit made just before).
             QuorumPolicy::Full => SnapshotTiming::Activation,
@@ -242,17 +387,7 @@ impl CollectiveTemplate for PartialTemplate {
             // their contribution must be their fresh deposit even if a
             // chain token created the instance before they arrived.
             QuorumPolicy::Majority | QuorumPolicy::Chain(_) => {
-                let cands = round_candidates(
-                    self.seed,
-                    self.coll,
-                    round,
-                    self.p,
-                    match self.policy {
-                        QuorumPolicy::Majority => 1,
-                        QuorumPolicy::Chain(m) => m.max(1),
-                        _ => unreachable!(),
-                    },
-                );
+                let cands = policy.round_candidates(self.seed, self.coll, round, self.p);
                 if cands.contains(&self.rank) {
                     SnapshotTiming::Activation
                 } else {
@@ -263,6 +398,27 @@ impl CollectiveTemplate for PartialTemplate {
             // arrive; their slot must be filled at creation.
             QuorumPolicy::Solo | QuorumPolicy::FirstOf(_) => SnapshotTiming::Creation,
         }
+    }
+
+    fn on_round_stats(&self, stats: &RoundStats) {
+        let Some(obs) = &self.shared.opts.observer else {
+            return;
+        };
+        let (fresh, null) = self
+            .shared
+            .snap_flags
+            .lock()
+            .remove(&stats.round)
+            .unwrap_or((false, true));
+        obs.on_round(&RoundEvent {
+            coll: self.coll.0,
+            round: stats.round,
+            policy: self.timeline.policy_at(stats.round),
+            fresh,
+            null,
+            external: stats.external,
+            latency_ms: stats.elapsed.as_secs_f64() * 1e3,
+        });
     }
 
     fn complete(&self, round: u64, result: Option<TypedBuf>) {
@@ -291,7 +447,7 @@ pub struct PartialAllreduce {
     engine: Engine,
     coll: CollId,
     next_round: u64,
-    policy: QuorumPolicy,
+    timeline: Arc<PolicyTimeline>,
     seed: u64,
     p: usize,
 }
@@ -328,10 +484,12 @@ impl PartialAllreduce {
             }),
             cv: Condvar::new(),
             traces: Mutex::new(HashMap::new()),
+            snap_flags: Mutex::new(HashMap::new()),
             missed_rounds: AtomicU64::new(0),
             fresh_rounds: AtomicU64::new(0),
             completions: AtomicU64::new(0),
         });
+        let timeline = Arc::new(PolicyTimeline::new(policy));
         engine.register(
             coll,
             Box::new(PartialTemplate {
@@ -339,7 +497,7 @@ impl PartialAllreduce {
                 rank,
                 p,
                 op,
-                policy,
+                timeline: Arc::clone(&timeline),
                 seed,
                 coll,
             }),
@@ -349,22 +507,54 @@ impl PartialAllreduce {
             engine: engine.clone(),
             coll,
             next_round: 0,
-            policy,
+            timeline,
             seed,
             p,
         }
     }
 
-    /// The initiator-candidate ranks of `round` under this policy (all
-    /// ranks for solo, the chain/race set otherwise; every rank for full).
+    /// The initiator-candidate ranks of `round` under the policy governing
+    /// that round (all ranks for solo/full, the chain/race set otherwise).
     pub fn candidates(&self, round: u64) -> Vec<Rank> {
-        match self.policy {
-            QuorumPolicy::Solo | QuorumPolicy::Full => (0..self.p).collect(),
-            QuorumPolicy::Majority => round_candidates(self.seed, self.coll, round, self.p, 1),
-            QuorumPolicy::FirstOf(m) | QuorumPolicy::Chain(m) => {
-                round_candidates(self.seed, self.coll, round, self.p, m.max(1))
-            }
-        }
+        self.timeline
+            .policy_at(round)
+            .round_candidates(self.seed, self.coll, round, self.p)
+    }
+
+    /// The policy governing `round` (per the policy timeline).
+    pub fn policy_at(&self, round: u64) -> QuorumPolicy {
+        self.timeline.policy_at(round)
+    }
+
+    /// The policy that will govern the next `allreduce` call.
+    pub fn current_policy(&self) -> QuorumPolicy {
+        self.timeline.policy_at(self.next_round)
+    }
+
+    /// Switch the quorum policy for every round ≥ `from_round`
+    /// (`from_round` must be ≥ [`PartialAllreduce::rounds`] — rounds
+    /// already requested keep their agreed schedule shape).
+    ///
+    /// SPMD + consensus contract: all ranks must apply the identical
+    /// switch, and no rank may *enter* round `from_round` before every
+    /// rank has applied it (otherwise a fast peer could drag a slow rank
+    /// into a round whose schedule the slow rank would still build from
+    /// the old policy). A dissemination barrier between `set_policy_from`
+    /// and the next `allreduce` call provides exactly this ordering; the
+    /// adaptive trainer's decision protocol does allreduce(stats) →
+    /// decide → `set_policy_from` → barrier.
+    pub fn set_policy_from(&self, from_round: u64, policy: QuorumPolicy) {
+        assert!(
+            from_round >= self.next_round,
+            "cannot re-policy round {from_round}: rounds < {} were already requested",
+            self.next_round
+        );
+        self.timeline.set_from(from_round, policy);
+    }
+
+    /// Number of policy switches applied so far.
+    pub fn policy_switches(&self) -> usize {
+        self.timeline.switch_count()
     }
 
     /// Perform one eager round: deposit `contrib`, trigger (or join) the
@@ -410,6 +600,9 @@ impl PartialAllreduce {
                 if latest >= round {
                     if latest > round {
                         self.shared.missed_rounds.fetch_add(1, Ordering::Relaxed);
+                        if let Some(obs) = &self.shared.opts.observer {
+                            obs.on_miss(round, latest);
+                        }
                     }
                     return AllreduceOutcome {
                         data: recv.data.clone(),
@@ -653,6 +846,158 @@ mod tests {
         });
         for r in 1..p {
             assert_eq!(out[0], out[r], "rank {r} differs from rank 0");
+        }
+    }
+
+    #[test]
+    fn policy_switch_mid_run_changes_round_semantics() {
+        // Start solo, run a couple of rounds, then switch every rank to
+        // Chain(p) with the consensus ordering the trainer uses
+        // (set_policy_from on all ranks, then a barrier, then the next
+        // round). Chain-of-all rounds are deterministic full sums, which
+        // proves the engine rebuilt schedules from the new segment.
+        let p = 4;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.partial_allreduce(
+                DType::F32,
+                1,
+                ReduceOp::Sum,
+                QuorumPolicy::Solo,
+                PartialOpts::default(),
+            );
+            for _ in 0..2 {
+                let _ = ar.allreduce(&f32s(&[1.0]));
+                ctx.barrier();
+            }
+            assert_eq!(ar.current_policy(), QuorumPolicy::Solo);
+            ar.set_policy_from(ar.rounds(), QuorumPolicy::Chain(p));
+            ctx.barrier();
+            assert_eq!(ar.current_policy(), QuorumPolicy::Chain(p));
+            assert_eq!(ar.policy_at(0), QuorumPolicy::Solo);
+            let me = ctx.rank() as f32;
+            let mut sums = Vec::new();
+            for _ in 0..3 {
+                sums.push(ar.allreduce(&f32s(&[me])).data.as_f32().unwrap()[0]);
+            }
+            assert_eq!(ar.policy_switches(), 1);
+            ctx.finalize();
+            sums
+        });
+        // Σ rank = 6 for p = 4. The first chain round may additionally
+        // carry stale solo-phase deposits (Fig. 7 accumulation), so only
+        // the settled rounds are exact.
+        for sums in out {
+            assert!(sums[0] >= 6.0, "first chain round at least the full sum");
+            assert_eq!(sums[1..], [6.0, 6.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "append-only")]
+    fn policy_timeline_rejects_rewrites() {
+        let t = PolicyTimeline::new(QuorumPolicy::Solo);
+        t.set_from(10, QuorumPolicy::Majority);
+        t.set_from(5, QuorumPolicy::Full);
+    }
+
+    #[test]
+    fn policy_timeline_lookup_follows_segments() {
+        let t = PolicyTimeline::new(QuorumPolicy::Solo);
+        t.set_from(4, QuorumPolicy::Chain(2));
+        t.set_from(4, QuorumPolicy::Majority); // same boundary: replace
+        t.set_from(9, QuorumPolicy::Majority); // no-op: tail already holds it
+        assert_eq!(t.policy_at(0), QuorumPolicy::Solo);
+        assert_eq!(t.policy_at(3), QuorumPolicy::Solo);
+        assert_eq!(t.policy_at(4), QuorumPolicy::Majority);
+        assert_eq!(t.policy_at(100), QuorumPolicy::Majority);
+        assert_eq!(t.switch_count(), 1);
+    }
+
+    #[test]
+    fn observer_receives_round_events_and_misses() {
+        #[derive(Default)]
+        struct Collect {
+            rounds: Mutex<Vec<RoundEvent>>,
+            misses: Mutex<Vec<(u64, u64)>>,
+        }
+        impl RoundObserver for Collect {
+            fn on_round(&self, ev: &RoundEvent) {
+                self.rounds.lock().push(ev.clone());
+            }
+            fn on_miss(&self, requested: u64, got: u64) {
+                self.misses.lock().push((requested, got));
+            }
+        }
+        let p = 4;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let obs = Arc::new(Collect::default());
+            let mut ar = ctx.partial_allreduce(
+                DType::F32,
+                1,
+                ReduceOp::Sum,
+                QuorumPolicy::Solo,
+                PartialOpts {
+                    observer: Some(Arc::clone(&obs) as Arc<dyn RoundObserver>),
+                    ..PartialOpts::default()
+                },
+            );
+            // Rank 0 races ahead; sleepers get dragged in externally.
+            if ctx.rank() != 0 {
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            let _ = ar.allreduce(&f32s(&[1.0]));
+            ctx.barrier();
+            let _ = ar.allreduce(&f32s(&[1.0]));
+            ctx.barrier();
+            ctx.finalize();
+            let rounds = obs.rounds.lock().clone();
+            let misses = obs.misses.lock().len();
+            (rounds, misses)
+        });
+        for (rank, (rounds, _)) in out.iter().enumerate() {
+            assert!(
+                rounds.iter().any(|e| e.round == 0),
+                "rank {rank}: round-0 event missing, got {rounds:?}"
+            );
+            for e in rounds {
+                assert!(e.latency_ms >= 0.0);
+                assert_eq!(e.policy, QuorumPolicy::Solo);
+            }
+        }
+        // Rank 0 ran round 0 alone, so every sleeper's round-0 instance
+        // was created externally with a null snapshot.
+        for (rank, (rounds, _)) in out.iter().enumerate().skip(1) {
+            let r0 = rounds.iter().find(|e| e.round == 0).unwrap();
+            assert!(r0.external, "rank {rank} must be dragged in externally");
+            assert!(r0.null, "rank {rank} round-0 snapshot must be G_null");
+        }
+        let r0 = out[0].0.iter().find(|e| e.round == 0).unwrap();
+        assert!(r0.fresh && !r0.external);
+    }
+
+    #[test]
+    fn round_trace_and_policy_serialize_to_json() {
+        let t = RoundTrace {
+            round: 3,
+            fresh: true,
+            null: false,
+        };
+        let s = serde_json::to_string(&t).unwrap();
+        assert!(s.contains("\"round\":3"), "{s}");
+        let back: RoundTrace = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, t);
+        for policy in [
+            QuorumPolicy::Solo,
+            QuorumPolicy::FirstOf(3),
+            QuorumPolicy::Chain(2),
+            QuorumPolicy::Majority,
+            QuorumPolicy::Full,
+        ] {
+            let s = serde_json::to_string(&policy).unwrap();
+            let back: QuorumPolicy = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, policy, "{s}");
         }
     }
 

@@ -168,6 +168,81 @@ mod tests {
         assert_ne!(a, d, "different collectives draw different candidates");
     }
 
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Determinism: the candidate list is a pure function of
+            /// `(seed, coll, round, p, m)` — the consensus property every
+            /// rank relies on (§4.2).
+            #[test]
+            fn candidates_deterministic(
+                seed in any::<u64>(),
+                coll in 0u32..16,
+                round in 0u64..1000,
+                p_exp in 0u32..7,
+                m in 1usize..9,
+            ) {
+                let p = 1usize << p_exp;
+                let a = round_candidates(seed, CollId(coll), round, p, m);
+                let b = round_candidates(seed, CollId(coll), round, p, m);
+                prop_assert_eq!(a, b);
+            }
+
+            /// Candidates are distinct, in-range, and exactly
+            /// `min(m, p)` of them.
+            #[test]
+            fn candidates_distinct_and_bounded(
+                seed in any::<u64>(),
+                round in 0u64..1000,
+                p_exp in 0u32..7,
+                m in 1usize..130,
+            ) {
+                let p = 1usize << p_exp;
+                let c = round_candidates(seed, CollId(1), round, p, m);
+                prop_assert_eq!(c.len(), m.min(p));
+                prop_assert!(c.iter().all(|&r| r < p));
+                let mut dedup = c.clone();
+                dedup.sort_unstable();
+                dedup.dedup();
+                prop_assert_eq!(dedup.len(), c.len());
+            }
+
+            /// Over many rounds, each rank appears as a candidate at a
+            /// frequency close to m/p — the uniformity behind majority's
+            /// E[NAP] = P/2 guarantee.
+            #[test]
+            fn candidates_roughly_uniform(
+                seed in any::<u64>(),
+                p_exp in 2u32..6,
+                m in 1usize..4,
+            ) {
+                let p = 1usize << p_exp;
+                let rounds = 3000u64;
+                let mut counts = vec![0usize; p];
+                for r in 0..rounds {
+                    for c in round_candidates(seed, CollId(2), r, p, m) {
+                        counts[c] += 1;
+                    }
+                }
+                let frac = m.min(p) as f64 / p as f64;
+                let expect = rounds as f64 * frac;
+                // Binomial std; 6σ keeps the false-failure rate negligible
+                // across the thousands of (case × rank) checks.
+                let tol = 6.0 * (expect * (1.0 - frac)).sqrt().max(1.0);
+                for (rank, &c) in counts.iter().enumerate() {
+                    prop_assert!(
+                        (c as f64 - expect).abs() < tol,
+                        "rank {} selected {} times, expected {} ± {}", rank, c, expect, tol
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn candidate_selection_is_uniform_enough() {
         // Over many rounds each rank should be the (single) designated

@@ -32,6 +32,9 @@ pub mod theory;
 pub mod trainer;
 pub mod workloads;
 
-pub use metrics::{EpochRecord, TrainLog};
-pub use trainer::{run_rank, GradFusion, SgdVariant, TrainerConfig};
+pub use metrics::{EpochRecord, TrainLog, TuneDecision};
+pub use theory::{ConvergenceParams, NapModel, NapPrediction};
+pub use trainer::{
+    run_rank, GradFusion, QuorumDecision, QuorumTuner, SgdVariant, TrainerConfig, TunerSetup,
+};
 pub use workloads::{HyperplaneWorkload, ImageWorkload, SpatialWorkload, VideoWorkload, Workload};

@@ -1,6 +1,7 @@
 //! Training metrics: what the figure harnesses plot.
 
 use dnn::EvalMetrics;
+use pcoll::QuorumPolicy;
 use serde::{Deserialize, Serialize};
 
 /// Evaluation numbers in serializable form.
@@ -39,11 +40,38 @@ pub struct EpochRecord {
     pub train: Option<EvalRecord>,
 }
 
+/// One closed-loop quorum-controller decision, recorded by the trainer at
+/// each decision boundary (every K rounds). All ranks record identical
+/// sequences — the decision is a deterministic function of rank-summed
+/// stats — so rank 0's list is the canonical controller trajectory that
+/// benches serialize to JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneDecision {
+    /// Training step at which the decision was taken.
+    pub step: u64,
+    /// First collective round the chosen policy governs.
+    pub from_round: u64,
+    /// The chosen quorum policy.
+    pub policy: QuorumPolicy,
+    /// Measured reward of the *previous* window
+    /// (`fresh_fraction^β × rounds_per_s`).
+    pub reward: f64,
+    /// Globally-averaged fresh-contribution fraction of the window.
+    pub fresh_fraction: f64,
+    /// Globally-averaged round completion rate of the window (1/s).
+    pub rounds_per_s: f64,
+    /// Estimated arrival spread — EWMA of the per-step max−min offset,
+    /// averaged across ranks (ms).
+    pub spread_ms: f64,
+}
+
 /// Full per-rank training log.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainLog {
     pub rank: usize,
     pub epochs: Vec<EpochRecord>,
+    /// Quorum-controller decisions, when adaptive tuning was enabled.
+    pub decisions: Vec<TuneDecision>,
     /// Rounds where this rank's fresh gradient made it into its own round.
     pub fresh_rounds: u64,
     /// Rounds whose requested result had been superseded (staleness events).
@@ -59,6 +87,7 @@ impl TrainLog {
         TrainLog {
             rank,
             epochs: Vec::new(),
+            decisions: Vec::new(),
             fresh_rounds: 0,
             missed_rounds: 0,
             steps: 0,

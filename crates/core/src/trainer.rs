@@ -22,15 +22,19 @@
 //! epoch-boundary evaluation (rank 0, inside barriers) is excluded from
 //! the reported clock.
 
-use crate::metrics::{EpochRecord, TrainLog};
+use crate::metrics::{EpochRecord, TrainLog, TuneDecision};
 use crate::workloads::Workload;
 use dnn::optim::LrSchedule;
 use dnn::{EvalMetrics, Model, Optimizer};
 use imbalance::Injector;
 use minitensor::TensorRng;
-use pcoll::{PartialAllreduce, PartialOpts, QuorumPolicy, RankCtx, StaleMode, SyncAllreduce};
+use pcoll::{
+    PartialAllreduce, PartialOpts, QuorumPolicy, RankCtx, RoundObserver, StaleMode, SyncAllreduce,
+};
 use pcoll_comm::{DType, ReduceOp, TypedBuf};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which SGD the rank runs.
@@ -85,6 +89,96 @@ impl SgdVariant {
     }
 }
 
+/// What a [`QuorumTuner::decide`] call returns: the policy to apply from
+/// the next round on, plus the window measurements the trainer records
+/// into [`TuneDecision`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuorumDecision {
+    pub policy: QuorumPolicy,
+    pub reward: f64,
+    pub fresh_fraction: f64,
+    pub rounds_per_s: f64,
+    pub spread_ms: f64,
+}
+
+/// A closed-loop quorum controller, as seen by the trainer. One instance
+/// lives per rank; the trainer drives the measure → agree → decide → apply
+/// loop every [`QuorumTuner::period`] steps:
+///
+/// 1. each step, [`QuorumTuner::record_step`] feeds the injector's
+///    per-rank arrival offsets (and, through the observer wired into the
+///    partial collective, per-round completion telemetry);
+/// 2. at a decision boundary, every rank's [`QuorumTuner::local_stats`]
+///    vector is summed with a blocking allreduce, so all ranks see the
+///    identical global view;
+/// 3. [`QuorumTuner::decide`] must be a *deterministic* function of that
+///    summed vector (plus internal state updated only from such vectors) —
+///    this is what keeps the SPMD ranks choosing the same policy with no
+///    extra coordination, the same shared-seed trick the majority
+///    collective uses for initiator consensus (§4.2);
+/// 4. the trainer applies the policy from the next round and runs a
+///    dissemination barrier, which guarantees every rank has appended the
+///    new policy segment before any rank can enter a round governed by it.
+///
+/// Implementations live in `pcoll_tune` (static, hill-climb, UCB bandit).
+pub trait QuorumTuner: Send {
+    /// Decide every this-many steps.
+    fn period(&self) -> u64;
+
+    /// Telemetry sink to wire into the partial collective's options.
+    fn observer(&self) -> Option<Arc<dyn RoundObserver>> {
+        None
+    }
+
+    /// Overrides the variant's construction-time policy (so one trainer
+    /// variant can start anywhere on the spectrum, including `Full`).
+    fn initial_policy(&self) -> Option<QuorumPolicy> {
+        None
+    }
+
+    /// Per-step arrival offsets of *all* ranks (ms), from the injector's
+    /// shared-seed global view.
+    fn record_step(&mut self, _step: u64, _offsets_ms: &[f64]) {}
+
+    /// Length of the stats vector (must match on every rank).
+    fn stats_len(&self) -> usize;
+
+    /// This rank's contribution to the decision, summed elementwise
+    /// across ranks by the consensus allreduce.
+    fn local_stats(&mut self) -> Vec<f32>;
+
+    /// Deterministic decision from the rank-summed stats. `None` means
+    /// "keep the current policy and record nothing".
+    fn decide(&mut self, from_round: u64, summed: &[f32]) -> Option<QuorumDecision>;
+}
+
+/// Cloneable per-rank [`QuorumTuner`] factory carried by
+/// [`TrainerConfig`]: called once per rank (rank, world size) at trainer
+/// start, so every rank owns its tuner (telemetry is rank-local; only the
+/// decision inputs are globally reduced).
+#[derive(Clone)]
+pub struct TunerSetup(Arc<dyn Fn(usize, usize) -> Box<dyn QuorumTuner> + Send + Sync>);
+
+impl TunerSetup {
+    pub fn new<F>(f: F) -> Self
+    where
+        F: Fn(usize, usize) -> Box<dyn QuorumTuner> + Send + Sync + 'static,
+    {
+        TunerSetup(Arc::new(f))
+    }
+
+    /// Build the tuner for `rank` of `p`.
+    pub fn build(&self, rank: usize, p: usize) -> Box<dyn QuorumTuner> {
+        (self.0)(rank, p)
+    }
+}
+
+impl fmt::Debug for TunerSetup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TunerSetup(..)")
+    }
+}
+
 /// How gradients map onto collectives (§3: Horovod fuses several tensors
 /// into one allreduce; Deep500-style non-blocking mode keeps one tagged
 /// allreduce per tensor in flight and issues a waitall before the
@@ -136,6 +230,9 @@ pub struct TrainerConfig {
     /// Evaluate on rank 0 every k epochs (and at the end).
     pub eval_every: usize,
     pub seed: u64,
+    /// Closed-loop quorum controller (eager variants only; ignored for
+    /// the synchronous baselines). See [`QuorumTuner`].
+    pub tuner: Option<TunerSetup>,
 }
 
 impl TrainerConfig {
@@ -154,6 +251,7 @@ impl TrainerConfig {
             grad_clip: None,
             eval_every: 1,
             seed: 42,
+            tuner: None,
         }
     }
 }
@@ -224,8 +322,17 @@ pub fn run_rank(
     let n = model.num_params();
     let scale = Some(1.0 / p as f64);
 
+    // Per-rank closed-loop tuner (eager variants only): built before the
+    // collectives so its observer and initial policy can be wired in.
+    let mut tuner = if cfg.variant.is_eager() {
+        cfg.tuner.as_ref().map(|t| t.build(rank, p))
+    } else {
+        None
+    };
+
     // SPMD collective construction order: gradient reducer(s),
-    // negotiation pair (Horovod only), weight synchronizer.
+    // negotiation pair (Horovod only), weight synchronizer, tuner
+    // consensus allreduce (adaptive runs only).
     let mut reducer = match cfg.variant.quorum_policy() {
         Some(policy) => {
             assert_eq!(
@@ -233,6 +340,10 @@ pub fn run_rank(
                 GradFusion::Fused,
                 "eager variants define their send-buffer semantics on the fused buffer"
             );
+            let policy = tuner
+                .as_ref()
+                .and_then(|t| t.initial_policy())
+                .unwrap_or(policy);
             GradReducer::Partial(ctx.partial_allreduce(
                 DType::F32,
                 n,
@@ -241,6 +352,7 @@ pub fn run_rank(
                 PartialOpts {
                     scale,
                     stale_mode: cfg.stale_mode,
+                    observer: tuner.as_ref().and_then(|t| t.observer()),
                     ..PartialOpts::default()
                 },
             ))
@@ -262,6 +374,12 @@ pub fn run_rank(
     let mut negotiation = (cfg.variant == SgdVariant::SynchHorovod)
         .then(|| (ctx.reduce(0, ReduceOp::Max), ctx.bcast(0)));
     let mut weight_sync = ctx.sync_allreduce(DType::F32, n, ReduceOp::Sum, scale);
+    // Small blocking allreduce that sums every rank's stats vector at a
+    // decision boundary, so the controllers decide from an identical
+    // global view on every rank.
+    let mut consensus = tuner
+        .as_ref()
+        .map(|t| ctx.sync_allreduce(DType::F32, t.stats_len(), ReduceOp::Sum, None));
 
     let mut rng = TensorRng::new(cfg.seed ^ (rank as u64).wrapping_mul(0x1F3D_5B79));
     let mut grads = vec![0.0f32; n];
@@ -311,6 +429,42 @@ pub fn run_rank(
             }
             opt.delta(avg, &mut delta);
             model.apply_delta(&delta);
+
+            // --- Closed-loop quorum control (eager + tuner only). ---
+            if let (Some(t), Some(cons), GradReducer::Partial(ar)) =
+                (tuner.as_mut(), consensus.as_mut(), &mut reducer)
+            {
+                // Arrival offsets of *all* ranks this step: every rank can
+                // evaluate the injector's global pattern from the shared
+                // seed without communication. Scaled to wall-clock ms so
+                // estimator offsets share units with the measured round
+                // latencies.
+                let mut offsets = cfg.injector.delays_all(p, step);
+                offsets.iter_mut().for_each(|o| *o *= cfg.time_scale);
+                t.record_step(step, &offsets);
+                if (step + 1).is_multiple_of(t.period().max(1)) {
+                    // measure → agree → decide → apply → fence.
+                    let summed = cons.allreduce(&TypedBuf::from(t.local_stats()));
+                    let summed = summed.as_f32().expect("f32 stats vector");
+                    let from_round = ar.rounds();
+                    if let Some(d) = t.decide(from_round, summed) {
+                        ar.set_policy_from(from_round, d.policy);
+                        log.decisions.push(TuneDecision {
+                            step,
+                            from_round,
+                            policy: d.policy,
+                            reward: d.reward,
+                            fresh_fraction: d.fresh_fraction,
+                            rounds_per_s: d.rounds_per_s,
+                            spread_ms: d.spread_ms,
+                        });
+                    }
+                    // The barrier guarantees every rank has appended the
+                    // new policy segment before any rank can reach (and
+                    // drag peers into) a round it governs.
+                    ctx.barrier();
+                }
+            }
             step += 1;
         }
         let epoch_secs = epoch_t0.elapsed().as_secs_f64();
@@ -534,6 +688,82 @@ mod tests {
             eager_t < sync_t * 0.85,
             "eager {eager_t:.3}s should beat sync {sync_t:.3}s"
         );
+    }
+
+    #[test]
+    fn tuner_protocol_switches_policies_safely_under_skew() {
+        // A toy tuner cycling across the whole spectrum (including Full)
+        // every 4 steps: validates the measure → agree → decide → apply
+        // protocol end to end under injected skew — consensus summation,
+        // timeline appends on every rank, no deadlock across switches —
+        // and that identical decision logs land on every rank.
+        struct Cycle {
+            idx: usize,
+        }
+        const ARMS: [QuorumPolicy; 4] = [
+            QuorumPolicy::Chain(2),
+            QuorumPolicy::Majority,
+            QuorumPolicy::Full,
+            QuorumPolicy::Solo,
+        ];
+        impl QuorumTuner for Cycle {
+            fn period(&self) -> u64 {
+                4
+            }
+            fn initial_policy(&self) -> Option<QuorumPolicy> {
+                Some(QuorumPolicy::Solo)
+            }
+            fn stats_len(&self) -> usize {
+                2
+            }
+            fn local_stats(&mut self) -> Vec<f32> {
+                vec![1.0, 3.0]
+            }
+            fn decide(&mut self, _from_round: u64, summed: &[f32]) -> Option<QuorumDecision> {
+                // Every rank contributed exactly one stats vector.
+                assert_eq!(summed, [4.0, 12.0]);
+                let policy = ARMS[self.idx % ARMS.len()];
+                self.idx += 1;
+                Some(QuorumDecision {
+                    policy,
+                    reward: 1.0,
+                    fresh_fraction: 1.0,
+                    rounds_per_s: 1.0,
+                    spread_ms: 0.0,
+                })
+            }
+        }
+        let p = 4;
+        let task = Arc::new(HyperplaneTask::new(16, 256, 0.05, 32, 7));
+        let logs = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut rng = TensorRng::new(3);
+            let mut model = hyperplane_mlp(16, &mut rng);
+            let mut opt = Sgd::new(0.02);
+            let wl = HyperplaneWorkload {
+                task: Arc::clone(&task),
+                local_batch: 8,
+            };
+            let mut cfg = TrainerConfig::new(SgdVariant::EagerSolo, 2, 8, 0.02);
+            cfg.injector = Injector::RandomRanks {
+                k: 1,
+                amount_ms: 15.0,
+                seed: 9,
+            };
+            cfg.eval_every = 100;
+            cfg.tuner = Some(TunerSetup::new(|_, _| Box::new(Cycle { idx: 0 })));
+            let log = run_rank(&ctx, &mut model, &mut opt, &wl, &cfg);
+            ctx.finalize();
+            log
+        });
+        // 16 steps / period 4 = 4 decisions, identical on every rank.
+        for log in &logs {
+            assert_eq!(log.decisions.len(), 4, "rank {}", log.rank);
+            assert_eq!(log.decisions, logs[0].decisions);
+            assert_eq!(log.steps, 16);
+        }
+        let policies: Vec<QuorumPolicy> = logs[0].decisions.iter().map(|d| d.policy).collect();
+        assert_eq!(&policies, &ARMS);
     }
 
     #[test]

@@ -99,6 +99,27 @@ impl Injector {
         }
     }
 
+    /// All ranks' injected delays at `step`, unscaled — the global view
+    /// every rank can compute from the shared seed. Equivalent to calling
+    /// [`Injector::delay_ms`] once per rank, but draws the shared
+    /// randomness once instead of `p` times (the per-step telemetry path
+    /// of the adaptive tuner calls this every training step).
+    pub fn delays_all(&self, p: usize, step: u64) -> Vec<f64> {
+        match self {
+            Injector::RandomRanks { k, amount_ms, seed } => {
+                let mut out = vec![0.0; p];
+                if *k > 0 {
+                    let mut rng = step_rng(*seed, step);
+                    for c in sample(&mut rng, p, (*k).min(p)).iter() {
+                        out[c] = *amount_ms;
+                    }
+                }
+                out
+            }
+            _ => (0..p).map(|r| self.delay_ms(r, p, step)).collect(),
+        }
+    }
+
     /// Sleep for this step's delay, scaled by `time_scale` (the harness
     /// knob that maps the paper's milliseconds onto an affordable
     /// wall-clock budget; ratios are scale-invariant).
@@ -223,5 +244,30 @@ mod tests {
     #[test]
     fn none_injects_nothing() {
         assert_eq!(Injector::None.delay_ms(5, 8, 3), 0.0);
+    }
+
+    #[test]
+    fn delays_all_matches_per_rank_queries() {
+        let p = 16;
+        for inj in [
+            Injector::None,
+            Injector::LinearSkew { unit_ms: 2.0 },
+            Injector::RandomRanks {
+                k: 3,
+                amount_ms: 50.0,
+                seed: 7,
+            },
+            Injector::ShiftingSkew {
+                min_ms: 5.0,
+                max_ms: 80.0,
+            },
+            Injector::cloud_default(3),
+        ] {
+            for step in [0u64, 1, 17, 999] {
+                let bulk = inj.delays_all(p, step);
+                let single: Vec<f64> = (0..p).map(|r| inj.delay_ms(r, p, step)).collect();
+                assert_eq!(bulk, single, "{inj:?} step {step}");
+            }
+        }
     }
 }

@@ -36,6 +36,21 @@ use std::sync::Arc;
 /// instead of being dropped the instant the local result is known.
 const GC_LAG: u64 = 8;
 
+/// Per-round completion statistics handed to
+/// [`CollectiveTemplate::on_round_stats`]: the engine-side half of the
+/// telemetry a closed-loop tuner needs (the app-side half — freshness,
+/// staleness — lives with the template's buffers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundStats {
+    /// The completed round.
+    pub round: u64,
+    /// Whether this rank was dragged in by a peer's message (external
+    /// activation, §4.1) rather than arriving on its own.
+    pub external: bool,
+    /// Wall time from instance creation on this rank to completion.
+    pub elapsed: std::time::Duration,
+}
+
 /// When the engine captures a rank's contribution into slot 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SnapshotTiming {
@@ -78,6 +93,12 @@ pub trait CollectiveTemplate: Send {
     /// Deliver the completed result for `round`. Called on the engine
     /// thread; implementations should only update state and notify.
     fn complete(&self, round: u64, result: Option<TypedBuf>);
+
+    /// Engine-side per-round statistics, delivered on the engine thread
+    /// immediately after [`CollectiveTemplate::complete`]. Default: ignore.
+    /// Telemetry-publishing templates (the partial allreduce feeding
+    /// `pcoll_tune`'s bus) override this.
+    fn on_round_stats(&self, _stats: &RoundStats) {}
 }
 
 /// Monotonic counters exposed for tests, ablations and diagnostics.
@@ -207,6 +228,10 @@ struct Instance {
     /// Whether the contribution snapshot has been taken (see
     /// [`SnapshotTiming`]).
     snapshotted: bool,
+    /// Instance creation time (for [`RoundStats::elapsed`]).
+    created: std::time::Instant,
+    /// Created by an incoming message rather than local activation.
+    external: bool,
 }
 
 struct CollState {
@@ -273,7 +298,7 @@ impl Progress {
         let mut to_fire = Vec::new();
         let inst = cs.instances.entry(round).or_insert_with(|| {
             EngineStats::bump(&self.stats.internal_activations);
-            new_instance(&*cs.template, round, &mut to_fire)
+            new_instance(&*cs.template, round, false, &mut to_fire)
         });
         // Activation-timed snapshot: fill the contribution now, before any
         // gate-dependent send can fire.
@@ -302,7 +327,7 @@ impl Progress {
         let mut to_fire = Vec::new();
         let inst = cs.instances.entry(round).or_insert_with(|| {
             EngineStats::bump(&self.stats.external_activations);
-            new_instance(&*cs.template, round, &mut to_fire)
+            new_instance(&*cs.template, round, true, &mut to_fire)
         });
         match inst.recv_route.get(&(msg.src, msg.tag.sem)) {
             Some(&op) => {
@@ -365,7 +390,13 @@ impl Progress {
             inst.completed = true;
             EngineStats::bump(&self.stats.completions);
             let result = inst.sched.result_slot.and_then(|s| inst.bufs[s].take());
+            let stats = RoundStats {
+                round,
+                external: inst.external,
+                elapsed: inst.created.elapsed(),
+            };
             cs.template.complete(round, result);
+            cs.template.on_round_stats(&stats);
             cs.latest_completed = Some(cs.latest_completed.map_or(round, |l| l.max(round)));
             Self::collect_garbage(cs);
         }
@@ -394,6 +425,7 @@ impl Progress {
 fn new_instance(
     template: &dyn CollectiveTemplate,
     round: u64,
+    external: bool,
     to_fire: &mut Vec<OpId>,
 ) -> Instance {
     let sched = template.build(round);
@@ -418,6 +450,8 @@ fn new_instance(
         pending_payloads: HashMap::new(),
         completed: false,
         snapshotted,
+        created: std::time::Instant::now(),
+        external,
     }
 }
 

@@ -34,5 +34,5 @@ pub mod engine;
 pub mod op;
 
 pub use dag::DagState;
-pub use engine::{CollectiveTemplate, Engine, EngineStats, SnapshotTiming};
+pub use engine::{CollectiveTemplate, Engine, EngineStats, RoundStats, SnapshotTiming};
 pub use op::{DepMode, Op, OpId, OpKind, Schedule, ScheduleBuilder, Slot, CONTRIB_SLOT};

@@ -1,0 +1,159 @@
+//! The telemetry bus: a lock-light MPSC spine that the collectives layer
+//! (round completions via [`pcoll::RoundObserver`]), the trainer (per-step
+//! arrival offsets from the imbalance injector), and the application
+//! (staleness misses) publish onto, and that the skew estimator /
+//! controller drain at decision boundaries.
+//!
+//! Publishing is a single channel send — no shared mutable state, safe
+//! from the engine thread's hot path. Draining happens on the training
+//! thread every K rounds, so the channel depth stays bounded by one
+//! decision window's worth of events.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use pcoll::{RoundEvent, RoundObserver};
+use serde::{Deserialize, Serialize};
+
+/// Everything that flows over the bus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// A partial-collective round completed on this rank (engine thread).
+    Round(RoundEvent),
+    /// A requested round's result had already been superseded — §5's
+    /// staleness effect (application thread).
+    Miss { requested: u64, got: u64 },
+    /// Per-step injected arrival offsets of all ranks, in ms (training
+    /// thread; every rank computes the same global view from the shared
+    /// injector seed).
+    Arrival { step: u64, offsets_ms: Vec<f64> },
+}
+
+/// Cheap cloneable publishing handle.
+#[derive(Clone)]
+pub struct TelemetryPublisher {
+    tx: Sender<TelemetryEvent>,
+}
+
+impl TelemetryPublisher {
+    /// Publish one event (never blocks; the bus is unbounded).
+    pub fn publish(&self, ev: TelemetryEvent) {
+        let _ = self.tx.send(ev);
+    }
+}
+
+impl RoundObserver for TelemetryPublisher {
+    fn on_round(&self, ev: &RoundEvent) {
+        self.publish(TelemetryEvent::Round(ev.clone()));
+    }
+
+    fn on_miss(&self, requested: u64, got: u64) {
+        self.publish(TelemetryEvent::Miss { requested, got });
+    }
+}
+
+/// One rank's telemetry bus: many publishers, one drainer.
+pub struct TelemetryBus {
+    tx: Sender<TelemetryEvent>,
+    rx: Receiver<TelemetryEvent>,
+}
+
+impl TelemetryBus {
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        TelemetryBus { tx, rx }
+    }
+
+    /// A new publishing handle (give one to each producer).
+    pub fn publisher(&self) -> TelemetryPublisher {
+        TelemetryPublisher {
+            tx: self.tx.clone(),
+        }
+    }
+
+    /// Take every event published since the last drain.
+    pub fn drain(&self) -> Vec<TelemetryEvent> {
+        let mut out = Vec::with_capacity(self.rx.len());
+        while let Ok(ev) = self.rx.try_recv() {
+            out.push(ev);
+        }
+        out
+    }
+
+    /// Events currently queued.
+    pub fn depth(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl Default for TelemetryBus {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcoll::QuorumPolicy;
+
+    #[test]
+    fn publish_and_drain_round_trips_in_order() {
+        let bus = TelemetryBus::new();
+        let p1 = bus.publisher();
+        let p2 = bus.publisher();
+        p1.publish(TelemetryEvent::Miss {
+            requested: 1,
+            got: 3,
+        });
+        p2.publish(TelemetryEvent::Arrival {
+            step: 0,
+            offsets_ms: vec![0.0, 2.0],
+        });
+        assert_eq!(bus.depth(), 2);
+        let evs = bus.drain();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(
+            evs[0],
+            TelemetryEvent::Miss {
+                requested: 1,
+                got: 3
+            }
+        );
+        assert!(bus.drain().is_empty());
+    }
+
+    #[test]
+    fn publisher_is_a_round_observer() {
+        let bus = TelemetryBus::new();
+        let obs: std::sync::Arc<dyn RoundObserver> = std::sync::Arc::new(bus.publisher());
+        obs.on_round(&RoundEvent {
+            coll: 1,
+            round: 7,
+            policy: QuorumPolicy::Majority,
+            fresh: true,
+            null: false,
+            external: false,
+            latency_ms: 1.5,
+        });
+        obs.on_miss(2, 4);
+        let evs = bus.drain();
+        assert!(matches!(&evs[0], TelemetryEvent::Round(e) if e.round == 7 && e.fresh));
+        assert!(matches!(
+            evs[1],
+            TelemetryEvent::Miss {
+                requested: 2,
+                got: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn events_serialize_to_json() {
+        let ev = TelemetryEvent::Arrival {
+            step: 3,
+            offsets_ms: vec![1.0, 2.5],
+        };
+        let s = serde_json::to_string(&ev).unwrap();
+        let back: TelemetryEvent = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, ev);
+    }
+}

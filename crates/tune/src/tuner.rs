@@ -1,0 +1,332 @@
+//! [`AdaptiveTuner`]: the concrete closed-loop controller handed to the
+//! trainer. It owns one telemetry bus, one skew estimator, and one
+//! deterministic [`Controller`], and implements
+//! [`eager_sgd::QuorumTuner`]'s measure → stats → decide protocol.
+
+use crate::bus::{TelemetryBus, TelemetryEvent, TelemetryPublisher};
+use crate::controller::{spectrum, Controller, ControllerKind};
+use crate::estimator::{SkewEstimator, SkewSummary};
+use eager_sgd::{NapModel, QuorumDecision, QuorumTuner, TunerSetup};
+use pcoll::{QuorumPolicy, RoundObserver};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Stats-vector layout (summed elementwise across ranks):
+/// `[rank_count, rounds, fresh, misses, latency_ms_sum, step_spread_ms,
+///   elapsed_s, mean_offset_ms]`.
+const STATS_LEN: usize = 8;
+
+/// Construction knobs for [`AdaptiveTuner`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveTunerCfg {
+    /// Decide every this-many training steps.
+    ///
+    /// Reward windows are measured in wall time between decisions, so a
+    /// window spanning an epoch boundary also absorbs that boundary's
+    /// evaluation / weight-sync cost and under-credits whichever arm was
+    /// active. Pick a period that divides `steps_per_epoch`, or evaluate
+    /// sparsely (`eval_every` large), to keep windows comparable.
+    pub period: u64,
+    /// Exponent of the freshness term in the reward
+    /// `fresh_fraction^β × rounds_per_s` (β < 1 = diminishing returns of
+    /// effective batch size; see `eager_sgd::theory::NapModel::utility`).
+    pub beta: f64,
+    /// The decision rule.
+    pub kind: ControllerKind,
+    /// Starting policy (must be one of the spectrum arms for the adaptive
+    /// kinds). `None` starts at majority — the paper's robust default.
+    pub initial: Option<QuorumPolicy>,
+    /// EWMA weight of the skew estimator.
+    pub ewma_alpha: f64,
+}
+
+impl Default for AdaptiveTunerCfg {
+    fn default() -> Self {
+        AdaptiveTunerCfg {
+            period: 16,
+            beta: 0.5,
+            kind: ControllerKind::Ucb { explore: 0.6 },
+            initial: None,
+            ewma_alpha: 0.1,
+        }
+    }
+}
+
+/// Per-rank closed-loop quorum tuner (bus → estimator → model →
+/// controller).
+pub struct AdaptiveTuner {
+    period: u64,
+    beta: f64,
+    p: usize,
+    bus: TelemetryBus,
+    publisher: TelemetryPublisher,
+    estimator: SkewEstimator,
+    controller: Controller,
+    window_started: Instant,
+    /// Whether untried arms were already seeded from the E\[NAP\] model.
+    /// Only the bandit is seeded: marking arms as observed would disable
+    /// hill-climb's visit-unexplored-neighbors sweep, which is what lets
+    /// it cross valleys in the utility curve.
+    seeded: bool,
+}
+
+impl AdaptiveTuner {
+    pub fn new(p: usize, cfg: AdaptiveTunerCfg) -> Self {
+        let (arms, initial_arm) = match (cfg.kind, cfg.initial) {
+            // A static controller may pin any policy, on or off the
+            // spectrum.
+            (ControllerKind::Static, Some(policy)) => (vec![policy], 0),
+            (_, initial) => {
+                let arms = spectrum(p);
+                let idx = match initial {
+                    Some(policy) => arms.iter().position(|a| *a == policy).unwrap_or_else(|| {
+                        panic!("initial policy {policy} not on spectrum(p={p})")
+                    }),
+                    None => arms
+                        .iter()
+                        .position(|a| *a == QuorumPolicy::Majority)
+                        .expect("spectrum always contains majority"),
+                };
+                (arms, idx)
+            }
+        };
+        let bus = TelemetryBus::new();
+        let publisher = bus.publisher();
+        AdaptiveTuner {
+            period: cfg.period,
+            beta: cfg.beta,
+            p,
+            bus,
+            publisher,
+            estimator: SkewEstimator::new(cfg.ewma_alpha),
+            controller: Controller::new(cfg.kind, arms, initial_arm),
+            window_started: Instant::now(),
+            seeded: !matches!(cfg.kind, ControllerKind::Ucb { .. }),
+        }
+    }
+
+    /// The current skew picture (for diagnostics and benches).
+    pub fn skew_summary(&self) -> SkewSummary {
+        self.estimator.summary()
+    }
+
+    /// The controller's candidate arms.
+    pub fn arms(&self) -> &[QuorumPolicy] {
+        self.controller.arms()
+    }
+}
+
+impl QuorumTuner for AdaptiveTuner {
+    fn period(&self) -> u64 {
+        self.period
+    }
+
+    fn observer(&self) -> Option<Arc<dyn RoundObserver>> {
+        Some(Arc::new(self.publisher.clone()))
+    }
+
+    fn initial_policy(&self) -> Option<QuorumPolicy> {
+        Some(self.controller.current_policy())
+    }
+
+    fn record_step(&mut self, step: u64, offsets_ms: &[f64]) {
+        self.publisher.publish(TelemetryEvent::Arrival {
+            step,
+            offsets_ms: offsets_ms.to_vec(),
+        });
+    }
+
+    fn stats_len(&self) -> usize {
+        STATS_LEN
+    }
+
+    fn local_stats(&mut self) -> Vec<f32> {
+        let mut rounds = 0u64;
+        let mut fresh = 0u64;
+        let mut misses = 0u64;
+        let mut latency_ms = 0.0f64;
+        for ev in self.bus.drain() {
+            match ev {
+                TelemetryEvent::Round(e) => {
+                    rounds += 1;
+                    fresh += u64::from(e.fresh);
+                    latency_ms += e.latency_ms;
+                }
+                TelemetryEvent::Miss { .. } => misses += 1,
+                TelemetryEvent::Arrival { offsets_ms, .. } => {
+                    self.estimator.observe_offsets(&offsets_ms);
+                }
+            }
+        }
+        let elapsed = self.window_started.elapsed().as_secs_f64();
+        self.window_started = Instant::now();
+        let s = self.estimator.summary();
+        vec![
+            1.0,
+            rounds as f32,
+            fresh as f32,
+            misses as f32,
+            latency_ms as f32,
+            s.step_spread_ms as f32,
+            elapsed as f32,
+            s.mean_ms as f32,
+        ]
+    }
+
+    fn decide(&mut self, _from_round: u64, summed: &[f32]) -> Option<QuorumDecision> {
+        assert_eq!(summed.len(), STATS_LEN, "stats vector shape");
+        let ranks = f64::from(summed[0]).max(1.0);
+        let rounds = f64::from(summed[1]);
+        let fresh = f64::from(summed[2]);
+        let elapsed = f64::from(summed[6]);
+        let fresh_fraction = if rounds > 0.0 { fresh / rounds } else { 0.0 };
+        let rounds_per_s = if elapsed > 0.0 { rounds / elapsed } else { 0.0 };
+        let reward = fresh_fraction.powf(self.beta) * rounds_per_s;
+        // Close the estimator → model → controller loop: at the first
+        // informative window, turn the globally-averaged skew summary into
+        // a NapModel and seed every untried arm's value with its predicted
+        // utility, calibrated so the current arm's prediction equals its
+        // measured reward. Deterministic: inputs are the summed stats only.
+        if !self.seeded && rounds > 0.0 && rounds_per_s > 0.0 && reward > 0.0 {
+            self.seeded = true;
+            let mean = f64::from(summed[7]) / ranks;
+            let spread = f64::from(summed[5]) / ranks;
+            let pf = self.p as f64;
+            let offsets: Vec<f64> = (0..self.p)
+                .map(|i| (mean - spread / 2.0 + spread * (i as f64 + 0.5) / pf).max(0.0))
+                .collect();
+            let current = self.controller.current_policy();
+            // Whatever round time the initiator wait does not explain is
+            // per-round overhead (compute + comm), inferred from the
+            // measured rate so the model's scale matches reality.
+            let probe = NapModel::new(offsets.clone(), 0.0, 0.0);
+            let overhead = (1e3 / rounds_per_s - probe.predict(current).initiator_ms).max(0.1);
+            let model = NapModel::new(offsets, 0.0, overhead);
+            let u_cur = model.utility(current, self.beta).max(1e-9);
+            let priors: Vec<f64> = self
+                .controller
+                .arms()
+                .iter()
+                .map(|a| model.utility(*a, self.beta) * reward / u_cur)
+                .collect();
+            self.controller.seed_values(&priors);
+        }
+        let policy = self.controller.step(reward);
+        Some(QuorumDecision {
+            policy,
+            reward,
+            fresh_fraction,
+            rounds_per_s,
+            spread_ms: f64::from(summed[5]) / ranks,
+        })
+    }
+}
+
+/// [`TunerSetup`] running the full adaptive loop with `cfg` on every rank.
+pub fn adaptive_setup(cfg: AdaptiveTunerCfg) -> TunerSetup {
+    TunerSetup::new(move |_rank, p| Box::new(AdaptiveTuner::new(p, cfg.clone())))
+}
+
+/// [`TunerSetup`] that pins `policy` forever but still runs the telemetry
+/// loop — the static baseline with identical measurement overhead, so
+/// adaptive-vs-static comparisons isolate the *decisions*.
+pub fn static_setup(policy: QuorumPolicy, period: u64) -> TunerSetup {
+    adaptive_setup(AdaptiveTunerCfg {
+        period,
+        kind: ControllerKind::Static,
+        initial: Some(policy),
+        ..AdaptiveTunerCfg::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcoll::RoundEvent;
+
+    fn round_ev(round: u64, fresh: bool) -> RoundEvent {
+        RoundEvent {
+            coll: 1,
+            round,
+            policy: QuorumPolicy::Majority,
+            fresh,
+            null: !fresh,
+            external: false,
+            latency_ms: 2.0,
+        }
+    }
+
+    #[test]
+    fn local_stats_aggregates_the_window_and_resets() {
+        let mut t = AdaptiveTuner::new(8, AdaptiveTunerCfg::default());
+        let obs = t.observer().unwrap();
+        obs.on_round(&round_ev(0, true));
+        obs.on_round(&round_ev(1, false));
+        obs.on_miss(1, 2);
+        t.record_step(0, &[0.0, 4.0, 8.0, 12.0]);
+        let v = t.local_stats();
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0, "rounds");
+        assert_eq!(v[2], 1.0, "fresh");
+        assert_eq!(v[3], 1.0, "misses");
+        assert_eq!(v[4], 4.0, "latency sum");
+        assert!(v[7] > 0.0, "mean offset fed from arrivals");
+        // Window reset: a second call sees nothing new.
+        let v2 = t.local_stats();
+        assert_eq!(v2[1], 0.0);
+    }
+
+    #[test]
+    fn decide_is_deterministic_across_replicas() {
+        let mk = || {
+            AdaptiveTuner::new(
+                8,
+                AdaptiveTunerCfg {
+                    kind: ControllerKind::Ucb { explore: 0.7 },
+                    ..AdaptiveTunerCfg::default()
+                },
+            )
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for t in 0..50u64 {
+            // Synthetic rank-summed stats: 8 ranks, varying freshness.
+            let fresh = (t % 9) as f32;
+            let summed = [8.0, 8.0, fresh, 0.0, 12.0, 40.0, 0.5, 20.0];
+            let da = a.decide(t, &summed).unwrap();
+            let db = b.decide(t, &summed).unwrap();
+            assert_eq!(da.policy, db.policy, "diverged at {t}");
+            assert_eq!(da.reward, db.reward);
+        }
+    }
+
+    #[test]
+    fn reward_is_freshness_weighted_round_rate() {
+        let mut t = AdaptiveTuner::new(
+            4,
+            AdaptiveTunerCfg {
+                beta: 0.5,
+                ..AdaptiveTunerCfg::default()
+            },
+        );
+        // 4 ranks, 40 rounds total, 10 fresh, 2 s total elapsed.
+        let summed = [4.0, 40.0, 10.0, 0.0, 0.0, 0.0, 2.0, 0.0];
+        let d = t.decide(0, &summed).unwrap();
+        assert!((d.fresh_fraction - 0.25).abs() < 1e-6);
+        assert!((d.rounds_per_s - 20.0).abs() < 1e-4);
+        assert!((d.reward - 0.25f64.sqrt() * 20.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn static_setup_pins_any_policy() {
+        let setup = static_setup(QuorumPolicy::Full, 8);
+        let mut t = setup.build(0, 8);
+        assert_eq!(t.initial_policy(), Some(QuorumPolicy::Full));
+        for i in 0..5 {
+            let d = t
+                .decide(i, &[8.0, 8.0, 8.0, 0.0, 0.0, 0.0, 1.0, 0.0])
+                .unwrap();
+            assert_eq!(d.policy, QuorumPolicy::Full);
+        }
+    }
+}

@@ -21,7 +21,8 @@
 //! Crate map (bottom-up): [`comm`] rank threads and typed messages →
 //! [`sched`] schedule DAG engine → [`pcoll`] partial + synchronous
 //! collectives → [`tensor`]/[`nn`]/[`data`]/[`imbalance`] the DL substrate
-//! → [`core`] the eager-SGD trainer and theory.
+//! → [`core`] the eager-SGD trainer and theory → [`tune`] the closed-loop
+//! adaptive quorum controller.
 
 pub use datagen as data;
 pub use dnn as nn;
@@ -31,14 +32,15 @@ pub use minitensor as tensor;
 pub use pcoll;
 pub use pcoll_comm as comm;
 pub use pcoll_sched as sched;
+pub use pcoll_tune as tune;
 
 /// The common imports for application code.
 pub mod prelude {
     pub use datagen::{GaussianMixtureTask, HyperplaneTask, VideoDatasetSpec, VideoTask};
     pub use dnn::{Batch, LossKind, Model, Momentum, Optimizer, Sgd};
     pub use eager_sgd::{
-        run_rank, HyperplaneWorkload, ImageWorkload, SgdVariant, TrainLog, TrainerConfig,
-        VideoWorkload, Workload,
+        run_rank, HyperplaneWorkload, ImageWorkload, NapModel, QuorumTuner, SgdVariant, TrainLog,
+        TrainerConfig, TunerSetup, VideoWorkload, Workload,
     };
     pub use imbalance::Injector;
     pub use minitensor::{Mat, TensorRng};
@@ -46,4 +48,7 @@ pub mod prelude {
         PartialAllreduce, PartialOpts, QuorumPolicy, RankCtx, StaleMode, SyncAllreduce,
     };
     pub use pcoll_comm::{DType, NetworkModel, ReduceOp, TypedBuf, World, WorldConfig};
+    pub use pcoll_tune::{
+        adaptive_setup, static_setup, AdaptiveTunerCfg, ControllerKind, SkewEstimator, TelemetryBus,
+    };
 }
