@@ -1,0 +1,256 @@
+//! `compare`: the CI perf-regression gate.
+//!
+//! Diffs a fresh `BENCH_tune_adaptive.json` (an array of variant records
+//! with `label` / `utility` / `rounds_per_s` fields) against a committed
+//! baseline and fails when throughput regresses:
+//!
+//! ```sh
+//! cargo run --release -p repro_bench --bin compare -- \
+//!     --baseline BENCH_baseline/BENCH_tune_adaptive.json \
+//!     --current  BENCH_tune_adaptive.json \
+//!     --max-regress 0.25
+//! ```
+//!
+//! The gate compares the **mean across shared variants** per metric —
+//! quick-mode runs on shared CI runners are individually noisy, and the
+//! mean over the whole policy spectrum damps that without hiding a real
+//! slowdown (a hot-path regression hits every variant). Per-variant
+//! deltas are printed for the humans reading the log. Exit codes: 0 pass,
+//! 2 regression, 1 usage/parse error.
+
+use repro_bench::report::{comment, row};
+use serde_json::Value;
+
+/// The two higher-is-better metrics the gate tracks.
+const METRICS: [&str; 2] = ["utility", "rounds_per_s"];
+
+#[derive(Debug, Clone)]
+struct VariantMetrics {
+    label: String,
+    values: [f64; 2],
+}
+
+fn load(path: &str) -> Result<Vec<VariantMetrics>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let root = Value::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let arr = root
+        .as_arr()
+        .map_err(|e| format!("{path}: expected an array of variants: {e}"))?;
+    arr.iter()
+        .map(|v| {
+            let label = match v.field("label").map_err(|e| format!("{path}: {e}"))? {
+                Value::Str(s) => s.clone(),
+                other => return Err(format!("{path}: label is {}", other.kind())),
+            };
+            let mut values = [0.0; 2];
+            for (slot, metric) in values.iter_mut().zip(METRICS) {
+                *slot = v
+                    .field(metric)
+                    .and_then(Value::as_float)
+                    .map_err(|e| format!("{path} [{label}]: {e}"))?;
+            }
+            Ok(VariantMetrics { label, values })
+        })
+        .collect()
+}
+
+/// Gate verdict for one metric over the variants shared by both files.
+#[derive(Debug, PartialEq)]
+struct MetricVerdict {
+    metric: &'static str,
+    base_mean: f64,
+    cur_mean: f64,
+    /// Fractional regression of the mean (negative = improvement).
+    regression: f64,
+    ok: bool,
+}
+
+fn gate(
+    baseline: &[VariantMetrics],
+    current: &[VariantMetrics],
+    max_regress: f64,
+) -> Result<Vec<MetricVerdict>, String> {
+    let shared: Vec<(&VariantMetrics, &VariantMetrics)> = baseline
+        .iter()
+        .map(|b| {
+            current
+                .iter()
+                .find(|c| c.label == b.label)
+                .map(|c| (b, c))
+                .ok_or_else(|| format!("variant `{}` missing from current run", b.label))
+        })
+        .collect::<Result<_, _>>()?;
+    if shared.is_empty() {
+        return Err("no variants to compare".into());
+    }
+    let n = shared.len() as f64;
+    Ok(METRICS
+        .iter()
+        .enumerate()
+        .map(|(i, metric)| {
+            let base_mean = shared.iter().map(|(b, _)| b.values[i]).sum::<f64>() / n;
+            let cur_mean = shared.iter().map(|(_, c)| c.values[i]).sum::<f64>() / n;
+            let regression = if base_mean > 0.0 {
+                1.0 - cur_mean / base_mean
+            } else {
+                0.0
+            };
+            MetricVerdict {
+                metric,
+                base_mean,
+                cur_mean,
+                regression,
+                ok: regression <= max_regress,
+            }
+        })
+        .collect())
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: compare --baseline <BENCH.json> --current <BENCH.json> [--max-regress 0.25]");
+    std::process::exit(1);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut max_regress = 0.25;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline_path = Some(
+                    argv.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--baseline needs a path")),
+                );
+            }
+            "--current" => {
+                i += 1;
+                current_path = Some(
+                    argv.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| usage("--current needs a path")),
+                );
+            }
+            "--max-regress" => {
+                i += 1;
+                max_regress = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--max-regress needs a fraction"));
+            }
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let baseline_path = baseline_path.unwrap_or_else(|| usage("--baseline is required"));
+    let current_path = current_path.unwrap_or_else(|| usage("--current is required"));
+
+    let baseline = load(&baseline_path).unwrap_or_else(|e| usage(&e));
+    let current = load(&current_path).unwrap_or_else(|e| usage(&e));
+
+    comment(&format!(
+        "perf gate: {} vs baseline {}, max regression {:.0}% on the \
+         cross-variant mean of {}",
+        current_path,
+        baseline_path,
+        100.0 * max_regress,
+        METRICS.join("/")
+    ));
+    row(&["variant", "metric", "baseline", "current", "delta_pct"]);
+    for b in &baseline {
+        if let Some(c) = current.iter().find(|c| c.label == b.label) {
+            for (i, metric) in METRICS.iter().enumerate() {
+                let delta = if b.values[i] > 0.0 {
+                    100.0 * (c.values[i] / b.values[i] - 1.0)
+                } else {
+                    0.0
+                };
+                row(&[
+                    b.label.clone(),
+                    (*metric).to_string(),
+                    format!("{:.3}", b.values[i]),
+                    format!("{:.3}", c.values[i]),
+                    format!("{delta:+.1}"),
+                ]);
+            }
+        }
+    }
+
+    let verdicts = gate(&baseline, &current, max_regress).unwrap_or_else(|e| usage(&e));
+    let mut all_ok = true;
+    for v in &verdicts {
+        all_ok &= v.ok;
+        println!(
+            "PERF-GATE {} {}: baseline mean {:.3}, current mean {:.3}, \
+             regression {:+.1}% (limit {:.0}%)",
+            if v.ok { "PASS" } else { "FAIL" },
+            v.metric,
+            v.base_mean,
+            v.cur_mean,
+            100.0 * v.regression,
+            100.0 * max_regress,
+        );
+    }
+    if !all_ok {
+        std::process::exit(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vm(label: &str, utility: f64, rps: f64) -> VariantMetrics {
+        VariantMetrics {
+            label: label.into(),
+            values: [utility, rps],
+        }
+    }
+
+    #[test]
+    fn equal_runs_pass() {
+        let base = vec![vm("a", 10.0, 5.0), vm("b", 20.0, 9.0)];
+        let verdicts = gate(&base, &base.clone(), 0.25).unwrap();
+        assert!(verdicts.iter().all(|v| v.ok));
+        assert!(verdicts.iter().all(|v| v.regression.abs() < 1e-12));
+    }
+
+    #[test]
+    fn large_mean_regression_fails() {
+        let base = vec![vm("a", 10.0, 5.0), vm("b", 10.0, 5.0)];
+        let cur = vec![vm("a", 5.0, 5.0), vm("b", 5.0, 5.0)]; // utility halved
+        let verdicts = gate(&base, &cur, 0.25).unwrap();
+        assert!(!verdicts[0].ok, "utility gate must fail");
+        assert!(verdicts[1].ok, "rounds_per_s unchanged");
+    }
+
+    #[test]
+    fn single_variant_noise_within_mean_tolerance_passes() {
+        // One variant 30% down, the rest flat: mean regression stays
+        // under 25%, which is the point of gating on the mean.
+        let base = vec![vm("a", 10.0, 5.0), vm("b", 10.0, 5.0), vm("c", 10.0, 5.0)];
+        let cur = vec![vm("a", 7.0, 5.0), vm("b", 10.0, 5.0), vm("c", 10.0, 5.0)];
+        let verdicts = gate(&base, &cur, 0.25).unwrap();
+        assert!(verdicts.iter().all(|v| v.ok));
+    }
+
+    #[test]
+    fn improvement_is_negative_regression() {
+        let base = vec![vm("a", 10.0, 5.0)];
+        let cur = vec![vm("a", 12.0, 6.0)];
+        let verdicts = gate(&base, &cur, 0.25).unwrap();
+        assert!(verdicts.iter().all(|v| v.ok && v.regression < 0.0));
+    }
+
+    #[test]
+    fn missing_variant_is_an_error() {
+        let base = vec![vm("a", 10.0, 5.0), vm("b", 10.0, 5.0)];
+        let cur = vec![vm("a", 10.0, 5.0)];
+        assert!(gate(&base, &cur, 0.25).is_err());
+    }
+}

@@ -5,7 +5,7 @@ use eager_sgd::metrics::EvalRecord;
 use eager_sgd::{run_rank, TrainLog, TrainerConfig, Workload};
 use minitensor::TensorRng;
 use pcoll::RankCtx;
-use pcoll_comm::{NetworkModel, World, WorldConfig};
+use pcoll_comm::{NetworkModel, Transport, World, WorldConfig};
 use std::sync::Arc;
 
 /// Everything needed to launch one training configuration.
@@ -30,13 +30,35 @@ pub fn run_distributed<MF>(
 where
     MF: Fn(&mut TensorRng) -> (Box<dyn Model>, Box<dyn Optimizer>) + Send + Sync + 'static,
 {
+    run_distributed_on(spec, Transport::InProcess, model_factory, workload)
+        .expect("in-process launch always returns results")
+}
+
+/// [`run_distributed`] over an explicit transport: thread-per-rank or one
+/// OS process per rank over loopback TCP (`Transport::Tcp`). Per-rank
+/// `TrainLog`s come back either way — over TCP they return to the parent
+/// as JSON through the rendezvous connection.
+///
+/// `None` only in a TCP worker process serving a different launch label
+/// (skip this experiment; the worker's own launch site comes later in the
+/// binary's replayed `main`).
+pub fn run_distributed_on<MF>(
+    spec: &ExperimentSpec,
+    transport: Transport,
+    model_factory: MF,
+    workload: Arc<dyn Workload>,
+) -> Option<Vec<TrainLog>>
+where
+    MF: Fn(&mut TensorRng) -> (Box<dyn Model>, Box<dyn Optimizer>) + Send + Sync + 'static,
+{
     let spec2 = spec.clone();
-    World::launch(
+    World::launch_with(
         WorldConfig {
             nranks: spec.p,
             network: spec.network,
             seed: spec.world_seed,
         },
+        transport,
         move |c| {
             let ctx = RankCtx::new(c);
             let mut init_rng = TensorRng::new(spec2.model_seed);

@@ -19,5 +19,5 @@ pub mod args;
 pub mod harness;
 pub mod report;
 
-pub use args::HarnessArgs;
-pub use harness::{run_distributed, ExperimentSpec, VariantSummary};
+pub use args::{HarnessArgs, TransportChoice};
+pub use harness::{run_distributed, run_distributed_on, ExperimentSpec, VariantSummary};

@@ -6,6 +6,14 @@
 //! consecutive collective ids, and ranks agree on which id means what only
 //! if they allocate in lockstep (the usual SPMD contract for communicator
 //! construction).
+//!
+//! Everything here is transport-agnostic: a `RankCtx` built from a
+//! thread-world communicator behaves identically to one built in a TCP
+//! rank process — all cross-rank coordination (barriers, consensus
+//! randomness, policy fences) goes through messages or the shared seed,
+//! never through shared memory. The one exception is
+//! [`RankCtx::host_barrier`], which is explicitly thread-world test
+//! scaffolding (a no-op under process-per-rank).
 
 use crate::partial::{PartialAllreduce, PartialOpts, QuorumPolicy};
 use crate::sync::{SyncAllreduce, SyncBarrier, SyncBcast, SyncReduce};
@@ -134,6 +142,10 @@ impl RankCtx {
     }
 
     /// Host-side (non-modeled) barrier for bench/test alignment.
+    ///
+    /// Thread-world scaffolding only: under the TCP transport each
+    /// process holds a single rank, so this returns immediately. Use
+    /// [`RankCtx::barrier`] when alignment must hold on every transport.
     pub fn host_barrier(&self) {
         self.host_barrier.wait();
     }

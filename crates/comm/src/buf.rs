@@ -276,6 +276,71 @@ impl TypedBuf {
             TypedBuf::I64(v) => v.iter().all(|x| *x == 0),
         }
     }
+
+    /// Append the elements to `out` as little-endian raw bytes — the wire
+    /// representation used by the TCP transport's framing (exact bit
+    /// patterns, so floats round-trip losslessly).
+    pub fn extend_le_bytes(&self, out: &mut Vec<u8>) {
+        out.reserve(self.byte_len());
+        match self {
+            TypedBuf::F32(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            TypedBuf::F64(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            TypedBuf::I32(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            TypedBuf::I64(v) => {
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Rebuild a buffer from the little-endian raw bytes produced by
+    /// [`TypedBuf::extend_le_bytes`]. `None` if `bytes` is not a whole
+    /// number of `dtype` elements.
+    pub fn from_le_bytes(dtype: DType, bytes: &[u8]) -> Option<Self> {
+        let esz = dtype.size_of();
+        if !bytes.len().is_multiple_of(esz) {
+            return None;
+        }
+        Some(match dtype {
+            DType::F32 => TypedBuf::F32(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                    .collect(),
+            ),
+            DType::F64 => TypedBuf::F64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                    .collect(),
+            ),
+            DType::I32 => TypedBuf::I32(
+                bytes
+                    .chunks_exact(4)
+                    .map(|c| i32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                    .collect(),
+            ),
+            DType::I64 => TypedBuf::I64(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+                    .collect(),
+            ),
+        })
+    }
 }
 
 impl From<Vec<f32>> for TypedBuf {
@@ -382,5 +447,41 @@ mod tests {
         let mut a = TypedBuf::from(vec![7i32, -7]);
         a.scale(0.5);
         assert_eq!(a.as_i32().unwrap(), &[3, -3]);
+    }
+
+    #[test]
+    fn le_bytes_round_trip_all_dtypes() {
+        let bufs = [
+            TypedBuf::from(vec![1.5f32, -0.0, f32::MIN_POSITIVE, 3.25e7]),
+            TypedBuf::from(vec![std::f64::consts::PI, -1e-300]),
+            TypedBuf::from(vec![i32::MIN, -1, 0, i32::MAX]),
+            TypedBuf::from(vec![i64::MIN, 42, i64::MAX]),
+        ];
+        for b in bufs {
+            let mut raw = Vec::new();
+            b.extend_le_bytes(&mut raw);
+            assert_eq!(raw.len(), b.byte_len());
+            let back = TypedBuf::from_le_bytes(b.dtype(), &raw).unwrap();
+            assert_eq!(back, b);
+        }
+    }
+
+    #[test]
+    fn le_bytes_round_trip_zero_length() {
+        for dtype in [DType::F32, DType::F64, DType::I32, DType::I64] {
+            let b = TypedBuf::zeros(dtype, 0);
+            let mut raw = Vec::new();
+            b.extend_le_bytes(&mut raw);
+            assert!(raw.is_empty());
+            let back = TypedBuf::from_le_bytes(dtype, &raw).unwrap();
+            assert_eq!(back.len(), 0);
+            assert_eq!(back.dtype(), dtype);
+        }
+    }
+
+    #[test]
+    fn le_bytes_reject_ragged_input() {
+        assert!(TypedBuf::from_le_bytes(DType::F32, &[0u8; 6]).is_none());
+        assert!(TypedBuf::from_le_bytes(DType::I64, &[0u8; 12]).is_none());
     }
 }

@@ -1,20 +1,31 @@
-//! # pcoll-comm — in-process message-passing substrate
+//! # pcoll-comm — message-passing substrate
 //!
 //! This crate provides the communication layer that the partial-collective
 //! engine (`pcoll-sched`, `pcoll`) is built on. It plays the role that
 //! Cray MPICH played in the paper: reliable, tagged, point-to-point message
 //! delivery between `P` ranks.
 //!
-//! Ranks are OS threads inside one process (see [`World::launch`]); a real
-//! network transport could be slotted in behind the same [`CommHandle`] /
-//! [`Inbox`] API. A configurable [`NetworkModel`] injects per-message
-//! latency (`alpha + bytes * beta + jitter`) through a dedicated delivery
-//! thread, preserving per-(src, dst) FIFO ordering (the MPI non-overtaking
-//! rule).
+//! Two [`Transport`] backends sit behind the same [`CommHandle`] /
+//! [`Inbox`] API:
+//!
+//! - **In-process** (the [`World::launch`] default): ranks are OS threads
+//!   inside one process, messages move over channels — zero setup cost,
+//!   the right tool for unit tests and single-host experiments.
+//! - **TCP** ([`World::launch_tcp`], `--transport tcp` in the harnesses):
+//!   each rank is its own OS process on loopback sockets with
+//!   length-prefixed binary framing, a parent-coordinated rendezvous, and
+//!   an orderly goodbye handshake — real process-level SPMD, honest
+//!   latency, and a process-skew scenario axis (see the [`transport`]
+//!   module).
+//!
+//! A configurable [`NetworkModel`] injects per-message latency (`alpha +
+//! bytes * beta + jitter`) through a delivery thread on *either* backend,
+//! preserving per-(src, dst) FIFO ordering (the MPI non-overtaking rule).
 //!
 //! Design notes:
 //! - Buffers are **typed** ([`TypedBuf`]) rather than raw bytes: reductions
-//!   dispatch on dtype with no `unsafe`.
+//!   dispatch on dtype with no `unsafe`; the TCP wire format is the raw
+//!   little-endian element bytes.
 //! - Messages are matched downstream on [`WireTag`] = (collective id, round,
 //!   semantic tag); this crate only transports them.
 //! - The [`Matcher`] offers blocking point-to-point receive for direct use
@@ -25,10 +36,12 @@ pub mod buf;
 pub mod matcher;
 pub mod net;
 pub mod tag;
+pub mod transport;
 pub mod world;
 
 pub use buf::{BufError, DType, ReduceOp, TypedBuf};
 pub use matcher::Matcher;
 pub use net::NetworkModel;
 pub use tag::{CollId, Message, Rank, WireTag};
+pub use transport::{is_tcp_worker, TcpOpts, Transport};
 pub use world::{CommHandle, Communicator, Envelope, Inbox, World, WorldConfig};

@@ -1,16 +1,25 @@
 //! Network latency model and the delivery thread.
 //!
-//! Messages optionally pass through a single "network" thread that holds
-//! them until their modeled delivery time: `alpha + wire_bytes * beta +
+//! Messages optionally pass through a "network" thread that holds them
+//! until their modeled delivery time: `alpha + wire_bytes * beta +
 //! jitter`. Delivery preserves FIFO per (src, dst) pair — the MPI
 //! non-overtaking rule — by clamping each message's delivery time to be no
 //! earlier than the previous message on the same pair.
 //!
+//! Delivery is transport-agnostic: due messages are released through a
+//! `Route`, which is either the in-process mailbox table or the TCP
+//! backend's per-peer socket writers (see `transport`). Under the
+//! in-process backend one shared thread shapes all traffic; under TCP
+//! each rank process runs its own sender-side shaper, which preserves the
+//! same per-pair ordering guarantee because a pair's messages all pass
+//! through the source rank's thread and then one ordered connection.
+//!
 //! With [`NetworkModel::Instant`] the delivery thread is bypassed entirely
-//! and senders push straight into destination mailboxes (lowest overhead;
-//! the default for unit tests).
+//! and senders push straight into the route (lowest overhead; the default
+//! for unit tests).
 
 use crate::tag::{Message, Rank};
+use crate::transport::Route;
 use crate::world::Envelope;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::cmp::Reverse;
@@ -103,15 +112,16 @@ pub(crate) enum NetCmd {
     Shutdown,
 }
 
-/// Runs the delivery loop: accept sends, hold them until due, release to
-/// destination mailboxes. A deterministic xorshift PRNG provides jitter
+/// Runs the delivery loop: accept sends, hold them until due, release
+/// through the route. A deterministic xorshift PRNG provides jitter
 /// (avoids pulling `rand` into the lowest layer).
-pub(crate) fn delivery_loop(
-    model: NetworkModel,
-    rx: Receiver<NetCmd>,
-    mailboxes: Vec<Sender<Envelope>>,
-    seed: u64,
-) {
+///
+/// On [`NetCmd::Shutdown`] (or sender disconnect) every still-held message
+/// is released immediately — teardown drains in-flight traffic rather than
+/// dropping it, which is what lets a finishing rank's last sends reach
+/// slower peers (the orderly-shutdown contract the TCP backend's goodbye
+/// handshake builds on).
+pub(crate) fn delivery_loop(model: NetworkModel, rx: Receiver<NetCmd>, route: Route, seed: u64) {
     let mut heap: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
     let mut seq: u64 = 0;
     // Last scheduled delivery per (src, dst) to enforce non-overtaking.
@@ -131,6 +141,25 @@ pub(crate) fn delivery_loop(
         }
     };
 
+    // Drain the heap in due-order (which is also per-pair FIFO order),
+    // *honoring* each message's modeled delivery time — used at teardown.
+    // Sleeping out the residual delay keeps the two transports
+    // comparable: a TCP rank that finishes early must not release its
+    // shaped messages ahead of schedule, or peers would see them sooner
+    // than the same seeded run delivers them in-process. The wait is
+    // bounded by the model's alpha + jitter.
+    let flush = |heap: &mut BinaryHeap<Reverse<InFlight>>| {
+        let mut rest: Vec<InFlight> = heap.drain().map(|Reverse(f)| f).collect();
+        rest.sort_by_key(|f| (f.due, f.seq));
+        for inflight in rest {
+            let wait = inflight.due.saturating_duration_since(Instant::now());
+            if !wait.is_zero() {
+                std::thread::sleep(wait);
+            }
+            route.deliver(inflight.dst, Envelope::Data(inflight.msg));
+        }
+    };
+
     loop {
         // Release everything that is due.
         let now = Instant::now();
@@ -139,9 +168,9 @@ pub(crate) fn delivery_loop(
                 break;
             }
             let Reverse(inflight) = heap.pop().expect("peeked");
-            // A closed mailbox means the rank already finished; the message
+            // A closed route means the rank already finished; the message
             // is dropped, as a real network drops packets to dead hosts.
-            let _ = mailboxes[inflight.dst].send(Envelope::Data(inflight.msg));
+            route.deliver(inflight.dst, Envelope::Data(inflight.msg));
         }
 
         // Wait for new work until the next deadline (or indefinitely).
@@ -151,7 +180,7 @@ pub(crate) fn delivery_loop(
                 match rx.recv_timeout(timeout) {
                     Ok(c) => Some(c),
                     Err(RecvTimeoutError::Timeout) => None,
-                    Err(RecvTimeoutError::Disconnected) => return,
+                    Err(RecvTimeoutError::Disconnected) => return flush(&mut heap),
                 }
             }
             None => match rx.recv() {
@@ -174,7 +203,7 @@ pub(crate) fn delivery_loop(
                 heap.push(Reverse(InFlight { due, seq, dst, msg }));
                 seq += 1;
             }
-            Some(NetCmd::Shutdown) => return,
+            Some(NetCmd::Shutdown) => return flush(&mut heap),
             None => {} // timeout: loop back and release due messages
         }
     }
@@ -188,13 +217,13 @@ pub(crate) struct NetHandle {
 
 pub(crate) fn spawn_network(
     model: NetworkModel,
-    mailboxes: Vec<Sender<Envelope>>,
+    route: Route,
     seed: u64,
 ) -> (NetHandle, std::thread::JoinHandle<()>) {
     let (tx, rx) = unbounded();
     let join = std::thread::Builder::new()
         .name("pcoll-net".into())
-        .spawn(move || delivery_loop(model, rx, mailboxes, seed))
+        .spawn(move || delivery_loop(model, rx, route, seed))
         .expect("spawn network thread");
     (NetHandle { tx }, join)
 }
@@ -233,7 +262,7 @@ mod tests {
             jitter: Duration::from_millis(2),
         };
         let (mb_tx, mb_rx) = unbounded();
-        let (net, join) = spawn_network(model, vec![mb_tx], 42);
+        let (net, join) = spawn_network(model, Route::mailboxes(vec![mb_tx]), 42);
         for i in 0..64 {
             net.tx
                 .send(NetCmd::Send {
@@ -263,7 +292,7 @@ mod tests {
             jitter: Duration::ZERO,
         };
         let (mb_tx, mb_rx) = unbounded();
-        let (net, join) = spawn_network(model, vec![mb_tx], 1);
+        let (net, join) = spawn_network(model, Route::mailboxes(vec![mb_tx]), 1);
         let t0 = Instant::now();
         net.tx
             .send(NetCmd::Send {
@@ -275,5 +304,40 @@ mod tests {
         assert!(t0.elapsed() >= Duration::from_millis(5));
         net.tx.send(NetCmd::Shutdown).unwrap();
         join.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_drains_held_messages_in_order_and_on_time() {
+        // Alpha holds everything in the heap at shutdown; the drain must
+        // deliver all of it, in per-pair order, and no earlier than the
+        // modeled delivery time.
+        let model = NetworkModel::AlphaBeta {
+            alpha: Duration::from_millis(30),
+            beta_ns_per_byte: 0.0,
+            jitter: Duration::ZERO,
+        };
+        let (mb_tx, mb_rx) = unbounded();
+        let (net, join) = spawn_network(model, Route::mailboxes(vec![mb_tx]), 9);
+        let t0 = Instant::now();
+        for i in 0..16 {
+            net.tx
+                .send(NetCmd::Send {
+                    dst: 0,
+                    msg: msg(0, i, i as f32),
+                })
+                .unwrap();
+        }
+        net.tx.send(NetCmd::Shutdown).unwrap();
+        join.join().unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(30),
+            "drain must honor modeled latency, not release early"
+        );
+        let mut got = Vec::new();
+        while let Ok(Envelope::Data(m)) = mb_rx.try_recv() {
+            got.push(m.tag.sem);
+        }
+        let want: Vec<u32> = (0..16).collect();
+        assert_eq!(got, want, "teardown must drain, not drop");
     }
 }

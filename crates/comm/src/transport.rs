@@ -1,0 +1,1066 @@
+//! Transport backends: in-process mailboxes vs. process-per-rank TCP.
+//!
+//! The in-process backend (the [`crate::World::launch`] default) moves
+//! [`Envelope`]s over crossbeam channels between rank threads. The TCP
+//! backend runs every rank as its own OS process over loopback sockets:
+//!
+//! - **Framing.** Messages travel as length-prefixed binary frames
+//!   (`encode_data` / `decode_frame`): a fixed header (src rank,
+//!   collective id, round, semantic tag) followed by the payload's dtype
+//!   and raw little-endian element bytes. Large tensor frames are written
+//!   in bounded chunks so one multi-MiB gradient cannot monopolize a
+//!   writer's syscall.
+//! - **Ordering.** Each unordered rank pair shares exactly one duplex
+//!   connection, so TCP's byte-stream ordering *is* the MPI
+//!   non-overtaking rule the in-process delivery thread models. When a
+//!   [`crate::NetworkModel`] is configured, the sender-side delivery
+//!   thread shapes messages *before* they reach the socket writers, and
+//!   its per-pair clamp keeps the release order FIFO — so modeled delays
+//!   compose with real socket transit and fig-reproduction runs stay
+//!   comparable across backends.
+//! - **Shutdown handshake.** The in-memory world could simply drop
+//!   mailboxes; over sockets, a finishing rank first drains its delivery
+//!   heap and writer queues, then sends a `GOODBYE` frame on every
+//!   connection and half-closes it. Peer readers stop at `GOODBYE`, which
+//!   replaces the in-memory [`Envelope::Shutdown`] drop semantics with an
+//!   orderly drain: everything sent before a rank finished is delivered.
+//! - **Rendezvous.** [`launch_tcp`] in a parent process binds a loopback
+//!   listener, then re-`exec`s the current binary once per rank (the
+//!   `mpirun` stand-in). Workers report their own listener port to the
+//!   parent, receive the full port map, and build the pairwise mesh
+//!   (each rank dials the listeners of all lower ranks and accepts from
+//!   all higher ones). Each rank's closure
+//!   result returns to the parent as JSON over its rendezvous connection,
+//!   so `launch_tcp` has the same `Vec<T>` shape as `World::launch`.
+//!
+//! A binary may contain several `launch_tcp` call sites; each is named by
+//! [`TcpOpts::label`], and a worker process only serves the call site
+//! whose label matches its environment — other call sites return `None`
+//! so the caller can skip the work that belongs to a different launch
+//! (see `examples/quickstart.rs`).
+
+use crate::net::{spawn_network, NetCmd};
+use crate::tag::{CollId, Message, Rank, WireTag};
+use crate::world::{CommHandle, Communicator, Envelope, Inbox, WorldConfig};
+use crate::{DType, NetworkModel, TypedBuf};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::json::Value;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Transport selection
+// ---------------------------------------------------------------------------
+
+/// Which backend a world runs on (see module docs).
+#[derive(Debug, Clone)]
+pub enum Transport {
+    /// Ranks as threads in this process (the [`crate::World::launch`]
+    /// semantics, unchanged).
+    InProcess,
+    /// One OS process per rank over loopback TCP.
+    Tcp(TcpOpts),
+}
+
+impl Transport {
+    /// Parse a `--transport` flag value (`inproc` / `tcp`); the TCP
+    /// variant gets `label` as its launch-site label.
+    pub fn parse(s: &str, label: &str) -> Option<Transport> {
+        match s {
+            "inproc" | "in-process" | "thread" => Some(Transport::InProcess),
+            "tcp" => Some(Transport::Tcp(TcpOpts::labeled(label))),
+            _ => None,
+        }
+    }
+}
+
+/// Options for a TCP (process-per-rank) launch.
+#[derive(Debug, Clone)]
+pub struct TcpOpts {
+    /// Name of this launch call site. A worker process only serves the
+    /// matching site; unrelated sites return `None` from [`launch_tcp`].
+    pub label: String,
+    /// Argv (minus program name) for the re-`exec`ed workers. Defaults to
+    /// this process's own arguments, which is right whenever the worker
+    /// reaches the launch call the same way the parent did. Test
+    /// harnesses instead pass `[test_name, "--exact"]` so a worker runs
+    /// exactly one test.
+    pub child_args: Option<Vec<String>>,
+    /// Inherit the parent's stdout in workers (default: silenced, so a
+    /// bench's report lines are printed once, by the parent).
+    pub inherit_stdout: bool,
+    /// Watchdog for rendezvous and per-rank results: a worker that takes
+    /// longer than this to connect or to report its result fails the
+    /// launch (and all workers are killed). Overridable via the
+    /// `PCOLL_TCP_TIMEOUT_SECS` environment variable.
+    pub timeout: Duration,
+}
+
+impl TcpOpts {
+    /// Default options for a launch site named `label`.
+    pub fn labeled(label: impl Into<String>) -> Self {
+        let timeout = std::env::var(ENV_TIMEOUT)
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .map_or(Duration::from_secs(120), Duration::from_secs);
+        TcpOpts {
+            label: label.into(),
+            child_args: None,
+            inherit_stdout: false,
+            timeout,
+        }
+    }
+
+    /// Builder: explicit worker argv.
+    pub fn with_child_args(mut self, args: Vec<String>) -> Self {
+        self.child_args = Some(args);
+        self
+    }
+}
+
+const ENV_RANK: &str = "PCOLL_TCP_RANK";
+const ENV_NRANKS: &str = "PCOLL_TCP_NRANKS";
+const ENV_PARENT: &str = "PCOLL_TCP_PARENT";
+const ENV_LABEL: &str = "PCOLL_TCP_LABEL";
+const ENV_TIMEOUT: &str = "PCOLL_TCP_TIMEOUT_SECS";
+
+/// True when this process is a re-`exec`ed TCP rank worker. Callers use
+/// this to skip work that only the parent should do (e.g. the in-process
+/// half of a both-backends comparison).
+pub fn is_tcp_worker() -> bool {
+    std::env::var_os(ENV_RANK).is_some()
+}
+
+// ---------------------------------------------------------------------------
+// Routing: where a sent envelope goes
+// ---------------------------------------------------------------------------
+
+/// Delivery fan-out shared by [`CommHandle`] and the network-model thread:
+/// in-process mailbox table or the TCP peer writers. Cheap to clone.
+#[derive(Clone)]
+pub(crate) enum Route {
+    Mailboxes(Arc<Vec<Sender<Envelope>>>),
+    Tcp(Arc<TcpPeers>),
+}
+
+impl Route {
+    pub(crate) fn mailboxes(txs: Vec<Sender<Envelope>>) -> Route {
+        Route::Mailboxes(Arc::new(txs))
+    }
+
+    /// Hand `env` to `dst`. A closed destination (rank already finished)
+    /// silently drops, like a packet to a dead host.
+    pub(crate) fn deliver(&self, dst: Rank, env: Envelope) {
+        match self {
+            Route::Mailboxes(mbs) => {
+                let _ = mbs[dst].send(env);
+            }
+            Route::Tcp(peers) => peers.deliver(dst, env),
+        }
+    }
+}
+
+/// Per-peer outbound queues plus the local inbox (self-sends short-circuit
+/// the sockets; a rank is always FIFO with itself).
+pub(crate) struct TcpPeers {
+    rank: Rank,
+    txs: Vec<Option<Sender<PeerCmd>>>,
+    local: Sender<Envelope>,
+}
+
+impl TcpPeers {
+    fn deliver(&self, dst: Rank, env: Envelope) {
+        if dst == self.rank {
+            let _ = self.local.send(env);
+        } else if let Some(tx) = &self.txs[dst] {
+            let _ = tx.send(PeerCmd::Deliver(env));
+        }
+    }
+}
+
+enum PeerCmd {
+    Deliver(Envelope),
+    /// Flush, send `GOODBYE`, half-close. Queued behind all prior
+    /// deliveries on the same channel, so it cannot overtake them.
+    Finish,
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+const FRAME_DATA: u8 = 0;
+const FRAME_SHUTDOWN: u8 = 1;
+const FRAME_GOODBYE: u8 = 2;
+
+/// Upper bound on one frame body; a frame claiming more is corrupt.
+const MAX_FRAME: usize = 1 << 30;
+/// Socket writes are split into chunks of this size (see module docs).
+const WRITE_CHUNK: usize = 256 * 1024;
+
+/// A decoded frame body.
+#[derive(Debug)]
+pub(crate) enum WireFrame {
+    Data(Message),
+    Shutdown,
+    Goodbye,
+}
+
+fn dtype_code(d: DType) -> u8 {
+    match d {
+        DType::F32 => 1,
+        DType::F64 => 2,
+        DType::I32 => 3,
+        DType::I64 => 4,
+    }
+}
+
+fn dtype_from_code(c: u8) -> Option<DType> {
+    match c {
+        1 => Some(DType::F32),
+        2 => Some(DType::F64),
+        3 => Some(DType::I32),
+        4 => Some(DType::I64),
+        _ => None,
+    }
+}
+
+/// Encode a data message into a frame body (header + raw LE elements).
+pub(crate) fn encode_data(msg: &Message) -> Vec<u8> {
+    let payload_bytes = msg.payload.as_ref().map_or(0, |p| p.byte_len());
+    let mut out = Vec::with_capacity(32 + payload_bytes);
+    out.push(FRAME_DATA);
+    out.extend_from_slice(&(msg.src as u32).to_le_bytes());
+    out.extend_from_slice(&msg.tag.coll.0.to_le_bytes());
+    out.extend_from_slice(&msg.tag.round.to_le_bytes());
+    out.extend_from_slice(&msg.tag.sem.to_le_bytes());
+    match &msg.payload {
+        None => out.push(0),
+        Some(buf) => {
+            out.push(dtype_code(buf.dtype()));
+            out.extend_from_slice(&(buf.len() as u64).to_le_bytes());
+            buf.extend_le_bytes(&mut out);
+        }
+    }
+    out
+}
+
+/// Decode a frame body produced by [`encode_data`] (or the one-byte
+/// control frames).
+pub(crate) fn decode_frame(body: &[u8]) -> Result<WireFrame, String> {
+    let mut cur = Cursor { body, pos: 0 };
+    match cur.u8()? {
+        FRAME_SHUTDOWN => Ok(WireFrame::Shutdown),
+        FRAME_GOODBYE => Ok(WireFrame::Goodbye),
+        FRAME_DATA => {
+            let src = cur.u32()? as Rank;
+            let coll = CollId(cur.u32()?);
+            let round = cur.u64()?;
+            let sem = cur.u32()?;
+            let payload = match cur.u8()? {
+                0 => None,
+                code => {
+                    let dtype =
+                        dtype_from_code(code).ok_or_else(|| format!("bad dtype code {code}"))?;
+                    let nelems = cur.u64()? as usize;
+                    let nbytes = nelems
+                        .checked_mul(dtype.size_of())
+                        .filter(|&n| n <= MAX_FRAME)
+                        .ok_or("payload length overflow")?;
+                    let raw = cur.bytes(nbytes)?;
+                    Some(TypedBuf::from_le_bytes(dtype, raw).ok_or("ragged payload bytes")?)
+                }
+            };
+            if cur.pos != body.len() {
+                return Err(format!("{} trailing bytes in frame", body.len() - cur.pos));
+            }
+            Ok(WireFrame::Data(Message {
+                src,
+                tag: WireTag::new(coll, round, sem),
+                payload,
+            }))
+        }
+        k => Err(format!("unknown frame kind {k}")),
+    }
+}
+
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.body.len())
+            .ok_or("truncated frame")?;
+        let s = &self.body[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8")))
+    }
+}
+
+/// Write one length-prefixed frame, chunking the body. Enforces the same
+/// [`MAX_FRAME`] bound the reader does, so an oversized message fails
+/// loudly at the sender instead of silently severing the receiver.
+pub(crate) fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> std::io::Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "frame of {} bytes exceeds the {MAX_FRAME}-byte limit",
+                body.len()
+            ),
+        ));
+    }
+    let len = body.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    for chunk in body.chunks(WRITE_CHUNK) {
+        w.write_all(chunk)?;
+    }
+    Ok(())
+}
+
+/// Read one length-prefixed frame body. `Ok(None)` on clean EOF at a
+/// frame boundary.
+pub(crate) fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof inside frame length",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame length exceeds limit",
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+// ---------------------------------------------------------------------------
+// Per-peer socket threads
+// ---------------------------------------------------------------------------
+
+fn writer_loop(stream: TcpStream, rx: Receiver<PeerCmd>) {
+    let mut w = BufWriter::with_capacity(WRITE_CHUNK, stream);
+    let write_env = |w: &mut BufWriter<TcpStream>, env: Envelope| -> bool {
+        let body = match env {
+            Envelope::Data(msg) => encode_data(&msg),
+            Envelope::Shutdown => vec![FRAME_SHUTDOWN],
+        };
+        match write_frame(w, &body) {
+            Ok(()) => true,
+            // A message the protocol can never carry is a programming
+            // error at this rank — fail loudly rather than silently
+            // severing the pair.
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
+                panic!("unsendable message: {e}")
+            }
+            // Transport errors mean the peer is gone; drop like a packet
+            // to a dead host.
+            Err(_) => false,
+        }
+    };
+    'outer: loop {
+        let mut cmd = match rx.recv() {
+            Ok(c) => c,
+            Err(_) => break 'outer, // all handles dropped: orderly finish
+        };
+        // Drain the queue before flushing so bursts coalesce into one
+        // syscall batch, then flush when idle to bound latency.
+        loop {
+            match cmd {
+                PeerCmd::Deliver(env) => {
+                    if !write_env(&mut w, env) {
+                        return; // peer gone: nothing left to do
+                    }
+                }
+                PeerCmd::Finish => break 'outer,
+            }
+            match rx.try_recv() {
+                Ok(next) => cmd = next,
+                Err(_) => break,
+            }
+        }
+        if w.flush().is_err() {
+            return;
+        }
+    }
+    // Shutdown handshake: everything queued before Finish has been
+    // written; append GOODBYE, flush, and half-close so the peer's reader
+    // sees an orderly end after draining our bytes.
+    let _ = write_frame(&mut w, &[FRAME_GOODBYE]);
+    let _ = w.flush();
+    let _ = w.get_ref().shutdown(std::net::Shutdown::Write);
+}
+
+fn reader_loop(stream: TcpStream, inbox: Sender<Envelope>) {
+    let mut r = BufReader::with_capacity(WRITE_CHUNK, stream);
+    loop {
+        match read_frame(&mut r) {
+            Ok(Some(body)) => match decode_frame(&body) {
+                Ok(WireFrame::Data(msg)) => {
+                    let _ = inbox.send(Envelope::Data(msg));
+                }
+                Ok(WireFrame::Shutdown) => {
+                    let _ = inbox.send(Envelope::Shutdown);
+                }
+                Ok(WireFrame::Goodbye) => return,
+                Err(e) => {
+                    // Corrupt stream: unlike an orderly goodbye, say so —
+                    // every later message from this pair is lost.
+                    eprintln!("pcoll-comm: dropping corrupt connection: {e}");
+                    return;
+                }
+            },
+            // Clean EOF: the peer is gone (its teardown sent goodbye, or
+            // its process died — the parent reports which).
+            Ok(None) => return,
+            Err(e) => {
+                eprintln!("pcoll-comm: mesh read error, dropping connection: {e}");
+                return;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous plumbing (length-prefixed JSON over the parent connection)
+// ---------------------------------------------------------------------------
+
+fn write_json(stream: &TcpStream, v: &Value) -> std::io::Result<()> {
+    let mut s = stream;
+    write_frame(&mut s, v.to_json().as_bytes())?;
+    s.flush()
+}
+
+fn read_json(stream: &TcpStream) -> std::io::Result<Value> {
+    let mut s = stream;
+    let body = read_frame(&mut s)?.ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "peer closed rendezvous")
+    })?;
+    let text = std::str::from_utf8(&body)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-utf8 json"))?;
+    Value::parse(text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn remaining(deadline: Instant) -> Duration {
+    deadline
+        .saturating_duration_since(Instant::now())
+        .max(Duration::from_millis(1))
+}
+
+/// Accept with a deadline (std has no native accept timeout). `poll` is
+/// invoked on every idle iteration; returning an error aborts the wait —
+/// the parent uses it to fail fast when a worker process dies instead of
+/// blocking out the whole watchdog window.
+fn accept_with_deadline(
+    listener: &TcpListener,
+    deadline: Instant,
+    what: &str,
+    poll: &mut dyn FnMut() -> std::io::Result<()>,
+) -> std::io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    loop {
+        match listener.accept() {
+            Ok((s, _)) => {
+                s.set_nonblocking(false)?;
+                s.set_nodelay(true)?;
+                return Ok(s);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                poll()?;
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        format!("timed out accepting {what}"),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// launch_tcp: parent and worker
+// ---------------------------------------------------------------------------
+
+/// Launch `cfg.nranks` rank *processes* over loopback TCP and run `f` on
+/// each (see module docs for the full protocol).
+///
+/// Returns `Some(results)` in the parent; in a worker process serving a
+/// *different* launch label it returns `None` immediately (skip the work
+/// and fall through to the matching call site); in the worker serving
+/// *this* label it never returns — the worker runs `f` for its rank,
+/// reports the result to the parent, and exits.
+pub fn launch_tcp<T, F>(cfg: WorldConfig, opts: TcpOpts, f: F) -> Option<Vec<T>>
+where
+    T: serde::Serialize + serde::Deserialize + Send + 'static,
+    F: FnOnce(Communicator) -> T,
+{
+    assert!(cfg.nranks > 0, "world must have at least one rank");
+    if is_tcp_worker() {
+        let label = std::env::var(ENV_LABEL).unwrap_or_default();
+        if label != opts.label {
+            return None;
+        }
+        run_worker(cfg, &opts, f)
+    } else {
+        Some(run_parent::<T>(&cfg, &opts))
+    }
+}
+
+/// Kills (and reaps) still-running workers when the parent unwinds.
+struct ChildGuard {
+    children: Vec<(Rank, Child)>,
+}
+
+impl ChildGuard {
+    fn kill_all(&mut self) {
+        for (_, c) in &mut self.children {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+        self.children.clear();
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        self.kill_all();
+    }
+}
+
+fn run_parent<T: serde::Deserialize>(cfg: &WorldConfig, opts: &TcpOpts) -> Vec<T> {
+    let nranks = cfg.nranks;
+    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind rendezvous listener");
+    let addr = listener.local_addr().expect("rendezvous addr");
+    let exe = std::env::current_exe().expect("current_exe for self-exec");
+    let args: Vec<String> = opts
+        .child_args
+        .clone()
+        .unwrap_or_else(|| std::env::args().skip(1).collect());
+
+    let mut guard = ChildGuard {
+        children: Vec::new(),
+    };
+    for rank in 0..nranks {
+        let mut cmd = Command::new(&exe);
+        cmd.args(&args)
+            .env(ENV_RANK, rank.to_string())
+            .env(ENV_NRANKS, nranks.to_string())
+            .env(ENV_PARENT, addr.to_string())
+            .env(ENV_LABEL, &opts.label)
+            .stdin(Stdio::null());
+        if !opts.inherit_stdout {
+            cmd.stdout(Stdio::null());
+        }
+        let child = cmd
+            .spawn()
+            .unwrap_or_else(|e| panic!("spawn tcp rank worker {rank}: {e}"));
+        guard.children.push((rank, child));
+    }
+
+    // Phase 1: collect hellos (worker rank + its mesh listener port).
+    // Any worker exit during rendezvous — even a clean one — means it
+    // will never connect (bad argv, a `--exact` filter matching no test,
+    // a panic before the launch call): fail fast with the real cause
+    // instead of blocking out the whole watchdog window.
+    let deadline = Instant::now() + opts.timeout;
+    let mut conns: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
+    let mut ports: Vec<u16> = vec![0; nranks];
+    for _ in 0..nranks {
+        let mut check_children = || {
+            for (rank, child) in &mut guard.children {
+                if let Ok(Some(status)) = child.try_wait() {
+                    return Err(std::io::Error::other(format!(
+                        "tcp worker for rank {rank} exited during rendezvous ({status}) — \
+                         it never reached the launch call (check the worker argv/label)"
+                    )));
+                }
+            }
+            Ok(())
+        };
+        let s = accept_with_deadline(
+            &listener,
+            deadline,
+            "worker rendezvous",
+            &mut check_children,
+        )
+        .expect("rendezvous accept");
+        s.set_read_timeout(Some(remaining(deadline)))
+            .expect("set rendezvous timeout");
+        let hello = read_json(&s).expect("worker hello");
+        let rank = hello
+            .field("rank")
+            .and_then(Value::as_int)
+            .expect("hello.rank") as usize;
+        let port = hello
+            .field("port")
+            .and_then(Value::as_int)
+            .expect("hello.port") as u16;
+        assert!(rank < nranks && conns[rank].is_none(), "duplicate hello");
+        ports[rank] = port;
+        conns[rank] = Some(s);
+    }
+
+    // Phase 2: broadcast the port map (and the world parameters the
+    // workers must agree on — catches parent/worker config drift).
+    let pm = obj(vec![
+        ("nranks", Value::Int(nranks as i128)),
+        ("seed", Value::Int(cfg.seed as i128)),
+        (
+            "ports",
+            Value::Arr(ports.iter().map(|&p| Value::Int(p as i128)).collect()),
+        ),
+    ]);
+    for s in conns.iter().flatten() {
+        write_json(s, &pm).expect("send port map");
+    }
+
+    // Phase 3: collect per-rank results concurrently (ranks finish in any
+    // order; a panic report must not hide behind a slower rank's read).
+    let (res_tx, res_rx) = unbounded();
+    let mut readers = Vec::new();
+    for (rank, conn) in conns.into_iter().enumerate() {
+        let s = conn.expect("all conns collected");
+        let tx = res_tx.clone();
+        let timeout = opts.timeout;
+        readers.push(
+            std::thread::Builder::new()
+                .name(format!("pcoll-tcp-result-{rank}"))
+                .spawn(move || {
+                    let _ = s.set_read_timeout(Some(timeout));
+                    let _ = tx.send((rank, read_json(&s)));
+                })
+                .expect("spawn result reader"),
+        );
+    }
+    drop(res_tx);
+
+    let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+    for _ in 0..nranks {
+        let (rank, report) = res_rx
+            .recv_timeout(opts.timeout + Duration::from_secs(5))
+            .expect("result readers stalled");
+        let report =
+            report.unwrap_or_else(|e| panic!("tcp rank {rank}: no result from worker: {e}"));
+        let ok = matches!(report.field("ok"), Ok(Value::Bool(true)));
+        if !ok {
+            let msg = report
+                .field("panic")
+                .ok()
+                .and_then(|v| match v {
+                    Value::Str(s) => Some(s.clone()),
+                    _ => None,
+                })
+                .unwrap_or_else(|| "worker failed without a message".into());
+            panic!("tcp rank {rank} panicked: {msg}");
+        }
+        let value = report.field("value").expect("result value");
+        results[rank] = Some(
+            T::from_value(value)
+                .unwrap_or_else(|e| panic!("tcp rank {rank}: result deserialization failed: {e}")),
+        );
+    }
+    for j in readers {
+        let _ = j.join();
+    }
+
+    // Phase 4: reap workers.
+    for (rank, child) in &mut guard.children {
+        let status = child.wait().expect("wait tcp worker");
+        assert!(
+            status.success(),
+            "tcp worker for rank {rank} exited with {status}"
+        );
+    }
+    guard.children.clear();
+
+    results
+        .into_iter()
+        .map(|r| r.expect("all ranks reported"))
+        .collect()
+}
+
+fn run_worker<T, F>(cfg: WorldConfig, opts: &TcpOpts, f: F) -> !
+where
+    T: serde::Serialize,
+    F: FnOnce(Communicator) -> T,
+{
+    let rank: Rank = std::env::var(ENV_RANK)
+        .expect("worker rank env")
+        .parse()
+        .expect("numeric rank");
+    let env_nranks: usize = std::env::var(ENV_NRANKS)
+        .expect("worker nranks env")
+        .parse()
+        .expect("numeric nranks");
+    assert_eq!(
+        env_nranks, cfg.nranks,
+        "worker reconstructed a different world size than the parent \
+         (launch arguments must be deterministic)"
+    );
+    let parent_addr = std::env::var(ENV_PARENT).expect("parent addr env");
+    let deadline = Instant::now() + opts.timeout;
+
+    // Mesh listener first, so its port rides along in the hello.
+    let mesh_listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind mesh listener");
+    let mesh_port = mesh_listener.local_addr().expect("mesh addr").port();
+
+    let parent = TcpStream::connect(&parent_addr).expect("connect rendezvous");
+    parent.set_nodelay(true).expect("nodelay");
+    write_json(
+        &parent,
+        &obj(vec![
+            ("rank", Value::Int(rank as i128)),
+            ("port", Value::Int(mesh_port as i128)),
+        ]),
+    )
+    .expect("send hello");
+    parent
+        .set_read_timeout(Some(remaining(deadline)))
+        .expect("set rendezvous timeout");
+    let pm = read_json(&parent).expect("port map");
+    let pm_seed = pm.field("seed").and_then(Value::as_int).expect("pm.seed") as u64;
+    assert_eq!(pm_seed, cfg.seed, "worker/parent seed drift");
+    let ports: Vec<u16> = pm
+        .field("ports")
+        .and_then(Value::as_arr)
+        .expect("pm.ports")
+        .iter()
+        .map(|v| v.as_int().expect("port int") as u16)
+        .collect();
+    assert_eq!(ports.len(), cfg.nranks, "worker/parent world-size drift");
+
+    // Pairwise mesh: connect down, accept up; a 4-byte rank id identifies
+    // each accepted stream.
+    let mut streams: Vec<Option<TcpStream>> = (0..cfg.nranks).map(|_| None).collect();
+    for (peer, &port) in ports.iter().enumerate().take(rank) {
+        let s = TcpStream::connect(("127.0.0.1", port)).expect("connect mesh peer");
+        s.set_nodelay(true).expect("nodelay");
+        (&s).write_all(&(rank as u32).to_le_bytes())
+            .expect("send mesh id");
+        streams[peer] = Some(s);
+    }
+    for _ in rank + 1..cfg.nranks {
+        let s = accept_with_deadline(&mesh_listener, deadline, "mesh peer", &mut || Ok(()))
+            .expect("mesh accept");
+        let mut id = [0u8; 4];
+        (&s).read_exact(&mut id).expect("read mesh id");
+        let peer = u32::from_le_bytes(id) as usize;
+        assert!(
+            peer > rank && peer < cfg.nranks && streams[peer].is_none(),
+            "bad mesh id {peer}"
+        );
+        streams[peer] = Some(s);
+    }
+
+    // Socket threads + routing.
+    let (inbox_tx, inbox_rx) = unbounded();
+    let mut txs: Vec<Option<Sender<PeerCmd>>> = (0..cfg.nranks).map(|_| None).collect();
+    let mut finishers = Vec::new();
+    let mut writers = Vec::new();
+    let mut readers = Vec::new();
+    for (peer, slot) in streams.into_iter().enumerate() {
+        let Some(stream) = slot else { continue };
+        let read_half = stream.try_clone().expect("clone mesh stream");
+        let (tx, rx) = unbounded();
+        finishers.push(tx.clone());
+        txs[peer] = Some(tx);
+        writers.push(
+            std::thread::Builder::new()
+                .name(format!("pcoll-tcpw-{rank}-{peer}"))
+                .spawn(move || writer_loop(stream, rx))
+                .expect("spawn writer"),
+        );
+        let inbox = inbox_tx.clone();
+        readers.push(
+            std::thread::Builder::new()
+                .name(format!("pcoll-tcpr-{rank}-{peer}"))
+                .spawn(move || reader_loop(read_half, inbox))
+                .expect("spawn reader"),
+        );
+    }
+    let route = Route::Tcp(Arc::new(TcpPeers {
+        rank,
+        txs,
+        local: inbox_tx,
+    }));
+
+    // The network model composes on top of the sockets: shape on the
+    // sender side, then write. Per-rank jitter streams are decorrelated
+    // by mixing the rank into the seed.
+    let (net, net_join) = match cfg.network {
+        NetworkModel::Instant => (None, None),
+        model => {
+            let seed = cfg.seed ^ 0x5EED ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let (h, j) = spawn_network(model, route.clone(), seed);
+            (Some(h), Some(j))
+        }
+    };
+
+    let comm = Communicator {
+        handle: CommHandle {
+            rank,
+            size: cfg.nranks,
+            seed: cfg.seed,
+            net: net.clone(),
+            route,
+        },
+        inbox: Inbox { rx: inbox_rx },
+        // One rank per process: the host barrier (thread-scaffolding, not
+        // a modeled collective) degenerates to a no-op. Cross-rank
+        // alignment over TCP must use the message-based `RankCtx::barrier`.
+        host_barrier: Arc::new(Barrier::new(1)),
+    };
+
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || f(comm)));
+
+    // Teardown: drain the delivery heap into the writers, flush + goodbye
+    // every connection, then report. Reader joins come last — they return
+    // when the peers goodbye in their own teardown.
+    if let Some(net) = net {
+        let _ = net.tx.send(NetCmd::Shutdown);
+    }
+    if let Some(j) = net_join {
+        let _ = j.join();
+    }
+    for tx in finishers {
+        let _ = tx.send(PeerCmd::Finish);
+    }
+    for w in writers {
+        let _ = w.join();
+    }
+
+    let (report, code) = match &result {
+        Ok(v) => (
+            obj(vec![("ok", Value::Bool(true)), ("value", v.to_value())]),
+            0,
+        ),
+        Err(e) => {
+            let msg = e
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "non-string panic payload".into());
+            (
+                obj(vec![("ok", Value::Bool(false)), ("panic", Value::Str(msg))]),
+                101,
+            )
+        }
+    };
+    let _ = write_json(&parent, &report);
+
+    for r in readers {
+        let _ = r.join();
+    }
+    drop(parent);
+    std::process::exit(code);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_msg(src: Rank, payload: Option<TypedBuf>) -> Message {
+        Message {
+            src,
+            tag: WireTag::new(CollId(7), 3, 11),
+            payload,
+        }
+    }
+
+    fn round_trip(msg: &Message) -> Message {
+        let body = encode_data(msg);
+        match decode_frame(&body).unwrap() {
+            WireFrame::Data(m) => m,
+            other => panic!("expected data frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_every_dtype() {
+        for payload in [
+            Some(TypedBuf::from(vec![1.5f32, -2.25, 0.0])),
+            Some(TypedBuf::from(vec![std::f64::consts::E; 9])),
+            Some(TypedBuf::from(vec![i32::MIN, i32::MAX])),
+            Some(TypedBuf::from(vec![-1i64, 1 << 60])),
+        ] {
+            let msg = data_msg(5, payload.clone());
+            let back = round_trip(&msg);
+            assert_eq!(back.src, 5);
+            assert_eq!(back.tag, msg.tag);
+            assert_eq!(back.payload, payload);
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_control_and_empty_payloads() {
+        let ctl = round_trip(&data_msg(0, None));
+        assert!(ctl.payload.is_none());
+        let empty = round_trip(&data_msg(1, Some(TypedBuf::zeros(DType::F64, 0))));
+        assert_eq!(empty.payload.unwrap().len(), 0);
+    }
+
+    #[test]
+    fn codec_round_trips_multi_mib_payload() {
+        let n = (4 << 20) / 4; // 4 MiB of f32
+        let big: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
+        let msg = data_msg(2, Some(TypedBuf::from(big.clone())));
+        let back = round_trip(&msg);
+        assert_eq!(back.payload.unwrap().as_f32().unwrap(), &big[..]);
+    }
+
+    #[test]
+    fn control_frames_decode() {
+        assert!(matches!(
+            decode_frame(&[FRAME_SHUTDOWN]).unwrap(),
+            WireFrame::Shutdown
+        ));
+        assert!(matches!(
+            decode_frame(&[FRAME_GOODBYE]).unwrap(),
+            WireFrame::Goodbye
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_frame(&[]).is_err());
+        assert!(decode_frame(&[99]).is_err());
+        let mut body = encode_data(&data_msg(0, Some(TypedBuf::from(vec![1.0f32; 8]))));
+        body.truncate(body.len() - 3); // ragged payload
+        assert!(decode_frame(&body).is_err());
+        body.push(0); // trailing byte after truncation boundary shift
+        assert!(decode_frame(&body).is_err());
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_stream() {
+        let bodies: Vec<Vec<u8>> = vec![
+            encode_data(&data_msg(1, Some(TypedBuf::from(vec![9i64; 4])))),
+            vec![FRAME_SHUTDOWN],
+            // Bigger than one write chunk, to exercise chunked writes.
+            encode_data(&data_msg(
+                3,
+                Some(TypedBuf::from(vec![0.5f32; WRITE_CHUNK / 2])),
+            )),
+            vec![FRAME_GOODBYE],
+        ];
+        let mut wire = Vec::new();
+        for b in &bodies {
+            write_frame(&mut wire, b).unwrap();
+        }
+        let mut r = &wire[..];
+        for b in &bodies {
+            assert_eq!(read_frame(&mut r).unwrap().unwrap(), *b);
+        }
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    /// Full self-exec round trip: 3 rank processes pass a token around a
+    /// ring over loopback. The worker re-runs exactly this test via
+    /// `--exact` and exits inside `launch_tcp`.
+    #[test]
+    fn tcp_ring_pass_end_to_end() {
+        let cfg = WorldConfig::instant(3).with_seed(5);
+        let opts = TcpOpts::labeled("comm-ring").with_child_args(vec![
+            "transport::tests::tcp_ring_pass_end_to_end".into(),
+            "--exact".into(),
+        ]);
+        let out = launch_tcp(cfg, opts, |c| {
+            let next = (c.rank() + 1) % c.size();
+            c.send(
+                next,
+                WireTag::new(CollId(9), 0, 0),
+                Some(TypedBuf::from(vec![c.rank() as i64])),
+            );
+            match c.inbox().recv() {
+                Some(Envelope::Data(m)) => m.payload.unwrap().as_i64().unwrap()[0],
+                other => panic!("expected data, got {other:?}"),
+            }
+        });
+        // Only the parent gets here (matching workers exit inside).
+        assert_eq!(out.expect("parent results"), vec![2, 0, 1]);
+    }
+
+    /// A worker's panic must surface in the parent with its message.
+    #[test]
+    fn tcp_worker_panic_propagates() {
+        let opts = TcpOpts::labeled("comm-panic").with_child_args(vec![
+            "transport::tests::tcp_worker_panic_propagates".into(),
+            "--exact".into(),
+        ]);
+        let result = std::panic::catch_unwind(|| {
+            launch_tcp::<u32, _>(WorldConfig::instant(2), opts, |c| {
+                if c.rank() == 1 {
+                    panic!("boom from rank 1");
+                }
+                c.rank() as u32
+            })
+        });
+        if is_tcp_worker() {
+            // Rank 0's worker: its launch call returned through
+            // catch_unwind only if it was the panicking rank (which
+            // exits) — unreachable either way.
+            unreachable!("workers exit inside launch_tcp");
+        }
+        let err = result.expect_err("parent must observe the worker panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("boom from rank 1"),
+            "panic message lost: {msg}"
+        );
+    }
+
+    #[test]
+    fn transport_parse_recognizes_backends() {
+        assert!(matches!(
+            Transport::parse("inproc", "x"),
+            Some(Transport::InProcess)
+        ));
+        match Transport::parse("tcp", "smoke") {
+            Some(Transport::Tcp(opts)) => assert_eq!(opts.label, "smoke"),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(Transport::parse("carrier-pigeon", "x").is_none());
+    }
+}

@@ -1,4 +1,4 @@
-//! The rank world: thread-per-rank launcher and per-rank communicators.
+//! The rank world: rank launchers and per-rank communicators.
 //!
 //! [`World::launch`] stands in for `mpirun`: it spawns `P` rank threads,
 //! hands each a [`Communicator`], runs the given closure SPMD-style, and
@@ -6,11 +6,16 @@
 //! governs message latency; a shared seed gives all ranks a common source
 //! of pseudo-randomness (the paper's majority collective relies on all
 //! ranks drawing the same per-round initiator, §4.2).
+//!
+//! [`World::launch_with`] selects a [`Transport`]: the same closure can
+//! run ranks as threads (above) or as one OS process per rank over
+//! loopback TCP ([`World::launch_tcp`], see the `transport` module).
 
 use crate::net::{spawn_network, NetCmd, NetHandle};
 use crate::tag::{Message, Rank, WireTag};
+use crate::transport::{launch_tcp, Route, TcpOpts, Transport};
 use crate::{NetworkModel, TypedBuf};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver};
 use std::sync::{Arc, Barrier};
 
 /// What a rank's mailbox receives.
@@ -67,11 +72,11 @@ impl WorldConfig {
 /// `MPI_Request` to wait on because there is no shared user buffer.
 #[derive(Clone)]
 pub struct CommHandle {
-    rank: Rank,
-    size: usize,
-    seed: u64,
-    net: Option<NetHandle>,
-    mailboxes: Arc<Vec<Sender<Envelope>>>,
+    pub(crate) rank: Rank,
+    pub(crate) size: usize,
+    pub(crate) seed: u64,
+    pub(crate) net: Option<NetHandle>,
+    pub(crate) route: Route,
 }
 
 impl CommHandle {
@@ -107,22 +112,21 @@ impl CommHandle {
             Some(net) => {
                 let _ = net.tx.send(NetCmd::Send { dst, msg });
             }
-            None => {
-                let _ = self.mailboxes[dst].send(Envelope::Data(msg));
-            }
+            None => self.route.deliver(dst, Envelope::Data(msg)),
         }
     }
 
     /// Ask whoever drains `dst`'s mailbox to shut down (used by the engine
-    /// teardown; app code normally never calls this).
+    /// teardown; app code normally never calls this). Bypasses the
+    /// network model — teardown control is not modeled traffic.
     pub fn send_shutdown(&self, dst: Rank) {
-        let _ = self.mailboxes[dst].send(Envelope::Shutdown);
+        self.route.deliver(dst, Envelope::Shutdown);
     }
 }
 
 /// Receiving half of a rank's communicator: the raw mailbox.
 pub struct Inbox {
-    rx: Receiver<Envelope>,
+    pub(crate) rx: Receiver<Envelope>,
 }
 
 impl Inbox {
@@ -152,9 +156,9 @@ impl Inbox {
 /// and a host-side barrier for harness coordination (the message-based
 /// dissemination barrier lives in the `pcoll` crate).
 pub struct Communicator {
-    handle: CommHandle,
-    inbox: Inbox,
-    host_barrier: Arc<Barrier>,
+    pub(crate) handle: CommHandle,
+    pub(crate) inbox: Inbox,
+    pub(crate) host_barrier: Arc<Barrier>,
 }
 
 impl Communicator {
@@ -197,6 +201,11 @@ impl Communicator {
     /// collective — it is test/bench scaffolding (e.g. "synchronize before
     /// the next iteration", Fig. 8 line 12, when we want exact alignment
     /// without touching the system under test).
+    ///
+    /// Shared-memory only: under the TCP transport each process holds one
+    /// rank, so this degenerates to a no-op. Cross-rank alignment that
+    /// must hold on every transport uses the message-based barrier
+    /// (`pcoll::RankCtx::barrier`).
     pub fn host_barrier(&self) {
         self.host_barrier.wait();
     }
@@ -226,12 +235,12 @@ impl World {
     {
         assert!(cfg.nranks > 0, "world must have at least one rank");
         let (mb_txs, mb_rxs): (Vec<_>, Vec<_>) = (0..cfg.nranks).map(|_| unbounded()).unzip();
-        let mailboxes = Arc::new(mb_txs);
+        let route = Route::mailboxes(mb_txs);
 
         let (net, net_join) = match cfg.network {
             NetworkModel::Instant => (None, None),
             model => {
-                let (h, j) = spawn_network(model, mailboxes.as_ref().clone(), cfg.seed ^ 0x5EED);
+                let (h, j) = spawn_network(model, route.clone(), cfg.seed ^ 0x5EED);
                 (Some(h), Some(j))
             }
         };
@@ -246,7 +255,7 @@ impl World {
                     size: cfg.nranks,
                     seed: cfg.seed,
                     net: net.clone(),
-                    mailboxes: Arc::clone(&mailboxes),
+                    route: route.clone(),
                 },
                 inbox: Inbox { rx },
                 host_barrier: Arc::clone(&host_barrier),
@@ -278,6 +287,35 @@ impl World {
             std::panic::resume_unwind(e);
         }
         results
+    }
+
+    /// Launch over an explicit [`Transport`]: the same SPMD closure runs
+    /// either thread-per-rank ([`World::launch`]) or process-per-rank over
+    /// loopback TCP ([`World::launch_tcp`]).
+    ///
+    /// Returns `None` only in a TCP worker process that serves a
+    /// *different* launch label (skip that call site and fall through);
+    /// see the `transport` module docs.
+    pub fn launch_with<T, F>(cfg: WorldConfig, transport: Transport, f: F) -> Option<Vec<T>>
+    where
+        T: Send + 'static + serde::Serialize + serde::Deserialize,
+        F: Fn(Communicator) -> T + Send + Sync + 'static,
+    {
+        match transport {
+            Transport::InProcess => Some(Self::launch(cfg, f)),
+            Transport::Tcp(opts) => launch_tcp(cfg, opts, f),
+        }
+    }
+
+    /// Launch `cfg.nranks` rank *processes* over loopback TCP (the
+    /// `mpirun` stand-in: this process re-`exec`s itself once per rank
+    /// and acts as the rendezvous server). See the `transport` module.
+    pub fn launch_tcp<T, F>(cfg: WorldConfig, opts: TcpOpts, f: F) -> Option<Vec<T>>
+    where
+        T: serde::Serialize + serde::Deserialize + Send + 'static,
+        F: FnOnce(Communicator) -> T,
+    {
+        launch_tcp(cfg, opts, f)
     }
 }
 

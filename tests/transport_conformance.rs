@@ -1,0 +1,285 @@
+//! Transport conformance: the same SPMD programs must behave identically
+//! on the in-process backend (ranks as threads) and the TCP backend
+//! (ranks as loopback processes).
+//!
+//! Each test runs its closure through [`both_backends`], which executes
+//! it under `World::launch` and then under `World::launch_tcp`. For the
+//! TCP half the test binary re-`exec`s itself with `--exact <test name>`,
+//! so a worker process runs exactly one test, reaches the same launch
+//! call, and becomes its rank (exiting inside `launch_tcp`); only the
+//! parent reaches the assertions.
+
+use eager_sgd_repro::comm::{
+    is_tcp_worker, CollId, Communicator, DType, Envelope, NetworkModel, ReduceOp, TcpOpts,
+    TypedBuf, WireTag, World, WorldConfig,
+};
+use eager_sgd_repro::prelude::{PartialOpts, QuorumPolicy, RankCtx};
+use std::time::Duration;
+
+/// Run `f` on the in-process backend and on the TCP backend, returning
+/// one per-rank result vector per backend (labeled for assertion
+/// messages). In a TCP worker process the in-process half is skipped —
+/// it belongs to the parent — and the TCP call never returns.
+fn both_backends<T, F>(test_name: &str, cfg: WorldConfig, f: F) -> Vec<(&'static str, Vec<T>)>
+where
+    T: Send + 'static + serde::Serialize + serde::Deserialize,
+    F: Fn(Communicator) -> T + Send + Sync + Clone + 'static,
+{
+    let mut out = Vec::new();
+    if !is_tcp_worker() {
+        out.push(("inproc", World::launch(cfg.clone(), f.clone())));
+    }
+    let opts =
+        TcpOpts::labeled(test_name).with_child_args(vec![test_name.to_string(), "--exact".into()]);
+    if let Some(results) = World::launch_tcp(cfg, opts, f) {
+        out.push(("tcp", results));
+    }
+    // Workers never get here (they exit inside launch_tcp); the parent
+    // must have exercised both backends, or the test proves nothing.
+    assert_eq!(out.len(), 2, "expected inproc + tcp runs");
+    out
+}
+
+fn tag(sem: u32) -> WireTag {
+    WireTag::new(CollId(40), 0, sem)
+}
+
+/// Same-pair messages must never overtake, even under jitter big enough
+/// to reorder them without the non-overtaking clamp (and, on TCP, even
+/// though the shaped messages then cross a real socket).
+#[test]
+fn fifo_per_pair_under_jitter() {
+    const N: u32 = 64;
+    let cfg = WorldConfig {
+        nranks: 4,
+        network: NetworkModel::AlphaBeta {
+            alpha: Duration::from_micros(50),
+            beta_ns_per_byte: 0.0,
+            jitter: Duration::from_millis(2),
+        },
+        seed: 11,
+    };
+    for (backend, per_rank) in both_backends("fifo_per_pair_under_jitter", cfg, |c| {
+        let next = (c.rank() + 1) % c.size();
+        for i in 0..N {
+            c.send(next, tag(i), Some(TypedBuf::from(vec![i as i32])));
+        }
+        let mut seen = Vec::new();
+        while seen.len() < N as usize {
+            match c.inbox().recv() {
+                Some(Envelope::Data(m)) => seen.push(m.tag.sem),
+                other => panic!("unexpected envelope {other:?}"),
+            }
+        }
+        seen
+    }) {
+        let want: Vec<u32> = (0..N).collect();
+        for (rank, seen) in per_rank.iter().enumerate() {
+            assert_eq!(seen, &want, "{backend}: rank {rank} saw reordered messages");
+        }
+    }
+}
+
+/// Zero-length buffers, payload-free control messages, every dtype, and a
+/// multi-MiB tensor all round-trip bit-exactly. Per-pair FIFO makes the
+/// arrival order deterministic, so the receiver checks contents in order.
+#[test]
+fn payload_round_trips_zero_len_and_multi_mib() {
+    const BIG: usize = 1 << 19; // 2 MiB of f32
+    let cfg = WorldConfig::instant(2).with_seed(3);
+    for (backend, per_rank) in both_backends(
+        "payload_round_trips_zero_len_and_multi_mib",
+        cfg,
+        |c| -> bool {
+            let big: Vec<f32> = (0..BIG).map(|i| (i as f32).sin()).collect();
+            if c.rank() == 0 {
+                c.send(1, tag(0), Some(TypedBuf::zeros(DType::F32, 0)));
+                c.send(1, tag(1), None);
+                c.send(1, tag(2), Some(TypedBuf::from(big)));
+                c.send(
+                    1,
+                    tag(3),
+                    Some(TypedBuf::from(vec![f64::MIN_POSITIVE, -0.0])),
+                );
+                c.send(1, tag(4), Some(TypedBuf::from(vec![i32::MIN, i32::MAX])));
+                c.send(1, tag(5), Some(TypedBuf::from(vec![i64::MIN, i64::MAX])));
+                return true;
+            }
+            let recv = || match c.inbox().recv() {
+                Some(Envelope::Data(m)) => m,
+                other => panic!("unexpected envelope {other:?}"),
+            };
+            let zero = recv();
+            let ctl = recv();
+            let tensor = recv();
+            let floats = recv();
+            let ints = recv();
+            let longs = recv();
+            zero.payload.as_ref().is_some_and(|p| p.is_empty())
+                && zero.tag.sem == 0
+                && ctl.payload.is_none()
+                && tensor
+                    .payload
+                    .as_ref()
+                    .and_then(|p| p.as_f32())
+                    .is_some_and(|p| p.len() == BIG && p == &big[..])
+                && floats.payload.as_ref().and_then(|p| p.as_f64())
+                    == Some(&[f64::MIN_POSITIVE, -0.0][..])
+                && ints.payload.as_ref().and_then(|p| p.as_i32()) == Some(&[i32::MIN, i32::MAX][..])
+                && longs.payload.as_ref().and_then(|p| p.as_i64())
+                    == Some(&[i64::MIN, i64::MAX][..])
+        },
+    ) {
+        assert_eq!(per_rank, vec![true, true], "{backend}: payload mismatch");
+    }
+}
+
+/// A rank that finishes immediately after a burst of sends must not lose
+/// them: teardown drains the delivery heap and socket writers before the
+/// goodbye handshake. The network model holds every message at teardown
+/// time (alpha ≫ the sender's lifetime), forcing the drain path.
+#[test]
+fn shutdown_drains_in_flight_messages() {
+    const N: u32 = 256;
+    let cfg = WorldConfig {
+        nranks: 2,
+        network: NetworkModel::AlphaBeta {
+            alpha: Duration::from_millis(20),
+            beta_ns_per_byte: 0.0,
+            jitter: Duration::ZERO,
+        },
+        seed: 4,
+    };
+    for (backend, per_rank) in both_backends("shutdown_drains_in_flight_messages", cfg, |c| {
+        if c.rank() == 0 {
+            for i in 0..N {
+                c.send(1, tag(i), Some(TypedBuf::from(vec![i as i64; 32])));
+            }
+            // Return (and, on TCP, exit the whole process) right away.
+            return N;
+        }
+        let mut got = 0u32;
+        while got < N {
+            match c.inbox().recv() {
+                Some(Envelope::Data(m)) => {
+                    assert_eq!(m.tag.sem, got, "drained messages must stay FIFO");
+                    got += 1;
+                }
+                Some(Envelope::Shutdown) => continue,
+                None => break,
+            }
+        }
+        got
+    }) {
+        assert_eq!(
+            per_rank,
+            vec![N, N],
+            "{backend}: in-flight messages were dropped at shutdown"
+        );
+    }
+}
+
+/// The full collectives stack (engine + sync/partial collectives +
+/// message barrier) produces identical deterministic results on both
+/// backends — the acceptance bar for the transport swap.
+#[test]
+fn collectives_results_identical_on_both_backends() {
+    const P: usize = 4;
+    const ROUNDS: i64 = 6;
+    let cfg = WorldConfig::instant(P).with_seed(21);
+    let runs = both_backends("collectives_results_identical_on_both_backends", cfg, |c| {
+        let ctx = RankCtx::new(c);
+        let mut sum = ctx.sync_allreduce(DType::I64, 1, ReduceOp::Sum, None);
+        let mut chain = ctx.partial_allreduce(
+            DType::I64,
+            1,
+            ReduceOp::Sum,
+            QuorumPolicy::Chain(P),
+            PartialOpts::default(),
+        );
+        let mut bc = ctx.bcast(1);
+        let me = ctx.rank() as i64;
+        let mut acc = Vec::new();
+        for round in 0..ROUNDS {
+            let s = sum.allreduce(&TypedBuf::from(vec![me + round]));
+            let p = chain.allreduce(&TypedBuf::from(vec![me * round]));
+            let payload = TypedBuf::from(vec![round * 7]);
+            let b = bc.bcast((ctx.rank() == 1).then_some(&payload));
+            acc.push((
+                s.as_i64().unwrap()[0],
+                p.data.as_i64().unwrap()[0],
+                b.as_i64().unwrap()[0],
+            ));
+        }
+        ctx.finalize();
+        acc
+    });
+    for (backend, per_rank) in &runs {
+        for (rank, rows) in per_rank.iter().enumerate() {
+            for (round, &(s, p, b)) in rows.iter().enumerate() {
+                let round = round as i64;
+                assert_eq!(s, 6 + P as i64 * round, "{backend} rank {rank} sync");
+                assert_eq!(p, 6 * round, "{backend} rank {rank} chain partial");
+                assert_eq!(b, 7 * round, "{backend} rank {rank} bcast");
+            }
+        }
+    }
+    // Cross-backend identity, not just per-backend correctness.
+    if runs.len() == 2 {
+        assert_eq!(runs[0].1, runs[1].1, "backends disagree");
+    }
+}
+
+/// The Fig. 7 gradient-conservation property (every deposit lands in
+/// exactly one round's sum) holds over real sockets: the timing of fresh
+/// vs. stale differs per backend, but the conservation total must not.
+#[test]
+fn partial_allreduce_conserves_deposits_on_both_backends() {
+    const P: usize = 4;
+    const ROUNDS: u64 = 8;
+    let cfg = WorldConfig::instant(P).with_seed(9);
+    for (backend, per_rank) in both_backends(
+        "partial_allreduce_conserves_deposits_on_both_backends",
+        cfg,
+        |c| {
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.partial_allreduce(
+                DType::F64,
+                1,
+                ReduceOp::Sum,
+                QuorumPolicy::Solo,
+                PartialOpts::default(),
+            );
+            let mut total = 0.0f64;
+            for round in 0..ROUNDS {
+                // Deterministic per-rank skew so backends face the same
+                // protocol, whatever the wall-clock details.
+                std::thread::sleep(Duration::from_micros(
+                    (ctx.rank() as u64 * 700 + round * 130) % 4000,
+                ));
+                total += ar
+                    .allreduce(&TypedBuf::from(vec![1.0f64]))
+                    .data
+                    .as_f64()
+                    .unwrap()[0];
+                ctx.barrier();
+            }
+            total += ar
+                .allreduce(&TypedBuf::from(vec![0.0f64]))
+                .data
+                .as_f64()
+                .unwrap()[0];
+            ctx.barrier();
+            ctx.finalize();
+            total
+        },
+    ) {
+        let expected = (P as f64) * (ROUNDS as f64);
+        for (rank, &total) in per_rank.iter().enumerate() {
+            assert!(
+                (total - expected).abs() < 1e-9,
+                "{backend}: rank {rank} accounted {total}, deposited {expected}"
+            );
+        }
+    }
+}
