@@ -24,6 +24,7 @@ fn solo_latency_ms(p: usize, net: NetworkModel, skew_ms: u64, iters: u64, seed: 
             nranks: p,
             network: net,
             seed,
+            ..WorldConfig::instant(p)
         },
         move |c| {
             let ctx = RankCtx::new(c);

@@ -1,0 +1,167 @@
+//! `comm_micro`: transport data-path microbenchmark.
+//!
+//! Sweeps message payload size from 64 B to 8 MiB on both backends and
+//! reports msg/s and GiB/s per (transport, size) point. Rank 0 floods
+//! `iters` messages at rank 1 and waits for a single ack once rank 1 has
+//! drained them all, so the measured window covers the full producer →
+//! queue → delivery → consumer pipeline, including any backpressure the
+//! transport exerts.
+//!
+//! The per-message payload handoff deliberately models the engine's
+//! `SendData` hot path: one *prepared* buffer exists per sweep point and
+//! each send hands the transport a clone of it — exactly what a
+//! persistent collective does when it fans a round's contribution out to
+//! its peers. The cost of that clone (a full memcpy before this PR, an
+//! `Arc` bump after) is the thing this benchmark exists to watch.
+//!
+//! ```sh
+//! cargo run --release -p repro_bench --bin comm_micro -- --quick --seed 42
+//! ```
+//!
+//! Writes `BENCH_comm_micro.json`; the committed quick-mode baseline
+//! lives in `BENCH_baseline/` and is diffed by the CI perf gate.
+
+use pcoll_comm::{
+    is_tcp_worker, CollId, Envelope, Payload, TcpOpts, TypedBuf, WireTag, World, WorldConfig,
+};
+use repro_bench::report::{comment, row, shape_check, write_json};
+use repro_bench::HarnessArgs;
+use serde::Serialize;
+use std::time::Instant;
+
+/// Payload sizes in bytes (f32 elements = bytes / 4).
+const SIZES: [usize; 6] = [64, 1 << 10, 16 << 10, 256 << 10, 1 << 20, 8 << 20];
+const QUICK_SIZES: [usize; 4] = [64, 16 << 10, 1 << 20, 8 << 20];
+
+/// Per-(transport, size) result record — only higher-is-better metrics,
+/// so the perf gate can diff every numeric field it is pointed at.
+#[derive(Debug, Clone, Serialize)]
+struct Point {
+    label: String,
+    transport: String,
+    bytes: usize,
+    iters: u64,
+    msgs_per_s: f64,
+    gib_per_s: f64,
+}
+
+fn iters_for(bytes: usize, quick: bool) -> u64 {
+    // Target ~32 MiB of traffic per point, clamped so tiny messages do
+    // not run forever and huge ones still get a few samples.
+    let n = ((32 << 20) / bytes).clamp(16, 8192) as u64;
+    if quick {
+        // Keep at least 16 samples: single-digit iteration counts make
+        // the large-payload points too noisy for the CI gate.
+        (n / 4).max(16)
+    } else {
+        n
+    }
+}
+
+/// One flood run: rank 0 pushes `iters` messages of `bytes` at rank 1,
+/// rank 1 acks after draining. Returns rank 0's elapsed seconds.
+fn flood(cfg: WorldConfig, label: &str, bytes: usize, iters: u64, tcp: bool) -> Option<f64> {
+    let run = move |c: pcoll_comm::Communicator| -> f64 {
+        let elems = (bytes / 4).max(1);
+        if c.rank() == 0 {
+            let prepared = Payload::new(TypedBuf::from(vec![1.0f32; elems]));
+            let start = Instant::now();
+            for i in 0..iters {
+                c.send_payload(1, WireTag::new(CollId(1), i, 0), Some(prepared.clone()));
+            }
+            match c.inbox().recv() {
+                Some(Envelope::Data(m)) => assert_eq!(m.tag.sem, 1, "expected the ack"),
+                other => panic!("expected ack, got {other:?}"),
+            }
+            start.elapsed().as_secs_f64()
+        } else {
+            let mut got = 0u64;
+            while got < iters {
+                match c.inbox().recv() {
+                    Some(Envelope::Data(m)) => {
+                        let p = m.payload.expect("flood payload");
+                        assert_eq!(p.len(), elems, "payload length drifted");
+                        got += 1;
+                    }
+                    other => panic!("unexpected envelope {other:?}"),
+                }
+            }
+            c.send(0, WireTag::new(CollId(1), iters, 1), None);
+            0.0
+        }
+    };
+    let out = if tcp {
+        World::launch_tcp(cfg, TcpOpts::labeled(label), run)?
+    } else {
+        World::launch(cfg, run)
+    };
+    Some(out[0])
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let sizes: Vec<usize> = if args.quick {
+        QUICK_SIZES.to_vec()
+    } else {
+        SIZES.to_vec()
+    };
+
+    if !is_tcp_worker() {
+        comment(&format!(
+            "comm_micro: 2 ranks, payload sweep {:?} bytes, seed {}",
+            sizes, args.seed
+        ));
+        row(&["label", "bytes", "iters", "msgs_per_s", "gib_per_s"]);
+    }
+
+    let mut points: Vec<Point> = Vec::new();
+    // The TCP half self-`exec`s one worker process per rank per sweep
+    // point; a worker only serves its matching label and exits inside
+    // `launch_tcp`, so this loop structure is identical in the parent
+    // and in every worker.
+    for transport in ["inproc", "tcp"] {
+        // A re-`exec`ed worker exists only to serve its TCP launch label;
+        // replaying the in-process sweep there would burn real work whose
+        // results are discarded when the worker exits inside launch_tcp.
+        if transport == "inproc" && is_tcp_worker() {
+            continue;
+        }
+        for &bytes in &sizes {
+            let iters = iters_for(bytes, args.quick);
+            let label = format!("{transport}_{bytes}");
+            let cfg = WorldConfig::instant(2).with_seed(args.seed);
+            let Some(elapsed) = flood(cfg, &label, bytes, iters, transport == "tcp") else {
+                continue;
+            };
+            let elapsed = elapsed.max(1e-9);
+            let point = Point {
+                label: label.clone(),
+                transport: transport.to_string(),
+                bytes,
+                iters,
+                msgs_per_s: iters as f64 / elapsed,
+                gib_per_s: (iters as f64 * bytes as f64) / elapsed / (1u64 << 30) as f64,
+            };
+            row(&[
+                point.label.clone(),
+                point.bytes.to_string(),
+                point.iters.to_string(),
+                format!("{:.0}", point.msgs_per_s),
+                format!("{:.3}", point.gib_per_s),
+            ]);
+            points.push(point);
+        }
+    }
+
+    // Workers never reach here (they exit inside launch_tcp).
+    let expected = sizes.len() * 2;
+    let pass = shape_check(
+        "all sweep points measured on both backends",
+        points.len() == expected,
+        &format!("{} of {expected} points", points.len()),
+    );
+    let _ = write_json("comm_micro", &points);
+    if !pass {
+        std::process::exit(1);
+    }
+}

@@ -1,36 +1,53 @@
 //! `compare`: the CI perf-regression gate.
 //!
-//! Diffs a fresh `BENCH_tune_adaptive.json` (an array of variant records
-//! with `label` / `utility` / `rounds_per_s` fields) against a committed
-//! baseline and fails when throughput regresses:
+//! Diffs one or more fresh `BENCH_*.json` artifacts (arrays of variant
+//! records with a `label` field plus numeric metric fields) against
+//! committed baselines and fails when throughput regresses:
 //!
 //! ```sh
 //! cargo run --release -p repro_bench --bin compare -- \
-//!     --baseline BENCH_baseline/BENCH_tune_adaptive.json \
-//!     --current  BENCH_tune_adaptive.json \
+//!     --pair BENCH_baseline/BENCH_tune_adaptive.json BENCH_tune_adaptive.json \
+//!     --pair BENCH_baseline/BENCH_comm_micro.json BENCH_comm_micro.json \
+//!         --metrics msgs_per_s,gib_per_s --pair-max-regress 0.5 \
 //!     --max-regress 0.25
 //! ```
 //!
+//! Each `--pair <baseline> <current>` names one artifact to gate; the
+//! flags that follow a pair customize it: `--metrics a,b` selects its
+//! higher-is-better metric fields (default `utility,rounds_per_s`) and
+//! `--pair-max-regress` overrides the global bound for that pair (raw
+//! throughput sweeps are noisier on shared runners than utility ratios).
+//! The legacy single-pair spelling `--baseline X --current Y` still
+//! works.
+//!
 //! The gate compares the **mean across shared variants** per metric —
 //! quick-mode runs on shared CI runners are individually noisy, and the
-//! mean over the whole policy spectrum damps that without hiding a real
-//! slowdown (a hot-path regression hits every variant). Per-variant
-//! deltas are printed for the humans reading the log. Exit codes: 0 pass,
-//! 2 regression, 1 usage/parse error.
+//! mean over a whole sweep damps that without hiding a real slowdown (a
+//! hot-path regression hits every variant). Per-variant deltas are
+//! printed for the humans reading the log. Exit codes: 0 pass, 2
+//! regression, 1 usage/parse error.
 
 use repro_bench::report::{comment, row};
 use serde_json::Value;
 
-/// The two higher-is-better metrics the gate tracks.
-const METRICS: [&str; 2] = ["utility", "rounds_per_s"];
+const DEFAULT_METRICS: [&str; 2] = ["utility", "rounds_per_s"];
 
 #[derive(Debug, Clone)]
 struct VariantMetrics {
     label: String,
-    values: [f64; 2],
+    values: Vec<f64>,
 }
 
-fn load(path: &str) -> Result<Vec<VariantMetrics>, String> {
+/// One baseline/current artifact pair with its gating parameters.
+#[derive(Debug, Clone)]
+struct Pair {
+    baseline: String,
+    current: String,
+    metrics: Vec<String>,
+    max_regress: Option<f64>,
+}
+
+fn load(path: &str, metrics: &[String]) -> Result<Vec<VariantMetrics>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let root = Value::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
     let arr = root
@@ -42,13 +59,14 @@ fn load(path: &str) -> Result<Vec<VariantMetrics>, String> {
                 Value::Str(s) => s.clone(),
                 other => return Err(format!("{path}: label is {}", other.kind())),
             };
-            let mut values = [0.0; 2];
-            for (slot, metric) in values.iter_mut().zip(METRICS) {
-                *slot = v
-                    .field(metric)
-                    .and_then(Value::as_float)
-                    .map_err(|e| format!("{path} [{label}]: {e}"))?;
-            }
+            let values = metrics
+                .iter()
+                .map(|metric| {
+                    v.field(metric)
+                        .and_then(Value::as_float)
+                        .map_err(|e| format!("{path} [{label}] {metric}: {e}"))
+                })
+                .collect::<Result<Vec<f64>, String>>()?;
             Ok(VariantMetrics { label, values })
         })
         .collect()
@@ -57,7 +75,7 @@ fn load(path: &str) -> Result<Vec<VariantMetrics>, String> {
 /// Gate verdict for one metric over the variants shared by both files.
 #[derive(Debug, PartialEq)]
 struct MetricVerdict {
-    metric: &'static str,
+    metric: String,
     base_mean: f64,
     cur_mean: f64,
     /// Fractional regression of the mean (negative = improvement).
@@ -68,6 +86,7 @@ struct MetricVerdict {
 fn gate(
     baseline: &[VariantMetrics],
     current: &[VariantMetrics],
+    metrics: &[String],
     max_regress: f64,
 ) -> Result<Vec<MetricVerdict>, String> {
     let shared: Vec<(&VariantMetrics, &VariantMetrics)> = baseline
@@ -84,7 +103,7 @@ fn gate(
         return Err("no variants to compare".into());
     }
     let n = shared.len() as f64;
-    Ok(METRICS
+    Ok(metrics
         .iter()
         .enumerate()
         .map(|(i, metric)| {
@@ -96,7 +115,7 @@ fn gate(
                 0.0
             };
             MetricVerdict {
-                metric,
+                metric: metric.clone(),
                 base_mean,
                 cur_mean,
                 regression,
@@ -106,23 +125,131 @@ fn gate(
         .collect())
 }
 
+/// Gate one artifact pair: print the per-variant table and the verdicts,
+/// return whether every metric passed.
+fn run_pair(pair: &Pair, global_max_regress: f64) -> Result<bool, String> {
+    let max_regress = pair.max_regress.unwrap_or(global_max_regress);
+    let baseline = load(&pair.baseline, &pair.metrics)?;
+    let current = load(&pair.current, &pair.metrics)?;
+
+    comment(&format!(
+        "perf gate: {} vs baseline {}, max regression {:.0}% on the \
+         cross-variant mean of {}",
+        pair.current,
+        pair.baseline,
+        100.0 * max_regress,
+        pair.metrics.join("/")
+    ));
+    row(&["variant", "metric", "baseline", "current", "delta_pct"]);
+    for b in &baseline {
+        if let Some(c) = current.iter().find(|c| c.label == b.label) {
+            for (i, metric) in pair.metrics.iter().enumerate() {
+                let delta = if b.values[i] > 0.0 {
+                    100.0 * (c.values[i] / b.values[i] - 1.0)
+                } else {
+                    0.0
+                };
+                row(&[
+                    b.label.clone(),
+                    metric.clone(),
+                    format!("{:.3}", b.values[i]),
+                    format!("{:.3}", c.values[i]),
+                    format!("{delta:+.1}"),
+                ]);
+            }
+        }
+    }
+
+    let verdicts = gate(&baseline, &current, &pair.metrics, max_regress)?;
+    let mut all_ok = true;
+    for v in &verdicts {
+        all_ok &= v.ok;
+        println!(
+            "PERF-GATE {} {} {}: baseline mean {:.3}, current mean {:.3}, \
+             regression {:+.1}% (limit {:.0}%)",
+            if v.ok { "PASS" } else { "FAIL" },
+            pair.current,
+            v.metric,
+            v.base_mean,
+            v.cur_mean,
+            100.0 * v.regression,
+            100.0 * max_regress,
+        );
+    }
+    Ok(all_ok)
+}
+
 fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: compare --baseline <BENCH.json> --current <BENCH.json> [--max-regress 0.25]");
+    eprintln!(
+        "usage: compare --pair <baseline.json> <current.json> \
+         [--metrics a,b] [--pair-max-regress f] [--pair ...] \
+         [--max-regress 0.25]\n\
+         legacy: compare --baseline <BENCH.json> --current <BENCH.json>"
+    );
     std::process::exit(1);
 }
 
-fn main() {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut baseline_path = None;
-    let mut current_path = None;
+fn parse_args(argv: &[String]) -> (Vec<Pair>, f64) {
+    let default_metrics: Vec<String> = DEFAULT_METRICS.iter().map(|s| s.to_string()).collect();
+    let mut pairs: Vec<Pair> = Vec::new();
+    let mut legacy_baseline: Option<String> = None;
+    let mut legacy_current: Option<String> = None;
     let mut max_regress = 0.25;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--pair" => {
+                let baseline = argv
+                    .get(i + 1)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--pair needs <baseline> <current>"));
+                let current = argv
+                    .get(i + 2)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--pair needs <baseline> <current>"));
+                i += 2;
+                pairs.push(Pair {
+                    baseline,
+                    current,
+                    metrics: default_metrics.clone(),
+                    max_regress: None,
+                });
+            }
+            "--metrics" => {
+                i += 1;
+                let list = argv
+                    .get(i)
+                    .cloned()
+                    .unwrap_or_else(|| usage("--metrics needs a comma-separated list"));
+                let metrics: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if metrics.is_empty() {
+                    usage("--metrics needs at least one metric");
+                }
+                match pairs.last_mut() {
+                    Some(p) => p.metrics = metrics,
+                    None => usage("--metrics must follow a --pair"),
+                }
+            }
+            "--pair-max-regress" => {
+                i += 1;
+                let f = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--pair-max-regress needs a fraction"));
+                match pairs.last_mut() {
+                    Some(p) => p.max_regress = Some(f),
+                    None => usage("--pair-max-regress must follow a --pair"),
+                }
+            }
             "--baseline" => {
                 i += 1;
-                baseline_path = Some(
+                legacy_baseline = Some(
                     argv.get(i)
                         .cloned()
                         .unwrap_or_else(|| usage("--baseline needs a path")),
@@ -130,7 +257,7 @@ fn main() {
             }
             "--current" => {
                 i += 1;
-                current_path = Some(
+                legacy_current = Some(
                     argv.get(i)
                         .cloned()
                         .unwrap_or_else(|| usage("--current needs a path")),
@@ -147,54 +274,28 @@ fn main() {
         }
         i += 1;
     }
-    let baseline_path = baseline_path.unwrap_or_else(|| usage("--baseline is required"));
-    let current_path = current_path.unwrap_or_else(|| usage("--current is required"));
-
-    let baseline = load(&baseline_path).unwrap_or_else(|e| usage(&e));
-    let current = load(&current_path).unwrap_or_else(|e| usage(&e));
-
-    comment(&format!(
-        "perf gate: {} vs baseline {}, max regression {:.0}% on the \
-         cross-variant mean of {}",
-        current_path,
-        baseline_path,
-        100.0 * max_regress,
-        METRICS.join("/")
-    ));
-    row(&["variant", "metric", "baseline", "current", "delta_pct"]);
-    for b in &baseline {
-        if let Some(c) = current.iter().find(|c| c.label == b.label) {
-            for (i, metric) in METRICS.iter().enumerate() {
-                let delta = if b.values[i] > 0.0 {
-                    100.0 * (c.values[i] / b.values[i] - 1.0)
-                } else {
-                    0.0
-                };
-                row(&[
-                    b.label.clone(),
-                    (*metric).to_string(),
-                    format!("{:.3}", b.values[i]),
-                    format!("{:.3}", c.values[i]),
-                    format!("{delta:+.1}"),
-                ]);
-            }
-        }
+    match (legacy_baseline, legacy_current) {
+        (Some(baseline), Some(current)) => pairs.push(Pair {
+            baseline,
+            current,
+            metrics: default_metrics,
+            max_regress: None,
+        }),
+        (None, None) => {}
+        _ => usage("--baseline and --current must be given together"),
     }
+    if pairs.is_empty() {
+        usage("nothing to compare: give --pair (or --baseline/--current)");
+    }
+    (pairs, max_regress)
+}
 
-    let verdicts = gate(&baseline, &current, max_regress).unwrap_or_else(|e| usage(&e));
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (pairs, max_regress) = parse_args(&argv);
     let mut all_ok = true;
-    for v in &verdicts {
-        all_ok &= v.ok;
-        println!(
-            "PERF-GATE {} {}: baseline mean {:.3}, current mean {:.3}, \
-             regression {:+.1}% (limit {:.0}%)",
-            if v.ok { "PASS" } else { "FAIL" },
-            v.metric,
-            v.base_mean,
-            v.cur_mean,
-            100.0 * v.regression,
-            100.0 * max_regress,
-        );
+    for pair in &pairs {
+        all_ok &= run_pair(pair, max_regress).unwrap_or_else(|e| usage(&e));
     }
     if !all_ok {
         std::process::exit(2);
@@ -205,17 +306,21 @@ fn main() {
 mod tests {
     use super::*;
 
+    fn metrics() -> Vec<String> {
+        DEFAULT_METRICS.iter().map(|s| s.to_string()).collect()
+    }
+
     fn vm(label: &str, utility: f64, rps: f64) -> VariantMetrics {
         VariantMetrics {
             label: label.into(),
-            values: [utility, rps],
+            values: vec![utility, rps],
         }
     }
 
     #[test]
     fn equal_runs_pass() {
         let base = vec![vm("a", 10.0, 5.0), vm("b", 20.0, 9.0)];
-        let verdicts = gate(&base, &base.clone(), 0.25).unwrap();
+        let verdicts = gate(&base, &base.clone(), &metrics(), 0.25).unwrap();
         assert!(verdicts.iter().all(|v| v.ok));
         assert!(verdicts.iter().all(|v| v.regression.abs() < 1e-12));
     }
@@ -224,7 +329,7 @@ mod tests {
     fn large_mean_regression_fails() {
         let base = vec![vm("a", 10.0, 5.0), vm("b", 10.0, 5.0)];
         let cur = vec![vm("a", 5.0, 5.0), vm("b", 5.0, 5.0)]; // utility halved
-        let verdicts = gate(&base, &cur, 0.25).unwrap();
+        let verdicts = gate(&base, &cur, &metrics(), 0.25).unwrap();
         assert!(!verdicts[0].ok, "utility gate must fail");
         assert!(verdicts[1].ok, "rounds_per_s unchanged");
     }
@@ -235,7 +340,7 @@ mod tests {
         // under 25%, which is the point of gating on the mean.
         let base = vec![vm("a", 10.0, 5.0), vm("b", 10.0, 5.0), vm("c", 10.0, 5.0)];
         let cur = vec![vm("a", 7.0, 5.0), vm("b", 10.0, 5.0), vm("c", 10.0, 5.0)];
-        let verdicts = gate(&base, &cur, 0.25).unwrap();
+        let verdicts = gate(&base, &cur, &metrics(), 0.25).unwrap();
         assert!(verdicts.iter().all(|v| v.ok));
     }
 
@@ -243,7 +348,7 @@ mod tests {
     fn improvement_is_negative_regression() {
         let base = vec![vm("a", 10.0, 5.0)];
         let cur = vec![vm("a", 12.0, 6.0)];
-        let verdicts = gate(&base, &cur, 0.25).unwrap();
+        let verdicts = gate(&base, &cur, &metrics(), 0.25).unwrap();
         assert!(verdicts.iter().all(|v| v.ok && v.regression < 0.0));
     }
 
@@ -251,6 +356,45 @@ mod tests {
     fn missing_variant_is_an_error() {
         let base = vec![vm("a", 10.0, 5.0), vm("b", 10.0, 5.0)];
         let cur = vec![vm("a", 10.0, 5.0)];
-        assert!(gate(&base, &cur, 0.25).is_err());
+        assert!(gate(&base, &cur, &metrics(), 0.25).is_err());
+    }
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_multi_pair_with_per_pair_options() {
+        let (pairs, max) = parse_args(&argv(&[
+            "--pair",
+            "base_a.json",
+            "cur_a.json",
+            "--pair",
+            "base_b.json",
+            "cur_b.json",
+            "--metrics",
+            "msgs_per_s,gib_per_s",
+            "--pair-max-regress",
+            "0.5",
+            "--max-regress",
+            "0.2",
+        ]));
+        assert_eq!(max, 0.2);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].metrics, metrics());
+        assert_eq!(pairs[0].max_regress, None);
+        assert_eq!(pairs[1].baseline, "base_b.json");
+        assert_eq!(pairs[1].metrics, vec!["msgs_per_s", "gib_per_s"]);
+        assert_eq!(pairs[1].max_regress, Some(0.5));
+    }
+
+    #[test]
+    fn parse_legacy_single_pair() {
+        let (pairs, max) = parse_args(&argv(&["--baseline", "b.json", "--current", "c.json"]));
+        assert_eq!(max, 0.25);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].baseline, "b.json");
+        assert_eq!(pairs[0].current, "c.json");
+        assert_eq!(pairs[0].metrics, metrics());
     }
 }

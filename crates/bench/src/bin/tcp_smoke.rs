@@ -44,9 +44,9 @@ fn main() {
         NetworkModel::hpc()
     };
     let cfg = WorldConfig {
-        nranks: P,
         network,
         seed: args.seed,
+        ..WorldConfig::instant(P)
     };
     let transport_name = match args.transport {
         TransportChoice::InProcess => "inproc",

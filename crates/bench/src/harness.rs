@@ -57,6 +57,7 @@ where
             nranks: spec.p,
             network: spec.network,
             seed: spec.world_seed,
+            ..WorldConfig::instant(spec.p)
         },
         transport,
         move |c| {

@@ -9,7 +9,7 @@
 //! the standard large-message algorithms. They are synchronous by
 //! construction (each phase blocks on its receive).
 
-use pcoll_comm::{CollId, CommHandle, Matcher, ReduceOp, TypedBuf, WireTag};
+use pcoll_comm::{reduce_f32_slices, CollId, CommHandle, Matcher, ReduceOp, TypedBuf, WireTag};
 
 /// Context for direct (engine-less) collective algorithms.
 pub struct DirectCollectives<'a> {
@@ -68,20 +68,7 @@ impl<'a> DirectCollectives<'a> {
                 .expect("ring reduce-scatter recv");
             let incoming = msg.payload.expect("data message");
             let incoming = incoming.as_f32().expect("f32 ring");
-            let dst = &mut data[chunk_range(recv_chunk)];
-            debug_assert_eq!(dst.len(), incoming.len());
-            match op {
-                ReduceOp::Sum => dst.iter_mut().zip(incoming).for_each(|(d, s)| *d += *s),
-                ReduceOp::Prod => dst.iter_mut().zip(incoming).for_each(|(d, s)| *d *= *s),
-                ReduceOp::Min => dst
-                    .iter_mut()
-                    .zip(incoming)
-                    .for_each(|(d, s)| *d = d.min(*s)),
-                ReduceOp::Max => dst
-                    .iter_mut()
-                    .zip(incoming)
-                    .for_each(|(d, s)| *d = d.max(*s)),
-            }
+            reduce_f32_slices(&mut data[chunk_range(recv_chunk)], incoming, op);
         }
 
         // Allgather: circulate the fully-reduced chunks.
@@ -137,20 +124,7 @@ impl<'a> DirectCollectives<'a> {
                 .expect("halving recv");
             let incoming = msg.payload.expect("data");
             let incoming = incoming.as_f32().expect("f32");
-            let dst = &mut data[keep.0..keep.1];
-            debug_assert_eq!(dst.len(), incoming.len());
-            match op {
-                ReduceOp::Sum => dst.iter_mut().zip(incoming).for_each(|(d, s)| *d += *s),
-                ReduceOp::Prod => dst.iter_mut().zip(incoming).for_each(|(d, s)| *d *= *s),
-                ReduceOp::Min => dst
-                    .iter_mut()
-                    .zip(incoming)
-                    .for_each(|(d, s)| *d = d.min(*s)),
-                ReduceOp::Max => dst
-                    .iter_mut()
-                    .zip(incoming)
-                    .for_each(|(d, s)| *d = d.max(*s)),
-            }
+            reduce_f32_slices(&mut data[keep.0..keep.1], incoming, op);
             halves.push((keep.0, keep.1));
             lo = keep.0;
             hi = keep.1;
@@ -257,19 +231,7 @@ impl<'a> DirectCollectives<'a> {
                 .expect("reduce-scatter recv");
             let incoming = msg.payload.expect("data");
             let incoming = incoming.as_f32().expect("f32");
-            let dst = &mut acc[recv_chunk];
-            match op {
-                ReduceOp::Sum => dst.iter_mut().zip(incoming).for_each(|(d, s)| *d += *s),
-                ReduceOp::Prod => dst.iter_mut().zip(incoming).for_each(|(d, s)| *d *= *s),
-                ReduceOp::Min => dst
-                    .iter_mut()
-                    .zip(incoming)
-                    .for_each(|(d, s)| *d = d.min(*s)),
-                ReduceOp::Max => dst
-                    .iter_mut()
-                    .zip(incoming)
-                    .for_each(|(d, s)| *d = d.max(*s)),
-            }
+            reduce_f32_slices(&mut acc[recv_chunk], incoming, op);
         }
         acc[me].clone()
     }

@@ -17,7 +17,7 @@
 
 use crate::partial::{PartialAllreduce, PartialOpts, QuorumPolicy};
 use crate::sync::{SyncAllreduce, SyncBarrier, SyncBcast, SyncReduce};
-use pcoll_comm::{CollId, Communicator, DType, Rank, ReduceOp};
+use pcoll_comm::{CollId, CommStats, Communicator, DType, Rank, ReduceOp};
 use pcoll_sched::Engine;
 use std::cell::Cell;
 use std::sync::{Arc, Barrier};
@@ -31,6 +31,7 @@ pub struct RankCtx {
     next_coll: Cell<u32>,
     barrier: SyncBarrier,
     host_barrier: Arc<Barrier>,
+    comm_stats: Arc<CommStats>,
 }
 
 impl RankCtx {
@@ -41,6 +42,7 @@ impl RankCtx {
         let size = comm.size();
         let seed = comm.seed();
         let host_barrier = comm.host_barrier_arc();
+        let comm_stats = comm.comm_stats();
         let (handle, inbox) = comm.split();
         let engine = Engine::spawn(handle, inbox);
         let barrier = SyncBarrier::register(&engine, CollId(0), rank, size);
@@ -52,6 +54,7 @@ impl RankCtx {
             next_coll: Cell::new(1),
             barrier,
             host_barrier,
+            comm_stats,
         }
     }
 
@@ -73,6 +76,12 @@ impl RankCtx {
     /// The underlying engine (for advanced/diagnostic use).
     pub fn engine(&self) -> &Engine {
         &self.engine
+    }
+
+    /// This rank's transport queue-pressure counters (stalls, depths) —
+    /// the congestion half of the closed-loop telemetry.
+    pub fn comm_stats(&self) -> Arc<CommStats> {
+        Arc::clone(&self.comm_stats)
     }
 
     fn alloc(&self) -> CollId {

@@ -277,6 +277,50 @@ impl TypedBuf {
         }
     }
 
+    /// Elementwise `self = self ⊕ decode(bytes)` directly over a borrowed
+    /// little-endian byte slice — the chunked-reduce path the TCP receive
+    /// side uses to fold an incoming frame into an accumulator without
+    /// first materializing a second `TypedBuf`. `bytes` must be the wire
+    /// representation ([`TypedBuf::extend_le_bytes`]) of a buffer with
+    /// this dtype and length.
+    pub fn combine_le_bytes(&mut self, bytes: &[u8], op: ReduceOp) -> Result<(), BufError> {
+        let esz = self.dtype().size_of();
+        if bytes.len() != self.len() * esz {
+            return Err(BufError::LenMismatch {
+                expected: self.len(),
+                got: bytes.len() / esz,
+            });
+        }
+        macro_rules! fold_chunks {
+            ($dst:expr, $ty:ty, $n:literal) => {{
+                let src = bytes
+                    .chunks_exact($n)
+                    .map(|c| <$ty>::from_le_bytes(c.try_into().expect("exact chunk")));
+                match op {
+                    ReduceOp::Sum => $dst.iter_mut().zip(src).for_each(|(d, s)| *d += s),
+                    ReduceOp::Prod => $dst.iter_mut().zip(src).for_each(|(d, s)| *d *= s),
+                    ReduceOp::Min => $dst.iter_mut().zip(src).for_each(|(d, s)| {
+                        if s < *d {
+                            *d = s;
+                        }
+                    }),
+                    ReduceOp::Max => $dst.iter_mut().zip(src).for_each(|(d, s)| {
+                        if s > *d {
+                            *d = s;
+                        }
+                    }),
+                }
+            }};
+        }
+        match self {
+            TypedBuf::F32(d) => fold_chunks!(d, f32, 4),
+            TypedBuf::F64(d) => fold_chunks!(d, f64, 8),
+            TypedBuf::I32(d) => fold_chunks!(d, i32, 4),
+            TypedBuf::I64(d) => fold_chunks!(d, i64, 8),
+        }
+        Ok(())
+    }
+
     /// Append the elements to `out` as little-endian raw bytes — the wire
     /// representation used by the TCP transport's framing (exact bit
     /// patterns, so floats round-trip losslessly).
@@ -340,6 +384,19 @@ impl TypedBuf {
                     .collect(),
             ),
         })
+    }
+}
+
+/// Elementwise `dst = dst ⊕ src` over bare `f32` slices — the shared
+/// reduction kernel for code that operates on borrowed slices (the direct
+/// ring/Rabenseifner algorithms) rather than owned buffers.
+pub fn reduce_f32_slices(dst: &mut [f32], src: &[f32], op: ReduceOp) {
+    debug_assert_eq!(dst.len(), src.len());
+    match op {
+        ReduceOp::Sum => dst.iter_mut().zip(src).for_each(|(d, s)| *d += *s),
+        ReduceOp::Prod => dst.iter_mut().zip(src).for_each(|(d, s)| *d *= *s),
+        ReduceOp::Min => dst.iter_mut().zip(src).for_each(|(d, s)| *d = d.min(*s)),
+        ReduceOp::Max => dst.iter_mut().zip(src).for_each(|(d, s)| *d = d.max(*s)),
     }
 }
 
@@ -483,5 +540,64 @@ mod tests {
     fn le_bytes_reject_ragged_input() {
         assert!(TypedBuf::from_le_bytes(DType::F32, &[0u8; 6]).is_none());
         assert!(TypedBuf::from_le_bytes(DType::I64, &[0u8; 12]).is_none());
+    }
+
+    #[test]
+    fn combine_le_bytes_matches_combine() {
+        let cases = [
+            (
+                TypedBuf::from(vec![1.5f32, -2.0]),
+                TypedBuf::from(vec![0.5f32, 4.0]),
+            ),
+            (
+                TypedBuf::from(vec![1.0f64, 9.0]),
+                TypedBuf::from(vec![2.0f64, -3.0]),
+            ),
+            (
+                TypedBuf::from(vec![1i32, -5]),
+                TypedBuf::from(vec![7i32, 5]),
+            ),
+            (
+                TypedBuf::from(vec![10i64, 20]),
+                TypedBuf::from(vec![-1i64, 2]),
+            ),
+        ];
+        for (a, b) in cases {
+            for op in [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Min, ReduceOp::Max] {
+                let mut via_combine = a.clone();
+                via_combine.combine(&b, op).unwrap();
+                let mut wire = Vec::new();
+                b.extend_le_bytes(&mut wire);
+                let mut via_bytes = a.clone();
+                via_bytes.combine_le_bytes(&wire, op).unwrap();
+                assert_eq!(via_bytes, via_combine, "{op:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn combine_le_bytes_rejects_wrong_length() {
+        let mut a = TypedBuf::from(vec![1.0f32, 2.0]);
+        assert!(matches!(
+            a.combine_le_bytes(&[0u8; 4], ReduceOp::Sum),
+            Err(BufError::LenMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn reduce_f32_slices_all_ops() {
+        let src = [2.0f32, -1.0];
+        let mut d = [1.0f32, 3.0];
+        reduce_f32_slices(&mut d, &src, ReduceOp::Sum);
+        assert_eq!(d, [3.0, 2.0]);
+        let mut d = [1.0f32, 3.0];
+        reduce_f32_slices(&mut d, &src, ReduceOp::Prod);
+        assert_eq!(d, [2.0, -3.0]);
+        let mut d = [1.0f32, 3.0];
+        reduce_f32_slices(&mut d, &src, ReduceOp::Min);
+        assert_eq!(d, [1.0, -1.0]);
+        let mut d = [1.0f32, 3.0];
+        reduce_f32_slices(&mut d, &src, ReduceOp::Max);
+        assert_eq!(d, [2.0, 3.0]);
     }
 }

@@ -26,6 +26,14 @@
 //! - Buffers are **typed** ([`TypedBuf`]) rather than raw bytes: reductions
 //!   dispatch on dtype with no `unsafe`; the TCP wire format is the raw
 //!   little-endian element bytes.
+//! - Payloads are **shared** ([`Payload`], an `Arc`-backed buffer): fanning
+//!   one tensor out to many destinations bumps a reference count per copy
+//!   instead of cloning element data, and mutation is copy-on-write.
+//! - Every send route is a **bounded queue** ([`WorldConfig::queue_capacity`]):
+//!   a sender that outruns a slow consumer blocks for space (backpressure)
+//!   instead of ballooning memory, panicking with a diagnostic after
+//!   [`WorldConfig::queue_deadline`]. Queue pressure is counted per rank
+//!   in [`CommStats`].
 //! - Messages are matched downstream on [`WireTag`] = (collective id, round,
 //!   semantic tag); this crate only transports them.
 //! - The [`Matcher`] offers blocking point-to-point receive for direct use
@@ -35,13 +43,22 @@
 pub mod buf;
 pub mod matcher;
 pub mod net;
+pub mod payload;
+pub mod pool;
+pub mod stats;
 pub mod tag;
 pub mod transport;
 pub mod world;
 
-pub use buf::{BufError, DType, ReduceOp, TypedBuf};
+pub use buf::{reduce_f32_slices, BufError, DType, ReduceOp, TypedBuf};
 pub use matcher::Matcher;
 pub use net::NetworkModel;
+pub use payload::Payload;
+pub use pool::BytePool;
+pub use stats::{CommStats, CommStatsSnapshot};
 pub use tag::{CollId, Message, Rank, WireTag};
 pub use transport::{is_tcp_worker, TcpOpts, Transport};
-pub use world::{CommHandle, Communicator, Envelope, Inbox, World, WorldConfig};
+pub use world::{
+    CommHandle, Communicator, Envelope, Inbox, World, WorldConfig, DEFAULT_QUEUE_CAPACITY,
+    DEFAULT_QUEUE_DEADLINE,
+};

@@ -18,12 +18,14 @@
 //! and senders push straight into the route (lowest overhead; the default
 //! for unit tests).
 
+use crate::stats::CommStats;
 use crate::tag::{Message, Rank};
-use crate::transport::Route;
+use crate::transport::{bounded_send, Route};
 use crate::world::Envelope;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Latency model applied to every message.
@@ -121,7 +123,14 @@ pub(crate) enum NetCmd {
 /// dropping it, which is what lets a finishing rank's last sends reach
 /// slower peers (the orderly-shutdown contract the TCP backend's goodbye
 /// handshake builds on).
-pub(crate) fn delivery_loop(model: NetworkModel, rx: Receiver<NetCmd>, route: Route, seed: u64) {
+pub(crate) fn delivery_loop(
+    model: NetworkModel,
+    rx: Receiver<NetCmd>,
+    route: Route,
+    seed: u64,
+    stats: Arc<CommStats>,
+    queue_deadline: Duration,
+) {
     let mut heap: BinaryHeap<Reverse<InFlight>> = BinaryHeap::new();
     let mut seq: u64 = 0;
     // Last scheduled delivery per (src, dst) to enforce non-overtaking.
@@ -156,7 +165,12 @@ pub(crate) fn delivery_loop(model: NetworkModel, rx: Receiver<NetCmd>, route: Ro
             if !wait.is_zero() {
                 std::thread::sleep(wait);
             }
-            route.deliver(inflight.dst, Envelope::Data(inflight.msg));
+            route.deliver(
+                inflight.dst,
+                Envelope::Data(inflight.msg),
+                &stats,
+                queue_deadline,
+            );
         }
     };
 
@@ -170,7 +184,14 @@ pub(crate) fn delivery_loop(model: NetworkModel, rx: Receiver<NetCmd>, route: Ro
             let Reverse(inflight) = heap.pop().expect("peeked");
             // A closed route means the rank already finished; the message
             // is dropped, as a real network drops packets to dead hosts.
-            route.deliver(inflight.dst, Envelope::Data(inflight.msg));
+            // A *full* route blocks here — the shaper is the backpressure
+            // relay between a fast sender and a slow destination queue.
+            route.deliver(
+                inflight.dst,
+                Envelope::Data(inflight.msg),
+                &stats,
+                queue_deadline,
+            );
         }
 
         // Wait for new work until the next deadline (or indefinitely).
@@ -209,21 +230,46 @@ pub(crate) fn delivery_loop(model: NetworkModel, rx: Receiver<NetCmd>, route: Ro
     }
 }
 
-/// Handle for pushing messages into the delivery thread.
+/// Handle for pushing messages into the delivery thread. The shaper's
+/// inbox is itself a bounded queue: senders that outrun it block, so
+/// backpressure propagates through the modeled network rather than
+/// pooling behind it.
 #[derive(Clone)]
 pub(crate) struct NetHandle {
     pub(crate) tx: Sender<NetCmd>,
+}
+
+impl NetHandle {
+    /// Queue a message for shaping, accounting queue pressure to the
+    /// sending rank's `stats`.
+    pub(crate) fn send(&self, dst: Rank, msg: Message, stats: &CommStats, deadline: Duration) {
+        bounded_send(
+            &self.tx,
+            NetCmd::Send { dst, msg },
+            stats,
+            deadline,
+            "network shaper",
+        );
+    }
+
+    /// Request an orderly drain (blocking; teardown control traffic).
+    pub(crate) fn shutdown(&self) {
+        let _ = self.tx.send(NetCmd::Shutdown);
+    }
 }
 
 pub(crate) fn spawn_network(
     model: NetworkModel,
     route: Route,
     seed: u64,
+    queue_capacity: usize,
+    queue_deadline: Duration,
+    stats: Arc<CommStats>,
 ) -> (NetHandle, std::thread::JoinHandle<()>) {
-    let (tx, rx) = unbounded();
+    let (tx, rx) = bounded(queue_capacity);
     let join = std::thread::Builder::new()
         .name("pcoll-net".into())
-        .spawn(move || delivery_loop(model, rx, route, seed))
+        .spawn(move || delivery_loop(model, rx, route, seed, stats, queue_deadline))
         .expect("spawn network thread");
     (NetHandle { tx }, join)
 }
@@ -238,8 +284,30 @@ mod tests {
         Message {
             src,
             tag: WireTag::new(CollId(0), 0, sem),
-            payload: Some(TypedBuf::from(vec![val])),
+            payload: Some(TypedBuf::from(vec![val]).into()),
         }
+    }
+
+    fn test_network(
+        model: NetworkModel,
+        seed: u64,
+    ) -> (
+        NetHandle,
+        std::thread::JoinHandle<()>,
+        Receiver<Envelope>,
+        Arc<CommStats>,
+    ) {
+        let (mb_tx, mb_rx) = bounded(1024);
+        let stats = Arc::new(CommStats::default());
+        let (net, join) = spawn_network(
+            model,
+            Route::mailboxes(vec![mb_tx]),
+            seed,
+            1024,
+            Duration::from_secs(10),
+            Arc::clone(&stats),
+        );
+        (net, join, mb_rx, stats)
     }
 
     #[test]
@@ -261,15 +329,9 @@ mod tests {
             beta_ns_per_byte: 0.0,
             jitter: Duration::from_millis(2),
         };
-        let (mb_tx, mb_rx) = unbounded();
-        let (net, join) = spawn_network(model, Route::mailboxes(vec![mb_tx]), 42);
+        let (net, join, mb_rx, stats) = test_network(model, 42);
         for i in 0..64 {
-            net.tx
-                .send(NetCmd::Send {
-                    dst: 0,
-                    msg: msg(0, i, i as f32),
-                })
-                .unwrap();
+            net.send(0, msg(0, i, i as f32), &stats, Duration::from_secs(5));
         }
         let mut got = Vec::new();
         for _ in 0..64 {
@@ -280,7 +342,7 @@ mod tests {
         }
         let want: Vec<u32> = (0..64).collect();
         assert_eq!(got, want, "same-pair messages must not overtake");
-        net.tx.send(NetCmd::Shutdown).unwrap();
+        net.shutdown();
         join.join().unwrap();
     }
 
@@ -291,18 +353,12 @@ mod tests {
             beta_ns_per_byte: 0.0,
             jitter: Duration::ZERO,
         };
-        let (mb_tx, mb_rx) = unbounded();
-        let (net, join) = spawn_network(model, Route::mailboxes(vec![mb_tx]), 1);
+        let (net, join, mb_rx, stats) = test_network(model, 1);
         let t0 = Instant::now();
-        net.tx
-            .send(NetCmd::Send {
-                dst: 0,
-                msg: msg(0, 0, 1.0),
-            })
-            .unwrap();
+        net.send(0, msg(0, 0, 1.0), &stats, Duration::from_secs(5));
         let _ = mb_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(5));
-        net.tx.send(NetCmd::Shutdown).unwrap();
+        net.shutdown();
         join.join().unwrap();
     }
 
@@ -316,18 +372,12 @@ mod tests {
             beta_ns_per_byte: 0.0,
             jitter: Duration::ZERO,
         };
-        let (mb_tx, mb_rx) = unbounded();
-        let (net, join) = spawn_network(model, Route::mailboxes(vec![mb_tx]), 9);
+        let (net, join, mb_rx, stats) = test_network(model, 9);
         let t0 = Instant::now();
         for i in 0..16 {
-            net.tx
-                .send(NetCmd::Send {
-                    dst: 0,
-                    msg: msg(0, i, i as f32),
-                })
-                .unwrap();
+            net.send(0, msg(0, i, i as f32), &stats, Duration::from_secs(5));
         }
-        net.tx.send(NetCmd::Shutdown).unwrap();
+        net.shutdown();
         join.join().unwrap();
         assert!(
             t0.elapsed() >= Duration::from_millis(30),

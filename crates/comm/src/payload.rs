@@ -1,0 +1,155 @@
+//! Shared message payloads: the zero-copy unit of the data hot path.
+//!
+//! A [`Payload`] is an `Arc`-backed [`TypedBuf`]: cloning one is a
+//! reference-count bump, never a memcpy. This is what lets the engine's
+//! `SendData` fan a round's contribution out to every peer in a tree or
+//! ring while all in-flight copies — the sender's slot, the messages
+//! queued in the delivery shaper, each destination mailbox — share one
+//! allocation. Mutation goes through [`Payload::to_mut`], which is
+//! copy-on-write: in the steady state (a uniquely-owned reduction
+//! accumulator) it is a plain `&mut` borrow; only a buffer that is still
+//! shared with an in-flight message pays for a copy, which is exactly
+//! the aliasing case where a copy is semantically required.
+
+use crate::buf::TypedBuf;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply-cloneable, shared, typed message payload (see module docs).
+#[derive(Debug, Clone)]
+pub struct Payload {
+    inner: Arc<TypedBuf>,
+}
+
+impl Payload {
+    /// Wrap an owned buffer (one allocation for the `Arc` control block;
+    /// the element storage is taken over, not copied).
+    pub fn new(buf: TypedBuf) -> Self {
+        Payload {
+            inner: Arc::new(buf),
+        }
+    }
+
+    /// Borrow the underlying buffer.
+    #[inline]
+    pub fn buf(&self) -> &TypedBuf {
+        &self.inner
+    }
+
+    /// Mutable access, copy-on-write: borrows in place when this is the
+    /// only owner, clones the buffer first when it is still shared.
+    pub fn to_mut(&mut self) -> &mut TypedBuf {
+        Arc::make_mut(&mut self.inner)
+    }
+
+    /// Recover the owned buffer: free when this is the last owner, one
+    /// copy otherwise.
+    pub fn into_buf(self) -> TypedBuf {
+        Arc::try_unwrap(self.inner).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    /// Number of live clones sharing this allocation (diagnostics).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
+    }
+
+    /// True if `self` and `other` share the same allocation (the
+    /// zero-copy invariant tests assert).
+    pub fn shares_allocation_with(&self, other: &Payload) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Deref for Payload {
+    type Target = TypedBuf;
+
+    #[inline]
+    fn deref(&self) -> &TypedBuf {
+        &self.inner
+    }
+}
+
+impl From<TypedBuf> for Payload {
+    fn from(buf: TypedBuf) -> Self {
+        Payload::new(buf)
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer equality first: shared clones compare without an
+        // elementwise walk.
+        Arc::ptr_eq(&self.inner, &other.inner) || *self.inner == *other.inner
+    }
+}
+
+impl PartialEq<TypedBuf> for Payload {
+    fn eq(&self, other: &TypedBuf) -> bool {
+        *self.inner == *other
+    }
+}
+
+impl serde::Serialize for Payload {
+    fn to_value(&self) -> serde::json::Value {
+        self.inner.to_value()
+    }
+}
+
+impl serde::Deserialize for Payload {
+    fn from_value(v: &serde::json::Value) -> Result<Self, serde::json::Error> {
+        TypedBuf::from_value(v).map(Payload::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = Payload::new(TypedBuf::from(vec![1.0f32; 1024]));
+        let b = a.clone();
+        assert!(a.shares_allocation_with(&b));
+        assert_eq!(a.ref_count(), 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn to_mut_is_in_place_when_unique() {
+        let mut a = Payload::new(TypedBuf::from(vec![1.0f32, 2.0]));
+        let before = a.buf().as_f32().unwrap().as_ptr();
+        a.to_mut().scale(2.0);
+        assert_eq!(a.buf().as_f32().unwrap(), &[2.0, 4.0]);
+        assert_eq!(
+            a.buf().as_f32().unwrap().as_ptr(),
+            before,
+            "unique owner must mutate in place"
+        );
+    }
+
+    #[test]
+    fn to_mut_copies_only_when_shared() {
+        let mut a = Payload::new(TypedBuf::from(vec![1.0f32, 2.0]));
+        let b = a.clone();
+        a.to_mut().scale(10.0);
+        assert_eq!(a.buf().as_f32().unwrap(), &[10.0, 20.0]);
+        assert_eq!(b.buf().as_f32().unwrap(), &[1.0, 2.0], "sharers unharmed");
+        assert!(!a.shares_allocation_with(&b));
+    }
+
+    #[test]
+    fn into_buf_is_free_for_the_last_owner() {
+        let a = Payload::new(TypedBuf::from(vec![7i64; 8]));
+        let ptr = a.buf().as_i64().unwrap().as_ptr();
+        let owned = a.into_buf();
+        assert_eq!(owned.as_i64().unwrap().as_ptr(), ptr, "no copy");
+    }
+
+    #[test]
+    fn deref_exposes_typed_buf_api() {
+        let a = Payload::new(TypedBuf::from(vec![3i32, 4]));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.as_i32().unwrap(), &[3, 4]);
+        assert_eq!(a.byte_len(), 8);
+    }
+}

@@ -1,0 +1,117 @@
+//! Reusable byte-buffer pool for the TCP framing scratch space.
+//!
+//! The wire codec needs one scratch `Vec<u8>` per socket thread: writers
+//! encode each message into it before the syscall, readers read each
+//! frame body into it before decoding. Those buffers grow to the largest
+//! frame seen and are then reused for every subsequent message, so the
+//! steady-state framing path performs zero allocations per message. The
+//! pool exists so short-lived socket threads (one pair per connection)
+//! hand their warmed-up buffers to their successors instead of dropping
+//! the capacity on the floor; hit/miss counters make the reuse rate
+//! observable.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Upper bound on buffers retained by the pool (beyond that, returned
+/// buffers are simply dropped — the pool must never become a leak).
+const MAX_POOLED: usize = 32;
+/// A returned buffer larger than this is dropped rather than retained,
+/// so one pathological frame cannot pin gigabytes.
+const MAX_RETAINED_CAPACITY: usize = 64 << 20;
+
+/// A lock-guarded stack of reusable `Vec<u8>` scratch buffers.
+#[derive(Debug, Default)]
+pub struct BytePool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// The process-wide pool shared by all frame codec threads.
+pub(crate) static FRAME_POOL: BytePool = BytePool::new();
+
+impl BytePool {
+    pub const fn new() -> Self {
+        BytePool {
+            bufs: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Take a cleared buffer, reusing a pooled allocation when one exists.
+    pub fn get(&self) -> Vec<u8> {
+        let pooled = self.bufs.lock().unwrap_or_else(|e| e.into_inner()).pop();
+        match pooled {
+            Some(mut v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                v.clear();
+                v
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a buffer for reuse (dropped if the pool is full or the
+    /// buffer grew past the retention bound).
+    pub fn put(&self, v: Vec<u8>) {
+        if v.capacity() == 0 || v.capacity() > MAX_RETAINED_CAPACITY {
+            return;
+        }
+        let mut bufs = self.bufs.lock().unwrap_or_else(|e| e.into_inner());
+        if bufs.len() < MAX_POOLED {
+            bufs.push(v);
+        }
+    }
+
+    /// `(hits, misses)` since process start.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_reuses_capacity() {
+        let pool = BytePool::new();
+        let mut v = pool.get();
+        v.extend_from_slice(&[1u8; 4096]);
+        let ptr = v.as_ptr();
+        pool.put(v);
+        let v2 = pool.get();
+        assert!(v2.is_empty(), "pooled buffers come back cleared");
+        assert!(v2.capacity() >= 4096);
+        assert_eq!(v2.as_ptr(), ptr, "same allocation reused");
+        let (hits, misses) = pool.stats();
+        assert_eq!((hits, misses), (1, 1));
+    }
+
+    #[test]
+    fn empty_buffers_are_not_pooled() {
+        let pool = BytePool::new();
+        pool.put(Vec::new());
+        let _ = pool.get();
+        let (hits, _) = pool.stats();
+        assert_eq!(hits, 0);
+    }
+
+    #[test]
+    fn pool_caps_retained_buffers() {
+        let pool = BytePool::new();
+        for _ in 0..(MAX_POOLED + 8) {
+            pool.put(vec![0u8; 16]);
+        }
+        let retained = pool.bufs.lock().unwrap().len();
+        assert!(retained <= MAX_POOLED);
+    }
+}

@@ -1,0 +1,144 @@
+//! Queue-pressure counters for the bounded send routes.
+//!
+//! Every bounded queue push (rank mailboxes, the network shaper's inbox,
+//! the TCP per-peer writer queues) is accounted here: how many sends went
+//! through, how many found the queue full and had to block, how long they
+//! blocked, and the deepest backlog observed. One [`CommStats`] lives per
+//! rank (shared by its `CommHandle` clones and, under TCP, its shaper
+//! thread); the adaptive-quorum layer snapshots it per decision window
+//! and exports the deltas onto the `pcoll_tune` telemetry bus so the
+//! controller can see congestion, not just skew.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic queue-pressure counters (lock-free; hot-path updates are
+/// relaxed atomics).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    /// Messages pushed into any bounded send queue.
+    pub sends: AtomicU64,
+    /// Sends that found their queue full and blocked for space.
+    pub send_stalls: AtomicU64,
+    /// Total nanoseconds spent blocked on full queues.
+    pub stall_ns: AtomicU64,
+    /// Deepest queue backlog observed immediately after a push.
+    pub peak_queue_depth: AtomicU64,
+    /// Sends dropped because the destination had already finished.
+    pub dropped_closed: AtomicU64,
+}
+
+impl CommStats {
+    /// Record the backlog seen after a push (monotonic max).
+    pub(crate) fn record_depth(&self, depth: usize) {
+        self.peak_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Drain the running queue-depth maximum: returns the deepest backlog
+    /// observed since the previous call and resets the gauge, so periodic
+    /// callers (the tuner's per-step telemetry) get *windowed* peaks
+    /// instead of an all-time high-water mark that never decays.
+    pub fn take_peak_queue_depth(&self) -> u64 {
+        self.peak_queue_depth.swap(0, Ordering::Relaxed)
+    }
+
+    /// Read every counter at once.
+    pub fn snapshot(&self) -> CommStatsSnapshot {
+        CommStatsSnapshot {
+            sends: self.sends.load(Ordering::Relaxed),
+            send_stalls: self.send_stalls.load(Ordering::Relaxed),
+            stall_ms: self.stall_ns.load(Ordering::Relaxed) as f64 / 1e6,
+            peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
+            dropped_closed: self.dropped_closed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`CommStats`], serializable for telemetry and
+/// bench artifacts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommStatsSnapshot {
+    pub sends: u64,
+    pub send_stalls: u64,
+    pub stall_ms: f64,
+    pub peak_queue_depth: u64,
+    pub dropped_closed: u64,
+}
+
+impl CommStatsSnapshot {
+    /// Counter deltas since `earlier` (peak depth is a running max, so it
+    /// carries over as-is).
+    pub fn since(&self, earlier: &CommStatsSnapshot) -> CommStatsSnapshot {
+        CommStatsSnapshot {
+            sends: self.sends.saturating_sub(earlier.sends),
+            send_stalls: self.send_stalls.saturating_sub(earlier.send_stalls),
+            stall_ms: (self.stall_ms - earlier.stall_ms).max(0.0),
+            peak_queue_depth: self.peak_queue_depth,
+            dropped_closed: self.dropped_closed.saturating_sub(earlier.dropped_closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_all_counters() {
+        let s = CommStats::default();
+        s.sends.store(10, Ordering::Relaxed);
+        s.send_stalls.store(2, Ordering::Relaxed);
+        s.stall_ns.store(3_000_000, Ordering::Relaxed);
+        s.record_depth(7);
+        s.record_depth(4); // max, not last
+        let snap = s.snapshot();
+        assert_eq!(snap.sends, 10);
+        assert_eq!(snap.send_stalls, 2);
+        assert!((snap.stall_ms - 3.0).abs() < 1e-9);
+        assert_eq!(snap.peak_queue_depth, 7);
+    }
+
+    #[test]
+    fn take_peak_queue_depth_drains_the_gauge() {
+        let s = CommStats::default();
+        s.record_depth(9);
+        s.record_depth(5);
+        assert_eq!(s.take_peak_queue_depth(), 9);
+        assert_eq!(s.take_peak_queue_depth(), 0, "gauge resets per window");
+        s.record_depth(2);
+        assert_eq!(s.take_peak_queue_depth(), 2);
+    }
+
+    #[test]
+    fn since_subtracts_monotonic_counters() {
+        let a = CommStatsSnapshot {
+            sends: 5,
+            send_stalls: 1,
+            stall_ms: 1.0,
+            peak_queue_depth: 3,
+            dropped_closed: 0,
+        };
+        let b = CommStatsSnapshot {
+            sends: 9,
+            send_stalls: 4,
+            stall_ms: 2.5,
+            peak_queue_depth: 6,
+            dropped_closed: 1,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.sends, 4);
+        assert_eq!(d.send_stalls, 3);
+        assert!((d.stall_ms - 1.5).abs() < 1e-9);
+        assert_eq!(d.peak_queue_depth, 6, "peak carries over");
+        assert_eq!(d.dropped_closed, 1);
+    }
+
+    #[test]
+    fn snapshots_serialize_to_json() {
+        let snap = CommStats::default().snapshot();
+        let s = serde_json::to_string(&snap).unwrap();
+        let back: CommStatsSnapshot = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,6 +1,6 @@
 //! Message addressing: ranks, collective ids, wire tags.
 
-use crate::buf::TypedBuf;
+use crate::payload::Payload;
 use serde::{Deserialize, Serialize};
 
 /// A process index in `0..P`, identical in spirit to an MPI rank.
@@ -34,11 +34,16 @@ impl WireTag {
 
 /// A delivered message. `payload == None` is a zero-byte control message
 /// (the activation broadcast of a solo/majority collective is one).
+///
+/// The payload is a shared [`Payload`]: cloning the message for a
+/// multi-destination send (or holding it in the delivery shaper while
+/// the sender's slot still owns it) bumps a reference count instead of
+/// copying element data.
 #[derive(Debug)]
 pub struct Message {
     pub src: Rank,
     pub tag: WireTag,
-    pub payload: Option<TypedBuf>,
+    pub payload: Option<Payload>,
 }
 
 impl Message {
@@ -65,7 +70,7 @@ mod tests {
         let m = Message {
             src: 0,
             tag: WireTag::new(CollId(1), 0, 0),
-            payload: Some(TypedBuf::zeros(crate::DType::F32, 16)),
+            payload: Some(crate::TypedBuf::zeros(crate::DType::F32, 16).into()),
         };
         assert_eq!(m.wire_bytes(), 32 + 64);
     }

@@ -39,15 +39,18 @@
 //! so the caller can skip the work that belongs to a different launch
 //! (see `examples/quickstart.rs`).
 
-use crate::net::{spawn_network, NetCmd};
+use crate::net::spawn_network;
+use crate::pool::FRAME_POOL;
+use crate::stats::CommStats;
 use crate::tag::{CollId, Message, Rank, WireTag};
 use crate::world::{CommHandle, Communicator, Envelope, Inbox, WorldConfig};
 use crate::{DType, NetworkModel, TypedBuf};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender, TrySendError};
 use serde::json::Value;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
@@ -138,6 +141,50 @@ pub fn is_tcp_worker() -> bool {
 // Routing: where a sent envelope goes
 // ---------------------------------------------------------------------------
 
+/// Push into a bounded queue with full-queue accounting: the fast path is
+/// one `try_send`; a full queue ticks the stall counters and blocks with
+/// a deadline, and blowing the deadline panics — a queue that stays full
+/// that long is a backpressure cycle (see the README's "data path"
+/// section), which must fail loudly rather than hang the world.
+pub(crate) fn bounded_send<T>(
+    tx: &Sender<T>,
+    value: T,
+    stats: &CommStats,
+    deadline: Duration,
+    what: &str,
+) {
+    stats.sends.fetch_add(1, Ordering::Relaxed);
+    match tx.try_send(value) {
+        Ok(()) => stats.record_depth(tx.len()),
+        Err(TrySendError::Disconnected(_)) => {
+            // Destination already finished: drop, like a packet to a
+            // dead host.
+            stats.dropped_closed.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(TrySendError::Full(value)) => {
+            stats.send_stalls.fetch_add(1, Ordering::Relaxed);
+            stats.record_depth(tx.len());
+            let t0 = Instant::now();
+            let res = tx.send_timeout(value, deadline);
+            stats
+                .stall_ns
+                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            match res {
+                Ok(()) => {}
+                Err(SendTimeoutError::Disconnected(_)) => {
+                    stats.dropped_closed.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(SendTimeoutError::Timeout(_)) => panic!(
+                    "send queue to {what} stayed full for {deadline:?} — \
+                     the consumer is stuck or a backpressure cycle formed \
+                     (raise WorldConfig::queue_capacity or fix the stall; \
+                     see README 'data path')"
+                ),
+            }
+        }
+    }
+}
+
 /// Delivery fan-out shared by [`CommHandle`] and the network-model thread:
 /// in-process mailbox table or the TCP peer writers. Cheap to clone.
 #[derive(Clone)]
@@ -151,14 +198,15 @@ impl Route {
         Route::Mailboxes(Arc::new(txs))
     }
 
-    /// Hand `env` to `dst`. A closed destination (rank already finished)
-    /// silently drops, like a packet to a dead host.
-    pub(crate) fn deliver(&self, dst: Rank, env: Envelope) {
+    /// Hand `env` to `dst`, blocking (bounded, with `deadline`) when the
+    /// destination queue is full. A closed destination (rank already
+    /// finished) silently drops, like a packet to a dead host.
+    pub(crate) fn deliver(&self, dst: Rank, env: Envelope, stats: &CommStats, deadline: Duration) {
         match self {
             Route::Mailboxes(mbs) => {
-                let _ = mbs[dst].send(env);
+                bounded_send(&mbs[dst], env, stats, deadline, "rank mailbox");
             }
-            Route::Tcp(peers) => peers.deliver(dst, env),
+            Route::Tcp(peers) => peers.deliver(dst, env, stats, deadline),
         }
     }
 }
@@ -172,11 +220,11 @@ pub(crate) struct TcpPeers {
 }
 
 impl TcpPeers {
-    fn deliver(&self, dst: Rank, env: Envelope) {
+    fn deliver(&self, dst: Rank, env: Envelope, stats: &CommStats, deadline: Duration) {
         if dst == self.rank {
-            let _ = self.local.send(env);
+            bounded_send(&self.local, env, stats, deadline, "local inbox");
         } else if let Some(tx) = &self.txs[dst] {
-            let _ = tx.send(PeerCmd::Deliver(env));
+            bounded_send(tx, PeerCmd::Deliver(env), stats, deadline, "peer writer");
         }
     }
 }
@@ -228,10 +276,13 @@ fn dtype_from_code(c: u8) -> Option<DType> {
     }
 }
 
-/// Encode a data message into a frame body (header + raw LE elements).
-pub(crate) fn encode_data(msg: &Message) -> Vec<u8> {
+/// Encode a data message into `out` (header + raw LE elements). `out` is
+/// cleared first; callers on the hot path reuse one scratch buffer across
+/// messages so steady-state encoding allocates nothing.
+pub(crate) fn encode_data_into(msg: &Message, out: &mut Vec<u8>) {
+    out.clear();
     let payload_bytes = msg.payload.as_ref().map_or(0, |p| p.byte_len());
-    let mut out = Vec::with_capacity(32 + payload_bytes);
+    out.reserve(32 + payload_bytes);
     out.push(FRAME_DATA);
     out.extend_from_slice(&(msg.src as u32).to_le_bytes());
     out.extend_from_slice(&msg.tag.coll.0.to_le_bytes());
@@ -242,9 +293,17 @@ pub(crate) fn encode_data(msg: &Message) -> Vec<u8> {
         Some(buf) => {
             out.push(dtype_code(buf.dtype()));
             out.extend_from_slice(&(buf.len() as u64).to_le_bytes());
-            buf.extend_le_bytes(&mut out);
+            buf.extend_le_bytes(out);
         }
     }
+}
+
+/// Allocating convenience wrapper over [`encode_data_into`] (tests and
+/// one-shot callers).
+#[cfg(test)]
+pub(crate) fn encode_data(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_data_into(msg, &mut out);
     out
 }
 
@@ -271,7 +330,13 @@ pub(crate) fn decode_frame(body: &[u8]) -> Result<WireFrame, String> {
                         .filter(|&n| n <= MAX_FRAME)
                         .ok_or("payload length overflow")?;
                     let raw = cur.bytes(nbytes)?;
-                    Some(TypedBuf::from_le_bytes(dtype, raw).ok_or("ragged payload bytes")?)
+                    // One allocation: straight from the (pooled) frame
+                    // body into the typed element storage.
+                    Some(
+                        TypedBuf::from_le_bytes(dtype, raw)
+                            .ok_or("ragged payload bytes")?
+                            .into(),
+                    )
                 }
             };
             if cur.pos != body.len() {
@@ -338,16 +403,19 @@ pub(crate) fn write_frame<W: Write>(w: &mut W, body: &[u8]) -> std::io::Result<(
     Ok(())
 }
 
-/// Read one length-prefixed frame body. `Ok(None)` on clean EOF at a
-/// frame boundary.
-pub(crate) fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+/// Read one length-prefixed frame body into `body` (cleared and resized
+/// in place, so a reused scratch buffer makes steady-state reads
+/// allocation-free once it has grown to the largest frame seen).
+/// `Ok(false)` on clean EOF at a frame boundary, `Ok(true)` when `body`
+/// holds a frame.
+pub(crate) fn read_frame_into<R: Read>(r: &mut R, body: &mut Vec<u8>) -> std::io::Result<bool> {
     let mut len_buf = [0u8; 4];
     let mut filled = 0;
     while filled < 4 {
         let n = r.read(&mut len_buf[filled..])?;
         if n == 0 {
             if filled == 0 {
-                return Ok(None);
+                return Ok(false);
             }
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
@@ -363,9 +431,17 @@ pub(crate) fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>>
             "frame length exceeds limit",
         ));
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    Ok(Some(body))
+    body.clear();
+    body.resize(len, 0);
+    r.read_exact(body)?;
+    Ok(true)
+}
+
+/// Allocating convenience wrapper over [`read_frame_into`] (rendezvous
+/// JSON and tests). `Ok(None)` on clean EOF at a frame boundary.
+pub(crate) fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>> {
+    let mut body = Vec::new();
+    Ok(read_frame_into(r, &mut body)?.then_some(body))
 }
 
 // ---------------------------------------------------------------------------
@@ -374,12 +450,18 @@ pub(crate) fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>>
 
 fn writer_loop(stream: TcpStream, rx: Receiver<PeerCmd>) {
     let mut w = BufWriter::with_capacity(WRITE_CHUNK, stream);
-    let write_env = |w: &mut BufWriter<TcpStream>, env: Envelope| -> bool {
-        let body = match env {
-            Envelope::Data(msg) => encode_data(&msg),
-            Envelope::Shutdown => vec![FRAME_SHUTDOWN],
+    // One pooled scratch buffer per writer: every frame encodes into it,
+    // so the steady state performs zero allocations per message.
+    let mut scratch = FRAME_POOL.get();
+    let write_env = |w: &mut BufWriter<TcpStream>, scratch: &mut Vec<u8>, env: Envelope| -> bool {
+        let body: &[u8] = match env {
+            Envelope::Data(msg) => {
+                encode_data_into(&msg, scratch);
+                scratch
+            }
+            Envelope::Shutdown => &[FRAME_SHUTDOWN],
         };
-        match write_frame(w, &body) {
+        match write_frame(w, body) {
             Ok(()) => true,
             // A message the protocol can never carry is a programming
             // error at this rank — fail loudly rather than silently
@@ -402,7 +484,8 @@ fn writer_loop(stream: TcpStream, rx: Receiver<PeerCmd>) {
         loop {
             match cmd {
                 PeerCmd::Deliver(env) => {
-                    if !write_env(&mut w, env) {
+                    if !write_env(&mut w, &mut scratch, env) {
+                        FRAME_POOL.put(scratch);
                         return; // peer gone: nothing left to do
                     }
                 }
@@ -414,9 +497,11 @@ fn writer_loop(stream: TcpStream, rx: Receiver<PeerCmd>) {
             }
         }
         if w.flush().is_err() {
+            FRAME_POOL.put(scratch);
             return;
         }
     }
+    FRAME_POOL.put(scratch);
     // Shutdown handshake: everything queued before Finish has been
     // written; append GOODBYE, flush, and half-close so the peer's reader
     // sees an orderly end after draining our bytes.
@@ -425,34 +510,47 @@ fn writer_loop(stream: TcpStream, rx: Receiver<PeerCmd>) {
     let _ = w.get_ref().shutdown(std::net::Shutdown::Write);
 }
 
-fn reader_loop(stream: TcpStream, inbox: Sender<Envelope>) {
+/// Reader half of one mesh connection. Delivery into the (bounded) local
+/// inbox blocks when the application falls behind, which stops the read
+/// loop, fills the kernel socket buffers, and stalls the sender's writer
+/// — end-to-end backpressure over real sockets.
+fn reader_loop(
+    stream: TcpStream,
+    inbox: Sender<Envelope>,
+    stats: Arc<CommStats>,
+    deadline: Duration,
+) {
     let mut r = BufReader::with_capacity(WRITE_CHUNK, stream);
+    // One pooled scratch buffer per reader: every frame body lands in it,
+    // so the steady state allocates only the decoded payload itself.
+    let mut body = FRAME_POOL.get();
     loop {
-        match read_frame(&mut r) {
-            Ok(Some(body)) => match decode_frame(&body) {
+        match read_frame_into(&mut r, &mut body) {
+            Ok(true) => match decode_frame(&body) {
                 Ok(WireFrame::Data(msg)) => {
-                    let _ = inbox.send(Envelope::Data(msg));
+                    bounded_send(&inbox, Envelope::Data(msg), &stats, deadline, "local inbox");
                 }
                 Ok(WireFrame::Shutdown) => {
-                    let _ = inbox.send(Envelope::Shutdown);
+                    bounded_send(&inbox, Envelope::Shutdown, &stats, deadline, "local inbox");
                 }
-                Ok(WireFrame::Goodbye) => return,
+                Ok(WireFrame::Goodbye) => break,
                 Err(e) => {
                     // Corrupt stream: unlike an orderly goodbye, say so —
                     // every later message from this pair is lost.
                     eprintln!("pcoll-comm: dropping corrupt connection: {e}");
-                    return;
+                    break;
                 }
             },
             // Clean EOF: the peer is gone (its teardown sent goodbye, or
             // its process died — the parent reports which).
-            Ok(None) => return,
+            Ok(false) => break,
             Err(e) => {
                 eprintln!("pcoll-comm: mesh read error, dropping connection: {e}");
-                return;
+                break;
             }
         }
     }
+    FRAME_POOL.put(body);
 }
 
 // ---------------------------------------------------------------------------
@@ -794,8 +892,11 @@ where
         streams[peer] = Some(s);
     }
 
-    // Socket threads + routing.
-    let (inbox_tx, inbox_rx) = unbounded();
+    // Socket threads + routing. All queues are bounded: the writer
+    // queues exert backpressure on senders, the inbox backpressures the
+    // socket readers (and transitively the remote writers).
+    let stats = Arc::new(CommStats::default());
+    let (inbox_tx, inbox_rx) = bounded(cfg.queue_capacity);
     let mut txs: Vec<Option<Sender<PeerCmd>>> = (0..cfg.nranks).map(|_| None).collect();
     let mut finishers = Vec::new();
     let mut writers = Vec::new();
@@ -803,7 +904,7 @@ where
     for (peer, slot) in streams.into_iter().enumerate() {
         let Some(stream) = slot else { continue };
         let read_half = stream.try_clone().expect("clone mesh stream");
-        let (tx, rx) = unbounded();
+        let (tx, rx) = bounded(cfg.queue_capacity);
         finishers.push(tx.clone());
         txs[peer] = Some(tx);
         writers.push(
@@ -813,10 +914,12 @@ where
                 .expect("spawn writer"),
         );
         let inbox = inbox_tx.clone();
+        let reader_stats = Arc::clone(&stats);
+        let reader_deadline = cfg.queue_deadline;
         readers.push(
             std::thread::Builder::new()
                 .name(format!("pcoll-tcpr-{rank}-{peer}"))
-                .spawn(move || reader_loop(read_half, inbox))
+                .spawn(move || reader_loop(read_half, inbox, reader_stats, reader_deadline))
                 .expect("spawn reader"),
         );
     }
@@ -828,12 +931,21 @@ where
 
     // The network model composes on top of the sockets: shape on the
     // sender side, then write. Per-rank jitter streams are decorrelated
-    // by mixing the rank into the seed.
+    // by mixing the rank into the seed. The shaper shares this rank's
+    // stats: a TCP rank's queue-pressure telemetry covers both its app
+    // sends and its shaper deliveries.
     let (net, net_join) = match cfg.network {
         NetworkModel::Instant => (None, None),
         model => {
             let seed = cfg.seed ^ 0x5EED ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let (h, j) = spawn_network(model, route.clone(), seed);
+            let (h, j) = spawn_network(
+                model,
+                route.clone(),
+                seed,
+                cfg.queue_capacity,
+                cfg.queue_deadline,
+                Arc::clone(&stats),
+            );
             (Some(h), Some(j))
         }
     };
@@ -845,6 +957,8 @@ where
             seed: cfg.seed,
             net: net.clone(),
             route,
+            stats,
+            queue_deadline: cfg.queue_deadline,
         },
         inbox: Inbox { rx: inbox_rx },
         // One rank per process: the host barrier (thread-scaffolding, not
@@ -859,13 +973,16 @@ where
     // every connection, then report. Reader joins come last — they return
     // when the peers goodbye in their own teardown.
     if let Some(net) = net {
-        let _ = net.tx.send(NetCmd::Shutdown);
+        net.shutdown();
     }
     if let Some(j) = net_join {
         let _ = j.join();
     }
     for tx in finishers {
-        let _ = tx.send(PeerCmd::Finish);
+        // Blocking send: `Finish` must queue behind all prior deliveries.
+        // A writer wedged past the deadline is handled by the parent's
+        // watchdog, so give up quietly rather than panic mid-teardown.
+        let _ = tx.send_timeout(PeerCmd::Finish, cfg.queue_deadline);
     }
     for w in writers {
         let _ = w.join();
@@ -901,11 +1018,13 @@ where
 mod tests {
     use super::*;
 
+    use crate::Payload;
+
     fn data_msg(src: Rank, payload: Option<TypedBuf>) -> Message {
         Message {
             src,
             tag: WireTag::new(CollId(7), 3, 11),
-            payload,
+            payload: payload.map(Payload::new),
         }
     }
 
@@ -929,7 +1048,7 @@ mod tests {
             let back = round_trip(&msg);
             assert_eq!(back.src, 5);
             assert_eq!(back.tag, msg.tag);
-            assert_eq!(back.payload, payload);
+            assert_eq!(back.payload.map(Payload::into_buf), payload);
         }
     }
 

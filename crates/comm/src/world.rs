@@ -10,13 +10,34 @@
 //! [`World::launch_with`] selects a [`Transport`]: the same closure can
 //! run ranks as threads (above) or as one OS process per rank over
 //! loopback TCP ([`World::launch_tcp`], see the `transport` module).
+//!
+//! Every send route is a **bounded queue** ([`WorldConfig::queue_capacity`]
+//! messages): a sender that outruns a slow consumer blocks for space
+//! instead of ballooning memory, which propagates backpressure up the
+//! pipeline exactly as a full socket buffer would. A send that stays
+//! blocked past [`WorldConfig::queue_deadline`] panics with a diagnostic —
+//! the symptom of a backpressure cycle (see the README's "data path"
+//! section), which must fail loudly rather than hang. Queue pressure is
+//! counted per rank in [`CommStats`].
 
-use crate::net::{spawn_network, NetCmd, NetHandle};
+use crate::net::{spawn_network, NetHandle};
+use crate::payload::Payload;
+use crate::stats::CommStats;
 use crate::tag::{Message, Rank, WireTag};
 use crate::transport::{launch_tcp, Route, TcpOpts, Transport};
 use crate::{NetworkModel, TypedBuf};
-use crossbeam::channel::{unbounded, Receiver};
+use crossbeam::channel::{bounded, Receiver};
 use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Default bound on every send queue, in messages. Deep enough that the
+/// collectives' bounded round window (engine GC lag × fan-out) never
+/// brushes it in healthy runs; shallow enough that a stuck consumer
+/// exerts backpressure long before memory becomes the limit.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 1024;
+
+/// Default deadline a full-queue send blocks for before panicking.
+pub const DEFAULT_QUEUE_DEADLINE: Duration = Duration::from_secs(30);
 
 /// What a rank's mailbox receives.
 #[derive(Debug)]
@@ -36,6 +57,12 @@ pub struct WorldConfig {
     pub network: NetworkModel,
     /// Seed shared by all ranks (consensus randomness, §4.2).
     pub seed: u64,
+    /// Message-count bound on every send queue: rank mailboxes, the
+    /// network shaper's inbox, and the TCP per-peer writer queues.
+    pub queue_capacity: usize,
+    /// How long a full-queue send blocks before panicking (the deadlock
+    /// tripwire; see module docs).
+    pub queue_deadline: Duration,
 }
 
 impl WorldConfig {
@@ -45,15 +72,16 @@ impl WorldConfig {
             nranks,
             network: NetworkModel::Instant,
             seed: 0,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            queue_deadline: DEFAULT_QUEUE_DEADLINE,
         }
     }
 
     /// `P` ranks over the HPC-flavoured alpha-beta network.
     pub fn hpc(nranks: usize) -> Self {
         WorldConfig {
-            nranks,
             network: NetworkModel::hpc(),
-            seed: 0,
+            ..Self::instant(nranks)
         }
     }
 
@@ -62,14 +90,30 @@ impl WorldConfig {
         self.seed = seed;
         self
     }
+
+    /// Override the per-queue message bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Override the full-queue blocking deadline.
+    pub fn with_queue_deadline(mut self, deadline: Duration) -> Self {
+        self.queue_deadline = deadline;
+        self
+    }
 }
 
 /// Cloneable sending half of a rank's communicator.
 ///
-/// Sends are non-blocking: the payload is handed to the network (or straight
-/// to the destination mailbox under [`NetworkModel::Instant`]) and the call
-/// returns. Buffer ownership moves with the message — there is no
-/// `MPI_Request` to wait on because there is no shared user buffer.
+/// Sends are non-blocking while the destination queue has space: the
+/// payload is handed to the network (or straight to the destination
+/// mailbox under [`NetworkModel::Instant`]) and the call returns. When
+/// the queue is full the send blocks for space — bounded-memory
+/// backpressure — and panics after [`WorldConfig::queue_deadline`].
+/// Buffer ownership moves with the message — there is no `MPI_Request`
+/// to wait on because there is no shared user buffer.
 #[derive(Clone)]
 pub struct CommHandle {
     pub(crate) rank: Rank,
@@ -77,6 +121,8 @@ pub struct CommHandle {
     pub(crate) seed: u64,
     pub(crate) net: Option<NetHandle>,
     pub(crate) route: Route,
+    pub(crate) stats: Arc<CommStats>,
+    pub(crate) queue_deadline: Duration,
 }
 
 impl CommHandle {
@@ -98,10 +144,22 @@ impl CommHandle {
         self.seed
     }
 
+    /// This rank's queue-pressure counters.
+    pub fn comm_stats(&self) -> Arc<CommStats> {
+        Arc::clone(&self.stats)
+    }
+
     /// Send `payload` to `dst` under `tag`. `None` payload = control
     /// message (activation). Sending to a finished rank is silently
     /// dropped, like a packet to a dead host.
     pub fn send(&self, dst: Rank, tag: WireTag, payload: Option<TypedBuf>) {
+        self.send_payload(dst, tag, payload.map(Payload::new))
+    }
+
+    /// Zero-copy send: hand over a shared [`Payload`] clone. This is the
+    /// fan-out primitive — sending the same payload to `k` destinations
+    /// costs `k` reference-count bumps and zero element copies.
+    pub fn send_payload(&self, dst: Rank, tag: WireTag, payload: Option<Payload>) {
         assert!(dst < self.size, "dst {dst} out of range (P={})", self.size);
         let msg = Message {
             src: self.rank,
@@ -109,10 +167,10 @@ impl CommHandle {
             payload,
         };
         match &self.net {
-            Some(net) => {
-                let _ = net.tx.send(NetCmd::Send { dst, msg });
-            }
-            None => self.route.deliver(dst, Envelope::Data(msg)),
+            Some(net) => net.send(dst, msg, &self.stats, self.queue_deadline),
+            None => self
+                .route
+                .deliver(dst, Envelope::Data(msg), &self.stats, self.queue_deadline),
         }
     }
 
@@ -120,7 +178,8 @@ impl CommHandle {
     /// teardown; app code normally never calls this). Bypasses the
     /// network model — teardown control is not modeled traffic.
     pub fn send_shutdown(&self, dst: Rank) {
-        self.route.deliver(dst, Envelope::Shutdown);
+        self.route
+            .deliver(dst, Envelope::Shutdown, &self.stats, self.queue_deadline);
     }
 }
 
@@ -180,6 +239,11 @@ impl Communicator {
         self.handle.seed
     }
 
+    /// This rank's queue-pressure counters.
+    pub fn comm_stats(&self) -> Arc<CommStats> {
+        self.handle.comm_stats()
+    }
+
     /// Clone the send half.
     pub fn handle(&self) -> CommHandle {
         self.handle.clone()
@@ -188,6 +252,11 @@ impl Communicator {
     /// Send helper (see [`CommHandle::send`]).
     pub fn send(&self, dst: Rank, tag: WireTag, payload: Option<TypedBuf>) {
         self.handle.send(dst, tag, payload)
+    }
+
+    /// Zero-copy send helper (see [`CommHandle::send_payload`]).
+    pub fn send_payload(&self, dst: Rank, tag: WireTag, payload: Option<Payload>) {
+        self.handle.send_payload(dst, tag, payload)
     }
 
     /// Split into send and receive halves. The receive half is exclusive:
@@ -203,9 +272,8 @@ impl Communicator {
     /// without touching the system under test).
     ///
     /// Shared-memory only: under the TCP transport each process holds one
-    /// rank, so this degenerates to a no-op. Cross-rank alignment that
-    /// must hold on every transport uses the message-based barrier
-    /// (`pcoll::RankCtx::barrier`).
+    /// rank, so this degenerates to a no-op. Cross-rank alignment over TCP
+    /// must use the message-based barrier (`pcoll::RankCtx::barrier`).
     pub fn host_barrier(&self) {
         self.host_barrier.wait();
     }
@@ -234,13 +302,23 @@ impl World {
         F: Fn(Communicator) -> T + Send + Sync + 'static,
     {
         assert!(cfg.nranks > 0, "world must have at least one rank");
-        let (mb_txs, mb_rxs): (Vec<_>, Vec<_>) = (0..cfg.nranks).map(|_| unbounded()).unzip();
+        let (mb_txs, mb_rxs): (Vec<_>, Vec<_>) =
+            (0..cfg.nranks).map(|_| bounded(cfg.queue_capacity)).unzip();
         let route = Route::mailboxes(mb_txs);
 
         let (net, net_join) = match cfg.network {
             NetworkModel::Instant => (None, None),
             model => {
-                let (h, j) = spawn_network(model, route.clone(), cfg.seed ^ 0x5EED);
+                // The shared shaper thread accounts its own queue pressure
+                // (it delivers on behalf of every rank).
+                let (h, j) = spawn_network(
+                    model,
+                    route.clone(),
+                    cfg.seed ^ 0x5EED,
+                    cfg.queue_capacity,
+                    cfg.queue_deadline,
+                    Arc::new(CommStats::default()),
+                );
                 (Some(h), Some(j))
             }
         };
@@ -256,6 +334,8 @@ impl World {
                     seed: cfg.seed,
                     net: net.clone(),
                     route: route.clone(),
+                    stats: Arc::new(CommStats::default()),
+                    queue_deadline: cfg.queue_deadline,
                 },
                 inbox: Inbox { rx },
                 host_barrier: Arc::clone(&host_barrier),
@@ -278,7 +358,7 @@ impl World {
             }
         }
         if let Some(net) = net {
-            let _ = net.tx.send(NetCmd::Shutdown);
+            net.shutdown();
         }
         if let Some(j) = net_join {
             let _ = j.join();
@@ -323,6 +403,7 @@ impl World {
 mod tests {
     use super::*;
     use crate::tag::CollId;
+    use std::sync::atomic::Ordering;
 
     fn tag(sem: u32) -> WireTag {
         WireTag::new(CollId(7), 0, sem)
@@ -364,7 +445,7 @@ mod tests {
 
     #[test]
     fn host_barrier_synchronizes() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::atomic::AtomicUsize;
         let counter = Arc::new(AtomicUsize::new(0));
         let c2 = Arc::clone(&counter);
         World::launch(WorldConfig::instant(8), move |c| {
@@ -379,6 +460,62 @@ mod tests {
     fn seed_is_shared() {
         let out = World::launch(WorldConfig::instant(3).with_seed(99), |c| c.seed());
         assert_eq!(out, vec![99, 99, 99]);
+    }
+
+    #[test]
+    fn send_payload_fan_out_shares_one_allocation() {
+        // Rank 0 fans the same payload to every peer: each delivered copy
+        // must alias the sender's allocation (refcount > 1 while the
+        // sender still holds its clone).
+        let out = World::launch(WorldConfig::instant(4), |c| {
+            if c.rank() == 0 {
+                let payload = Payload::new(TypedBuf::from(vec![5.0f32; 256]));
+                for dst in 1..c.size() {
+                    c.send_payload(dst, tag(0), Some(payload.clone()));
+                }
+                payload.ref_count() > 1
+            } else {
+                match c.inbox().recv() {
+                    Some(Envelope::Data(m)) => {
+                        m.payload.unwrap().as_f32().unwrap() == [5.0f32; 256]
+                    }
+                    _ => panic!("expected data"),
+                }
+            }
+        });
+        assert_eq!(out, vec![true; 4]);
+    }
+
+    #[test]
+    fn full_mailbox_stalls_the_sender_and_bounds_depth() {
+        // Capacity 4, reader drains late: the sender must block (stall
+        // counters tick) and the backlog must never exceed the bound.
+        let cfg = WorldConfig::instant(2).with_queue_capacity(4);
+        let out = World::launch(cfg, |c| {
+            if c.rank() == 0 {
+                for i in 0..32 {
+                    c.send(1, tag(i), Some(TypedBuf::from(vec![i as i32])));
+                }
+                let s = c.comm_stats().snapshot();
+                (s.send_stalls > 0, s.peak_queue_depth <= 4, 0u32)
+            } else {
+                std::thread::sleep(Duration::from_millis(30));
+                let mut got = 0;
+                while got < 32 {
+                    match c.inbox().recv() {
+                        Some(Envelope::Data(m)) => {
+                            assert_eq!(m.tag.sem, got, "FIFO under backpressure");
+                            got += 1;
+                        }
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                (true, true, got)
+            }
+        });
+        assert!(out[0].0, "sender must have stalled on the full queue");
+        assert!(out[0].1, "queue depth must respect the bound");
+        assert_eq!(out[1].2, 32, "all messages delivered");
     }
 
     #[test]

@@ -63,6 +63,9 @@ pub struct TuneDecision {
     /// Estimated arrival spread — EWMA of the per-step max−min offset,
     /// averaged across ranks (ms).
     pub spread_ms: f64,
+    /// Mean per-rank time stalled on full transport queues during the
+    /// window (ms) — congestion as seen by the bounded send routes.
+    pub queue_stall_ms: f64,
 }
 
 /// Full per-rank training log.

@@ -99,6 +99,9 @@ pub struct QuorumDecision {
     pub fresh_fraction: f64,
     pub rounds_per_s: f64,
     pub spread_ms: f64,
+    /// Mean per-rank time spent stalled on full transport queues during
+    /// the window (ms) — the congestion signal from `CommStats`.
+    pub queue_stall_ms: f64,
 }
 
 /// A closed-loop quorum controller, as seen by the trainer. One instance
@@ -139,6 +142,11 @@ pub trait QuorumTuner: Send {
     /// Per-step arrival offsets of *all* ranks (ms), from the injector's
     /// shared-seed global view.
     fn record_step(&mut self, _step: u64, _offsets_ms: &[f64]) {}
+
+    /// Wire in this rank's transport queue-pressure counters so the
+    /// tuner can publish congestion telemetry alongside skew. Called once
+    /// by the trainer before the first step; default: ignore.
+    fn attach_comm(&mut self, _stats: std::sync::Arc<pcoll_comm::CommStats>) {}
 
     /// Length of the stats vector (must match on every rank).
     fn stats_len(&self) -> usize;
@@ -329,6 +337,9 @@ pub fn run_rank(
     } else {
         None
     };
+    if let Some(t) = tuner.as_mut() {
+        t.attach_comm(ctx.comm_stats());
+    }
 
     // SPMD collective construction order: gradient reducer(s),
     // negotiation pair (Horovod only), weight synchronizer, tuner
@@ -457,6 +468,7 @@ pub fn run_rank(
                             fresh_fraction: d.fresh_fraction,
                             rounds_per_s: d.rounds_per_s,
                             spread_ms: d.spread_ms,
+                            queue_stall_ms: d.queue_stall_ms,
                         });
                     }
                     // The barrier guarantees every rank has appended the
@@ -730,6 +742,7 @@ mod tests {
                     fresh_fraction: 1.0,
                     rounds_per_s: 1.0,
                     spread_ms: 0.0,
+                    queue_stall_ms: 0.0,
                 })
             }
         }

@@ -25,7 +25,7 @@
 use crate::dag::DagState;
 use crate::op::{OpId, OpKind, Schedule, CONTRIB_SLOT};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use pcoll_comm::{CollId, CommHandle, Envelope, Inbox, Message, Rank, TypedBuf, WireTag};
+use pcoll_comm::{CollId, CommHandle, Envelope, Inbox, Message, Payload, Rank, TypedBuf, WireTag};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -219,11 +219,14 @@ impl Engine {
 struct Instance {
     sched: Schedule,
     dag: DagState,
-    bufs: Vec<Option<TypedBuf>>,
+    /// Slot buffers hold shared payloads: a `SendData` is an `Arc` bump,
+    /// a `Combine` mutates copy-on-write (in place once any in-flight
+    /// sharers have drained).
+    bufs: Vec<Option<Payload>>,
     /// (peer, sem) → receive op routing table.
     recv_route: HashMap<(Rank, u32), OpId>,
     /// Payloads that arrived but whose receive op has not fired yet.
-    pending_payloads: HashMap<OpId, Option<TypedBuf>>,
+    pending_payloads: HashMap<OpId, Option<Payload>>,
     completed: bool,
     /// Whether the contribution snapshot has been taken (see
     /// [`SnapshotTiming`]).
@@ -304,7 +307,7 @@ impl Progress {
         // gate-dependent send can fire.
         if !inst.snapshotted {
             if inst.sched.nslots > CONTRIB_SLOT {
-                inst.bufs[CONTRIB_SLOT] = cs.template.snapshot(round);
+                inst.bufs[CONTRIB_SLOT] = cs.template.snapshot(round).map(Payload::new);
             }
             inst.snapshotted = true;
         }
@@ -356,9 +359,12 @@ impl Progress {
             let kind = inst.sched.ops[id].kind.clone();
             match kind {
                 OpKind::SendData { peer, sem, src } => {
+                    // Zero-copy fan-out: cloning the slot's payload is a
+                    // reference-count bump, so a tree/ring schedule that
+                    // sends one buffer to k peers shares one allocation.
                     let payload = inst.bufs[src].clone().expect("SendData from an empty slot");
                     self.comm
-                        .send(peer, WireTag::new(coll, round, sem), Some(payload));
+                        .send_payload(peer, WireTag::new(coll, round, sem), Some(payload));
                 }
                 OpKind::SendCtl { peer, sem } => {
                     self.comm.send(peer, WireTag::new(coll, round, sem), None);
@@ -375,7 +381,11 @@ impl Progress {
                 OpKind::Combine { op, src, dst } => {
                     let s = inst.bufs[src].take().expect("Combine src empty");
                     let d = inst.bufs[dst].as_mut().expect("Combine dst empty");
-                    d.combine(&s, op).expect("Combine dtype/len mismatch");
+                    // Copy-on-write: in the steady state the accumulator
+                    // is uniquely owned and this mutates in place.
+                    d.to_mut()
+                        .combine(s.buf(), op)
+                        .expect("Combine dtype/len mismatch");
                     inst.bufs[src] = Some(s);
                 }
                 OpKind::Copy { src, dst } => {
@@ -389,7 +399,13 @@ impl Progress {
         if !inst.completed && inst.dag.is_fired(inst.sched.completion) {
             inst.completed = true;
             EngineStats::bump(&self.stats.completions);
-            let result = inst.sched.result_slot.and_then(|s| inst.bufs[s].take());
+            // `into_buf` is free when the result slot is the last owner
+            // (the common case once the round's sends have drained).
+            let result = inst
+                .sched
+                .result_slot
+                .and_then(|s| inst.bufs[s].take())
+                .map(Payload::into_buf);
             let stats = RoundStats {
                 round,
                 external: inst.external,
@@ -434,7 +450,7 @@ fn new_instance(
     let snapshotted = match template.snapshot_timing(round) {
         SnapshotTiming::Creation => {
             if sched.nslots > CONTRIB_SLOT {
-                bufs[CONTRIB_SLOT] = template.snapshot(round);
+                bufs[CONTRIB_SLOT] = template.snapshot(round).map(Payload::new);
             }
             true
         }

@@ -25,6 +25,19 @@ pub enum TelemetryEvent {
     /// thread; every rank computes the same global view from the shared
     /// injector seed).
     Arrival { step: u64, offsets_ms: Vec<f64> },
+    /// Per-step transport queue pressure on this rank (training thread,
+    /// deltas from `pcoll_comm::CommStats`): how often the bounded send
+    /// routes stalled, for how long, and the deepest backlog seen during
+    /// this step (the depth gauge is drained per event, so peaks are
+    /// windowed, not all-time). The congestion counterpart to the
+    /// `Arrival` skew signal.
+    Queue {
+        step: u64,
+        sends: u64,
+        stalls: u64,
+        stall_ms: f64,
+        peak_depth: u64,
+    },
 }
 
 /// Cheap cloneable publishing handle.
@@ -148,12 +161,22 @@ mod tests {
 
     #[test]
     fn events_serialize_to_json() {
-        let ev = TelemetryEvent::Arrival {
-            step: 3,
-            offsets_ms: vec![1.0, 2.5],
-        };
-        let s = serde_json::to_string(&ev).unwrap();
-        let back: TelemetryEvent = serde_json::from_str(&s).unwrap();
-        assert_eq!(back, ev);
+        for ev in [
+            TelemetryEvent::Arrival {
+                step: 3,
+                offsets_ms: vec![1.0, 2.5],
+            },
+            TelemetryEvent::Queue {
+                step: 4,
+                sends: 100,
+                stalls: 3,
+                stall_ms: 1.25,
+                peak_depth: 17,
+            },
+        ] {
+            let s = serde_json::to_string(&ev).unwrap();
+            let back: TelemetryEvent = serde_json::from_str(&s).unwrap();
+            assert_eq!(back, ev);
+        }
     }
 }

@@ -8,13 +8,17 @@ use crate::controller::{spectrum, Controller, ControllerKind};
 use crate::estimator::{SkewEstimator, SkewSummary};
 use eager_sgd::{NapModel, QuorumDecision, QuorumTuner, TunerSetup};
 use pcoll::{QuorumPolicy, RoundObserver};
+use pcoll_comm::{CommStats, CommStatsSnapshot};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Stats-vector layout (summed elementwise across ranks):
 /// `[rank_count, rounds, fresh, misses, latency_ms_sum, step_spread_ms,
-///   elapsed_s, mean_offset_ms]`.
-const STATS_LEN: usize = 8;
+///   elapsed_s, mean_offset_ms, queue_stall_ms, queue_peak_depth]`.
+/// `queue_peak_depth` is this window's per-rank peak backlog (the depth
+/// gauge is drained per step), so `summed[9] / ranks` reads as the mean
+/// per-rank peak queue depth of the window.
+const STATS_LEN: usize = 10;
 
 /// Construction knobs for [`AdaptiveTuner`].
 #[derive(Debug, Clone)]
@@ -68,6 +72,11 @@ pub struct AdaptiveTuner {
     /// hill-climb's visit-unexplored-neighbors sweep, which is what lets
     /// it cross valleys in the utility curve.
     seeded: bool,
+    /// Transport queue-pressure counters (wired in by the trainer via
+    /// [`QuorumTuner::attach_comm`]), and the snapshot at the last
+    /// published step, so each `Queue` event carries per-step deltas.
+    comm: Option<Arc<CommStats>>,
+    comm_last: CommStatsSnapshot,
 }
 
 impl AdaptiveTuner {
@@ -102,6 +111,8 @@ impl AdaptiveTuner {
             controller: Controller::new(cfg.kind, arms, initial_arm),
             window_started: Instant::now(),
             seeded: !matches!(cfg.kind, ControllerKind::Ucb { .. }),
+            comm: None,
+            comm_last: CommStatsSnapshot::default(),
         }
     }
 
@@ -134,6 +145,28 @@ impl QuorumTuner for AdaptiveTuner {
             step,
             offsets_ms: offsets_ms.to_vec(),
         });
+        // Congestion rides the same bus as skew: per-step deltas of this
+        // rank's transport queue-pressure counters. The depth gauge is
+        // drained (not snapshotted) so each event carries the peak of
+        // *this* step, not an all-time high-water mark.
+        if let Some(comm) = &self.comm {
+            let peak_depth = comm.take_peak_queue_depth();
+            let now = comm.snapshot();
+            let d = now.since(&self.comm_last);
+            self.comm_last = now;
+            self.publisher.publish(TelemetryEvent::Queue {
+                step,
+                sends: d.sends,
+                stalls: d.send_stalls,
+                stall_ms: d.stall_ms,
+                peak_depth,
+            });
+        }
+    }
+
+    fn attach_comm(&mut self, stats: Arc<CommStats>) {
+        self.comm_last = stats.snapshot();
+        self.comm = Some(stats);
     }
 
     fn stats_len(&self) -> usize {
@@ -145,6 +178,8 @@ impl QuorumTuner for AdaptiveTuner {
         let mut fresh = 0u64;
         let mut misses = 0u64;
         let mut latency_ms = 0.0f64;
+        let mut queue_stall_ms = 0.0f64;
+        let mut queue_peak_depth = 0u64;
         for ev in self.bus.drain() {
             match ev {
                 TelemetryEvent::Round(e) => {
@@ -155,6 +190,14 @@ impl QuorumTuner for AdaptiveTuner {
                 TelemetryEvent::Miss { .. } => misses += 1,
                 TelemetryEvent::Arrival { offsets_ms, .. } => {
                     self.estimator.observe_offsets(&offsets_ms);
+                }
+                TelemetryEvent::Queue {
+                    stall_ms,
+                    peak_depth,
+                    ..
+                } => {
+                    queue_stall_ms += stall_ms;
+                    queue_peak_depth = queue_peak_depth.max(peak_depth);
                 }
             }
         }
@@ -170,6 +213,8 @@ impl QuorumTuner for AdaptiveTuner {
             s.step_spread_ms as f32,
             elapsed as f32,
             s.mean_ms as f32,
+            queue_stall_ms as f32,
+            queue_peak_depth as f32,
         ]
     }
 
@@ -218,6 +263,7 @@ impl QuorumTuner for AdaptiveTuner {
             fresh_fraction,
             rounds_per_s,
             spread_ms: f64::from(summed[5]) / ranks,
+            queue_stall_ms: f64::from(summed[8]) / ranks,
         })
     }
 }
@@ -292,7 +338,7 @@ mod tests {
         for t in 0..50u64 {
             // Synthetic rank-summed stats: 8 ranks, varying freshness.
             let fresh = (t % 9) as f32;
-            let summed = [8.0, 8.0, fresh, 0.0, 12.0, 40.0, 0.5, 20.0];
+            let summed = [8.0, 8.0, fresh, 0.0, 12.0, 40.0, 0.5, 20.0, 1.5, 3.0];
             let da = a.decide(t, &summed).unwrap();
             let db = b.decide(t, &summed).unwrap();
             assert_eq!(da.policy, db.policy, "diverged at {t}");
@@ -310,7 +356,7 @@ mod tests {
             },
         );
         // 4 ranks, 40 rounds total, 10 fresh, 2 s total elapsed.
-        let summed = [4.0, 40.0, 10.0, 0.0, 0.0, 0.0, 2.0, 0.0];
+        let summed = [4.0, 40.0, 10.0, 0.0, 0.0, 0.0, 2.0, 0.0, 8.0, 2.0];
         let d = t.decide(0, &summed).unwrap();
         assert!((d.fresh_fraction - 0.25).abs() < 1e-6);
         assert!((d.rounds_per_s - 20.0).abs() < 1e-4);
@@ -324,7 +370,7 @@ mod tests {
         assert_eq!(t.initial_policy(), Some(QuorumPolicy::Full));
         for i in 0..5 {
             let d = t
-                .decide(i, &[8.0, 8.0, 8.0, 0.0, 0.0, 0.0, 1.0, 0.0])
+                .decide(i, &[8.0, 8.0, 8.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0])
                 .unwrap();
             assert_eq!(d.policy, QuorumPolicy::Full);
         }

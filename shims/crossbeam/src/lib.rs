@@ -1,6 +1,6 @@
-//! Minimal `crossbeam` stand-in: MPMC unbounded channels plus a `select!`
-//! macro restricted to `recv(rx) -> pat => arm` branches (the only form
-//! this workspace uses).
+//! Minimal `crossbeam` stand-in: MPMC unbounded *and bounded* channels
+//! plus a `select!` macro restricted to `recv(rx) -> pat => arm` branches
+//! (the only form this workspace uses).
 //!
 //! Blocking multi-channel select is implemented with per-call wakers: the
 //! waiting side registers a waker with every polled channel, re-checks, and
@@ -29,10 +29,40 @@ pub mod channel {
 
     pub struct SendError<T>(pub T);
 
+    /// Non-blocking send failure on a bounded channel.
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    /// Deadline-bounded send failure on a bounded channel.
+    pub enum SendTimeoutError<T> {
+        Timeout(T),
+        Disconnected(T),
+    }
+
     // Like the real crossbeam: Debug without requiring `T: Debug`.
     impl<T> std::fmt::Debug for SendError<T> {
         fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
             f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> std::fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("Timeout(..)"),
+                SendTimeoutError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
         }
     }
 
@@ -93,6 +123,8 @@ pub mod channel {
         senders: usize,
         receivers: usize,
         wakers: Vec<Arc<SelectWaker>>,
+        /// `None` = unbounded; `Some(cap)` = at most `cap` queued items.
+        cap: Option<usize>,
     }
 
     impl<T> Inner<T> {
@@ -106,6 +138,9 @@ pub mod channel {
     struct Shared<T> {
         inner: Mutex<Inner<T>>,
         cv: Condvar,
+        /// Senders blocked on a full bounded queue park here; every pop
+        /// (and every receiver drop) notifies it.
+        cv_space: Condvar,
     }
 
     impl<T> Shared<T> {
@@ -122,15 +157,17 @@ pub mod channel {
         shared: Arc<Shared<T>>,
     }
 
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
                 wakers: Vec::new(),
+                cap,
             }),
             cv: Condvar::new(),
+            cv_space: Condvar::new(),
         });
         (
             Sender {
@@ -140,17 +177,100 @@ pub mod channel {
         )
     }
 
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel(None)
+    }
+
+    /// A channel holding at most `cap` queued items; full-queue sends
+    /// block ([`Sender::send`]), fail ([`Sender::try_send`]), or block
+    /// with a deadline ([`Sender::send_timeout`]). Zero-capacity
+    /// rendezvous channels are not supported.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded(0) rendezvous channels are unsupported");
+        channel(Some(cap))
+    }
+
+    impl<T> Inner<T> {
+        fn is_full(&self) -> bool {
+            self.cap.is_some_and(|c| self.queue.len() >= c)
+        }
+    }
+
     impl<T> Sender<T> {
-        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            let mut inner = self.shared.lock();
-            if inner.receivers == 0 {
-                return Err(SendError(value));
-            }
+        fn push(shared: &Shared<T>, mut inner: std::sync::MutexGuard<'_, Inner<T>>, value: T) {
             inner.queue.push_back(value);
             inner.wake_all();
             drop(inner);
-            self.shared.cv.notify_one();
+            shared.cv.notify_one();
+        }
+
+        /// Blocking send: waits for space on a full bounded channel.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match self.send_deadline(value, None) {
+                Ok(()) => Ok(()),
+                Err(SendTimeoutError::Disconnected(v)) => Err(SendError(v)),
+                Err(SendTimeoutError::Timeout(_)) => unreachable!("no deadline given"),
+            }
+        }
+
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let inner = self.shared.lock();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if inner.is_full() {
+                return Err(TrySendError::Full(value));
+            }
+            Self::push(&self.shared, inner, value);
             Ok(())
+        }
+
+        pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+            self.send_deadline(value, Some(Instant::now() + timeout))
+        }
+
+        fn send_deadline(
+            &self,
+            value: T,
+            deadline: Option<Instant>,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let mut inner = self.shared.lock();
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                if !inner.is_full() {
+                    Self::push(&self.shared, inner, value);
+                    return Ok(());
+                }
+                inner = match deadline {
+                    None => self
+                        .shared
+                        .cv_space
+                        .wait(inner)
+                        .unwrap_or_else(|e| e.into_inner()),
+                    Some(d) => {
+                        let now = Instant::now();
+                        if now >= d {
+                            return Err(SendTimeoutError::Timeout(value));
+                        }
+                        self.shared
+                            .cv_space
+                            .wait_timeout(inner, d - now)
+                            .unwrap_or_else(|e| e.into_inner())
+                            .0
+                    }
+                };
+            }
+        }
+
+        /// Items currently queued (a bounded sender's backlog gauge).
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.shared.lock().queue.is_empty()
         }
     }
 
@@ -179,7 +299,11 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut inner = self.shared.lock();
             match inner.queue.pop_front() {
-                Some(v) => Ok(v),
+                Some(v) => {
+                    drop(inner);
+                    self.shared.cv_space.notify_one();
+                    Ok(v)
+                }
                 None if inner.senders == 0 => Err(TryRecvError::Disconnected),
                 None => Err(TryRecvError::Empty),
             }
@@ -199,6 +323,8 @@ pub mod channel {
             let mut inner = self.shared.lock();
             loop {
                 if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.cv_space.notify_one();
                     return Ok(v);
                 }
                 if inner.senders == 0 {
@@ -217,6 +343,8 @@ pub mod channel {
             let mut inner = self.shared.lock();
             loop {
                 if let Some(v) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.cv_space.notify_one();
                     return Ok(v);
                 }
                 if inner.senders == 0 {
@@ -270,7 +398,14 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.lock().receivers -= 1;
+            let mut inner = self.shared.lock();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                // Senders blocked on a full queue must observe the
+                // disconnect instead of waiting forever.
+                self.shared.cv_space.notify_all();
+            }
         }
     }
 
@@ -346,6 +481,53 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(10)),
             Err(RecvTimeoutError::Timeout)
         );
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_drains() {
+        let (tx, rx) = bounded(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(tx.try_send(3).is_ok());
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the pop below
+            tx.len()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(h.join().unwrap() <= 1, "capacity bound held");
+        assert_eq!(rx.recv(), Ok(2));
+    }
+
+    #[test]
+    fn bounded_send_timeout_expires_on_full_queue() {
+        let (tx, _rx) = bounded(1);
+        tx.send(1).unwrap();
+        assert!(matches!(
+            tx.send_timeout(2, Duration::from_millis(15)),
+            Err(SendTimeoutError::Timeout(2))
+        ));
+    }
+
+    #[test]
+    fn bounded_send_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(h.join().unwrap().is_err(), "disconnect surfaces");
     }
 
     #[test]

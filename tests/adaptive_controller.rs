@@ -49,6 +49,9 @@ fn window_stats(offsets: &[f64], policy: QuorumPolicy, wobble: f64) -> Vec<f32> 
             - offsets.iter().cloned().fold(f64::MAX, f64::min)) as f32,
         elapsed_s as f32,
         (offsets.iter().sum::<f64>() / P as f64) as f32,
+        // No queue congestion in the synthetic window.
+        0.0,
+        0.0,
     ]
 }
 

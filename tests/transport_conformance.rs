@@ -51,13 +51,12 @@ fn tag(sem: u32) -> WireTag {
 fn fifo_per_pair_under_jitter() {
     const N: u32 = 64;
     let cfg = WorldConfig {
-        nranks: 4,
         network: NetworkModel::AlphaBeta {
             alpha: Duration::from_micros(50),
             beta_ns_per_byte: 0.0,
             jitter: Duration::from_millis(2),
         },
-        seed: 11,
+        ..WorldConfig::instant(4).with_seed(11)
     };
     for (backend, per_rank) in both_backends("fifo_per_pair_under_jitter", cfg, |c| {
         let next = (c.rank() + 1) % c.size();
@@ -142,13 +141,12 @@ fn payload_round_trips_zero_len_and_multi_mib() {
 fn shutdown_drains_in_flight_messages() {
     const N: u32 = 256;
     let cfg = WorldConfig {
-        nranks: 2,
         network: NetworkModel::AlphaBeta {
             alpha: Duration::from_millis(20),
             beta_ns_per_byte: 0.0,
             jitter: Duration::ZERO,
         },
-        seed: 4,
+        ..WorldConfig::instant(2).with_seed(4)
     };
     for (backend, per_rank) in both_backends("shutdown_drains_in_flight_messages", cfg, |c| {
         if c.rank() == 0 {
@@ -176,6 +174,66 @@ fn shutdown_drains_in_flight_messages() {
             vec![N, N],
             "{backend}: in-flight messages were dropped at shutdown"
         );
+    }
+}
+
+/// Bounded-backpressure conformance: a deliberately slow reader must
+/// stall the sender at the configured queue bound instead of letting it
+/// buffer the whole flood, and the stall must not cost ordering — FIFO
+/// and complete delivery still hold. On the in-process backend the
+/// sender's wall clock is pinned to the reader's drain rate (the direct
+/// proof of blocking backpressure); on TCP the kernel socket buffers add
+/// slack, so there the assertions are the bounded queue depth plus
+/// lossless FIFO delivery.
+#[test]
+fn slow_reader_exerts_bounded_backpressure() {
+    const N: u32 = 96;
+    const CAP: usize = 8;
+    const ELEMS: usize = 16 << 10; // 64 KiB payloads: too big to hide in slack
+    let cfg = WorldConfig::instant(2)
+        .with_seed(6)
+        .with_queue_capacity(CAP);
+    for (backend, per_rank) in both_backends("slow_reader_exerts_bounded_backpressure", cfg, |c| {
+        if c.rank() == 0 {
+            let t0 = std::time::Instant::now();
+            for i in 0..N {
+                c.send(1, tag(i), Some(TypedBuf::from(vec![i as f32; ELEMS])));
+            }
+            let elapsed_ms = t0.elapsed().as_millis() as u64;
+            let s = c.comm_stats().snapshot();
+            (s.peak_queue_depth <= CAP as u64, s.send_stalls, elapsed_ms)
+        } else {
+            let mut got = 0u32;
+            while got < N {
+                // The slow consumer: drain far slower than the sender
+                // can produce.
+                std::thread::sleep(Duration::from_millis(2));
+                match c.inbox().recv() {
+                    Some(Envelope::Data(m)) => {
+                        assert_eq!(m.tag.sem, got, "FIFO must survive backpressure");
+                        let p = m.payload.expect("flood payload");
+                        assert_eq!(p.len(), ELEMS);
+                        assert_eq!(p.as_f32().unwrap()[0], got as f32);
+                        got += 1;
+                    }
+                    Some(Envelope::Shutdown) => continue,
+                    None => break,
+                }
+            }
+            (true, 0, got as u64)
+        }
+    }) {
+        let (depth_ok, stalls, sender_ms) = per_rank[0];
+        assert!(depth_ok, "{backend}: queue depth exceeded the bound");
+        assert_eq!(per_rank[1].2, N as u64, "{backend}: messages lost");
+        if backend == "inproc" {
+            assert!(stalls > 0, "{backend}: sender never stalled");
+            assert!(
+                sender_ms >= 100,
+                "{backend}: sender finished in {sender_ms} ms — it outran \
+                 the reader instead of being backpressured"
+            );
+        }
     }
 }
 
