@@ -8,8 +8,15 @@
 //! so the benchmark harness can compare the engine's tree allreduce with
 //! the standard large-message algorithms. They are synchronous by
 //! construction (each phase blocks on its receive).
+//!
+//! Data-path discipline: hops never `to_vec()` per step. Working chunks
+//! are shared [`Payload`]s — a ring hop sends a reference-count bump (or
+//! a sub-range [`Payload::view`]), a received chunk is forwarded without
+//! copying, and receive-side reductions fold straight into the
+//! accumulator ([`Payload::reduce_assign`], [`Matcher::recv_combine`]) —
+//! over TCP directly from the frame's undecoded wire bytes.
 
-use pcoll_comm::{reduce_f32_slices, CollId, CommHandle, Matcher, ReduceOp, TypedBuf, WireTag};
+use pcoll_comm::{CollId, CommHandle, Matcher, Payload, ReduceOp, TypedBuf, WireTag};
 
 /// Context for direct (engine-less) collective algorithms.
 pub struct DirectCollectives<'a> {
@@ -37,6 +44,12 @@ impl<'a> DirectCollectives<'a> {
 
     /// Ring allreduce on an f32 buffer: P−1 reduce-scatter steps plus
     /// P−1 allgather steps over contiguous chunks. Works for any P.
+    ///
+    /// The only payload-sized copies are the initial chunk split (which
+    /// sums to one buffer) and the final writes back into `data`: every
+    /// hop sends a shared clone, folds the incoming chunk straight into
+    /// its accumulator (from the raw wire bytes on TCP), and forwards
+    /// received allgather chunks without copying.
     pub fn ring_allreduce_f32(&mut self, data: &mut [f32], op: ReduceOp) {
         let p = self.handle.size();
         let me = self.handle.rank();
@@ -55,36 +68,51 @@ impl<'a> DirectCollectives<'a> {
         let next = (me + 1) % p;
         let prev = (me + p - 1) % p;
 
+        // One owned payload per chunk: the ring's accumulators, reused
+        // across all steps.
+        let mut chunks: Vec<Payload> = (0..p)
+            .map(|c| Payload::new(TypedBuf::from(data[chunk_range(c)].to_vec())))
+            .collect();
+
         // Reduce-scatter: in step s we send chunk (me - s) and receive
-        // chunk (me - s - 1), accumulating into it.
+        // chunk (me - s - 1), accumulating into it. The accumulator is
+        // never the chunk just sent, so the fold stays in place.
         for s in 0..p - 1 {
             let send_chunk = (me + p - s) % p;
             let recv_chunk = (me + p - s - 1) % p;
-            let payload = TypedBuf::from(data[chunk_range(send_chunk)].to_vec());
-            self.handle.send(next, self.tag(s as u32), Some(payload));
+            self.handle
+                .send_payload(next, self.tag(s as u32), Some(chunks[send_chunk].clone()));
             let msg = self
                 .matcher
                 .recv(prev, self.tag(s as u32))
                 .expect("ring reduce-scatter recv");
             let incoming = msg.payload.expect("data message");
-            let incoming = incoming.as_f32().expect("f32 ring");
-            reduce_f32_slices(&mut data[chunk_range(recv_chunk)], incoming, op);
+            chunks[recv_chunk]
+                .reduce_assign(&incoming, op)
+                .expect("ring chunk shape");
         }
 
-        // Allgather: circulate the fully-reduced chunks.
+        // Allgather: circulate the fully-reduced chunks, forwarding each
+        // received payload as-is.
+        let own = (me + 1) % p;
+        chunks[own]
+            .copy_into_f32(&mut data[chunk_range(own)])
+            .expect("own chunk shape");
+        let mut carry = chunks[own].clone();
         for s in 0..p - 1 {
-            let send_chunk = (me + 1 + p - s) % p;
             let recv_chunk = (me + p - s) % p;
             let sem = 1000 + s as u32;
-            let payload = TypedBuf::from(data[chunk_range(send_chunk)].to_vec());
-            self.handle.send(next, self.tag(sem), Some(payload));
+            self.handle
+                .send_payload(next, self.tag(sem), Some(carry.clone()));
             let msg = self
                 .matcher
                 .recv(prev, self.tag(sem))
                 .expect("ring allgather recv");
             let incoming = msg.payload.expect("data message");
-            let incoming = incoming.as_f32().expect("f32 ring");
-            data[chunk_range(recv_chunk)].copy_from_slice(incoming);
+            incoming
+                .copy_into_f32(&mut data[chunk_range(recv_chunk)])
+                .expect("ring allgather shape");
+            carry = incoming;
         }
     }
 
@@ -102,7 +130,13 @@ impl<'a> DirectCollectives<'a> {
         let levels = p.trailing_zeros();
 
         // Recursive halving: at level k, exchange the half of the current
-        // window that the partner owns, and recurse into our half.
+        // window that the partner owns, and recurse into our half. The
+        // window lives in a shared payload: each level sends the give
+        // half as a sub-range view (a refcount bump, and over TCP only
+        // that range is framed), then narrows to the keep half — the
+        // copy-on-write materializes exactly the keep range, so total
+        // copies telescope to ≈ n instead of a full window per level.
+        let mut window = Payload::new(TypedBuf::from(data.to_vec()));
         let mut lo = 0usize;
         let mut hi = n;
         let mut halves: Vec<(usize, usize)> = Vec::with_capacity(levels as usize);
@@ -116,22 +150,41 @@ impl<'a> DirectCollectives<'a> {
                 ((mid, hi), (lo, mid))
             };
             let sem = 2000 + k;
-            let payload = TypedBuf::from(data[give.0..give.1].to_vec());
-            self.handle.send(partner, self.tag(sem), Some(payload));
-            let msg = self
-                .matcher
-                .recv(partner, self.tag(sem))
-                .expect("halving recv");
-            let incoming = msg.payload.expect("data");
-            let incoming = incoming.as_f32().expect("f32");
-            reduce_f32_slices(&mut data[keep.0..keep.1], incoming, op);
+            let give_view = window.view(give.0 - lo, give.1 - give.0);
+            self.handle
+                .send_payload(partner, self.tag(sem), Some(give_view));
+            if k + 1 == levels {
+                // Last level: the keep window is this rank's final
+                // reduce-scatter block, so land it in `data` and fold the
+                // partner's half straight in from the wire
+                // (`Matcher::recv_combine`) — no intermediate window.
+                window
+                    .view(keep.0 - lo, keep.1 - keep.0)
+                    .copy_into_f32(&mut data[keep.0..keep.1])
+                    .expect("final window shape");
+                self.matcher
+                    .recv_combine(partner, self.tag(sem), &mut data[keep.0..keep.1], op)
+                    .expect("halving recv");
+            } else {
+                let msg = self
+                    .matcher
+                    .recv(partner, self.tag(sem))
+                    .expect("halving recv");
+                let incoming = msg.payload.expect("data");
+                window = window.view(keep.0 - lo, keep.1 - keep.0);
+                window
+                    .reduce_assign(&incoming, op)
+                    .expect("halving shape mismatch");
+            }
             halves.push((keep.0, keep.1));
             lo = keep.0;
             hi = keep.1;
         }
 
         // Recursive doubling allgather: unwind, exchanging the window we
-        // own for the partner's.
+        // own for the partner's. Windows concatenate as they double, so
+        // each level's send materializes its window once; receives write
+        // straight into `data` (from the wire bytes on TCP).
         for k in (0..levels).rev() {
             let partner = me ^ (1usize << (levels - 1 - k));
             let (own_lo, own_hi) = (lo, hi);
@@ -143,19 +196,15 @@ impl<'a> DirectCollectives<'a> {
             let sem = 3000 + k;
             let payload = TypedBuf::from(data[own_lo..own_hi].to_vec());
             self.handle.send(partner, self.tag(sem), Some(payload));
-            let msg = self
-                .matcher
-                .recv(partner, self.tag(sem))
-                .expect("doubling recv");
-            let incoming = msg.payload.expect("data");
-            let incoming = incoming.as_f32().expect("f32");
             // The partner owns the other half of our parent window.
             let (other_lo, other_hi) = if own_lo == parent_lo {
                 (own_hi, parent_hi)
             } else {
                 (parent_lo, own_lo)
             };
-            data[other_lo..other_hi].copy_from_slice(incoming);
+            self.matcher
+                .recv_copy(partner, self.tag(sem), &mut data[other_lo..other_hi])
+                .expect("doubling recv");
             lo = parent_lo;
             hi = parent_hi;
         }
@@ -165,7 +214,9 @@ impl<'a> DirectCollectives<'a> {
 impl<'a> DirectCollectives<'a> {
     /// Ring allgather: each rank contributes `block` and receives the
     /// concatenation of all ranks' blocks in rank order. P−1 hops, each
-    /// forwarding the block received on the previous hop.
+    /// forwarding the payload received on the previous hop without
+    /// copying it (a refcount bump in process, an undecoded byte relay
+    /// over TCP).
     pub fn allgather_f32(&mut self, block: &[f32]) -> Vec<f32> {
         let p = self.handle.size();
         let me = self.handle.rank();
@@ -178,21 +229,22 @@ impl<'a> DirectCollectives<'a> {
         }
         let next = (me + 1) % p;
         let prev = (me + p - 1) % p;
-        let mut outgoing = block.to_vec();
+        let mut carry = Payload::new(TypedBuf::from(block.to_vec()));
         for s in 0..p - 1 {
             let sem = 4000 + s as u32;
             self.handle
-                .send(next, self.tag(sem), Some(TypedBuf::from(outgoing.clone())));
+                .send_payload(next, self.tag(sem), Some(carry.clone()));
             let msg = self
                 .matcher
                 .recv(prev, self.tag(sem))
                 .expect("allgather recv");
             let incoming = msg.payload.expect("data");
-            let incoming = incoming.as_f32().expect("f32").to_vec();
             // The block arriving at step s originated at rank (me-1-s).
             let origin = (me + p - 1 - s) % p;
-            out[origin * n..(origin + 1) * n].copy_from_slice(&incoming);
-            outgoing = incoming;
+            incoming
+                .copy_into_f32(&mut out[origin * n..(origin + 1) * n])
+                .expect("allgather shape");
+            carry = incoming;
         }
         out
     }
@@ -200,6 +252,9 @@ impl<'a> DirectCollectives<'a> {
     /// Reduce-scatter (ring): input is `p` equal blocks concatenated;
     /// returns this rank's fully reduced block (block index = rank).
     /// This is the first phase of ring allreduce, exposed directly.
+    /// Scratch is one payload per block, allocated once and reused
+    /// across all steps: sends are shared clones, receive-side folds run
+    /// in place (from the frame's wire bytes on TCP).
     pub fn reduce_scatter_f32(&mut self, data: &[f32], op: ReduceOp) -> Vec<f32> {
         let p = self.handle.size();
         let me = self.handle.rank();
@@ -211,7 +266,9 @@ impl<'a> DirectCollectives<'a> {
         }
         let next = (me + 1) % p;
         let prev = (me + p - 1) % p;
-        let mut acc: Vec<Vec<f32>> = (0..p).map(|c| data[c * n..(c + 1) * n].to_vec()).collect();
+        let mut acc: Vec<Payload> = (0..p)
+            .map(|c| Payload::new(TypedBuf::from(data[c * n..(c + 1) * n].to_vec())))
+            .collect();
         // Chunk c starts its accumulation journey at rank c+1 and ends,
         // fully reduced, at rank c after p−1 hops: at step s rank r sends
         // chunk (r−1−s) and folds in chunk (r−2−s); after the last step
@@ -220,20 +277,23 @@ impl<'a> DirectCollectives<'a> {
             let send_chunk = (me + 2 * p - 1 - s) % p;
             let recv_chunk = (me + 2 * p - 2 - s) % p;
             let sem = 5000 + s as u32;
-            self.handle.send(
-                next,
-                self.tag(sem),
-                Some(TypedBuf::from(acc[send_chunk].clone())),
-            );
+            self.handle
+                .send_payload(next, self.tag(sem), Some(acc[send_chunk].clone()));
             let msg = self
                 .matcher
                 .recv(prev, self.tag(sem))
                 .expect("reduce-scatter recv");
             let incoming = msg.payload.expect("data");
-            let incoming = incoming.as_f32().expect("f32");
-            reduce_f32_slices(&mut acc[recv_chunk], incoming, op);
+            acc[recv_chunk]
+                .reduce_assign(&incoming, op)
+                .expect("reduce-scatter shape");
         }
-        acc[me].clone()
+        // Chunk `me` was never sent, so this rank is its sole owner and
+        // the unwrap is copy-free.
+        match acc.swap_remove(me).into_buf() {
+            TypedBuf::F32(v) => v,
+            _ => unreachable!("f32 blocks by construction"),
+        }
     }
 }
 

@@ -40,6 +40,10 @@ pub const SEM_CHAIN: u32 = 0x300;
 pub const SEM_BARRIER: u32 = 0x400;
 pub const SEM_BCAST: u32 = 0x500;
 pub const SEM_REDUCE: u32 = 0x600;
+/// Base of the segmented-ring data namespace: segment `g`'s ring step
+/// `s` uses `SEM_SEG + g·2(P−1) + s` (reduce-scatter) and
+/// `+ (P−1) + s` (allgather).
+pub const SEM_SEG: u32 = 0x1000;
 
 /// How the activation phase of a partial collective starts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,25 +86,17 @@ pub fn policy_activation_mode(
     }
 }
 
-/// Build the partial (or full) allreduce schedule for `rank` of `p` ranks.
-///
-/// The data phase is a recursive-doubling allreduce over slot 0
-/// ([`CONTRIB_SLOT`]); level-`k` exchanges land in scratch slot `1 + k`.
-/// The completion op is the final combine; the result is slot 0.
-pub fn allreduce_schedule(rank: Rank, p: usize, op: ReduceOp, mode: &ActivationMode) -> Schedule {
-    require_power_of_two(p);
-    let levels = log2_exact(p);
-    let mut b = ScheduleBuilder::new();
-    b.slots(1 + levels as usize);
-
-    if p == 1 {
-        // Degenerate world: the gate is the whole collective.
-        let gate = b.op(OpKind::InternalGate, vec![]);
-        b.completion(gate).result_slot(CONTRIB_SLOT);
-        return b.build();
-    }
-
-    // --- Activation phase: who may fire the broadcast from this rank? ---
+/// Build the activation phase of a partial collective into `b` and
+/// return `n1`, the "this rank is activated" junction every data-phase
+/// send gates on. Shared by the recursive-doubling and segmented-ring
+/// data phases — the quorum semantics (race, chain, full) live entirely
+/// here, so swapping the data-phase algorithm cannot change them.
+fn activation_phase(
+    b: &mut ScheduleBuilder,
+    rank: Rank,
+    levels: u32,
+    mode: &ActivationMode,
+) -> OpId {
     // `n0` is the local initiation event (the paper's N0), present only on
     // ranks entitled to initiate under `mode`.
     let n0: Option<OpId> = match mode {
@@ -150,7 +146,7 @@ pub fn allreduce_schedule(rank: Rank, p: usize, op: ReduceOp, mode: &ActivationM
     // --- Activation broadcast (omitted entirely in Full mode). ---
     // n1 = "this rank is activated": OR of local initiation and every
     // possible activation receive.
-    let n1: OpId = if matches!(mode, ActivationMode::Full) {
+    if matches!(mode, ActivationMode::Full) {
         n0.expect("full mode always has a gate")
     } else {
         let mut act_recvs = Vec::with_capacity(levels as usize);
@@ -183,7 +179,28 @@ pub fn allreduce_schedule(rank: Rank, p: usize, op: ReduceOp, mode: &ActivationM
         let mut n1_deps: Vec<OpId> = n0.iter().copied().collect();
         n1_deps.extend(act_recvs.iter().copied());
         b.op_or(OpKind::Nop, n1_deps)
-    };
+    }
+}
+
+/// Build the partial (or full) allreduce schedule for `rank` of `p` ranks.
+///
+/// The data phase is a recursive-doubling allreduce over slot 0
+/// ([`CONTRIB_SLOT`]); level-`k` exchanges land in scratch slot `1 + k`.
+/// The completion op is the final combine; the result is slot 0.
+pub fn allreduce_schedule(rank: Rank, p: usize, op: ReduceOp, mode: &ActivationMode) -> Schedule {
+    require_power_of_two(p);
+    let levels = log2_exact(p);
+    let mut b = ScheduleBuilder::new();
+    b.slots(1 + levels as usize);
+
+    if p == 1 {
+        // Degenerate world: the gate is the whole collective.
+        let gate = b.op(OpKind::InternalGate, vec![]);
+        b.completion(gate).result_slot(CONTRIB_SLOT);
+        return b.build();
+    }
+
+    let n1 = activation_phase(&mut b, rank, levels, mode);
 
     // --- Data phase: recursive doubling over the contribution slot. ---
     let mut prev_combine: Option<OpId> = None;
@@ -221,6 +238,212 @@ pub fn allreduce_schedule(rank: Rank, p: usize, op: ReduceOp, mode: &ActivationM
     }
     b.completion(prev_combine.expect("p > 1 has at least one level"))
         .result_slot(CONTRIB_SLOT);
+    b.build()
+}
+
+/// Build the segmented reduce-scatter + allgather allreduce schedule for
+/// `rank` of `p` ranks over `n_elems` elements — the bandwidth-optimal
+/// large-message data phase (§7: "the optimal algorithm depends on ...
+/// message size").
+///
+/// The activation phase (and with it every quorum semantic: race, chain,
+/// full, external drag-in, Fig. 7 snapshot timing) is byte-for-byte the
+/// one [`allreduce_schedule`] uses. Only the data phase differs: the
+/// tensor splits into `ceil(n / segment_elems)` segments, each segment
+/// ring-chunks across the P ranks and runs P−1 reduce-scatter steps
+/// (each hop's payload is `segment/P` elements, received chunks fold
+/// into per-chunk accumulators — over TCP straight from the frame's wire
+/// bytes) followed by P−1 allgather steps (received chunks are forwarded
+/// zero-copy and assembled into the result in place). Segments are
+/// dependency-independent, so segment `k+1`'s sends overlap segment
+/// `k`'s reduces; `pipeline_depth` bounds how many segments may be in
+/// flight, which keeps the instantaneous queue footprint under the
+/// transport's bounded send queues instead of racing them.
+///
+/// Mass conservation is inherited: every rank's slot-0 snapshot (fresh,
+/// stale, or null — Fig. 7) is chunk-decomposed and every chunk passes
+/// through every rank exactly once, so a straggler-excluded round sums
+/// exactly the P snapshots, like the recursive-doubling phase it
+/// replaces. Each chunk's total is computed once and broadcast, so
+/// results are bitwise identical across ranks.
+pub fn segmented_allreduce_schedule(
+    rank: Rank,
+    p: usize,
+    op: ReduceOp,
+    mode: &ActivationMode,
+    n_elems: usize,
+    segment_elems: usize,
+    pipeline_depth: usize,
+) -> Schedule {
+    require_power_of_two(p);
+    let mut b = ScheduleBuilder::new();
+
+    if p == 1 {
+        b.slots(1);
+        let gate = b.op(OpKind::InternalGate, vec![]);
+        b.completion(gate).result_slot(CONTRIB_SLOT);
+        return b.build();
+    }
+
+    let levels = log2_exact(p);
+    let segment_elems = segment_elems.max(1);
+    let segments = n_elems.div_ceil(segment_elems).max(1);
+    let depth = pipeline_depth.max(1);
+    // Slot layout: 0 = contribution & result; per segment, p chunk
+    // accumulators plus (p−1) reduce-scatter and (p−1) allgather scratch
+    // slots for in-flight receives (distinct per step — an early arrival
+    // for step s+1 must not clobber step s's unconsumed payload).
+    let per_seg_slots = 3 * p - 2;
+    b.slots(1 + segments * per_seg_slots);
+
+    let n1 = activation_phase(&mut b, rank, levels, mode);
+
+    let next = (rank + 1) % p;
+    let prev = (rank + p - 1) % p;
+    let steps = (p - 1) as u32;
+    let mut seg_dones: Vec<OpId> = Vec::with_capacity(segments);
+
+    for seg in 0..segments {
+        let seg_lo = (seg * segment_elems).min(n_elems);
+        let seg_hi = ((seg + 1) * segment_elems).min(n_elems);
+        let seg_n = seg_hi - seg_lo;
+        // Chunk c covers chunk_range(c) within the segment; the last
+        // chunk absorbs the tail (degenerate empty chunks when seg_n < P
+        // are legal: zero-length payloads ride the same schedule).
+        let base = seg_n / p;
+        let chunk_lo = |c: usize| seg_lo + c * base;
+        let chunk_len = |c: usize| {
+            if c + 1 == p {
+                seg_hi - chunk_lo(c)
+            } else {
+                base
+            }
+        };
+        let slot_base = 1 + seg * per_seg_slots;
+        let chunk_slot = |c: usize| slot_base + c;
+        let rs_scratch = |s: usize| slot_base + p + s;
+        let ag_scratch = |s: usize| slot_base + p + (p - 1) + s;
+        let rs_sem = |s: usize| SEM_SEG + (seg as u32) * 2 * steps + s as u32;
+        let ag_sem = |s: usize| SEM_SEG + (seg as u32) * 2 * steps + steps + s as u32;
+
+        // Pipeline gate: segment `seg` may start sending only once
+        // segment `seg − depth` fully completed on this rank.
+        let seg_start = if seg >= depth {
+            b.op(OpKind::Nop, vec![n1, seg_dones[seg - depth]])
+        } else {
+            n1
+        };
+
+        // Chunk extraction: one owned copy per chunk decouples the ring's
+        // accumulators from slot 0, so reductions stay in place while
+        // sent clones are still in flight (O(1) payload allocations per
+        // segment — the copies sum to one segment).
+        let slice_copies: Vec<OpId> = (0..p)
+            .map(|c| {
+                b.op(
+                    OpKind::SliceCopy {
+                        src: CONTRIB_SLOT,
+                        dst: chunk_slot(c),
+                        start: chunk_lo(c),
+                        len: chunk_len(c),
+                    },
+                    vec![seg_start],
+                )
+            })
+            .collect();
+
+        // Reduce-scatter ring: at step s send chunk (rank − s) and fold
+        // the incoming chunk (rank − s − 1) into its accumulator. After
+        // P−1 steps, chunk (rank + 1) is fully reduced on this rank.
+        let mut prev_combine: Option<OpId> = None;
+        for s in 0..p - 1 {
+            let send_chunk = (rank + p - s) % p;
+            let recv_chunk = (rank + p - s - 1) % p;
+            let send_dep = prev_combine.unwrap_or(slice_copies[send_chunk]);
+            let send = b.op(
+                OpKind::SendData {
+                    peer: next,
+                    sem: rs_sem(s),
+                    src: chunk_slot(send_chunk),
+                },
+                vec![send_dep],
+            );
+            let recv = b.op(
+                OpKind::Recv {
+                    peer: prev,
+                    sem: rs_sem(s),
+                    into: Some(rs_scratch(s)),
+                },
+                vec![],
+            );
+            prev_combine = Some(b.op(
+                OpKind::Combine {
+                    op,
+                    src: rs_scratch(s),
+                    dst: chunk_slot(recv_chunk),
+                },
+                vec![recv, send, slice_copies[recv_chunk]],
+            ));
+        }
+        let reduced = prev_combine.expect("p > 1 has reduce-scatter steps");
+
+        // Allgather ring: circulate the fully-reduced chunks, forwarding
+        // each received payload zero-copy (a refcount bump in process, a
+        // byte memcpy of the undecoded frame over TCP) and assembling
+        // the result into slot 0 in place.
+        let own_chunk = (rank + 1) % p;
+        let mut seg_finals = vec![b.op(
+            OpKind::CopyAt {
+                src: chunk_slot(own_chunk),
+                dst: CONTRIB_SLOT,
+                dst_start: chunk_lo(own_chunk),
+                dst_len: n_elems,
+            },
+            vec![reduced],
+        )];
+        let mut prev_recv: Option<OpId> = None;
+        for s in 0..p - 1 {
+            let recv_chunk = (rank + p - s) % p;
+            let (send_src, send_dep) = match prev_recv {
+                // Forward what arrived on the previous hop.
+                Some(r) => (ag_scratch(s - 1), r),
+                // First hop sends our own fully-reduced chunk.
+                None => (chunk_slot(own_chunk), reduced),
+            };
+            let send = b.op(
+                OpKind::SendData {
+                    peer: next,
+                    sem: ag_sem(s),
+                    src: send_src,
+                },
+                vec![send_dep],
+            );
+            let recv = b.op(
+                OpKind::Recv {
+                    peer: prev,
+                    sem: ag_sem(s),
+                    into: Some(ag_scratch(s)),
+                },
+                vec![],
+            );
+            seg_finals.push(b.op(
+                OpKind::CopyAt {
+                    src: ag_scratch(s),
+                    dst: CONTRIB_SLOT,
+                    dst_start: chunk_lo(recv_chunk),
+                    dst_len: n_elems,
+                },
+                // The slice-copy dep orders this write after the last
+                // local read of the same slot-0 range.
+                vec![recv, send, slice_copies[recv_chunk]],
+            ));
+            prev_recv = Some(recv);
+        }
+        seg_dones.push(b.op(OpKind::Nop, seg_finals));
+    }
+
+    let done = b.op(OpKind::Nop, seg_dones);
+    b.completion(done).result_slot(CONTRIB_SLOT);
     b.build()
 }
 
@@ -636,6 +859,61 @@ mod tests {
         let all8: Vec<Rank> = (0..8).collect();
         let s8 = allreduce_schedule(0, 8, ReduceOp::Sum, &ActivationMode::Race(all8));
         assert!(s8.ops.len() < s64.ops.len());
+    }
+
+    #[test]
+    fn segmented_allreduce_pairing_all_shapes() {
+        // Every (send, sem) pairs with exactly one receive, across world
+        // sizes, tensor lengths (including n < P degenerate chunks and
+        // n = 0), segment sizes, and activation modes.
+        for p in [2usize, 4, 8] {
+            for n in [0usize, 3, 64, 130] {
+                for mode in [
+                    ActivationMode::Race((0..p).collect()),
+                    ActivationMode::Chain(vec![p - 1]),
+                    ActivationMode::Full,
+                ] {
+                    let scheds = all_schedules(p, &|r| {
+                        segmented_allreduce_schedule(r, p, ReduceOp::Sum, &mode, n, 32, 2)
+                    });
+                    check_send_recv_pairing(&scheds);
+                    for s in &scheds {
+                        s.validate().unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_schedule_size_scales_with_segments_not_elements() {
+        // Ops grow with the segment count (pipelining structure), not
+        // with the element count — the schedule stays cheap to build for
+        // multi-MiB tensors.
+        let all: Vec<Rank> = (0..8).collect();
+        let mode = ActivationMode::Race(all);
+        let small = segmented_allreduce_schedule(0, 8, ReduceOp::Sum, &mode, 1 << 10, 256, 4);
+        let large = segmented_allreduce_schedule(0, 8, ReduceOp::Sum, &mode, 1 << 20, 1 << 18, 4);
+        assert_eq!(
+            small.ops.len(),
+            large.ops.len(),
+            "same segment count must give the same op count"
+        );
+    }
+
+    #[test]
+    fn segmented_pipeline_gates_bound_inflight_segments() {
+        // With depth d, segment k's slice copies depend on segment k−d's
+        // completion Nop — count the gating Nops.
+        let mode = ActivationMode::Full;
+        let sched = segmented_allreduce_schedule(0, 4, ReduceOp::Sum, &mode, 64, 8, 2);
+        // 8 segments, depth 2 → segments 2..8 are gated.
+        let gated = sched
+            .ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Nop) && o.deps.len() == 2)
+            .count();
+        assert!(gated >= 6, "expected pipeline gates, found {gated}");
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod algos;
 pub mod builders;
 pub mod ctx;
 pub mod partial;
+pub mod select;
 pub mod sync;
 pub mod topology;
 
@@ -37,4 +38,5 @@ pub use partial::{
     AllreduceOutcome, PartialAllreduce, PartialOpts, PolicyTimeline, QuorumPolicy, RoundEvent,
     RoundObserver, RoundTrace, StaleMode,
 };
+pub use select::{AlgoSelector, AllreduceAlgo};
 pub use sync::{SyncAllreduce, SyncBarrier, SyncBcast, SyncReduce};

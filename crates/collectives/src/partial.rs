@@ -18,10 +18,11 @@
 //! fresh data — exactly the paper's "active process" definition used for
 //! the NAP (number of active processes) measurements of Fig. 9.
 
-use crate::builders::{allreduce_schedule, policy_activation_mode};
+use crate::builders::{allreduce_schedule, policy_activation_mode, segmented_allreduce_schedule};
+use crate::select::{AlgoSelector, AllreduceAlgo};
 use crate::topology::{require_power_of_two, round_candidates};
 use parking_lot::{Condvar, Mutex};
-use pcoll_comm::{CollId, DType, Rank, ReduceOp, TypedBuf};
+use pcoll_comm::{CollId, DType, Payload, Rank, ReduceOp, TypedBuf};
 use pcoll_sched::{CollectiveTemplate, Engine, RoundStats, Schedule, SnapshotTiming};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -241,6 +242,10 @@ pub struct PartialOpts {
     pub trace: bool,
     /// Per-round telemetry sink (completion events, staleness misses).
     pub observer: Option<Arc<dyn RoundObserver>>,
+    /// Data-phase algorithm policy: adaptive by size/P, or pinned (the
+    /// explicit override knob). The activation/quorum semantics are
+    /// identical on every algorithm; only the data movement differs.
+    pub algo: AlgoSelector,
 }
 
 impl fmt::Debug for PartialOpts {
@@ -251,6 +256,7 @@ impl fmt::Debug for PartialOpts {
             .field("wait_timeout", &self.wait_timeout)
             .field("trace", &self.trace)
             .field("observer", &self.observer.as_ref().map(|_| ".."))
+            .field("algo", &self.algo)
             .finish()
     }
 }
@@ -263,6 +269,7 @@ impl Default for PartialOpts {
             wait_timeout: Duration::from_secs(60),
             trace: true,
             observer: None,
+            algo: AlgoSelector::default(),
         }
     }
 }
@@ -281,8 +288,13 @@ pub struct RoundTrace {
 /// What an [`PartialAllreduce::allreduce`] call returns.
 #[derive(Debug, Clone)]
 pub struct AllreduceOutcome {
-    /// The reduced (and optionally scaled) buffer.
-    pub data: TypedBuf,
+    /// The reduced (and optionally scaled) buffer, delivered zero-copy: a
+    /// shared clone of the latest-wins receive buffer. Read it in place
+    /// (`as_f32()` & co), or call [`pcoll_comm::Payload::into_buf`] for
+    /// an owned `TypedBuf` (which copies only while the receive buffer
+    /// still aliases it — exactly the price the old by-value API paid on
+    /// every call).
+    pub data: Payload,
     /// The round this call asked for.
     pub requested_round: u64,
     /// The round whose result `data` actually is (≥ `requested_round`;
@@ -293,6 +305,13 @@ pub struct AllreduceOutcome {
 
 struct SendBuf {
     data: TypedBuf,
+    /// Whether `data` holds any deposit since the last snapshot. When
+    /// false the buffer is *logically* G_null and its bytes may be stale
+    /// garbage (snapshots hand buffers back dirty to skip a zeroing pass
+    /// per round); the first deposit overwrites it wholesale and a
+    /// snapshot taken while still false zeroes it lazily — the only case
+    /// whose bytes anyone observes.
+    filled: bool,
     /// Round number of the most recent deposit. A snapshot for round `r`
     /// is *fresh* iff the buffer holds a deposit made for round `r`
     /// itself — this rank "arrived before the initiator" (§4.2's active
@@ -300,11 +319,16 @@ struct SendBuf {
     /// deposit from an earlier round still gets *contributed* (stale
     /// data), but does not count as fresh.
     last_deposit_round: Option<u64>,
+    /// Recycled buffer for the next snapshot swap (dirty; see `filled`).
+    /// Fed by completed rounds whose superseded receive buffer came back
+    /// uniquely owned — steady state runs with zero payload-sized
+    /// allocations in the deposit/snapshot cycle.
+    spare: Option<TypedBuf>,
 }
 
 struct RecvBuf {
     latest_round: Option<u64>,
-    data: TypedBuf,
+    data: Payload,
 }
 
 struct Shared {
@@ -343,16 +367,43 @@ impl CollectiveTemplate for PartialTemplate {
     fn build(&self, round: u64) -> Schedule {
         let policy = self.timeline.policy_at(round);
         let mode = policy_activation_mode(policy, self.seed, self.coll, round, self.p);
-        allreduce_schedule(self.rank, self.p, self.op, &mode)
+        // The algorithm is a pure function of (size, P) plus the override
+        // knob — identical on every rank and every round, so a rank
+        // dragged in externally builds the same schedule shape as the
+        // round's initiator (the SPMD consensus requirement).
+        let selector = &self.shared.opts.algo;
+        let bytes = self.shared.len * self.shared.dtype.size_of();
+        match selector.choose(bytes, self.p) {
+            AllreduceAlgo::RecursiveDoubling => {
+                allreduce_schedule(self.rank, self.p, self.op, &mode)
+            }
+            AllreduceAlgo::SegmentedRing => segmented_allreduce_schedule(
+                self.rank,
+                self.p,
+                self.op,
+                &mode,
+                self.shared.len,
+                selector.segment_elems(self.shared.dtype),
+                selector.pipeline_depth,
+            ),
+        }
     }
 
     fn snapshot(&self, round: u64) -> Option<TypedBuf> {
         let mut send = self.shared.send.lock();
-        let data = std::mem::replace(
-            &mut send.data,
-            TypedBuf::zeros(self.shared.dtype, self.shared.len),
-        );
+        if !send.filled {
+            // Lazy G_null: the swapped-in buffer is dirty; its bytes are
+            // only observable when contributed without a deposit, so the
+            // zeroing pass runs exactly then.
+            send.data.clear();
+        }
+        let replacement = send
+            .spare
+            .take()
+            .unwrap_or_else(|| TypedBuf::zeros(self.shared.dtype, self.shared.len));
+        let data = std::mem::replace(&mut send.data, replacement);
         let fresh = send.last_deposit_round == Some(round);
+        send.filled = false;
         send.last_deposit_round = None;
         drop(send);
         if fresh {
@@ -430,11 +481,29 @@ impl CollectiveTemplate for PartialTemplate {
         let mut recv = self.shared.recv.lock();
         // Latest-wins: never let an out-of-order old round overwrite a
         // newer result.
-        if recv.latest_round.is_none_or(|l| round > l) {
+        let superseded = if recv.latest_round.is_none_or(|l| round > l) {
             recv.latest_round = Some(round);
-            recv.data = data;
-        }
+            Some(std::mem::replace(&mut recv.data, Payload::new(data)))
+        } else {
+            None
+        };
         drop(recv);
+        // Recycle the superseded receive buffer into the deposit/snapshot
+        // cycle when no outcome clone aliases it any more: the steady
+        // state then runs without payload-sized allocations here.
+        if let Some(old) = superseded {
+            if old.ref_count() == 1
+                && !old.is_wire()
+                && !old.is_view()
+                && old.dtype() == self.shared.dtype
+                && old.len() == self.shared.len
+            {
+                let mut send = self.shared.send.lock();
+                if send.spare.is_none() {
+                    send.spare = Some(old.into_buf());
+                }
+            }
+        }
         self.shared.cv.notify_all();
     }
 }
@@ -476,11 +545,13 @@ impl PartialAllreduce {
             opts,
             send: Mutex::new(SendBuf {
                 data: TypedBuf::zeros(dtype, len),
+                filled: false,
                 last_deposit_round: None,
+                spare: None,
             }),
             recv: Mutex::new(RecvBuf {
                 latest_round: None,
-                data: TypedBuf::zeros(dtype, len),
+                data: Payload::new(TypedBuf::zeros(dtype, len)),
             }),
             cv: Condvar::new(),
             traces: Mutex::new(HashMap::new()),
@@ -575,16 +646,23 @@ impl PartialAllreduce {
 
         {
             let mut send = self.shared.send.lock();
-            match self.shared.opts.stale_mode {
-                StaleMode::Accumulate => {
-                    send.data
-                        .combine(contrib, ReduceOp::Sum)
-                        .expect("deposit shape checked above");
-                }
-                StaleMode::Replace => {
-                    send.data = contrib.clone();
-                }
+            let overwrite = match self.shared.opts.stale_mode {
+                // Accumulating into a logically-null buffer is a plain
+                // overwrite — the fast path every on-pace round takes
+                // (and what makes the dirty-buffer recycling sound).
+                StaleMode::Accumulate => !send.filled,
+                StaleMode::Replace => true,
+            };
+            if overwrite {
+                send.data
+                    .copy_from_at(0, contrib, 0, contrib.len())
+                    .expect("deposit shape checked above");
+            } else {
+                send.data
+                    .combine(contrib, ReduceOp::Sum)
+                    .expect("deposit shape checked above");
             }
+            send.filled = true;
             send.last_deposit_round = Some(round);
         }
         self.engine.activate(self.coll, round);
@@ -650,6 +728,7 @@ impl PartialAllreduce {
 mod tests {
     use super::*;
     use crate::ctx::RankCtx;
+    use crate::select::{AlgoSelector, AllreduceAlgo};
     use pcoll_comm::{World, WorldConfig};
 
     fn f32s(v: &[f32]) -> TypedBuf {
@@ -685,6 +764,89 @@ mod tests {
             for (r, s) in sums.iter().enumerate() {
                 assert_eq!(*s, 28.0 + 8.0 * r as f32, "round {r}");
             }
+        }
+    }
+
+    #[test]
+    fn segmented_ring_chain_of_all_gives_deterministic_full_sum() {
+        // Same pin-down as the recursive-doubling test above, on the
+        // segmented data path: chain-of-all makes every contribution
+        // provably fresh, so sums are exact. Segment size is forced tiny
+        // (16 elements over a 50-element tensor → 4 segments, chunk
+        // tails, and degenerate chunks) to cover the ragged shapes.
+        let p = 8;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.partial_allreduce(
+                DType::F32,
+                50,
+                ReduceOp::Sum,
+                QuorumPolicy::Chain(p),
+                PartialOpts {
+                    algo: AlgoSelector {
+                        pin: Some(AllreduceAlgo::SegmentedRing),
+                        segment_bytes: 16 * 4,
+                        pipeline_depth: 2,
+                        ..AlgoSelector::default()
+                    },
+                    ..PartialOpts::default()
+                },
+            );
+            let me = ctx.rank() as f32;
+            let mut sums = Vec::new();
+            for r in 0..5u64 {
+                let out = ar.allreduce(&f32s(&[me + r as f32; 50]));
+                let v = out.data.as_f32().unwrap();
+                assert!(v.iter().all(|x| *x == v[0]), "uniform tensor stays uniform");
+                sums.push(v[0]);
+            }
+            ctx.finalize();
+            sums
+        });
+        for sums in out {
+            for (r, s) in sums.iter().enumerate() {
+                assert_eq!(*s, 28.0 + 8.0 * r as f32, "round {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_ring_solo_conserves_mass_under_skew() {
+        // Fig. 7 conservation on the segmented path: every deposit lands
+        // in exactly one round's sum even when slow ranks are dragged in
+        // externally with stale/null chunks.
+        let p = 4;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.partial_allreduce(
+                DType::F32,
+                24,
+                ReduceOp::Sum,
+                QuorumPolicy::Solo,
+                PartialOpts {
+                    algo: AlgoSelector::segmented(8 * 4),
+                    ..PartialOpts::default()
+                },
+            );
+            let mut total = 0.0f64;
+            for round in 0..6u64 {
+                std::thread::sleep(Duration::from_micros(
+                    (ctx.rank() as u64 * 900 + round * 170) % 3000,
+                ));
+                let got = ar.allreduce(&f32s(&[1.0; 24]));
+                total += f64::from(got.data.as_f32().unwrap()[0]);
+                ctx.barrier();
+            }
+            total += f64::from(ar.allreduce(&f32s(&[0.0; 24])).data.as_f32().unwrap()[0]);
+            ctx.barrier();
+            ctx.finalize();
+            total
+        });
+        for (rank, total) in out.iter().enumerate() {
+            assert!(
+                (total - 24.0).abs() < 1e-6,
+                "rank {rank} accounted {total}, deposited 24"
+            );
         }
     }
 

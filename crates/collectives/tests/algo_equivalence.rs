@@ -1,0 +1,210 @@
+//! Algorithm-equivalence property tests: on random `(P, n, op,
+//! quorum-mode, segment size)` the segmented-ring schedule, the
+//! recursive-doubling schedule, and the matcher-based `DirectCollectives`
+//! ring must produce identical allreduce results — byte-exact whenever
+//! the inputs make the reduction order immaterial (min/max, and sums of
+//! small integers, which f32 adds exactly in any order), tolerance-checked
+//! for non-integral sums (the three algorithms legitimately reduce in
+//! different orders). Includes the `n < P` degenerate-chunk case.
+//!
+//! Determinism discipline: the engine algorithms run under the
+//! deterministic quorum modes (`Full`, `Chain(P)`), where a round cannot
+//! complete before every rank's fresh deposit joined — so all three
+//! paths compute the same mathematical sum and the comparison is sound.
+//! (Race modes are covered by the mass-conservation tests in
+//! `partial.rs` and `transport_conformance.rs`, where per-round
+//! membership is timing-dependent by design.)
+
+use pcoll::algos::DirectCollectives;
+use pcoll::{AlgoSelector, AllreduceAlgo, PartialOpts, QuorumPolicy, RankCtx};
+use pcoll_comm::{CollId, DType, Matcher, ReduceOp, TypedBuf, World, WorldConfig};
+use proptest::prelude::*;
+
+/// Deterministic per-(rank, index) contribution. Integer-valued in
+/// [-8, 8], so f32 sums over ≤ 8 ranks are exact in any order.
+fn int_val(rank: usize, i: usize) -> f32 {
+    (((rank * 31 + i * 7) % 17) as i64 - 8) as f32
+}
+
+/// Per-rank round results of one algorithm.
+type RoundResults = Vec<Vec<f32>>;
+
+/// Run both engine algorithms in one world (same activation traffic
+/// shape per collective) for `rounds` rounds and return per-rank
+/// (rd, seg) result vectors.
+fn run_engine_pair(
+    p: usize,
+    n: usize,
+    op: ReduceOp,
+    policy: QuorumPolicy,
+    segment_elems: usize,
+    rounds: u64,
+) -> Vec<(RoundResults, RoundResults)> {
+    World::launch(WorldConfig::instant(p).with_seed(5), move |c| {
+        let ctx = RankCtx::new(c);
+        let mut rd = ctx.partial_allreduce(
+            DType::F32,
+            n,
+            op,
+            policy,
+            PartialOpts {
+                algo: AlgoSelector::pinned(AllreduceAlgo::RecursiveDoubling),
+                ..PartialOpts::default()
+            },
+        );
+        let mut seg = ctx.partial_allreduce(
+            DType::F32,
+            n,
+            op,
+            policy,
+            PartialOpts {
+                algo: AlgoSelector {
+                    pin: Some(AllreduceAlgo::SegmentedRing),
+                    segment_bytes: segment_elems * 4,
+                    pipeline_depth: 2,
+                    ..AlgoSelector::default()
+                },
+                ..PartialOpts::default()
+            },
+        );
+        let me = ctx.rank();
+        let mut out = (Vec::new(), Vec::new());
+        for r in 0..rounds {
+            let contrib: Vec<f32> = (0..n).map(|i| int_val(me, i + r as usize)).collect();
+            let buf = TypedBuf::from(contrib);
+            let a = rd.allreduce(&buf);
+            let b = seg.allreduce(&buf);
+            out.0.push(a.data.as_f32().expect("f32 result").to_vec());
+            out.1.push(b.data.as_f32().expect("f32 result").to_vec());
+        }
+        ctx.finalize();
+        out
+    })
+}
+
+/// The matcher-based direct ring on the same inputs.
+fn run_direct_ring(p: usize, n: usize, op: ReduceOp, rounds: u64) -> Vec<Vec<Vec<f32>>> {
+    World::launch(WorldConfig::instant(p).with_seed(5), move |c| {
+        let me = c.rank();
+        let (h, inbox) = c.split();
+        let mut m = Matcher::new(inbox);
+        let mut dc = DirectCollectives::new(&h, &mut m, CollId(8800));
+        let mut out = Vec::new();
+        for r in 0..rounds {
+            let mut data: Vec<f32> = (0..n).map(|i| int_val(me, i + r as usize)).collect();
+            dc.ring_allreduce_f32(&mut data, op);
+            out.push(data);
+        }
+        out
+    })
+}
+
+fn check_case(p: usize, n: usize, op: ReduceOp, policy: QuorumPolicy, segment_elems: usize) {
+    const ROUNDS: u64 = 2;
+    let engine = run_engine_pair(p, n, op, policy, segment_elems, ROUNDS);
+    let ring = run_direct_ring(p, n, op, ROUNDS);
+
+    // Bitwise identity across ranks, per algorithm (each chunk's total is
+    // computed once, recursive doubling's exchanges are symmetric).
+    for r in 1..p {
+        assert_eq!(engine[0].0, engine[r].0, "rd rank {r} differs");
+        assert_eq!(engine[0].1, engine[r].1, "seg rank {r} differs");
+        assert_eq!(ring[0], ring[r], "ring rank {r} differs");
+    }
+    // Byte-exact agreement across all three algorithms: inputs are
+    // integer-valued, so every reduction order yields the identical
+    // bits for sum/min/max.
+    assert_eq!(
+        engine[0].0, engine[0].1,
+        "recursive doubling vs segmented ring (p={p} n={n} {op:?} {policy:?} seg={segment_elems})"
+    );
+    assert_eq!(
+        engine[0].1, ring[0],
+        "segmented ring vs direct ring (p={p} n={n} {op:?} seg={segment_elems})"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn random_shapes_agree_across_algorithms(
+        p_exp in 1u32..=3,
+        n in 1usize..80,
+        op_idx in 0usize..3,
+        full in any::<bool>(),
+        segment_elems in 1usize..24,
+    ) {
+        let p = 1usize << p_exp;
+        let op = [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max][op_idx];
+        let policy = if full { QuorumPolicy::Full } else { QuorumPolicy::Chain(p) };
+        check_case(p, n, op, policy, segment_elems);
+    }
+}
+
+/// The degenerate-chunk case pinned explicitly: fewer elements than
+/// ranks, segment size 1 (maximum raggedness — most ring chunks are
+/// empty on most segments).
+#[test]
+fn n_smaller_than_p_degenerate_chunks() {
+    for n in [1usize, 3, 7] {
+        check_case(8, n, ReduceOp::Sum, QuorumPolicy::Chain(8), 1);
+    }
+}
+
+/// Non-integral inputs: reduction orders differ between the algorithms,
+/// so sums are compared under a relative tolerance (min/max stay exact
+/// and are covered above).
+#[test]
+fn float_sums_agree_within_tolerance() {
+    let (p, n, rounds) = (8usize, 67usize, 2u64);
+    let engine = run_engine_pair(p, n, ReduceOp::Sum, QuorumPolicy::Full, 9, rounds);
+    let ring = run_direct_ring(p, n, ReduceOp::Sum, rounds);
+    // Re-run with irrational-ish values by scaling: reuse the integer
+    // harness outputs as the baseline, then check the dedicated float
+    // world below.
+    let float_engine = World::launch(WorldConfig::instant(p).with_seed(6), move |c| {
+        let ctx = RankCtx::new(c);
+        let mut rd = ctx.partial_allreduce(
+            DType::F32,
+            n,
+            ReduceOp::Sum,
+            QuorumPolicy::Full,
+            PartialOpts {
+                algo: AlgoSelector::pinned(AllreduceAlgo::RecursiveDoubling),
+                ..PartialOpts::default()
+            },
+        );
+        let mut seg = ctx.partial_allreduce(
+            DType::F32,
+            n,
+            ReduceOp::Sum,
+            QuorumPolicy::Full,
+            PartialOpts {
+                algo: AlgoSelector::segmented(9 * 4),
+                ..PartialOpts::default()
+            },
+        );
+        let me = ctx.rank();
+        let contrib: Vec<f32> = (0..n)
+            .map(|i| ((me * 13 + i) as f32 * 0.37).sin())
+            .collect();
+        let buf = TypedBuf::from(contrib);
+        let a = rd.allreduce(&buf).data.as_f32().unwrap().to_vec();
+        let b = seg.allreduce(&buf).data.as_f32().unwrap().to_vec();
+        ctx.finalize();
+        (a, b)
+    });
+    for (rank, (a, b)) in float_engine.iter().enumerate() {
+        for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+            let tol = 1e-5 * x.abs().max(1.0);
+            assert!(
+                (x - y).abs() <= tol,
+                "rank {rank} elem {i}: rd {x} vs seg {y}"
+            );
+        }
+    }
+    // And the integer harness stays byte-exact (sanity anchor).
+    assert_eq!(engine[0].0, engine[0].1);
+    assert_eq!(engine[0].1, ring[0]);
+}

@@ -278,33 +278,55 @@ impl TypedBuf {
     }
 
     /// Elementwise `self = self ⊕ decode(bytes)` directly over a borrowed
-    /// little-endian byte slice — the chunked-reduce path the TCP receive
+    /// little-endian byte slice — the reduce-from-wire path the receive
     /// side uses to fold an incoming frame into an accumulator without
     /// first materializing a second `TypedBuf`. `bytes` must be the wire
     /// representation ([`TypedBuf::extend_le_bytes`]) of a buffer with
-    /// this dtype and length.
+    /// this dtype and length. This is the primitive behind
+    /// `Payload::reduce_assign` on wire-borne payloads (the engine's
+    /// `Combine` over a TCP-received chunk) and `Matcher::recv_combine`.
     pub fn combine_le_bytes(&mut self, bytes: &[u8], op: ReduceOp) -> Result<(), BufError> {
+        let len = self.len();
+        self.combine_le_bytes_at(0, len, bytes, op)
+    }
+
+    /// Range form of [`TypedBuf::combine_le_bytes`]: fold the wire bytes
+    /// into `self[dst_start .. dst_start + len]`.
+    pub fn combine_le_bytes_at(
+        &mut self,
+        dst_start: usize,
+        len: usize,
+        bytes: &[u8],
+        op: ReduceOp,
+    ) -> Result<(), BufError> {
         let esz = self.dtype().size_of();
-        if bytes.len() != self.len() * esz {
+        if bytes.len() != len * esz {
+            return Err(BufError::LenMismatch {
+                expected: len,
+                got: bytes.len() / esz,
+            });
+        }
+        if dst_start + len > self.len() {
             return Err(BufError::LenMismatch {
                 expected: self.len(),
-                got: bytes.len() / esz,
+                got: dst_start + len,
             });
         }
         macro_rules! fold_chunks {
             ($dst:expr, $ty:ty, $n:literal) => {{
+                let dst = &mut $dst[dst_start..dst_start + len];
                 let src = bytes
                     .chunks_exact($n)
                     .map(|c| <$ty>::from_le_bytes(c.try_into().expect("exact chunk")));
                 match op {
-                    ReduceOp::Sum => $dst.iter_mut().zip(src).for_each(|(d, s)| *d += s),
-                    ReduceOp::Prod => $dst.iter_mut().zip(src).for_each(|(d, s)| *d *= s),
-                    ReduceOp::Min => $dst.iter_mut().zip(src).for_each(|(d, s)| {
+                    ReduceOp::Sum => dst.iter_mut().zip(src).for_each(|(d, s)| *d += s),
+                    ReduceOp::Prod => dst.iter_mut().zip(src).for_each(|(d, s)| *d *= s),
+                    ReduceOp::Min => dst.iter_mut().zip(src).for_each(|(d, s)| {
                         if s < *d {
                             *d = s;
                         }
                     }),
-                    ReduceOp::Max => $dst.iter_mut().zip(src).for_each(|(d, s)| {
+                    ReduceOp::Max => dst.iter_mut().zip(src).for_each(|(d, s)| {
                         if s > *d {
                             *d = s;
                         }
@@ -321,32 +343,159 @@ impl TypedBuf {
         Ok(())
     }
 
+    /// Elementwise `self ⊕= src[src_start .. src_start + self.len()]` —
+    /// the range-aware combine a sub-range payload view reduces through.
+    pub fn combine_offset(
+        &mut self,
+        src: &TypedBuf,
+        src_start: usize,
+        op: ReduceOp,
+    ) -> Result<(), BufError> {
+        if self.dtype() != src.dtype() {
+            return Err(BufError::DTypeMismatch {
+                expected: self.dtype(),
+                got: src.dtype(),
+            });
+        }
+        let len = self.len();
+        if src_start + len > src.len() {
+            return Err(BufError::LenMismatch {
+                expected: src.len(),
+                got: src_start + len,
+            });
+        }
+        match (self, src) {
+            (TypedBuf::F32(d), TypedBuf::F32(s)) => {
+                elementwise!(d, s[src_start..src_start + len], op)
+            }
+            (TypedBuf::F64(d), TypedBuf::F64(s)) => {
+                elementwise!(d, s[src_start..src_start + len], op)
+            }
+            (TypedBuf::I32(d), TypedBuf::I32(s)) => {
+                elementwise!(d, s[src_start..src_start + len], op)
+            }
+            (TypedBuf::I64(d), TypedBuf::I64(s)) => {
+                elementwise!(d, s[src_start..src_start + len], op)
+            }
+            _ => unreachable!("dtype equality checked above"),
+        }
+        Ok(())
+    }
+
+    /// Copy `src[src_start .. src_start + len]` into
+    /// `self[dst_start .. dst_start + len]`.
+    pub fn copy_from_at(
+        &mut self,
+        dst_start: usize,
+        src: &TypedBuf,
+        src_start: usize,
+        len: usize,
+    ) -> Result<(), BufError> {
+        if self.dtype() != src.dtype() {
+            return Err(BufError::DTypeMismatch {
+                expected: self.dtype(),
+                got: src.dtype(),
+            });
+        }
+        if dst_start + len > self.len() || src_start + len > src.len() {
+            return Err(BufError::LenMismatch {
+                expected: self.len(),
+                got: dst_start + len,
+            });
+        }
+        match (self, src) {
+            (TypedBuf::F32(d), TypedBuf::F32(s)) => {
+                d[dst_start..dst_start + len].copy_from_slice(&s[src_start..src_start + len])
+            }
+            (TypedBuf::F64(d), TypedBuf::F64(s)) => {
+                d[dst_start..dst_start + len].copy_from_slice(&s[src_start..src_start + len])
+            }
+            (TypedBuf::I32(d), TypedBuf::I32(s)) => {
+                d[dst_start..dst_start + len].copy_from_slice(&s[src_start..src_start + len])
+            }
+            (TypedBuf::I64(d), TypedBuf::I64(s)) => {
+                d[dst_start..dst_start + len].copy_from_slice(&s[src_start..src_start + len])
+            }
+            _ => unreachable!("dtype equality checked above"),
+        }
+        Ok(())
+    }
+
+    /// Decode the wire bytes of `bytes.len() / size_of(dtype)` elements
+    /// into `self[dst_start ..]` — the write-from-wire counterpart of
+    /// [`TypedBuf::combine_le_bytes_at`] (allgather hops copy, they do
+    /// not reduce).
+    pub fn write_le_bytes_at(&mut self, dst_start: usize, bytes: &[u8]) -> Result<(), BufError> {
+        let esz = self.dtype().size_of();
+        if !bytes.len().is_multiple_of(esz) {
+            return Err(BufError::LenMismatch {
+                expected: bytes.len().div_ceil(esz),
+                got: bytes.len() / esz,
+            });
+        }
+        let len = bytes.len() / esz;
+        if dst_start + len > self.len() {
+            return Err(BufError::LenMismatch {
+                expected: self.len(),
+                got: dst_start + len,
+            });
+        }
+        macro_rules! write_chunks {
+            ($dst:expr, $ty:ty, $n:literal) => {{
+                for (d, c) in $dst[dst_start..dst_start + len]
+                    .iter_mut()
+                    .zip(bytes.chunks_exact($n))
+                {
+                    *d = <$ty>::from_le_bytes(c.try_into().expect("exact chunk"));
+                }
+            }};
+        }
+        match self {
+            TypedBuf::F32(d) => write_chunks!(d, f32, 4),
+            TypedBuf::F64(d) => write_chunks!(d, f64, 8),
+            TypedBuf::I32(d) => write_chunks!(d, i32, 4),
+            TypedBuf::I64(d) => write_chunks!(d, i64, 8),
+        }
+        Ok(())
+    }
+
+    /// Materialize `self[start .. start + len]` as an owned buffer (the
+    /// chunk extraction of the segmented schedule's `SliceCopy` op).
+    pub fn slice_buf(&self, start: usize, len: usize) -> TypedBuf {
+        assert!(start + len <= self.len(), "slice_buf out of range");
+        match self {
+            TypedBuf::F32(v) => TypedBuf::F32(v[start..start + len].to_vec()),
+            TypedBuf::F64(v) => TypedBuf::F64(v[start..start + len].to_vec()),
+            TypedBuf::I32(v) => TypedBuf::I32(v[start..start + len].to_vec()),
+            TypedBuf::I64(v) => TypedBuf::I64(v[start..start + len].to_vec()),
+        }
+    }
+
     /// Append the elements to `out` as little-endian raw bytes — the wire
     /// representation used by the TCP transport's framing (exact bit
     /// patterns, so floats round-trip losslessly).
     pub fn extend_le_bytes(&self, out: &mut Vec<u8>) {
-        out.reserve(self.byte_len());
+        self.extend_le_bytes_range(0, self.len(), out);
+    }
+
+    /// Range form of [`TypedBuf::extend_le_bytes`]: encode only
+    /// `self[start .. start + len]` — what lets a sub-range payload view
+    /// hit the wire without first materializing the slice.
+    pub fn extend_le_bytes_range(&self, start: usize, len: usize, out: &mut Vec<u8>) {
+        assert!(start + len <= self.len(), "encode range out of bounds");
+        out.reserve(len * self.dtype().size_of());
+        macro_rules! encode {
+            ($v:expr) => {
+                for x in &$v[start..start + len] {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            };
+        }
         match self {
-            TypedBuf::F32(v) => {
-                for x in v {
-                    out.extend_from_slice(&x.to_le_bytes());
-                }
-            }
-            TypedBuf::F64(v) => {
-                for x in v {
-                    out.extend_from_slice(&x.to_le_bytes());
-                }
-            }
-            TypedBuf::I32(v) => {
-                for x in v {
-                    out.extend_from_slice(&x.to_le_bytes());
-                }
-            }
-            TypedBuf::I64(v) => {
-                for x in v {
-                    out.extend_from_slice(&x.to_le_bytes());
-                }
-            }
+            TypedBuf::F32(v) => encode!(v),
+            TypedBuf::F64(v) => encode!(v),
+            TypedBuf::I32(v) => encode!(v),
+            TypedBuf::I64(v) => encode!(v),
         }
     }
 
@@ -397,6 +546,32 @@ pub fn reduce_f32_slices(dst: &mut [f32], src: &[f32], op: ReduceOp) {
         ReduceOp::Prod => dst.iter_mut().zip(src).for_each(|(d, s)| *d *= *s),
         ReduceOp::Min => dst.iter_mut().zip(src).for_each(|(d, s)| *d = d.min(*s)),
         ReduceOp::Max => dst.iter_mut().zip(src).for_each(|(d, s)| *d = d.max(*s)),
+    }
+}
+
+/// Elementwise `dst = dst ⊕ decode_f32(bytes)` over a bare slice — the
+/// reduce-from-wire kernel for slice-based consumers (the direct ring
+/// algorithms fold a TCP frame's borrowed bytes straight into their chunk
+/// accumulator; see `Matcher::recv_combine`).
+pub fn reduce_f32_from_le_bytes(dst: &mut [f32], bytes: &[u8], op: ReduceOp) {
+    debug_assert_eq!(dst.len() * 4, bytes.len());
+    let src = bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk")));
+    match op {
+        ReduceOp::Sum => dst.iter_mut().zip(src).for_each(|(d, s)| *d += s),
+        ReduceOp::Prod => dst.iter_mut().zip(src).for_each(|(d, s)| *d *= s),
+        ReduceOp::Min => dst.iter_mut().zip(src).for_each(|(d, s)| *d = d.min(s)),
+        ReduceOp::Max => dst.iter_mut().zip(src).for_each(|(d, s)| *d = d.max(s)),
+    }
+}
+
+/// Decode the wire bytes of f32 elements into `dst` (the copy
+/// counterpart of [`reduce_f32_from_le_bytes`], for allgather hops).
+pub fn write_f32_from_le_bytes(dst: &mut [f32], bytes: &[u8]) {
+    debug_assert_eq!(dst.len() * 4, bytes.len());
+    for (d, c) in dst.iter_mut().zip(bytes.chunks_exact(4)) {
+        *d = f32::from_le_bytes(c.try_into().expect("4-byte chunk"));
     }
 }
 

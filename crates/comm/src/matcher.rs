@@ -5,6 +5,7 @@
 //! Horovod-style negotiation baseline), and examples that want MPI-flavoured
 //! `recv(src, tag)` semantics without standing up the engine.
 
+use crate::buf::ReduceOp;
 use crate::tag::{Message, Rank, WireTag};
 use crate::world::{Envelope, Inbox};
 use std::collections::{HashMap, VecDeque};
@@ -89,6 +90,39 @@ impl Matcher {
                 }
             }
         }
+    }
+
+    /// Blocking receive of `(src, tag)` that folds the payload straight
+    /// into `dst` under `op` — the reduce-from-wire receive. On the TCP
+    /// backend the payload still holds the frame's raw little-endian
+    /// bytes, so the fold (`Payload::reduce_into_f32`, backed by the
+    /// `combine_le_bytes` family) reads them without materializing an
+    /// intermediate buffer; in-process it reduces over the sender's
+    /// shared allocation. Returns `None` on world teardown.
+    pub fn recv_combine(
+        &mut self,
+        src: Rank,
+        tag: WireTag,
+        dst: &mut [f32],
+        op: ReduceOp,
+    ) -> Option<()> {
+        let msg = self.recv(src, tag)?;
+        let payload = msg.payload.expect("recv_combine expects a data message");
+        payload
+            .reduce_into_f32(dst, op)
+            .expect("recv_combine shape mismatch");
+        Some(())
+    }
+
+    /// Blocking receive of `(src, tag)` that copies the payload into
+    /// `dst` (the allgather counterpart of [`Matcher::recv_combine`]).
+    pub fn recv_copy(&mut self, src: Rank, tag: WireTag, dst: &mut [f32]) -> Option<()> {
+        let msg = self.recv(src, tag)?;
+        let payload = msg.payload.expect("recv_copy expects a data message");
+        payload
+            .copy_into_f32(dst)
+            .expect("recv_copy shape mismatch");
+        Some(())
     }
 
     /// Receive from any source with the given tag (MPI_ANY_SOURCE flavour).

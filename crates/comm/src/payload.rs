@@ -1,71 +1,395 @@
 //! Shared message payloads: the zero-copy unit of the data hot path.
 //!
-//! A [`Payload`] is an `Arc`-backed [`TypedBuf`]: cloning one is a
-//! reference-count bump, never a memcpy. This is what lets the engine's
-//! `SendData` fan a round's contribution out to every peer in a tree or
-//! ring while all in-flight copies — the sender's slot, the messages
-//! queued in the delivery shaper, each destination mailbox — share one
-//! allocation. Mutation goes through [`Payload::to_mut`], which is
-//! copy-on-write: in the steady state (a uniquely-owned reduction
-//! accumulator) it is a plain `&mut` borrow; only a buffer that is still
-//! shared with an in-flight message pays for a copy, which is exactly
-//! the aliasing case where a copy is semantically required.
+//! A [`Payload`] is a reference-counted buffer plus an element range.
+//! Cloning one is a reference-count bump, never a memcpy — this is what
+//! lets the engine's `SendData` fan a round's contribution out to every
+//! peer while all in-flight copies share one allocation — and
+//! [`Payload::view`] narrows the range for the same price, so a ring or
+//! segmented schedule can put a *slice* of a tensor on the wire without
+//! materializing it.
+//!
+//! Two representations sit behind the same API:
+//!
+//! - **Typed**: an `Arc<TypedBuf>` — what senders build and what the
+//!   in-process transport moves end to end.
+//! - **Wire**: the raw little-endian element bytes exactly as a TCP frame
+//!   carried them. The socket reader wraps the frame body without
+//!   decoding it; the bytes are only interpreted where they are consumed —
+//!   and the hot consumer, a reduction ([`Payload::reduce_assign`], the
+//!   engine's `Combine`), folds them straight into the destination buffer
+//!   via [`TypedBuf::combine_le_bytes`] with **no** intermediate
+//!   `TypedBuf` materialization.
+//!
+//! Mutation goes through the `*_assign` methods, which are copy-on-write:
+//! a uniquely-owned full-range typed payload (the steady-state reduction
+//! accumulator) mutates in place; a shared, viewed, or wire-borne one
+//! first materializes exactly its own range.
 
-use crate::buf::TypedBuf;
-use std::ops::Deref;
+use crate::buf::{BufError, TypedBuf};
+use crate::{DType, ReduceOp};
 use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Typed(Arc<TypedBuf>),
+    /// Raw little-endian element bytes as read from a TCP frame.
+    Wire {
+        dtype: DType,
+        bytes: Arc<Vec<u8>>,
+    },
+}
 
 /// A cheaply-cloneable, shared, typed message payload (see module docs).
 #[derive(Debug, Clone)]
 pub struct Payload {
-    inner: Arc<TypedBuf>,
+    repr: Repr,
+    /// Element range this payload exposes (a view of the allocation).
+    start: usize,
+    len: usize,
 }
 
 impl Payload {
     /// Wrap an owned buffer (one allocation for the `Arc` control block;
     /// the element storage is taken over, not copied).
     pub fn new(buf: TypedBuf) -> Self {
+        let len = buf.len();
         Payload {
-            inner: Arc::new(buf),
+            repr: Repr::Typed(Arc::new(buf)),
+            start: 0,
+            len,
         }
     }
 
-    /// Borrow the underlying buffer.
+    /// Wrap raw wire bytes (the TCP reader's undecoded frame body).
+    /// `None` if `bytes` is not a whole number of `dtype` elements.
+    pub fn from_wire(dtype: DType, bytes: Vec<u8>) -> Option<Self> {
+        if !bytes.len().is_multiple_of(dtype.size_of()) {
+            return None;
+        }
+        let len = bytes.len() / dtype.size_of();
+        Some(Payload {
+            repr: Repr::Wire {
+                dtype,
+                bytes: Arc::new(bytes),
+            },
+            start: 0,
+            len,
+        })
+    }
+
+    /// The element type.
     #[inline]
-    pub fn buf(&self) -> &TypedBuf {
-        &self.inner
+    pub fn dtype(&self) -> DType {
+        match &self.repr {
+            Repr::Typed(b) => b.dtype(),
+            Repr::Wire { dtype, .. } => *dtype,
+        }
     }
 
-    /// Mutable access, copy-on-write: borrows in place when this is the
-    /// only owner, clones the buffer first when it is still shared.
-    pub fn to_mut(&mut self) -> &mut TypedBuf {
-        Arc::make_mut(&mut self.inner)
+    /// Number of elements in this payload's range.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
     }
 
-    /// Recover the owned buffer: free when this is the last owner, one
-    /// copy otherwise.
+    /// True if the range holds no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Payload size in bytes (what the network model charges for).
+    #[inline]
+    pub fn byte_len(&self) -> usize {
+        self.len * self.dtype().size_of()
+    }
+
+    /// True when this payload carries undecoded wire bytes.
+    pub fn is_wire(&self) -> bool {
+        matches!(self.repr, Repr::Wire { .. })
+    }
+
+    /// A sub-range view sharing this payload's allocation: a reference
+    /// count bump, never an element copy. Panics on an out-of-range view.
+    pub fn view(&self, start: usize, len: usize) -> Payload {
+        assert!(
+            start + len <= self.len,
+            "view {start}..{} exceeds payload of {} elements",
+            start + len,
+            self.len
+        );
+        Payload {
+            repr: self.repr.clone(),
+            start: self.start + start,
+            len,
+        }
+    }
+
+    /// True when this payload exposes less than its whole allocation.
+    pub fn is_view(&self) -> bool {
+        let full = match &self.repr {
+            Repr::Typed(b) => b.len(),
+            Repr::Wire { dtype, bytes } => bytes.len() / dtype.size_of(),
+        };
+        self.start != 0 || self.len != full
+    }
+
+    /// View as `&[f32]` — typed payloads only (wire bytes are not
+    /// reinterpreted in place; decode via [`Payload::to_buf`] or reduce
+    /// via [`Payload::reduce_assign`]).
+    pub fn as_f32(&self) -> Option<&[f32]> {
+        match &self.repr {
+            Repr::Typed(b) => b.as_f32().map(|v| &v[self.start..self.start + self.len]),
+            Repr::Wire { .. } => None,
+        }
+    }
+
+    /// View as `&[f64]` (typed payloads only).
+    pub fn as_f64(&self) -> Option<&[f64]> {
+        match &self.repr {
+            Repr::Typed(b) => b.as_f64().map(|v| &v[self.start..self.start + self.len]),
+            Repr::Wire { .. } => None,
+        }
+    }
+
+    /// View as `&[i32]` (typed payloads only).
+    pub fn as_i32(&self) -> Option<&[i32]> {
+        match &self.repr {
+            Repr::Typed(b) => b.as_i32().map(|v| &v[self.start..self.start + self.len]),
+            Repr::Wire { .. } => None,
+        }
+    }
+
+    /// View as `&[i64]` (typed payloads only).
+    pub fn as_i64(&self) -> Option<&[i64]> {
+        match &self.repr {
+            Repr::Typed(b) => b.as_i64().map(|v| &v[self.start..self.start + self.len]),
+            Repr::Wire { .. } => None,
+        }
+    }
+
+    /// This payload's range of the wire bytes, when wire-borne.
+    fn wire_range(&self) -> Option<(DType, &[u8])> {
+        match &self.repr {
+            Repr::Wire { dtype, bytes } => {
+                let esz = dtype.size_of();
+                Some((
+                    *dtype,
+                    &bytes[self.start * esz..(self.start + self.len) * esz],
+                ))
+            }
+            Repr::Typed(_) => None,
+        }
+    }
+
+    /// Materialize this payload's range as an owned buffer (decodes wire
+    /// bytes; copies a typed range).
+    pub fn to_buf(&self) -> TypedBuf {
+        match &self.repr {
+            Repr::Typed(b) => b.slice_buf(self.start, self.len),
+            Repr::Wire { .. } => {
+                let (dtype, raw) = self.wire_range().expect("wire repr");
+                TypedBuf::from_le_bytes(dtype, raw).expect("whole elements by construction")
+            }
+        }
+    }
+
+    /// Recover an owned buffer: free for the last owner of a full-range
+    /// typed payload, one copy (or one decode) otherwise.
     pub fn into_buf(self) -> TypedBuf {
-        Arc::try_unwrap(self.inner).unwrap_or_else(|arc| (*arc).clone())
+        if self.is_view() {
+            return self.to_buf();
+        }
+        match self.repr {
+            Repr::Typed(arc) => Arc::try_unwrap(arc).unwrap_or_else(|arc| (*arc).clone()),
+            Repr::Wire { .. } => self.to_buf(),
+        }
+    }
+
+    /// Materialize as an owned, full-range payload (used by the
+    /// segmented schedule's `SliceCopy`: one chunk-sized copy that
+    /// decouples the chunk from the contribution buffer so later
+    /// reductions stay in place).
+    pub fn owned_range(&self, start: usize, len: usize) -> Payload {
+        Payload::new(self.view(start, len).to_buf())
+    }
+
+    /// Make `self` a uniquely-owned full-range typed payload and return
+    /// the buffer mutably. In place when already unique/full/typed;
+    /// otherwise materializes exactly this payload's range.
+    pub fn to_mut(&mut self) -> &mut TypedBuf {
+        let needs_copy = self.is_view()
+            || match &self.repr {
+                Repr::Typed(arc) => Arc::strong_count(arc) > 1,
+                Repr::Wire { .. } => true,
+            };
+        if needs_copy {
+            *self = Payload::new(self.to_buf());
+        }
+        match &mut self.repr {
+            Repr::Typed(arc) => Arc::get_mut(arc).expect("uniquely owned after materialize"),
+            Repr::Wire { .. } => unreachable!("materialized to typed above"),
+        }
+    }
+
+    /// Elementwise `self = self ⊕ src` under `op`. The destination
+    /// mutates copy-on-write ([`Payload::to_mut`] semantics); a wire-borne
+    /// source folds in via [`TypedBuf::combine_le_bytes`] — reduce
+    /// straight from the frame bytes, no intermediate buffer.
+    pub fn reduce_assign(&mut self, src: &Payload, op: ReduceOp) -> Result<(), BufError> {
+        if self.dtype() != src.dtype() {
+            return Err(BufError::DTypeMismatch {
+                expected: self.dtype(),
+                got: src.dtype(),
+            });
+        }
+        if self.len != src.len {
+            return Err(BufError::LenMismatch {
+                expected: self.len,
+                got: src.len,
+            });
+        }
+        let dst = self.to_mut();
+        match &src.repr {
+            Repr::Typed(b) => dst.combine_offset(b, src.start, op),
+            Repr::Wire { .. } => {
+                let (_, raw) = src.wire_range().expect("wire repr");
+                dst.combine_le_bytes(raw, op)
+            }
+        }
+    }
+
+    /// Write this payload's elements into `dst[dst_start ..]` (the
+    /// segmented allgather's assembly step). Decodes wire bytes directly
+    /// into the destination range.
+    pub fn copy_into_at(&self, dst: &mut TypedBuf, dst_start: usize) -> Result<(), BufError> {
+        match &self.repr {
+            Repr::Typed(b) => dst.copy_from_at(dst_start, b, self.start, self.len),
+            Repr::Wire { .. } => {
+                let (dtype, raw) = self.wire_range().expect("wire repr");
+                if dst.dtype() != dtype {
+                    return Err(BufError::DTypeMismatch {
+                        expected: dst.dtype(),
+                        got: dtype,
+                    });
+                }
+                dst.write_le_bytes_at(dst_start, raw)
+            }
+        }
+    }
+
+    /// Fold this payload into a bare `f32` slice (the direct ring
+    /// algorithms' accumulator). Errors on dtype/length mismatch.
+    pub fn reduce_into_f32(&self, dst: &mut [f32], op: ReduceOp) -> Result<(), BufError> {
+        if self.dtype() != DType::F32 {
+            return Err(BufError::DTypeMismatch {
+                expected: DType::F32,
+                got: self.dtype(),
+            });
+        }
+        if self.len != dst.len() {
+            return Err(BufError::LenMismatch {
+                expected: dst.len(),
+                got: self.len,
+            });
+        }
+        match &self.repr {
+            Repr::Typed(_) => {
+                crate::buf::reduce_f32_slices(dst, self.as_f32().expect("f32 typed"), op)
+            }
+            Repr::Wire { .. } => {
+                let (_, raw) = self.wire_range().expect("wire repr");
+                crate::buf::reduce_f32_from_le_bytes(dst, raw, op);
+            }
+        }
+        Ok(())
+    }
+
+    /// Copy this payload into a bare `f32` slice (allgather hops write,
+    /// they do not reduce).
+    pub fn copy_into_f32(&self, dst: &mut [f32]) -> Result<(), BufError> {
+        if self.dtype() != DType::F32 {
+            return Err(BufError::DTypeMismatch {
+                expected: DType::F32,
+                got: self.dtype(),
+            });
+        }
+        if self.len != dst.len() {
+            return Err(BufError::LenMismatch {
+                expected: dst.len(),
+                got: self.len,
+            });
+        }
+        match &self.repr {
+            Repr::Typed(_) => dst.copy_from_slice(self.as_f32().expect("f32 typed")),
+            Repr::Wire { .. } => {
+                let (_, raw) = self.wire_range().expect("wire repr");
+                crate::buf::write_f32_from_le_bytes(dst, raw);
+            }
+        }
+        Ok(())
+    }
+
+    /// Append this payload's range as little-endian wire bytes — the TCP
+    /// framing path. A wire-borne payload (zero-copy forwarding of a
+    /// received chunk) is a straight memcpy; a typed view encodes only
+    /// its range.
+    pub fn extend_wire_bytes(&self, out: &mut Vec<u8>) {
+        match &self.repr {
+            Repr::Typed(b) => b.extend_le_bytes_range(self.start, self.len, out),
+            Repr::Wire { .. } => {
+                let (_, raw) = self.wire_range().expect("wire repr");
+                out.extend_from_slice(raw);
+            }
+        }
     }
 
     /// Number of live clones sharing this allocation (diagnostics).
     pub fn ref_count(&self) -> usize {
-        Arc::strong_count(&self.inner)
+        match &self.repr {
+            Repr::Typed(arc) => Arc::strong_count(arc),
+            Repr::Wire { bytes, .. } => Arc::strong_count(bytes),
+        }
     }
 
     /// True if `self` and `other` share the same allocation (the
     /// zero-copy invariant tests assert).
     pub fn shares_allocation_with(&self, other: &Payload) -> bool {
-        Arc::ptr_eq(&self.inner, &other.inner)
+        match (&self.repr, &other.repr) {
+            (Repr::Typed(a), Repr::Typed(b)) => Arc::ptr_eq(a, b),
+            (Repr::Wire { bytes: a, .. }, Repr::Wire { bytes: b, .. }) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 }
 
-impl Deref for Payload {
-    type Target = TypedBuf;
+impl PartialEq for Payload {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer equality first: shared clones compare without a walk.
+        if self.shares_allocation_with(other) && self.start == other.start && self.len == other.len
+        {
+            return true;
+        }
+        if self.dtype() != other.dtype() || self.len != other.len {
+            return false;
+        }
+        // Typed payloads compare their ranges in place; only a
+        // wire-borne side pays for a decode.
+        if let (Repr::Typed(_), Repr::Typed(_)) = (&self.repr, &other.repr) {
+            return match self.dtype() {
+                DType::F32 => self.as_f32() == other.as_f32(),
+                DType::F64 => self.as_f64() == other.as_f64(),
+                DType::I32 => self.as_i32() == other.as_i32(),
+                DType::I64 => self.as_i64() == other.as_i64(),
+            };
+        }
+        self.to_buf() == other.to_buf()
+    }
+}
 
-    #[inline]
-    fn deref(&self) -> &TypedBuf {
-        &self.inner
+impl PartialEq<TypedBuf> for Payload {
+    fn eq(&self, other: &TypedBuf) -> bool {
+        self.dtype() == other.dtype() && self.len == other.len() && self.to_buf() == *other
     }
 }
 
@@ -75,23 +399,9 @@ impl From<TypedBuf> for Payload {
     }
 }
 
-impl PartialEq for Payload {
-    fn eq(&self, other: &Self) -> bool {
-        // Pointer equality first: shared clones compare without an
-        // elementwise walk.
-        Arc::ptr_eq(&self.inner, &other.inner) || *self.inner == *other.inner
-    }
-}
-
-impl PartialEq<TypedBuf> for Payload {
-    fn eq(&self, other: &TypedBuf) -> bool {
-        *self.inner == *other
-    }
-}
-
 impl serde::Serialize for Payload {
     fn to_value(&self) -> serde::json::Value {
-        self.inner.to_value()
+        self.to_buf().to_value()
     }
 }
 
@@ -117,11 +427,11 @@ mod tests {
     #[test]
     fn to_mut_is_in_place_when_unique() {
         let mut a = Payload::new(TypedBuf::from(vec![1.0f32, 2.0]));
-        let before = a.buf().as_f32().unwrap().as_ptr();
+        let before = a.as_f32().unwrap().as_ptr();
         a.to_mut().scale(2.0);
-        assert_eq!(a.buf().as_f32().unwrap(), &[2.0, 4.0]);
+        assert_eq!(a.as_f32().unwrap(), &[2.0, 4.0]);
         assert_eq!(
-            a.buf().as_f32().unwrap().as_ptr(),
+            a.as_f32().unwrap().as_ptr(),
             before,
             "unique owner must mutate in place"
         );
@@ -132,24 +442,150 @@ mod tests {
         let mut a = Payload::new(TypedBuf::from(vec![1.0f32, 2.0]));
         let b = a.clone();
         a.to_mut().scale(10.0);
-        assert_eq!(a.buf().as_f32().unwrap(), &[10.0, 20.0]);
-        assert_eq!(b.buf().as_f32().unwrap(), &[1.0, 2.0], "sharers unharmed");
+        assert_eq!(a.as_f32().unwrap(), &[10.0, 20.0]);
+        assert_eq!(b.as_f32().unwrap(), &[1.0, 2.0], "sharers unharmed");
         assert!(!a.shares_allocation_with(&b));
     }
 
     #[test]
     fn into_buf_is_free_for_the_last_owner() {
         let a = Payload::new(TypedBuf::from(vec![7i64; 8]));
-        let ptr = a.buf().as_i64().unwrap().as_ptr();
+        let ptr = a.as_i64().unwrap().as_ptr();
         let owned = a.into_buf();
         assert_eq!(owned.as_i64().unwrap().as_ptr(), ptr, "no copy");
     }
 
     #[test]
-    fn deref_exposes_typed_buf_api() {
-        let a = Payload::new(TypedBuf::from(vec![3i32, 4]));
-        assert_eq!(a.len(), 2);
-        assert_eq!(a.as_i32().unwrap(), &[3, 4]);
-        assert_eq!(a.byte_len(), 8);
+    fn view_is_a_refcount_bump_with_narrowed_range() {
+        let a = Payload::new(TypedBuf::from((0..8).map(|i| i as f32).collect::<Vec<_>>()));
+        let v = a.view(2, 3);
+        assert!(v.shares_allocation_with(&a), "views share the allocation");
+        assert_eq!(a.ref_count(), 2);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.byte_len(), 12);
+        assert!(v.is_view() && !a.is_view());
+        assert_eq!(v.as_f32().unwrap(), &[2.0, 3.0, 4.0]);
+        // Views of views compose.
+        let vv = v.view(1, 2);
+        assert_eq!(vv.as_f32().unwrap(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds payload")]
+    fn out_of_range_view_panics() {
+        let a = Payload::new(TypedBuf::from(vec![0.0f32; 4]));
+        let _ = a.view(2, 3);
+    }
+
+    #[test]
+    fn wire_payload_exposes_shape_and_decodes_lazily() {
+        let src = TypedBuf::from(vec![1.5f32, -2.0, 3.25]);
+        let mut raw = Vec::new();
+        src.extend_le_bytes(&mut raw);
+        let w = Payload::from_wire(DType::F32, raw).unwrap();
+        assert!(w.is_wire());
+        assert_eq!(w.dtype(), DType::F32);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.byte_len(), 12);
+        assert!(w.as_f32().is_none(), "wire bytes are not reinterpreted");
+        assert_eq!(w.to_buf(), src);
+        // Ragged byte counts are rejected.
+        assert!(Payload::from_wire(DType::F64, vec![0u8; 12]).is_none());
+    }
+
+    #[test]
+    fn reduce_assign_folds_typed_views_and_wire_bytes() {
+        for wire in [false, true] {
+            let src = TypedBuf::from(vec![10.0f32, 20.0, 30.0, 40.0]);
+            let src_p = if wire {
+                let mut raw = Vec::new();
+                src.extend_le_bytes(&mut raw);
+                Payload::from_wire(DType::F32, raw).unwrap()
+            } else {
+                Payload::new(src)
+            };
+            let mut acc = Payload::new(TypedBuf::from(vec![1.0f32, 2.0]));
+            acc.reduce_assign(&src_p.view(1, 2), ReduceOp::Sum).unwrap();
+            assert_eq!(acc.as_f32().unwrap(), &[21.0, 32.0], "wire={wire}");
+        }
+    }
+
+    #[test]
+    fn reduce_assign_materializes_only_the_viewed_range() {
+        let base = Payload::new(TypedBuf::from(vec![0.0f32; 1024]));
+        let mut chunk = base.view(512, 16);
+        chunk
+            .reduce_assign(
+                &Payload::new(TypedBuf::from(vec![1.0f32; 16])),
+                ReduceOp::Sum,
+            )
+            .unwrap();
+        assert_eq!(chunk.len(), 16);
+        assert!(!chunk.shares_allocation_with(&base), "copy-on-write");
+        assert_eq!(chunk.as_f32().unwrap(), &[1.0; 16]);
+        assert_eq!(base.as_f32().unwrap()[512], 0.0, "base unharmed");
+    }
+
+    #[test]
+    fn copy_into_at_writes_typed_and_wire_sources() {
+        let src = TypedBuf::from(vec![5.0f32, 6.0]);
+        let mut raw = Vec::new();
+        src.extend_le_bytes(&mut raw);
+        for p in [
+            Payload::new(src.clone()),
+            Payload::from_wire(DType::F32, raw).unwrap(),
+        ] {
+            let mut dst = TypedBuf::zeros(DType::F32, 5);
+            p.copy_into_at(&mut dst, 2).unwrap();
+            assert_eq!(dst.as_f32().unwrap(), &[0.0, 0.0, 5.0, 6.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn f32_slice_paths_reduce_and_copy_from_both_reprs() {
+        let src = TypedBuf::from(vec![2.0f32, 4.0]);
+        let mut raw = Vec::new();
+        src.extend_le_bytes(&mut raw);
+        for p in [
+            Payload::new(src.clone()),
+            Payload::from_wire(DType::F32, raw).unwrap(),
+        ] {
+            let mut acc = [1.0f32, 1.0];
+            p.reduce_into_f32(&mut acc, ReduceOp::Sum).unwrap();
+            assert_eq!(acc, [3.0, 5.0]);
+            let mut out = [0.0f32; 2];
+            p.copy_into_f32(&mut out).unwrap();
+            assert_eq!(out, [2.0, 4.0]);
+        }
+        // Shape errors are reported, not panicked.
+        let p = Payload::new(TypedBuf::from(vec![1i32]));
+        assert!(p.reduce_into_f32(&mut [0.0], ReduceOp::Sum).is_err());
+    }
+
+    #[test]
+    fn extend_wire_bytes_round_trips_views_and_wire() {
+        let src = TypedBuf::from((0..6).map(|i| i as f32).collect::<Vec<_>>());
+        let p = Payload::new(src.clone());
+        let v = p.view(2, 3);
+        let mut enc = Vec::new();
+        v.extend_wire_bytes(&mut enc);
+        assert_eq!(enc.len(), 12, "only the view range is encoded");
+        let back = Payload::from_wire(DType::F32, enc).unwrap();
+        assert_eq!(back.to_buf(), src.slice_buf(2, 3));
+        // Wire → wire forwarding is a byte copy of the same range.
+        let mut enc2 = Vec::new();
+        back.extend_wire_bytes(&mut enc2);
+        let mut want = Vec::new();
+        src.extend_le_bytes_range(2, 3, &mut want);
+        assert_eq!(enc2, want);
+    }
+
+    #[test]
+    fn owned_range_detaches_from_the_source() {
+        let a = Payload::new(TypedBuf::from(vec![9.0f32; 8]));
+        let c = a.owned_range(4, 2);
+        assert!(!c.shares_allocation_with(&a));
+        assert_eq!(c.as_f32().unwrap(), &[9.0, 9.0]);
+        assert!(!c.is_view());
     }
 }

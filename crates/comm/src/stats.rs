@@ -18,6 +18,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct CommStats {
     /// Messages pushed into any bounded send queue.
     pub sends: AtomicU64,
+    /// Payload bytes handed to the transport by this rank's sends
+    /// (control messages count zero). Telemetry consumers (the
+    /// `coll_micro` bench, the tune bus's `Queue` events) divide deltas
+    /// of this by wall time to report *achieved* wire bandwidth per
+    /// algorithm instead of inferring it from message counts.
+    pub bytes_sent: AtomicU64,
     /// Sends that found their queue full and blocked for space.
     pub send_stalls: AtomicU64,
     /// Total nanoseconds spent blocked on full queues.
@@ -47,6 +53,7 @@ impl CommStats {
     pub fn snapshot(&self) -> CommStatsSnapshot {
         CommStatsSnapshot {
             sends: self.sends.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             send_stalls: self.send_stalls.load(Ordering::Relaxed),
             stall_ms: self.stall_ns.load(Ordering::Relaxed) as f64 / 1e6,
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
@@ -60,6 +67,7 @@ impl CommStats {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CommStatsSnapshot {
     pub sends: u64,
+    pub bytes_sent: u64,
     pub send_stalls: u64,
     pub stall_ms: f64,
     pub peak_queue_depth: u64,
@@ -72,6 +80,7 @@ impl CommStatsSnapshot {
     pub fn since(&self, earlier: &CommStatsSnapshot) -> CommStatsSnapshot {
         CommStatsSnapshot {
             sends: self.sends.saturating_sub(earlier.sends),
+            bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
             send_stalls: self.send_stalls.saturating_sub(earlier.send_stalls),
             stall_ms: (self.stall_ms - earlier.stall_ms).max(0.0),
             peak_queue_depth: self.peak_queue_depth,
@@ -114,6 +123,7 @@ mod tests {
     fn since_subtracts_monotonic_counters() {
         let a = CommStatsSnapshot {
             sends: 5,
+            bytes_sent: 100,
             send_stalls: 1,
             stall_ms: 1.0,
             peak_queue_depth: 3,
@@ -121,6 +131,7 @@ mod tests {
         };
         let b = CommStatsSnapshot {
             sends: 9,
+            bytes_sent: 260,
             send_stalls: 4,
             stall_ms: 2.5,
             peak_queue_depth: 6,
@@ -128,6 +139,7 @@ mod tests {
         };
         let d = b.since(&a);
         assert_eq!(d.sends, 4);
+        assert_eq!(d.bytes_sent, 160);
         assert_eq!(d.send_stalls, 3);
         assert!((d.stall_ms - 1.5).abs() < 1e-9);
         assert_eq!(d.peak_queue_depth, 6, "peak carries over");

@@ -44,7 +44,7 @@ use crate::pool::FRAME_POOL;
 use crate::stats::CommStats;
 use crate::tag::{CollId, Message, Rank, WireTag};
 use crate::world::{CommHandle, Communicator, Envelope, Inbox, WorldConfig};
-use crate::{DType, NetworkModel, TypedBuf};
+use crate::{DType, NetworkModel};
 use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender, TrySendError};
 use serde::json::Value;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -293,7 +293,9 @@ pub(crate) fn encode_data_into(msg: &Message, out: &mut Vec<u8>) {
         Some(buf) => {
             out.push(dtype_code(buf.dtype()));
             out.extend_from_slice(&(buf.len() as u64).to_le_bytes());
-            buf.extend_le_bytes(out);
+            // Range-aware: a sub-range view encodes only its slice, and a
+            // wire-borne payload being forwarded is a straight byte copy.
+            buf.extend_wire_bytes(out);
         }
     }
 }
@@ -330,12 +332,14 @@ pub(crate) fn decode_frame(body: &[u8]) -> Result<WireFrame, String> {
                         .filter(|&n| n <= MAX_FRAME)
                         .ok_or("payload length overflow")?;
                     let raw = cur.bytes(nbytes)?;
-                    // One allocation: straight from the (pooled) frame
-                    // body into the typed element storage.
+                    // One allocation: the (pooled) frame body's payload
+                    // range is copied out as raw bytes and *not* decoded —
+                    // a reduction consumer folds it straight into its
+                    // accumulator (`TypedBuf::combine_le_bytes`), so the
+                    // hot path never materializes an intermediate buffer.
                     Some(
-                        TypedBuf::from_le_bytes(dtype, raw)
-                            .ok_or("ragged payload bytes")?
-                            .into(),
+                        crate::Payload::from_wire(dtype, raw.to_vec())
+                            .ok_or("ragged payload bytes")?,
                     )
                 }
             };
@@ -1018,7 +1022,7 @@ where
 mod tests {
     use super::*;
 
-    use crate::Payload;
+    use crate::{Payload, TypedBuf};
 
     fn data_msg(src: Rank, payload: Option<TypedBuf>) -> Message {
         Message {
@@ -1066,7 +1070,7 @@ mod tests {
         let big: Vec<f32> = (0..n).map(|i| (i as f32).sin()).collect();
         let msg = data_msg(2, Some(TypedBuf::from(big.clone())));
         let back = round_trip(&msg);
-        assert_eq!(back.payload.unwrap().as_f32().unwrap(), &big[..]);
+        assert_eq!(back.payload.unwrap().into_buf().as_f32().unwrap(), &big[..]);
     }
 
     #[test]
@@ -1133,7 +1137,7 @@ mod tests {
                 Some(TypedBuf::from(vec![c.rank() as i64])),
             );
             match c.inbox().recv() {
-                Some(Envelope::Data(m)) => m.payload.unwrap().as_i64().unwrap()[0],
+                Some(Envelope::Data(m)) => m.payload.unwrap().into_buf().as_i64().unwrap()[0],
                 other => panic!("expected data, got {other:?}"),
             }
         });

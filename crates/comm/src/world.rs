@@ -161,6 +161,11 @@ impl CommHandle {
     /// costs `k` reference-count bumps and zero element copies.
     pub fn send_payload(&self, dst: Rank, tag: WireTag, payload: Option<Payload>) {
         assert!(dst < self.size, "dst {dst} out of range (P={})", self.size);
+        if let Some(p) = &payload {
+            self.stats
+                .bytes_sent
+                .fetch_add(p.byte_len() as u64, std::sync::atomic::Ordering::Relaxed);
+        }
         let msg = Message {
             src: self.rank,
             tag,

@@ -29,7 +29,8 @@ use dnn::{EvalMetrics, Model, Optimizer};
 use imbalance::Injector;
 use minitensor::TensorRng;
 use pcoll::{
-    PartialAllreduce, PartialOpts, QuorumPolicy, RankCtx, RoundObserver, StaleMode, SyncAllreduce,
+    AlgoSelector, PartialAllreduce, PartialOpts, QuorumPolicy, RankCtx, RoundObserver, StaleMode,
+    SyncAllreduce,
 };
 use pcoll_comm::{DType, ReduceOp, TypedBuf};
 use serde::{Deserialize, Serialize};
@@ -229,6 +230,12 @@ pub struct TrainerConfig {
     /// Stale-gradient handling in the partial collective (ablation; the
     /// paper's protocol is `Accumulate`).
     pub stale_mode: StaleMode,
+    /// Allreduce data-phase algorithm for the eager gradient collective:
+    /// adaptive (recursive doubling for small fused gradients, segmented
+    /// ring for multi-MiB ones) by default, or pinned via
+    /// [`AlgoSelector::pinned`] for ablations. Quorum semantics are
+    /// unchanged either way.
+    pub allreduce_algo: AlgoSelector,
     /// Clip the averaged gradient to this global ℓ2 norm before the
     /// update (None = off). Stale accumulation can transiently double
     /// gradient magnitudes (G_stale + G_fresh, Fig. 7); clipping keeps
@@ -256,6 +263,7 @@ impl TrainerConfig {
             time_scale: 1.0,
             base_compute_ms: 0.0,
             stale_mode: StaleMode::Accumulate,
+            allreduce_algo: AlgoSelector::default(),
             grad_clip: None,
             eval_every: 1,
             seed: 42,
@@ -280,7 +288,13 @@ impl GradReducer {
     /// Reduce `grads` in place semantics: returns the averaged gradient.
     fn allreduce(&mut self, grads: &[f32]) -> TypedBuf {
         match self {
-            GradReducer::Partial(ar) => ar.allreduce(&TypedBuf::from(grads.to_vec())).data,
+            // `into_buf` copies only while the latest-wins receive buffer
+            // still aliases the result — the price the old by-value
+            // outcome paid unconditionally.
+            GradReducer::Partial(ar) => ar
+                .allreduce(&TypedBuf::from(grads.to_vec()))
+                .data
+                .into_buf(),
             GradReducer::Sync(ar) => ar.allreduce(&TypedBuf::from(grads.to_vec())),
             GradReducer::SyncPerTensor { reducers, sizes } => {
                 // Post every tensor, then waitall and reassemble.
@@ -364,6 +378,7 @@ pub fn run_rank(
                     scale,
                     stale_mode: cfg.stale_mode,
                     observer: tuner.as_ref().and_then(|t| t.observer()),
+                    algo: cfg.allreduce_algo,
                     ..PartialOpts::default()
                 },
             ))

@@ -382,14 +382,41 @@ impl Progress {
                     let s = inst.bufs[src].take().expect("Combine src empty");
                     let d = inst.bufs[dst].as_mut().expect("Combine dst empty");
                     // Copy-on-write: in the steady state the accumulator
-                    // is uniquely owned and this mutates in place.
-                    d.to_mut()
-                        .combine(s.buf(), op)
-                        .expect("Combine dtype/len mismatch");
+                    // is uniquely owned and this mutates in place. A
+                    // wire-borne source (a TCP frame's raw bytes) folds
+                    // in via `combine_le_bytes` — reduce straight from
+                    // the wire, no intermediate buffer.
+                    d.reduce_assign(&s, op).expect("Combine dtype/len mismatch");
                     inst.bufs[src] = Some(s);
                 }
                 OpKind::Copy { src, dst } => {
                     inst.bufs[dst] = inst.bufs[src].clone();
+                }
+                OpKind::SliceCopy {
+                    src,
+                    dst,
+                    start,
+                    len,
+                } => {
+                    let s = inst.bufs[src].as_ref().expect("SliceCopy src empty");
+                    inst.bufs[dst] = Some(s.owned_range(start, len));
+                }
+                OpKind::CopyAt {
+                    src,
+                    dst,
+                    dst_start,
+                    dst_len,
+                } => {
+                    let s = inst.bufs[src].take().expect("CopyAt src empty");
+                    if inst.bufs[dst].is_none() {
+                        inst.bufs[dst] = Some(Payload::new(TypedBuf::zeros(s.dtype(), dst_len)));
+                    }
+                    let d = inst.bufs[dst].as_mut().expect("CopyAt dst filled");
+                    // The assembly buffer is never sent, so it stays
+                    // uniquely owned and this writes in place.
+                    s.copy_into_at(d.to_mut(), dst_start)
+                        .expect("CopyAt shape mismatch");
+                    inst.bufs[src] = Some(s);
                 }
                 OpKind::Nop | OpKind::InternalGate => {}
             }

@@ -50,6 +50,27 @@ pub enum OpKind {
     Combine { op: ReduceOp, src: Slot, dst: Slot },
     /// `bufs[dst] = bufs[src].clone()`.
     Copy { src: Slot, dst: Slot },
+    /// `bufs[dst] = owned copy of bufs[src][start .. start + len]` — the
+    /// chunk extraction of a segmented schedule. The copy (not a view)
+    /// decouples the chunk from the source allocation, so the ring's
+    /// in-place chunk reductions never trigger a whole-tensor
+    /// copy-on-write while sent clones are still in flight.
+    SliceCopy {
+        src: Slot,
+        dst: Slot,
+        start: usize,
+        len: usize,
+    },
+    /// Write the whole of `bufs[src]` into `bufs[dst][dst_start ..]`,
+    /// allocating `dst` as `dst_len` zeros first if the slot is empty —
+    /// the segmented allgather's assembly step. A wire-borne source
+    /// decodes straight into the destination range.
+    CopyAt {
+        src: Slot,
+        dst: Slot,
+        dst_start: usize,
+        dst_len: usize,
+    },
     /// Dependency junction; completes immediately when satisfied.
     Nop,
     /// Fires only once the application has internally activated this
@@ -112,6 +133,14 @@ impl Schedule {
                     }
                     if src == dst {
                         return Err(format!("op {i} combines a slot with itself"));
+                    }
+                }
+                OpKind::SliceCopy { src, dst, .. } | OpKind::CopyAt { src, dst, .. } => {
+                    if !slot_ok(*src) || !slot_ok(*dst) {
+                        return Err(format!("op {i} uses bad slots {src}/{dst}"));
+                    }
+                    if src == dst {
+                        return Err(format!("op {i} slices a slot onto itself"));
                     }
                 }
                 _ => {}

@@ -34,6 +34,10 @@ pub enum TelemetryEvent {
     Queue {
         step: u64,
         sends: u64,
+        /// Payload bytes this rank handed to the transport during the
+        /// step — achieved wire bandwidth when divided by step time,
+        /// reported per collective algorithm by `coll_micro`.
+        bytes: u64,
         stalls: u64,
         stall_ms: f64,
         peak_depth: u64,
@@ -169,6 +173,7 @@ mod tests {
             TelemetryEvent::Queue {
                 step: 4,
                 sends: 100,
+                bytes: 4096,
                 stalls: 3,
                 stall_ms: 1.25,
                 peak_depth: 17,

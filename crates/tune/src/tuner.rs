@@ -157,6 +157,7 @@ impl QuorumTuner for AdaptiveTuner {
             self.publisher.publish(TelemetryEvent::Queue {
                 step,
                 sends: d.sends,
+                bytes: d.bytes_sent,
                 stalls: d.send_stalls,
                 stall_ms: d.stall_ms,
                 peak_depth,

@@ -45,7 +45,8 @@ pub mod prelude {
     pub use imbalance::Injector;
     pub use minitensor::{Mat, TensorRng};
     pub use pcoll::{
-        PartialAllreduce, PartialOpts, QuorumPolicy, RankCtx, StaleMode, SyncAllreduce,
+        AlgoSelector, AllreduceAlgo, PartialAllreduce, PartialOpts, QuorumPolicy, RankCtx,
+        StaleMode, SyncAllreduce,
     };
     pub use pcoll_comm::{DType, NetworkModel, ReduceOp, TypedBuf, World, WorldConfig};
     pub use pcoll_tune::{

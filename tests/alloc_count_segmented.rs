@@ -1,0 +1,137 @@
+//! Zero-copy accounting for the segmented-ring data path: a steady-state
+//! in-process segmented allreduce round must stay at O(1) payload
+//! allocations per rank **per segment**, independent of tensor size and
+//! segment count.
+//!
+//! What the segmented path is allowed to allocate per rank per round:
+//! the P chunk extractions of each segment (which sum to exactly one
+//! segment — the `SliceCopy` copies that keep ring reductions in place
+//! while sent clones are in flight). What it must NOT allocate: anything
+//! proportional to the number of in-flight messages or hops (the old
+//! per-hop `to_vec()` pattern), and — thanks to the recycled
+//! deposit/snapshot buffers and the shared-payload outcome — no
+//! tensor-sized buffers per round at all in the steady state.
+//!
+//! Method: a counting global allocator with two thresholds (tensor-sized
+//! and chunk-sized); two runs differing only in round count isolate the
+//! steady-state slope from launch constants. One `#[test]` per file —
+//! the counter is process-global (see `alloc_count.rs`, which covers the
+//! recursive-doubling path; this binary covers the segmented one).
+
+use eager_sgd_repro::comm::{DType, ReduceOp, TypedBuf, World, WorldConfig};
+use eager_sgd_repro::prelude::{AlgoSelector, AllreduceAlgo, PartialOpts, QuorumPolicy, RankCtx};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// 1 MiB of f32 per tensor.
+const ELEMS: usize = 256 * 1024;
+/// 128 KiB segments → 8 segments per round.
+const SEGMENT_BYTES: usize = 128 * 1024;
+const P: usize = 4;
+const SEGMENTS: u64 = ((ELEMS * 4) / SEGMENT_BYTES) as u64;
+
+/// Tensor-sized allocations (≥ half the payload).
+const LARGE: usize = ELEMS * 4 / 2;
+/// Chunk-sized allocations (≥ half a ring chunk = segment / P).
+const CHUNK: usize = SEGMENT_BYTES / P / 2;
+
+struct CountingAlloc;
+
+static LARGE_ALLOCS: AtomicU64 = AtomicU64::new(0);
+static CHUNK_ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if layout.size() >= LARGE {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        } else if layout.size() >= CHUNK {
+            CHUNK_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size >= LARGE {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        } else if new_size >= CHUNK {
+            CHUNK_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// (tensor-sized, chunk-sized) allocations across the whole world for
+/// `rounds` segmented allreduce rounds.
+fn run_and_count(rounds: u64) -> (u64, u64) {
+    let large0 = LARGE_ALLOCS.load(Ordering::Relaxed);
+    let chunk0 = CHUNK_ALLOCS.load(Ordering::Relaxed);
+    World::launch(WorldConfig::instant(P).with_seed(3), move |c| {
+        let ctx = RankCtx::new(c);
+        let mut ar = ctx.partial_allreduce(
+            DType::F32,
+            ELEMS,
+            ReduceOp::Sum,
+            QuorumPolicy::Full,
+            PartialOpts {
+                algo: AlgoSelector {
+                    pin: Some(AllreduceAlgo::SegmentedRing),
+                    segment_bytes: SEGMENT_BYTES,
+                    ..AlgoSelector::default()
+                },
+                ..PartialOpts::default()
+            },
+        );
+        let contrib = TypedBuf::from(vec![1.0f32; ELEMS]);
+        for _ in 0..rounds {
+            let out = ar.allreduce(&contrib);
+            assert_eq!(out.data.as_f32().unwrap()[0], P as f32);
+        }
+        ctx.finalize();
+    });
+    (
+        LARGE_ALLOCS.load(Ordering::Relaxed) - large0,
+        CHUNK_ALLOCS.load(Ordering::Relaxed) - chunk0,
+    )
+}
+
+#[test]
+fn segmented_path_allocates_o1_payloads_per_rank_per_segment() {
+    const R_SHORT: u64 = 4;
+    const R_LONG: u64 = 16;
+    let (l_short, c_short) = run_and_count(R_SHORT);
+    let (l_long, c_long) = run_and_count(R_LONG);
+    let dr = (R_LONG - R_SHORT) as f64 * P as f64;
+    // Per-rank-per-round slopes: the long/short difference cancels
+    // launch-time constants (contribution buffers, first-round warmup of
+    // the recycled snapshot/receive cycle).
+    let large_slope = l_long.saturating_sub(l_short) as f64 / dr;
+    let chunk_slope = c_long.saturating_sub(c_short) as f64 / dr;
+
+    // Steady state: the recycled deposit/snapshot buffers and the
+    // shared-payload outcome leave no tensor-sized allocation per round.
+    assert!(
+        large_slope <= 1.0,
+        "segmented steady state allocates {large_slope:.2} tensor-sized buffers/rank/round"
+    );
+    // Chunk-sized allocations are the SliceCopy extractions: P per
+    // segment (summing to one segment), never per hop. 2·(P−1) hops per
+    // segment would double this; per-hop to_vec() would show up as
+    // ≥ 3·P per segment.
+    let per_segment = chunk_slope / SEGMENTS as f64;
+    assert!(
+        per_segment <= P as f64 + 1.0,
+        "segmented steady state allocates {per_segment:.2} chunk-sized buffers per segment \
+         (expected ≤ P = {P} — one per ring chunk, none per hop)"
+    );
+    assert!(
+        per_segment >= 1.0,
+        "sanity: chunk extractions should be visible, got {per_segment:.2} per segment"
+    );
+}

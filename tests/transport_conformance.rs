@@ -13,7 +13,7 @@ use eager_sgd_repro::comm::{
     is_tcp_worker, CollId, Communicator, DType, Envelope, NetworkModel, ReduceOp, TcpOpts,
     TypedBuf, WireTag, World, WorldConfig,
 };
-use eager_sgd_repro::prelude::{PartialOpts, QuorumPolicy, RankCtx};
+use eager_sgd_repro::prelude::{AlgoSelector, AllreduceAlgo, PartialOpts, QuorumPolicy, RankCtx};
 use std::time::Duration;
 
 /// Run `f` on the in-process backend and on the TCP backend, returning
@@ -114,19 +114,20 @@ fn payload_round_trips_zero_len_and_multi_mib() {
             let floats = recv();
             let ints = recv();
             let longs = recv();
+            // Received payloads may carry undecoded wire bytes on the TCP
+            // backend; `into_buf` materializes either representation.
+            let buf = |m: eager_sgd_repro::comm::Message| m.payload.map(|p| p.into_buf());
             zero.payload.as_ref().is_some_and(|p| p.is_empty())
                 && zero.tag.sem == 0
                 && ctl.payload.is_none()
-                && tensor
-                    .payload
+                && buf(tensor)
                     .as_ref()
-                    .and_then(|p| p.as_f32())
+                    .and_then(|b| b.as_f32())
                     .is_some_and(|p| p.len() == BIG && p == &big[..])
-                && floats.payload.as_ref().and_then(|p| p.as_f64())
+                && buf(floats).as_ref().and_then(|b| b.as_f64())
                     == Some(&[f64::MIN_POSITIVE, -0.0][..])
-                && ints.payload.as_ref().and_then(|p| p.as_i32()) == Some(&[i32::MIN, i32::MAX][..])
-                && longs.payload.as_ref().and_then(|p| p.as_i64())
-                    == Some(&[i64::MIN, i64::MAX][..])
+                && buf(ints).as_ref().and_then(|b| b.as_i32()) == Some(&[i32::MIN, i32::MAX][..])
+                && buf(longs).as_ref().and_then(|b| b.as_i64()) == Some(&[i64::MIN, i64::MAX][..])
         },
     ) {
         assert_eq!(per_rank, vec![true, true], "{backend}: payload mismatch");
@@ -213,7 +214,7 @@ fn slow_reader_exerts_bounded_backpressure() {
                         assert_eq!(m.tag.sem, got, "FIFO must survive backpressure");
                         let p = m.payload.expect("flood payload");
                         assert_eq!(p.len(), ELEMS);
-                        assert_eq!(p.as_f32().unwrap()[0], got as f32);
+                        assert_eq!(p.to_buf().as_f32().unwrap()[0], got as f32);
                         got += 1;
                     }
                     Some(Envelope::Shutdown) => continue,
@@ -285,6 +286,132 @@ fn collectives_results_identical_on_both_backends() {
     // Cross-backend identity, not just per-backend correctness.
     if runs.len() == 2 {
         assert_eq!(runs[0].1, runs[1].1, "backends disagree");
+    }
+}
+
+/// The segmented reduce-scatter + allgather allreduce produces identical
+/// deterministic results on both backends. The tensor length and forced
+/// segment size give ragged chunks (tails and degenerate empties), so
+/// the wire carries sub-range payload views and zero-length chunks; over
+/// TCP the reduce side folds them straight from frame bytes
+/// (`combine_le_bytes` is live on this path).
+#[test]
+fn segmented_allreduce_identical_on_both_backends() {
+    const P: usize = 4;
+    const N: usize = 45; // 3 segments of 16 elems + ragged tail
+    const ROUNDS: u64 = 5;
+    let cfg = WorldConfig::instant(P).with_seed(17);
+    let runs = both_backends("segmented_allreduce_identical_on_both_backends", cfg, |c| {
+        let ctx = RankCtx::new(c);
+        let mut ar = ctx.partial_allreduce(
+            DType::F32,
+            N,
+            ReduceOp::Sum,
+            QuorumPolicy::Chain(P),
+            PartialOpts {
+                algo: AlgoSelector {
+                    pin: Some(AllreduceAlgo::SegmentedRing),
+                    segment_bytes: 16 * 4,
+                    pipeline_depth: 2,
+                    ..AlgoSelector::default()
+                },
+                ..PartialOpts::default()
+            },
+        );
+        let me = ctx.rank();
+        let mut acc = Vec::new();
+        for round in 0..ROUNDS {
+            let contrib: Vec<f32> = (0..N)
+                .map(|i| (me * 7 + i + round as usize) as f32)
+                .collect();
+            let out = ar.allreduce(&TypedBuf::from(contrib));
+            acc.push(out.data.as_f32().expect("f32 result").to_vec());
+        }
+        ctx.finalize();
+        acc
+    });
+    for (backend, per_rank) in &runs {
+        for (rank, rounds) in per_rank.iter().enumerate() {
+            for (round, v) in rounds.iter().enumerate() {
+                // Chain-of-all: every contribution is provably fresh, so
+                // Σ_r (r·7 + i + round) is exact (small integers in f32).
+                for (i, &x) in v.iter().enumerate() {
+                    let want = (0..P).map(|r| (r * 7 + i + round) as f32).sum::<f32>();
+                    assert_eq!(x, want, "{backend} rank {rank} round {round} elem {i}");
+                }
+            }
+        }
+    }
+    if runs.len() == 2 {
+        assert_eq!(runs[0].1, runs[1].1, "backends disagree");
+    }
+}
+
+/// Segment pipelining must respect the bounded-queue backpressure: with
+/// a deliberately slow rank and a queue bound far below the number of
+/// in-flight chunks a free-running pipeline would generate, the
+/// per-rank `CommStats` peak depth stays within the configured bound on
+/// both backends (no unbounded queue growth) and the results stay exact.
+#[test]
+fn segmented_pipelining_respects_bounded_backpressure() {
+    const P: usize = 4;
+    const N: usize = 32 * 1024; // 32 segments of 1024 elems
+    const CAP: usize = 8;
+    const ROUNDS: u64 = 3;
+    let cfg = WorldConfig::instant(P)
+        .with_seed(23)
+        .with_queue_capacity(CAP);
+    for (backend, per_rank) in both_backends(
+        "segmented_pipelining_respects_bounded_backpressure",
+        cfg,
+        |c| {
+            let stats = c.comm_stats();
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.partial_allreduce(
+                DType::F32,
+                N,
+                ReduceOp::Sum,
+                QuorumPolicy::Full,
+                PartialOpts {
+                    algo: AlgoSelector {
+                        pin: Some(AllreduceAlgo::SegmentedRing),
+                        segment_bytes: 1024 * 4,
+                        pipeline_depth: 2,
+                        ..AlgoSelector::default()
+                    },
+                    ..PartialOpts::default()
+                },
+            );
+            let me = ctx.rank();
+            let mut ok = true;
+            for _ in 0..ROUNDS {
+                if me == P - 1 {
+                    // The slow rank: everyone else's pipeline pushes
+                    // ahead and must be throttled by the bounded queues,
+                    // not buffer an unbounded chunk backlog.
+                    std::thread::sleep(Duration::from_millis(40));
+                }
+                let out = ar.allreduce(&TypedBuf::from(vec![1.0f32; N]));
+                ok &= out
+                    .data
+                    .as_f32()
+                    .expect("f32")
+                    .iter()
+                    .all(|x| *x == P as f32);
+            }
+            ctx.barrier();
+            let peak = stats.snapshot().peak_queue_depth;
+            ctx.finalize();
+            (ok, peak)
+        },
+    ) {
+        for (rank, &(ok, peak)) in per_rank.iter().enumerate() {
+            assert!(ok, "{backend}: rank {rank} saw a wrong sum");
+            assert!(
+                peak <= CAP as u64,
+                "{backend}: rank {rank} queue depth {peak} exceeded the bound {CAP}"
+            );
+        }
     }
 }
 
