@@ -50,10 +50,13 @@ fn main() {
         let lr = if args.quick { 0.15 } else { 0.05 };
         let mut trainer = TrainerConfig::new(variant, epochs, steps, lr);
         trainer.grad_clip = Some(2_000.0);
+        // The embedded seed is a placeholder: the trainer re-derives it
+        // from `trainer.seed` (`Injector::with_seed`), so one --seed flag
+        // reproduces the whole run.
         trainer.injector = Injector::RandomRanks {
             k: 1,
             amount_ms: inject_ms,
-            seed: args.seed ^ 0xF16,
+            seed: 0,
         };
         trainer.time_scale = args.time_scale;
         trainer.base_compute_ms = base_compute_ms;

@@ -1,0 +1,398 @@
+//! `sim_scale`: the planet-scale deterministic simulation backend at
+//! work. One process, one thread, virtual time — P = 1,024 engines run
+//! the same collective code as the in-process and TCP transports, driven
+//! event by event from the discrete-event scheduler.
+//!
+//! Three parts (select with `--part nap|det|tune`, default all):
+//!
+//! - **nap** — E\[NAP\] validation: open-loop linear skew at P = 1,024,
+//!   every quorum policy on the paper's spectrum
+//!   (solo / first-of-m / majority / chain-m / full); the measured mean
+//!   NAP must land within 5% of [`eager_sgd::NapModel`]'s closed form
+//!   (§4: solo ≈ 1, first-of-m ≈ P/(m+1), majority = P/2,
+//!   chain-m ≈ P·m/(m+1), full = P). The stochastic arms are averaged
+//!   over enough rounds for the 5% band (enforced in full mode only;
+//!   `--quick` enforces the deterministic solo/full endpoints).
+//! - **det** — bit-exact determinism: a WAN-topology, jittery-network,
+//!   self-paced run executed twice from the same seed must produce
+//!   byte-identical traces ([`SimReport::digest`]).
+//! - **tune** — closed-loop control: under region-level skew on the
+//!   four-region WAN, a hill-climb [`pcoll_tune::Controller`] wired
+//!   through the harness's tuner hook migrates the quorum policy away
+//!   from `Full` toward the asynchronous end, improving the
+//!   `fresh^β × rounds/s` reward.
+//!
+//! Full mode processes millions of simulated events; a final check
+//! asserts the volume so the "planet-scale" claim stays honest.
+
+use eager_sgd::NapModel;
+use pcoll::{Hiccup, Pacing, QuorumPolicy, SimHarness, SimReport, SimSpec, WindowStats};
+use pcoll_comm::{NetworkModel, Planet, SimOpts, WorldConfig};
+use pcoll_tune::{spectrum, Controller, ControllerKind};
+use repro_bench::report::{comment, row, shape_check, write_json};
+use repro_bench::HarnessArgs;
+use serde::Serialize;
+use std::time::Duration;
+
+const BETA: f64 = 0.5;
+/// Per-rank skew unit of the open-loop NAP experiment.
+const SKEW_UNIT: Duration = Duration::from_micros(50);
+
+#[derive(Debug, Clone, Serialize)]
+struct NapRow {
+    policy: String,
+    rounds: u64,
+    measured_nap: f64,
+    predicted_nap: f64,
+    rel_err: f64,
+    events: u64,
+    delivered: u64,
+    virtual_s: f64,
+}
+
+/// The spectrum subset the NAP validation sweeps: the paper's five
+/// policy shapes, with representative `m` for the parametric ones.
+fn nap_arms(p: usize) -> Vec<QuorumPolicy> {
+    vec![
+        QuorumPolicy::Solo,
+        QuorumPolicy::FirstOf(4),
+        QuorumPolicy::Majority,
+        QuorumPolicy::Chain(4),
+        QuorumPolicy::Full,
+    ]
+    .into_iter()
+    .filter(|q| match *q {
+        QuorumPolicy::FirstOf(m) | QuorumPolicy::Chain(m) => m < p,
+        _ => true,
+    })
+    .collect()
+}
+
+/// Rounds needed for the measured mean to sit inside the 5% band: the
+/// deterministic endpoints need almost none; the random-initiator arms
+/// have per-round NAP std of order P, so the sample mean needs hundreds
+/// of rounds.
+fn nap_rounds(policy: QuorumPolicy, quick: bool) -> u64 {
+    let r = match policy {
+        QuorumPolicy::Solo | QuorumPolicy::Full => 16,
+        // Majority's per-round NAP is uniform over 1..=P (std P/sqrt(12),
+        // the widest of the spectrum) — it needs the biggest sample.
+        QuorumPolicy::Majority => 1024,
+        QuorumPolicy::FirstOf(_) | QuorumPolicy::Chain(_) => 448,
+    };
+    if quick {
+        (r / 16).max(4)
+    } else {
+        r
+    }
+}
+
+fn run_nap_part(args: &HarnessArgs, p: usize, events_total: &mut u64) -> (bool, Vec<NapRow>) {
+    comment(&format!(
+        "part nap: P={p}, linear skew {}us/rank, open-loop pacing, instant network",
+        SKEW_UNIT.as_micros()
+    ));
+    // The model sees the injector's exact offsets; comm/base costs are
+    // irrelevant to E[NAP] (they shift round time, not arrival order).
+    let offsets_ms: Vec<f64> = (0..p).map(|r| r as f64 * 0.05).collect();
+    let model = NapModel::new(offsets_ms, 0.0, 0.0);
+
+    row(&[
+        "policy",
+        "rounds",
+        "measured_nap",
+        "predicted_nap",
+        "rel_err",
+        "events",
+        "virtual_s",
+    ]);
+    let mut ok = true;
+    let mut rows = Vec::new();
+    for policy in nap_arms(p) {
+        let rounds = nap_rounds(policy, args.quick);
+        let mut spec = SimSpec::linear_skew(p, rounds, SKEW_UNIT, policy);
+        spec.world = WorldConfig::instant(p).with_seed(args.seed);
+        let report = SimHarness::run(spec);
+        *events_total += report.events;
+        let predicted = model.predict(policy).e_nap;
+        let rel_err = (report.mean_nap - predicted).abs() / predicted;
+        row(&[
+            policy.to_string(),
+            rounds.to_string(),
+            format!("{:.2}", report.mean_nap),
+            format!("{predicted:.2}"),
+            format!("{:.1}%", 100.0 * rel_err),
+            report.events.to_string(),
+            format!("{:.2}", report.virtual_time.as_secs_f64()),
+        ]);
+        // Quick mode runs too few rounds for the stochastic arms' sample
+        // means to settle; enforce only the deterministic endpoints.
+        let deterministic = matches!(policy, QuorumPolicy::Solo | QuorumPolicy::Full);
+        if !args.quick || deterministic {
+            ok &= shape_check(
+                &format!("nap-within-5pct-{policy}"),
+                rel_err <= 0.05,
+                &format!(
+                    "measured {:.2} vs closed form {predicted:.2} ({:.1}%)",
+                    report.mean_nap,
+                    100.0 * rel_err
+                ),
+            );
+        }
+        rows.push(NapRow {
+            policy: policy.to_string(),
+            rounds,
+            measured_nap: report.mean_nap,
+            predicted_nap: predicted,
+            rel_err,
+            events: report.events,
+            delivered: report.delivered,
+            virtual_s: report.virtual_time.as_secs_f64(),
+        });
+    }
+    (ok, rows)
+}
+
+/// A WAN-topology, jittery-network, self-paced spec: the maximally
+/// stateful configuration (region matrix + alpha-beta jitter + closed
+/// loop), i.e. the hardest one to keep bit-reproducible. `skew_ms` is
+/// the static region-level compute skew (each region a step slower than
+/// the one before); `hiccup` adds the rotating dynamic imbalance of
+/// Figs. 10–11 on top.
+fn wan_spec(
+    p: usize,
+    rounds: u64,
+    seed: u64,
+    policy: QuorumPolicy,
+    skew_ms: u64,
+    hiccup: Hiccup,
+) -> SimSpec {
+    let planet = Planet::wan();
+    let compute: Vec<Duration> = (0..p)
+        .map(|r| {
+            let region = planet.rank_region(r, p).0 as u32;
+            Duration::from_millis(5)
+                + Duration::from_millis(skew_ms) * region
+                + Duration::from_micros(37) * (r as u32)
+        })
+        .collect();
+    SimSpec {
+        world: WorldConfig {
+            network: NetworkModel::cloud(),
+            ..WorldConfig::instant(p)
+        }
+        .with_seed(seed),
+        opts: SimOpts { planet },
+        policy,
+        rounds,
+        len: 8,
+        pacing: Pacing::SelfPaced { compute, hiccup },
+        partial: Default::default(),
+    }
+}
+
+fn run_det_part(args: &HarnessArgs, events_total: &mut u64) -> bool {
+    let p = 64;
+    let rounds = if args.quick { 16 } else { 48 };
+    comment(&format!(
+        "part det: P={p}, 4-region WAN, cloud network (jitter), self-paced, {rounds} rounds x2"
+    ));
+    let hic = Hiccup {
+        k: 8,
+        extra: Duration::from_millis(120),
+    };
+    let a = SimHarness::run(wan_spec(
+        p,
+        rounds,
+        args.seed,
+        QuorumPolicy::Majority,
+        40,
+        hic,
+    ));
+    let b = SimHarness::run(wan_spec(
+        p,
+        rounds,
+        args.seed,
+        QuorumPolicy::Majority,
+        40,
+        hic,
+    ));
+    *events_total += a.events + b.events;
+    comment(&format!(
+        "run A: digest {:016x}, {} events, {} deliveries, {:.2} virtual s, mean NAP {:.2}",
+        a.digest(),
+        a.events,
+        a.delivered,
+        a.virtual_time.as_secs_f64(),
+        a.mean_nap
+    ));
+    let mut ok = shape_check(
+        "repeat-runs-bit-identical",
+        a.digest() == b.digest() && a.events == b.events && a.virtual_time == b.virtual_time,
+        &format!("digests {:016x} vs {:016x}", a.digest(), b.digest()),
+    );
+    let c = SimHarness::run(wan_spec(
+        p,
+        rounds,
+        args.seed ^ 1,
+        QuorumPolicy::Majority,
+        40,
+        hic,
+    ));
+    *events_total += c.events;
+    ok &= shape_check(
+        "different-seed-different-trace",
+        a.digest() != c.digest(),
+        &format!("digests {:016x} vs {:016x}", a.digest(), c.digest()),
+    );
+    ok
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct TuneWindow {
+    from_round: u64,
+    to_round: u64,
+    policy: String,
+    fresh_fraction: f64,
+    rounds_per_s: f64,
+    reward: f64,
+}
+
+fn run_tune_part(args: &HarnessArgs, events_total: &mut u64) -> (bool, Vec<TuneWindow>) {
+    let p = 64;
+    let (rounds, period) = if args.quick { (120, 8) } else { (240, 8) };
+    // Mild static region skew plus a heavy *rotating* straggler set (the
+    // paper's dynamic-imbalance regime): a different 8 ranks stall 300 ms
+    // each round, so synchronous quorums pay every stall on the critical
+    // path while asynchronous ones overlap them.
+    let skew_ms = 20;
+    let hic = Hiccup {
+        k: 8,
+        extra: Duration::from_millis(300),
+    };
+    comment(&format!(
+        "part tune: P={p}, 4-region WAN, {skew_ms}ms/region static skew + rotating \
+         {}x{}ms stragglers, hill-climb from Full, decide every {period} rounds",
+        hic.k,
+        hic.extra.as_millis()
+    ));
+    let arms = spectrum(p);
+    let full_idx = arms.len() - 1;
+    let mut controller = Controller::new(ControllerKind::HillClimb, arms.clone(), full_idx);
+    let mut windows: Vec<TuneWindow> = Vec::new();
+    let mut hook = |w: &WindowStats| {
+        let reward = w.fresh_fraction.powf(BETA) * w.rounds_per_s;
+        windows.push(TuneWindow {
+            from_round: w.from_round,
+            to_round: w.to_round,
+            policy: w.policy.to_string(),
+            fresh_fraction: w.fresh_fraction,
+            rounds_per_s: w.rounds_per_s,
+            reward,
+        });
+        let next = controller.step(reward);
+        (next != w.policy).then_some(next)
+    };
+    let report: SimReport = SimHarness::run_tuned(
+        wan_spec(p, rounds, args.seed, QuorumPolicy::Full, skew_ms, hic),
+        period,
+        &mut hook,
+    );
+    *events_total += report.events;
+
+    for w in &windows {
+        comment(&format!(
+            "window [{:>3}, {:>3}) {:<12} fresh {:.3}  rounds/s {:>7.2}  reward {:>7.2}",
+            w.from_round, w.to_round, w.policy, w.fresh_fraction, w.rounds_per_s, w.reward
+        ));
+    }
+    for (from, to) in &report.switches {
+        comment(&format!("switch at round {from}: -> {to}"));
+    }
+    let final_policy = controller.current_policy();
+    let final_idx = arms
+        .iter()
+        .position(|a| *a == final_policy)
+        .expect("controller stays on its arm set");
+    comment(&format!(
+        "final policy {final_policy} (arm {final_idx}/{full_idx}), {} switches, mean NAP {:.2}",
+        report.switches.len(),
+        report.mean_nap
+    ));
+
+    let mut ok = shape_check(
+        "controller-leaves-full",
+        !report.switches.is_empty() && final_idx < full_idx,
+        &format!(
+            "{} switches, settled on {final_policy}",
+            report.switches.len()
+        ),
+    );
+    let first = windows.first().map_or(0.0, |w| w.reward);
+    let last = windows.last().map_or(0.0, |w| w.reward);
+    ok &= shape_check(
+        "reward-improves-under-control",
+        last > first,
+        &format!("first window {first:.2} -> last window {last:.2}"),
+    );
+    (ok, windows)
+}
+
+#[derive(Debug, Serialize)]
+struct SimScaleArtifact {
+    p_nap: usize,
+    nap: Vec<NapRow>,
+    tune_windows: Vec<TuneWindow>,
+    events_total: u64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let part = args.part.clone().unwrap_or_else(|| "all".into());
+    let p = 1024;
+    comment(&format!(
+        "sim_scale: discrete-event simulation backend, virtual time, single process \
+         (quick={}, seed={})",
+        args.quick, args.seed
+    ));
+
+    let mut ok = true;
+    let mut events_total = 0u64;
+    let mut nap_rows = Vec::new();
+    let mut tune_windows = Vec::new();
+    if part == "all" || part.contains("nap") {
+        let (nap_ok, rows) = run_nap_part(&args, p, &mut events_total);
+        ok &= nap_ok;
+        nap_rows = rows;
+    }
+    if part == "all" || part.contains("det") {
+        ok &= run_det_part(&args, &mut events_total);
+    }
+    if part == "all" || part.contains("tune") {
+        let (tune_ok, windows) = run_tune_part(&args, &mut events_total);
+        ok &= tune_ok;
+        tune_windows = windows;
+    }
+
+    comment(&format!("total simulated events: {events_total}"));
+    if !args.quick && part == "all" {
+        ok &= shape_check(
+            "millions-of-events",
+            events_total >= 2_000_000,
+            &format!("{events_total} events"),
+        );
+    }
+
+    let _ = write_json(
+        "sim_scale",
+        &SimScaleArtifact {
+            p_nap: p,
+            nap: nap_rows,
+            tune_windows,
+            events_total,
+        },
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -57,6 +57,15 @@ struct Scenario {
     seed: u64,
 }
 
+/// The scenario's one injector, constructed in a single place so the
+/// trainer's runs and the theory view below cannot drift apart.
+fn scenario_injector() -> Injector {
+    Injector::ShiftingSkew {
+        min_ms: 10.0,
+        max_ms: 120.0,
+    }
+}
+
 fn run_variant(sc: &Scenario, label: &str, adaptive: bool, tuner: TunerSetup) -> VariantResult {
     let task = Arc::new(HyperplaneTask::new(48, 2048, 0.05, 96, 7));
     let mut trainer = TrainerConfig::new(
@@ -65,10 +74,7 @@ fn run_variant(sc: &Scenario, label: &str, adaptive: bool, tuner: TunerSetup) ->
         sc.steps_per_epoch,
         0.02,
     );
-    trainer.injector = Injector::ShiftingSkew {
-        min_ms: 10.0,
-        max_ms: 120.0,
-    };
+    trainer.injector = scenario_injector();
     trainer.time_scale = sc.time_scale;
     trainer.base_compute_ms = 10.0;
     trainer.model_sync_every = Some(sc.epochs); // one final weight sync
@@ -145,10 +151,7 @@ fn main() {
 
     // Theory view: the injector's exact per-step offsets (the multiset is
     // rotation-invariant, so step 0 is representative).
-    let inj = Injector::ShiftingSkew {
-        min_ms: 10.0,
-        max_ms: 120.0,
-    };
+    let inj = scenario_injector();
     let offsets: Vec<f64> = (0..sc.p)
         .map(|r| inj.delay_ms(r, sc.p, 0) * sc.time_scale)
         .collect();

@@ -20,7 +20,9 @@ use pcoll_comm::{CollId, CommHandle, Matcher, Payload, ReduceOp, TypedBuf, WireT
 
 /// Context for direct (engine-less) collective algorithms.
 pub struct DirectCollectives<'a> {
+    /// Send side of this rank's transport endpoint.
     pub handle: &'a CommHandle,
+    /// Receive side: tag-matched delivery over the rank's inbox.
     pub matcher: &'a mut Matcher,
     /// Collective id carried on the wire (keep distinct from engine
     /// collectives if both are in flight — they must not share an inbox).
@@ -29,6 +31,7 @@ pub struct DirectCollectives<'a> {
 }
 
 impl<'a> DirectCollectives<'a> {
+    /// Bind the algorithms to a rank's endpoint under collective id `coll`.
     pub fn new(handle: &'a CommHandle, matcher: &'a mut Matcher, coll: CollId) -> Self {
         DirectCollectives {
             handle,

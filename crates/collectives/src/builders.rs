@@ -34,11 +34,18 @@ use crate::topology::{log2_exact, rd_partner, require_power_of_two};
 use pcoll_comm::{CollId, Rank, ReduceOp};
 use pcoll_sched::{OpId, OpKind, Schedule, ScheduleBuilder, Slot, CONTRIB_SLOT};
 
+/// Wire-tag namespace for activation messages (binomial tree / chain).
 pub const SEM_ACT: u32 = 0x100;
+/// Wire-tag namespace for recursive-doubling data exchanges, step `s`
+/// uses `SEM_DATA + s`.
 pub const SEM_DATA: u32 = 0x200;
+/// Wire-tag namespace for the chain-m token hops.
 pub const SEM_CHAIN: u32 = 0x300;
+/// Wire-tag namespace for the dissemination barrier's rounds.
 pub const SEM_BARRIER: u32 = 0x400;
+/// Wire-tag namespace for binomial-tree broadcast hops.
 pub const SEM_BCAST: u32 = 0x500;
+/// Wire-tag namespace for binomial-tree reduce hops.
 pub const SEM_REDUCE: u32 = 0x600;
 /// Base of the segmented-ring data namespace: segment `g`'s ring step
 /// `s` uses `SEM_SEG + g·2(P−1) + s` (reduce-scatter) and

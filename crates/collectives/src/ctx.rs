@@ -101,7 +101,7 @@ impl RankCtx {
         opts: PartialOpts,
     ) -> PartialAllreduce {
         PartialAllreduce::register(
-            &self.engine,
+            Arc::new(self.engine.clone()),
             self.alloc(),
             self.rank,
             self.size,

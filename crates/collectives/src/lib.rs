@@ -25,11 +25,14 @@
 //! collectives must be created in the same order on every rank (SPMD), as
 //! with MPI communicator construction.
 
+#![deny(missing_docs)]
+
 pub mod algos;
 pub mod builders;
 pub mod ctx;
 pub mod partial;
 pub mod select;
+pub mod sim;
 pub mod sync;
 pub mod topology;
 
@@ -39,4 +42,5 @@ pub use partial::{
     RoundObserver, RoundTrace, StaleMode,
 };
 pub use select::{AlgoSelector, AllreduceAlgo};
+pub use sim::{Hiccup, Pacing, SimHarness, SimReport, SimSpec, WindowStats};
 pub use sync::{SyncAllreduce, SyncBarrier, SyncBcast, SyncReduce};

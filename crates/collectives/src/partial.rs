@@ -23,7 +23,7 @@ use crate::select::{AlgoSelector, AllreduceAlgo};
 use crate::topology::{require_power_of_two, round_candidates};
 use parking_lot::{Condvar, Mutex};
 use pcoll_comm::{CollId, DType, Payload, Rank, ReduceOp, TypedBuf};
-use pcoll_sched::{CollectiveTemplate, Engine, RoundStats, Schedule, SnapshotTiming};
+use pcoll_sched::{CollectiveTemplate, RoundStats, Schedule, SnapshotTiming, TemplateHost};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -189,6 +189,7 @@ impl PolicyTimeline {
 pub struct RoundEvent {
     /// Collective id (raw).
     pub coll: u32,
+    /// Round number within this collective.
     pub round: u64,
     /// The policy that governed this round.
     pub policy: QuorumPolicy,
@@ -277,6 +278,7 @@ impl Default for PartialOpts {
 /// Per-round record of this rank's participation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RoundTrace {
+    /// Round number within this collective.
     pub round: u64,
     /// Did this rank's snapshot carry a fresh deposit (made since the
     /// previous snapshot)? This is the paper's "active process" bit.
@@ -511,9 +513,14 @@ impl CollectiveTemplate for PartialTemplate {
 /// Application handle for one partial allreduce collective on one rank.
 ///
 /// Not `Sync`: one owner (the training thread) advances rounds.
+///
+/// The handle talks to its engine through the [`TemplateHost`] trait, so
+/// the identical frontend drives the threaded [`pcoll_sched::Engine`]
+/// (in-process and TCP worlds) and the simulator's staged
+/// [`pcoll_sched::CmdQueue`] alike.
 pub struct PartialAllreduce {
     shared: Arc<Shared>,
-    engine: Engine,
+    host: Arc<dyn TemplateHost>,
     coll: CollId,
     next_round: u64,
     timeline: Arc<PolicyTimeline>,
@@ -522,12 +529,12 @@ pub struct PartialAllreduce {
 }
 
 impl PartialAllreduce {
-    /// Register a partial allreduce with the given engine. Must be called
-    /// in the same order on all ranks (SPMD); prefer
+    /// Register a partial allreduce with the given template host. Must be
+    /// called in the same order on all ranks (SPMD); prefer
     /// [`crate::RankCtx::partial_allreduce`].
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn register(
-        engine: &Engine,
+        host: Arc<dyn TemplateHost>,
         coll: CollId,
         rank: Rank,
         p: usize,
@@ -561,7 +568,7 @@ impl PartialAllreduce {
             completions: AtomicU64::new(0),
         });
         let timeline = Arc::new(PolicyTimeline::new(policy));
-        engine.register(
+        host.register_template(
             coll,
             Box::new(PartialTemplate {
                 shared: Arc::clone(&shared),
@@ -575,7 +582,7 @@ impl PartialAllreduce {
         );
         PartialAllreduce {
             shared,
-            engine: engine.clone(),
+            host,
             coll,
             next_round: 0,
             timeline,
@@ -639,6 +646,17 @@ impl PartialAllreduce {
     /// latest result, and `contrib` stays in the send buffer for the next
     /// round.
     pub fn allreduce(&mut self, contrib: &TypedBuf) -> AllreduceOutcome {
+        let round = self.deposit(contrib);
+        self.wait_for(round)
+    }
+
+    /// The non-blocking half of [`PartialAllreduce::allreduce`]: deposit
+    /// `contrib` and trigger (or join) the next round, without waiting for
+    /// its result. Returns the round number to poll with
+    /// [`PartialAllreduce::try_outcome`]. Event-driven callers — the
+    /// discrete-event simulator, whose single thread must never block —
+    /// use this split; `allreduce` is exactly `deposit` + a blocking wait.
+    pub fn deposit(&mut self, contrib: &TypedBuf) -> u64 {
         assert_eq!(contrib.dtype(), self.shared.dtype, "contribution dtype");
         assert_eq!(contrib.len(), self.shared.len, "contribution length");
         let round = self.next_round;
@@ -665,8 +683,27 @@ impl PartialAllreduce {
             send.filled = true;
             send.last_deposit_round = Some(round);
         }
-        self.engine.activate(self.coll, round);
-        self.wait_for(round)
+        self.host.activate_round(self.coll, round);
+        round
+    }
+
+    /// Non-blocking poll for a result for `round` or newer: `Some` with
+    /// the latest-wins outcome once available, `None` while the round is
+    /// still in flight. Miss accounting matches the blocking path.
+    pub fn try_outcome(&self, round: u64) -> Option<AllreduceOutcome> {
+        let recv = self.shared.recv.lock();
+        let latest = recv.latest_round.filter(|l| *l >= round)?;
+        if latest > round {
+            self.shared.missed_rounds.fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = &self.shared.opts.observer {
+                obs.on_miss(round, latest);
+            }
+        }
+        Some(AllreduceOutcome {
+            data: recv.data.clone(),
+            requested_round: round,
+            result_round: latest,
+        })
     }
 
     /// Wait until a result for `round` or newer is available.

@@ -40,6 +40,21 @@ impl fmt::Display for AllreduceAlgo {
 /// Per-collective algorithm policy: pick from message size and P, or pin
 /// explicitly. Threaded through `PartialOpts` (the collective builder)
 /// and `eager_sgd::TrainerConfig` (the training knob).
+///
+/// ```
+/// use pcoll::{AlgoSelector, AllreduceAlgo};
+///
+/// let sel = AlgoSelector::default();
+/// // Small message: latency-optimal recursive doubling.
+/// assert_eq!(sel.choose(4 * 1024, 8), AllreduceAlgo::RecursiveDoubling);
+/// // Large message over enough ranks: bandwidth-optimal segmented ring.
+/// assert_eq!(sel.choose(8 << 20, 8), AllreduceAlgo::SegmentedRing);
+/// // P = 2: the ring has no bandwidth edge, doubling regardless of size.
+/// assert_eq!(sel.choose(8 << 20, 2), AllreduceAlgo::RecursiveDoubling);
+/// // The ablation knob pins every round.
+/// let pinned = AlgoSelector::pinned(AllreduceAlgo::SegmentedRing);
+/// assert_eq!(pinned.choose(1, 2), AllreduceAlgo::SegmentedRing);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AlgoSelector {
     /// Explicit override: `Some(algo)` pins every round to `algo`

@@ -1,0 +1,600 @@
+//! Single-process simulation harness for the partial collectives.
+//!
+//! [`SimHarness`] instantiates P ranks of the *real* stack — one
+//! [`pcoll_sched::EngineCore`] per rank, fed by the real
+//! [`PartialAllreduce`] frontend through a staged
+//! [`pcoll_sched::CmdQueue`] — and drives all of them from a
+//! [`SimWorld`]'s discrete-event loop over a virtual clock. No rank
+//! threads, no sleeps: workload skew is expressed as *timer events*
+//! (rank r deposits round k at a virtual instant), message delivery
+//! comes from the simulator's region/latency composition, and the whole
+//! run is a pure function of `(spec, seed)` — bit-identical on repeat.
+//!
+//! Two pacing models cover the paper's two experimental regimes:
+//!
+//! - [`Pacing::Global`] — open-loop: rank `r` deposits round `k` at
+//!   `k·step + offset[r]`, regardless of results. This isolates the
+//!   activation protocol and is what the NAP measurements (Fig. 9) and
+//!   the `eager_sgd::NapModel` closed forms assume (compute
+//!   time dominates; the collective never back-pressures the app).
+//! - [`Pacing::SelfPaced`] — closed-loop eager SGD: a rank deposits,
+//!   waits (in virtual time) for its round's latest-wins outcome, then
+//!   computes for `compute[r]` before the next deposit — the actual
+//!   trainer loop, where slow ranks get dragged along by forced joins.
+//!
+//! A [`TunerHook`] can be wired to observe per-window freshness and
+//! switch the quorum policy mid-run; the harness applies the switch on
+//! every rank's timeline at the same safe boundary (one virtual event,
+//! `from_round = max` over ranks of the next round), which is the
+//! simulator's version of the trainer's decide→fence consensus protocol.
+
+use crate::partial::{PartialAllreduce, PartialOpts, QuorumPolicy, RoundTrace};
+use pcoll_comm::{DType, Inbox, ReduceOp, SimEvent, SimOpts, SimWorld, TypedBuf, WorldConfig};
+use pcoll_sched::{CmdQueue, EngineCore};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How simulated ranks decide *when* to deposit each round.
+#[derive(Debug, Clone)]
+pub enum Pacing {
+    /// Open-loop: rank `r` deposits round `k` at `k * step + offsets[r]`.
+    /// `offsets.len()` must equal P; `step` should exceed the largest
+    /// offset so successive rounds do not pile up unboundedly.
+    Global {
+        /// Virtual period between successive deposits of one rank.
+        step: Duration,
+        /// Per-rank arrival offset within each period (the workload skew).
+        offsets: Vec<Duration>,
+    },
+    /// Closed-loop: rank `r` deposits, waits for its round's outcome,
+    /// then computes for `compute[r]` (plus any [`Hiccup`] hitting it
+    /// that round) before depositing again.
+    SelfPaced {
+        /// Per-rank compute time between outcome and next deposit.
+        compute: Vec<Duration>,
+        /// Rotating dynamic imbalance on top of the static skew.
+        hiccup: Hiccup,
+    },
+}
+
+/// Rotating per-round compute hiccup — the dynamic-imbalance workload of
+/// Figs. 10–11, where a *different* subset of ranks stalls every round.
+/// Persistent skew gates every policy at the slowest rank's rate;
+/// rotation is what lets partial collectives overlap the stalls, so this
+/// is the knob that reproduces the paper's speedups in the simulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Hiccup {
+    /// How many ranks stall each round (0 = no dynamic imbalance).
+    pub k: usize,
+    /// Extra compute a stalled rank pays that round.
+    pub extra: Duration,
+}
+
+impl Hiccup {
+    /// Whether `rank` of `p` is stalled on `round`: a deterministic
+    /// round-robin block of `k` ranks starting at `round·k mod p`.
+    pub fn hits(&self, rank: usize, round: u64, p: usize) -> bool {
+        if self.k == 0 || self.extra.is_zero() {
+            return false;
+        }
+        let start = (round as usize * self.k) % p;
+        (rank + p - start) % p < self.k
+    }
+}
+
+/// Full description of one simulated experiment.
+#[derive(Debug, Clone)]
+pub struct SimSpec {
+    /// World shape: P, the byte-latency [`pcoll_comm::NetworkModel`], the
+    /// seed every deterministic choice derives from.
+    pub world: WorldConfig,
+    /// Region topology composed into every delivery.
+    pub opts: SimOpts,
+    /// Initial quorum policy (a [`TunerHook`] may switch it mid-run).
+    pub policy: QuorumPolicy,
+    /// Rounds each rank deposits.
+    pub rounds: u64,
+    /// Elements per contribution (f32 sum).
+    pub len: usize,
+    /// When ranks deposit.
+    pub pacing: Pacing,
+    /// Frontend options (algorithm selector, observer, …).
+    pub partial: PartialOpts,
+}
+
+impl SimSpec {
+    /// A compact spec: P ranks, `rounds` rounds, open-loop linear skew of
+    /// `skew_unit` per rank, everything else default.
+    pub fn linear_skew(p: usize, rounds: u64, skew_unit: Duration, policy: QuorumPolicy) -> Self {
+        SimSpec {
+            world: WorldConfig::instant(p),
+            opts: SimOpts::default(),
+            policy,
+            rounds,
+            len: 8,
+            pacing: Pacing::Global {
+                step: skew_unit * (p as u32 + 1) * 2,
+                offsets: (0..p).map(|r| skew_unit * r as u32).collect(),
+            },
+            partial: PartialOpts::default(),
+        }
+    }
+}
+
+/// Telemetry for one tuner window, handed to the [`TunerHook`].
+#[derive(Debug, Clone, Copy)]
+pub struct WindowStats {
+    /// Rounds `[from_round, to_round)` this window covers.
+    pub from_round: u64,
+    /// Exclusive end of the window.
+    pub to_round: u64,
+    /// Fraction of (rank, round) snapshots in the window carrying a fresh
+    /// deposit — the NAP numerator, normalized to `[0, 1]`.
+    pub fresh_fraction: f64,
+    /// Completed rounds per *virtual* second over the window.
+    pub rounds_per_s: f64,
+    /// The policy that governed the window.
+    pub policy: QuorumPolicy,
+}
+
+/// Closed-loop policy controller: called at each window boundary;
+/// returning `Some(policy)` switches every rank's timeline from the next
+/// safe round. Wire `pcoll_tune`'s controllers through this.
+pub type TunerHook<'a> = &'a mut dyn FnMut(&WindowStats) -> Option<QuorumPolicy>;
+
+/// What a finished simulation reports.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Total events processed (timers + deliveries).
+    pub events: u64,
+    /// Message deliveries among them.
+    pub delivered: u64,
+    /// Virtual time at the last event.
+    pub virtual_time: Duration,
+    /// Per-rank, per-round participation traces (sorted by round).
+    pub traces: Vec<Vec<RoundTrace>>,
+    /// Number of fresh contributors per round — the measured NAP stream.
+    pub nap_per_round: Vec<u32>,
+    /// Mean of `nap_per_round`.
+    pub mean_nap: f64,
+    /// Policy switches applied by the tuner hook, as `(from_round, to)`.
+    pub switches: Vec<(u64, QuorumPolicy)>,
+    /// Head element of each rank's latest result buffer.
+    pub finals: Vec<f32>,
+}
+
+impl SimReport {
+    /// FNV-1a digest over the serialized trace stream, NAP stream, and
+    /// final results: two runs of the same `(spec, seed)` must agree on
+    /// this byte-for-byte (the determinism regression handle).
+    pub fn digest(&self) -> u64 {
+        let blob = serde_json::to_string(&(&self.traces, &self.nap_per_round, &self.finals))
+            .expect("report serializes");
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in blob.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+/// Mean NAP over the rounds in `[from, to)` of a per-round NAP stream.
+pub fn mean_nap(nap_per_round: &[u32], from: usize, to: usize) -> f64 {
+    let to = to.min(nap_per_round.len());
+    if from >= to {
+        return 0.0;
+    }
+    let s: u64 = nap_per_round[from..to].iter().map(|n| u64::from(*n)).sum();
+    s as f64 / (to - from) as f64
+}
+
+struct SimRank {
+    core: EngineCore,
+    queue: CmdQueue,
+    inbox: Inbox,
+    ar: PartialAllreduce,
+    /// Rounds deposited so far (== `ar.rounds()`).
+    deposited: u64,
+    /// Self-paced: round whose outcome this rank is blocked on.
+    waiting: Option<u64>,
+    /// Head of the latest outcome seen.
+    last_result: f32,
+}
+
+/// The driver: owns the [`SimWorld`] plus P simulated ranks and replays
+/// the experiment event by event. See the module docs for the shape.
+pub struct SimHarness {
+    spec: SimSpec,
+    sim: SimWorld,
+    ranks: Vec<SimRank>,
+    contrib: TypedBuf,
+    switches: Vec<(u64, QuorumPolicy)>,
+    policy: QuorumPolicy,
+    /// Tuner window length in rounds (None: never call the hook).
+    period: Option<u64>,
+    window_start_round: u64,
+    window_start_time: Duration,
+    window_start_fresh: u64,
+}
+
+impl SimHarness {
+    /// Build the world and register one partial allreduce per rank.
+    pub fn new(spec: SimSpec) -> SimHarness {
+        let p = spec.world.nranks;
+        match &spec.pacing {
+            Pacing::Global { offsets, .. } => {
+                assert_eq!(offsets.len(), p, "one offset per rank");
+            }
+            Pacing::SelfPaced { compute, hiccup } => {
+                assert_eq!(compute.len(), p, "one compute time per rank");
+                assert!(hiccup.k <= p, "hiccup cannot stall more than P ranks");
+            }
+        }
+        let seed = spec.world.seed;
+        let mut sim = SimWorld::new(spec.world.clone(), spec.opts.clone());
+        let mut ranks = Vec::with_capacity(p);
+        for rank in 0..p {
+            let queue = CmdQueue::new();
+            let mut core = EngineCore::new(sim.comm(rank), sim.clock());
+            let ar = PartialAllreduce::register(
+                Arc::new(queue.clone()),
+                pcoll_comm::CollId(1),
+                rank,
+                p,
+                seed,
+                DType::F32,
+                spec.len,
+                ReduceOp::Sum,
+                spec.policy,
+                spec.partial.clone(),
+            );
+            core.drain_cmds(&queue);
+            ranks.push(SimRank {
+                core,
+                queue,
+                inbox: sim.take_inbox(rank),
+                ar,
+                deposited: 0,
+                waiting: None,
+                last_result: 0.0,
+            });
+        }
+        let policy = spec.policy;
+        SimHarness {
+            spec,
+            sim,
+            ranks,
+            contrib: TypedBuf::from(vec![1.0f32; 1]),
+            switches: Vec::new(),
+            policy,
+            period: None,
+            window_start_round: 0,
+            window_start_time: Duration::ZERO,
+            window_start_fresh: 0,
+        }
+    }
+
+    /// Run to completion without a tuner.
+    pub fn run(spec: SimSpec) -> SimReport {
+        let mut h = SimHarness::new(spec);
+        h.drive(None)
+    }
+
+    /// Run with a closed-loop policy controller: `hook` fires every
+    /// `period` rounds (measured on the slowest rank) with that window's
+    /// [`WindowStats`]; a `Some` return switches every rank's timeline.
+    pub fn run_tuned(spec: SimSpec, period: u64, hook: TunerHook<'_>) -> SimReport {
+        assert!(period > 0, "tuner period must be positive");
+        let mut h = SimHarness::new(spec);
+        h.period = Some(period);
+        h.drive(Some(hook))
+    }
+
+    fn drive(&mut self, mut hook: Option<TunerHook<'_>>) -> SimReport {
+        self.contrib = TypedBuf::from(vec![1.0f32; self.spec.len]);
+        // Seed each rank's first deposit timer (token = round number).
+        for rank in 0..self.ranks.len() {
+            let at = match &self.spec.pacing {
+                Pacing::Global { offsets, .. } => offsets[rank],
+                Pacing::SelfPaced { compute, hiccup } => {
+                    let extra = if hiccup.hits(rank, 0, self.ranks.len()) {
+                        hiccup.extra
+                    } else {
+                        Duration::ZERO
+                    };
+                    compute[rank] + extra
+                }
+            };
+            self.sim
+                .schedule_timer(pcoll_comm::TimePoint::ZERO + at, rank, 0);
+        }
+
+        while let Some(ev) = self.sim.step() {
+            match ev {
+                SimEvent::Timer { rank, token } => {
+                    self.deposit(rank, token);
+                    self.maybe_decide(&mut hook);
+                }
+                SimEvent::Deliver { dst } => {
+                    // Drain everything the event delivered, then let a
+                    // possibly-unblocked self-paced rank move on.
+                    while let Some(env) = self.ranks[dst].inbox.try_recv() {
+                        self.ranks[dst].core.on_envelope(env);
+                    }
+                    self.poll_outcome(dst);
+                }
+            }
+        }
+
+        let p = self.ranks.len();
+        for (rank, r) in self.ranks.iter().enumerate() {
+            assert_eq!(
+                r.deposited, self.spec.rounds,
+                "rank {rank} finished {} of {} rounds with the event schedule \
+                 empty — the virtual world deadlocked",
+                r.deposited, self.spec.rounds,
+            );
+            assert!(
+                r.waiting.is_none(),
+                "rank {rank} still waits on round {:?} with the event \
+                 schedule empty — the virtual world deadlocked",
+                r.waiting,
+            );
+        }
+
+        let traces: Vec<Vec<RoundTrace>> = self.ranks.iter().map(|r| r.ar.traces()).collect();
+        let mut nap = vec![0u32; self.spec.rounds as usize];
+        for per_rank in &traces {
+            for t in per_rank {
+                if t.fresh && (t.round as usize) < nap.len() {
+                    nap[t.round as usize] += 1;
+                }
+            }
+        }
+        let mean = mean_nap(&nap, 0, nap.len());
+        debug_assert!(mean <= p as f64);
+        SimReport {
+            events: self.sim.events_processed(),
+            delivered: self.sim.messages_delivered(),
+            virtual_time: self.sim.now().duration_since(pcoll_comm::TimePoint::ZERO),
+            traces,
+            nap_per_round: nap,
+            mean_nap: mean,
+            switches: std::mem::take(&mut self.switches),
+            finals: self.ranks.iter().map(|r| r.last_result).collect(),
+        }
+    }
+
+    /// Deposit `round` on `rank` and schedule what follows.
+    fn deposit(&mut self, rank: usize, round: u64) {
+        let r = &mut self.ranks[rank];
+        debug_assert_eq!(round, r.deposited, "timers fire in round order");
+        let got = r.ar.deposit(&self.contrib);
+        debug_assert_eq!(got, round);
+        r.deposited = round + 1;
+        r.core.drain_cmds(&r.queue);
+        match &self.spec.pacing {
+            Pacing::Global { step, offsets } => {
+                let next = round + 1;
+                if next < self.spec.rounds {
+                    let at = pcoll_comm::TimePoint::ZERO + *step * (next as u32) + offsets[rank];
+                    self.sim.schedule_timer(at, rank, next);
+                }
+            }
+            Pacing::SelfPaced { .. } => {
+                self.ranks[rank].waiting = Some(round);
+                // The outcome may already be there (latest-wins: a newer
+                // round completed while this rank computed).
+                self.poll_outcome(rank);
+            }
+        }
+    }
+
+    /// Self-paced progression: if `rank`'s awaited outcome is available,
+    /// record it and schedule the next compute-completion timer.
+    fn poll_outcome(&mut self, rank: usize) {
+        let p = self.ranks.len();
+        let Pacing::SelfPaced { compute, hiccup } = &self.spec.pacing else {
+            return;
+        };
+        let r = &mut self.ranks[rank];
+        let Some(round) = r.waiting else {
+            return;
+        };
+        let Some(out) = r.ar.try_outcome(round) else {
+            return;
+        };
+        r.waiting = None;
+        r.last_result = out.data.as_f32().map_or(0.0, |v| v[0]);
+        if r.deposited < self.spec.rounds {
+            let next = r.deposited;
+            let extra = if hiccup.hits(rank, next, p) {
+                hiccup.extra
+            } else {
+                Duration::ZERO
+            };
+            let at = self.sim.now() + compute[rank] + extra;
+            self.sim.schedule_timer(at, rank, next);
+        }
+    }
+
+    /// Fire the tuner hook when the slowest rank crosses a window
+    /// boundary, and apply any switch at the common safe round.
+    fn maybe_decide(&mut self, hook: &mut Option<TunerHook<'_>>) {
+        let Some(period) = self.period else {
+            return;
+        };
+        let Some(hook) = hook.as_mut() else {
+            return;
+        };
+        let window_end = self.window_start_round + period;
+        if window_end >= self.spec.rounds {
+            return;
+        }
+        if self.ranks.iter().any(|r| r.deposited < window_end) {
+            return;
+        }
+        let fresh_now: u64 = self.ranks.iter().map(|r| r.ar.counters().0).sum();
+        let now = self.sim.now().duration_since(pcoll_comm::TimePoint::ZERO);
+        let d_rounds = window_end - self.window_start_round;
+        let d_time = (now - self.window_start_time).as_secs_f64().max(1e-12);
+        let stats = WindowStats {
+            from_round: self.window_start_round,
+            to_round: window_end,
+            fresh_fraction: (fresh_now - self.window_start_fresh) as f64
+                / (d_rounds as f64 * self.ranks.len() as f64),
+            rounds_per_s: d_rounds as f64 / d_time,
+            policy: self.policy,
+        };
+        self.window_start_round = window_end;
+        self.window_start_time = now;
+        self.window_start_fresh = fresh_now;
+        if let Some(next) = hook(&stats) {
+            if next != self.policy {
+                // All timelines switch in this single event, at a round no
+                // rank has deposited (and hence no message exists for):
+                // the simulator's one-event stand-in for the trainer's
+                // decide → fence consensus.
+                let from = self.ranks.iter().map(|r| r.ar.rounds()).max().unwrap_or(0);
+                for r in &self.ranks {
+                    r.ar.set_policy_from(from, next);
+                }
+                self.switches.push((from, next));
+                self.policy = next;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_pacing_full_policy_counts_everyone() {
+        let p = 8;
+        let spec = SimSpec::linear_skew(p, 10, Duration::from_millis(1), QuorumPolicy::Full);
+        let rep = SimHarness::run(spec);
+        // Full quorum: every rank's deposit is fresh in every round.
+        assert_eq!(rep.nap_per_round, vec![p as u32; 10]);
+        assert!((rep.mean_nap - p as f64).abs() < 1e-9);
+        assert!(rep.delivered > 0);
+        assert!(rep.virtual_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn global_pacing_solo_under_skew_is_nearly_alone() {
+        let p = 16;
+        let spec = SimSpec::linear_skew(p, 30, Duration::from_millis(2), QuorumPolicy::Solo);
+        let rep = SimHarness::run(spec);
+        // Rank 0 (offset 0) initiates; with zero network latency nobody
+        // else has deposited when dragged in, so NAP = 1 every round.
+        assert!(
+            rep.mean_nap < 2.0,
+            "solo under heavy skew should be nearly alone, got {}",
+            rep.mean_nap
+        );
+        // ... and the traces confirm rank 0 is the fresh one.
+        assert!(rep.traces[0].iter().all(|t| t.fresh));
+    }
+
+    #[test]
+    fn self_paced_ranks_complete_all_rounds() {
+        let p = 4;
+        let mut spec =
+            SimSpec::linear_skew(p, 12, Duration::from_millis(1), QuorumPolicy::Majority);
+        spec.pacing = Pacing::SelfPaced {
+            compute: (0..p)
+                .map(|r| Duration::from_millis(3 + r as u64))
+                .collect(),
+            hiccup: Hiccup::default(),
+        };
+        let rep = SimHarness::run(spec);
+        assert_eq!(rep.traces.len(), p);
+        assert!(rep.mean_nap >= 1.0);
+        assert!(rep.finals.iter().all(|f| *f > 0.0));
+    }
+
+    #[test]
+    fn hiccup_rotation_covers_every_rank_once_per_cycle() {
+        let h = Hiccup {
+            k: 2,
+            extra: Duration::from_millis(1),
+        };
+        let p = 8;
+        for round in 0..8 {
+            let hit = (0..p).filter(|r| h.hits(*r, round, p)).count();
+            assert_eq!(hit, 2, "exactly k ranks stall each round");
+        }
+        // Over p/k consecutive rounds the rotation covers every rank.
+        let mut seen = vec![false; p];
+        for round in 0..(p / 2) as u64 {
+            for (r, s) in seen.iter_mut().enumerate() {
+                *s |= h.hits(r, round, p);
+            }
+        }
+        assert!(seen.iter().all(|s| *s));
+        assert!(!Hiccup::default().hits(0, 0, p), "default is inert");
+    }
+
+    #[test]
+    fn rotating_hiccup_outpaces_full_under_solo() {
+        // The paper's core claim in miniature: with a *rotating* stall,
+        // an asynchronous policy overlaps the stalls while full pays
+        // every one of them on the critical path.
+        let p = 4;
+        let run = |policy| {
+            let mut spec = SimSpec::linear_skew(p, 16, Duration::from_millis(1), policy);
+            spec.pacing = Pacing::SelfPaced {
+                compute: vec![Duration::from_millis(2); p],
+                hiccup: Hiccup {
+                    k: 1,
+                    extra: Duration::from_millis(40),
+                },
+            };
+            SimHarness::run(spec)
+        };
+        let solo = run(QuorumPolicy::Solo);
+        let full = run(QuorumPolicy::Full);
+        assert!(
+            solo.virtual_time < full.virtual_time / 2,
+            "solo {:?} should finish far ahead of full {:?}",
+            solo.virtual_time,
+            full.virtual_time
+        );
+    }
+
+    #[test]
+    fn repeat_runs_are_bit_identical() {
+        let spec = SimSpec::linear_skew(8, 20, Duration::from_millis(1), QuorumPolicy::Majority);
+        let a = SimHarness::run(spec.clone());
+        let b = SimHarness::run(spec);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.nap_per_round, b.nap_per_round);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.virtual_time, b.virtual_time);
+    }
+
+    #[test]
+    fn tuner_hook_switches_policy_mid_run() {
+        let p = 8;
+        let spec = SimSpec::linear_skew(p, 40, Duration::from_millis(1), QuorumPolicy::Solo);
+        let mut calls = 0u32;
+        let rep = SimHarness::run_tuned(spec, 10, &mut |w: &WindowStats| {
+            calls += 1;
+            (w.policy == QuorumPolicy::Solo).then_some(QuorumPolicy::Full)
+        });
+        assert!(calls >= 2, "hook must fire at window boundaries");
+        assert_eq!(rep.switches.len(), 1, "one switch: solo → full");
+        let from = rep.switches[0].0 as usize;
+        // Before the switch solo runs nearly alone; after it, everyone is
+        // fresh — visible in the NAP stream. Skip the boundary round
+        // itself (in-flight deposits straddle it).
+        assert!(mean_nap(&rep.nap_per_round, 0, from) < 2.0);
+        assert_eq!(
+            &rep.nap_per_round[from + 1..],
+            vec![p as u32; rep.nap_per_round.len() - from - 1].as_slice()
+        );
+    }
+}

@@ -13,9 +13,13 @@ use serde::{Deserialize, Serialize};
 /// schedule operations are defined over (a practical subset).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DType {
+    /// 32-bit IEEE float (the gradient hot path).
     F32,
+    /// 64-bit IEEE float.
     F64,
+    /// 32-bit signed integer.
     I32,
+    /// 64-bit signed integer.
     I64,
 }
 
@@ -34,9 +38,13 @@ impl DType {
 /// for arithmetic reductions (the subset used by the paper's collectives).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ReduceOp {
+    /// Elementwise addition.
     Sum,
+    /// Elementwise product.
     Prod,
+    /// Elementwise minimum.
     Min,
+    /// Elementwise maximum.
     Max,
 }
 
@@ -44,9 +52,19 @@ pub enum ReduceOp {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BufError {
     /// Two buffers that must agree in dtype do not.
-    DTypeMismatch { expected: DType, got: DType },
+    DTypeMismatch {
+        /// The dtype the operation required.
+        expected: DType,
+        /// The dtype it was given.
+        got: DType,
+    },
     /// Two buffers that must agree in length do not.
-    LenMismatch { expected: usize, got: usize },
+    LenMismatch {
+        /// The length the operation required.
+        expected: usize,
+        /// The length it was given.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for BufError {
@@ -72,9 +90,13 @@ impl std::error::Error for BufError {}
 /// instance arena" zero-copy.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TypedBuf {
+    /// `f32` elements.
     F32(Vec<f32>),
+    /// `f64` elements.
     F64(Vec<f64>),
+    /// `i32` elements.
     I32(Vec<i32>),
+    /// `i64` elements.
     I64(Vec<i64>),
 }
 

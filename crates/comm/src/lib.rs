@@ -5,7 +5,7 @@
 //! Cray MPICH played in the paper: reliable, tagged, point-to-point message
 //! delivery between `P` ranks.
 //!
-//! Two [`Transport`] backends sit behind the same [`CommHandle`] /
+//! Three [`Transport`] backends sit behind the same [`CommHandle`] /
 //! [`Inbox`] API:
 //!
 //! - **In-process** (the [`World::launch`] default): ranks are OS threads
@@ -17,10 +17,19 @@
 //!   an orderly goodbye handshake — real process-level SPMD, honest
 //!   latency, and a process-skew scenario axis (see the [`transport`]
 //!   module).
+//! - **Sim** ([`sim::SimWorld`], `--transport sim`): a single-process
+//!   discrete-event simulator with a virtual [`Clock`], a priority-queue
+//!   event schedule, and deliveries drawn from a region-to-region
+//!   [`sim::Planet`] latency matrix composed with the [`NetworkModel`] —
+//!   P = 1,024+ rank experiments on one box, bit-identical at a fixed
+//!   seed (see the [`sim`] module).
 //!
 //! A configurable [`NetworkModel`] injects per-message latency (`alpha +
-//! bytes * beta + jitter`) through a delivery thread on *either* backend,
+//! bytes * beta + jitter`) through a delivery thread on every backend,
 //! preserving per-(src, dst) FIFO ordering (the MPI non-overtaking rule).
+//! Code above the transport reads time through the [`Clock`] handle
+//! ([`time`] module): wall time on the first two backends, virtual time
+//! under the simulator.
 //!
 //! Design notes:
 //! - Buffers are **typed** ([`TypedBuf`]) rather than raw bytes: reductions
@@ -40,13 +49,17 @@
 //!   (tests, simple algorithms); the schedule engine instead takes the raw
 //!   [`Inbox`] and performs its own matching.
 
+#![deny(missing_docs)]
+
 pub mod buf;
 pub mod matcher;
 pub mod net;
 pub mod payload;
 pub mod pool;
+pub mod sim;
 pub mod stats;
 pub mod tag;
+pub mod time;
 pub mod transport;
 pub mod world;
 
@@ -55,8 +68,10 @@ pub use matcher::Matcher;
 pub use net::NetworkModel;
 pub use payload::Payload;
 pub use pool::BytePool;
+pub use sim::{Planet, Region, SimEvent, SimOpts, SimWorld};
 pub use stats::{CommStats, CommStatsSnapshot};
 pub use tag::{CollId, Message, Rank, WireTag};
+pub use time::{Clock, TimePoint};
 pub use transport::{is_tcp_worker, TcpOpts, Transport};
 pub use world::{
     CommHandle, Communicator, Envelope, Inbox, World, WorldConfig, DEFAULT_QUEUE_CAPACITY,

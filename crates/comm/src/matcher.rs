@@ -21,6 +21,7 @@ pub struct Matcher {
 }
 
 impl Matcher {
+    /// Wrap an inbox for tag-matched receiving.
     pub fn new(inbox: Inbox) -> Self {
         Matcher {
             inbox,

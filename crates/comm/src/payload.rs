@@ -40,6 +40,33 @@ enum Repr {
 }
 
 /// A cheaply-cloneable, shared, typed message payload (see module docs).
+///
+/// ```
+/// use pcoll_comm::{Payload, ReduceOp, TypedBuf};
+///
+/// // Clone = share: both handles alias one allocation.
+/// let a = Payload::new(TypedBuf::from(vec![1.0f32, 2.0, 3.0, 4.0]));
+/// let b = a.clone();
+/// assert!(a.shares_allocation_with(&b));
+///
+/// // View = share a slice: same allocation, narrower range.
+/// let tail = a.view(2, 2);
+/// assert_eq!(tail.as_f32(), Some(&[3.0, 4.0][..]));
+/// assert!(tail.shares_allocation_with(&a));
+///
+/// // Mutate = copy-on-write: `b` detaches; `a` is untouched.
+/// let mut b = b;
+/// b.to_mut().as_f32_mut().unwrap()[0] = 9.0;
+/// assert!(!b.shares_allocation_with(&a));
+/// assert_eq!(a.as_f32().unwrap()[0], 1.0);
+///
+/// // Reduce from the wire: undecoded little-endian frame bytes fold
+/// // straight into the accumulator, no intermediate buffer.
+/// let wire = Payload::from_wire(a.dtype(), 2.0f32.to_le_bytes().repeat(4)).unwrap();
+/// let mut acc = a.clone();
+/// acc.reduce_assign(&wire, ReduceOp::Sum).unwrap();
+/// assert_eq!(acc.as_f32(), Some(&[3.0, 4.0, 5.0, 6.0][..]));
+/// ```
 #[derive(Debug, Clone)]
 pub struct Payload {
     repr: Repr,

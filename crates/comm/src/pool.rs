@@ -32,6 +32,7 @@ pub struct BytePool {
 pub(crate) static FRAME_POOL: BytePool = BytePool::new();
 
 impl BytePool {
+    /// An empty pool (const: usable as a `static`).
     pub const fn new() -> Self {
         BytePool {
             bufs: Mutex::new(Vec::new()),

@@ -1,0 +1,601 @@
+//! `Transport::Sim`: a single-process discrete-event network simulator.
+//!
+//! The third transport. Where the in-process backend runs ranks as
+//! threads and the TCP backend runs them as processes, the simulator runs
+//! *no* rank concurrency at all: a [`SimWorld`] owns a virtual
+//! [`Clock`], a priority-queue event schedule, and every
+//! rank's mailbox, and a single driver thread replays the whole world
+//! event by event. Sends issued through the unchanged [`CommHandle`] API
+//! are staged by the transport's simulation route and scheduled for
+//! delivery at
+//!
+//! ```text
+//! now + planet.one_way(region(src), region(dst))   // geography
+//!     + model.base_latency(wire_bytes)             // alpha-beta transfer
+//!     + jitter                                     // deterministic PRNG
+//! ```
+//!
+//! clamped to be no earlier than the previous message on the same
+//! `(src, dst)` pair — the same MPI non-overtaking rule the wall-clock
+//! delivery thread in [`crate::net`] enforces. Delivery pushes the
+//! envelope into the destination's ordinary bounded mailbox channel, so
+//! consumers drain a real [`Inbox`] exactly as they would on the other
+//! two transports.
+//!
+//! Because the heap is ordered by `(due, seq)` with sequence numbers
+//! assigned in (deterministic, single-threaded) staging order and all
+//! randomness comes from a seeded xorshift, a simulation is a pure
+//! function of `(config, seed)`: repeat runs are bit-identical. That is
+//! what lets `P = 1024+` rank experiments with millions of messages run
+//! on one box and regress byte-for-byte in CI.
+//!
+//! The region topology is a [`Planet`]: a named region set plus a
+//! one-way-latency matrix (in the spirit of fantoch's `Planet`/`Region`
+//! planet-scale simulator). Ranks map onto regions in contiguous blocks.
+
+use crate::stats::CommStats;
+use crate::tag::Rank;
+use crate::time::{Clock, TimePoint};
+use crate::transport::Route;
+use crate::world::{CommHandle, Envelope, Inbox, WorldConfig};
+use crate::NetworkModel;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+// ---------------------------------------------------------------------------
+// Planet: regions and the one-way latency matrix
+// ---------------------------------------------------------------------------
+
+/// A region index into a [`Planet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region(pub usize);
+
+/// A set of named regions with a one-way inter-region latency matrix.
+#[derive(Debug, Clone)]
+pub struct Planet {
+    names: Vec<String>,
+    /// Row-major `[from][to]` one-way latency in nanoseconds.
+    latency_ns: Vec<u64>,
+}
+
+impl Planet {
+    /// Build from names and a row-major one-way latency matrix.
+    pub fn new(names: Vec<String>, one_way: Vec<Vec<Duration>>) -> Planet {
+        let n = names.len();
+        assert!(n > 0, "planet needs at least one region");
+        assert_eq!(one_way.len(), n, "latency matrix must be {n}x{n}");
+        let mut latency_ns = Vec::with_capacity(n * n);
+        for row in &one_way {
+            assert_eq!(row.len(), n, "latency matrix must be {n}x{n}");
+            latency_ns.extend(row.iter().map(|d| d.as_nanos() as u64));
+        }
+        Planet { names, latency_ns }
+    }
+
+    /// One region, zero inter-rank geography (the latency model alone
+    /// governs delivery) — the single-cluster default.
+    pub fn single() -> Planet {
+        Planet::new(vec!["local".into()], vec![vec![Duration::ZERO]])
+    }
+
+    /// `n` regions, `one_way` between any two distinct regions, zero
+    /// within a region — the symmetric multi-cluster shape.
+    pub fn uniform(n: usize, one_way: Duration) -> Planet {
+        let names = (0..n).map(|i| format!("region-{i}")).collect();
+        let m = (0..n)
+            .map(|a| {
+                (0..n)
+                    .map(|b| if a == b { Duration::ZERO } else { one_way })
+                    .collect()
+            })
+            .collect();
+        Planet::new(names, m)
+    }
+
+    /// A four-region WAN with ms-scale one-way latencies (eu-west,
+    /// us-east, us-west, ap-south) — the planet-scale demo topology.
+    pub fn wan() -> Planet {
+        let ms = Duration::from_micros;
+        let intra = ms(250);
+        let names = vec![
+            "eu-west".into(),
+            "us-east".into(),
+            "us-west".into(),
+            "ap-south".into(),
+        ];
+        let m = vec![
+            vec![intra, ms(40_000), ms(70_000), ms(60_000)],
+            vec![ms(40_000), intra, ms(35_000), ms(90_000)],
+            vec![ms(70_000), ms(35_000), intra, ms(110_000)],
+            vec![ms(60_000), ms(90_000), ms(110_000), intra],
+        ];
+        Planet::new(names, m)
+    }
+
+    /// Number of regions.
+    pub fn nregions(&self) -> usize {
+        self.names.len()
+    }
+
+    /// A region's name.
+    pub fn region_name(&self, r: Region) -> &str {
+        &self.names[r.0]
+    }
+
+    /// One-way latency from `a` to `b`.
+    pub fn one_way(&self, a: Region, b: Region) -> Duration {
+        Duration::from_nanos(self.latency_ns[a.0 * self.names.len() + b.0])
+    }
+
+    /// The region hosting `rank` of `p`: contiguous blocks of ranks, so
+    /// rank locality mirrors how clusters are actually carved up.
+    pub fn rank_region(&self, rank: Rank, p: usize) -> Region {
+        Region(rank * self.nregions() / p.max(1))
+    }
+}
+
+/// Options for the simulated transport.
+#[derive(Debug, Clone)]
+pub struct SimOpts {
+    /// Region topology composed with the world's [`NetworkModel`].
+    pub planet: Planet,
+}
+
+impl Default for SimOpts {
+    fn default() -> Self {
+        SimOpts {
+            planet: Planet::single(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The event schedule
+// ---------------------------------------------------------------------------
+
+enum EventKind {
+    Deliver { dst: Rank, env: Envelope },
+    Timer { rank: Rank, token: u64 },
+}
+
+struct SimEntry {
+    due: TimePoint,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for SimEntry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+impl Eq for SimEntry {}
+impl PartialOrd for SimEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SimEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// What [`SimWorld::step`] just made happen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// An envelope was pushed into `dst`'s mailbox; the driver should
+    /// drain that rank's [`Inbox`] now.
+    Deliver {
+        /// Destination rank.
+        dst: Rank,
+    },
+    /// A timer scheduled with [`SimWorld::schedule_timer`] fired.
+    Timer {
+        /// The rank the timer belongs to.
+        rank: Rank,
+        /// The caller's opaque token.
+        token: u64,
+    },
+}
+
+/// Sends staged by [`Route::Sim`] during event handling, flushed into the
+/// schedule by the driver. Shared between every rank's `CommHandle` and
+/// the world.
+#[derive(Clone, Default)]
+pub(crate) struct SimStage {
+    pub(crate) queue: Arc<Mutex<Vec<(Rank, Rank, Envelope)>>>,
+}
+
+/// Per-rank sending side of the staged route.
+#[derive(Clone)]
+pub(crate) struct SimRoute {
+    pub(crate) src: Rank,
+    pub(crate) stage: SimStage,
+}
+
+impl SimRoute {
+    pub(crate) fn deliver(&self, dst: Rank, env: Envelope, stats: &CommStats) {
+        stats.sends.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.stage.queue.lock().expect("sim stage lock");
+        q.push((self.src, dst, env));
+        stats.record_depth(q.len());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SimWorld
+// ---------------------------------------------------------------------------
+
+/// The simulated world: virtual clock, event heap, mailboxes, and the
+/// latency composition (see module docs). Drive it with
+/// [`SimWorld::step`] in a loop; after each event, drain the affected
+/// rank's inbox and let it react (its sends are staged and picked up by
+/// the next `step`).
+pub struct SimWorld {
+    cfg: WorldConfig,
+    planet: Planet,
+    regions: Vec<Region>,
+    clock: Clock,
+    heap: BinaryHeap<Reverse<SimEntry>>,
+    seq: u64,
+    stage: SimStage,
+    last_due: HashMap<(Rank, Rank), TimePoint>,
+    rng_state: u64,
+    mb_txs: Vec<Sender<Envelope>>,
+    mb_rxs: Vec<Option<Receiver<Envelope>>>,
+    stats: Vec<Arc<CommStats>>,
+    events: u64,
+    delivered: u64,
+}
+
+impl SimWorld {
+    /// Build a simulated world for `cfg.nranks` ranks over `opts.planet`.
+    pub fn new(cfg: WorldConfig, opts: SimOpts) -> SimWorld {
+        assert!(cfg.nranks > 0, "world must have at least one rank");
+        let (mb_txs, mb_rxs): (Vec<_>, Vec<_>) =
+            (0..cfg.nranks).map(|_| bounded(cfg.queue_capacity)).unzip();
+        let regions = (0..cfg.nranks)
+            .map(|r| opts.planet.rank_region(r, cfg.nranks))
+            .collect();
+        let stats = (0..cfg.nranks)
+            .map(|_| Arc::new(CommStats::default()))
+            .collect();
+        SimWorld {
+            rng_state: (cfg.seed ^ 0x5EED) | 1,
+            planet: opts.planet,
+            regions,
+            clock: Clock::virtual_clock(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            stage: SimStage::default(),
+            last_due: HashMap::new(),
+            mb_txs,
+            mb_rxs: mb_rxs.into_iter().map(Some).collect(),
+            stats,
+            events: 0,
+            delivered: 0,
+            cfg,
+        }
+    }
+
+    /// World size (P).
+    pub fn nranks(&self) -> usize {
+        self.cfg.nranks
+    }
+
+    /// The world's virtual clock (share it with the engine so latency
+    /// telemetry reads simulated time).
+    pub fn clock(&self) -> Clock {
+        self.clock.clone()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> TimePoint {
+        self.clock.now()
+    }
+
+    /// The region hosting `rank`.
+    pub fn region(&self, rank: Rank) -> Region {
+        self.regions[rank]
+    }
+
+    /// The planet this world runs on.
+    pub fn planet(&self) -> &Planet {
+        &self.planet
+    }
+
+    /// A sending handle for `rank` — the unchanged [`CommHandle`] API;
+    /// sends are staged for the event schedule instead of delivered.
+    pub fn comm(&self, rank: Rank) -> CommHandle {
+        assert!(rank < self.cfg.nranks, "rank {rank} out of range");
+        CommHandle {
+            rank,
+            size: self.cfg.nranks,
+            seed: self.cfg.seed,
+            net: None,
+            route: Route::Sim(SimRoute {
+                src: rank,
+                stage: self.stage.clone(),
+            }),
+            stats: Arc::clone(&self.stats[rank]),
+            queue_deadline: self.cfg.queue_deadline,
+        }
+    }
+
+    /// Take `rank`'s receive half (once).
+    pub fn take_inbox(&mut self, rank: Rank) -> Inbox {
+        Inbox {
+            rx: self.mb_rxs[rank]
+                .take()
+                .expect("inbox already taken for this rank"),
+        }
+    }
+
+    /// `rank`'s queue-pressure counters.
+    pub fn comm_stats(&self, rank: Rank) -> Arc<CommStats> {
+        Arc::clone(&self.stats[rank])
+    }
+
+    /// Schedule an application event (an arrival, a deadline) at `at`;
+    /// `token` is returned verbatim in [`SimEvent::Timer`].
+    pub fn schedule_timer(&mut self, at: TimePoint, rank: Rank, token: u64) {
+        let due = at.max(self.clock.now());
+        self.heap.push(Reverse(SimEntry {
+            due,
+            seq: self.seq,
+            kind: EventKind::Timer { rank, token },
+        }));
+        self.seq += 1;
+    }
+
+    /// xorshift64* — the same deterministic jitter PRNG the wall-clock
+    /// delivery thread uses.
+    fn next_jitter(&mut self, max: Duration) -> Duration {
+        self.rng_state ^= self.rng_state >> 12;
+        self.rng_state ^= self.rng_state << 25;
+        self.rng_state ^= self.rng_state >> 27;
+        let r = self.rng_state.wrapping_mul(0x2545F4914F6CDD1D);
+        let nanos = max.as_nanos() as u64;
+        if nanos == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(r % nanos)
+        }
+    }
+
+    fn jitter_max(model: &NetworkModel) -> Duration {
+        match model {
+            NetworkModel::Instant => Duration::ZERO,
+            NetworkModel::AlphaBeta { jitter, .. } => *jitter,
+        }
+    }
+
+    /// Move staged sends into the event heap with composed latencies and
+    /// the per-pair non-overtaking clamp.
+    fn flush_sends(&mut self) {
+        let staged: Vec<(Rank, Rank, Envelope)> = {
+            let mut q = self.stage.queue.lock().expect("sim stage lock");
+            std::mem::take(&mut *q)
+        };
+        let now = self.clock.now();
+        for (src, dst, env) in staged {
+            let bytes = match &env {
+                Envelope::Data(m) => m.wire_bytes(),
+                Envelope::Shutdown => 0,
+            };
+            let latency = self.planet.one_way(self.regions[src], self.regions[dst])
+                + self.cfg.network.base_latency(bytes)
+                + self.next_jitter(Self::jitter_max(&self.cfg.network));
+            let mut due = now + latency;
+            if let Some(prev) = self.last_due.get(&(src, dst)) {
+                due = due.max(*prev);
+            }
+            self.last_due.insert((src, dst), due);
+            self.heap.push(Reverse(SimEntry {
+                due,
+                seq: self.seq,
+                kind: EventKind::Deliver { dst, env },
+            }));
+            self.seq += 1;
+        }
+    }
+
+    /// Advance the world by one event: flush staged sends, pop the
+    /// earliest entry, move the clock to its due time, and either push a
+    /// delivery into the destination mailbox or surface a timer. `None`
+    /// when the schedule is empty (and nothing was staged).
+    pub fn step(&mut self) -> Option<SimEvent> {
+        self.flush_sends();
+        let Reverse(entry) = self.heap.pop()?;
+        self.clock.advance_to(entry.due);
+        self.events += 1;
+        match entry.kind {
+            EventKind::Deliver { dst, env } => {
+                self.delivered += 1;
+                if self.mb_txs[dst].try_send(env).is_err() {
+                    // A full mailbox here means the driver is not draining
+                    // after deliveries — a bug in the harness, not a
+                    // backpressure scenario the single-threaded sim can
+                    // resolve by blocking.
+                    panic!(
+                        "sim mailbox for rank {dst} rejected a delivery \
+                         (capacity {}): drain the inbox after every event",
+                        self.cfg.queue_capacity
+                    );
+                }
+                Some(SimEvent::Deliver { dst })
+            }
+            EventKind::Timer { rank, token } => Some(SimEvent::Timer { rank, token }),
+        }
+    }
+
+    /// Whether the schedule is exhausted (nothing queued, nothing staged).
+    pub fn is_idle(&self) -> bool {
+        self.heap.is_empty() && self.stage.queue.lock().expect("sim stage lock").is_empty()
+    }
+
+    /// Events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events
+    }
+
+    /// Message deliveries so far.
+    pub fn messages_delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::{CollId, WireTag};
+    use crate::TypedBuf;
+
+    fn world(p: usize, model: NetworkModel, planet: Planet) -> SimWorld {
+        let cfg = WorldConfig {
+            network: model,
+            ..WorldConfig::instant(p)
+        };
+        SimWorld::new(cfg, SimOpts { planet })
+    }
+
+    fn tag(sem: u32) -> WireTag {
+        WireTag::new(CollId(1), 0, sem)
+    }
+
+    #[test]
+    fn planet_wan_is_symmetric_with_cheap_intra_region() {
+        let p = Planet::wan();
+        for a in 0..p.nregions() {
+            for b in 0..p.nregions() {
+                assert_eq!(
+                    p.one_way(Region(a), Region(b)),
+                    p.one_way(Region(b), Region(a))
+                );
+                if a != b {
+                    assert!(p.one_way(Region(a), Region(b)) > p.one_way(Region(a), Region(a)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rank_region_blocks_cover_all_regions() {
+        let p = Planet::wan();
+        let counts = (0..64).fold(vec![0usize; 4], |mut acc, r| {
+            acc[p.rank_region(r, 64).0] += 1;
+            acc
+        });
+        assert_eq!(counts, vec![16; 4], "contiguous equal blocks");
+    }
+
+    #[test]
+    fn delivery_advances_virtual_time_by_composed_latency() {
+        let mut w = world(
+            8,
+            NetworkModel::AlphaBeta {
+                alpha: Duration::from_micros(100),
+                beta_ns_per_byte: 0.0,
+                jitter: Duration::ZERO,
+            },
+            Planet::uniform(2, Duration::from_millis(50)),
+        );
+        // Rank 0 (region 0) → rank 7 (region 1): 50ms + 100µs.
+        let mut inbox7 = w.take_inbox(7);
+        w.comm(0)
+            .send(7, tag(0), Some(TypedBuf::from(vec![1.0f32])));
+        assert_eq!(w.step(), Some(SimEvent::Deliver { dst: 7 }));
+        assert_eq!(w.now().as_nanos(), 50_000_000 + 100_000);
+        assert!(matches!(inbox7.try_recv(), Some(Envelope::Data(_))));
+        // Intra-region pair pays only the model latency.
+        let mut inbox1 = w.take_inbox(1);
+        w.comm(0)
+            .send(1, tag(1), Some(TypedBuf::from(vec![2.0f32])));
+        let before = w.now();
+        w.step().unwrap();
+        assert_eq!(w.now().duration_since(before), Duration::from_micros(100));
+        assert!(inbox1.try_recv().is_some());
+        let _ = &mut inbox7;
+        let _ = &mut inbox1;
+    }
+
+    #[test]
+    fn same_pair_messages_do_not_overtake_under_jitter() {
+        let mut w = world(
+            2,
+            NetworkModel::AlphaBeta {
+                alpha: Duration::from_micros(10),
+                beta_ns_per_byte: 0.0,
+                jitter: Duration::from_millis(2),
+            },
+            Planet::single(),
+        );
+        let inbox = w.take_inbox(1);
+        let c = w.comm(0);
+        for i in 0..64 {
+            c.send(1, tag(i), Some(TypedBuf::from(vec![i as f32])));
+        }
+        let mut got = Vec::new();
+        while let Some(SimEvent::Deliver { dst }) = w.step() {
+            assert_eq!(dst, 1);
+            match inbox.try_recv() {
+                Some(Envelope::Data(m)) => got.push(m.tag.sem),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let want: Vec<u32> = (0..64).collect();
+        assert_eq!(got, want, "per-pair FIFO under jitter");
+    }
+
+    #[test]
+    fn event_order_is_bit_identical_across_runs() {
+        let run = || {
+            let mut w = world(
+                4,
+                NetworkModel::cloud(),
+                Planet::uniform(2, Duration::from_millis(10)),
+            );
+            let inboxes: Vec<Inbox> = (0..4).map(|r| w.take_inbox(r)).collect();
+            for src in 0..4usize {
+                let c = w.comm(src);
+                for dst in 0..4usize {
+                    if dst != src {
+                        c.send(dst, tag(src as u32), Some(TypedBuf::from(vec![src as f32])));
+                    }
+                }
+            }
+            let mut log = Vec::new();
+            while let Some(ev) = w.step() {
+                if let SimEvent::Deliver { dst } = ev {
+                    if let Some(Envelope::Data(m)) = inboxes[dst].try_recv() {
+                        log.push((w.now().as_nanos(), m.src, dst));
+                    }
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run(), "same seed, same schedule, same log");
+    }
+
+    #[test]
+    fn timers_interleave_with_deliveries_in_due_order() {
+        let mut w = world(2, NetworkModel::Instant, Planet::single());
+        let _inbox = w.take_inbox(1);
+        w.schedule_timer(TimePoint::from_nanos(500), 0, 7);
+        w.schedule_timer(TimePoint::from_nanos(100), 1, 8);
+        let events: Vec<SimEvent> = std::iter::from_fn(|| w.step()).collect();
+        assert_eq!(
+            events,
+            vec![
+                SimEvent::Timer { rank: 1, token: 8 },
+                SimEvent::Timer { rank: 0, token: 7 },
+            ]
+        );
+        assert_eq!(w.now().as_nanos(), 500);
+    }
+}

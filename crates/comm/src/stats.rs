@@ -66,11 +66,17 @@ impl CommStats {
 /// bench artifacts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CommStatsSnapshot {
+    /// Messages handed to a send route.
     pub sends: u64,
+    /// Payload bytes sent.
     pub bytes_sent: u64,
+    /// Sends that found their queue full and had to block.
     pub send_stalls: u64,
+    /// Total time spent blocked on full queues.
     pub stall_ms: f64,
+    /// Deepest queue backlog observed (running max).
     pub peak_queue_depth: u64,
+    /// Messages dropped because the destination had already finished.
     pub dropped_closed: u64,
 }
 

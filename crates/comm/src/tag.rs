@@ -21,12 +21,16 @@ pub struct CollId(pub u32);
 /// agree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct WireTag {
+    /// The persistent collective this message belongs to.
     pub coll: CollId,
+    /// The collective's round (execution) number.
     pub round: u64,
+    /// Semantic tag within the schedule (builder-owned namespace).
     pub sem: u32,
 }
 
 impl WireTag {
+    /// Assemble a tag from its parts.
     pub fn new(coll: CollId, round: u64, sem: u32) -> Self {
         WireTag { coll, round, sem }
     }
@@ -41,8 +45,11 @@ impl WireTag {
 /// copying element data.
 #[derive(Debug)]
 pub struct Message {
+    /// Sending rank.
     pub src: Rank,
+    /// Matching key (collective, round, semantic tag).
     pub tag: WireTag,
+    /// Data, if any; shared zero-copy across fan-out destinations.
     pub payload: Option<Payload>,
 }
 

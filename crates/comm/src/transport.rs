@@ -41,6 +41,7 @@
 
 use crate::net::spawn_network;
 use crate::pool::FRAME_POOL;
+use crate::sim::{SimOpts, SimRoute};
 use crate::stats::CommStats;
 use crate::tag::{CollId, Message, Rank, WireTag};
 use crate::world::{CommHandle, Communicator, Envelope, Inbox, WorldConfig};
@@ -66,15 +67,23 @@ pub enum Transport {
     InProcess,
     /// One OS process per rank over loopback TCP.
     Tcp(TcpOpts),
+    /// Single-process discrete-event simulation (see [`crate::sim`]).
+    /// Under [`crate::World::launch_with`] the same SPMD closure runs
+    /// thread-per-rank with the planet's region latencies composed into
+    /// the delivery thread (co-simulation over wall time); the pure
+    /// virtual-time path is [`crate::sim::SimWorld`], driven event by
+    /// event from one thread.
+    Sim(SimOpts),
 }
 
 impl Transport {
-    /// Parse a `--transport` flag value (`inproc` / `tcp`); the TCP
-    /// variant gets `label` as its launch-site label.
+    /// Parse a `--transport` flag value (`inproc` / `tcp` / `sim`); the
+    /// TCP variant gets `label` as its launch-site label.
     pub fn parse(s: &str, label: &str) -> Option<Transport> {
         match s {
             "inproc" | "in-process" | "thread" => Some(Transport::InProcess),
             "tcp" => Some(Transport::Tcp(TcpOpts::labeled(label))),
+            "sim" => Some(Transport::Sim(SimOpts::default())),
             _ => None,
         }
     }
@@ -191,6 +200,8 @@ pub(crate) fn bounded_send<T>(
 pub(crate) enum Route {
     Mailboxes(Arc<Vec<Sender<Envelope>>>),
     Tcp(Arc<TcpPeers>),
+    /// Simulated transport: sends are staged for the event scheduler.
+    Sim(SimRoute),
 }
 
 impl Route {
@@ -207,6 +218,7 @@ impl Route {
                 bounded_send(&mbs[dst], env, stats, deadline, "rank mailbox");
             }
             Route::Tcp(peers) => peers.deliver(dst, env, stats, deadline),
+            Route::Sim(sim) => sim.deliver(dst, env, stats),
         }
     }
 }
@@ -949,6 +961,7 @@ where
                 cfg.queue_capacity,
                 cfg.queue_deadline,
                 Arc::clone(&stats),
+                None,
             );
             (Some(h), Some(j))
         }

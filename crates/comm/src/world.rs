@@ -20,8 +20,9 @@
 //! section), which must fail loudly rather than hang. Queue pressure is
 //! counted per rank in [`CommStats`].
 
-use crate::net::{spawn_network, NetHandle};
+use crate::net::{spawn_network, ExtraLatency, NetHandle};
 use crate::payload::Payload;
+use crate::sim::SimOpts;
 use crate::stats::CommStats;
 use crate::tag::{Message, Rank, WireTag};
 use crate::transport::{launch_tcp, Route, TcpOpts, Transport};
@@ -301,7 +302,24 @@ impl World {
     /// Spawn `cfg.nranks` rank threads, run `f` on each, join, and return
     /// all results indexed by rank. Panics in any rank propagate (after all
     /// other ranks are joined) so tests fail loudly.
+    ///
+    /// ```
+    /// use pcoll_comm::{World, WorldConfig};
+    ///
+    /// let out = World::launch(WorldConfig::instant(4), |c| c.rank() * 10);
+    /// assert_eq!(out, vec![0, 10, 20, 30]);
+    /// ```
     pub fn launch<T, F>(cfg: WorldConfig, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Communicator) -> T + Send + Sync + 'static,
+    {
+        Self::launch_threaded(cfg, None, f)
+    }
+
+    /// Thread-per-rank launch, optionally composing a planet's region
+    /// geography into the delivery thread (`Transport::Sim` closure mode).
+    fn launch_threaded<T, F>(cfg: WorldConfig, extra: Option<Arc<ExtraLatency>>, f: F) -> Vec<T>
     where
         T: Send + 'static,
         F: Fn(Communicator) -> T + Send + Sync + 'static,
@@ -311,21 +329,24 @@ impl World {
             (0..cfg.nranks).map(|_| bounded(cfg.queue_capacity)).unzip();
         let route = Route::mailboxes(mb_txs);
 
-        let (net, net_join) = match cfg.network {
-            NetworkModel::Instant => (None, None),
-            model => {
-                // The shared shaper thread accounts its own queue pressure
-                // (it delivers on behalf of every rank).
-                let (h, j) = spawn_network(
-                    model,
-                    route.clone(),
-                    cfg.seed ^ 0x5EED,
-                    cfg.queue_capacity,
-                    cfg.queue_deadline,
-                    Arc::new(CommStats::default()),
-                );
-                (Some(h), Some(j))
-            }
+        // The shaper is bypassed only when there is nothing to model:
+        // instant network *and* no geography.
+        let modeled = !matches!(cfg.network, NetworkModel::Instant) || extra.is_some();
+        let (net, net_join) = if modeled {
+            // The shared shaper thread accounts its own queue pressure
+            // (it delivers on behalf of every rank).
+            let (h, j) = spawn_network(
+                cfg.network,
+                route.clone(),
+                cfg.seed ^ 0x5EED,
+                cfg.queue_capacity,
+                cfg.queue_deadline,
+                Arc::new(CommStats::default()),
+                extra,
+            );
+            (Some(h), Some(j))
+        } else {
+            (None, None)
         };
 
         let host_barrier = Arc::new(Barrier::new(cfg.nranks));
@@ -375,12 +396,23 @@ impl World {
     }
 
     /// Launch over an explicit [`Transport`]: the same SPMD closure runs
-    /// either thread-per-rank ([`World::launch`]) or process-per-rank over
-    /// loopback TCP ([`World::launch_tcp`]).
+    /// thread-per-rank ([`World::launch`]), process-per-rank over loopback
+    /// TCP ([`World::launch_tcp`]), or thread-per-rank with a simulated
+    /// planet's region latencies composed into the delivery thread
+    /// ([`World::launch_sim`]).
     ///
     /// Returns `None` only in a TCP worker process that serves a
     /// *different* launch label (skip that call site and fall through);
     /// see the `transport` module docs.
+    ///
+    /// ```
+    /// use pcoll_comm::{Transport, World, WorldConfig};
+    ///
+    /// let out = World::launch_with(WorldConfig::instant(2), Transport::InProcess, |c| {
+    ///     c.size() as u32
+    /// });
+    /// assert_eq!(out, Some(vec![2, 2]));
+    /// ```
     pub fn launch_with<T, F>(cfg: WorldConfig, transport: Transport, f: F) -> Option<Vec<T>>
     where
         T: Send + 'static + serde::Serialize + serde::Deserialize,
@@ -389,12 +421,36 @@ impl World {
         match transport {
             Transport::InProcess => Some(Self::launch(cfg, f)),
             Transport::Tcp(opts) => launch_tcp(cfg, opts, f),
+            Transport::Sim(opts) => Some(Self::launch_sim(cfg, opts, f)),
         }
+    }
+
+    /// Launch the SPMD closure thread-per-rank with `opts.planet`'s
+    /// region-to-region latencies added to every message (co-simulation
+    /// over wall time: real threads, simulated geography). For the pure
+    /// virtual-time discrete-event path — no threads, a virtual clock,
+    /// bit-identical replays — drive a [`crate::sim::SimWorld`] directly.
+    pub fn launch_sim<T, F>(cfg: WorldConfig, opts: SimOpts, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Communicator) -> T + Send + Sync + 'static,
+    {
+        let extra = Arc::new(ExtraLatency::from_planet(&opts.planet, cfg.nranks));
+        Self::launch_threaded(cfg, Some(extra), f)
     }
 
     /// Launch `cfg.nranks` rank *processes* over loopback TCP (the
     /// `mpirun` stand-in: this process re-`exec`s itself once per rank
     /// and acts as the rendezvous server). See the `transport` module.
+    ///
+    /// ```no_run
+    /// use pcoll_comm::{TcpOpts, World, WorldConfig};
+    ///
+    /// // Re-execs this binary once per rank; `None` in workers serving a
+    /// // different launch label.
+    /// let out: Option<Vec<usize>> =
+    ///     World::launch_tcp(WorldConfig::instant(2), TcpOpts::labeled("demo"), |c| c.rank());
+    /// ```
     pub fn launch_tcp<T, F>(cfg: WorldConfig, opts: TcpOpts, f: F) -> Option<Vec<T>>
     where
         T: serde::Serialize + serde::Deserialize + Send + 'static,
@@ -521,6 +577,32 @@ mod tests {
         assert!(out[0].0, "sender must have stalled on the full queue");
         assert!(out[0].1, "queue depth must respect the bound");
         assert_eq!(out[1].2, 32, "all messages delivered");
+    }
+
+    #[test]
+    fn launch_sim_composes_region_latency_over_wall_time() {
+        use crate::sim::{Planet, SimOpts};
+        use std::time::Instant;
+        // Two ranks in different regions, 20ms one-way: a round trip
+        // through the shaper must take >= 20ms even under Instant model.
+        let opts = SimOpts {
+            planet: Planet::uniform(2, Duration::from_millis(20)),
+        };
+        let out = World::launch_sim(WorldConfig::instant(2), opts, |c| {
+            let peer = 1 - c.rank();
+            let t0 = Instant::now();
+            c.send(peer, tag(0), Some(TypedBuf::from(vec![c.rank() as i64])));
+            match c.inbox().recv() {
+                Some(Envelope::Data(m)) => {
+                    let v = m.payload.unwrap().as_i64().unwrap()[0];
+                    (v, t0.elapsed() >= Duration::from_millis(20))
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        });
+        assert_eq!(out[0].0, 1);
+        assert_eq!(out[1].0, 0);
+        assert!(out[0].1 && out[1].1, "geography must delay delivery");
     }
 
     #[test]

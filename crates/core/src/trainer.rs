@@ -343,6 +343,10 @@ pub fn run_rank(
     let p = ctx.size();
     let n = model.num_params();
     let scale = Some(1.0 / p as f64);
+    // Single seeding path: the config's injector is a shape; all of its
+    // randomness derives here from the experiment seed, so a whole run
+    // reproduces from `cfg.seed` alone.
+    let injector = cfg.injector.clone().with_seed(cfg.seed);
 
     // Per-rank closed-loop tuner (eager variants only): built before the
     // collectives so its observer and initial policy can be wired in.
@@ -433,7 +437,7 @@ pub fn run_rank(
                     cfg.base_compute_ms * cfg.time_scale / 1e3,
                 ));
             }
-            cfg.injector.inject(rank, p, step, cfg.time_scale);
+            injector.inject(rank, p, step, cfg.time_scale);
 
             // Horovod-style negotiation: the coordinator learns which
             // tensors are ready and broadcasts the agreed order.
@@ -465,7 +469,7 @@ pub fn run_rank(
                 // seed without communication. Scaled to wall-clock ms so
                 // estimator offsets share units with the measured round
                 // latencies.
-                let mut offsets = cfg.injector.delays_all(p, step);
+                let mut offsets = injector.delays_all(p, step);
                 offsets.iter_mut().for_each(|o| *o *= cfg.time_scale);
                 t.record_step(step, &offsets);
                 if (step + 1).is_multiple_of(t.period().max(1)) {

@@ -21,14 +21,27 @@
 //! newest completion; messages addressed below the GC floor are dropped
 //! (they can only be duplicate activations or stragglers of rounds whose
 //! result has long been superseded).
+//!
+//! The progress logic itself is transport-agnostic and lives in
+//! [`EngineCore`], a plain single-threaded state machine. [`Engine`] wraps
+//! a core in a dedicated thread selecting over commands and the inbox (the
+//! in-process and TCP deployments); the discrete-event simulator instead
+//! drives one core per rank from its event loop, feeding it the very same
+//! `register`/`activate`/`on_message` calls — same engine code on every
+//! transport. All timing reads go through a [`Clock`] (wall on the
+//! threaded engine, virtual under the simulator), so per-round latency
+//! telemetry is deterministic whenever time itself is.
 
 use crate::dag::DagState;
 use crate::op::{OpId, OpKind, Schedule, CONTRIB_SLOT};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use pcoll_comm::{CollId, CommHandle, Envelope, Inbox, Message, Payload, Rank, TypedBuf, WireTag};
+use pcoll_comm::{
+    Clock, CollId, CommHandle, Envelope, Inbox, Message, Payload, Rank, TimePoint, TypedBuf,
+    WireTag,
+};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// How many rounds behind the latest completion an instance is retained
 /// before garbage collection. Retention lets late activation messages
@@ -151,6 +164,78 @@ enum Cmd {
     Shutdown,
 }
 
+/// Something that can host persistent collectives: accept template
+/// registrations and round activations. Two implementations:
+///
+/// - [`Engine`] — forwards to its progress thread (inproc/TCP);
+/// - [`CmdQueue`] — stages the calls for a single-threaded driver to
+///   drain into an [`EngineCore`] (the simulator).
+///
+/// Collective frontends (e.g. `pcoll`'s partial allreduce) hold an
+/// `Arc<dyn TemplateHost>` so the *same* frontend code runs on every
+/// transport.
+pub trait TemplateHost: Send + Sync {
+    /// Register a persistent collective under `coll` (must precede its
+    /// first activation on this rank).
+    fn register_template(&self, coll: CollId, template: Box<dyn CollectiveTemplate>);
+
+    /// Internally activate `round` of `coll`.
+    fn activate_round(&self, coll: CollId, round: u64);
+}
+
+impl TemplateHost for Engine {
+    fn register_template(&self, coll: CollId, template: Box<dyn CollectiveTemplate>) {
+        self.register(coll, template);
+    }
+
+    fn activate_round(&self, coll: CollId, round: u64) {
+        self.activate(coll, round);
+    }
+}
+
+/// A staged command queue: the [`TemplateHost`] for event-driven
+/// deployments. Registrations and activations accumulate here (cheap,
+/// lock-guarded pushes) until the driver calls [`EngineCore::drain_cmds`]
+/// — which keeps the engine core single-threaded while letting frontends
+/// hold a cloneable, `Send + Sync` host handle.
+#[derive(Clone, Default)]
+pub struct CmdQueue {
+    staged: Arc<Mutex<Vec<(CollId, HostCmd)>>>,
+}
+
+enum HostCmd {
+    Register(Box<dyn CollectiveTemplate>),
+    Activate(u64),
+}
+
+impl CmdQueue {
+    /// An empty queue.
+    pub fn new() -> CmdQueue {
+        CmdQueue::default()
+    }
+
+    /// Whether any staged commands are pending.
+    pub fn is_empty(&self) -> bool {
+        self.staged.lock().expect("cmd queue lock").is_empty()
+    }
+}
+
+impl TemplateHost for CmdQueue {
+    fn register_template(&self, coll: CollId, template: Box<dyn CollectiveTemplate>) {
+        self.staged
+            .lock()
+            .expect("cmd queue lock")
+            .push((coll, HostCmd::Register(template)));
+    }
+
+    fn activate_round(&self, coll: CollId, round: u64) {
+        self.staged
+            .lock()
+            .expect("cmd queue lock")
+            .push((coll, HostCmd::Activate(round)));
+    }
+}
+
 /// Application-side handle to the progress engine. Cloneable; dropping the
 /// last handle does **not** stop the thread — call [`Engine::shutdown`]
 /// (done by `pcoll`'s finalize) after synchronizing ranks.
@@ -171,12 +256,7 @@ impl Engine {
         let join = std::thread::Builder::new()
             .name(format!("pcoll-engine-{rank}"))
             .spawn(move || {
-                let mut p = Progress {
-                    comm,
-                    colls: HashMap::new(),
-                    pre_register: HashMap::new(),
-                    stats: st,
-                };
+                let mut p = EngineCore::with_stats(comm, Clock::wall(), st);
                 p.run(cmd_rx, inbox);
             })
             .expect("spawn engine thread");
@@ -231,8 +311,9 @@ struct Instance {
     /// Whether the contribution snapshot has been taken (see
     /// [`SnapshotTiming`]).
     snapshotted: bool,
-    /// Instance creation time (for [`RoundStats::elapsed`]).
-    created: std::time::Instant,
+    /// Instance creation time on the engine's clock (for
+    /// [`RoundStats::elapsed`]).
+    created: TimePoint,
     /// Created by an incoming message rather than local activation.
     external: bool,
 }
@@ -246,14 +327,68 @@ struct CollState {
     gc_floor: u64,
 }
 
-struct Progress {
+/// The transport-agnostic progress state machine: one per rank, strictly
+/// single-threaded. [`Engine::spawn`] runs one on a dedicated thread over
+/// a wall clock; the discrete-event simulator owns one per simulated rank
+/// and calls [`EngineCore::drain_cmds`] / [`EngineCore::on_envelope`]
+/// from its event loop over a virtual clock. Either way the progress
+/// semantics — forced joins, snapshot timing, consumable ops, GC — are
+/// this exact code.
+pub struct EngineCore {
     comm: CommHandle,
+    clock: Clock,
     colls: HashMap<CollId, CollState>,
     pre_register: HashMap<CollId, Vec<Message>>,
     stats: Arc<EngineStats>,
 }
 
-impl Progress {
+impl EngineCore {
+    /// A fresh core progressing over `clock` and sending through `comm`.
+    pub fn new(comm: CommHandle, clock: Clock) -> EngineCore {
+        EngineCore::with_stats(comm, clock, Arc::new(EngineStats::default()))
+    }
+
+    /// Like [`EngineCore::new`] but sharing an existing stats block (used
+    /// by [`Engine::spawn`] so its handle observes the core's counters).
+    pub fn with_stats(comm: CommHandle, clock: Clock, stats: Arc<EngineStats>) -> EngineCore {
+        EngineCore {
+            comm,
+            clock,
+            colls: HashMap::new(),
+            pre_register: HashMap::new(),
+            stats,
+        }
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &Arc<EngineStats> {
+        &self.stats
+    }
+
+    /// Apply every command staged on `queue` (registrations before the
+    /// activations that follow them, in staging order).
+    pub fn drain_cmds(&mut self, queue: &CmdQueue) {
+        let staged = std::mem::take(&mut *queue.staged.lock().expect("cmd queue lock"));
+        for (coll, cmd) in staged {
+            match cmd {
+                HostCmd::Register(template) => self.register(coll, template),
+                HostCmd::Activate(round) => self.activate(coll, round),
+            }
+        }
+    }
+
+    /// Feed one delivered envelope into the core. Returns `false` on
+    /// shutdown (the caller should stop driving this core).
+    pub fn on_envelope(&mut self, env: Envelope) -> bool {
+        match env {
+            Envelope::Data(msg) => {
+                self.on_message(msg);
+                true
+            }
+            Envelope::Shutdown => false,
+        }
+    }
+
     fn run(&mut self, cmd_rx: Receiver<Cmd>, inbox: Inbox) {
         loop {
             crossbeam::channel::select! {
@@ -263,14 +398,20 @@ impl Progress {
                     Ok(Cmd::Shutdown) | Err(_) => return,
                 },
                 recv(inbox.receiver()) -> env => match env {
-                    Ok(Envelope::Data(msg)) => self.on_message(msg),
-                    Ok(Envelope::Shutdown) | Err(_) => return,
+                    Ok(env) => {
+                        if !self.on_envelope(env) {
+                            return;
+                        }
+                    }
+                    Err(_) => return,
                 },
             }
         }
     }
 
-    fn register(&mut self, coll: CollId, template: Box<dyn CollectiveTemplate>) {
+    /// Register a persistent collective, replaying any messages that
+    /// arrived for it before registration.
+    pub fn register(&mut self, coll: CollId, template: Box<dyn CollectiveTemplate>) {
         self.colls.insert(
             coll,
             CollState {
@@ -287,7 +428,8 @@ impl Progress {
         }
     }
 
-    fn activate(&mut self, coll: CollId, round: u64) {
+    /// Internally activate `round` of `coll` (the app arrived).
+    pub fn activate(&mut self, coll: CollId, round: u64) {
         let Some(cs) = self.colls.get_mut(&coll) else {
             // Activation of an unregistered collective is a programming
             // error on this rank (registration is a local, ordered call).
@@ -298,10 +440,11 @@ impl Progress {
             // the latest result through the receive buffer.
             return;
         }
+        let now = self.clock.now();
         let mut to_fire = Vec::new();
         let inst = cs.instances.entry(round).or_insert_with(|| {
             EngineStats::bump(&self.stats.internal_activations);
-            new_instance(&*cs.template, round, false, &mut to_fire)
+            new_instance(&*cs.template, round, false, now, &mut to_fire)
         });
         // Activation-timed snapshot: fill the contribution now, before any
         // gate-dependent send can fire.
@@ -315,7 +458,9 @@ impl Progress {
         self.drive(coll, round, to_fire);
     }
 
-    fn on_message(&mut self, msg: Message) {
+    /// Deliver one matched message to the core (external activation if the
+    /// round has no instance yet — the forced join).
+    pub fn on_message(&mut self, msg: Message) {
         let coll = msg.tag.coll;
         let round = msg.tag.round;
         let Some(cs) = self.colls.get_mut(&coll) else {
@@ -327,10 +472,11 @@ impl Progress {
             EngineStats::bump(&self.stats.dropped_gc);
             return;
         }
+        let now = self.clock.now();
         let mut to_fire = Vec::new();
         let inst = cs.instances.entry(round).or_insert_with(|| {
             EngineStats::bump(&self.stats.external_activations);
-            new_instance(&*cs.template, round, true, &mut to_fire)
+            new_instance(&*cs.template, round, true, now, &mut to_fire)
         });
         match inst.recv_route.get(&(msg.src, msg.tag.sem)) {
             Some(&op) => {
@@ -436,7 +582,7 @@ impl Progress {
             let stats = RoundStats {
                 round,
                 external: inst.external,
-                elapsed: inst.created.elapsed(),
+                elapsed: self.clock.now().duration_since(inst.created),
             };
             cs.template.complete(round, result);
             cs.template.on_round_stats(&stats);
@@ -469,6 +615,7 @@ fn new_instance(
     template: &dyn CollectiveTemplate,
     round: u64,
     external: bool,
+    now: TimePoint,
     to_fire: &mut Vec<OpId>,
 ) -> Instance {
     let sched = template.build(round);
@@ -493,7 +640,7 @@ fn new_instance(
         pending_payloads: HashMap::new(),
         completed: false,
         snapshotted,
-        created: std::time::Instant::now(),
+        created: now,
         external,
     }
 }
@@ -745,6 +892,94 @@ mod tests {
             v
         });
         assert_eq!(out, vec![4.0, 4.0]);
+    }
+
+    /// The same PairSum template, driven single-threaded by the
+    /// discrete-event simulator over a **virtual** clock: no threads, no
+    /// sleeps, and `RoundStats::elapsed` is an exact function of the
+    /// latency matrix rather than a wall-time measurement.
+    #[test]
+    fn engine_core_runs_under_virtual_clock_with_exact_elapsed() {
+        use pcoll_comm::{SimOpts, SimWorld, WorldConfig};
+
+        let run = || {
+            let cfg = WorldConfig::instant(2);
+            let opts = SimOpts {
+                planet: pcoll_comm::Planet::uniform(2, Duration::from_millis(5)),
+            };
+            let mut sim = SimWorld::new(cfg, opts);
+            let elapsed = Arc::new(Mutex::new(Vec::new()));
+
+            /// Template that records completion latency into a shared log.
+            struct Timed {
+                inner: PairSum,
+                log: Arc<Mutex<Vec<(Rank, Duration)>>>,
+            }
+            impl CollectiveTemplate for Timed {
+                fn build(&self, round: u64) -> Schedule {
+                    self.inner.build(round)
+                }
+                fn snapshot(&self, round: u64) -> Option<TypedBuf> {
+                    self.inner.snapshot(round)
+                }
+                fn complete(&self, round: u64, result: Option<TypedBuf>) {
+                    self.inner.complete(round, result);
+                }
+                fn on_round_stats(&self, stats: &RoundStats) {
+                    self.log.lock().push((self.inner.me, stats.elapsed));
+                }
+            }
+
+            let sinks: Vec<_> = (0..2).map(|_| Arc::new(Sink::default())).collect();
+            let mut cores: Vec<EngineCore> = (0..2)
+                .map(|rank| {
+                    let mut core = EngineCore::new(sim.comm(rank), sim.clock());
+                    core.register(
+                        CollId(1),
+                        Box::new(Timed {
+                            inner: PairSum {
+                                me: rank,
+                                contrib: (rank as f32 + 1.0) * 10.0,
+                                sink: Arc::clone(&sinks[rank]),
+                            },
+                            log: Arc::clone(&elapsed),
+                        }),
+                    );
+                    core.activate(CollId(1), 0);
+                    core
+                })
+                .collect();
+            let inboxes: Vec<_> = (0..2).map(|r| sim.take_inbox(r)).collect();
+
+            while let Some(ev) = sim.step() {
+                if let pcoll_comm::SimEvent::Deliver { dst } = ev {
+                    while let Some(env) = inboxes[dst].try_recv() {
+                        cores[dst].on_envelope(env);
+                    }
+                }
+            }
+
+            let results: Vec<f32> = sinks
+                .iter()
+                .map(|s| s.results.lock()[0].1.as_ref().unwrap().as_f32().unwrap()[0])
+                .collect();
+            let mut log = elapsed.lock().clone();
+            log.sort_by_key(|(r, _)| *r);
+            (results, log, sim.now())
+        };
+
+        let (results, log, end) = run();
+        assert_eq!(results, vec![30.0, 30.0]);
+        // Both ranks activate at t=0; each needs the peer's 5ms one-way
+        // message to combine, so both complete at exactly t=5ms.
+        assert_eq!(
+            log,
+            vec![(0, Duration::from_millis(5)), (1, Duration::from_millis(5))]
+        );
+        assert_eq!(end, TimePoint::from_nanos(5_000_000));
+        // And it is bit-identical on a re-run: same events, same times.
+        let again = run();
+        assert_eq!(again, (results, log, end));
     }
 
     #[test]

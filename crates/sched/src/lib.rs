@@ -34,5 +34,8 @@ pub mod engine;
 pub mod op;
 
 pub use dag::DagState;
-pub use engine::{CollectiveTemplate, Engine, EngineStats, RoundStats, SnapshotTiming};
+pub use engine::{
+    CmdQueue, CollectiveTemplate, Engine, EngineCore, EngineStats, RoundStats, SnapshotTiming,
+    TemplateHost,
+};
 pub use op::{DepMode, Op, OpId, OpKind, Schedule, ScheduleBuilder, Slot, CONTRIB_SLOT};

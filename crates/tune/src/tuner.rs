@@ -8,9 +8,8 @@ use crate::controller::{spectrum, Controller, ControllerKind};
 use crate::estimator::{SkewEstimator, SkewSummary};
 use eager_sgd::{NapModel, QuorumDecision, QuorumTuner, TunerSetup};
 use pcoll::{QuorumPolicy, RoundObserver};
-use pcoll_comm::{CommStats, CommStatsSnapshot};
+use pcoll_comm::{Clock, CommStats, CommStatsSnapshot, TimePoint};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Stats-vector layout (summed elementwise across ranks):
 /// `[rank_count, rounds, fresh, misses, latency_ms_sum, step_spread_ms,
@@ -66,7 +65,10 @@ pub struct AdaptiveTuner {
     publisher: TelemetryPublisher,
     estimator: SkewEstimator,
     controller: Controller,
-    window_started: Instant,
+    /// Time source for reward windows: wall by default, virtual under the
+    /// simulation backend (keeps window rates deterministic in tests).
+    clock: Clock,
+    window_started: TimePoint,
     /// Whether untried arms were already seeded from the E\[NAP\] model.
     /// Only the bandit is seeded: marking arms as observed would disable
     /// hill-climb's visit-unexplored-neighbors sweep, which is what lets
@@ -101,6 +103,8 @@ impl AdaptiveTuner {
         };
         let bus = TelemetryBus::new();
         let publisher = bus.publisher();
+        let clock = Clock::wall();
+        let window_started = clock.now();
         AdaptiveTuner {
             period: cfg.period,
             beta: cfg.beta,
@@ -109,11 +113,22 @@ impl AdaptiveTuner {
             publisher,
             estimator: SkewEstimator::new(cfg.ewma_alpha),
             controller: Controller::new(cfg.kind, arms, initial_arm),
-            window_started: Instant::now(),
+            clock,
+            window_started,
             seeded: !matches!(cfg.kind, ControllerKind::Ucb { .. }),
             comm: None,
             comm_last: CommStatsSnapshot::default(),
         }
+    }
+
+    /// Rebase reward windows on `clock` (e.g. a virtual clock from the
+    /// simulation backend). Resets the current window's start to the
+    /// clock's now.
+    #[must_use]
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.window_started = clock.now();
+        self.clock = clock;
+        self
     }
 
     /// The current skew picture (for diagnostics and benches).
@@ -202,8 +217,9 @@ impl QuorumTuner for AdaptiveTuner {
                 }
             }
         }
-        let elapsed = self.window_started.elapsed().as_secs_f64();
-        self.window_started = Instant::now();
+        let now = self.clock.now();
+        let elapsed = now.duration_since(self.window_started).as_secs_f64();
+        self.window_started = now;
         let s = self.estimator.summary();
         vec![
             1.0,
@@ -321,6 +337,32 @@ mod tests {
         // Window reset: a second call sees nothing new.
         let v2 = t.local_stats();
         assert_eq!(v2[1], 0.0);
+    }
+
+    /// On a virtual clock the reward window's `elapsed` is an exact
+    /// function of explicit `advance` calls — no sleeps, no tolerance
+    /// bands, no flake. (Wall-clock tuners can only assert `elapsed > 0`.)
+    #[test]
+    fn virtual_clock_makes_window_rates_exact() {
+        let clock = Clock::virtual_clock();
+        let mut t = AdaptiveTuner::new(4, AdaptiveTunerCfg::default()).with_clock(clock.clone());
+        let obs = t.observer().unwrap();
+        for round in 0..10 {
+            obs.on_round(&round_ev(round, true));
+        }
+        clock.advance(std::time::Duration::from_millis(2500));
+        let v = t.local_stats();
+        assert_eq!(v[1], 10.0, "rounds");
+        assert_eq!(v[6], 2.5, "elapsed is exactly the advanced virtual time");
+        // decide() on the summed vector sees an exact 4 rounds/s.
+        let summed = [1.0, 10.0, 10.0, 0.0, 0.0, 0.0, v[6], 0.0, 0.0, 0.0];
+        let d = t.decide(0, &summed).unwrap();
+        assert!((d.rounds_per_s - 4.0).abs() < 1e-9);
+
+        // The next window starts where the last one ended.
+        clock.advance(std::time::Duration::from_millis(500));
+        let v2 = t.local_stats();
+        assert_eq!(v2[6], 0.5, "window restarts at the previous drain");
     }
 
     #[test]

@@ -45,10 +45,12 @@ pub mod prelude {
     pub use imbalance::Injector;
     pub use minitensor::{Mat, TensorRng};
     pub use pcoll::{
-        AlgoSelector, AllreduceAlgo, PartialAllreduce, PartialOpts, QuorumPolicy, RankCtx,
-        StaleMode, SyncAllreduce,
+        AlgoSelector, AllreduceAlgo, Hiccup, Pacing, PartialAllreduce, PartialOpts, QuorumPolicy,
+        RankCtx, SimHarness, SimReport, SimSpec, StaleMode, SyncAllreduce,
     };
-    pub use pcoll_comm::{DType, NetworkModel, ReduceOp, TypedBuf, World, WorldConfig};
+    pub use pcoll_comm::{
+        DType, NetworkModel, Planet, ReduceOp, SimOpts, TypedBuf, World, WorldConfig,
+    };
     pub use pcoll_tune::{
         adaptive_setup, static_setup, AdaptiveTunerCfg, ControllerKind, SkewEstimator, TelemetryBus,
     };

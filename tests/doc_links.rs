@@ -1,0 +1,149 @@
+//! Docs gate: every intra-repo markdown link in the top-level docs must
+//! resolve — the file must exist, and a `#fragment` must match a heading
+//! in the target file (GitHub slugification). External links are skipped;
+//! checking them would make the test network-flaky.
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+
+const DOCS: &[&str] = &["README.md", "ARCHITECTURE.md", "ROADMAP.md", "CHANGES.md"];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Extract `(target, line)` pairs from `[text](target)` markdown links,
+/// skipping fenced code blocks (link syntax inside ``` fences is code,
+/// not a link).
+fn links(md: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for (lineno, line) in md.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                let start = i + 2;
+                if let Some(rel_end) = line[start..].find(')') {
+                    out.push((line[start..start + rel_end].to_string(), lineno + 1));
+                    i = start + rel_end;
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// GitHub's heading-to-anchor slug: lowercase, spaces to hyphens, strip
+/// everything that is not alphanumeric, hyphen, or underscore.
+fn slug(heading: &str) -> String {
+    heading
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' {
+                Some('-')
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// All heading anchors a markdown file defines.
+fn anchors(md: &str) -> HashSet<String> {
+    let mut out = HashSet::new();
+    let mut in_fence = false;
+    for line in md.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if !in_fence && line.starts_with('#') {
+            out.insert(slug(line.trim_start_matches('#')));
+        }
+    }
+    out
+}
+
+#[test]
+fn intra_repo_links_resolve() {
+    let root = repo_root();
+    let mut failures = Vec::new();
+    for doc in DOCS {
+        let path = root.join(doc);
+        let Ok(md) = std::fs::read_to_string(&path) else {
+            failures.push(format!("{doc}: missing (listed in the docs gate)"));
+            continue;
+        };
+        for (target, line) in links(&md) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            let (file_part, frag) = match target.split_once('#') {
+                Some((f, a)) => (f, Some(a)),
+                None => (target.as_str(), None),
+            };
+            // `#section` alone points into the current document.
+            let target_path = if file_part.is_empty() {
+                path.clone()
+            } else {
+                root.join(file_part)
+            };
+            if !target_path.exists() {
+                failures.push(format!(
+                    "{doc}:{line}: broken link `{target}` (no such file)"
+                ));
+                continue;
+            }
+            if let Some(frag) = frag {
+                if target_path.extension().is_some_and(|e| e == "md") {
+                    let tmd = std::fs::read_to_string(&target_path).unwrap_or_default();
+                    if !anchors(&tmd).contains(frag) {
+                        failures.push(format!(
+                            "{doc}:{line}: broken anchor `{target}` (no heading slugs to `#{frag}` \
+                             in {})",
+                            Path::new(file_part.trim_start_matches("./"))
+                                .display()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "broken intra-repo doc links:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// The gate itself must be looking at real files: the two documents the
+/// issue names must exist and must link to each other.
+#[test]
+fn architecture_doc_is_linked_from_readme() {
+    let root = repo_root();
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    assert!(
+        links(&readme).iter().any(|(t, _)| t == "ARCHITECTURE.md"),
+        "README.md must link ARCHITECTURE.md"
+    );
+    let arch = std::fs::read_to_string(root.join("ARCHITECTURE.md")).expect("ARCHITECTURE.md");
+    assert!(
+        links(&arch).iter().any(|(t, _)| t.starts_with("README.md")),
+        "ARCHITECTURE.md must link back to README.md"
+    );
+}

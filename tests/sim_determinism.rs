@@ -1,0 +1,151 @@
+//! Determinism and conformance of the discrete-event simulation backend.
+//!
+//! Two properties make `SimWorld` trustworthy as an experiment vehicle:
+//!
+//! 1. **Determinism**: a run is a pure function of `(spec, seed)`. Same
+//!    seed ⇒ byte-identical trace stream (`SimReport::digest`), different
+//!    seed ⇒ a different execution. Checked under the most stateful
+//!    configuration the harness offers — a four-region WAN matrix, a
+//!    jittery byte-latency curve, self-paced closed-loop pacing, and
+//!    rotating `Hiccup` stragglers — because that is where hidden
+//!    wall-clock or hash-order nondeterminism would leak in first.
+//! 2. **Conformance**: the virtual-time stack (P `EngineCore`s driven by
+//!    one event heap) computes the same collective results as the
+//!    in-process backend (P real threads), because it runs the *same*
+//!    engine and schedule code behind the same `CommHandle`/`Inbox` API.
+//!
+//! Companion to `tests/transport_conformance.rs`, which pins the
+//! in-process and TCP backends to each other the same way.
+
+use eager_sgd_repro::prelude::{
+    DType, Hiccup, NetworkModel, Pacing, PartialOpts, Planet, QuorumPolicy, RankCtx, ReduceOp,
+    SimHarness, SimOpts, SimReport, SimSpec, TypedBuf, World, WorldConfig,
+};
+use std::time::Duration;
+
+/// A deliberately stateful spec: WAN regions, cloud jitter, self-paced
+/// pacing with per-rank skew and rotating stragglers.
+fn wan_spec(p: usize, rounds: u64, seed: u64, policy: QuorumPolicy) -> SimSpec {
+    SimSpec {
+        world: WorldConfig {
+            network: NetworkModel::cloud(),
+            ..WorldConfig::instant(p).with_seed(seed)
+        },
+        opts: SimOpts {
+            planet: Planet::wan(),
+        },
+        policy,
+        rounds,
+        len: 8,
+        pacing: Pacing::SelfPaced {
+            compute: (0..p)
+                .map(|r| Duration::from_millis(5) + Duration::from_micros(37) * r as u32)
+                .collect(),
+            hiccup: Hiccup {
+                k: p / 8,
+                extra: Duration::from_millis(60),
+            },
+        },
+        partial: PartialOpts::default(),
+    }
+}
+
+fn run(seed: u64) -> SimReport {
+    SimHarness::run(wan_spec(64, 12, seed, QuorumPolicy::Majority))
+}
+
+/// Same seed ⇒ byte-identical run at P=64: digest, event count, and final
+/// virtual time all match. A different seed must change the digest (the
+/// seed actually reaches the jitter and initiator choices).
+#[test]
+fn same_seed_is_bit_identical_at_p64() {
+    let a = run(42);
+    let b = run(42);
+    assert_eq!(
+        a.digest(),
+        b.digest(),
+        "same seed must replay bit-identically"
+    );
+    assert_eq!(a.events, b.events, "event counts diverged");
+    assert_eq!(a.virtual_time, b.virtual_time, "virtual clocks diverged");
+    assert_eq!(a.nap_per_round, b.nap_per_round, "NAP streams diverged");
+
+    let c = run(43);
+    assert_ne!(a.digest(), c.digest(), "seed must influence the execution");
+}
+
+/// Under `QuorumPolicy::Full` every deposit is provably fresh, so the
+/// reduced value each round is exactly P on every backend. Run the same
+/// program (P ranks, all-ones deposits, R rounds) through the simulation
+/// harness and through real threads, and require both to agree with the
+/// closed-form answer — and therefore with each other.
+#[test]
+fn sim_and_inproc_agree_on_full_quorum_results() {
+    const P: usize = 8;
+    const ROUNDS: u64 = 6;
+
+    // Virtual-time run. Skewed self-paced compute exercises the real
+    // protocol (forced joins, snapshot exchange), not a lockstep replay.
+    let spec = wan_spec(P, ROUNDS, 7, QuorumPolicy::Full);
+    let rep = SimHarness::run(spec);
+    assert_eq!(rep.finals.len(), P);
+    for (rank, &f) in rep.finals.iter().enumerate() {
+        assert_eq!(f, P as f32, "sim: rank {rank} final sum");
+    }
+    for (rank, traces) in rep.traces.iter().enumerate() {
+        assert_eq!(traces.len(), ROUNDS as usize);
+        assert!(
+            traces.iter().all(|t| t.fresh && !t.null),
+            "sim: rank {rank} must be fresh every round under Full"
+        );
+    }
+    assert!(
+        rep.nap_per_round.iter().all(|&n| n == P as u32),
+        "sim: full quorum NAP must be exactly P each round"
+    );
+
+    // Wall-time run of the same program on the in-process backend.
+    let finals = World::launch(WorldConfig::instant(P).with_seed(7), |c| {
+        let ctx = RankCtx::new(c);
+        let mut ar = ctx.partial_allreduce(
+            DType::F32,
+            8,
+            ReduceOp::Sum,
+            QuorumPolicy::Full,
+            PartialOpts::default(),
+        );
+        let mut last = 0.0f32;
+        for round in 0..ROUNDS {
+            // Deterministic skew, same shape as the sim spec's pacing.
+            std::thread::sleep(Duration::from_micros(ctx.rank() as u64 * 37 + round * 11));
+            let out = ar.allreduce(&TypedBuf::from(vec![1.0f32; 8]));
+            last = out.data.as_f32().unwrap()[0];
+        }
+        ctx.finalize();
+        last
+    });
+    assert_eq!(finals, rep.finals, "backends disagree on the final sums");
+}
+
+/// Gradient conservation (Fig. 7) holds in virtual time: across a solo
+/// run plus its flush round, every deposit lands in exactly one round's
+/// sum — the per-round NAP stream sums to the number of deposits that
+/// were consumed, never more.
+#[test]
+fn solo_conserves_deposits_in_virtual_time() {
+    const P: usize = 16;
+    const ROUNDS: u64 = 10;
+    let rep = SimHarness::run(wan_spec(P, ROUNDS, 5, QuorumPolicy::Solo));
+    let fresh_total: u64 = rep.nap_per_round.iter().map(|&n| n as u64).sum();
+    let deposits = P as u64 * ROUNDS;
+    assert!(
+        fresh_total <= deposits,
+        "a deposit was counted fresh twice ({fresh_total} > {deposits})"
+    );
+    // Solo keeps the cadence of the fastest rank; the run must still
+    // consume the overwhelming majority of deposits as fresh.
+    assert!(
+        fresh_total >= deposits / 2,
+        "too few deposits consumed ({fresh_total} of {deposits})"
+    );
+}
