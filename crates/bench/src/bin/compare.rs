@@ -20,10 +20,13 @@
 //! The legacy single-pair spelling `--baseline X --current Y` still
 //! works.
 //!
-//! The gate compares the **mean across shared variants** per metric —
-//! quick-mode runs on shared CI runners are individually noisy, and the
-//! mean over a whole sweep damps that without hiding a real slowdown (a
-//! hot-path regression hits every variant). Per-variant deltas are
+//! By default the gate compares the **mean across shared variants** per
+//! metric — quick-mode runs on shared CI runners are individually
+//! noisy, and the mean over a whole sweep damps that without hiding a
+//! real slowdown (a hot-path regression hits every variant).
+//! `--pair-stat median` instead gates the **median of the per-variant
+//! regressions**, for sweeps where a few huge-magnitude variants would
+//! otherwise own the mean (see [`Stat`]). Per-variant deltas are
 //! printed for the humans reading the log. Exit codes: 0 pass, 2
 //! regression, 1 usage/parse error.
 
@@ -38,6 +41,21 @@ struct VariantMetrics {
     values: Vec<f64>,
 }
 
+/// Which statistic a pair's gate aggregates shared variants with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Stat {
+    /// Regression of the cross-variant means — damps independent
+    /// per-variant noise, but one huge-magnitude variant can dominate.
+    #[default]
+    Mean,
+    /// Median of the per-variant regressions — robust when a few
+    /// variants are individually far noisier than the rest (e.g. the
+    /// large-payload inproc floods, whose nominal GiB/s dwarfs every
+    /// other point). A real hot-path regression moves *every* variant,
+    /// so the median still catches it.
+    Median,
+}
+
 /// One baseline/current artifact pair with its gating parameters.
 #[derive(Debug, Clone)]
 struct Pair {
@@ -45,6 +63,7 @@ struct Pair {
     current: String,
     metrics: Vec<String>,
     max_regress: Option<f64>,
+    stat: Stat,
 }
 
 fn load(path: &str, metrics: &[String]) -> Result<Vec<VariantMetrics>, String> {
@@ -83,11 +102,23 @@ struct MetricVerdict {
     ok: bool,
 }
 
+/// Median of `xs` (mean of the middle two for even counts).
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    let n = xs.len();
+    if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2.0
+    }
+}
+
 fn gate(
     baseline: &[VariantMetrics],
     current: &[VariantMetrics],
     metrics: &[String],
     max_regress: f64,
+    stat: Stat,
 ) -> Result<Vec<MetricVerdict>, String> {
     let shared: Vec<(&VariantMetrics, &VariantMetrics)> = baseline
         .iter()
@@ -109,10 +140,27 @@ fn gate(
         .map(|(i, metric)| {
             let base_mean = shared.iter().map(|(b, _)| b.values[i]).sum::<f64>() / n;
             let cur_mean = shared.iter().map(|(_, c)| c.values[i]).sum::<f64>() / n;
-            let regression = if base_mean > 0.0 {
-                1.0 - cur_mean / base_mean
-            } else {
-                0.0
+            let regression = match stat {
+                Stat::Mean => {
+                    if base_mean > 0.0 {
+                        1.0 - cur_mean / base_mean
+                    } else {
+                        0.0
+                    }
+                }
+                Stat::Median => {
+                    let mut per_variant: Vec<f64> = shared
+                        .iter()
+                        .map(|(b, c)| {
+                            if b.values[i] > 0.0 {
+                                1.0 - c.values[i] / b.values[i]
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect();
+                    median(&mut per_variant)
+                }
             };
             MetricVerdict {
                 metric: metric.clone(),
@@ -134,10 +182,14 @@ fn run_pair(pair: &Pair, global_max_regress: f64) -> Result<bool, String> {
 
     comment(&format!(
         "perf gate: {} vs baseline {}, max regression {:.0}% on the \
-         cross-variant mean of {}",
+         cross-variant {} of {}",
         pair.current,
         pair.baseline,
         100.0 * max_regress,
+        match pair.stat {
+            Stat::Mean => "mean",
+            Stat::Median => "median regression",
+        },
         pair.metrics.join("/")
     ));
     row(&["variant", "metric", "baseline", "current", "delta_pct"]);
@@ -160,7 +212,7 @@ fn run_pair(pair: &Pair, global_max_regress: f64) -> Result<bool, String> {
         }
     }
 
-    let verdicts = gate(&baseline, &current, &pair.metrics, max_regress)?;
+    let verdicts = gate(&baseline, &current, &pair.metrics, max_regress, pair.stat)?;
     let mut all_ok = true;
     for v in &verdicts {
         all_ok &= v.ok;
@@ -183,8 +235,8 @@ fn usage(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
         "usage: compare --pair <baseline.json> <current.json> \
-         [--metrics a,b] [--pair-max-regress f] [--pair ...] \
-         [--max-regress 0.25]\n\
+         [--metrics a,b] [--pair-max-regress f] [--pair-stat mean|median] \
+         [--pair ...] [--max-regress 0.25]\n\
          legacy: compare --baseline <BENCH.json> --current <BENCH.json>"
     );
     std::process::exit(1);
@@ -214,6 +266,7 @@ fn parse_args(argv: &[String]) -> (Vec<Pair>, f64) {
                     current,
                     metrics: default_metrics.clone(),
                     max_regress: None,
+                    stat: Stat::Mean,
                 });
             }
             "--metrics" => {
@@ -245,6 +298,18 @@ fn parse_args(argv: &[String]) -> (Vec<Pair>, f64) {
                 match pairs.last_mut() {
                     Some(p) => p.max_regress = Some(f),
                     None => usage("--pair-max-regress must follow a --pair"),
+                }
+            }
+            "--pair-stat" => {
+                i += 1;
+                let stat = match argv.get(i).map(String::as_str) {
+                    Some("mean") => Stat::Mean,
+                    Some("median") => Stat::Median,
+                    _ => usage("--pair-stat needs `mean` or `median`"),
+                };
+                match pairs.last_mut() {
+                    Some(p) => p.stat = stat,
+                    None => usage("--pair-stat must follow a --pair"),
                 }
             }
             "--baseline" => {
@@ -280,6 +345,7 @@ fn parse_args(argv: &[String]) -> (Vec<Pair>, f64) {
             current,
             metrics: default_metrics,
             max_regress: None,
+            stat: Stat::Mean,
         }),
         (None, None) => {}
         _ => usage("--baseline and --current must be given together"),
@@ -320,7 +386,7 @@ mod tests {
     #[test]
     fn equal_runs_pass() {
         let base = vec![vm("a", 10.0, 5.0), vm("b", 20.0, 9.0)];
-        let verdicts = gate(&base, &base.clone(), &metrics(), 0.25).unwrap();
+        let verdicts = gate(&base, &base.clone(), &metrics(), 0.25, Stat::Mean).unwrap();
         assert!(verdicts.iter().all(|v| v.ok));
         assert!(verdicts.iter().all(|v| v.regression.abs() < 1e-12));
     }
@@ -329,7 +395,7 @@ mod tests {
     fn large_mean_regression_fails() {
         let base = vec![vm("a", 10.0, 5.0), vm("b", 10.0, 5.0)];
         let cur = vec![vm("a", 5.0, 5.0), vm("b", 5.0, 5.0)]; // utility halved
-        let verdicts = gate(&base, &cur, &metrics(), 0.25).unwrap();
+        let verdicts = gate(&base, &cur, &metrics(), 0.25, Stat::Mean).unwrap();
         assert!(!verdicts[0].ok, "utility gate must fail");
         assert!(verdicts[1].ok, "rounds_per_s unchanged");
     }
@@ -340,7 +406,7 @@ mod tests {
         // under 25%, which is the point of gating on the mean.
         let base = vec![vm("a", 10.0, 5.0), vm("b", 10.0, 5.0), vm("c", 10.0, 5.0)];
         let cur = vec![vm("a", 7.0, 5.0), vm("b", 10.0, 5.0), vm("c", 10.0, 5.0)];
-        let verdicts = gate(&base, &cur, &metrics(), 0.25).unwrap();
+        let verdicts = gate(&base, &cur, &metrics(), 0.25, Stat::Mean).unwrap();
         assert!(verdicts.iter().all(|v| v.ok));
     }
 
@@ -348,7 +414,7 @@ mod tests {
     fn improvement_is_negative_regression() {
         let base = vec![vm("a", 10.0, 5.0)];
         let cur = vec![vm("a", 12.0, 6.0)];
-        let verdicts = gate(&base, &cur, &metrics(), 0.25).unwrap();
+        let verdicts = gate(&base, &cur, &metrics(), 0.25, Stat::Mean).unwrap();
         assert!(verdicts.iter().all(|v| v.ok && v.regression < 0.0));
     }
 
@@ -356,7 +422,7 @@ mod tests {
     fn missing_variant_is_an_error() {
         let base = vec![vm("a", 10.0, 5.0), vm("b", 10.0, 5.0)];
         let cur = vec![vm("a", 10.0, 5.0)];
-        assert!(gate(&base, &cur, &metrics(), 0.25).is_err());
+        assert!(gate(&base, &cur, &metrics(), 0.25, Stat::Mean).is_err());
     }
 
     fn argv(s: &[&str]) -> Vec<String> {

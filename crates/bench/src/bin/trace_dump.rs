@@ -1,0 +1,211 @@
+//! `trace_dump`: the flight recorder end to end. Runs a sim_scale-style
+//! closed-loop experiment — P = 64 engines on the four-region WAN with
+//! static region skew plus rotating 300 ms stragglers, a hill-climb
+//! controller migrating the quorum policy away from `Full` — with the
+//! recorder at verbose level, then:
+//!
+//! 1. drains every rank's ring into one merged virtual-time stream,
+//! 2. exports it as Chrome/Perfetto trace-event JSON
+//!    (`BENCH_trace_dump.perfetto.json` — load at `ui.perfetto.dev`),
+//! 3. validates the file against the trace-event schema,
+//! 4. shape-checks that the trace actually shows the phenomena the
+//!    observability layer exists for: forced joins dragging stragglers,
+//!    wire-serialization queue stalls, and at least one tuner policy
+//!    switch,
+//! 5. folds the same stream plus the comm/engine counters into a
+//!    [`pcoll_obs::MetricsRegistry`] and prints the text exposition.
+//!
+//! Because the recorder timestamps on the simulator's virtual clock, the
+//! emitted trace file is a pure function of `(spec, seed)` — two runs
+//! with the same seed write byte-identical JSON (checked here with an
+//! FNV digest against a second run in full mode).
+
+use pcoll::{Hiccup, Pacing, QuorumPolicy, SimHarness, SimSpec, WindowStats};
+use pcoll_comm::{NetworkModel, Planet, SimOpts, WorldConfig};
+use pcoll_obs::{fnv1a, validate_perfetto, EventKind, MetricsRegistry, TraceEvent, LEVEL_VERBOSE};
+use pcoll_tune::{spectrum, Controller, ControllerKind};
+use repro_bench::report::{comment, row, shape_check, write_json};
+use repro_bench::HarnessArgs;
+use serde::Serialize;
+use std::time::Duration;
+
+const BETA: f64 = 0.5;
+/// Per-rank ring capacity: large enough that a full run never overwrites
+/// (the dump should be the whole story, not the tail of it).
+const RING_CAP: usize = 1 << 16;
+
+/// The tune-part spec of `sim_scale`, with the recorder switched on.
+fn traced_spec(p: usize, rounds: u64, seed: u64) -> SimSpec {
+    let planet = Planet::wan();
+    let skew_ms = 20;
+    let compute: Vec<Duration> = (0..p)
+        .map(|r| {
+            let region = planet.rank_region(r, p).0 as u32;
+            Duration::from_millis(5)
+                + Duration::from_millis(skew_ms) * region
+                + Duration::from_micros(37) * (r as u32)
+        })
+        .collect();
+    SimSpec {
+        world: WorldConfig {
+            network: NetworkModel::cloud(),
+            ..WorldConfig::instant(p)
+        }
+        .with_seed(seed)
+        .with_trace(LEVEL_VERBOSE, RING_CAP),
+        opts: SimOpts { planet },
+        policy: QuorumPolicy::Full,
+        rounds,
+        len: 8,
+        pacing: Pacing::SelfPaced {
+            compute,
+            hiccup: Hiccup {
+                k: 8,
+                extra: Duration::from_millis(300),
+            },
+        },
+        partial: Default::default(),
+    }
+}
+
+/// One traced run: returns (trace events, perfetto JSON, switch count).
+fn traced_run(
+    p: usize,
+    rounds: u64,
+    period: u64,
+    seed: u64,
+    render_metrics: bool,
+) -> (Vec<TraceEvent>, String, usize) {
+    let arms = spectrum(p);
+    let full_idx = arms.len() - 1;
+    let mut controller = Controller::new(ControllerKind::HillClimb, arms, full_idx);
+    let mut hook = |w: &WindowStats| {
+        let next = controller.step(w.fresh_fraction.powf(BETA) * w.rounds_per_s);
+        (next != w.policy).then_some(next)
+    };
+    let mut h = SimHarness::new(traced_spec(p, rounds, seed));
+    let report = h.execute_tuned(period, &mut hook);
+    let events = h.trace_events();
+
+    if render_metrics {
+        let reg = MetricsRegistry::default();
+        reg.absorb_trace(&events);
+        h.export_metrics(&reg);
+        for line in reg.render().lines() {
+            comment(&format!("metric {line}"));
+        }
+    }
+    let json = pcoll_obs::perfetto_trace(&events);
+    (events, json, report.switches.len())
+}
+
+#[derive(Debug, Serialize)]
+struct TraceDumpArtifact {
+    p: usize,
+    rounds: u64,
+    events: usize,
+    spans: usize,
+    instants: usize,
+    forced_joins: u64,
+    queue_stalls: u64,
+    policy_switches: usize,
+    trace_digest: String,
+    trace_path: String,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let p = 64;
+    let (rounds, period) = if args.quick { (48, 8) } else { (120, 8) };
+    comment(&format!(
+        "trace_dump: P={p}, 4-region WAN + rotating stragglers, recorder at verbose \
+         (ring {RING_CAP}/rank), hill-climb from Full (quick={}, seed={})",
+        args.quick, args.seed
+    ));
+
+    let (events, json, switches) = traced_run(p, rounds, period, args.seed, true);
+    let path = "BENCH_trace_dump.perfetto.json";
+    std::fs::write(path, &json).expect("write trace file");
+    comment(&format!("wrote {path} ({} bytes)", json.len()));
+
+    let mut kind_counts = std::collections::BTreeMap::<&str, u64>::new();
+    for ev in &events {
+        *kind_counts.entry(ev.kind.name()).or_insert(0) += 1;
+    }
+    row(&["event", "count"]);
+    for (name, n) in &kind_counts {
+        row(&[name.to_string(), n.to_string()]);
+    }
+
+    let summary = match validate_perfetto(&json) {
+        Ok(s) => s,
+        Err(e) => {
+            shape_check("perfetto-schema-valid", false, &e);
+            std::process::exit(1);
+        }
+    };
+    let mut ok = shape_check(
+        "perfetto-schema-valid",
+        summary.ranks >= p,
+        &format!(
+            "{} entries ({} spans, {} instants) across {} tracks",
+            summary.entries, summary.spans, summary.instants, summary.ranks
+        ),
+    );
+
+    // The phenomena the acceptance run must make visible.
+    let forced_joins = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::RoundActivate { external: true, .. }))
+        .count() as u64;
+    let queue_stalls = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::QueueStall { .. }))
+        .count() as u64;
+    ok &= shape_check(
+        "straggler-forced-joins-visible",
+        forced_joins > 0,
+        &format!("{forced_joins} external activations"),
+    );
+    ok &= shape_check(
+        "queue-stalls-visible",
+        queue_stalls > 0,
+        &format!("{queue_stalls} wire-serialization stalls"),
+    );
+    ok &= shape_check(
+        "tuner-switches-visible",
+        switches >= 1,
+        &format!("{switches} policy switches"),
+    );
+
+    let digest = fnv1a(json.as_bytes());
+    if !args.quick {
+        // Same seed, second harness: the trace file must be byte-identical.
+        let (_, json2, _) = traced_run(p, rounds, period, args.seed, false);
+        ok &= shape_check(
+            "same-seed-trace-byte-identical",
+            json == json2,
+            &format!("digests {digest:016x} vs {:016x}", fnv1a(json2.as_bytes())),
+        );
+    }
+    comment(&format!("trace digest {digest:016x}"));
+
+    let _ = write_json(
+        "trace_dump",
+        &TraceDumpArtifact {
+            p,
+            rounds,
+            events: events.len(),
+            spans: summary.spans,
+            instants: summary.instants,
+            forced_joins,
+            queue_stalls,
+            policy_switches: switches,
+            trace_digest: format!("{digest:016x}"),
+            trace_path: path.to_string(),
+        },
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

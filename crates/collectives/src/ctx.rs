@@ -84,6 +84,12 @@ impl RankCtx {
         Arc::clone(&self.comm_stats)
     }
 
+    /// This rank's flight-recorder handle (disabled unless the launch
+    /// enabled tracing — see `pcoll_comm::WorldConfig::with_trace`).
+    pub fn recorder(&self) -> &pcoll_comm::Recorder {
+        self.comm_stats.recorder()
+    }
+
     fn alloc(&self) -> CollId {
         let id = self.next_coll.get();
         self.next_coll.set(id + 1);

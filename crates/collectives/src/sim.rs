@@ -30,6 +30,7 @@
 
 use crate::partial::{PartialAllreduce, PartialOpts, QuorumPolicy, RoundTrace};
 use pcoll_comm::{DType, Inbox, ReduceOp, SimEvent, SimOpts, SimWorld, TypedBuf, WorldConfig};
+use pcoll_obs::{perfetto_trace, EventKind, TraceEvent, LEVEL_SPANS};
 use pcoll_sched::{CmdQueue, EngineCore};
 use std::sync::Arc;
 use std::time::Duration;
@@ -278,17 +279,58 @@ impl SimHarness {
     /// Run to completion without a tuner.
     pub fn run(spec: SimSpec) -> SimReport {
         let mut h = SimHarness::new(spec);
-        h.drive(None)
+        h.execute()
     }
 
     /// Run with a closed-loop policy controller: `hook` fires every
     /// `period` rounds (measured on the slowest rank) with that window's
     /// [`WindowStats`]; a `Some` return switches every rank's timeline.
     pub fn run_tuned(spec: SimSpec, period: u64, hook: TunerHook<'_>) -> SimReport {
-        assert!(period > 0, "tuner period must be positive");
         let mut h = SimHarness::new(spec);
-        h.period = Some(period);
-        h.drive(Some(hook))
+        h.execute_tuned(period, hook)
+    }
+
+    /// Like [`SimHarness::run`], but on an owned harness — the harness
+    /// survives the run, so the flight-recorder stream is still
+    /// drainable afterwards ([`SimHarness::trace_events`]).
+    pub fn execute(&mut self) -> SimReport {
+        self.drive(None)
+    }
+
+    /// Like [`SimHarness::run_tuned`], on an owned harness (see
+    /// [`SimHarness::execute`]).
+    pub fn execute_tuned(&mut self, period: u64, hook: TunerHook<'_>) -> SimReport {
+        assert!(period > 0, "tuner period must be positive");
+        self.period = Some(period);
+        self.drive(Some(hook))
+    }
+
+    /// Drain every rank's flight recorder into one merged, `(ts, rank)`
+    /// sorted event stream. Under the virtual clock this stream is a pure
+    /// function of `(spec, seed)` — the byte-identical-trace guarantee.
+    /// Draining consumes: a second call returns only newer events.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        let mut events: Vec<TraceEvent> = (0..self.ranks.len())
+            .flat_map(|r| self.sim.comm_stats(r).recorder().drain())
+            .collect();
+        events.sort_by_key(|e| (e.ts_ns, e.rank));
+        events
+    }
+
+    /// [`SimHarness::trace_events`] exported as Chrome/Perfetto
+    /// trace-event JSON (load at `ui.perfetto.dev`).
+    pub fn perfetto_json(&self) -> String {
+        perfetto_trace(&self.trace_events())
+    }
+
+    /// Aggregate every rank's transport and engine counters into `reg`
+    /// under `sim_comm_*` / `sim_engine_*` (counters sum across ranks;
+    /// the queue-depth gauge takes the worldwide peak).
+    pub fn export_metrics(&self, reg: &pcoll_obs::MetricsRegistry) {
+        for (rank, r) in self.ranks.iter().enumerate() {
+            self.sim.comm_stats(rank).export_metrics(reg, "sim_comm");
+            r.core.stats().export_metrics(reg, "sim_engine");
+        }
     }
 
     fn drive(&mut self, mut hook: Option<TunerHook<'_>>) -> SimReport {
@@ -451,6 +493,15 @@ impl SimHarness {
         self.window_start_time = now;
         self.window_start_fresh = fresh_now;
         if let Some(next) = hook(&stats) {
+            // The decision lands on rank 0's recorder track: the sim's
+            // tuner is a global observer, not a per-rank agent.
+            self.sim
+                .comm_stats(0)
+                .recorder()
+                .record(LEVEL_SPANS, || EventKind::TunerDecision {
+                    step: window_end,
+                    policy: format!("{next:?}"),
+                });
             if next != self.policy {
                 // All timelines switch in this single event, at a round no
                 // rank has deposited (and hence no message exists for):
@@ -460,6 +511,13 @@ impl SimHarness {
                 for r in &self.ranks {
                     r.ar.set_policy_from(from, next);
                 }
+                self.sim
+                    .comm_stats(0)
+                    .recorder()
+                    .record(LEVEL_SPANS, || EventKind::PolicySwitch {
+                        from_round: from,
+                        policy: format!("{next:?}"),
+                    });
                 self.switches.push((from, next));
                 self.policy = next;
             }

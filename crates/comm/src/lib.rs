@@ -28,8 +28,11 @@
 //! bytes * beta + jitter`) through a delivery thread on every backend,
 //! preserving per-(src, dst) FIFO ordering (the MPI non-overtaking rule).
 //! Code above the transport reads time through the [`Clock`] handle
-//! ([`time`] module): wall time on the first two backends, virtual time
-//! under the simulator.
+//! (the [`time`] module, re-exported from `pcoll_obs`): wall time on the
+//! first two backends, virtual time under the simulator. The same crate
+//! supplies the flight [`Recorder`] every rank carries on its
+//! [`CommStats`] ([`WorldConfig::with_trace`] or `PCOLL_TRACE=1|2` turn
+//! it on); see `pcoll_obs` for the event schema and Perfetto export.
 //!
 //! Design notes:
 //! - Buffers are **typed** ([`TypedBuf`]) rather than raw bytes: reductions
@@ -59,19 +62,21 @@ pub mod pool;
 pub mod sim;
 pub mod stats;
 pub mod tag;
-pub mod time;
 pub mod transport;
 pub mod world;
+
+pub use pcoll_obs::time;
 
 pub use buf::{reduce_f32_slices, BufError, DType, ReduceOp, TypedBuf};
 pub use matcher::Matcher;
 pub use net::NetworkModel;
 pub use payload::Payload;
+pub use pcoll_obs::time::{Clock, TimePoint};
+pub use pcoll_obs::{Recorder, TraceConfig};
 pub use pool::BytePool;
 pub use sim::{Planet, Region, SimEvent, SimOpts, SimWorld};
 pub use stats::{CommStats, CommStatsSnapshot};
 pub use tag::{CollId, Message, Rank, WireTag};
-pub use time::{Clock, TimePoint};
 pub use transport::{is_tcp_worker, TcpOpts, Transport};
 pub use world::{
     CommHandle, Communicator, Envelope, Inbox, World, WorldConfig, DEFAULT_QUEUE_CAPACITY,

@@ -6,9 +6,11 @@
 //! `recv(src, tag)` semantics without standing up the engine.
 
 use crate::buf::ReduceOp;
+use crate::stats::CommStats;
 use crate::tag::{Message, Rank, WireTag};
 use crate::world::{Envelope, Inbox};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Wraps an [`Inbox`] with an unexpected-message queue so receives can be
@@ -18,6 +20,9 @@ pub struct Matcher {
     /// Messages that arrived before a matching receive was posted.
     unexpected: HashMap<(Rank, WireTag), VecDeque<Message>>,
     shutdown_seen: bool,
+    /// Receive-side accounting sink, when the caller wants consumed
+    /// messages counted (see [`Matcher::with_stats`]).
+    stats: Option<Arc<CommStats>>,
 }
 
 impl Matcher {
@@ -27,7 +32,38 @@ impl Matcher {
             inbox,
             unexpected: HashMap::new(),
             shutdown_seen: false,
+            stats: None,
         }
+    }
+
+    /// Like [`Matcher::new`], but every data message drained from the
+    /// inbox bumps the rank's receive counters (`recvs`,
+    /// `bytes_received`) and — at verbose trace level — records a
+    /// [`pcoll_obs::EventKind::MsgRecv`] event. Pass the rank's own
+    /// [`CommStats`] (from `Communicator::comm_stats` before splitting).
+    pub fn with_stats(inbox: Inbox, stats: Arc<CommStats>) -> Self {
+        Matcher {
+            stats: Some(stats),
+            ..Matcher::new(inbox)
+        }
+    }
+
+    /// Account one data message drained from the inbox. Matching out of
+    /// the unexpected queue never re-counts: a message is tallied exactly
+    /// once, when consumed off the wire.
+    fn note_recv(&self, m: &Message) {
+        let Some(stats) = &self.stats else { return };
+        let bytes = m.payload.as_ref().map_or(0, |p| p.byte_len());
+        stats.record_recv(bytes);
+        stats
+            .recorder()
+            .record(pcoll_obs::LEVEL_VERBOSE, || pcoll_obs::EventKind::MsgRecv {
+                coll: u64::from(m.tag.coll.0),
+                round: m.tag.round,
+                sem: m.tag.sem,
+                src: m.src as u32,
+                bytes: bytes as u64,
+            });
     }
 
     /// True once a shutdown envelope has been drained.
@@ -46,6 +82,7 @@ impl Matcher {
         loop {
             match self.inbox.recv()? {
                 Envelope::Data(m) => {
+                    self.note_recv(&m);
                     if m.src == src && m.tag == tag {
                         return Some(m);
                     }
@@ -77,6 +114,7 @@ impl Matcher {
             }
             match self.inbox.recv_timeout(left)? {
                 Envelope::Data(m) => {
+                    self.note_recv(&m);
                     if m.src == src && m.tag == tag {
                         return Some(m);
                     }
@@ -112,6 +150,16 @@ impl Matcher {
         payload
             .reduce_into_f32(dst, op)
             .expect("recv_combine shape mismatch");
+        if let Some(stats) = &self.stats {
+            stats.recorder().record(pcoll_obs::LEVEL_VERBOSE, || {
+                pcoll_obs::EventKind::MsgCombine {
+                    coll: u64::from(tag.coll.0),
+                    round: tag.round,
+                    src: src as u32,
+                    bytes: payload.byte_len() as u64,
+                }
+            });
+        }
         Some(())
     }
 
@@ -138,6 +186,7 @@ impl Matcher {
         loop {
             match self.inbox.recv()? {
                 Envelope::Data(m) => {
+                    self.note_recv(&m);
                     if m.tag == tag {
                         return Some(m);
                     }
@@ -206,6 +255,30 @@ mod tests {
             } else {
                 h.send(0, tag(5), None);
             }
+        });
+    }
+
+    #[test]
+    fn with_stats_counts_each_message_once_at_consumption() {
+        World::launch(WorldConfig::instant(2), |c| {
+            let me = c.rank();
+            let peer = 1 - me;
+            let stats = c.comm_stats();
+            let (h, inbox) = c.split();
+            let mut m = Matcher::with_stats(inbox, Arc::clone(&stats));
+            // Two data messages received in the opposite order from
+            // arrival (one transits the unexpected queue) plus one
+            // payload-less control message. Each must be tallied exactly
+            // once — when drained off the inbox, not when rematched.
+            h.send(peer, tag(0), Some(TypedBuf::from(vec![0i32])));
+            h.send(peer, tag(1), Some(TypedBuf::from(vec![1i32, 2i32])));
+            h.send(peer, tag(2), None);
+            assert!(m.recv(peer, tag(1)).is_some());
+            assert!(m.recv(peer, tag(0)).is_some());
+            assert!(m.recv(peer, tag(2)).is_some());
+            let snap = stats.snapshot();
+            assert_eq!(snap.recvs, 3, "one tally per consumed message");
+            assert_eq!(snap.bytes_received, 12, "4 + 8 + 0 payload bytes");
         });
     }
 

@@ -91,6 +91,10 @@ struct InFlight {
     seq: u64,
     dst: Rank,
     msg: Message,
+    /// When the shaper accepted the message — `due - sent` is the full
+    /// modeled hold (latency plus any non-overtaking clamp), reported in
+    /// the shaper's `NetRelease` trace events.
+    sent: Instant,
 }
 
 impl PartialEq for InFlight {
@@ -188,6 +192,12 @@ pub(crate) fn delivery_loop(
             if !wait.is_zero() {
                 std::thread::sleep(wait);
             }
+            stats.recorder().record(pcoll_obs::LEVEL_VERBOSE, || {
+                pcoll_obs::EventKind::NetRelease {
+                    dst: inflight.dst as u32,
+                    delay_ns: inflight.due.duration_since(inflight.sent).as_nanos() as u64,
+                }
+            });
             route.deliver(
                 inflight.dst,
                 Envelope::Data(inflight.msg),
@@ -209,6 +219,12 @@ pub(crate) fn delivery_loop(
             // is dropped, as a real network drops packets to dead hosts.
             // A *full* route blocks here — the shaper is the backpressure
             // relay between a fast sender and a slow destination queue.
+            stats.recorder().record(pcoll_obs::LEVEL_VERBOSE, || {
+                pcoll_obs::EventKind::NetRelease {
+                    dst: inflight.dst as u32,
+                    delay_ns: inflight.due.duration_since(inflight.sent).as_nanos() as u64,
+                }
+            });
             route.deliver(
                 inflight.dst,
                 Envelope::Data(inflight.msg),
@@ -240,7 +256,8 @@ pub(crate) fn delivery_loop(
                     .map_or(Duration::ZERO, |e| e.get(msg.src, dst));
                 let latency =
                     geography + model.base_latency(msg.wire_bytes()) + next_jitter(model.jitter());
-                let mut due = Instant::now() + latency;
+                let sent = Instant::now();
+                let mut due = sent + latency;
                 let key = (msg.src, dst);
                 if let Some(prev) = last_due.get(&key) {
                     if *prev > due {
@@ -248,7 +265,13 @@ pub(crate) fn delivery_loop(
                     }
                 }
                 last_due.insert(key, due);
-                heap.push(Reverse(InFlight { due, seq, dst, msg }));
+                heap.push(Reverse(InFlight {
+                    due,
+                    seq,
+                    dst,
+                    msg,
+                    sent,
+                }));
                 seq += 1;
             }
             Some(NetCmd::Shutdown) => return flush(&mut heap),

@@ -158,8 +158,23 @@ impl Default for SimOpts {
 // ---------------------------------------------------------------------------
 
 enum EventKind {
-    Deliver { dst: Rank, env: Envelope },
-    Timer { rank: Rank, token: u64 },
+    Deliver {
+        src: Rank,
+        dst: Rank,
+        env: Envelope,
+        /// Total modeled delay this message spent "on the wire" (for the
+        /// destination's `NetRelease` trace event).
+        delay_ns: u64,
+        /// Of `delay_ns`, the part imposed by the non-overtaking clamp —
+        /// recorded at delivery as a `QueueStall` span on the sender.
+        held_ns: u64,
+        /// Messages ahead on the same wire when this one was staged.
+        held_behind: u64,
+    },
+    Timer {
+        rank: Rank,
+        token: u64,
+    },
 }
 
 struct SimEntry {
@@ -245,6 +260,9 @@ pub struct SimWorld {
     seq: u64,
     stage: SimStage,
     last_due: HashMap<(Rank, Rank), TimePoint>,
+    /// Undelivered messages per (src, dst) pair — the "wire queue" depth
+    /// a clamped send was stuck behind (see [`SimWorld::flush_sends`]).
+    in_flight: HashMap<(Rank, Rank), u64>,
     rng_state: u64,
     mb_txs: Vec<Sender<Envelope>>,
     mb_rxs: Vec<Option<Receiver<Envelope>>>,
@@ -262,18 +280,26 @@ impl SimWorld {
         let regions = (0..cfg.nranks)
             .map(|r| opts.planet.rank_region(r, cfg.nranks))
             .collect();
+        // Every rank's flight recorder timestamps on the *virtual* clock,
+        // so same-seed runs emit byte-identical traces (a tested
+        // invariant — see `tests/sim_determinism.rs`).
+        let clock = Clock::virtual_clock();
         let stats = (0..cfg.nranks)
-            .map(|_| Arc::new(CommStats::default()))
+            .map(|rank| {
+                let rec = cfg.trace.recorder(rank as u32, clock.clone());
+                Arc::new(CommStats::with_recorder(rec))
+            })
             .collect();
         SimWorld {
             rng_state: (cfg.seed ^ 0x5EED) | 1,
             planet: opts.planet,
             regions,
-            clock: Clock::virtual_clock(),
+            clock,
             heap: BinaryHeap::new(),
             seq: 0,
             stage: SimStage::default(),
             last_due: HashMap::new(),
+            in_flight: HashMap::new(),
             mb_txs,
             mb_rxs: mb_rxs.into_iter().map(Some).collect(),
             stats,
@@ -377,6 +403,14 @@ impl SimWorld {
 
     /// Move staged sends into the event heap with composed latencies and
     /// the per-pair non-overtaking clamp.
+    ///
+    /// When the clamp fires — the message would have arrived at its
+    /// modeled time but an earlier message on the same `(src, dst)` wire
+    /// is still in flight — the held interval is recorded as a
+    /// [`pcoll_obs::EventKind::QueueStall`] on the *sender*: it is the
+    /// virtual-time analogue of a bounded send queue exerting
+    /// backpressure (the message sat serialized behind its predecessors),
+    /// with `depth` = messages ahead of it on that wire.
     fn flush_sends(&mut self) {
         let staged: Vec<(Rank, Rank, Envelope)> = {
             let mut q = self.stage.queue.lock().expect("sim stage lock");
@@ -391,15 +425,26 @@ impl SimWorld {
             let latency = self.planet.one_way(self.regions[src], self.regions[dst])
                 + self.cfg.network.base_latency(bytes)
                 + self.next_jitter(Self::jitter_max(&self.cfg.network));
-            let mut due = now + latency;
+            let natural = now + latency;
+            let mut due = natural;
             if let Some(prev) = self.last_due.get(&(src, dst)) {
                 due = due.max(*prev);
             }
+            let held_ns = due.duration_since(natural).as_nanos() as u64;
+            let held_behind = self.in_flight.get(&(src, dst)).copied().unwrap_or(0);
             self.last_due.insert((src, dst), due);
+            *self.in_flight.entry((src, dst)).or_insert(0) += 1;
             self.heap.push(Reverse(SimEntry {
                 due,
                 seq: self.seq,
-                kind: EventKind::Deliver { dst, env },
+                kind: EventKind::Deliver {
+                    src,
+                    dst,
+                    env,
+                    delay_ns: due.duration_since(now).as_nanos() as u64,
+                    held_ns,
+                    held_behind,
+                },
             }));
             self.seq += 1;
         }
@@ -415,8 +460,40 @@ impl SimWorld {
         self.clock.advance_to(entry.due);
         self.events += 1;
         match entry.kind {
-            EventKind::Deliver { dst, env } => {
+            EventKind::Deliver {
+                src,
+                dst,
+                env,
+                delay_ns,
+                held_ns,
+                held_behind,
+            } => {
                 self.delivered += 1;
+                if let Some(n) = self.in_flight.get_mut(&(src, dst)) {
+                    *n = n.saturating_sub(1);
+                }
+                // The wire released the message: a verbose instant on the
+                // receiver, and — when the non-overtaking clamp held it —
+                // a stall span on the sender ending now (the sim's
+                // backpressure signal; see `flush_sends`).
+                self.stats[dst]
+                    .recorder()
+                    .record(pcoll_obs::LEVEL_VERBOSE, || {
+                        pcoll_obs::EventKind::NetRelease {
+                            dst: dst as u32,
+                            delay_ns,
+                        }
+                    });
+                if held_ns > 0 {
+                    self.stats[src]
+                        .recorder()
+                        .record(pcoll_obs::LEVEL_SPANS, || {
+                            pcoll_obs::EventKind::QueueStall {
+                                depth: held_behind,
+                                dur_ns: held_ns,
+                            }
+                        });
+                }
                 if self.mb_txs[dst].try_send(env).is_err() {
                     // A full mailbox here means the driver is not draining
                     // after deliveries — a bug in the harness, not a

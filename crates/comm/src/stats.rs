@@ -9,11 +9,14 @@
 //! and exports the deltas onto the `pcoll_tune` telemetry bus so the
 //! controller can see congestion, not just skew.
 
+use pcoll_obs::Recorder;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Monotonic queue-pressure counters (lock-free; hot-path updates are
-/// relaxed atomics).
+/// relaxed atomics). Also carries the rank's flight-[`Recorder`] handle,
+/// since every bounded-queue hot path already threads `&CommStats` —
+/// the recorder rides along for free.
 #[derive(Debug, Default)]
 pub struct CommStats {
     /// Messages pushed into any bounded send queue.
@@ -24,6 +27,13 @@ pub struct CommStats {
     /// of this by wall time to report *achieved* wire bandwidth per
     /// algorithm instead of inferring it from message counts.
     pub bytes_sent: AtomicU64,
+    /// Data messages this rank's receive paths consumed (the matcher's
+    /// `recv_*` family, the engine's envelope intake, the TCP reader).
+    pub recvs: AtomicU64,
+    /// Payload bytes received (mirror of `bytes_sent`; control messages
+    /// count zero). Together with `recvs` this makes congestion visible
+    /// from the *receiver*, not just the sender.
+    pub bytes_received: AtomicU64,
     /// Sends that found their queue full and blocked for space.
     pub send_stalls: AtomicU64,
     /// Total nanoseconds spent blocked on full queues.
@@ -32,13 +42,38 @@ pub struct CommStats {
     pub peak_queue_depth: AtomicU64,
     /// Sends dropped because the destination had already finished.
     pub dropped_closed: AtomicU64,
+    /// The rank's flight recorder (disabled by default: recording into
+    /// it is a no-op costing one `Option` check).
+    recorder: Recorder,
 }
 
 impl CommStats {
+    /// Counters at zero with an attached flight recorder.
+    pub fn with_recorder(recorder: Recorder) -> CommStats {
+        CommStats {
+            recorder,
+            ..CommStats::default()
+        }
+    }
+
+    /// The rank's flight-recorder handle.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
     /// Record the backlog seen after a push (monotonic max).
     pub(crate) fn record_depth(&self, depth: usize) {
         self.peak_queue_depth
             .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Account one consumed data message of `bytes` payload. Public so
+    /// the scheduler's envelope intake (a different crate) can count the
+    /// receives it consumes without going through a matcher.
+    pub fn record_recv(&self, bytes: usize) {
+        self.recvs.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
     }
 
     /// Drain the running queue-depth maximum: returns the deepest backlog
@@ -49,16 +84,40 @@ impl CommStats {
         self.peak_queue_depth.swap(0, Ordering::Relaxed)
     }
 
-    /// Read every counter at once.
+    /// Read every counter at once. The `peak_queue_depth` field is a
+    /// *non-destructive* read of the depth gauge: it holds the maximum
+    /// since the last [`CommStats::take_peak_queue_depth`] drain, not
+    /// since any particular snapshot — windowed peaks come only from
+    /// the drain.
     pub fn snapshot(&self) -> CommStatsSnapshot {
         CommStatsSnapshot {
             sends: self.sends.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            recvs: self.recvs.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
             send_stalls: self.send_stalls.load(Ordering::Relaxed),
             stall_ms: self.stall_ns.load(Ordering::Relaxed) as f64 / 1e6,
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
             dropped_closed: self.dropped_closed.load(Ordering::Relaxed),
         }
+    }
+
+    /// Export every counter into a [`pcoll_obs::MetricsRegistry`] under
+    /// `<prefix>_…` names (the unified-telemetry path: one `render()`
+    /// shows transport pressure next to round latencies).
+    pub fn export_metrics(&self, reg: &pcoll_obs::MetricsRegistry, prefix: &str) {
+        let s = self.snapshot();
+        reg.counter_add(&format!("{prefix}_sends_total"), s.sends);
+        reg.counter_add(&format!("{prefix}_bytes_sent_total"), s.bytes_sent);
+        reg.counter_add(&format!("{prefix}_recvs_total"), s.recvs);
+        reg.counter_add(&format!("{prefix}_bytes_received_total"), s.bytes_received);
+        reg.counter_add(&format!("{prefix}_send_stalls_total"), s.send_stalls);
+        reg.counter_add(
+            &format!("{prefix}_stall_ns_total"),
+            self.stall_ns.load(Ordering::Relaxed),
+        );
+        reg.counter_add(&format!("{prefix}_dropped_closed_total"), s.dropped_closed);
+        reg.gauge_max(&format!("{prefix}_peak_queue_depth"), s.peak_queue_depth);
     }
 }
 
@@ -70,26 +129,38 @@ pub struct CommStatsSnapshot {
     pub sends: u64,
     /// Payload bytes sent.
     pub bytes_sent: u64,
+    /// Data messages consumed by a receive path.
+    pub recvs: u64,
+    /// Payload bytes received.
+    pub bytes_received: u64,
     /// Sends that found their queue full and had to block.
     pub send_stalls: u64,
     /// Total time spent blocked on full queues.
     pub stall_ms: f64,
-    /// Deepest queue backlog observed (running max).
+    /// The depth gauge as read at snapshot time: maximum backlog since
+    /// the last [`CommStats::take_peak_queue_depth`] drain (see
+    /// [`CommStatsSnapshot::since`] for why deltas zero this).
     pub peak_queue_depth: u64,
     /// Messages dropped because the destination had already finished.
     pub dropped_closed: u64,
 }
 
 impl CommStatsSnapshot {
-    /// Counter deltas since `earlier` (peak depth is a running max, so it
-    /// carries over as-is).
+    /// Counter deltas since `earlier`. The peak-depth gauge is *not* a
+    /// monotonic counter, so no meaningful "peak within this window" can
+    /// be derived from two snapshots — historically this field carried
+    /// the raw gauge through, which went stale the moment any caller
+    /// drained it with [`CommStats::take_peak_queue_depth`]. Deltas now
+    /// zero it: the drain is the single windowed-peak path.
     pub fn since(&self, earlier: &CommStatsSnapshot) -> CommStatsSnapshot {
         CommStatsSnapshot {
             sends: self.sends.saturating_sub(earlier.sends),
             bytes_sent: self.bytes_sent.saturating_sub(earlier.bytes_sent),
+            recvs: self.recvs.saturating_sub(earlier.recvs),
+            bytes_received: self.bytes_received.saturating_sub(earlier.bytes_received),
             send_stalls: self.send_stalls.saturating_sub(earlier.send_stalls),
             stall_ms: (self.stall_ms - earlier.stall_ms).max(0.0),
-            peak_queue_depth: self.peak_queue_depth,
+            peak_queue_depth: 0,
             dropped_closed: self.dropped_closed.saturating_sub(earlier.dropped_closed),
         }
     }
@@ -130,6 +201,8 @@ mod tests {
         let a = CommStatsSnapshot {
             sends: 5,
             bytes_sent: 100,
+            recvs: 2,
+            bytes_received: 40,
             send_stalls: 1,
             stall_ms: 1.0,
             peak_queue_depth: 3,
@@ -138,6 +211,8 @@ mod tests {
         let b = CommStatsSnapshot {
             sends: 9,
             bytes_sent: 260,
+            recvs: 7,
+            bytes_received: 240,
             send_stalls: 4,
             stall_ms: 2.5,
             peak_queue_depth: 6,
@@ -146,10 +221,58 @@ mod tests {
         let d = b.since(&a);
         assert_eq!(d.sends, 4);
         assert_eq!(d.bytes_sent, 160);
+        assert_eq!(d.recvs, 5);
+        assert_eq!(d.bytes_received, 200);
         assert_eq!(d.send_stalls, 3);
         assert!((d.stall_ms - 1.5).abs() < 1e-9);
-        assert_eq!(d.peak_queue_depth, 6, "peak carries over");
+        assert_eq!(d.peak_queue_depth, 0, "deltas never report the gauge");
         assert_eq!(d.dropped_closed, 1);
+    }
+
+    #[test]
+    fn windowed_peak_comes_only_from_the_drain() {
+        // Regression for the interleaving bug: a tuner drains the gauge
+        // every step while another observer diffs snapshots. The diff
+        // must not resurrect the pre-drain running max as if it were
+        // this window's peak.
+        let s = CommStats::default();
+        s.record_depth(9);
+        let a = s.snapshot();
+        assert_eq!(a.peak_queue_depth, 9, "snapshot reads the gauge as-is");
+        assert_eq!(s.take_peak_queue_depth(), 9, "tuner drains its window");
+        s.record_depth(3);
+        let b = s.snapshot();
+        assert_eq!(b.peak_queue_depth, 3, "gauge restarted after the drain");
+        let d = b.since(&a);
+        assert_eq!(
+            d.peak_queue_depth, 0,
+            "take_peak_queue_depth is the single windowed-peak path"
+        );
+    }
+
+    #[test]
+    fn record_recv_mirrors_the_send_side() {
+        let s = CommStats::default();
+        s.record_recv(128);
+        s.record_recv(64);
+        let snap = s.snapshot();
+        assert_eq!(snap.recvs, 2);
+        assert_eq!(snap.bytes_received, 192);
+    }
+
+    #[test]
+    fn export_metrics_lands_in_one_registry() {
+        let s = CommStats::default();
+        s.sends.store(3, Ordering::Relaxed);
+        s.record_recv(50);
+        s.record_depth(6);
+        let reg = pcoll_obs::MetricsRegistry::default();
+        s.export_metrics(&reg, "comm");
+        let text = reg.render();
+        assert!(text.contains("comm_sends_total 3\n"));
+        assert!(text.contains("comm_recvs_total 1\n"));
+        assert!(text.contains("comm_bytes_received_total 50\n"));
+        assert!(text.contains("comm_peak_queue_depth 6\n"));
     }
 
     #[test]

@@ -155,6 +155,11 @@ pub fn is_tcp_worker() -> bool {
 /// a deadline, and blowing the deadline panics — a queue that stays full
 /// that long is a backpressure cycle (see the README's "data path"
 /// section), which must fail loudly rather than hang the world.
+/// Shortest blocked-send worth a [`pcoll_obs::EventKind::QueueStall`]
+/// trace event (wall transports only). Genuine congestion blocks for
+/// far longer; sub-threshold blocking is ordinary bounded-queue handoff.
+const STALL_RECORD_MIN_NS: u64 = 10_000;
+
 pub(crate) fn bounded_send<T>(
     tx: &Sender<T>,
     value: T,
@@ -172,12 +177,27 @@ pub(crate) fn bounded_send<T>(
         }
         Err(TrySendError::Full(value)) => {
             stats.send_stalls.fetch_add(1, Ordering::Relaxed);
-            stats.record_depth(tx.len());
+            let depth = tx.len();
+            stats.record_depth(depth);
             let t0 = Instant::now();
             let res = tx.send_timeout(value, deadline);
-            stats
-                .stall_ns
-                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let blocked_ns = t0.elapsed().as_nanos() as u64;
+            stats.stall_ns.fetch_add(blocked_ns, Ordering::Relaxed);
+            // Only stalls long enough to matter become trace events: a
+            // saturated producer/consumer handoff blocks for sub-µs on
+            // *every* send, and recording each of those would flood the
+            // ring and put a measurable ring-write on the hot path the
+            // recorder promises to stay off. The counters above still
+            // account every stall; the sim transport records its own
+            // (virtual-time) stalls on a different path.
+            if blocked_ns >= STALL_RECORD_MIN_NS {
+                stats.recorder().record(pcoll_obs::LEVEL_SPANS, || {
+                    pcoll_obs::EventKind::QueueStall {
+                        depth: depth as u64,
+                        dur_ns: blocked_ns,
+                    }
+                });
+            }
             match res {
                 Ok(()) => {}
                 Err(SendTimeoutError::Disconnected(_)) => {
@@ -544,6 +564,10 @@ fn reader_loop(
         match read_frame_into(&mut r, &mut body) {
             Ok(true) => match decode_frame(&body) {
                 Ok(WireFrame::Data(msg)) => {
+                    // Receive accounting happens at *consumption* (the
+                    // matcher / the engine's envelope intake), uniformly
+                    // across transports — counting here too would tally
+                    // TCP receives twice.
                     bounded_send(&inbox, Envelope::Data(msg), &stats, deadline, "local inbox");
                 }
                 Ok(WireFrame::Shutdown) => {
@@ -703,6 +727,10 @@ fn run_parent<T: serde::Deserialize>(cfg: &WorldConfig, opts: &TcpOpts) -> Vec<T
             .env(ENV_NRANKS, nranks.to_string())
             .env(ENV_PARENT, addr.to_string())
             .env(ENV_LABEL, &opts.label)
+            // Trace settings cross the exec boundary as environment:
+            // a programmatic `with_trace` reaches every worker.
+            .env(pcoll_obs::ENV_TRACE, cfg.trace.level.to_string())
+            .env(pcoll_obs::ENV_TRACE_CAP, cfg.trace.capacity.to_string())
             .stdin(Stdio::null());
         if !opts.inherit_stdout {
             cmd.stdout(Stdio::null());
@@ -911,7 +939,14 @@ where
     // Socket threads + routing. All queues are bounded: the writer
     // queues exert backpressure on senders, the inbox backpressures the
     // socket readers (and transitively the remote writers).
-    let stats = Arc::new(CommStats::default());
+    //
+    // The worker's flight recorder comes from the environment the parent
+    // process passed down (`WorldConfig::trace` does not cross the exec
+    // boundary). Each process has its own wall-clock epoch, so TCP trace
+    // timestamps are comparable within a rank but not across ranks.
+    let recorder =
+        pcoll_obs::TraceConfig::from_env().recorder(rank as u32, pcoll_obs::Clock::wall());
+    let stats = Arc::new(CommStats::with_recorder(recorder));
     let (inbox_tx, inbox_rx) = bounded(cfg.queue_capacity);
     let mut txs: Vec<Option<Sender<PeerCmd>>> = (0..cfg.nranks).map(|_| None).collect();
     let mut finishers = Vec::new();

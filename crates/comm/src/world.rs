@@ -28,6 +28,7 @@ use crate::tag::{Message, Rank, WireTag};
 use crate::transport::{launch_tcp, Route, TcpOpts, Transport};
 use crate::{NetworkModel, TypedBuf};
 use crossbeam::channel::{bounded, Receiver};
+use pcoll_obs::{Clock, EventKind, Recorder, TraceConfig, LEVEL_VERBOSE};
 use std::sync::{Arc, Barrier};
 use std::time::Duration;
 
@@ -64,6 +65,10 @@ pub struct WorldConfig {
     /// How long a full-queue send blocks before panicking (the deadlock
     /// tripwire; see module docs).
     pub queue_deadline: Duration,
+    /// Flight-recorder setting for every rank of the launch. Defaults to
+    /// the `PCOLL_TRACE`/`PCOLL_TRACE_CAP` environment (off when unset);
+    /// override programmatically with [`WorldConfig::with_trace`].
+    pub trace: TraceConfig,
 }
 
 impl WorldConfig {
@@ -75,6 +80,7 @@ impl WorldConfig {
             seed: 0,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             queue_deadline: DEFAULT_QUEUE_DEADLINE,
+            trace: TraceConfig::from_env(),
         }
     }
 
@@ -102,6 +108,17 @@ impl WorldConfig {
     /// Override the full-queue blocking deadline.
     pub fn with_queue_deadline(mut self, deadline: Duration) -> Self {
         self.queue_deadline = deadline;
+        self
+    }
+
+    /// Enable the flight recorder for every rank of the launch:
+    /// `level` 1 records spans and instants, 2 adds per-message events;
+    /// `capacity` is the per-rank ring size in events. Note the TCP
+    /// transport's worker *processes* read the `PCOLL_TRACE` environment
+    /// instead (inherited from the parent), since the config does not
+    /// cross the `exec` boundary.
+    pub fn with_trace(mut self, level: u8, capacity: usize) -> Self {
+        self.trace = TraceConfig { level, capacity };
         self
     }
 }
@@ -150,6 +167,12 @@ impl CommHandle {
         Arc::clone(&self.stats)
     }
 
+    /// This rank's flight-recorder handle (disabled unless the launch
+    /// was configured with [`WorldConfig::with_trace`] or `PCOLL_TRACE`).
+    pub fn recorder(&self) -> &Recorder {
+        self.stats.recorder()
+    }
+
     /// Send `payload` to `dst` under `tag`. `None` payload = control
     /// message (activation). Sending to a finished rank is silently
     /// dropped, like a packet to a dead host.
@@ -162,11 +185,21 @@ impl CommHandle {
     /// costs `k` reference-count bumps and zero element copies.
     pub fn send_payload(&self, dst: Rank, tag: WireTag, payload: Option<Payload>) {
         assert!(dst < self.size, "dst {dst} out of range (P={})", self.size);
-        if let Some(p) = &payload {
+        let bytes = payload.as_ref().map_or(0, |p| p.byte_len());
+        if payload.is_some() {
             self.stats
                 .bytes_sent
-                .fetch_add(p.byte_len() as u64, std::sync::atomic::Ordering::Relaxed);
+                .fetch_add(bytes as u64, std::sync::atomic::Ordering::Relaxed);
         }
+        self.stats
+            .recorder()
+            .record(LEVEL_VERBOSE, || EventKind::MsgSend {
+                coll: u64::from(tag.coll.0),
+                round: tag.round,
+                sem: tag.sem,
+                dst: dst as u32,
+                bytes: bytes as u64,
+            });
         let msg = Message {
             src: self.rank,
             tag,
@@ -250,6 +283,11 @@ impl Communicator {
         self.handle.comm_stats()
     }
 
+    /// This rank's flight-recorder handle (see [`CommHandle::recorder`]).
+    pub fn recorder(&self) -> &Recorder {
+        self.handle.recorder()
+    }
+
     /// Clone the send half.
     pub fn handle(&self) -> CommHandle {
         self.handle.clone()
@@ -329,19 +367,26 @@ impl World {
             (0..cfg.nranks).map(|_| bounded(cfg.queue_capacity)).unzip();
         let route = Route::mailboxes(mb_txs);
 
+        // One wall clock shared by every rank's recorder, so trace
+        // timestamps are comparable across tracks (flow arrows between
+        // ranks would otherwise connect unrelated epochs).
+        let trace_clock = Clock::wall();
+
         // The shaper is bypassed only when there is nothing to model:
         // instant network *and* no geography.
         let modeled = !matches!(cfg.network, NetworkModel::Instant) || extra.is_some();
         let (net, net_join) = if modeled {
             // The shared shaper thread accounts its own queue pressure
-            // (it delivers on behalf of every rank).
+            // (it delivers on behalf of every rank). Its recorder track
+            // uses pseudo-rank P — the "network" lane in a trace.
+            let shaper_rec = cfg.trace.recorder(cfg.nranks as u32, trace_clock.clone());
             let (h, j) = spawn_network(
                 cfg.network,
                 route.clone(),
                 cfg.seed ^ 0x5EED,
                 cfg.queue_capacity,
                 cfg.queue_deadline,
-                Arc::new(CommStats::default()),
+                Arc::new(CommStats::with_recorder(shaper_rec)),
                 extra,
             );
             (Some(h), Some(j))
@@ -353,6 +398,7 @@ impl World {
         let f = Arc::new(f);
         let mut joins = Vec::with_capacity(cfg.nranks);
         for (rank, rx) in mb_rxs.into_iter().enumerate() {
+            let recorder = cfg.trace.recorder(rank as u32, trace_clock.clone());
             let comm = Communicator {
                 handle: CommHandle {
                     rank,
@@ -360,7 +406,7 @@ impl World {
                     seed: cfg.seed,
                     net: net.clone(),
                     route: route.clone(),
-                    stats: Arc::new(CommStats::default()),
+                    stats: Arc::new(CommStats::with_recorder(recorder)),
                     queue_deadline: cfg.queue_deadline,
                 },
                 inbox: Inbox { rx },

@@ -426,6 +426,10 @@ pub fn run_rank(
         let epoch_t0 = Instant::now();
 
         for _ in 0..cfg.steps_per_epoch {
+            let step_t0 = ctx
+                .recorder()
+                .enabled(pcoll_obs::LEVEL_SPANS)
+                .then(Instant::now);
             let batch = workload.sample(rank, step, &mut rng);
             let loss = model.grad_step(&batch);
             loss_sum += loss;
@@ -479,6 +483,12 @@ pub fn run_rank(
                     let from_round = ar.rounds();
                     if let Some(d) = t.decide(from_round, summed) {
                         ar.set_policy_from(from_round, d.policy);
+                        ctx.recorder().record(pcoll_obs::LEVEL_SPANS, || {
+                            pcoll_obs::EventKind::PolicySwitch {
+                                from_round,
+                                policy: format!("{:?}", d.policy),
+                            }
+                        });
                         log.decisions.push(TuneDecision {
                             step,
                             from_round,
@@ -495,6 +505,14 @@ pub fn run_rank(
                     // drag peers into) a round it governs.
                     ctx.barrier();
                 }
+            }
+            if let Some(t0) = step_t0 {
+                let dur_ns = t0.elapsed().as_nanos() as u64;
+                ctx.recorder()
+                    .record(pcoll_obs::LEVEL_SPANS, || pcoll_obs::EventKind::StepSpan {
+                        step,
+                        dur_ns,
+                    });
             }
             step += 1;
         }

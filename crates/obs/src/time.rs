@@ -2,13 +2,14 @@
 //!
 //! Everything above the transport that needs to *read* time — the engine's
 //! per-round latency telemetry, the tuner's reward windows, the trainer's
-//! epoch timing — goes through a [`Clock`] handle instead of calling
-//! `Instant::now()` directly. A [`Clock`] is either:
+//! epoch timing, the flight recorder's event timestamps — goes through a
+//! [`Clock`] handle instead of calling `Instant::now()` directly. A
+//! [`Clock`] is either:
 //!
 //! - **wall** ([`Clock::wall`]): a thin wrapper over [`std::time::Instant`]
 //!   anchored at clock creation — the in-process and TCP transports;
 //! - **virtual** ([`Clock::virtual_clock`]): an atomic nanosecond counter
-//!   advanced explicitly by a discrete-event scheduler — the [`crate::sim`]
+//!   advanced explicitly by a discrete-event scheduler — the simulated
 //!   transport. Under a virtual clock, "elapsed time" is a pure function of
 //!   the event schedule, which is what makes simulated latency telemetry
 //!   bit-reproducible and timing-sensitive tests deterministic.

@@ -36,9 +36,10 @@ use crate::dag::DagState;
 use crate::op::{OpId, OpKind, Schedule, CONTRIB_SLOT};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use pcoll_comm::{
-    Clock, CollId, CommHandle, Envelope, Inbox, Message, Payload, Rank, TimePoint, TypedBuf,
-    WireTag,
+    Clock, CollId, CommHandle, CommStats, Envelope, Inbox, Message, Payload, Rank, TimePoint,
+    TypedBuf, WireTag,
 };
+use pcoll_obs::{EventKind as Ev, MetricsRegistry, LEVEL_SPANS, LEVEL_VERBOSE};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -149,6 +150,23 @@ impl EngineStats {
             self.dropped_unmatched.load(Ordering::Relaxed),
             self.pre_registered.load(Ordering::Relaxed),
         ]
+    }
+
+    /// Export every counter into `reg` under `{prefix}_{counter}_total`,
+    /// the engine's contribution to the unified metrics exposition.
+    pub fn export_metrics(&self, reg: &MetricsRegistry, prefix: &str) {
+        let [internal, external, completions, gc, dup, unmatched, pre] = self.snapshot();
+        for (name, v) in [
+            ("internal_activations", internal),
+            ("external_activations", external),
+            ("completions", completions),
+            ("dropped_gc", gc),
+            ("dropped_dup", dup),
+            ("dropped_unmatched", unmatched),
+            ("pre_registered", pre),
+        ] {
+            reg.counter_add(&format!("{prefix}_{name}_total"), v);
+        }
     }
 }
 
@@ -340,6 +358,10 @@ pub struct EngineCore {
     colls: HashMap<CollId, CollState>,
     pre_register: HashMap<CollId, Vec<Message>>,
     stats: Arc<EngineStats>,
+    /// The rank's communication stats block: receive accounting happens
+    /// here (the engine is the inbox's consumer on engine-driven ranks),
+    /// and its flight recorder is where every engine event lands.
+    comm_stats: Arc<CommStats>,
 }
 
 impl EngineCore {
@@ -351,12 +373,14 @@ impl EngineCore {
     /// Like [`EngineCore::new`] but sharing an existing stats block (used
     /// by [`Engine::spawn`] so its handle observes the core's counters).
     pub fn with_stats(comm: CommHandle, clock: Clock, stats: Arc<EngineStats>) -> EngineCore {
+        let comm_stats = comm.comm_stats();
         EngineCore {
             comm,
             clock,
             colls: HashMap::new(),
             pre_register: HashMap::new(),
             stats,
+            comm_stats,
         }
     }
 
@@ -379,9 +403,25 @@ impl EngineCore {
 
     /// Feed one delivered envelope into the core. Returns `false` on
     /// shutdown (the caller should stop driving this core).
+    ///
+    /// This is the engine's single wire-intake point, so receive
+    /// accounting lives here: a message is tallied exactly once, even if
+    /// [`EngineCore::on_message`] later re-runs it from the
+    /// pre-registration buffer.
     pub fn on_envelope(&mut self, env: Envelope) -> bool {
         match env {
             Envelope::Data(msg) => {
+                let bytes = msg.payload.as_ref().map_or(0, |p| p.byte_len());
+                self.comm_stats.record_recv(bytes);
+                self.comm_stats
+                    .recorder()
+                    .record(LEVEL_VERBOSE, || Ev::MsgRecv {
+                        coll: u64::from(msg.tag.coll.0),
+                        round: msg.tag.round,
+                        sem: msg.tag.sem,
+                        src: msg.src as u32,
+                        bytes: bytes as u64,
+                    });
                 self.on_message(msg);
                 true
             }
@@ -441,9 +481,18 @@ impl EngineCore {
             return;
         }
         let now = self.clock.now();
+        let recorder = self.comm_stats.recorder();
+        let cid = u64::from(coll.0);
+        recorder.record(LEVEL_SPANS, || Ev::RoundDeposit { coll: cid, round });
         let mut to_fire = Vec::new();
         let inst = cs.instances.entry(round).or_insert_with(|| {
             EngineStats::bump(&self.stats.internal_activations);
+            recorder.record(LEVEL_SPANS, || Ev::RoundOpen { coll: cid, round });
+            recorder.record(LEVEL_SPANS, || Ev::RoundActivate {
+                coll: cid,
+                round,
+                external: false,
+            });
             new_instance(&*cs.template, round, false, now, &mut to_fire)
         });
         // Activation-timed snapshot: fill the contribution now, before any
@@ -473,9 +522,17 @@ impl EngineCore {
             return;
         }
         let now = self.clock.now();
+        let recorder = self.comm_stats.recorder();
         let mut to_fire = Vec::new();
         let inst = cs.instances.entry(round).or_insert_with(|| {
             EngineStats::bump(&self.stats.external_activations);
+            let cid = u64::from(coll.0);
+            recorder.record(LEVEL_SPANS, || Ev::RoundOpen { coll: cid, round });
+            recorder.record(LEVEL_SPANS, || Ev::RoundActivate {
+                coll: cid,
+                round,
+                external: true,
+            });
             new_instance(&*cs.template, round, true, now, &mut to_fire)
         });
         match inst.recv_route.get(&(msg.src, msg.tag.sem)) {
@@ -503,6 +560,14 @@ impl EngineCore {
             .expect("driven instance exists");
         while let Some(id) = queue.pop() {
             let kind = inst.sched.ops[id].kind.clone();
+            // Span start is read only when spans are being recorded: the
+            // disabled path through here costs one level check per op.
+            let op_label = kind.label();
+            let op_t0 = self
+                .comm_stats
+                .recorder()
+                .enabled(LEVEL_SPANS)
+                .then(|| self.clock.now());
             match kind {
                 OpKind::SendData { peer, sem, src } => {
                     // Zero-copy fan-out: cloning the slot's payload is a
@@ -566,6 +631,17 @@ impl EngineCore {
                 }
                 OpKind::Nop | OpKind::InternalGate => {}
             }
+            if let Some(t0) = op_t0 {
+                let dur_ns = self.clock.now().duration_since(t0).as_nanos() as u64;
+                self.comm_stats
+                    .recorder()
+                    .record(LEVEL_SPANS, || Ev::OpExec {
+                        coll: u64::from(coll.0),
+                        round,
+                        op: op_label.to_string(),
+                        dur_ns,
+                    });
+            }
             queue.extend(inst.dag.mark_fired(&inst.sched, id));
         }
 
@@ -584,6 +660,14 @@ impl EngineCore {
                 external: inst.external,
                 elapsed: self.clock.now().duration_since(inst.created),
             };
+            self.comm_stats
+                .recorder()
+                .record(LEVEL_SPANS, || Ev::RoundComplete {
+                    coll: u64::from(coll.0),
+                    round,
+                    external: stats.external,
+                    dur_ns: stats.elapsed.as_nanos() as u64,
+                });
             cs.template.complete(round, result);
             cs.template.on_round_stats(&stats);
             cs.latest_completed = Some(cs.latest_completed.map_or(round, |l| l.max(round)));

@@ -78,6 +78,23 @@ pub enum OpKind {
     InternalGate,
 }
 
+impl OpKind {
+    /// Stable, allocation-free label for trace events and metrics keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpKind::SendData { .. } => "SendData",
+            OpKind::SendCtl { .. } => "SendCtl",
+            OpKind::Recv { .. } => "Recv",
+            OpKind::Combine { .. } => "Combine",
+            OpKind::Copy { .. } => "Copy",
+            OpKind::SliceCopy { .. } => "SliceCopy",
+            OpKind::CopyAt { .. } => "CopyAt",
+            OpKind::Nop => "Nop",
+            OpKind::InternalGate => "InternalGate",
+        }
+    }
+}
+
 /// One vertex of the schedule DAG.
 #[derive(Debug, Clone)]
 pub struct Op {

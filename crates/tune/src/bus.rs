@@ -38,6 +38,11 @@ pub enum TelemetryEvent {
         /// step — achieved wire bandwidth when divided by step time,
         /// reported per collective algorithm by `coll_micro`.
         bytes: u64,
+        /// Data messages this rank consumed off the wire during the step.
+        recvs: u64,
+        /// Payload bytes received — with `bytes`, the rank's send/receive
+        /// balance (a lopsided ratio marks a dragged-along straggler).
+        bytes_received: u64,
         stalls: u64,
         stall_ms: f64,
         peak_depth: u64,
@@ -174,6 +179,8 @@ mod tests {
                 step: 4,
                 sends: 100,
                 bytes: 4096,
+                recvs: 99,
+                bytes_received: 4000,
                 stalls: 3,
                 stall_ms: 1.25,
                 peak_depth: 17,

@@ -173,6 +173,8 @@ impl QuorumTuner for AdaptiveTuner {
                 step,
                 sends: d.sends,
                 bytes: d.bytes_sent,
+                recvs: d.recvs,
+                bytes_received: d.bytes_received,
                 stalls: d.send_stalls,
                 stall_ms: d.stall_ms,
                 peak_depth,
@@ -235,7 +237,7 @@ impl QuorumTuner for AdaptiveTuner {
         ]
     }
 
-    fn decide(&mut self, _from_round: u64, summed: &[f32]) -> Option<QuorumDecision> {
+    fn decide(&mut self, from_round: u64, summed: &[f32]) -> Option<QuorumDecision> {
         assert_eq!(summed.len(), STATS_LEN, "stats vector shape");
         let ranks = f64::from(summed[0]).max(1.0);
         let rounds = f64::from(summed[1]);
@@ -274,6 +276,17 @@ impl QuorumTuner for AdaptiveTuner {
             self.controller.seed_values(&priors);
         }
         let policy = self.controller.step(reward);
+        // The decision lands on this rank's flight-recorder track (every
+        // rank decides the same thing from the summed stats, so every
+        // track shows the same policy timeline).
+        if let Some(comm) = &self.comm {
+            comm.recorder().record(pcoll_obs::LEVEL_SPANS, || {
+                pcoll_obs::EventKind::TunerDecision {
+                    step: from_round,
+                    policy: format!("{policy:?}"),
+                }
+            });
+        }
         Some(QuorumDecision {
             policy,
             reward,

@@ -18,7 +18,8 @@
 //! assert!(results.iter().all(|&x| x <= 4.0));
 //! ```
 //!
-//! Crate map (bottom-up): [`comm`] rank threads and typed messages →
+//! Crate map (bottom-up): [`obs`] clocks, flight recorder, and metrics
+//! → [`comm`] rank threads and typed messages →
 //! [`sched`] schedule DAG engine → [`pcoll`] partial + synchronous
 //! collectives → [`tensor`]/[`nn`]/[`data`]/[`imbalance`] the DL substrate
 //! → [`core`] the eager-SGD trainer and theory → [`tune`] the closed-loop
@@ -31,6 +32,7 @@ pub use imbalance;
 pub use minitensor as tensor;
 pub use pcoll;
 pub use pcoll_comm as comm;
+pub use pcoll_obs as obs;
 pub use pcoll_sched as sched;
 pub use pcoll_tune as tune;
 

@@ -149,3 +149,44 @@ fn solo_conserves_deposits_in_virtual_time() {
         "too few deposits consumed ({fresh_total} of {deposits})"
     );
 }
+
+/// The flight recorder inherits the simulator's determinism: a traced
+/// run's Perfetto export is a pure function of `(spec, seed)` — two
+/// same-seed runs under the stateful WAN spec write *byte-identical*
+/// JSON — and the export passes the trace-event schema validator. A
+/// different seed must reach the recorded event stream.
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    use eager_sgd_repro::obs::{fnv1a, validate_perfetto, LEVEL_VERBOSE};
+
+    const P: usize = 16;
+    let traced = |seed: u64| {
+        let base = wan_spec(P, 8, seed, QuorumPolicy::Majority);
+        let mut h = SimHarness::new(SimSpec {
+            world: base.world.with_trace(LEVEL_VERBOSE, 1 << 14),
+            ..base
+        });
+        h.execute();
+        h.perfetto_json()
+    };
+
+    let a = traced(42);
+    let b = traced(42);
+    assert_eq!(
+        fnv1a(a.as_bytes()),
+        fnv1a(b.as_bytes()),
+        "same-seed trace digests diverged"
+    );
+    assert_eq!(a, b, "same seed must emit a byte-identical trace file");
+
+    let summary = validate_perfetto(&a).expect("trace must be schema-valid");
+    assert!(summary.entries > 0, "traced run produced no events");
+    assert!(
+        summary.ranks >= P,
+        "every rank must own a track ({} of {P})",
+        summary.ranks
+    );
+
+    let c = traced(43);
+    assert_ne!(a, c, "seed must influence the recorded event stream");
+}
