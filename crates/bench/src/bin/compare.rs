@@ -29,6 +29,19 @@
 //! otherwise own the mean (see [`Stat`]). Per-variant deltas are
 //! printed for the humans reading the log. Exit codes: 0 pass, 2
 //! regression, 1 usage/parse error.
+//!
+//! Two workflow flags:
+//!
+//! - `--write-summary` additionally renders each pair as a markdown
+//!   table and appends it to the file named by `$GITHUB_STEP_SUMMARY`
+//!   (the Actions job-summary page). Without that variable set the
+//!   markdown goes nowhere and the flag is a no-op — safe to pass
+//!   locally.
+//! - `--update-baselines` copies each pair's *current* artifact over its
+//!   *baseline* path after printing the deltas, and always exits 0 —
+//!   re-baselining after an intentional perf change is one documented
+//!   command (`compare --pair <base> <cur> ... --update-baselines`)
+//!   instead of hand-copied JSON.
 
 use repro_bench::report::{comment, row};
 use serde_json::Value;
@@ -173,9 +186,73 @@ fn gate(
         .collect())
 }
 
+/// Render one gated pair as a GitHub-flavored markdown section (the
+/// `--write-summary` payload appended to `$GITHUB_STEP_SUMMARY`).
+fn markdown_summary(
+    pair: &Pair,
+    baseline: &[VariantMetrics],
+    current: &[VariantMetrics],
+    verdicts: &[MetricVerdict],
+    max_regress: f64,
+) -> String {
+    let mut md = String::new();
+    md.push_str(&format!(
+        "### `{}` vs `{}`\n\n| variant | metric | baseline | current | delta |\n\
+         |---|---|---:|---:|---:|\n",
+        pair.current, pair.baseline
+    ));
+    for b in baseline {
+        if let Some(c) = current.iter().find(|c| c.label == b.label) {
+            for (i, metric) in pair.metrics.iter().enumerate() {
+                let delta = if b.values[i] > 0.0 {
+                    100.0 * (c.values[i] / b.values[i] - 1.0)
+                } else {
+                    0.0
+                };
+                md.push_str(&format!(
+                    "| {} | {} | {:.3} | {:.3} | {delta:+.1}% |\n",
+                    b.label, metric, b.values[i], c.values[i]
+                ));
+            }
+        }
+    }
+    md.push('\n');
+    for v in verdicts {
+        md.push_str(&format!(
+            "- {} **{}**: regression {:+.1}% (limit {:.0}%)\n",
+            if v.ok { "✅" } else { "❌" },
+            v.metric,
+            100.0 * v.regression,
+            100.0 * max_regress,
+        ));
+    }
+    md.push('\n');
+    md
+}
+
+/// Append `md` to the Actions job summary, if one is wired up. Outside
+/// Actions (`$GITHUB_STEP_SUMMARY` unset) this quietly does nothing.
+fn append_step_summary(md: &str) {
+    use std::io::Write;
+    let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") else {
+        return;
+    };
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut f) => {
+            let _ = f.write_all(md.as_bytes());
+        }
+        Err(e) => eprintln!("warning: cannot append to GITHUB_STEP_SUMMARY ({path}): {e}"),
+    }
+}
+
 /// Gate one artifact pair: print the per-variant table and the verdicts,
-/// return whether every metric passed.
-fn run_pair(pair: &Pair, global_max_regress: f64) -> Result<bool, String> {
+/// return whether every metric passed (plus the markdown rendering for
+/// `--write-summary`).
+fn run_pair(pair: &Pair, global_max_regress: f64) -> Result<(bool, String), String> {
     let max_regress = pair.max_regress.unwrap_or(global_max_regress);
     let baseline = load(&pair.baseline, &pair.metrics)?;
     let current = load(&pair.current, &pair.metrics)?;
@@ -228,7 +305,8 @@ fn run_pair(pair: &Pair, global_max_regress: f64) -> Result<bool, String> {
             100.0 * max_regress,
         );
     }
-    Ok(all_ok)
+    let md = markdown_summary(pair, &baseline, &current, &verdicts, max_regress);
+    Ok((all_ok, md))
 }
 
 fn usage(msg: &str) -> ! {
@@ -236,21 +314,37 @@ fn usage(msg: &str) -> ! {
     eprintln!(
         "usage: compare --pair <baseline.json> <current.json> \
          [--metrics a,b] [--pair-max-regress f] [--pair-stat mean|median] \
-         [--pair ...] [--max-regress 0.25]\n\
+         [--pair ...] [--max-regress 0.25] [--write-summary] \
+         [--update-baselines]\n\
          legacy: compare --baseline <BENCH.json> --current <BENCH.json>"
     );
     std::process::exit(1);
 }
 
-fn parse_args(argv: &[String]) -> (Vec<Pair>, f64) {
+/// Parsed command line: the pairs plus global options.
+#[derive(Debug)]
+struct Cli {
+    pairs: Vec<Pair>,
+    max_regress: f64,
+    /// Append per-pair markdown tables to `$GITHUB_STEP_SUMMARY`.
+    write_summary: bool,
+    /// Rewrite each baseline with the current artifact and exit 0.
+    update_baselines: bool,
+}
+
+fn parse_args(argv: &[String]) -> Cli {
     let default_metrics: Vec<String> = DEFAULT_METRICS.iter().map(|s| s.to_string()).collect();
     let mut pairs: Vec<Pair> = Vec::new();
     let mut legacy_baseline: Option<String> = None;
     let mut legacy_current: Option<String> = None;
     let mut max_regress = 0.25;
+    let mut write_summary = false;
+    let mut update_baselines = false;
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--write-summary" => write_summary = true,
+            "--update-baselines" => update_baselines = true,
             "--pair" => {
                 let baseline = argv
                     .get(i + 1)
@@ -353,15 +447,35 @@ fn parse_args(argv: &[String]) -> (Vec<Pair>, f64) {
     if pairs.is_empty() {
         usage("nothing to compare: give --pair (or --baseline/--current)");
     }
-    (pairs, max_regress)
+    Cli {
+        pairs,
+        max_regress,
+        write_summary,
+        update_baselines,
+    }
 }
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let (pairs, max_regress) = parse_args(&argv);
+    let cli = parse_args(&argv);
     let mut all_ok = true;
-    for pair in &pairs {
-        all_ok &= run_pair(pair, max_regress).unwrap_or_else(|e| usage(&e));
+    for pair in &cli.pairs {
+        let (ok, md) = run_pair(pair, cli.max_regress).unwrap_or_else(|e| usage(&e));
+        all_ok &= ok;
+        if cli.write_summary {
+            append_step_summary(&md);
+        }
+    }
+    if cli.update_baselines {
+        for pair in &cli.pairs {
+            match std::fs::copy(&pair.current, &pair.baseline) {
+                Ok(_) => println!("re-baselined {} <- {}", pair.baseline, pair.current),
+                Err(e) => usage(&format!("copy {} -> {}: {e}", pair.current, pair.baseline)),
+            }
+        }
+        // Re-baselining acknowledges the deltas by definition; the gate
+        // verdicts above are informational.
+        return;
     }
     if !all_ok {
         std::process::exit(2);
@@ -431,7 +545,7 @@ mod tests {
 
     #[test]
     fn parse_multi_pair_with_per_pair_options() {
-        let (pairs, max) = parse_args(&argv(&[
+        let cli = parse_args(&argv(&[
             "--pair",
             "base_a.json",
             "cur_a.json",
@@ -445,22 +559,61 @@ mod tests {
             "--max-regress",
             "0.2",
         ]));
-        assert_eq!(max, 0.2);
-        assert_eq!(pairs.len(), 2);
-        assert_eq!(pairs[0].metrics, metrics());
-        assert_eq!(pairs[0].max_regress, None);
-        assert_eq!(pairs[1].baseline, "base_b.json");
-        assert_eq!(pairs[1].metrics, vec!["msgs_per_s", "gib_per_s"]);
-        assert_eq!(pairs[1].max_regress, Some(0.5));
+        assert_eq!(cli.max_regress, 0.2);
+        assert_eq!(cli.pairs.len(), 2);
+        assert_eq!(cli.pairs[0].metrics, metrics());
+        assert_eq!(cli.pairs[0].max_regress, None);
+        assert_eq!(cli.pairs[1].baseline, "base_b.json");
+        assert_eq!(cli.pairs[1].metrics, vec!["msgs_per_s", "gib_per_s"]);
+        assert_eq!(cli.pairs[1].max_regress, Some(0.5));
+        assert!(!cli.write_summary);
+        assert!(!cli.update_baselines);
     }
 
     #[test]
     fn parse_legacy_single_pair() {
-        let (pairs, max) = parse_args(&argv(&["--baseline", "b.json", "--current", "c.json"]));
-        assert_eq!(max, 0.25);
-        assert_eq!(pairs.len(), 1);
-        assert_eq!(pairs[0].baseline, "b.json");
-        assert_eq!(pairs[0].current, "c.json");
-        assert_eq!(pairs[0].metrics, metrics());
+        let cli = parse_args(&argv(&["--baseline", "b.json", "--current", "c.json"]));
+        assert_eq!(cli.max_regress, 0.25);
+        assert_eq!(cli.pairs.len(), 1);
+        assert_eq!(cli.pairs[0].baseline, "b.json");
+        assert_eq!(cli.pairs[0].current, "c.json");
+        assert_eq!(cli.pairs[0].metrics, metrics());
+    }
+
+    #[test]
+    fn parse_workflow_flags_anywhere_on_the_line() {
+        let cli = parse_args(&argv(&[
+            "--write-summary",
+            "--pair",
+            "b.json",
+            "c.json",
+            "--update-baselines",
+        ]));
+        assert!(cli.write_summary);
+        assert!(cli.update_baselines);
+        assert_eq!(cli.pairs.len(), 1);
+    }
+
+    #[test]
+    fn markdown_summary_renders_table_and_verdicts() {
+        let pair = Pair {
+            baseline: "base.json".into(),
+            current: "cur.json".into(),
+            metrics: metrics(),
+            max_regress: None,
+            stat: Stat::Mean,
+        };
+        let base = vec![vm("a", 10.0, 5.0)];
+        let cur = vec![vm("a", 12.0, 4.0)];
+        let verdicts = gate(&base, &cur, &metrics(), 0.25, Stat::Mean).unwrap();
+        let md = markdown_summary(&pair, &base, &cur, &verdicts, 0.25);
+        assert!(md.contains("### `cur.json` vs `base.json`"));
+        assert!(md.contains("| a | utility | 10.000 | 12.000 | +20.0% |"));
+        assert!(md.contains("| a | rounds_per_s | 5.000 | 4.000 | -20.0% |"));
+        assert!(md.contains("✅ **utility**"));
+        assert!(
+            md.contains("✅ **rounds_per_s**"),
+            "20% under the 25% limit"
+        );
     }
 }

@@ -296,12 +296,16 @@ pub fn segmented_allreduce_schedule(
     let segment_elems = segment_elems.max(1);
     let segments = n_elems.div_ceil(segment_elems).max(1);
     let depth = pipeline_depth.max(1);
-    // Slot layout: 0 = contribution & result; per segment, p chunk
-    // accumulators plus (p−1) reduce-scatter and (p−1) allgather scratch
-    // slots for in-flight receives (distinct per step — an early arrival
-    // for step s+1 must not clobber step s's unconsumed payload).
+    // Slot layout: 0 = contribution (read-only — chunks are zero-copy
+    // views of it); per segment, p chunk accumulators plus (p−1)
+    // reduce-scatter and (p−1) allgather scratch slots for in-flight
+    // receives (distinct per step — an early arrival for step s+1 must
+    // not clobber step s's unconsumed payload); one final slot assembles
+    // the result (kept separate from slot 0 so assembly never
+    // copy-on-writes the still-viewed contribution).
     let per_seg_slots = 3 * p - 2;
-    b.slots(1 + segments * per_seg_slots);
+    let result = 1 + segments * per_seg_slots;
+    b.slots(result + 1);
 
     let n1 = activation_phase(&mut b, rank, levels, mode);
 
@@ -341,14 +345,15 @@ pub fn segmented_allreduce_schedule(
             n1
         };
 
-        // Chunk extraction: one owned copy per chunk decouples the ring's
-        // accumulators from slot 0, so reductions stay in place while
-        // sent clones are still in flight (O(1) payload allocations per
-        // segment — the copies sum to one segment).
-        let slice_copies: Vec<OpId> = (0..p)
+        // Chunk extraction: zero-copy views of slot 0. The first ring
+        // reduction into a viewed chunk materializes it with one fused
+        // `out = a ⊕ b` pass into a recycled buffer, so extraction
+        // itself moves no bytes and the contribution is never mutated
+        // (no whole-tensor copy-on-write, whatever is still in flight).
+        let slice_views: Vec<OpId> = (0..p)
             .map(|c| {
                 b.op(
-                    OpKind::SliceCopy {
+                    OpKind::SliceView {
                         src: CONTRIB_SLOT,
                         dst: chunk_slot(c),
                         start: chunk_lo(c),
@@ -366,7 +371,7 @@ pub fn segmented_allreduce_schedule(
         for s in 0..p - 1 {
             let send_chunk = (rank + p - s) % p;
             let recv_chunk = (rank + p - s - 1) % p;
-            let send_dep = prev_combine.unwrap_or(slice_copies[send_chunk]);
+            let send_dep = prev_combine.unwrap_or(slice_views[send_chunk]);
             let send = b.op(
                 OpKind::SendData {
                     peer: next,
@@ -389,7 +394,7 @@ pub fn segmented_allreduce_schedule(
                     src: rs_scratch(s),
                     dst: chunk_slot(recv_chunk),
                 },
-                vec![recv, send, slice_copies[recv_chunk]],
+                vec![recv, send, slice_views[recv_chunk]],
             ));
         }
         let reduced = prev_combine.expect("p > 1 has reduce-scatter steps");
@@ -397,12 +402,14 @@ pub fn segmented_allreduce_schedule(
         // Allgather ring: circulate the fully-reduced chunks, forwarding
         // each received payload zero-copy (a refcount bump in process, a
         // byte memcpy of the undecoded frame over TCP) and assembling
-        // the result into slot 0 in place.
+        // the result slot in place. Its buffer comes from the scratch
+        // pool *uninitialized* — sound because the CopyAt writes across
+        // all segments tile every element of the tensor.
         let own_chunk = (rank + 1) % p;
         let mut seg_finals = vec![b.op(
             OpKind::CopyAt {
                 src: chunk_slot(own_chunk),
-                dst: CONTRIB_SLOT,
+                dst: result,
                 dst_start: chunk_lo(own_chunk),
                 dst_len: n_elems,
             },
@@ -436,13 +443,13 @@ pub fn segmented_allreduce_schedule(
             seg_finals.push(b.op(
                 OpKind::CopyAt {
                     src: ag_scratch(s),
-                    dst: CONTRIB_SLOT,
+                    dst: result,
                     dst_start: chunk_lo(recv_chunk),
                     dst_len: n_elems,
                 },
-                // The slice-copy dep orders this write after the last
-                // local read of the same slot-0 range.
-                vec![recv, send, slice_copies[recv_chunk]],
+                // Assembly targets its own slot, so no ordering against
+                // reads of the (immutable) contribution is needed.
+                vec![recv, send],
             ));
             prev_recv = Some(recv);
         }
@@ -450,7 +457,7 @@ pub fn segmented_allreduce_schedule(
     }
 
     let done = b.op(OpKind::Nop, seg_dones);
-    b.completion(done).result_slot(CONTRIB_SLOT);
+    b.completion(done).result_slot(result);
     b.build()
 }
 

@@ -306,7 +306,12 @@ pub struct AllreduceOutcome {
 }
 
 struct SendBuf {
-    data: TypedBuf,
+    /// The pending contribution. Held as a [`Payload`] so an owned
+    /// deposit ([`PartialAllreduce::deposit_owned`]) moves straight in
+    /// and the engine's snapshot takes it back out without ever copying;
+    /// the by-ref deposit path writes through copy-on-write (in place in
+    /// the steady state, where this handle is the sole owner).
+    data: Payload,
     /// Whether `data` holds any deposit since the last snapshot. When
     /// false the buffer is *logically* G_null and its bytes may be stale
     /// garbage (snapshots hand buffers back dirty to skip a zeroing pass
@@ -391,18 +396,18 @@ impl CollectiveTemplate for PartialTemplate {
         }
     }
 
-    fn snapshot(&self, round: u64) -> Option<TypedBuf> {
+    fn snapshot(&self, round: u64) -> Option<Payload> {
         let mut send = self.shared.send.lock();
         if !send.filled {
             // Lazy G_null: the swapped-in buffer is dirty; its bytes are
             // only observable when contributed without a deposit, so the
             // zeroing pass runs exactly then.
-            send.data.clear();
+            send.data.to_mut().clear();
         }
-        let replacement = send
-            .spare
-            .take()
-            .unwrap_or_else(|| TypedBuf::zeros(self.shared.dtype, self.shared.len));
+        let replacement =
+            send.spare.take().map(Payload::new).unwrap_or_else(|| {
+                Payload::new(TypedBuf::zeros(self.shared.dtype, self.shared.len))
+            });
         let data = std::mem::replace(&mut send.data, replacement);
         let fresh = send.last_deposit_round == Some(round);
         send.filled = false;
@@ -551,7 +556,7 @@ impl PartialAllreduce {
             len,
             opts,
             send: Mutex::new(SendBuf {
-                data: TypedBuf::zeros(dtype, len),
+                data: Payload::new(TypedBuf::zeros(dtype, len)),
                 filled: false,
                 last_deposit_round: None,
                 spare: None,
@@ -673,11 +678,68 @@ impl PartialAllreduce {
             };
             if overwrite {
                 send.data
+                    .to_mut()
                     .copy_from_at(0, contrib, 0, contrib.len())
                     .expect("deposit shape checked above");
             } else {
                 send.data
+                    .to_mut()
                     .combine(contrib, ReduceOp::Sum)
+                    .expect("deposit shape checked above");
+            }
+            send.filled = true;
+            send.last_deposit_round = Some(round);
+        }
+        self.host.activate_round(self.coll, round);
+        round
+    }
+
+    /// [`PartialAllreduce::allreduce`] with an owned contribution: the
+    /// on-pace deposit is a move of the caller's buffer into the send
+    /// slot (plus a refcount bump at snapshot), not an element copy.
+    pub fn allreduce_owned(&mut self, contrib: Payload) -> AllreduceOutcome {
+        let round = self.deposit_owned(contrib);
+        self.wait_for(round)
+    }
+
+    /// The owned counterpart of [`PartialAllreduce::deposit`]: when
+    /// `contrib` is a uniquely-owned full-range typed payload — the
+    /// common case of a freshly computed gradient — the overwrite path
+    /// *moves* it into the send slot and recycles the displaced buffer
+    /// as the next snapshot's spare, so the deposit/snapshot cycle does
+    /// no element copies at all. A shared or view/wire payload falls
+    /// back to copying into the resident buffer (moving a still-aliased
+    /// payload in would let the caller's clone pin the snapshot buffer
+    /// and starve the engine's scratch pool). The accumulate path folds
+    /// with [`Payload::reduce_assign`].
+    pub fn deposit_owned(&mut self, contrib: Payload) -> u64 {
+        assert_eq!(contrib.dtype(), self.shared.dtype, "contribution dtype");
+        assert_eq!(contrib.len(), self.shared.len, "contribution length");
+        let round = self.next_round;
+        self.next_round += 1;
+
+        {
+            let mut send = self.shared.send.lock();
+            let overwrite = match self.shared.opts.stale_mode {
+                StaleMode::Accumulate => !send.filled,
+                StaleMode::Replace => true,
+            };
+            if overwrite {
+                if contrib.ref_count() == 1 && !contrib.is_view() && !contrib.is_wire() {
+                    let old = std::mem::replace(&mut send.data, contrib);
+                    if send.spare.is_none() {
+                        if let Ok(buf) = old.try_into_buf() {
+                            send.spare = Some(buf);
+                        }
+                    }
+                } else {
+                    contrib
+                        .copy_into_at(send.data.to_mut(), 0)
+                        .expect("deposit shape checked above");
+                }
+            } else {
+                send.data
+                    .reduce_assign(&contrib, ReduceOp::Sum)
                     .expect("deposit shape checked above");
             }
             send.filled = true;

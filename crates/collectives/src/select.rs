@@ -76,14 +76,19 @@ pub struct AlgoSelector {
     pub pipeline_depth: usize,
 }
 
-/// Measured on the `coll_micro` sweep (P=8, in-process): recursive
-/// doubling wins up to the tens of KiB, the segmented ring wins from
-/// ~128 KiB up, with the gap widening to >3x at 8 MiB.
+/// Measured on the `coll_micro` sweep (P=8, in-process), re-checked
+/// after the allocation diet: recursive doubling wins up to 64 KiB, the
+/// two tie near 256 KiB, and the segmented ring wins from there up
+/// (~1.5x at 8 MiB — the diet sped whole-tensor doubling up ~2x, so the
+/// crossover held but the large-end gap compressed from >3x). On TCP the
+/// ring wins from 64 KiB, so the shared threshold leans low.
 pub const DEFAULT_RING_THRESHOLD_BYTES: usize = 128 * 1024;
-/// Default segment size, measured on the `coll_micro` sweep: large
-/// enough that per-message engine overhead stays negligible, small
-/// enough that a multi-MiB tensor still pipelines a few segments deep.
-pub const DEFAULT_SEGMENT_BYTES: usize = 2 * 1024 * 1024;
+/// Default segment size, re-measured on the `coll_micro` sweep after the
+/// zero-copy chunk extraction and pooled assembly landed (larger
+/// segments amortize per-message engine overhead better now that chunk
+/// extraction moves no bytes): 4 MiB beats 2 MiB by ~5–10% at 8 MiB
+/// tensors while multi-MiB tensors still pipeline.
+pub const DEFAULT_SEGMENT_BYTES: usize = 4 * 1024 * 1024;
 /// Default pipeline window (segments in flight).
 pub const DEFAULT_PIPELINE_DEPTH: usize = 4;
 

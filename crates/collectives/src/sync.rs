@@ -10,7 +10,7 @@
 
 use crate::builders::{barrier_schedule, bcast_schedule, reduce_schedule, sync_allreduce_schedule};
 use parking_lot::{Condvar, Mutex};
-use pcoll_comm::{CollId, DType, Rank, ReduceOp, TypedBuf};
+use pcoll_comm::{CollId, DType, Payload, Rank, ReduceOp, TypedBuf};
 use pcoll_sched::{CollectiveTemplate, Engine, Schedule, SnapshotTiming};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -90,8 +90,9 @@ impl<F: Fn(u64) -> Schedule + Send> CollectiveTemplate for SyncTemplate<F> {
         (self.build)(round)
     }
 
-    fn snapshot(&self, round: u64) -> Option<TypedBuf> {
-        self.contributes.then(|| self.shared.take_deposit(round))
+    fn snapshot(&self, round: u64) -> Option<Payload> {
+        self.contributes
+            .then(|| Payload::new(self.shared.take_deposit(round)))
     }
 
     fn snapshot_timing(&self, _round: u64) -> SnapshotTiming {

@@ -132,6 +132,36 @@ macro_rules! elementwise {
     }};
 }
 
+/// Fused `out[i] = a[i] ⊕ b[i]` with the exact operand order of
+/// [`elementwise!`] (`a` plays the accumulator role), so a fused pass is
+/// bit-identical to materialize-then-fold even for `Min`/`Max` over NaNs.
+macro_rules! fused_elementwise {
+    ($out:expr, $a:expr, $b:expr, $op:expr) => {{
+        match $op {
+            ReduceOp::Sum => {
+                for (o, (x, y)) in $out.iter_mut().zip($a.iter().zip($b.iter())) {
+                    *o = *x + *y;
+                }
+            }
+            ReduceOp::Prod => {
+                for (o, (x, y)) in $out.iter_mut().zip($a.iter().zip($b.iter())) {
+                    *o = *x * *y;
+                }
+            }
+            ReduceOp::Min => {
+                for (o, (x, y)) in $out.iter_mut().zip($a.iter().zip($b.iter())) {
+                    *o = if *y < *x { *y } else { *x };
+                }
+            }
+            ReduceOp::Max => {
+                for (o, (x, y)) in $out.iter_mut().zip($a.iter().zip($b.iter())) {
+                    *o = if *y > *x { *y } else { *x };
+                }
+            }
+        }
+    }};
+}
+
 impl TypedBuf {
     /// An all-zeros buffer of the given dtype and length — the "null
     /// gradient" (G_null) absent ranks contribute in a partial collective.
@@ -399,6 +429,134 @@ impl TypedBuf {
             (TypedBuf::I64(d), TypedBuf::I64(s)) => {
                 elementwise!(d, s[src_start..src_start + len], op)
             }
+            _ => unreachable!("dtype equality checked above"),
+        }
+        Ok(())
+    }
+
+    /// Fused single-pass `self[i] = a[a_start + i] ⊕ b[b_start + i]` over
+    /// all of `self`, fully overwriting any previous contents (so a dirty
+    /// recycled buffer is a valid destination). This is the one-pass
+    /// combine `Payload::reduce_assign` uses when the destination is
+    /// shared: instead of materializing a private copy of `a` and then
+    /// folding `b` into it (two passes, one allocation touched twice), the
+    /// fold happens while writing the output. Operand order matches
+    /// [`TypedBuf::combine`] (`a` is the accumulator side), so results are
+    /// bit-identical to the two-pass fold.
+    pub fn fill_combine(
+        &mut self,
+        a: &TypedBuf,
+        a_start: usize,
+        b: &TypedBuf,
+        b_start: usize,
+        op: ReduceOp,
+    ) -> Result<(), BufError> {
+        if self.dtype() != a.dtype() {
+            return Err(BufError::DTypeMismatch {
+                expected: self.dtype(),
+                got: a.dtype(),
+            });
+        }
+        if self.dtype() != b.dtype() {
+            return Err(BufError::DTypeMismatch {
+                expected: self.dtype(),
+                got: b.dtype(),
+            });
+        }
+        let len = self.len();
+        if a_start + len > a.len() {
+            return Err(BufError::LenMismatch {
+                expected: a.len(),
+                got: a_start + len,
+            });
+        }
+        if b_start + len > b.len() {
+            return Err(BufError::LenMismatch {
+                expected: b.len(),
+                got: b_start + len,
+            });
+        }
+        match (self, a, b) {
+            (TypedBuf::F32(o), TypedBuf::F32(x), TypedBuf::F32(y)) => {
+                fused_elementwise!(o, x[a_start..a_start + len], y[b_start..b_start + len], op)
+            }
+            (TypedBuf::F64(o), TypedBuf::F64(x), TypedBuf::F64(y)) => {
+                fused_elementwise!(o, x[a_start..a_start + len], y[b_start..b_start + len], op)
+            }
+            (TypedBuf::I32(o), TypedBuf::I32(x), TypedBuf::I32(y)) => {
+                fused_elementwise!(o, x[a_start..a_start + len], y[b_start..b_start + len], op)
+            }
+            (TypedBuf::I64(o), TypedBuf::I64(x), TypedBuf::I64(y)) => {
+                fused_elementwise!(o, x[a_start..a_start + len], y[b_start..b_start + len], op)
+            }
+            _ => unreachable!("dtype equality checked above"),
+        }
+        Ok(())
+    }
+
+    /// Wire-source form of [`TypedBuf::fill_combine`]: single-pass
+    /// `self[i] = a[a_start + i] ⊕ decode(bytes)[i]`, decoding the
+    /// little-endian frame while folding — no intermediate buffer, same
+    /// semantics as [`TypedBuf::combine_le_bytes_at`] (the decoded side is
+    /// the incoming operand).
+    pub fn fill_combine_le_bytes(
+        &mut self,
+        a: &TypedBuf,
+        a_start: usize,
+        bytes: &[u8],
+        op: ReduceOp,
+    ) -> Result<(), BufError> {
+        if self.dtype() != a.dtype() {
+            return Err(BufError::DTypeMismatch {
+                expected: self.dtype(),
+                got: a.dtype(),
+            });
+        }
+        let len = self.len();
+        let esz = self.dtype().size_of();
+        if bytes.len() != len * esz {
+            return Err(BufError::LenMismatch {
+                expected: len,
+                got: bytes.len() / esz,
+            });
+        }
+        if a_start + len > a.len() {
+            return Err(BufError::LenMismatch {
+                expected: a.len(),
+                got: a_start + len,
+            });
+        }
+        macro_rules! fused_chunks {
+            ($out:expr, $a:expr, $ty:ty, $n:literal) => {{
+                let acc = &$a[a_start..a_start + len];
+                let src = bytes
+                    .chunks_exact($n)
+                    .map(|c| <$ty>::from_le_bytes(c.try_into().expect("exact chunk")));
+                match op {
+                    ReduceOp::Sum => $out
+                        .iter_mut()
+                        .zip(acc.iter().zip(src))
+                        .for_each(|(o, (x, y))| *o = *x + y),
+                    ReduceOp::Prod => $out
+                        .iter_mut()
+                        .zip(acc.iter().zip(src))
+                        .for_each(|(o, (x, y))| *o = *x * y),
+                    ReduceOp::Min => $out
+                        .iter_mut()
+                        .zip(acc.iter().zip(src))
+                        .for_each(|(o, (x, y))| *o = if y < *x { y } else { *x }),
+                    ReduceOp::Max => $out
+                        .iter_mut()
+                        .zip(acc.iter().zip(src))
+                        .for_each(|(o, (x, y))| *o = if y > *x { y } else { *x }),
+                }
+            }};
+        }
+        match (self, a) {
+            (TypedBuf::F32(o), TypedBuf::F32(x)) => fused_chunks!(o, x, f32, 4),
+            (TypedBuf::F64(o), TypedBuf::F64(x)) => fused_chunks!(o, x, f64, 8),
+            (TypedBuf::I32(o), TypedBuf::I32(x)) => fused_chunks!(o, x, i32, 4),
+            (TypedBuf::I64(o), TypedBuf::I64(x)) => fused_chunks!(o, x, i64, 8),
             _ => unreachable!("dtype equality checked above"),
         }
         Ok(())

@@ -195,6 +195,23 @@ impl Payload {
         }
     }
 
+    /// True if every element in this payload's range is exactly zero (a
+    /// null contribution). Zero-copy for typed payloads; wire payloads
+    /// decode first so float edge cases (`-0.0`) agree with
+    /// [`TypedBuf::is_null`] on the decoded values.
+    pub fn is_null(&self) -> bool {
+        match &self.repr {
+            Repr::Typed(_) => self
+                .as_f32()
+                .map(|v| v.iter().all(|x| *x == 0.0))
+                .or_else(|| self.as_f64().map(|v| v.iter().all(|x| *x == 0.0)))
+                .or_else(|| self.as_i32().map(|v| v.iter().all(|x| *x == 0)))
+                .or_else(|| self.as_i64().map(|v| v.iter().all(|x| *x == 0)))
+                .expect("typed payload matches one dtype"),
+            Repr::Wire { .. } => self.to_buf().is_null(),
+        }
+    }
+
     /// This payload's range of the wire bytes, when wire-borne.
     fn wire_range(&self) -> Option<(DType, &[u8])> {
         match &self.repr {
@@ -233,12 +250,35 @@ impl Payload {
         }
     }
 
-    /// Materialize as an owned, full-range payload (used by the
-    /// segmented schedule's `SliceCopy`: one chunk-sized copy that
-    /// decouples the chunk from the contribution buffer so later
-    /// reductions stay in place).
+    /// Materialize as an owned, full-range payload: one range-sized copy
+    /// that decouples the range from the backing allocation.
     pub fn owned_range(&self, start: usize, len: usize) -> Payload {
         Payload::new(self.view(start, len).to_buf())
+    }
+
+    /// Recover the owned buffer without ever copying: `Ok` exactly when
+    /// this handle is the last owner of a full-range typed payload,
+    /// `Err(self)` (unchanged) otherwise. This is how the engine harvests
+    /// a completed instance's buffers into its recycle pool — a buffer
+    /// still shared with an in-flight send or a peer simply fails the
+    /// unwrap and is retried or dropped.
+    pub fn try_into_buf(self) -> Result<TypedBuf, Payload> {
+        if self.is_view() {
+            return Err(self);
+        }
+        let Payload { repr, start, len } = self;
+        match repr {
+            Repr::Typed(arc) => Arc::try_unwrap(arc).map_err(|arc| Payload {
+                repr: Repr::Typed(arc),
+                start,
+                len,
+            }),
+            wire @ Repr::Wire { .. } => Err(Payload {
+                repr: wire,
+                start,
+                len,
+            }),
+        }
     }
 
     /// Make `self` a uniquely-owned full-range typed payload and return
@@ -259,11 +299,31 @@ impl Payload {
         }
     }
 
-    /// Elementwise `self = self ⊕ src` under `op`. The destination
-    /// mutates copy-on-write ([`Payload::to_mut`] semantics); a wire-borne
-    /// source folds in via [`TypedBuf::combine_le_bytes`] — reduce
-    /// straight from the frame bytes, no intermediate buffer.
+    /// Elementwise `self = self ⊕ src` under `op`.
+    ///
+    /// A uniquely-owned full-range typed destination (the steady-state
+    /// reduction accumulator) mutates in place. A shared, viewed, or
+    /// wire-borne *source* folds in without materializing. When the
+    /// destination itself needs copy-on-write (it was cloned onto the
+    /// wire and a sharer is still in flight), the old materialize-then-
+    /// fold is fused into one `out[i] = dst[i] ⊕ src[i]` pass
+    /// ([`TypedBuf::fill_combine`]) — same bits, half the memory traffic.
     pub fn reduce_assign(&mut self, src: &Payload, op: ReduceOp) -> Result<(), BufError> {
+        self.reduce_assign_pooled(src, op, &mut Vec::new())
+    }
+
+    /// [`Payload::reduce_assign`] drawing any copy-on-write destination
+    /// buffer from a recycle pool: when the fused path needs a fresh
+    /// output buffer, a shape-matching pool entry is popped and fully
+    /// overwritten instead of allocating. With a balanced pool (the
+    /// engine harvests completed instances back into it) the steady-state
+    /// combine allocates nothing.
+    pub fn reduce_assign_pooled(
+        &mut self,
+        src: &Payload,
+        op: ReduceOp,
+        pool: &mut Vec<TypedBuf>,
+    ) -> Result<(), BufError> {
         if self.dtype() != src.dtype() {
             return Err(BufError::DTypeMismatch {
                 expected: self.dtype(),
@@ -276,12 +336,49 @@ impl Payload {
                 got: src.len,
             });
         }
-        let dst = self.to_mut();
-        match &src.repr {
-            Repr::Typed(b) => dst.combine_offset(b, src.start, op),
+        let in_place = !self.is_view()
+            && matches!(&self.repr, Repr::Typed(arc) if Arc::strong_count(arc) == 1);
+        if in_place {
+            let Repr::Typed(arc) = &mut self.repr else {
+                unreachable!("checked typed above");
+            };
+            let dst = Arc::get_mut(arc).expect("uniquely owned");
+            return match &src.repr {
+                Repr::Typed(b) => dst.combine_offset(b, src.start, op),
+                Repr::Wire { .. } => {
+                    let (_, raw) = src.wire_range().expect("wire repr");
+                    dst.combine_le_bytes(raw, op)
+                }
+            };
+        }
+        match &self.repr {
+            // Shared or viewed typed destination: fused single pass into a
+            // recycled (or zero-page-fresh) buffer. The old allocation is
+            // released to its remaining sharers untouched.
+            Repr::Typed(a) => {
+                let mut out = take_matching(pool, self.dtype(), self.len)
+                    .unwrap_or_else(|| TypedBuf::zeros(self.dtype(), self.len));
+                match &src.repr {
+                    Repr::Typed(b) => out.fill_combine(a, self.start, b, src.start, op)?,
+                    Repr::Wire { .. } => {
+                        let (_, raw) = src.wire_range().expect("wire repr");
+                        out.fill_combine_le_bytes(a, self.start, raw, op)?
+                    }
+                }
+                *self = Payload::new(out);
+                Ok(())
+            }
+            // Wire-borne destination (an accumulator never starts life on
+            // the wire in any schedule we build): decode, then fold.
             Repr::Wire { .. } => {
-                let (_, raw) = src.wire_range().expect("wire repr");
-                dst.combine_le_bytes(raw, op)
+                let dst = self.to_mut();
+                match &src.repr {
+                    Repr::Typed(b) => dst.combine_offset(b, src.start, op),
+                    Repr::Wire { .. } => {
+                        let (_, raw) = src.wire_range().expect("wire repr");
+                        dst.combine_le_bytes(raw, op)
+                    }
+                }
             }
         }
     }
@@ -388,6 +485,14 @@ impl Payload {
             _ => false,
         }
     }
+}
+
+/// Pop a buffer with exactly matching shape from a recycle pool.
+fn take_matching(pool: &mut Vec<TypedBuf>, dtype: DType, len: usize) -> Option<TypedBuf> {
+    let i = pool
+        .iter()
+        .position(|b| b.dtype() == dtype && b.len() == len)?;
+    Some(pool.swap_remove(i))
 }
 
 impl PartialEq for Payload {

@@ -1,0 +1,185 @@
+//! Property tests for the fused `Payload::reduce_assign` copy-on-write
+//! path: when the destination is still aliased (cloned onto the wire) or
+//! a view, the old implementation materialized the range (pass 1) and
+//! then folded the source in (pass 2); the fused path writes
+//! `out[i] = dst[i] ⊕ src[i]` in a single pass, optionally into a dirty
+//! recycled buffer. These tests pin the contract that fusion changed
+//! *only* the traffic, never the bits: across every dtype, every reduce
+//! op, aliased/viewed/unique destinations and typed/viewed/wire sources,
+//! the result is byte-identical to materialize-then-fold, surviving
+//! sharers are untouched, and a recycled pool buffer's stale contents
+//! never leak through.
+//!
+//! Buffers are built from raw bit patterns so denormals, negative zero,
+//! and NaN payloads are exercised (Min/Max NaN propagation must agree
+//! between the fused and two-pass kernels); equality is asserted on
+//! re-encoded bytes because NaN != NaN would foil value comparison.
+
+use pcoll_comm::{DType, Payload, ReduceOp, TypedBuf};
+use proptest::prelude::*;
+
+const DTYPES: [DType; 4] = [DType::F32, DType::F64, DType::I32, DType::I64];
+const OPS: [ReduceOp; 4] = [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Min, ReduceOp::Max];
+
+/// Build a buffer of `dtype` from raw 64-bit patterns (truncated to the
+/// element width), so every representable bit pattern can appear.
+fn buf_from_bits(dtype: DType, bits: &[u64]) -> TypedBuf {
+    match dtype {
+        DType::F32 => TypedBuf::from(
+            bits.iter()
+                .map(|&b| f32::from_bits(b as u32))
+                .collect::<Vec<_>>(),
+        ),
+        DType::F64 => TypedBuf::from(bits.iter().map(|&b| f64::from_bits(b)).collect::<Vec<_>>()),
+        DType::I32 => TypedBuf::from(bits.iter().map(|&b| b as i32).collect::<Vec<_>>()),
+        DType::I64 => TypedBuf::from(bits.iter().map(|&b| b as i64).collect::<Vec<_>>()),
+    }
+}
+
+fn bytes_of(buf: &TypedBuf) -> Vec<u8> {
+    let mut w = Vec::new();
+    buf.extend_le_bytes(&mut w);
+    w
+}
+
+/// How the destination payload is shaped before the reduce.
+#[derive(Debug, Clone, Copy)]
+enum DstForm {
+    /// Uniquely owned, full range: the in-place fast path.
+    Unique,
+    /// A clone is retained (an in-flight send): copy-on-write, fused.
+    Aliased,
+    /// A view into a padded parent buffer (a segmented-ring chunk), the
+    /// parent handle retained — shared *and* viewed.
+    View,
+    /// A view whose parent handle was dropped: refcount 1, so fusion
+    /// triggers on `is_view` alone.
+    UniqueView,
+    /// Wire-borne destination: the decode-then-fold fallback.
+    Wire,
+}
+
+/// How the source payload is shaped.
+#[derive(Debug, Clone, Copy)]
+enum SrcForm {
+    Typed,
+    /// A range view into a padded parent (only the range must fold in).
+    View,
+    /// Wire bytes, as delivered by the TCP receive path.
+    Wire,
+}
+
+const DST_FORMS: [DstForm; 5] = [
+    DstForm::Unique,
+    DstForm::Aliased,
+    DstForm::View,
+    DstForm::UniqueView,
+    DstForm::Wire,
+];
+const SRC_FORMS: [SrcForm; 3] = [SrcForm::Typed, SrcForm::View, SrcForm::Wire];
+
+/// Pad `bits` with `pad` sentinel elements on both sides and return a
+/// view payload covering just the middle — plus the parent payload and
+/// its bytes, so the test can assert the whole backing allocation
+/// (padding *and* viewed range) survives the reduce untouched.
+fn view_payload(dtype: DType, bits: &[u64], pad: usize) -> (Payload, Payload, Vec<u8>) {
+    let mut padded: Vec<u64> = vec![0xDEAD_BEEF_u64; pad];
+    padded.extend_from_slice(bits);
+    padded.extend(std::iter::repeat_n(0xDEAD_BEEF_u64, pad));
+    let parent = Payload::new(buf_from_bits(dtype, &padded));
+    let parent_bytes = bytes_of(&parent.to_buf());
+    let view = parent.view(pad, bits.len());
+    (view, parent, parent_bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn fused_reduce_assign_matches_materialize_then_fold(
+        shape in (0usize..4, 0usize..4, 0usize..DST_FORMS.len(), 0usize..SRC_FORMS.len()),
+        seed_pool in any::<bool>(),
+        pad in 1usize..4,
+        pairs in collection::vec((any::<u64>(), any::<u64>()), 1..33),
+    ) {
+        let (dt, opi, dst_form, src_form) = shape;
+        let dtype = DTYPES[dt];
+        let op = OPS[opi];
+        // Integer Sum/Prod at full bit generality overflow-panics in
+        // debug builds; clamp those to a small range, keep floats (and
+        // integer Min/Max) fully general.
+        let clamp = matches!(dtype, DType::I32 | DType::I64)
+            && matches!(op, ReduceOp::Sum | ReduceOp::Prod);
+        let (dbits, sbits): (Vec<u64>, Vec<u64>) = if clamp {
+            pairs.iter().map(|&(a, b)| (a % 1000, b % 1000)).unzip()
+        } else {
+            pairs.iter().cloned().unzip()
+        };
+
+        // Destination, plus whatever sharer/parent must stay untouched.
+        let (mut dst, frozen): (Payload, Option<(Payload, Vec<u8>)>) =
+            match DST_FORMS[dst_form] {
+                DstForm::Unique => (Payload::new(buf_from_bits(dtype, &dbits)), None),
+                DstForm::Aliased => {
+                    let p = Payload::new(buf_from_bits(dtype, &dbits));
+                    let sharer = p.clone();
+                    let bytes = bytes_of(&sharer.to_buf());
+                    (p, Some((sharer, bytes)))
+                }
+                DstForm::View => {
+                    // The full-range parent is the retained sharer.
+                    let (v, parent, parent_bytes) = view_payload(dtype, &dbits, pad);
+                    (v, Some((parent, parent_bytes)))
+                }
+                DstForm::UniqueView => {
+                    // Drop the parent handle: the view is the allocation's
+                    // only owner, yet must still take the fused path.
+                    let (v, parent, _) = view_payload(dtype, &dbits, pad);
+                    drop(parent);
+                    (v, None)
+                }
+                DstForm::Wire => {
+                    let p = Payload::new(buf_from_bits(dtype, &dbits));
+                    let mut raw = Vec::new();
+                    p.extend_wire_bytes(&mut raw);
+                    (Payload::from_wire(dtype, raw).expect("whole elements"), None)
+                }
+            };
+
+        // Source.
+        let src: Payload = match SRC_FORMS[src_form] {
+            SrcForm::Typed => Payload::new(buf_from_bits(dtype, &sbits)),
+            SrcForm::View => view_payload(dtype, &sbits, pad).0,
+            SrcForm::Wire => {
+                let v = view_payload(dtype, &sbits, pad).0;
+                let mut raw = Vec::new();
+                v.extend_wire_bytes(&mut raw);
+                Payload::from_wire(dtype, raw).expect("whole elements")
+            }
+        };
+
+        // Reference: the old two passes — materialize the destination
+        // range, then fold the materialized source in.
+        let mut reference = dst.to_buf();
+        reference.combine(&src.to_buf(), op).expect("shapes match");
+        let expect = bytes_of(&reference);
+
+        // A dirty pool buffer must be fully overwritten, never shine
+        // through; a drained pool run proves the zero-fresh path too.
+        let mut pool: Vec<TypedBuf> = if seed_pool {
+            vec![buf_from_bits(dtype, &vec![0x5A5A_5A5A_5A5A_5A5Au64; dbits.len()])]
+        } else {
+            Vec::new()
+        };
+
+        dst.reduce_assign_pooled(&src, op, &mut pool).expect("shapes match");
+        prop_assert_eq!(bytes_of(&dst.to_buf()), expect, "fused result differs from two-pass fold");
+
+        if let Some((sharer, before)) = frozen {
+            prop_assert_eq!(
+                bytes_of(&sharer.to_buf()), before.clone(),
+                "surviving sharer was mutated"
+            );
+        }
+    }
+}

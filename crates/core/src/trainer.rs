@@ -32,7 +32,7 @@ use pcoll::{
     AlgoSelector, PartialAllreduce, PartialOpts, QuorumPolicy, RankCtx, RoundObserver, StaleMode,
     SyncAllreduce,
 };
-use pcoll_comm::{DType, ReduceOp, TypedBuf};
+use pcoll_comm::{DType, Payload, ReduceOp, TypedBuf};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -288,11 +288,13 @@ impl GradReducer {
     /// Reduce `grads` in place semantics: returns the averaged gradient.
     fn allreduce(&mut self, grads: &[f32]) -> TypedBuf {
         match self {
-            // `into_buf` copies only while the latest-wins receive buffer
-            // still aliases the result — the price the old by-value
-            // outcome paid unconditionally.
+            // The owned deposit moves the freshly built gradient buffer
+            // into the send slot (no element copy); `into_buf` copies
+            // only while the latest-wins receive buffer still aliases
+            // the result — the price the old by-value outcome paid
+            // unconditionally.
             GradReducer::Partial(ar) => ar
-                .allreduce(&TypedBuf::from(grads.to_vec()))
+                .allreduce_owned(Payload::new(TypedBuf::from(grads.to_vec())))
                 .data
                 .into_buf(),
             GradReducer::Sync(ar) => ar.allreduce(&TypedBuf::from(grads.to_vec())),

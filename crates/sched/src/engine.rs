@@ -17,10 +17,19 @@
 //! 4. on completion, hands the result to the template (`complete`), which
 //!    typically overwrites a latest-wins receive buffer.
 //!
-//! Completed instances are garbage-collected a few rounds behind the
-//! newest completion; messages addressed below the GC floor are dropped
-//! (they can only be duplicate activations or stragglers of rounds whose
-//! result has long been superseded).
+//! A completed instance is dropped **at completion** — all of its ops have
+//! fired, so it can never forward anything again; retaining its buffers
+//! would only pin tensors. What survives is a lightweight completion
+//! record (just the round number, kept for a `GC_LAG` window) so a late
+//! straggler message for a dropped round is counted and ignored exactly
+//! once instead of resurrecting the instance — a resurrection would steal
+//! the *next* round's deposit as this round's contribution. The dropped
+//! instance's uniquely-owned buffers are harvested into a per-collective
+//! scratch pool that feeds the copy-on-write combines of later rounds, so
+//! the steady state pins one round of tensors and allocates none.
+//! Messages addressed below the GC floor are dropped (they can only be
+//! duplicate activations or stragglers of rounds whose result has long
+//! been superseded).
 //!
 //! The progress logic itself is transport-agnostic and lives in
 //! [`EngineCore`], a plain single-threaded state machine. [`Engine`] wraps
@@ -36,19 +45,30 @@ use crate::dag::DagState;
 use crate::op::{OpId, OpKind, Schedule, CONTRIB_SLOT};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use pcoll_comm::{
-    Clock, CollId, CommHandle, CommStats, Envelope, Inbox, Message, Payload, Rank, TimePoint,
-    TypedBuf, WireTag,
+    Clock, CollId, CommHandle, CommStats, DType, Envelope, Inbox, Message, Payload, Rank,
+    TimePoint, TypedBuf, WireTag,
 };
 use pcoll_obs::{EventKind as Ev, MetricsRegistry, LEVEL_SPANS, LEVEL_VERBOSE};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// How many rounds behind the latest completion an instance is retained
-/// before garbage collection. Retention lets late activation messages
-/// still propagate through this rank (keeping the activation tree fast)
-/// instead of being dropped the instant the local result is known.
+/// How many rounds behind the latest completion a round's *completion
+/// record* is retained. Completed instances themselves are dropped at
+/// completion (their ops have all fired; they forward nothing); the
+/// record is what lets a late straggler message for such a round be
+/// recognized and dropped instead of force-joining a ghost instance.
 const GC_LAG: u64 = 8;
+
+/// Upper bound on buffers parked in a collective's scratch pool. Sized
+/// for the deepest in-flight working set we build (a segmented ring at
+/// full pipeline depth cycles ~`3p` chunk buffers); beyond this, excess
+/// harvests are simply freed.
+const SCRATCH_CAP: usize = 128;
+
+/// Upper bound on still-shared payloads parked for one more round before
+/// harvesting (see `harvest_instance`).
+const LIMBO_CAP: usize = 32;
 
 /// Per-round completion statistics handed to
 /// [`CollectiveTemplate::on_round_stats`]: the engine-side half of the
@@ -93,7 +113,12 @@ pub trait CollectiveTemplate: Send {
     /// Capture this rank's contribution for `round`. For partial
     /// collectives this takes whatever the send buffer holds *right now* —
     /// fresh, stale, or null. `None` for data-free collectives (barriers).
-    fn snapshot(&self, round: u64) -> Option<TypedBuf>;
+    ///
+    /// Returns a [`Payload`] so an owned deposit flows through as a move
+    /// (or a refcount bump when the application keeps a handle) — the
+    /// engine never copies the contribution on the way in; its
+    /// copy-on-write combines handle any remaining sharing.
+    fn snapshot(&self, round: u64) -> Option<Payload>;
 
     /// When [`CollectiveTemplate::snapshot`] is called (default: creation).
     /// May vary per round — e.g. a quorum-chain collective snapshots at
@@ -126,6 +151,10 @@ pub struct EngineStats {
     pub completions: AtomicU64,
     /// Messages dropped because their round was below the GC floor.
     pub dropped_gc: AtomicU64,
+    /// Messages for a round that already completed on this rank (its
+    /// instance was dropped at completion); each is counted and ignored
+    /// exactly once — never resurrects the instance.
+    pub dropped_late: AtomicU64,
     /// Duplicate messages absorbed by consumable receives.
     pub dropped_dup: AtomicU64,
     /// Messages with no matching receive op in the schedule.
@@ -140,12 +169,13 @@ impl EngineStats {
     }
 
     /// Snapshot all counters (test convenience).
-    pub fn snapshot(&self) -> [u64; 7] {
+    pub fn snapshot(&self) -> [u64; 8] {
         [
             self.internal_activations.load(Ordering::Relaxed),
             self.external_activations.load(Ordering::Relaxed),
             self.completions.load(Ordering::Relaxed),
             self.dropped_gc.load(Ordering::Relaxed),
+            self.dropped_late.load(Ordering::Relaxed),
             self.dropped_dup.load(Ordering::Relaxed),
             self.dropped_unmatched.load(Ordering::Relaxed),
             self.pre_registered.load(Ordering::Relaxed),
@@ -155,12 +185,13 @@ impl EngineStats {
     /// Export every counter into `reg` under `{prefix}_{counter}_total`,
     /// the engine's contribution to the unified metrics exposition.
     pub fn export_metrics(&self, reg: &MetricsRegistry, prefix: &str) {
-        let [internal, external, completions, gc, dup, unmatched, pre] = self.snapshot();
+        let [internal, external, completions, gc, late, dup, unmatched, pre] = self.snapshot();
         for (name, v) in [
             ("internal_activations", internal),
             ("external_activations", external),
             ("completions", completions),
             ("dropped_gc", gc),
+            ("dropped_late", late),
             ("dropped_dup", dup),
             ("dropped_unmatched", unmatched),
             ("pre_registered", pre),
@@ -325,7 +356,6 @@ struct Instance {
     recv_route: HashMap<(Rank, u32), OpId>,
     /// Payloads that arrived but whose receive op has not fired yet.
     pending_payloads: HashMap<OpId, Option<Payload>>,
-    completed: bool,
     /// Whether the contribution snapshot has been taken (see
     /// [`SnapshotTiming`]).
     snapshotted: bool,
@@ -338,7 +368,22 @@ struct Instance {
 
 struct CollState {
     template: Box<dyn CollectiveTemplate>,
+    /// In-flight instances only: an instance is removed the moment it
+    /// completes (all ops fired — it can never forward anything again).
     instances: HashMap<u64, Instance>,
+    /// Lightweight completion records for the `GC_LAG` window: rounds
+    /// whose instance was dropped at completion. Late straggler messages
+    /// for these are counted (`dropped_late`) and ignored — never allowed
+    /// to resurrect an instance (which would consume a fresh deposit).
+    completed_rounds: HashSet<u64>,
+    /// Recycle pool fed by completed instances' uniquely-owned buffers;
+    /// drained by fused copy-on-write combines and `CopyAt` assembly of
+    /// later rounds. Exact dtype+len matching.
+    scratch: Vec<TypedBuf>,
+    /// Harvest candidates that were still shared at completion (their
+    /// sender's handle had not drained yet). Retried at the next
+    /// completion; a buffer that stays shared is eventually dropped.
+    limbo: Vec<Payload>,
     /// Highest completed round, if any.
     latest_completed: Option<u64>,
     /// Messages for rounds below this are dropped.
@@ -457,6 +502,9 @@ impl EngineCore {
             CollState {
                 template,
                 instances: HashMap::new(),
+                completed_rounds: HashSet::new(),
+                scratch: Vec::new(),
+                limbo: Vec::new(),
                 latest_completed: None,
                 gc_floor: 0,
             },
@@ -480,6 +528,14 @@ impl EngineCore {
             // the latest result through the receive buffer.
             return;
         }
+        if cs.completed_rounds.contains(&round) {
+            // The round already completed here (a faster peer dragged us
+            // through it) and its instance was dropped. Re-creating it
+            // would snapshot *now* — stealing the next round's deposit as
+            // this round's contribution. The app sees the result through
+            // the receive buffer; its deposit stays for the next round.
+            return;
+        }
         let now = self.clock.now();
         let recorder = self.comm_stats.recorder();
         let cid = u64::from(coll.0);
@@ -499,7 +555,7 @@ impl EngineCore {
         // gate-dependent send can fire.
         if !inst.snapshotted {
             if inst.sched.nslots > CONTRIB_SLOT {
-                inst.bufs[CONTRIB_SLOT] = cs.template.snapshot(round).map(Payload::new);
+                inst.bufs[CONTRIB_SLOT] = cs.template.snapshot(round);
             }
             inst.snapshotted = true;
         }
@@ -519,6 +575,15 @@ impl EngineCore {
         };
         if round < cs.gc_floor {
             EngineStats::bump(&self.stats.dropped_gc);
+            return;
+        }
+        if cs.completed_rounds.contains(&round) {
+            // Late straggler for a round whose instance was dropped at
+            // completion: every op of that instance has fired, so the
+            // message can contribute nothing. Count it once and ignore it
+            // — an external activation here would resurrect the round and
+            // wrongly consume a fresh snapshot.
+            EngineStats::bump(&self.stats.dropped_late);
             return;
         }
         let now = self.clock.now();
@@ -554,10 +619,19 @@ impl EngineCore {
     /// Execute fireable ops to quiescence, then handle completion/GC.
     fn drive(&mut self, coll: CollId, round: u64, mut queue: Vec<OpId>) {
         let cs = self.colls.get_mut(&coll).expect("driven coll exists");
-        let inst = cs
-            .instances
-            .get_mut(&round)
-            .expect("driven instance exists");
+        // Borrow-split the collective state: the op loop mutates the
+        // driven instance *and* draws recycled buffers from the scratch
+        // pool at the same time.
+        let CollState {
+            instances,
+            scratch,
+            limbo,
+            completed_rounds,
+            template,
+            latest_completed,
+            gc_floor,
+        } = cs;
+        let inst = instances.get_mut(&round).expect("driven instance exists");
         while let Some(id) = queue.pop() {
             let kind = inst.sched.ops[id].kind.clone();
             // Span start is read only when spans are being recorded: the
@@ -592,25 +666,30 @@ impl EngineCore {
                 OpKind::Combine { op, src, dst } => {
                     let s = inst.bufs[src].take().expect("Combine src empty");
                     let d = inst.bufs[dst].as_mut().expect("Combine dst empty");
-                    // Copy-on-write: in the steady state the accumulator
-                    // is uniquely owned and this mutates in place. A
+                    // Copy-on-write: a uniquely-owned accumulator mutates
+                    // in place; one cloned onto the wire gets a *fused*
+                    // single-pass `out = dst ⊕ src` into a buffer drawn
+                    // from the scratch pool (harvested from completed
+                    // rounds), so the steady state allocates nothing. A
                     // wire-borne source (a TCP frame's raw bytes) folds
-                    // in via `combine_le_bytes` — reduce straight from
-                    // the wire, no intermediate buffer.
-                    d.reduce_assign(&s, op).expect("Combine dtype/len mismatch");
+                    // in while decoding — no intermediate buffer.
+                    d.reduce_assign_pooled(&s, op, scratch)
+                        .expect("Combine dtype/len mismatch");
                     inst.bufs[src] = Some(s);
                 }
                 OpKind::Copy { src, dst } => {
                     inst.bufs[dst] = inst.bufs[src].clone();
                 }
-                OpKind::SliceCopy {
+                OpKind::SliceView {
                     src,
                     dst,
                     start,
                     len,
                 } => {
-                    let s = inst.bufs[src].as_ref().expect("SliceCopy src empty");
-                    inst.bufs[dst] = Some(s.owned_range(start, len));
+                    // Zero-copy extraction: the first Combine into the
+                    // viewed chunk materializes it with one fused pass.
+                    let s = inst.bufs[src].as_ref().expect("SliceView src empty");
+                    inst.bufs[dst] = Some(s.view(start, len));
                 }
                 OpKind::CopyAt {
                     src,
@@ -620,7 +699,11 @@ impl EngineCore {
                 } => {
                     let s = inst.bufs[src].take().expect("CopyAt src empty");
                     if inst.bufs[dst].is_none() {
-                        inst.bufs[dst] = Some(Payload::new(TypedBuf::zeros(s.dtype(), dst_len)));
+                        // Dirty pooled buffer: the schedule contract is
+                        // that CopyAt writes tile all of `dst` before it
+                        // is observed, so no zeroing pass is needed.
+                        inst.bufs[dst] =
+                            Some(Payload::new(pooled_buffer(scratch, s.dtype(), dst_len)));
                     }
                     let d = inst.bufs[dst].as_mut().expect("CopyAt dst filled");
                     // The assembly buffer is never sent, so it stays
@@ -645,8 +728,14 @@ impl EngineCore {
             queue.extend(inst.dag.mark_fired(&inst.sched, id));
         }
 
-        if !inst.completed && inst.dag.is_fired(inst.sched.completion) {
-            inst.completed = true;
+        if inst.dag.is_fired(inst.sched.completion) {
+            // Completion drops the instance *now*: every op has fired, so
+            // it can never forward anything again — retaining it would
+            // only pin a round's worth of tensors. Only the completion
+            // record (the round number) survives, for straggler dedup.
+            let mut inst = instances
+                .remove(&round)
+                .expect("completed instance present");
             EngineStats::bump(&self.stats.completions);
             // `into_buf` is free when the result slot is the last owner
             // (the common case once the round's sends have drained).
@@ -668,31 +757,86 @@ impl EngineCore {
                     external: stats.external,
                     dur_ns: stats.elapsed.as_nanos() as u64,
                 });
-            cs.template.complete(round, result);
-            cs.template.on_round_stats(&stats);
-            cs.latest_completed = Some(cs.latest_completed.map_or(round, |l| l.max(round)));
-            Self::collect_garbage(cs);
+            template.complete(round, result);
+            template.on_round_stats(&stats);
+            completed_rounds.insert(round);
+            *latest_completed = Some(latest_completed.map_or(round, |l| l.max(round)));
+            harvest_instance(inst, scratch, limbo);
+            collect_garbage(instances, completed_rounds, *latest_completed, gc_floor);
         }
     }
+}
 
-    /// Drop completed instances that are `GC_LAG` behind the newest
-    /// completion. The GC floor never jumps over an incomplete instance:
-    /// its messages must keep flowing so it can still finish.
-    fn collect_garbage(cs: &mut CollState) {
-        let Some(latest) = cs.latest_completed else {
-            return;
-        };
-        let target = latest.saturating_sub(GC_LAG);
-        let mut floor = target;
-        for (&round, inst) in cs.instances.iter() {
-            if round < target && !inst.completed {
-                floor = floor.min(round);
+/// Recycle a completed instance's buffers into the scratch pool.
+///
+/// A buffer is harvestable once it is uniquely owned (no in-flight send
+/// or peer still shares it). Buffers still shared at completion — e.g.
+/// the final-level receive, whose sender replaces its own handle only at
+/// *its* final combine — are parked in `limbo` and retried at the next
+/// completion, by which time the sharer has drained. This is what closes
+/// the loop: per round the pool loses one buffer per copy-on-write
+/// combine and regains the same count here, so steady state allocates
+/// zero tensor-sized buffers.
+fn harvest_instance(inst: Instance, scratch: &mut Vec<TypedBuf>, limbo: &mut Vec<Payload>) {
+    let deferred = std::mem::take(limbo);
+    let candidates = deferred.into_iter().chain(
+        inst.bufs
+            .into_iter()
+            .flatten()
+            .chain(inst.pending_payloads.into_values().flatten()),
+    );
+    for p in candidates {
+        if scratch.len() >= SCRATCH_CAP {
+            break;
+        }
+        match p.try_into_buf() {
+            Ok(buf) => scratch.push(buf),
+            Err(p) => {
+                if !p.is_wire() && !p.is_view() && limbo.len() < LIMBO_CAP {
+                    limbo.push(p);
+                }
             }
         }
-        cs.instances
-            .retain(|&round, inst| round >= target || !inst.completed);
-        cs.gc_floor = cs.gc_floor.max(floor);
     }
+}
+
+/// Take a shape-matching buffer from the pool (contents unspecified —
+/// callers must overwrite every element) or allocate one.
+fn pooled_buffer(pool: &mut Vec<TypedBuf>, dtype: DType, len: usize) -> TypedBuf {
+    if let Some(i) = pool
+        .iter()
+        .position(|b| b.dtype() == dtype && b.len() == len)
+    {
+        pool.swap_remove(i)
+    } else {
+        TypedBuf::zeros(dtype, len)
+    }
+}
+
+/// Advance the GC floor to `GC_LAG` behind the newest completion and
+/// prune completion records below it. The floor never jumps over an
+/// in-flight instance: its messages must keep flowing so it can still
+/// finish (every retained instance is in flight — completed ones were
+/// dropped on the spot).
+fn collect_garbage(
+    instances: &HashMap<u64, Instance>,
+    completed_rounds: &mut HashSet<u64>,
+    latest_completed: Option<u64>,
+    gc_floor: &mut u64,
+) {
+    let Some(latest) = latest_completed else {
+        return;
+    };
+    let target = latest.saturating_sub(GC_LAG);
+    let mut floor = target;
+    for &round in instances.keys() {
+        if round < target {
+            floor = floor.min(round);
+        }
+    }
+    *gc_floor = (*gc_floor).max(floor);
+    let f = *gc_floor;
+    completed_rounds.retain(|&r| r >= f);
 }
 
 fn new_instance(
@@ -708,7 +852,7 @@ fn new_instance(
     let snapshotted = match template.snapshot_timing(round) {
         SnapshotTiming::Creation => {
             if sched.nslots > CONTRIB_SLOT {
-                bufs[CONTRIB_SLOT] = template.snapshot(round).map(Payload::new);
+                bufs[CONTRIB_SLOT] = template.snapshot(round);
             }
             true
         }
@@ -722,7 +866,6 @@ fn new_instance(
         bufs,
         recv_route,
         pending_payloads: HashMap::new(),
-        completed: false,
         snapshotted,
         created: now,
         external,
@@ -810,8 +953,10 @@ mod tests {
             b.build()
         }
 
-        fn snapshot(&self, round: u64) -> Option<TypedBuf> {
-            Some(TypedBuf::from(vec![self.contrib + round as f32]))
+        fn snapshot(&self, round: u64) -> Option<Payload> {
+            Some(Payload::new(TypedBuf::from(vec![
+                self.contrib + round as f32,
+            ])))
         }
 
         fn complete(&self, round: u64, result: Option<TypedBuf>) {
@@ -1003,7 +1148,7 @@ mod tests {
                 fn build(&self, round: u64) -> Schedule {
                     self.inner.build(round)
                 }
-                fn snapshot(&self, round: u64) -> Option<TypedBuf> {
+                fn snapshot(&self, round: u64) -> Option<Payload> {
                     self.inner.snapshot(round)
                 }
                 fn complete(&self, round: u64, result: Option<TypedBuf>) {
@@ -1110,6 +1255,153 @@ mod tests {
                 rounds.len() as u64 >= ROUNDS - GC_LAG,
                 "at least the GC window completes, got {rounds:?}"
             );
+        }
+    }
+
+    /// Completion-drop regression (inproc): a straggler message for a
+    /// round whose instance was already dropped at completion is counted
+    /// (`dropped_late`) and ignored exactly once — it must not externally
+    /// re-activate the round (which would steal the next round's
+    /// snapshot) and must not contaminate the next round's result.
+    #[test]
+    fn late_message_after_completion_drop_is_counted_once_inproc() {
+        let out = World::launch(WorldConfig::instant(2), |c| {
+            let sink = Arc::new(Sink::default());
+            let rank = c.rank();
+            let (h, inbox) = c.split();
+            let eng = Engine::spawn(h.clone(), inbox);
+            eng.register(
+                CollId(1),
+                Box::new(PairSum {
+                    me: rank,
+                    contrib: 1.0,
+                    sink: Arc::clone(&sink),
+                }),
+            );
+            eng.activate(CollId(1), 0);
+            let _ = sink.wait_for(1);
+            // Let the peer finish round 0 (and drop its instance) before
+            // the straggler lands; same-channel FIFO then guarantees the
+            // duplicate arrives after the original did.
+            std::thread::sleep(Duration::from_millis(100));
+            if rank == 0 {
+                // A poison-valued duplicate of round 0's data message: if
+                // it ever reached a live instance, round 1's sum below
+                // would be wrong.
+                h.send(
+                    1,
+                    WireTag::new(CollId(1), 0, DATA),
+                    Some(TypedBuf::from(vec![99.0f32])),
+                );
+            }
+            std::thread::sleep(Duration::from_millis(100));
+            let [_, externals, completions, _, late, ..] = eng.stats().snapshot();
+            let results_after_straggler = sink.results.lock().len();
+
+            // The next round must still run clean on both ranks.
+            eng.activate(CollId(1), 1);
+            let got = sink.wait_for(2);
+            let round1 = got
+                .iter()
+                .find(|(r, _)| *r == 1)
+                .map(|(_, b)| b.as_ref().unwrap().as_f32().unwrap()[0])
+                .unwrap();
+            eng_barrier_and_shutdown(&eng);
+            (
+                late,
+                externals,
+                completions,
+                results_after_straggler,
+                round1,
+            )
+        });
+        for (rank, (late, externals, completions, results, round1)) in out.iter().enumerate() {
+            assert_eq!(
+                *late,
+                if rank == 1 { 1 } else { 0 },
+                "rank {rank}: the straggler is counted exactly once"
+            );
+            assert_eq!(*externals, 0, "rank {rank}: no resurrection");
+            assert_eq!(*completions, 1, "rank {rank}: round 0 completed once");
+            assert_eq!(*results, 1, "rank {rank}: no duplicate delivery");
+            // contribution = 1 + round on each rank; sum = 2 + 2*round.
+            assert_eq!(*round1, 4.0, "rank {rank}: round 1 unpolluted");
+        }
+    }
+
+    /// The same completion-drop regression on the simulator backend:
+    /// replay round 0's data envelope into a core that already completed
+    /// (and dropped) the round, deterministically and in virtual time.
+    #[test]
+    fn late_message_after_completion_drop_is_counted_once_sim() {
+        use pcoll_comm::{SimOpts, SimWorld, WorldConfig};
+
+        let cfg = WorldConfig::instant(2);
+        let opts = SimOpts {
+            planet: pcoll_comm::Planet::uniform(2, Duration::from_millis(5)),
+        };
+        let mut sim = SimWorld::new(cfg, opts);
+        let sinks: Vec<_> = (0..2).map(|_| Arc::new(Sink::default())).collect();
+        let mut cores: Vec<EngineCore> = (0..2)
+            .map(|rank| {
+                let mut core = EngineCore::new(sim.comm(rank), sim.clock());
+                core.register(
+                    CollId(1),
+                    Box::new(PairSum {
+                        me: rank,
+                        contrib: 1.0,
+                        sink: Arc::clone(&sinks[rank]),
+                    }),
+                );
+                core.activate(CollId(1), 0);
+                core
+            })
+            .collect();
+        let inboxes: Vec<_> = (0..2).map(|r| sim.take_inbox(r)).collect();
+        let drain = |sim: &mut SimWorld, cores: &mut Vec<EngineCore>| {
+            while let Some(ev) = sim.step() {
+                if let pcoll_comm::SimEvent::Deliver { dst } = ev {
+                    while let Some(env) = inboxes[dst].try_recv() {
+                        cores[dst].on_envelope(env);
+                    }
+                }
+            }
+        };
+        drain(&mut sim, &mut cores);
+        assert_eq!(sinks[1].results.lock().len(), 1, "round 0 completed");
+
+        // Replay rank 0's round-0 data message into core 1, whose
+        // instance was dropped at completion.
+        let replay = || {
+            Envelope::Data(Message {
+                src: 0,
+                tag: WireTag::new(CollId(1), 0, DATA),
+                payload: Some(Payload::new(TypedBuf::from(vec![99.0f32]))),
+            })
+        };
+        assert!(cores[1].on_envelope(replay()));
+        assert_eq!(cores[1].stats().snapshot()[4], 1, "dropped_late bumped");
+        // A second replay is *also* just counted — still no resurrection.
+        assert!(cores[1].on_envelope(replay()));
+        let [_, externals, completions, _, late, ..] = cores[1].stats().snapshot();
+        assert_eq!(late, 2);
+        assert_eq!(externals, 0, "no external re-activation");
+        assert_eq!(completions, 1);
+        assert_eq!(sinks[1].results.lock().len(), 1, "no duplicate delivery");
+
+        // Round 1 still runs clean in virtual time.
+        for core in cores.iter_mut() {
+            core.activate(CollId(1), 1);
+        }
+        drain(&mut sim, &mut cores);
+        for sink in &sinks {
+            let g = sink.results.lock();
+            let round1 = g
+                .iter()
+                .find(|(r, _)| *r == 1)
+                .map(|(_, b)| b.as_ref().unwrap().as_f32().unwrap()[0])
+                .unwrap();
+            assert_eq!(round1, 4.0, "round 1 unpolluted by the straggler");
         }
     }
 }

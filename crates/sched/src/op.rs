@@ -50,21 +50,24 @@ pub enum OpKind {
     Combine { op: ReduceOp, src: Slot, dst: Slot },
     /// `bufs[dst] = bufs[src].clone()`.
     Copy { src: Slot, dst: Slot },
-    /// `bufs[dst] = owned copy of bufs[src][start .. start + len]` — the
-    /// chunk extraction of a segmented schedule. The copy (not a view)
-    /// decouples the chunk from the source allocation, so the ring's
-    /// in-place chunk reductions never trigger a whole-tensor
-    /// copy-on-write while sent clones are still in flight.
-    SliceCopy {
+    /// `bufs[dst] = zero-copy view of bufs[src][start .. start + len]` —
+    /// the chunk extraction of a segmented schedule. A reduction into the
+    /// viewed chunk materializes it with one fused `out = a ⊕ b` pass
+    /// into a recycled buffer (never a whole-tensor copy-on-write), so
+    /// extraction itself moves no bytes.
+    SliceView {
         src: Slot,
         dst: Slot,
         start: usize,
         len: usize,
     },
     /// Write the whole of `bufs[src]` into `bufs[dst][dst_start ..]`,
-    /// allocating `dst` as `dst_len` zeros first if the slot is empty —
-    /// the segmented allgather's assembly step. A wire-borne source
-    /// decodes straight into the destination range.
+    /// materializing `dst` as `dst_len` *uninitialized* (scratch-pool)
+    /// elements first if the slot is empty — the segmented allgather's
+    /// assembly step. Schedules using an empty-slot destination must
+    /// cover every element of `dst` with `CopyAt` writes before the
+    /// slot is observed. A wire-borne source decodes straight into the
+    /// destination range.
     CopyAt {
         src: Slot,
         dst: Slot,
@@ -87,7 +90,7 @@ impl OpKind {
             OpKind::Recv { .. } => "Recv",
             OpKind::Combine { .. } => "Combine",
             OpKind::Copy { .. } => "Copy",
-            OpKind::SliceCopy { .. } => "SliceCopy",
+            OpKind::SliceView { .. } => "SliceView",
             OpKind::CopyAt { .. } => "CopyAt",
             OpKind::Nop => "Nop",
             OpKind::InternalGate => "InternalGate",
@@ -152,7 +155,7 @@ impl Schedule {
                         return Err(format!("op {i} combines a slot with itself"));
                     }
                 }
-                OpKind::SliceCopy { src, dst, .. } | OpKind::CopyAt { src, dst, .. } => {
+                OpKind::SliceView { src, dst, .. } | OpKind::CopyAt { src, dst, .. } => {
                     if !slot_ok(*src) || !slot_ok(*dst) {
                         return Err(format!("op {i} uses bad slots {src}/{dst}"));
                     }

@@ -4,11 +4,13 @@
 //! segment count.
 //!
 //! What the segmented path is allowed to allocate per rank per round:
-//! the P chunk extractions of each segment (which sum to exactly one
-//! segment — the `SliceCopy` copies that keep ring reductions in place
-//! while sent clones are in flight). What it must NOT allocate: anything
-//! proportional to the number of in-flight messages or hops (the old
-//! per-hop `to_vec()` pattern), and — thanks to the recycled
+//! at most the P chunk extractions of each segment (which sum to exactly
+//! one segment — the `SliceCopy` copies that keep ring reductions in
+//! place while sent clones are in flight); the completion-drop scratch
+//! pool recycles harvested buffers into those extractions, so the
+//! measured rate usually sits below that. What it must NOT allocate:
+//! anything proportional to the number of in-flight messages or hops
+//! (the old per-hop `to_vec()` pattern), and — thanks to the recycled
 //! deposit/snapshot buffers and the shared-payload outcome — no
 //! tensor-sized buffers per round at all in the steady state.
 //!
@@ -120,18 +122,17 @@ fn segmented_path_allocates_o1_payloads_per_rank_per_segment() {
         large_slope <= 1.0,
         "segmented steady state allocates {large_slope:.2} tensor-sized buffers/rank/round"
     );
-    // Chunk-sized allocations are the SliceCopy extractions: P per
-    // segment (summing to one segment), never per hop. 2·(P−1) hops per
-    // segment would double this; per-hop to_vec() would show up as
-    // ≥ 3·P per segment.
+    // Chunk-sized allocations are the SliceCopy extractions: at most P
+    // per segment (summing to one segment), never per hop. 2·(P−1) hops
+    // per segment would double this; per-hop to_vec() would show up as
+    // ≥ 3·P per segment. The engine's completion-drop scratch pool
+    // recycles harvested chunk buffers into later extractions, so the
+    // measured rate may fall well below P — all the way to zero once the
+    // pool covers the working set.
     let per_segment = chunk_slope / SEGMENTS as f64;
     assert!(
         per_segment <= P as f64 + 1.0,
         "segmented steady state allocates {per_segment:.2} chunk-sized buffers per segment \
          (expected ≤ P = {P} — one per ring chunk, none per hop)"
-    );
-    assert!(
-        per_segment >= 1.0,
-        "sanity: chunk extractions should be visible, got {per_segment:.2} per segment"
     );
 }
