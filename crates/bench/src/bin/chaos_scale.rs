@@ -1,0 +1,276 @@
+//! `chaos_scale`: failure detection, eviction, and recovery under load.
+//!
+//! Two parts (select with `--part sim|tcp`, default both):
+//!
+//! - **sim** — P = 64 ranks on the discrete-event backend with four
+//!   scripted, staggered `kill`s. The harness evicts each victim at a
+//!   deterministic fence; after the last eviction the surviving 60-rank
+//!   Majority collective must deliver a mean NAP within 10% of
+//!   [`eager_sgd::NapModel`]'s closed form *for the surviving
+//!   population* — the recovered system behaves like a world that was
+//!   born at the smaller size.
+//! - **tcp** — P = 8 real processes over loopback; one rank `kill -9`s
+//!   itself mid-run. The survivors detect the EOF, run the eviction
+//!   consensus (fence Max-allreduce + live-set barrier), finish their
+//!   remaining rounds over the 7-rank world, and the *parent exits 0*:
+//!   `launch_tcp_tolerant` forgives the death exactly because the
+//!   survivors' reports declared it.
+//!
+//! ```sh
+//! cargo run --release -p repro_bench --bin chaos_scale -- --quick --seed 42
+//! ```
+
+use eager_sgd::NapModel;
+use pcoll::sim::mean_nap;
+use pcoll::{PartialOpts, QuorumPolicy, RankCtx, SimHarness, SimSpec, StaleMode};
+use pcoll_comm::{
+    is_tcp_worker, launch_tcp_tolerant, DType, Fault, FaultPlan, ReduceOp, TcpOpts, TimePoint,
+    TypedBuf, WorldConfig,
+};
+use repro_bench::report::{comment, row, shape_check, write_json};
+use repro_bench::HarnessArgs;
+use serde::Serialize;
+use std::time::Duration;
+
+/// Per-rank skew unit of the open-loop sim experiment (mirrors
+/// `sim_scale`'s NAP part).
+const SKEW_UNIT: Duration = Duration::from_micros(50);
+
+#[derive(Debug, Serialize)]
+struct SimChaosRow {
+    p: usize,
+    survivors: usize,
+    rounds: u64,
+    kills: Vec<usize>,
+    fences: Vec<u64>,
+    measured_nap_tail: f64,
+    predicted_nap: f64,
+    rel_err: f64,
+    events: u64,
+}
+
+fn run_sim_part(args: &HarnessArgs) -> (bool, Option<SimChaosRow>) {
+    let p = 64;
+    let rounds: u64 = if args.quick { 220 } else { 440 };
+    // Four staggered victims, spread across the rank space; each dies a
+    // few rounds after the previous eviction settled.
+    let victims = [5usize, 13, 21, 37];
+    let step = SKEW_UNIT * (p as u32 + 1) * 2; // linear_skew's round period
+    comment(&format!(
+        "part sim: P={p}, Majority, {rounds} rounds, kills at rounds ~10/20/30/40 \
+         (ranks {victims:?}), linear skew {}us/rank",
+        SKEW_UNIT.as_micros()
+    ));
+    let mut spec = SimSpec::linear_skew(p, rounds, SKEW_UNIT, QuorumPolicy::Majority);
+    spec.world = WorldConfig::instant(p).with_seed(args.seed);
+    let mut plan = FaultPlan::none();
+    for (i, &v) in victims.iter().enumerate() {
+        plan = plan.with(Fault::Kill {
+            rank: v,
+            at: TimePoint::ZERO + step * (10 * (i as u32 + 1)),
+        });
+    }
+    spec.opts.faults = plan;
+    let rep = SimHarness::run(spec);
+
+    let survivors: Vec<usize> = (0..p).filter(|r| !victims.contains(r)).collect();
+    let mut ok = shape_check(
+        "all-victims-evicted",
+        rep.live == survivors && rep.evictions.iter().flat_map(|(_, d)| d).count() == victims.len(),
+        &format!(
+            "evictions {:?}, live {} ranks",
+            rep.evictions,
+            rep.live.len()
+        ),
+    );
+    let fences: Vec<u64> = rep.evictions.iter().map(|(f, _)| *f).collect();
+    ok &= shape_check(
+        "fences-nondecreasing",
+        fences.windows(2).all(|w| w[0] <= w[1]),
+        &format!("{fences:?}"),
+    );
+
+    // Closed form for the *surviving* population: the model sees the
+    // survivors' exact injector offsets.
+    let offsets_ms: Vec<f64> = survivors.iter().map(|&r| r as f64 * 0.05).collect();
+    let predicted = NapModel::new(offsets_ms, 0.0, 0.0)
+        .predict(QuorumPolicy::Majority)
+        .e_nap;
+    let tail_from = (*fences.last().unwrap_or(&0) + 1) as usize;
+    let measured = mean_nap(&rep.nap_per_round, tail_from, rounds as usize);
+    let rel_err = (measured - predicted).abs() / predicted;
+    row(&[
+        "survivors",
+        "tail_rounds",
+        "measured_nap",
+        "predicted_nap",
+        "rel_err",
+    ]);
+    row(&[
+        survivors.len().to_string(),
+        (rounds as usize - tail_from).to_string(),
+        format!("{measured:.2}"),
+        format!("{predicted:.2}"),
+        format!("{:.1}%", 100.0 * rel_err),
+    ]);
+    ok &= shape_check(
+        "post-eviction-nap-within-10pct",
+        rel_err <= 0.10,
+        &format!("measured {measured:.2} vs closed form {predicted:.2} for 60 survivors"),
+    );
+    (
+        ok,
+        Some(SimChaosRow {
+            p,
+            survivors: survivors.len(),
+            rounds,
+            kills: victims.to_vec(),
+            fences,
+            measured_nap_tail: measured,
+            predicted_nap: predicted,
+            rel_err,
+            events: rep.events,
+        }),
+    )
+}
+
+#[derive(Debug, Serialize)]
+struct TcpChaosRow {
+    p: usize,
+    victim: usize,
+    pre_rounds: u64,
+    post_rounds: u64,
+    evicted: Vec<usize>,
+    all_ok: bool,
+}
+
+fn run_tcp_part(args: &HarnessArgs) -> (bool, Option<TcpChaosRow>) {
+    const P: usize = 8;
+    const VICTIM: usize = P - 1;
+    let pre: u64 = if args.quick { 6 } else { 24 };
+    let post: u64 = if args.quick { 6 } else { 24 };
+    if !is_tcp_worker() {
+        comment(&format!(
+            "part tcp: P={P} processes over loopback, rank {VICTIM} kill -9s itself \
+             after {pre} rounds; survivors evict and run {post} more"
+        ));
+    }
+    let cfg = WorldConfig::instant(P).with_seed(args.seed);
+    let opts = TcpOpts::labeled("chaos_scale-tcp");
+    let launched = launch_tcp_tolerant(cfg, opts, move |c| {
+        let ctx = RankCtx::new(c);
+        let mut ar = ctx.partial_allreduce(
+            DType::F64,
+            32,
+            ReduceOp::Sum,
+            QuorumPolicy::Majority,
+            PartialOpts {
+                stale_mode: StaleMode::Replace,
+                ..PartialOpts::default()
+            },
+        );
+        let mut ok = true;
+        for _ in 0..pre {
+            let out = ar.allreduce(&TypedBuf::from(vec![1.0f64; 32]));
+            let s = out.data.as_f64().unwrap()[0];
+            ok &= (s.round() - s).abs() < 1e-9 && (1.0..=P as f64).contains(&s);
+        }
+        if ctx.rank() == VICTIM {
+            let _ = std::process::Command::new("sh")
+                .arg("-c")
+                .arg(format!("kill -9 {}", std::process::id()))
+                .status();
+            unreachable!("kill -9 did not take");
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !ctx.membership().is_down(VICTIM) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "victim death never detected"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let fence = ctx.evict(&ar, &[VICTIM]);
+        ok &= fence >= pre && ar.evicted_ranks() == vec![VICTIM];
+        for _ in 0..post {
+            let out = ar.allreduce(&TypedBuf::from(vec![1.0f64; 32]));
+            let s = out.data.as_f64().unwrap()[0];
+            ok &= (s.round() - s).abs() < 1e-9 && (1.0..=(P - 1) as f64).contains(&s);
+        }
+        ctx.finalize();
+        ok
+    });
+    let Some((results, evicted)) = launched else {
+        // A worker for some other label — impossible in this binary.
+        return (true, None);
+    };
+    let survivors_ok = results
+        .iter()
+        .enumerate()
+        .all(|(r, slot)| r == VICTIM || slot == &Some(true));
+    let mut ok = shape_check(
+        "tcp-survivors-verified-every-round",
+        survivors_ok,
+        &format!("{} survivors", P - 1),
+    );
+    ok &= shape_check(
+        "tcp-victim-evicted-parent-survives",
+        evicted == vec![VICTIM] && results[VICTIM].is_none(),
+        &format!("evicted {evicted:?}"),
+    );
+    (
+        ok,
+        Some(TcpChaosRow {
+            p: P,
+            victim: VICTIM,
+            pre_rounds: pre,
+            post_rounds: post,
+            evicted,
+            all_ok: ok,
+        }),
+    )
+}
+
+#[derive(Debug, Serialize)]
+struct ChaosArtifact {
+    sim: Option<SimChaosRow>,
+    tcp: Option<TcpChaosRow>,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let part = args.part.clone().unwrap_or_else(|| "all".into());
+    if !is_tcp_worker() {
+        comment(&format!(
+            "chaos_scale: failure detection + eviction under load (quick={}, seed={})",
+            args.quick, args.seed
+        ));
+    }
+
+    let mut ok = true;
+    let mut sim_row = None;
+    // A re-exec'ed TCP worker must not replay the sim part: it exists
+    // only to become one rank of the tcp part's world.
+    if !is_tcp_worker() && (part == "all" || part.contains("sim")) {
+        let (sim_ok, r) = run_sim_part(&args);
+        ok &= sim_ok;
+        sim_row = r;
+    }
+    let mut tcp_row = None;
+    if part == "all" || part.contains("tcp") {
+        let (tcp_ok, r) = run_tcp_part(&args);
+        ok &= tcp_ok;
+        tcp_row = r;
+    }
+
+    let _ = write_json(
+        "chaos_scale",
+        &ChaosArtifact {
+            sim: sim_row,
+            tcp: tcp_row,
+        },
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

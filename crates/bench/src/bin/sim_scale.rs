@@ -182,7 +182,10 @@ fn wan_spec(
             ..WorldConfig::instant(p)
         }
         .with_seed(seed),
-        opts: SimOpts { planet },
+        opts: SimOpts {
+            planet,
+            ..SimOpts::default()
+        },
         policy,
         rounds,
         len: 8,

@@ -53,7 +53,10 @@ fn traced_spec(p: usize, rounds: u64, seed: u64) -> SimSpec {
         }
         .with_seed(seed)
         .with_trace(LEVEL_VERBOSE, RING_CAP),
-        opts: SimOpts { planet },
+        opts: SimOpts {
+            planet,
+            ..SimOpts::default()
+        },
         policy: QuorumPolicy::Full,
         rounds,
         len: 8,

@@ -34,6 +34,35 @@ use crate::topology::{log2_exact, rd_partner, require_power_of_two};
 use pcoll_comm::{CollId, Rank, ReduceOp};
 use pcoll_sched::{OpId, OpKind, Schedule, ScheduleBuilder, Slot, CONTRIB_SLOT};
 
+/// Number of activation-broadcast steps for a world of `p` ranks:
+/// `ceil(log2 p)` (equals `log2_exact(p)` when `p` is a power of two).
+fn act_levels(p: usize) -> u32 {
+    usize::BITS - (p - 1).leading_zeros()
+}
+
+/// The peer this rank *receives* the step-`k` activation hop from. For
+/// power-of-two worlds this is the paper's XOR partner (the union of P
+/// binomial trees, Fig. 6); for other world sizes the broadcast falls
+/// back to mod-p dissemination (receive from `r − 2^k`), which covers
+/// every rank from any initiator in the same `ceil(log2 p)` steps.
+fn act_recv_peer(rank: Rank, p: usize, k: u32) -> Rank {
+    if p.is_power_of_two() {
+        rd_partner(rank, k)
+    } else {
+        (rank + p - (1usize << k)) % p
+    }
+}
+
+/// The peer this rank *forwards* the step-`k` activation hop to (the XOR
+/// partner is symmetric; the dissemination partner is `r + 2^k`).
+fn act_send_peer(rank: Rank, p: usize, k: u32) -> Rank {
+    if p.is_power_of_two() {
+        rd_partner(rank, k)
+    } else {
+        (rank + (1usize << k)) % p
+    }
+}
+
 /// Wire-tag namespace for activation messages (binomial tree / chain).
 pub const SEM_ACT: u32 = 0x100;
 /// Wire-tag namespace for recursive-doubling data exchanges, step `s`
@@ -98,12 +127,12 @@ pub fn policy_activation_mode(
 /// send gates on. Shared by the recursive-doubling and segmented-ring
 /// data phases — the quorum semantics (race, chain, full) live entirely
 /// here, so swapping the data-phase algorithm cannot change them.
-fn activation_phase(
-    b: &mut ScheduleBuilder,
-    rank: Rank,
-    levels: u32,
-    mode: &ActivationMode,
-) -> OpId {
+/// Works for **any** `p` (see [`act_recv_peer`]): power-of-two worlds
+/// keep the paper's XOR structure, others use mod-p dissemination — the
+/// property that lets a post-eviction live set of arbitrary size keep
+/// running partial collectives.
+fn activation_phase(b: &mut ScheduleBuilder, rank: Rank, p: usize, mode: &ActivationMode) -> OpId {
+    let levels = act_levels(p);
     // `n0` is the local initiation event (the paper's N0), present only on
     // ranks entitled to initiate under `mode`.
     let n0: Option<OpId> = match mode {
@@ -160,7 +189,7 @@ fn activation_phase(
         for k in 0..levels {
             act_recvs.push(b.op(
                 OpKind::Recv {
-                    peer: rd_partner(rank, k),
+                    peer: act_recv_peer(rank, p, k),
                     sem: SEM_ACT + k,
                     into: None,
                 },
@@ -176,7 +205,7 @@ fn activation_phase(
             if !deps.is_empty() {
                 b.op_or(
                     OpKind::SendCtl {
-                        peer: rd_partner(rank, j),
+                        peer: act_send_peer(rank, p, j),
                         sem: SEM_ACT + j,
                     },
                     deps,
@@ -207,7 +236,7 @@ pub fn allreduce_schedule(rank: Rank, p: usize, op: ReduceOp, mode: &ActivationM
         return b.build();
     }
 
-    let n1 = activation_phase(&mut b, rank, levels, mode);
+    let n1 = activation_phase(&mut b, rank, p, mode);
 
     // --- Data phase: recursive doubling over the contribution slot. ---
     let mut prev_combine: Option<OpId> = None;
@@ -253,6 +282,11 @@ pub fn allreduce_schedule(rank: Rank, p: usize, op: ReduceOp, mode: &ActivationM
 /// large-message data phase (§7: "the optimal algorithm depends on ...
 /// message size").
 ///
+/// Unlike the recursive-doubling data phase, the ring works for **any**
+/// world size — combined with the dissemination fallback in the
+/// activation phase this is the schedule a post-eviction (non-power-of-
+/// two) live set runs on.
+///
 /// The activation phase (and with it every quorum semantic: race, chain,
 /// full, external drag-in, Fig. 7 snapshot timing) is byte-for-byte the
 /// one [`allreduce_schedule`] uses. Only the data phase differs: the
@@ -282,7 +316,6 @@ pub fn segmented_allreduce_schedule(
     segment_elems: usize,
     pipeline_depth: usize,
 ) -> Schedule {
-    require_power_of_two(p);
     let mut b = ScheduleBuilder::new();
 
     if p == 1 {
@@ -292,7 +325,6 @@ pub fn segmented_allreduce_schedule(
         return b.build();
     }
 
-    let levels = log2_exact(p);
     let segment_elems = segment_elems.max(1);
     let segments = n_elems.div_ceil(segment_elems).max(1);
     let depth = pipeline_depth.max(1);
@@ -307,7 +339,7 @@ pub fn segmented_allreduce_schedule(
     let result = 1 + segments * per_seg_slots;
     b.slots(result + 1);
 
-    let n1 = activation_phase(&mut b, rank, levels, mode);
+    let n1 = activation_phase(&mut b, rank, p, mode);
 
     let next = (rank + 1) % p;
     let prev = (rank + p - 1) % p;
@@ -895,6 +927,54 @@ mod tests {
                         s.validate().unwrap();
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_allreduce_pairing_non_power_of_two() {
+        // Post-eviction live sets have arbitrary sizes: the dissemination
+        // activation + ring data phase must pair for any P, under every
+        // activation mode (race, chain, full).
+        for p in [3usize, 5, 6, 7, 12] {
+            for mode in [
+                ActivationMode::Race((0..p).collect()),
+                ActivationMode::Chain(vec![p - 1, 0]),
+                ActivationMode::Full,
+            ] {
+                let scheds = all_schedules(p, &|r| {
+                    segmented_allreduce_schedule(r, p, ReduceOp::Sum, &mode, 40, 16, 2)
+                });
+                check_send_recv_pairing(&scheds);
+                for s in &scheds {
+                    s.validate().unwrap();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dissemination_activation_covers_all_ranks_from_any_initiator() {
+        // Simulate the activation flood on the op graph: from any single
+        // initiator, following "send at step j fires if initiated or
+        // received below j", every rank must end up activated.
+        for p in [3usize, 5, 6, 11] {
+            let levels = act_levels(p);
+            for init in 0..p {
+                let mut informed = vec![false; p];
+                informed[init] = true;
+                for k in 0..levels {
+                    let was: Vec<bool> = informed.clone();
+                    for r in 0..p {
+                        if was[r] {
+                            informed[act_send_peer(r, p, k)] = true;
+                        }
+                    }
+                }
+                assert!(
+                    informed.iter().all(|i| *i),
+                    "p={p} init={init}: activation flood left ranks dark"
+                );
             }
         }
     }

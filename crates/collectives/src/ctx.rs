@@ -17,10 +17,17 @@
 
 use crate::partial::{PartialAllreduce, PartialOpts, QuorumPolicy};
 use crate::sync::{SyncAllreduce, SyncBarrier, SyncBcast, SyncReduce};
-use pcoll_comm::{CollId, CommStats, Communicator, DType, Rank, ReduceOp};
+use pcoll_comm::{CollId, CommStats, Communicator, DType, Membership, Rank, ReduceOp, TypedBuf};
 use pcoll_sched::Engine;
 use std::cell::Cell;
 use std::sync::{Arc, Barrier};
+
+/// Base of the collective-id range reserved for the eviction protocol's
+/// consensus collectives (fence allreduce + barrier, two ids per
+/// eviction epoch). Far above anything `RankCtx::alloc` hands out, and
+/// derived identically on every survivor, so lazily registering them
+/// mid-run keeps the SPMD id agreement without any up-front reservation.
+const EVICTION_COLL_BASE: u32 = 0x4000_0000;
 
 /// Per-rank context (one per rank thread, not shareable across threads).
 pub struct RankCtx {
@@ -32,6 +39,7 @@ pub struct RankCtx {
     barrier: SyncBarrier,
     host_barrier: Arc<Barrier>,
     comm_stats: Arc<CommStats>,
+    membership: Arc<Membership>,
 }
 
 impl RankCtx {
@@ -43,6 +51,7 @@ impl RankCtx {
         let seed = comm.seed();
         let host_barrier = comm.host_barrier_arc();
         let comm_stats = comm.comm_stats();
+        let membership = Arc::clone(comm.membership());
         let (handle, inbox) = comm.split();
         let engine = Engine::spawn(handle, inbox);
         let barrier = SyncBarrier::register(&engine, CollId(0), rank, size);
@@ -55,7 +64,15 @@ impl RankCtx {
             barrier,
             host_barrier,
             comm_stats,
+            membership,
         }
+    }
+
+    /// This rank's liveness view of its peers (traffic- and
+    /// heartbeat-driven suspicion). Feed [`Membership::sweep_suspects`]
+    /// results into [`RankCtx::evict`] to remove dead ranks for good.
+    pub fn membership(&self) -> &Arc<Membership> {
+        &self.membership
     }
 
     /// This rank's index.
@@ -156,6 +173,64 @@ impl RankCtx {
         self.barrier.wait();
     }
 
+    /// Evict `dead` ranks from a partial allreduce: every survivor must
+    /// call this with the same `dead` set (SPMD), after which rounds from
+    /// the agreed fence onward are scheduled over the surviving ranks
+    /// only. Returns the fence round.
+    ///
+    /// Protocol: survivors Max-allreduce their build horizons over the
+    /// live set to agree on a fence `F` no rank has built past, apply
+    /// `evict_from(F, dead)` locally, then barrier over the live set.
+    ///
+    /// Why this is race-free: the fence must exceed every round for which
+    /// a *dead* rank's message might still arrive, or a survivor would
+    /// mix full-world and live-set schedules for one round. Under TCP the
+    /// per-peer stream is FIFO and death is observed as reader EOF, so by
+    /// the time a peer is reported down every message it ever sent has
+    /// already been delivered — any round it touched is already counted
+    /// in some survivor's [`PartialAllreduce::horizon`], and the max over
+    /// survivors covers it. Applying `evict_from` *before* the barrier
+    /// makes the barrier's completion imply every survivor has switched
+    /// schedules (barrier entry is app-side, after the local apply), so
+    /// no live-set round can start while a peer still builds full-world.
+    ///
+    /// The consensus collectives themselves are registered lazily at a
+    /// reserved id (`EVICTION_COLL_BASE + 2*epoch`); the engine buffers
+    /// messages for not-yet-registered collectives, so survivors need not
+    /// reach this call simultaneously.
+    pub fn evict(&self, ar: &PartialAllreduce, dead: &[Rank]) -> u64 {
+        let mut live = ar.live_ranks();
+        live.retain(|r| !dead.contains(r));
+        assert!(
+            live.contains(&self.rank),
+            "rank {} cannot evict itself",
+            self.rank
+        );
+        let epoch = ar.eviction_epoch();
+        let base = EVICTION_COLL_BASE + 2 * epoch as u32;
+        let mut fence = SyncAllreduce::register_over(
+            &self.engine,
+            CollId(base),
+            &live,
+            self.rank,
+            DType::I64,
+            1,
+            ReduceOp::Max,
+            None,
+        );
+        let gate = SyncBarrier::register_over(&self.engine, CollId(base + 1), &live, self.rank);
+        let agreed = fence.allreduce(&TypedBuf::from(vec![ar.horizon() as i64]));
+        let fence_round = agreed.as_i64().unwrap()[0] as u64;
+        ar.evict_from(fence_round, dead);
+        for &d in dead {
+            // Promote the local suspicion to a consensus fact in the
+            // liveness view: the rank is gone for good, not just quiet.
+            self.membership.evict(d);
+        }
+        gate.wait();
+        fence_round
+    }
+
     /// Host-side (non-modeled) barrier for bench/test alignment.
     ///
     /// Thread-world scaffolding only: under the TCP transport each
@@ -211,6 +286,57 @@ mod tests {
                 assert_eq!(*s, 6 + 4 * round); // Σ(rank) + P*round
                 assert_eq!(*m, 3 * round); // max(rank*round)
                 assert_eq!(*x, round * 100);
+            }
+        }
+    }
+
+    #[test]
+    fn evict_agrees_on_fence_and_survivors_continue() {
+        // Four ranks run five Full-quorum rounds in lockstep, then ranks
+        // 0-2 evict rank 3 and keep going over the live set (p=3, which
+        // also exercises the non-power-of-two segmented-ring fallback).
+        // Rank 3 stops contributing and heads straight for finalize.
+        let p = 4;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.partial_allreduce(
+                DType::F32,
+                8,
+                ReduceOp::Sum,
+                QuorumPolicy::Full,
+                PartialOpts::default(),
+            );
+            let me = ctx.rank() as f32 + 1.0; // contributions 1..=4
+            let mut sums = Vec::new();
+            for _ in 0..5 {
+                let out = ar.allreduce(&TypedBuf::from(vec![me; 8]));
+                sums.push(out.data.as_f32().unwrap()[0]);
+            }
+            // Full quorum left every rank in lockstep at next_round = 5
+            // and nobody has built further, so the fence is deterministic.
+            let mut fence = 0;
+            if ctx.rank() != 3 {
+                fence = ctx.evict(&ar, &[3]);
+                assert_eq!(ar.evicted_ranks(), vec![3]);
+                assert_eq!(ar.live_ranks(), vec![0, 1, 2]);
+                for _ in 0..5 {
+                    let out = ar.allreduce(&TypedBuf::from(vec![me; 8]));
+                    sums.push(out.data.as_f32().unwrap()[0]);
+                }
+            }
+            ctx.finalize();
+            (fence, sums)
+        });
+        for (rank, (fence, sums)) in out.iter().enumerate() {
+            for (r, s) in sums.iter().enumerate() {
+                let want = if r < 5 { 10.0 } else { 6.0 }; // 1+2+3+4 vs 1+2+3
+                assert_eq!(*s, want, "rank {rank} round {r}");
+            }
+            if rank != 3 {
+                assert_eq!(*fence, 5, "rank {rank} fence");
+                assert_eq!(sums.len(), 10);
+            } else {
+                assert_eq!(sums.len(), 5);
             }
         }
     }

@@ -20,14 +20,14 @@
 
 use crate::builders::{allreduce_schedule, policy_activation_mode, segmented_allreduce_schedule};
 use crate::select::{AlgoSelector, AllreduceAlgo};
-use crate::topology::{require_power_of_two, round_candidates};
+use crate::topology::round_candidates;
 use parking_lot::{Condvar, Mutex};
 use pcoll_comm::{CollId, DType, Payload, Rank, ReduceOp, TypedBuf};
 use pcoll_sched::{CollectiveTemplate, RoundStats, Schedule, SnapshotTiming, TemplateHost};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -176,6 +176,110 @@ impl PolicyTimeline {
 
     /// Snapshot of the `(from_round, policy)` segments.
     pub fn segments(&self) -> Vec<(u64, QuorumPolicy)> {
+        self.segments.lock().clone()
+    }
+}
+
+/// Append-only round → live-set schedule, the membership counterpart of
+/// [`PolicyTimeline`]: survivors of a rank failure agree (via the same
+/// decide → fence consensus the policy switches use) on a round `F` from
+/// which the evicted ranks are treated as permanently absent. Rounds
+/// before `F` keep their full-world schedule shape (in-flight instances
+/// complete through the engine's peer-down null synthesis); rounds ≥ `F`
+/// are built over the *compacted* live set — candidates are drawn from
+/// live ranks only, no message is ever addressed to an evicted rank, and
+/// the data phase falls back to the any-P segmented ring when the live
+/// population is not a power of two.
+///
+/// SPMD contract: identical segments on every live rank, and a segment
+/// for round `F` must be applied on every survivor before any rank can
+/// send a message for round `F` (see [`crate::RankCtx::evict`]).
+#[derive(Debug)]
+pub struct EvictionLog {
+    /// `(from_round, sorted live ranks)`, strictly increasing in
+    /// `from_round`, strictly shrinking in population.
+    segments: Mutex<Vec<(u64, Vec<Rank>)>>,
+    /// False until the first eviction lands: lets the per-round hot paths
+    /// skip the lock and the live-set clone while the world is whole (the
+    /// overwhelmingly common case — failure handling must cost nothing
+    /// when nothing fails).
+    shrunk: AtomicBool,
+    /// Initial world size (the `p` every global rank id lives in).
+    p: usize,
+}
+
+impl EvictionLog {
+    /// A log where all `p` ranks are live from round 0.
+    pub fn new(p: usize) -> Self {
+        EvictionLog {
+            segments: Mutex::new(vec![(0, (0..p).collect())]),
+            shrunk: AtomicBool::new(false),
+            p,
+        }
+    }
+
+    /// The sorted live ranks participating in `round`.
+    pub fn live_at(&self, round: u64) -> Vec<Rank> {
+        let segs = self.segments.lock();
+        segs.iter()
+            .rev()
+            .find(|(from, _)| *from <= round)
+            .map(|(_, live)| live.clone())
+            .expect("eviction log starts at round 0")
+    }
+
+    /// `Some(live ranks)` when `round` runs over a shrunken world, `None`
+    /// when all `p` ranks participate — without touching the lock until
+    /// the first eviction has actually happened.
+    pub fn live_if_shrunk(&self, round: u64) -> Option<Vec<Rank>> {
+        if !self.shrunk.load(Ordering::Acquire) {
+            return None;
+        }
+        let live = self.live_at(round);
+        (live.len() != self.p).then_some(live)
+    }
+
+    /// Mark `dead` as evicted for every round ≥ `from_round`. Panics if
+    /// `from_round` precedes the current tail segment (append-only, like
+    /// the policy timeline) or if a dead rank was never live.
+    pub fn evict_from(&self, from_round: u64, dead: &[Rank]) {
+        let mut segs = self.segments.lock();
+        let (tail_from, tail_live) = segs.last().cloned().expect("eviction log never empty");
+        assert!(
+            from_round >= tail_from,
+            "eviction segments are append-only: {from_round} < {tail_from}"
+        );
+        let live: Vec<Rank> = tail_live
+            .iter()
+            .copied()
+            .filter(|r| !dead.contains(r))
+            .collect();
+        if live.len() == tail_live.len() {
+            return; // all already evicted
+        }
+        assert!(!live.is_empty(), "cannot evict the last live rank");
+        if from_round == tail_from {
+            segs.last_mut().expect("eviction log never empty").1 = live;
+        } else {
+            segs.push((from_round, live));
+        }
+        self.shrunk.store(true, Ordering::Release);
+    }
+
+    /// Number of eviction events applied so far.
+    pub fn epoch(&self) -> usize {
+        self.segments.lock().len() - 1
+    }
+
+    /// All ranks evicted so far (complement of the tail live set).
+    pub fn evicted(&self) -> Vec<Rank> {
+        let segs = self.segments.lock();
+        let live = &segs.last().expect("eviction log never empty").1;
+        (0..self.p).filter(|r| !live.contains(r)).collect()
+    }
+
+    /// Snapshot of the `(from_round, live ranks)` segments.
+    pub fn segments(&self) -> Vec<(u64, Vec<Rank>)> {
         self.segments.lock().clone()
     }
 }
@@ -355,6 +459,13 @@ struct Shared {
     /// Rounds where this rank contributed fresh data.
     fresh_rounds: AtomicU64,
     completions: AtomicU64,
+    /// One past the highest round whose schedule this rank has built —
+    /// internal *or external* activation. This is the rank's message
+    /// horizon: every message it has ever received is for a round below
+    /// it, which makes it the safe fence proposal for the eviction
+    /// consensus (a dead peer's last messages all precede its EOF, so by
+    /// detection time they are all reflected here).
+    built_horizon: AtomicU64,
 }
 
 /// The engine-side template: builds per-round schedules with the policy's
@@ -366,34 +477,69 @@ struct PartialTemplate {
     p: usize,
     op: ReduceOp,
     timeline: Arc<PolicyTimeline>,
+    evictions: Arc<EvictionLog>,
     seed: u64,
     coll: CollId,
 }
 
 impl CollectiveTemplate for PartialTemplate {
     fn build(&self, round: u64) -> Schedule {
+        self.shared
+            .built_horizon
+            .fetch_max(round + 1, Ordering::Relaxed);
+        // Post-eviction rounds run over the compacted live set: the
+        // schedule is built in a virtual world of `p_live` ranks (this
+        // rank's virtual id is its index in the sorted live set, and the
+        // policy's candidates are drawn from the virtual world) and its
+        // peer ids are then remapped back to global ranks. Healthy runs
+        // take the `p_live == p` fast path untouched.
+        let live = self.evictions.live_if_shrunk(round);
+        let (vrank, p_live) = match &live {
+            None => (self.rank, self.p),
+            Some(live) => {
+                let vrank = live
+                    .iter()
+                    .position(|&r| r == self.rank)
+                    .unwrap_or_else(|| {
+                        panic!(
+                            "rank {} builds round {round} of {:?} but is evicted from it",
+                            self.rank, self.coll
+                        )
+                    });
+                (vrank, live.len())
+            }
+        };
         let policy = self.timeline.policy_at(round);
-        let mode = policy_activation_mode(policy, self.seed, self.coll, round, self.p);
+        let mode = policy_activation_mode(policy, self.seed, self.coll, round, p_live);
         // The algorithm is a pure function of (size, P) plus the override
         // knob — identical on every rank and every round, so a rank
         // dragged in externally builds the same schedule shape as the
-        // round's initiator (the SPMD consensus requirement).
+        // round's initiator (the SPMD consensus requirement). Non-power-
+        // of-two live sets always take the segmented ring (recursive
+        // doubling's data phase needs a power of two; the ring does not).
         let selector = &self.shared.opts.algo;
         let bytes = self.shared.len * self.shared.dtype.size_of();
-        match selector.choose(bytes, self.p) {
-            AllreduceAlgo::RecursiveDoubling => {
-                allreduce_schedule(self.rank, self.p, self.op, &mode)
-            }
+        let algo = if p_live.is_power_of_two() {
+            selector.choose(bytes, p_live)
+        } else {
+            AllreduceAlgo::SegmentedRing
+        };
+        let mut sched = match algo {
+            AllreduceAlgo::RecursiveDoubling => allreduce_schedule(vrank, p_live, self.op, &mode),
             AllreduceAlgo::SegmentedRing => segmented_allreduce_schedule(
-                self.rank,
-                self.p,
+                vrank,
+                p_live,
                 self.op,
                 &mode,
                 self.shared.len,
                 selector.segment_elems(self.shared.dtype),
                 selector.pipeline_depth,
             ),
+        };
+        if let Some(live) = &live {
+            sched.remap_peers(live);
         }
+        sched
     }
 
     fn snapshot(&self, round: u64) -> Option<Payload> {
@@ -444,9 +590,18 @@ impl CollectiveTemplate for PartialTemplate {
             // Chain candidates gate the round on their own arrival, so
             // their contribution must be their fresh deposit even if a
             // chain token created the instance before they arrived.
+            // Candidates live in the round's (possibly compacted) virtual
+            // world — the same derivation `build` uses.
             QuorumPolicy::Majority | QuorumPolicy::Chain(_) => {
-                let cands = policy.round_candidates(self.seed, self.coll, round, self.p);
-                if cands.contains(&self.rank) {
+                let (vrank, p_live) = match self.evictions.live_if_shrunk(round) {
+                    None => (self.rank, self.p),
+                    Some(live) => match live.iter().position(|&r| r == self.rank) {
+                        Some(v) => (v, live.len()),
+                        None => return SnapshotTiming::Creation,
+                    },
+                };
+                let cands = policy.round_candidates(self.seed, self.coll, round, p_live);
+                if cands.contains(&vrank) {
                     SnapshotTiming::Activation
                 } else {
                     SnapshotTiming::Creation
@@ -529,6 +684,7 @@ pub struct PartialAllreduce {
     coll: CollId,
     next_round: u64,
     timeline: Arc<PolicyTimeline>,
+    evictions: Arc<EvictionLog>,
     seed: u64,
     p: usize,
 }
@@ -550,7 +706,9 @@ impl PartialAllreduce {
         policy: QuorumPolicy,
         opts: PartialOpts,
     ) -> Self {
-        require_power_of_two(p);
+        // Any initial world size is legal: non-power-of-two worlds (and
+        // non-power-of-two post-eviction live sets) always take the
+        // segmented-ring data path, whose structure works for any P.
         let shared = Arc::new(Shared {
             dtype,
             len,
@@ -571,8 +729,10 @@ impl PartialAllreduce {
             missed_rounds: AtomicU64::new(0),
             fresh_rounds: AtomicU64::new(0),
             completions: AtomicU64::new(0),
+            built_horizon: AtomicU64::new(0),
         });
         let timeline = Arc::new(PolicyTimeline::new(policy));
+        let evictions = Arc::new(EvictionLog::new(p));
         host.register_template(
             coll,
             Box::new(PartialTemplate {
@@ -581,6 +741,7 @@ impl PartialAllreduce {
                 p,
                 op,
                 timeline: Arc::clone(&timeline),
+                evictions: Arc::clone(&evictions),
                 seed,
                 coll,
             }),
@@ -591,17 +752,29 @@ impl PartialAllreduce {
             coll,
             next_round: 0,
             timeline,
+            evictions,
             seed,
             p,
         }
     }
 
     /// The initiator-candidate ranks of `round` under the policy governing
-    /// that round (all ranks for solo/full, the chain/race set otherwise).
+    /// that round (all ranks for solo/full, the chain/race set otherwise),
+    /// as **global** rank ids — evicted ranks are never candidates.
     pub fn candidates(&self, round: u64) -> Vec<Rank> {
-        self.timeline
-            .policy_at(round)
-            .round_candidates(self.seed, self.coll, round, self.p)
+        match self.evictions.live_if_shrunk(round) {
+            None => self
+                .timeline
+                .policy_at(round)
+                .round_candidates(self.seed, self.coll, round, self.p),
+            Some(live) => self
+                .timeline
+                .policy_at(round)
+                .round_candidates(self.seed, self.coll, round, live.len())
+                .into_iter()
+                .map(|v| live[v])
+                .collect(),
+        }
     }
 
     /// The policy governing `round` (per the policy timeline).
@@ -638,6 +811,52 @@ impl PartialAllreduce {
     /// Number of policy switches applied so far.
     pub fn policy_switches(&self) -> usize {
         self.timeline.switch_count()
+    }
+
+    /// Mark `dead` as evicted for every round ≥ `from_round`: those
+    /// rounds build their schedules over the surviving live set only
+    /// (candidates included), while earlier in-flight rounds complete
+    /// through the engine's peer-down null synthesis.
+    ///
+    /// Same SPMD + consensus contract as
+    /// [`PartialAllreduce::set_policy_from`]: every survivor must apply
+    /// the identical eviction, and no rank may enter round `from_round`
+    /// before every survivor has applied it. [`crate::RankCtx::evict`]
+    /// packages the fence protocol that provides this ordering; the
+    /// simulation harness applies it omnisciently at one virtual instant.
+    pub fn evict_from(&self, from_round: u64, dead: &[Rank]) {
+        assert!(
+            from_round >= self.next_round,
+            "cannot evict from round {from_round}: rounds < {} were already requested",
+            self.next_round
+        );
+        self.evictions.evict_from(from_round, dead);
+    }
+
+    /// The ranks live in the current tail segment (i.e. not yet evicted).
+    pub fn live_ranks(&self) -> Vec<Rank> {
+        self.evictions.live_at(u64::MAX)
+    }
+
+    /// All ranks evicted so far.
+    pub fn evicted_ranks(&self) -> Vec<Rank> {
+        self.evictions.evicted()
+    }
+
+    /// Number of eviction events applied so far.
+    pub fn eviction_epoch(&self) -> usize {
+        self.evictions.epoch()
+    }
+
+    /// One past the highest round this rank has *seen* — deposited
+    /// locally or built on external activation. Every message this rank
+    /// has ever received is for a round below the horizon, which makes it
+    /// the safe per-rank fence proposal for the eviction consensus: a
+    /// dead peer's messages all precede its connection teardown, so by
+    /// detection time they are all reflected here.
+    pub fn horizon(&self) -> u64 {
+        self.next_round
+            .max(self.shared.built_horizon.load(Ordering::Relaxed))
     }
 
     /// Perform one eager round: deposit `contrib`, trigger (or join) the

@@ -29,7 +29,9 @@
 //! simulator's version of the trainer's decide→fence consensus protocol.
 
 use crate::partial::{PartialAllreduce, PartialOpts, QuorumPolicy, RoundTrace};
-use pcoll_comm::{DType, Inbox, ReduceOp, SimEvent, SimOpts, SimWorld, TypedBuf, WorldConfig};
+use pcoll_comm::{
+    DType, Fault, Inbox, Rank, ReduceOp, SimEvent, SimOpts, SimWorld, TypedBuf, WorldConfig,
+};
 use pcoll_obs::{perfetto_trace, EventKind, TraceEvent, LEVEL_SPANS};
 use pcoll_sched::{CmdQueue, EngineCore};
 use std::sync::Arc;
@@ -160,6 +162,11 @@ pub struct SimReport {
     pub mean_nap: f64,
     /// Policy switches applied by the tuner hook, as `(from_round, to)`.
     pub switches: Vec<(u64, QuorumPolicy)>,
+    /// Evictions the harness applied, as `(fence_round, ranks evicted at
+    /// that fence)` — empty unless the spec scripts [`Fault::Kill`]s.
+    pub evictions: Vec<(u64, Vec<Rank>)>,
+    /// Ranks still alive at the end of the run.
+    pub live: Vec<Rank>,
     /// Head element of each rank's latest result buffer.
     pub finals: Vec<f32>,
 }
@@ -217,6 +224,13 @@ pub struct SimHarness {
     window_start_round: u64,
     window_start_time: Duration,
     window_start_fresh: u64,
+    /// Whether the fault plan can kill ranks (gates the per-event death
+    /// scan so fault-free runs pay nothing).
+    chaos: bool,
+    /// Ranks this harness has already evicted from every live timeline.
+    evicted: Vec<bool>,
+    /// `(fence_round, ranks evicted)` in application order.
+    evictions: Vec<(u64, Vec<Rank>)>,
 }
 
 impl SimHarness {
@@ -262,6 +276,12 @@ impl SimHarness {
             });
         }
         let policy = spec.policy;
+        let chaos = spec
+            .opts
+            .faults
+            .faults
+            .iter()
+            .any(|f| matches!(f, Fault::Kill { .. }));
         SimHarness {
             spec,
             sim,
@@ -273,6 +293,9 @@ impl SimHarness {
             window_start_round: 0,
             window_start_time: Duration::ZERO,
             window_start_fresh: 0,
+            chaos,
+            evicted: vec![false; p],
+            evictions: Vec::new(),
         }
     }
 
@@ -367,10 +390,16 @@ impl SimHarness {
                     self.poll_outcome(dst);
                 }
             }
+            if self.chaos {
+                self.apply_evictions();
+            }
         }
 
         let p = self.ranks.len();
         for (rank, r) in self.ranks.iter().enumerate() {
+            if self.sim.is_dead(rank) {
+                continue; // a killed rank legitimately stops mid-run
+            }
             assert_eq!(
                 r.deposited, self.spec.rounds,
                 "rank {rank} finished {} of {} rounds with the event schedule \
@@ -404,8 +433,37 @@ impl SimHarness {
             nap_per_round: nap,
             mean_nap: mean,
             switches: std::mem::take(&mut self.switches),
+            evictions: std::mem::take(&mut self.evictions),
+            live: self.sim.live_ranks(),
             finals: self.ranks.iter().map(|r| r.last_result).collect(),
         }
+    }
+
+    /// Evict freshly-dead ranks from every surviving timeline, at a fence
+    /// no rank has built past. The harness owns *every* rank's frontend —
+    /// the dead ones included — so unlike the TCP path it reads the fence
+    /// directly (`max` of all horizons) instead of running the survivors'
+    /// Max-allreduce consensus; the schedules that result are identical.
+    /// Applied between events, i.e. at a single virtual instant, which is
+    /// the sim's stand-in for the decide → fence → barrier protocol of
+    /// [`crate::ctx::RankCtx::evict`].
+    fn apply_evictions(&mut self) {
+        let newly: Vec<Rank> = (0..self.ranks.len())
+            .filter(|&r| self.sim.is_dead(r) && !self.evicted[r])
+            .collect();
+        if newly.is_empty() {
+            return;
+        }
+        let fence = self.ranks.iter().map(|r| r.ar.horizon()).max().unwrap_or(0);
+        for (rank, r) in self.ranks.iter().enumerate() {
+            if !self.sim.is_dead(rank) {
+                r.ar.evict_from(fence, &newly);
+            }
+        }
+        for &r in &newly {
+            self.evicted[r] = true;
+        }
+        self.evictions.push((fence, newly));
     }
 
     /// Deposit `round` on `rank` and schedule what follows.
@@ -632,6 +690,89 @@ mod tests {
         assert_eq!(a.nap_per_round, b.nap_per_round);
         assert_eq!(a.events, b.events);
         assert_eq!(a.virtual_time, b.virtual_time);
+    }
+
+    #[test]
+    fn scripted_kills_evict_and_survivors_finish() {
+        use pcoll_comm::{FaultPlan, TimePoint};
+        let p = 8;
+        let mut spec =
+            SimSpec::linear_skew(p, 30, Duration::from_millis(1), QuorumPolicy::Majority);
+        spec.opts.faults = FaultPlan::none()
+            .with(Fault::Kill {
+                rank: 3,
+                at: TimePoint::ZERO + Duration::from_millis(200),
+            })
+            .with(Fault::Kill {
+                rank: 6,
+                at: TimePoint::ZERO + Duration::from_millis(500),
+            });
+        let rep = SimHarness::run(spec);
+        assert_eq!(rep.live, vec![0, 1, 2, 4, 5, 7]);
+        let evicted: Vec<Rank> = rep
+            .evictions
+            .iter()
+            .flat_map(|(_, dead)| dead.clone())
+            .collect();
+        assert_eq!(evicted, vec![3, 6]);
+        // Fences are nondecreasing (the eviction log is append-only).
+        for w in rep.evictions.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        // Post-eviction rounds run over the live set: NAP can never
+        // exceed the surviving population.
+        let last_fence = rep.evictions.last().unwrap().0 as usize;
+        for (r, n) in rep.nap_per_round.iter().enumerate().skip(last_fence) {
+            assert!(*n <= 6, "round {r}: NAP {n} exceeds the 6 survivors");
+        }
+        // The drive loop's own end-state asserts already checked every
+        // survivor deposited all 30 rounds; the traces confirm it.
+        for &r in &rep.live {
+            assert_eq!(rep.traces[r].last().unwrap().round, 29, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_bit_identical() {
+        use pcoll_comm::{FaultPlan, TimePoint};
+        let mut spec =
+            SimSpec::linear_skew(8, 25, Duration::from_millis(1), QuorumPolicy::Majority);
+        spec.opts.faults = FaultPlan::none().with(Fault::Kill {
+            rank: 5,
+            at: TimePoint::ZERO + Duration::from_millis(300),
+        });
+        let a = SimHarness::run(spec.clone());
+        let b = SimHarness::run(spec);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.evictions, b.evictions);
+        assert_eq!(a.live, b.live);
+        assert_eq!(a.events, b.events);
+        assert!(!a.evictions.is_empty());
+    }
+
+    #[test]
+    fn self_paced_chaos_survivors_keep_pacing() {
+        use pcoll_comm::{FaultPlan, TimePoint};
+        let p = 4;
+        let mut spec =
+            SimSpec::linear_skew(p, 12, Duration::from_millis(1), QuorumPolicy::Majority);
+        spec.pacing = Pacing::SelfPaced {
+            compute: vec![Duration::from_millis(3); p],
+            hiccup: Hiccup::default(),
+        };
+        spec.opts.faults = FaultPlan::none().with(Fault::Kill {
+            rank: 2,
+            at: TimePoint::ZERO + Duration::from_millis(20),
+        });
+        let rep = SimHarness::run(spec);
+        assert_eq!(rep.live, vec![0, 1, 3]);
+        assert_eq!(rep.evictions.len(), 1);
+        // Survivors (closed-loop!) still complete every round: the null
+        // synthesis unblocks pre-fence rounds, the rebuilt schedules
+        // carry the post-fence ones.
+        for &r in &rep.live {
+            assert_eq!(rep.traces[r].last().unwrap().round, 11, "rank {r}");
+        }
     }
 
     #[test]

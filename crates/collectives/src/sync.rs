@@ -146,6 +146,51 @@ impl SyncAllreduce {
         }
     }
 
+    /// Like [`SyncAllreduce::register`], but over an arbitrary subset of
+    /// the world: only the `live` ranks (sorted, must contain `rank`)
+    /// participate. The schedule is built in a virtual world of
+    /// `live.len()` ranks and remapped to global ids — this is what the
+    /// eviction protocol's fence consensus runs on after a rank dies.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn register_over(
+        engine: &Engine,
+        coll: CollId,
+        live: &[Rank],
+        rank: Rank,
+        dtype: DType,
+        len: usize,
+        op: ReduceOp,
+        scale: Option<f64>,
+    ) -> Self {
+        let live = live.to_vec();
+        let vrank = live
+            .iter()
+            .position(|&r| r == rank)
+            .expect("register_over: rank must be in the live set");
+        let p = live.len();
+        let shared = SyncShared::new(scale);
+        engine.register(
+            coll,
+            Box::new(SyncTemplate {
+                build: move |_round| {
+                    let mut s = sync_allreduce_schedule(vrank, p, 0, op);
+                    s.remap_peers(&live);
+                    s
+                },
+                shared: Arc::clone(&shared),
+                contributes: true,
+            }),
+        );
+        SyncAllreduce {
+            shared,
+            engine: engine.clone(),
+            coll,
+            next_round: 0,
+            dtype,
+            len,
+        }
+    }
+
     /// Contribute `data` and block until the global reduction for this
     /// round returns.
     pub fn allreduce(&mut self, data: &TypedBuf) -> TypedBuf {
@@ -196,6 +241,36 @@ impl SyncBarrier {
             coll,
             Box::new(SyncTemplate {
                 build: move |_round| barrier_schedule(rank, p),
+                shared: Arc::clone(&shared),
+                contributes: false,
+            }),
+        );
+        SyncBarrier {
+            shared,
+            engine: engine.clone(),
+            coll,
+            next_round: std::cell::Cell::new(0),
+        }
+    }
+
+    /// Like [`SyncBarrier::register`], but over an arbitrary subset of
+    /// the world (see [`SyncAllreduce::register_over`]).
+    pub(crate) fn register_over(engine: &Engine, coll: CollId, live: &[Rank], rank: Rank) -> Self {
+        let live = live.to_vec();
+        let vrank = live
+            .iter()
+            .position(|&r| r == rank)
+            .expect("register_over: rank must be in the live set");
+        let p = live.len();
+        let shared = SyncShared::new(None);
+        engine.register(
+            coll,
+            Box::new(SyncTemplate {
+                build: move |_round| {
+                    let mut s = barrier_schedule(vrank, p);
+                    s.remap_peers(&live);
+                    s
+                },
                 shared: Arc::clone(&shared),
                 contributes: false,
             }),

@@ -56,6 +56,7 @@
 
 pub mod buf;
 pub mod matcher;
+pub mod membership;
 pub mod net;
 pub mod payload;
 pub mod pool;
@@ -69,16 +70,17 @@ pub use pcoll_obs::time;
 
 pub use buf::{reduce_f32_slices, BufError, DType, ReduceOp, TypedBuf};
 pub use matcher::Matcher;
+pub use membership::{Membership, PeerStatus};
 pub use net::NetworkModel;
 pub use payload::Payload;
 pub use pcoll_obs::time::{Clock, TimePoint};
 pub use pcoll_obs::{Recorder, TraceConfig};
 pub use pool::BytePool;
-pub use sim::{Planet, Region, SimEvent, SimOpts, SimWorld};
+pub use sim::{Fault, FaultPlan, Planet, Region, SimEvent, SimOpts, SimWorld};
 pub use stats::{CommStats, CommStatsSnapshot};
 pub use tag::{CollId, Message, Rank, WireTag};
-pub use transport::{is_tcp_worker, TcpOpts, Transport};
+pub use transport::{is_tcp_worker, launch_tcp_tolerant, TcpOpts, Transport};
 pub use world::{
-    CommHandle, Communicator, Envelope, Inbox, World, WorldConfig, DEFAULT_QUEUE_CAPACITY,
-    DEFAULT_QUEUE_DEADLINE,
+    CommHandle, Communicator, Envelope, FaultAction, FaultHook, Inbox, World, WorldConfig,
+    DEFAULT_QUEUE_CAPACITY, DEFAULT_QUEUE_DEADLINE,
 };

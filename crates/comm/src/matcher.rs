@@ -95,6 +95,9 @@ impl Matcher {
                     self.shutdown_seen = true;
                     return None;
                 }
+                // Matcher callers do their own liveness handling (or none);
+                // the notification is consumed so matching keeps draining.
+                Envelope::PeerDown { .. } => {}
             }
         }
     }
@@ -127,6 +130,7 @@ impl Matcher {
                     self.shutdown_seen = true;
                     return None;
                 }
+                Envelope::PeerDown { .. } => {}
             }
         }
     }
@@ -199,6 +203,7 @@ impl Matcher {
                     self.shutdown_seen = true;
                     return None;
                 }
+                Envelope::PeerDown { .. } => {}
             }
         }
     }

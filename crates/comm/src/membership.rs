@@ -1,0 +1,358 @@
+//! Per-peer liveness tracking: the failure-detection half of elastic
+//! membership.
+//!
+//! One [`Membership`] lives on each rank, shared by its transport threads
+//! (TCP readers/writers, the engine's envelope intake) through an `Arc`.
+//! It answers two questions the rest of the stack keeps asking:
+//!
+//! - **"have I heard from peer q recently?"** — every delivered message
+//!   (and every heartbeat frame on an otherwise idle TCP link) calls
+//!   [`Membership::observe`], which is a couple of relaxed atomic stores:
+//!   the hot path stays allocation- and lock-free.
+//! - **"is peer q gone?"** — hard evidence (connection reset, read EOF)
+//!   calls [`Membership::report_down`]; soft evidence accrues through
+//!   [`Membership::suspicion`], a phi-accrual-flavoured score comparing
+//!   the silence so far against the observed inter-arrival EWMA. Time is
+//!   read through the transport [`Clock`], so the same detector runs
+//!   under wall time (inproc/TCP) and virtual time (the simulator).
+//!
+//! Status is monotonic per peer: `Alive → Suspect → Down → Evicted`.
+//! `Down` is a *local* verdict; `Evicted` records the SPMD-fenced
+//! agreement (see `pcoll`'s eviction protocol) that every survivor
+//! treats the rank as permanently absent. The `epoch` counter bumps on
+//! every down/evict transition so pollers can cheaply detect "membership
+//! changed since I last looked".
+
+use crate::tag::Rank;
+use crate::time::Clock;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::Duration;
+
+/// Liveness status of one peer, as seen from the local rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerStatus {
+    /// Traffic (or no evidence against) — the healthy default.
+    Alive,
+    /// Silent for suspiciously long; not yet declared dead.
+    Suspect,
+    /// Locally declared dead (socket error/EOF or suspicion timeout).
+    Down,
+    /// Survivors agreed to treat this rank as permanently absent.
+    Evicted,
+}
+
+const ST_ALIVE: u8 = 0;
+const ST_SUSPECT: u8 = 1;
+const ST_DOWN: u8 = 2;
+const ST_EVICTED: u8 = 3;
+
+struct PeerState {
+    /// Clock nanoseconds of the most recent traffic from this peer.
+    last_heard_ns: AtomicU64,
+    /// EWMA of inter-arrival gaps, in nanoseconds (0 = no sample yet).
+    mean_interval_ns: AtomicU64,
+    status: AtomicU8,
+}
+
+/// Per-peer liveness view (see module docs). Cheap to share: all state is
+/// atomics; no locks anywhere.
+pub struct Membership {
+    rank: Rank,
+    peers: Vec<PeerState>,
+    clock: Clock,
+    /// Minimum silence before [`Membership::suspicion`] reports > 0.
+    grace: Duration,
+    /// Bumped on every down/evict transition.
+    epoch: AtomicU64,
+}
+
+/// Default grace period before silence starts accruing suspicion.
+pub const DEFAULT_SUSPICION_GRACE: Duration = Duration::from_millis(500);
+
+impl std::fmt::Debug for Membership {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Membership")
+            .field("rank", &self.rank)
+            .field("size", &self.peers.len())
+            .field("live", &self.live())
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+impl Membership {
+    /// A membership view for `rank` of `size`, timing silence on `clock`.
+    pub fn new(rank: Rank, size: usize, clock: Clock) -> Membership {
+        Membership::with_grace(rank, size, clock, DEFAULT_SUSPICION_GRACE)
+    }
+
+    /// [`Membership::new`] with an explicit suspicion grace period.
+    pub fn with_grace(rank: Rank, size: usize, clock: Clock, grace: Duration) -> Membership {
+        let now = clock.now().as_nanos();
+        Membership {
+            rank,
+            peers: (0..size)
+                .map(|_| PeerState {
+                    last_heard_ns: AtomicU64::new(now),
+                    mean_interval_ns: AtomicU64::new(0),
+                    status: AtomicU8::new(ST_ALIVE),
+                })
+                .collect(),
+            clock,
+            grace,
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The local rank this view belongs to.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size (P), counting every rank dead or alive.
+    pub fn size(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Record traffic from `peer`: refresh its last-heard stamp, fold the
+    /// inter-arrival gap into the EWMA, and clear a `Suspect` verdict
+    /// (never a `Down`/`Evicted` one — those are sticky). Hot path:
+    /// relaxed atomics only.
+    #[inline]
+    pub fn observe(&self, peer: Rank) {
+        let Some(p) = self.peers.get(peer) else {
+            return;
+        };
+        let now = self.clock.now().as_nanos();
+        let prev = p.last_heard_ns.swap(now, Ordering::Relaxed);
+        let gap = now.saturating_sub(prev);
+        // EWMA with alpha = 1/4 (shifts, no floats on the hot path).
+        let old = p.mean_interval_ns.load(Ordering::Relaxed);
+        let next = if old == 0 {
+            gap
+        } else {
+            old - (old >> 2) + (gap >> 2)
+        };
+        p.mean_interval_ns.store(next, Ordering::Relaxed);
+        let _ =
+            p.status
+                .compare_exchange(ST_SUSPECT, ST_ALIVE, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// Phi-accrual-flavoured suspicion score for `peer`: 0 while traffic
+    /// is fresher than the grace period, then the current silence divided
+    /// by the expected inter-arrival gap (EWMA, floored at the grace
+    /// period). A score ≥ `threshold` (typically 4–8) means the silence
+    /// is that many expected gaps long. Down/evicted peers score
+    /// `f64::INFINITY`.
+    pub fn suspicion(&self, peer: Rank) -> f64 {
+        let Some(p) = self.peers.get(peer) else {
+            return 0.0;
+        };
+        if peer == self.rank {
+            return 0.0;
+        }
+        if p.status.load(Ordering::Relaxed) >= ST_DOWN {
+            return f64::INFINITY;
+        }
+        let now = self.clock.now().as_nanos();
+        let silent = now.saturating_sub(p.last_heard_ns.load(Ordering::Relaxed));
+        let grace = self.grace.as_nanos() as u64;
+        if silent <= grace {
+            return 0.0;
+        }
+        let mean = p.mean_interval_ns.load(Ordering::Relaxed).max(grace).max(1);
+        silent as f64 / mean as f64
+    }
+
+    /// Mark `peer` as [`PeerStatus::Suspect`] when its suspicion exceeds
+    /// `threshold`; returns the peers newly moved to suspect. Call this
+    /// from a housekeeping point (the engine's idle loop, a sim timer) —
+    /// it is not on the message hot path.
+    pub fn sweep_suspects(&self, threshold: f64) -> Vec<Rank> {
+        let mut newly = Vec::new();
+        for peer in 0..self.peers.len() {
+            if peer == self.rank {
+                continue;
+            }
+            if self.suspicion(peer) >= threshold
+                && self.peers[peer]
+                    .status
+                    .compare_exchange(ST_ALIVE, ST_SUSPECT, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+            {
+                newly.push(peer);
+            }
+        }
+        newly
+    }
+
+    /// Hard evidence that `peer` is gone (socket reset, read EOF,
+    /// suspicion timeout expired). Returns `true` exactly once — the
+    /// first caller to move the peer to `Down` — so exactly one
+    /// `PeerDown` envelope gets routed per peer. Bumps the epoch.
+    pub fn report_down(&self, peer: Rank) -> bool {
+        let Some(p) = self.peers.get(peer) else {
+            return false;
+        };
+        if peer == self.rank {
+            return false;
+        }
+        loop {
+            let cur = p.status.load(Ordering::Relaxed);
+            if cur >= ST_DOWN {
+                return false;
+            }
+            if p.status
+                .compare_exchange(cur, ST_DOWN, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                self.epoch.fetch_add(1, Ordering::AcqRel);
+                return true;
+            }
+        }
+    }
+
+    /// Record the SPMD-fenced eviction agreement for `peer` (implies
+    /// down). Bumps the epoch when the status actually changed.
+    pub fn evict(&self, peer: Rank) {
+        let Some(p) = self.peers.get(peer) else {
+            return;
+        };
+        if p.status.swap(ST_EVICTED, Ordering::AcqRel) != ST_EVICTED {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// `peer`'s current status.
+    pub fn status(&self, peer: Rank) -> PeerStatus {
+        match self.peers[peer].status.load(Ordering::Relaxed) {
+            ST_ALIVE => PeerStatus::Alive,
+            ST_SUSPECT => PeerStatus::Suspect,
+            ST_DOWN => PeerStatus::Down,
+            _ => PeerStatus::Evicted,
+        }
+    }
+
+    /// Whether `peer` is locally down or evicted.
+    #[inline]
+    pub fn is_down(&self, peer: Rank) -> bool {
+        self.peers
+            .get(peer)
+            .is_some_and(|p| p.status.load(Ordering::Relaxed) >= ST_DOWN)
+    }
+
+    /// Whether `peer` was evicted by consensus.
+    pub fn is_evicted(&self, peer: Rank) -> bool {
+        self.peers
+            .get(peer)
+            .is_some_and(|p| p.status.load(Ordering::Relaxed) == ST_EVICTED)
+    }
+
+    /// The live ranks (not down, not evicted), sorted; always contains
+    /// the local rank.
+    pub fn live(&self) -> Vec<Rank> {
+        (0..self.peers.len())
+            .filter(|&r| !self.is_down(r))
+            .collect()
+    }
+
+    /// The ranks locally declared down or evicted, sorted.
+    pub fn down(&self) -> Vec<Rank> {
+        (0..self.peers.len()).filter(|&r| self.is_down(r)).collect()
+    }
+
+    /// The ranks evicted by consensus, sorted.
+    pub fn evicted(&self) -> Vec<Rank> {
+        (0..self.peers.len())
+            .filter(|&r| self.is_evicted(r))
+            .collect()
+    }
+
+    /// Membership-change counter: bumps on every down/evict transition.
+    /// Pollers compare against a remembered value to skip work when
+    /// nothing changed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimePoint;
+
+    fn virtual_membership(p: usize) -> (Membership, Clock) {
+        let clock = Clock::virtual_clock();
+        let m = Membership::with_grace(0, p, clock.clone(), Duration::from_millis(100));
+        (m, clock)
+    }
+
+    #[test]
+    fn fresh_peers_are_alive_with_zero_suspicion() {
+        let (m, _clock) = virtual_membership(4);
+        for r in 0..4 {
+            assert_eq!(m.status(r), PeerStatus::Alive);
+            assert_eq!(m.suspicion(r), 0.0);
+        }
+        assert_eq!(m.live(), vec![0, 1, 2, 3]);
+        assert_eq!(m.epoch(), 0);
+    }
+
+    #[test]
+    fn suspicion_grows_with_silence_on_the_virtual_clock() {
+        let (m, clock) = virtual_membership(2);
+        // Establish a ~10ms cadence from peer 1.
+        for step in 1..=5u64 {
+            clock.advance_to(TimePoint::from_nanos(step * 10_000_000));
+            m.observe(1);
+        }
+        assert_eq!(m.suspicion(1), 0.0);
+        // Silence for 1s: far beyond the 100ms grace and the 10ms EWMA.
+        clock.advance(Duration::from_secs(1));
+        assert!(m.suspicion(1) > 4.0, "got {}", m.suspicion(1));
+        assert_eq!(m.sweep_suspects(4.0), vec![1]);
+        assert_eq!(m.status(1), PeerStatus::Suspect);
+        // Traffic clears the suspect verdict.
+        m.observe(1);
+        assert_eq!(m.status(1), PeerStatus::Alive);
+    }
+
+    #[test]
+    fn report_down_fires_exactly_once_and_bumps_epoch() {
+        let (m, _clock) = virtual_membership(3);
+        assert!(m.report_down(2));
+        assert!(!m.report_down(2), "second report must be a no-op");
+        assert_eq!(m.status(2), PeerStatus::Down);
+        assert_eq!(m.live(), vec![0, 1]);
+        assert_eq!(m.down(), vec![2]);
+        assert_eq!(m.epoch(), 1);
+        assert_eq!(m.suspicion(2), f64::INFINITY);
+        // Traffic cannot resurrect a down peer.
+        m.observe(2);
+        assert_eq!(m.status(2), PeerStatus::Down);
+    }
+
+    #[test]
+    fn eviction_is_sticky_and_implies_down() {
+        let (m, _clock) = virtual_membership(4);
+        m.report_down(3);
+        m.evict(3);
+        assert_eq!(m.status(3), PeerStatus::Evicted);
+        assert!(m.is_down(3) && m.is_evicted(3));
+        assert_eq!(m.evicted(), vec![3]);
+        assert_eq!(m.epoch(), 2);
+        m.evict(3);
+        assert_eq!(m.epoch(), 2, "re-evicting does not bump the epoch");
+    }
+
+    #[test]
+    fn self_is_never_suspected_or_downed() {
+        let (m, clock) = virtual_membership(2);
+        clock.advance(Duration::from_secs(60));
+        assert_eq!(m.suspicion(0), 0.0);
+        assert!(!m.report_down(0));
+        assert_eq!(m.sweep_suspects(0.5), vec![1]);
+        assert_eq!(m.status(0), PeerStatus::Alive);
+    }
+}

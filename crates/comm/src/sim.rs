@@ -33,6 +33,7 @@
 //! one-way-latency matrix (in the spirit of fantoch's `Planet`/`Region`
 //! planet-scale simulator). Ranks map onto regions in contiguous blocks.
 
+use crate::membership::Membership;
 use crate::stats::CommStats;
 use crate::tag::Rank;
 use crate::time::{Clock, TimePoint};
@@ -143,13 +144,108 @@ impl Planet {
 pub struct SimOpts {
     /// Region topology composed with the world's [`NetworkModel`].
     pub planet: Planet,
+    /// Chaos script applied natively in event delivery (empty = none).
+    pub faults: FaultPlan,
 }
 
 impl Default for SimOpts {
     fn default() -> Self {
         SimOpts {
             planet: Planet::single(),
+            faults: FaultPlan::default(),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// One scripted fault in a simulated run. All instants are virtual time;
+/// windows are half-open `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// `rank` dies at `at`: everything it had in flight still lands, but
+    /// from `at` on it neither sends nor receives, and every live rank
+    /// gets an [`Envelope::PeerDown`] at that instant (the sim's
+    /// omniscient stand-in for per-link detection).
+    Kill {
+        /// The rank that dies.
+        rank: Rank,
+        /// When it dies.
+        at: TimePoint,
+    },
+    /// `rank` freezes for `[from, from + dur)`: messages it sends or
+    /// should receive during the window are deferred to the window's end
+    /// (it comes back — a GC pause or `SIGSTOP`, not a death).
+    Stall {
+        /// The stalled rank.
+        rank: Rank,
+        /// Freeze start.
+        from: TimePoint,
+        /// Freeze length.
+        dur: Duration,
+    },
+    /// Messages sent `src → dst` during the window vanish.
+    Drop {
+        /// Sender side of the lossy link.
+        src: Rank,
+        /// Receiver side.
+        dst: Rank,
+        /// Window start.
+        from: TimePoint,
+        /// Window end (exclusive).
+        until: TimePoint,
+    },
+    /// Messages sent `src → dst` during the window take `extra` longer.
+    Delay {
+        /// Sender side of the slow link.
+        src: Rank,
+        /// Receiver side.
+        dst: Rank,
+        /// Added one-way latency.
+        extra: Duration,
+        /// Window start.
+        from: TimePoint,
+        /// Window end (exclusive).
+        until: TimePoint,
+    },
+    /// The `src → dst` direction is cut permanently at `at` (the reverse
+    /// direction still works — an asymmetric partition).
+    Sever {
+        /// Sender side of the cut direction.
+        src: Rank,
+        /// Receiver side.
+        dst: Rank,
+        /// When the cut happens.
+        at: TimePoint,
+    },
+}
+
+/// A scripted set of [`Fault`]s for one simulated run. Because the sim is
+/// a pure function of `(config, seed)`, the same plan replays
+/// bit-identically — chaos runs regress in CI like any other.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The faults, in no particular order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults (the default).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Append a fault (builder-style).
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
     }
 }
 
@@ -174,6 +270,10 @@ enum EventKind {
     Timer {
         rank: Rank,
         token: u64,
+    },
+    /// A scripted [`Fault::Kill`] coming due (internal — never surfaced).
+    Kill {
+        rank: Rank,
     },
 }
 
@@ -267,8 +367,12 @@ pub struct SimWorld {
     mb_txs: Vec<Sender<Envelope>>,
     mb_rxs: Vec<Option<Receiver<Envelope>>>,
     stats: Vec<Arc<CommStats>>,
+    memberships: Vec<Arc<Membership>>,
+    faults: Vec<Fault>,
+    dead: Vec<bool>,
     events: u64,
     delivered: u64,
+    dropped_by_fault: u64,
 }
 
 impl SimWorld {
@@ -284,13 +388,16 @@ impl SimWorld {
         // so same-seed runs emit byte-identical traces (a tested
         // invariant — see `tests/sim_determinism.rs`).
         let clock = Clock::virtual_clock();
-        let stats = (0..cfg.nranks)
+        let stats: Vec<Arc<CommStats>> = (0..cfg.nranks)
             .map(|rank| {
                 let rec = cfg.trace.recorder(rank as u32, clock.clone());
                 Arc::new(CommStats::with_recorder(rec))
             })
             .collect();
-        SimWorld {
+        let memberships = (0..cfg.nranks)
+            .map(|rank| Arc::new(Membership::new(rank, cfg.nranks, clock.clone())))
+            .collect();
+        let mut w = SimWorld {
             rng_state: (cfg.seed ^ 0x5EED) | 1,
             planet: opts.planet,
             regions,
@@ -303,10 +410,33 @@ impl SimWorld {
             mb_txs,
             mb_rxs: mb_rxs.into_iter().map(Some).collect(),
             stats,
+            memberships,
+            faults: opts.faults.faults,
+            dead: vec![false; cfg.nranks],
             events: 0,
             delivered: 0,
+            dropped_by_fault: 0,
             cfg,
+        };
+        // Scripted kills become schedule entries so they interleave with
+        // deliveries in deterministic (due, seq) order.
+        let kills: Vec<(TimePoint, Rank)> = w
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Kill { rank, at } => Some((*at, *rank)),
+                _ => None,
+            })
+            .collect();
+        for (at, rank) in kills {
+            w.heap.push(Reverse(SimEntry {
+                due: at,
+                seq: w.seq,
+                kind: EventKind::Kill { rank },
+            }));
+            w.seq += 1;
         }
+        w
     }
 
     /// World size (P).
@@ -350,6 +480,57 @@ impl SimWorld {
             }),
             stats: Arc::clone(&self.stats[rank]),
             queue_deadline: self.cfg.queue_deadline,
+            membership: Arc::clone(&self.memberships[rank]),
+            fault: self.cfg.fault_hook.clone(),
+        }
+    }
+
+    /// `rank`'s per-peer liveness view (shared with its [`CommHandle`]s).
+    pub fn membership(&self, rank: Rank) -> Arc<Membership> {
+        Arc::clone(&self.memberships[rank])
+    }
+
+    /// Whether `rank` is dead (scripted kill or [`SimWorld::kill`]).
+    pub fn is_dead(&self, rank: Rank) -> bool {
+        self.dead[rank]
+    }
+
+    /// The live ranks, sorted.
+    pub fn live_ranks(&self) -> Vec<Rank> {
+        (0..self.cfg.nranks).filter(|&r| !self.dead[r]).collect()
+    }
+
+    /// Kill `rank` *now*: from this instant it neither sends nor
+    /// receives, and every live rank gets an [`Envelope::PeerDown`]
+    /// delivery at the current virtual time (drained through the normal
+    /// mailbox path, so harnesses see the death in deterministic event
+    /// order). Messages the victim already had in flight still land —
+    /// exactly the TCP semantics, where buffered bytes survive the
+    /// sender's death. Idempotent.
+    pub fn kill(&mut self, rank: Rank) {
+        assert!(rank < self.cfg.nranks, "rank {rank} out of range");
+        if self.dead[rank] {
+            return;
+        }
+        self.dead[rank] = true;
+        let now = self.clock.now();
+        for dst in 0..self.cfg.nranks {
+            if dst == rank || self.dead[dst] {
+                continue;
+            }
+            self.heap.push(Reverse(SimEntry {
+                due: now,
+                seq: self.seq,
+                kind: EventKind::Deliver {
+                    src: rank,
+                    dst,
+                    env: Envelope::PeerDown { peer: rank },
+                    delay_ns: 0,
+                    held_ns: 0,
+                    held_behind: 0,
+                },
+            }));
+            self.seq += 1;
         }
     }
 
@@ -418,14 +599,63 @@ impl SimWorld {
         };
         let now = self.clock.now();
         for (src, dst, env) in staged {
+            // Dead ends: a corpse neither sends nor receives. (Messages
+            // already *in the heap* when a rank dies are handled at pop.)
+            if self.dead[src] || self.dead[dst] {
+                self.dropped_by_fault += 1;
+                continue;
+            }
             let bytes = match &env {
                 Envelope::Data(m) => m.wire_bytes(),
-                Envelope::Shutdown => 0,
+                Envelope::Shutdown | Envelope::PeerDown { .. } => 0,
             };
-            let latency = self.planet.one_way(self.regions[src], self.regions[dst])
+            let mut latency = self.planet.one_way(self.regions[src], self.regions[dst])
                 + self.cfg.network.base_latency(bytes)
                 + self.next_jitter(Self::jitter_max(&self.cfg.network));
-            let natural = now + latency;
+            // Scripted link faults, judged at send time.
+            let mut stall_until = TimePoint::ZERO;
+            let mut dropped = false;
+            for f in &self.faults {
+                match *f {
+                    Fault::Drop {
+                        src: fs,
+                        dst: fd,
+                        from,
+                        until,
+                    } if fs == src && fd == dst && now >= from && now < until => {
+                        dropped = true;
+                    }
+                    Fault::Delay {
+                        src: fs,
+                        dst: fd,
+                        extra,
+                        from,
+                        until,
+                    } if fs == src && fd == dst && now >= from && now < until => {
+                        latency += extra;
+                    }
+                    Fault::Sever {
+                        src: fs,
+                        dst: fd,
+                        at,
+                    } if fs == src && fd == dst && now >= at => {
+                        dropped = true;
+                    }
+                    Fault::Stall { rank, from, dur } if rank == src || rank == dst => {
+                        // A frozen endpoint defers traffic to the thaw.
+                        let end = from + dur;
+                        if now >= from && now < end {
+                            stall_until = stall_until.max(end);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if dropped {
+                self.dropped_by_fault += 1;
+                continue;
+            }
+            let natural = (now + latency).max(stall_until);
             let mut due = natural;
             if let Some(prev) = self.last_due.get(&(src, dst)) {
                 due = due.max(*prev);
@@ -455,60 +685,112 @@ impl SimWorld {
     /// delivery into the destination mailbox or surface a timer. `None`
     /// when the schedule is empty (and nothing was staged).
     pub fn step(&mut self) -> Option<SimEvent> {
-        self.flush_sends();
-        let Reverse(entry) = self.heap.pop()?;
-        self.clock.advance_to(entry.due);
-        self.events += 1;
-        match entry.kind {
-            EventKind::Deliver {
-                src,
-                dst,
-                env,
-                delay_ns,
-                held_ns,
-                held_behind,
-            } => {
-                self.delivered += 1;
-                if let Some(n) = self.in_flight.get_mut(&(src, dst)) {
-                    *n = n.saturating_sub(1);
+        loop {
+            self.flush_sends();
+            let Reverse(entry) = self.heap.pop()?;
+            self.clock.advance_to(entry.due);
+            self.events += 1;
+            match entry.kind {
+                EventKind::Kill { rank } => {
+                    // Scripted death coming due: mark and fan the
+                    // PeerDown notifications out, then keep stepping —
+                    // the notifications themselves surface as ordinary
+                    // deliveries.
+                    self.kill(rank);
+                    continue;
                 }
-                // The wire released the message: a verbose instant on the
-                // receiver, and — when the non-overtaking clamp held it —
-                // a stall span on the sender ending now (the sim's
-                // backpressure signal; see `flush_sends`).
-                self.stats[dst]
-                    .recorder()
-                    .record(pcoll_obs::LEVEL_VERBOSE, || {
-                        pcoll_obs::EventKind::NetRelease {
-                            dst: dst as u32,
-                            delay_ns,
+                EventKind::Deliver {
+                    src,
+                    dst,
+                    env,
+                    delay_ns,
+                    held_ns,
+                    held_behind,
+                } => {
+                    if self.dead[dst] {
+                        // The destination died while this was on the wire.
+                        self.dropped_by_fault += 1;
+                        if let Some(n) = self.in_flight.get_mut(&(src, dst)) {
+                            *n = n.saturating_sub(1);
                         }
-                    });
-                if held_ns > 0 {
-                    self.stats[src]
+                        continue;
+                    }
+                    return Some(self.deliver(src, dst, env, delay_ns, held_ns, held_behind));
+                }
+                EventKind::Timer { rank, token } => {
+                    if self.dead[rank] {
+                        continue;
+                    }
+                    return Some(SimEvent::Timer { rank, token });
+                }
+            }
+        }
+    }
+
+    /// Land one due message in `dst`'s mailbox (the tail of
+    /// [`SimWorld::step`]'s Deliver arm).
+    fn deliver(
+        &mut self,
+        src: Rank,
+        dst: Rank,
+        env: Envelope,
+        delay_ns: u64,
+        held_ns: u64,
+        held_behind: u64,
+    ) -> SimEvent {
+        self.delivered += 1;
+        if let Some(n) = self.in_flight.get_mut(&(src, dst)) {
+            *n = n.saturating_sub(1);
+        }
+        // The wire released the message: a verbose instant on the
+        // receiver, and — when the non-overtaking clamp held it —
+        // a stall span on the sender ending now (the sim's
+        // backpressure signal; see `flush_sends`).
+        self.stats[dst]
+            .recorder()
+            .record(pcoll_obs::LEVEL_VERBOSE, || {
+                pcoll_obs::EventKind::NetRelease {
+                    dst: dst as u32,
+                    delay_ns,
+                }
+            });
+        if held_ns > 0 {
+            self.stats[src]
+                .recorder()
+                .record(pcoll_obs::LEVEL_SPANS, || {
+                    pcoll_obs::EventKind::QueueStall {
+                        depth: held_behind,
+                        dur_ns: held_ns,
+                    }
+                });
+        }
+        // Keep the receiver's membership view current: data traffic is a
+        // liveness signal, a PeerDown notification is a local verdict.
+        match &env {
+            Envelope::Data(m) => self.memberships[dst].observe(m.src),
+            Envelope::PeerDown { peer } => {
+                if self.memberships[dst].report_down(*peer) {
+                    self.stats[dst]
                         .recorder()
-                        .record(pcoll_obs::LEVEL_SPANS, || {
-                            pcoll_obs::EventKind::QueueStall {
-                                depth: held_behind,
-                                dur_ns: held_ns,
-                            }
+                        .record(pcoll_obs::LEVEL_SPANS, || pcoll_obs::EventKind::PeerDown {
+                            peer: *peer as u32,
                         });
                 }
-                if self.mb_txs[dst].try_send(env).is_err() {
-                    // A full mailbox here means the driver is not draining
-                    // after deliveries — a bug in the harness, not a
-                    // backpressure scenario the single-threaded sim can
-                    // resolve by blocking.
-                    panic!(
-                        "sim mailbox for rank {dst} rejected a delivery \
-                         (capacity {}): drain the inbox after every event",
-                        self.cfg.queue_capacity
-                    );
-                }
-                Some(SimEvent::Deliver { dst })
             }
-            EventKind::Timer { rank, token } => Some(SimEvent::Timer { rank, token }),
+            Envelope::Shutdown => {}
         }
+        if self.mb_txs[dst].try_send(env).is_err() {
+            // A full mailbox here means the driver is not draining
+            // after deliveries — a bug in the harness, not a
+            // backpressure scenario the single-threaded sim can
+            // resolve by blocking.
+            panic!(
+                "sim mailbox for rank {dst} rejected a delivery \
+                 (capacity {}): drain the inbox after every event",
+                self.cfg.queue_capacity
+            );
+        }
+        SimEvent::Deliver { dst }
     }
 
     /// Whether the schedule is exhausted (nothing queued, nothing staged).
@@ -525,6 +807,12 @@ impl SimWorld {
     pub fn messages_delivered(&self) -> u64 {
         self.delivered
     }
+
+    /// Messages destroyed by faults so far (dropped/severed links, dead
+    /// endpoints).
+    pub fn messages_dropped_by_fault(&self) -> u64 {
+        self.dropped_by_fault
+    }
 }
 
 #[cfg(test)]
@@ -538,7 +826,13 @@ mod tests {
             network: model,
             ..WorldConfig::instant(p)
         };
-        SimWorld::new(cfg, SimOpts { planet })
+        SimWorld::new(
+            cfg,
+            SimOpts {
+                planet,
+                ..SimOpts::default()
+            },
+        )
     }
 
     fn tag(sem: u32) -> WireTag {

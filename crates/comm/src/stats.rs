@@ -42,6 +42,18 @@ pub struct CommStats {
     pub peak_queue_depth: AtomicU64,
     /// Sends dropped because the destination had already finished.
     pub dropped_closed: AtomicU64,
+    /// Sends dropped because the destination was declared down by the
+    /// failure detector (distinct from `dropped_closed`: the peer did not
+    /// finish, it died — these drops feed the eviction story, not the
+    /// orderly-teardown one).
+    pub dropped_peer_down: AtomicU64,
+    /// Goodbye-handshake drains skipped because the peer was already dead
+    /// (teardown must not block on a corpse; each skip is one peer whose
+    /// in-flight traffic we gave up waiting for).
+    pub drain_skips: AtomicU64,
+    /// Heartbeat frames sent on otherwise-idle links (TCP only; the
+    /// membership layer's keep-alive traffic, never delivered upward).
+    pub heartbeats: AtomicU64,
     /// The rank's flight recorder (disabled by default: recording into
     /// it is a no-op costing one `Option` check).
     recorder: Recorder,
@@ -99,6 +111,9 @@ impl CommStats {
             stall_ms: self.stall_ns.load(Ordering::Relaxed) as f64 / 1e6,
             peak_queue_depth: self.peak_queue_depth.load(Ordering::Relaxed),
             dropped_closed: self.dropped_closed.load(Ordering::Relaxed),
+            dropped_peer_down: self.dropped_peer_down.load(Ordering::Relaxed),
+            drain_skips: self.drain_skips.load(Ordering::Relaxed),
+            heartbeats: self.heartbeats.load(Ordering::Relaxed),
         }
     }
 
@@ -117,6 +132,12 @@ impl CommStats {
             self.stall_ns.load(Ordering::Relaxed),
         );
         reg.counter_add(&format!("{prefix}_dropped_closed_total"), s.dropped_closed);
+        reg.counter_add(
+            &format!("{prefix}_dropped_peer_down_total"),
+            s.dropped_peer_down,
+        );
+        reg.counter_add(&format!("{prefix}_drain_skips_total"), s.drain_skips);
+        reg.counter_add(&format!("{prefix}_heartbeats_total"), s.heartbeats);
         reg.gauge_max(&format!("{prefix}_peak_queue_depth"), s.peak_queue_depth);
     }
 }
@@ -143,6 +164,12 @@ pub struct CommStatsSnapshot {
     pub peak_queue_depth: u64,
     /// Messages dropped because the destination had already finished.
     pub dropped_closed: u64,
+    /// Messages dropped because the destination was declared down.
+    pub dropped_peer_down: u64,
+    /// Goodbye drains skipped against already-dead peers.
+    pub drain_skips: u64,
+    /// Heartbeat frames sent on idle links.
+    pub heartbeats: u64,
 }
 
 impl CommStatsSnapshot {
@@ -162,6 +189,11 @@ impl CommStatsSnapshot {
             stall_ms: (self.stall_ms - earlier.stall_ms).max(0.0),
             peak_queue_depth: 0,
             dropped_closed: self.dropped_closed.saturating_sub(earlier.dropped_closed),
+            dropped_peer_down: self
+                .dropped_peer_down
+                .saturating_sub(earlier.dropped_peer_down),
+            drain_skips: self.drain_skips.saturating_sub(earlier.drain_skips),
+            heartbeats: self.heartbeats.saturating_sub(earlier.heartbeats),
         }
     }
 }
@@ -207,6 +239,9 @@ mod tests {
             stall_ms: 1.0,
             peak_queue_depth: 3,
             dropped_closed: 0,
+            dropped_peer_down: 0,
+            drain_skips: 0,
+            heartbeats: 2,
         };
         let b = CommStatsSnapshot {
             sends: 9,
@@ -217,6 +252,9 @@ mod tests {
             stall_ms: 2.5,
             peak_queue_depth: 6,
             dropped_closed: 1,
+            dropped_peer_down: 2,
+            drain_skips: 1,
+            heartbeats: 7,
         };
         let d = b.since(&a);
         assert_eq!(d.sends, 4);
@@ -227,6 +265,9 @@ mod tests {
         assert!((d.stall_ms - 1.5).abs() < 1e-9);
         assert_eq!(d.peak_queue_depth, 0, "deltas never report the gauge");
         assert_eq!(d.dropped_closed, 1);
+        assert_eq!(d.dropped_peer_down, 2);
+        assert_eq!(d.drain_skips, 1);
+        assert_eq!(d.heartbeats, 5);
     }
 
     #[test]

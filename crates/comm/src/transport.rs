@@ -39,6 +39,7 @@
 //! so the caller can skip the work that belongs to a different launch
 //! (see `examples/quickstart.rs`).
 
+use crate::membership::Membership;
 use crate::net::spawn_network;
 use crate::pool::FRAME_POOL;
 use crate::sim::{SimOpts, SimRoute};
@@ -46,8 +47,11 @@ use crate::stats::CommStats;
 use crate::tag::{CollId, Message, Rank, WireTag};
 use crate::world::{CommHandle, Communicator, Envelope, Inbox, WorldConfig};
 use crate::{DType, NetworkModel};
-use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
+};
 use serde::json::Value;
+use std::collections::BTreeSet;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
@@ -249,12 +253,18 @@ pub(crate) struct TcpPeers {
     rank: Rank,
     txs: Vec<Option<Sender<PeerCmd>>>,
     local: Sender<Envelope>,
+    membership: Arc<Membership>,
 }
 
 impl TcpPeers {
     fn deliver(&self, dst: Rank, env: Envelope, stats: &CommStats, deadline: Duration) {
         if dst == self.rank {
             bounded_send(&self.local, env, stats, deadline, "local inbox");
+        } else if self.membership.is_down(dst) {
+            // A send to a declared-dead peer drops immediately instead of
+            // queueing behind a writer that can only fail (or, worse,
+            // blocking a full queue out to the deadline panic).
+            stats.dropped_peer_down.fetch_add(1, Ordering::Relaxed);
         } else if let Some(tx) = &self.txs[dst] {
             bounded_send(tx, PeerCmd::Deliver(env), stats, deadline, "peer writer");
         }
@@ -275,6 +285,21 @@ enum PeerCmd {
 const FRAME_DATA: u8 = 0;
 const FRAME_SHUTDOWN: u8 = 1;
 const FRAME_GOODBYE: u8 = 2;
+/// Keep-alive on an otherwise idle connection: consumed by the peer's
+/// reader as a liveness observation, never delivered upward.
+const FRAME_HEARTBEAT: u8 = 3;
+
+/// How long a writer sits idle before sending a [`FRAME_HEARTBEAT`]. Long
+/// enough that busy links never emit one (data traffic is its own
+/// heartbeat); short enough that the phi-accrual detector keeps a fresh
+/// inter-arrival estimate on quiet links.
+const HEARTBEAT_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Bound on how long teardown waits to enqueue one peer's goodbye when
+/// that peer's writer queue is full. Healthy peers drain in microseconds;
+/// anything slower than this is a stuck link that teardown skips (the
+/// skip is counted in [`CommStats::drain_skips`]).
+const GOODBYE_DRAIN_WAIT: Duration = Duration::from_secs(5);
 
 /// Upper bound on one frame body; a frame claiming more is corrupt.
 const MAX_FRAME: usize = 1 << 30;
@@ -287,6 +312,7 @@ pub(crate) enum WireFrame {
     Data(Message),
     Shutdown,
     Goodbye,
+    Heartbeat,
 }
 
 fn dtype_code(d: DType) -> u8 {
@@ -348,6 +374,7 @@ pub(crate) fn decode_frame(body: &[u8]) -> Result<WireFrame, String> {
     match cur.u8()? {
         FRAME_SHUTDOWN => Ok(WireFrame::Shutdown),
         FRAME_GOODBYE => Ok(WireFrame::Goodbye),
+        FRAME_HEARTBEAT => Ok(WireFrame::Heartbeat),
         FRAME_DATA => {
             let src = cur.u32()? as Rank;
             let coll = CollId(cur.u32()?);
@@ -484,7 +511,36 @@ pub(crate) fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<Vec<u8>>>
 // Per-peer socket threads
 // ---------------------------------------------------------------------------
 
-fn writer_loop(stream: TcpStream, rx: Receiver<PeerCmd>) {
+/// Route a local "peer is dead" verdict: mark membership (exactly once),
+/// record the trace instant, and push an [`Envelope::PeerDown`] into the
+/// local inbox so the engine stops waiting for the corpse. Safe to call
+/// from both halves of a connection — only the first verdict propagates.
+fn declare_peer_down(
+    peer: Rank,
+    membership: &Membership,
+    inbox: &Sender<Envelope>,
+    stats: &CommStats,
+) {
+    if membership.report_down(peer) {
+        stats
+            .recorder()
+            .record(pcoll_obs::LEVEL_SPANS, || pcoll_obs::EventKind::PeerDown {
+                peer: peer as u32,
+            });
+        // Best-effort: a closed inbox just means this rank is already in
+        // teardown and nobody is left to care.
+        let _ = inbox.send_timeout(Envelope::PeerDown { peer }, Duration::from_secs(5));
+    }
+}
+
+fn writer_loop(
+    stream: TcpStream,
+    rx: Receiver<PeerCmd>,
+    peer: Rank,
+    membership: Arc<Membership>,
+    inbox: Sender<Envelope>,
+    stats: Arc<CommStats>,
+) {
     let mut w = BufWriter::with_capacity(WRITE_CHUNK, stream);
     // One pooled scratch buffer per writer: every frame encodes into it,
     // so the steady state performs zero allocations per message.
@@ -496,24 +552,38 @@ fn writer_loop(stream: TcpStream, rx: Receiver<PeerCmd>) {
                 scratch
             }
             Envelope::Shutdown => &[FRAME_SHUTDOWN],
+            // Never crosses the wire: a peer-death verdict is local.
+            Envelope::PeerDown { .. } => return true,
         };
         match write_frame(w, body) {
             Ok(()) => true,
-            // A message the protocol can never carry is a programming
-            // error at this rank — fail loudly rather than silently
-            // severing the pair.
+            // A message the protocol can never carry (an oversized frame)
+            // is reported and the connection declared dead — one broken
+            // message must not abort an otherwise healthy rank.
             Err(e) if e.kind() == std::io::ErrorKind::InvalidInput => {
-                panic!("unsendable message: {e}")
+                eprintln!("pcoll-comm: unsendable message to rank {peer}, dropping link: {e}");
+                false
             }
-            // Transport errors mean the peer is gone; drop like a packet
-            // to a dead host.
+            // Transport errors mean the peer is gone.
             Err(_) => false,
         }
     };
     'outer: loop {
-        let mut cmd = match rx.recv() {
+        let mut cmd = match rx.recv_timeout(HEARTBEAT_INTERVAL) {
             Ok(c) => c,
-            Err(_) => break 'outer, // all handles dropped: orderly finish
+            Err(RecvTimeoutError::Timeout) => {
+                // Idle link: keep the peer's failure detector fed. A
+                // failed heartbeat is *not* a death verdict by itself —
+                // an orderly-finished peer also stops reading; the reader
+                // half (EOF without goodbye) is the authoritative signal.
+                if write_frame(&mut w, &[FRAME_HEARTBEAT]).is_err() || w.flush().is_err() {
+                    FRAME_POOL.put(scratch);
+                    return;
+                }
+                stats.heartbeats.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break 'outer, // orderly finish
         };
         // Drain the queue before flushing so bursts coalesce into one
         // syscall batch, then flush when idle to bound latency.
@@ -521,6 +591,7 @@ fn writer_loop(stream: TcpStream, rx: Receiver<PeerCmd>) {
             match cmd {
                 PeerCmd::Deliver(env) => {
                     if !write_env(&mut w, &mut scratch, env) {
+                        declare_peer_down(peer, &membership, &inbox, &stats);
                         FRAME_POOL.put(scratch);
                         return; // peer gone: nothing left to do
                     }
@@ -533,6 +604,7 @@ fn writer_loop(stream: TcpStream, rx: Receiver<PeerCmd>) {
             }
         }
         if w.flush().is_err() {
+            declare_peer_down(peer, &membership, &inbox, &stats);
             FRAME_POOL.put(scratch);
             return;
         }
@@ -552,18 +624,26 @@ fn writer_loop(stream: TcpStream, rx: Receiver<PeerCmd>) {
 /// — end-to-end backpressure over real sockets.
 fn reader_loop(
     stream: TcpStream,
+    peer: Rank,
     inbox: Sender<Envelope>,
     stats: Arc<CommStats>,
+    membership: Arc<Membership>,
     deadline: Duration,
 ) {
     let mut r = BufReader::with_capacity(WRITE_CHUNK, stream);
     // One pooled scratch buffer per reader: every frame body lands in it,
     // so the steady state allocates only the decoded payload itself.
     let mut body = FRAME_POOL.get();
+    // Did the peer end the connection with an orderly GOODBYE? Anything
+    // else — EOF mid-stream, a reset, a corrupt frame — is a death.
+    let mut orderly = false;
     loop {
         match read_frame_into(&mut r, &mut body) {
             Ok(true) => match decode_frame(&body) {
                 Ok(WireFrame::Data(msg)) => {
+                    // Every frame is a liveness observation for the
+                    // failure detector (a couple of relaxed atomics).
+                    membership.observe(peer);
                     // Receive accounting happens at *consumption* (the
                     // matcher / the engine's envelope intake), uniformly
                     // across transports — counting here too would tally
@@ -571,9 +651,17 @@ fn reader_loop(
                     bounded_send(&inbox, Envelope::Data(msg), &stats, deadline, "local inbox");
                 }
                 Ok(WireFrame::Shutdown) => {
+                    membership.observe(peer);
                     bounded_send(&inbox, Envelope::Shutdown, &stats, deadline, "local inbox");
                 }
-                Ok(WireFrame::Goodbye) => break,
+                Ok(WireFrame::Heartbeat) => {
+                    // Keep-alive: feed the detector, deliver nothing.
+                    membership.observe(peer);
+                }
+                Ok(WireFrame::Goodbye) => {
+                    orderly = true;
+                    break;
+                }
                 Err(e) => {
                     // Corrupt stream: unlike an orderly goodbye, say so —
                     // every later message from this pair is lost.
@@ -581,14 +669,18 @@ fn reader_loop(
                     break;
                 }
             },
-            // Clean EOF: the peer is gone (its teardown sent goodbye, or
-            // its process died — the parent reports which).
+            // EOF without a goodbye: the peer *process* died (kill -9, a
+            // crash) rather than finishing — a goodbye always precedes an
+            // orderly close.
             Ok(false) => break,
             Err(e) => {
                 eprintln!("pcoll-comm: mesh read error, dropping connection: {e}");
                 break;
             }
         }
+    }
+    if !orderly {
+        declare_peer_down(peer, &membership, &inbox, &stats);
     }
     FRAME_POOL.put(body);
 }
@@ -622,6 +714,45 @@ fn remaining(deadline: Instant) -> Duration {
     deadline
         .saturating_duration_since(Instant::now())
         .max(Duration::from_millis(1))
+}
+
+/// Dial a peer with exponential backoff plus jitter. Racing workers can
+/// reach `connect` before the peer's listener backlog is ready, and a
+/// refused connection during mesh construction deserves a few attempts
+/// before it fails the rank. Jitter decorrelates the retry storms of
+/// many workers dialing the same listener.
+fn connect_with_retries(
+    port: u16,
+    deadline: Instant,
+    seed: u64,
+    what: &str,
+) -> std::io::Result<TcpStream> {
+    let mut backoff = Duration::from_millis(10);
+    let mut rng = seed | 1;
+    let mut attempts = 0u32;
+    loop {
+        match TcpStream::connect(("127.0.0.1", port)) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                attempts += 1;
+                if Instant::now() >= deadline {
+                    return Err(std::io::Error::new(
+                        e.kind(),
+                        format!("{what}: gave up after {attempts} attempts: {e}"),
+                    ));
+                }
+                // xorshift64* jitter in [0, backoff): full jitter keeps
+                // simultaneous retriers from re-colliding in lockstep.
+                rng ^= rng >> 12;
+                rng ^= rng << 25;
+                rng ^= rng >> 27;
+                let r = rng.wrapping_mul(0x2545F4914F6CDD1D);
+                let jitter = Duration::from_nanos(r % backoff.as_nanos().max(1) as u64);
+                std::thread::sleep((backoff + jitter).min(remaining(deadline)));
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
+        }
+    }
 }
 
 /// Accept with a deadline (std has no native accept timeout). `poll` is
@@ -686,6 +817,35 @@ where
     }
 }
 
+/// Fault-tolerant variant of [`launch_tcp`]: the parent survives worker
+/// deaths that the remaining ranks detected and reported as evictions.
+///
+/// Returns `Some((results, evicted))` in the parent, where `results[r]`
+/// is `None` exactly for the ranks in `evicted` (sorted). A worker that
+/// dies *without* any survivor declaring it down — or any worker that
+/// panics — still fails the launch, so genuine bugs cannot hide behind
+/// the tolerance.
+pub fn launch_tcp_tolerant<T, F>(
+    cfg: WorldConfig,
+    opts: TcpOpts,
+    f: F,
+) -> Option<(Vec<Option<T>>, Vec<Rank>)>
+where
+    T: serde::Serialize + serde::Deserialize + Send + 'static,
+    F: FnOnce(Communicator) -> T,
+{
+    assert!(cfg.nranks > 0, "world must have at least one rank");
+    if is_tcp_worker() {
+        let label = std::env::var(ENV_LABEL).unwrap_or_default();
+        if label != opts.label {
+            return None;
+        }
+        run_worker(cfg, &opts, f)
+    } else {
+        Some(run_parent_impl::<T>(&cfg, &opts, true))
+    }
+}
+
 /// Kills (and reaps) still-running workers when the parent unwinds.
 struct ChildGuard {
     children: Vec<(Rank, Child)>,
@@ -708,6 +868,25 @@ impl Drop for ChildGuard {
 }
 
 fn run_parent<T: serde::Deserialize>(cfg: &WorldConfig, opts: &TcpOpts) -> Vec<T> {
+    let (results, _evicted) = run_parent_impl::<T>(cfg, opts, false);
+    results
+        .into_iter()
+        .map(|r| r.expect("all ranks reported"))
+        .collect()
+}
+
+/// Parent side of the rendezvous. With `tolerant == false` any worker
+/// failure is fatal. With `tolerant == true` the watchdog distinguishes
+/// "worker evicted" from "run failed": a worker that dies without a
+/// report is forgiven *iff* at least one survivor's report lists it as
+/// down, its non-zero exit status is tolerated, and it comes back as a
+/// `None` slot plus an entry in the returned eviction list. Worker
+/// *panics* (an explicit failure report) stay fatal in both modes.
+fn run_parent_impl<T: serde::Deserialize>(
+    cfg: &WorldConfig,
+    opts: &TcpOpts,
+    tolerant: bool,
+) -> (Vec<Option<T>>, Vec<Rank>) {
     let nranks = cfg.nranks;
     let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind rendezvous listener");
     let addr = listener.local_addr().expect("rendezvous addr");
@@ -819,12 +998,31 @@ fn run_parent<T: serde::Deserialize>(cfg: &WorldConfig, opts: &TcpOpts) -> Vec<T
     drop(res_tx);
 
     let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
+    let mut missing: Vec<Rank> = Vec::new();
+    let mut evicted: BTreeSet<Rank> = BTreeSet::new();
     for _ in 0..nranks {
         let (rank, report) = res_rx
             .recv_timeout(opts.timeout + Duration::from_secs(5))
             .expect("result readers stalled");
-        let report =
-            report.unwrap_or_else(|e| panic!("tcp rank {rank}: no result from worker: {e}"));
+        let report = match report {
+            Ok(r) => r,
+            Err(e) if tolerant => {
+                // Dead worker: its socket closed without a report. Whether
+                // that is an eviction or a run failure is decided below,
+                // once the survivors' reports are in.
+                eprintln!("pcoll-comm: tcp rank {rank}: no result from worker: {e}");
+                missing.push(rank as Rank);
+                continue;
+            }
+            Err(e) => panic!("tcp rank {rank}: no result from worker: {e}"),
+        };
+        if let Ok(Value::Arr(down)) = report.field("evicted") {
+            for v in down {
+                if let Ok(r) = v.as_int() {
+                    evicted.insert(r as Rank);
+                }
+            }
+        }
         let ok = matches!(report.field("ok"), Ok(Value::Bool(true)));
         if !ok {
             let msg = report
@@ -846,21 +1044,27 @@ fn run_parent<T: serde::Deserialize>(cfg: &WorldConfig, opts: &TcpOpts) -> Vec<T
     for j in readers {
         let _ = j.join();
     }
+    // A silent death only counts as an eviction if a survivor noticed it;
+    // a rank nobody declared down means the run itself is broken.
+    for &rank in &missing {
+        assert!(
+            evicted.contains(&rank),
+            "tcp rank {rank} died without a report and no survivor declared it down"
+        );
+    }
 
-    // Phase 4: reap workers.
+    // Phase 4: reap workers. Evicted workers are allowed to die with any
+    // status (kill -9 shows up as a signal, not an exit code).
     for (rank, child) in &mut guard.children {
         let status = child.wait().expect("wait tcp worker");
         assert!(
-            status.success(),
+            status.success() || (tolerant && evicted.contains(rank)),
             "tcp worker for rank {rank} exited with {status}"
         );
     }
     guard.children.clear();
 
-    results
-        .into_iter()
-        .map(|r| r.expect("all ranks reported"))
-        .collect()
+    (results, evicted.into_iter().collect())
 }
 
 fn run_worker<T, F>(cfg: WorldConfig, opts: &TcpOpts, f: F) -> !
@@ -917,7 +1121,9 @@ where
     // each accepted stream.
     let mut streams: Vec<Option<TcpStream>> = (0..cfg.nranks).map(|_| None).collect();
     for (peer, &port) in ports.iter().enumerate().take(rank) {
-        let s = TcpStream::connect(("127.0.0.1", port)).expect("connect mesh peer");
+        let retry_seed = cfg.seed ^ ((rank as u64) << 32) ^ peer as u64;
+        let s = connect_with_retries(port, deadline, retry_seed, "connect mesh peer")
+            .expect("connect mesh peer");
         s.set_nodelay(true).expect("nodelay");
         (&s).write_all(&(rank as u32).to_le_bytes())
             .expect("send mesh id");
@@ -947,30 +1153,53 @@ where
     let recorder =
         pcoll_obs::TraceConfig::from_env().recorder(rank as u32, pcoll_obs::Clock::wall());
     let stats = Arc::new(CommStats::with_recorder(recorder));
+    let membership = Arc::new(Membership::new(rank, cfg.nranks, pcoll_obs::Clock::wall()));
     let (inbox_tx, inbox_rx) = bounded(cfg.queue_capacity);
     let mut txs: Vec<Option<Sender<PeerCmd>>> = (0..cfg.nranks).map(|_| None).collect();
-    let mut finishers = Vec::new();
+    let mut finishers: Vec<(Rank, Sender<PeerCmd>)> = Vec::new();
     let mut writers = Vec::new();
     let mut readers = Vec::new();
     for (peer, slot) in streams.into_iter().enumerate() {
         let Some(stream) = slot else { continue };
         let read_half = stream.try_clone().expect("clone mesh stream");
         let (tx, rx) = bounded(cfg.queue_capacity);
-        finishers.push(tx.clone());
+        finishers.push((peer, tx.clone()));
         txs[peer] = Some(tx);
+        let writer_membership = Arc::clone(&membership);
+        let writer_inbox = inbox_tx.clone();
+        let writer_stats = Arc::clone(&stats);
         writers.push(
             std::thread::Builder::new()
                 .name(format!("pcoll-tcpw-{rank}-{peer}"))
-                .spawn(move || writer_loop(stream, rx))
+                .spawn(move || {
+                    writer_loop(
+                        stream,
+                        rx,
+                        peer,
+                        writer_membership,
+                        writer_inbox,
+                        writer_stats,
+                    )
+                })
                 .expect("spawn writer"),
         );
         let inbox = inbox_tx.clone();
         let reader_stats = Arc::clone(&stats);
+        let reader_membership = Arc::clone(&membership);
         let reader_deadline = cfg.queue_deadline;
         readers.push(
             std::thread::Builder::new()
                 .name(format!("pcoll-tcpr-{rank}-{peer}"))
-                .spawn(move || reader_loop(read_half, inbox, reader_stats, reader_deadline))
+                .spawn(move || {
+                    reader_loop(
+                        read_half,
+                        peer,
+                        inbox,
+                        reader_stats,
+                        reader_membership,
+                        reader_deadline,
+                    )
+                })
                 .expect("spawn reader"),
         );
     }
@@ -978,6 +1207,7 @@ where
         rank,
         txs,
         local: inbox_tx,
+        membership: Arc::clone(&membership),
     }));
 
     // The network model composes on top of the sockets: shape on the
@@ -1009,8 +1239,10 @@ where
             seed: cfg.seed,
             net: net.clone(),
             route,
-            stats,
+            stats: Arc::clone(&stats),
             queue_deadline: cfg.queue_deadline,
+            membership: Arc::clone(&membership),
+            fault: cfg.fault_hook.clone(),
         },
         inbox: Inbox { rx: inbox_rx },
         // One rank per process: the host barrier (thread-scaffolding, not
@@ -1030,19 +1262,45 @@ where
     if let Some(j) = net_join {
         let _ = j.join();
     }
-    for tx in finishers {
-        // Blocking send: `Finish` must queue behind all prior deliveries.
-        // A writer wedged past the deadline is handled by the parent's
-        // watchdog, so give up quietly rather than panic mid-teardown.
-        let _ = tx.send_timeout(PeerCmd::Finish, cfg.queue_deadline);
+    for (peer, tx) in finishers {
+        // `Finish` must queue behind all prior deliveries — but never
+        // behind a corpse: draining toward a dead peer is skipped
+        // outright, and a full queue gets a *bounded* wait (not the full
+        // backpressure deadline) before the skip is recorded and teardown
+        // moves on. A writer wedged past that is the parent watchdog's
+        // problem, not a reason to hang every healthy goodbye.
+        if membership.is_down(peer) {
+            stats.drain_skips.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        let wait = GOODBYE_DRAIN_WAIT.min(cfg.queue_deadline);
+        if matches!(
+            tx.send_timeout(PeerCmd::Finish, wait),
+            Err(SendTimeoutError::Timeout(_))
+        ) {
+            stats.drain_skips.fetch_add(1, Ordering::Relaxed);
+        }
     }
     for w in writers {
         let _ = w.join();
     }
 
+    // Every report carries the ranks this worker locally declared dead,
+    // so a tolerant parent can tell "worker evicted" from "run failed".
+    let down_list = Value::Arr(
+        membership
+            .down()
+            .into_iter()
+            .map(|r| Value::Int(r as i128))
+            .collect(),
+    );
     let (report, code) = match &result {
         Ok(v) => (
-            obj(vec![("ok", Value::Bool(true)), ("value", v.to_value())]),
+            obj(vec![
+                ("ok", Value::Bool(true)),
+                ("value", v.to_value()),
+                ("evicted", down_list),
+            ]),
             0,
         ),
         Err(e) => {
@@ -1052,7 +1310,11 @@ where
                 .or_else(|| e.downcast_ref::<&str>().map(|s| (*s).to_owned()))
                 .unwrap_or_else(|| "non-string panic payload".into());
             (
-                obj(vec![("ok", Value::Bool(false)), ("panic", Value::Str(msg))]),
+                obj(vec![
+                    ("ok", Value::Bool(false)),
+                    ("panic", Value::Str(msg)),
+                    ("evicted", down_list),
+                ]),
                 101,
             )
         }

@@ -20,6 +20,7 @@
 //! section), which must fail loudly rather than hang. Queue pressure is
 //! counted per rank in [`CommStats`].
 
+use crate::membership::Membership;
 use crate::net::{spawn_network, ExtraLatency, NetHandle};
 use crate::payload::Payload;
 use crate::sim::SimOpts;
@@ -48,6 +49,52 @@ pub enum Envelope {
     Data(Message),
     /// Orderly teardown request for whoever drains this mailbox.
     Shutdown,
+    /// The failure detector declared `peer` dead: whoever drains this
+    /// mailbox (the schedule engine) must stop waiting for that rank —
+    /// synthesize its missing contributions and carry on with the
+    /// survivors. Injected by the TCP reader on socket death, by
+    /// [`crate::sim::SimWorld::kill`] under virtual time, and by chaos
+    /// harnesses directly.
+    PeerDown {
+        /// The rank that died.
+        peer: Rank,
+    },
+}
+
+/// What a [`FaultHook`] decides for one message about to be routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Route the message normally.
+    Deliver,
+    /// Silently discard it (models a lossy or severed link).
+    Drop,
+}
+
+/// A chaos-injection hook consulted on every data send of the in-process
+/// routes: given `(src, dst)` it returns whether the message survives.
+/// This is the thread-backed analogue of the simulator's native
+/// `FaultPlan` — TCP worker processes don't see it (the config does not
+/// cross the `exec` boundary; chaos there means real `kill -9`).
+#[derive(Clone)]
+pub struct FaultHook(pub Arc<dyn Fn(Rank, Rank) -> FaultAction + Send + Sync>);
+
+impl FaultHook {
+    /// Wrap a `(src, dst) -> FaultAction` closure.
+    pub fn new(f: impl Fn(Rank, Rank) -> FaultAction + Send + Sync + 'static) -> FaultHook {
+        FaultHook(Arc::new(f))
+    }
+
+    /// Consult the hook for a message from `src` to `dst`.
+    #[inline]
+    pub fn decide(&self, src: Rank, dst: Rank) -> FaultAction {
+        (self.0)(src, dst)
+    }
+}
+
+impl std::fmt::Debug for FaultHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("FaultHook(..)")
+    }
 }
 
 /// Configuration for [`World::launch`].
@@ -69,6 +116,9 @@ pub struct WorldConfig {
     /// the `PCOLL_TRACE`/`PCOLL_TRACE_CAP` environment (off when unset);
     /// override programmatically with [`WorldConfig::with_trace`].
     pub trace: TraceConfig,
+    /// Optional chaos hook consulted on every in-process data send
+    /// (see [`FaultHook`]). `None` — the default — costs one branch.
+    pub fault_hook: Option<FaultHook>,
 }
 
 impl WorldConfig {
@@ -81,6 +131,7 @@ impl WorldConfig {
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
             queue_deadline: DEFAULT_QUEUE_DEADLINE,
             trace: TraceConfig::from_env(),
+            fault_hook: None,
         }
     }
 
@@ -121,6 +172,12 @@ impl WorldConfig {
         self.trace = TraceConfig { level, capacity };
         self
     }
+
+    /// Install a chaos hook on every in-process data send.
+    pub fn with_fault_hook(mut self, hook: FaultHook) -> Self {
+        self.fault_hook = Some(hook);
+        self
+    }
 }
 
 /// Cloneable sending half of a rank's communicator.
@@ -141,6 +198,8 @@ pub struct CommHandle {
     pub(crate) route: Route,
     pub(crate) stats: Arc<CommStats>,
     pub(crate) queue_deadline: Duration,
+    pub(crate) membership: Arc<Membership>,
+    pub(crate) fault: Option<FaultHook>,
 }
 
 impl CommHandle {
@@ -173,6 +232,11 @@ impl CommHandle {
         self.stats.recorder()
     }
 
+    /// This rank's per-peer liveness view (see [`Membership`]).
+    pub fn membership(&self) -> &Arc<Membership> {
+        &self.membership
+    }
+
     /// Send `payload` to `dst` under `tag`. `None` payload = control
     /// message (activation). Sending to a finished rank is silently
     /// dropped, like a packet to a dead host.
@@ -185,6 +249,11 @@ impl CommHandle {
     /// costs `k` reference-count bumps and zero element copies.
     pub fn send_payload(&self, dst: Rank, tag: WireTag, payload: Option<Payload>) {
         assert!(dst < self.size, "dst {dst} out of range (P={})", self.size);
+        if let Some(hook) = &self.fault {
+            if hook.decide(self.rank, dst) == FaultAction::Drop {
+                return;
+            }
+        }
         let bytes = payload.as_ref().map_or(0, |p| p.byte_len());
         if payload.is_some() {
             self.stats
@@ -219,6 +288,20 @@ impl CommHandle {
     pub fn send_shutdown(&self, dst: Rank) {
         self.route
             .deliver(dst, Envelope::Shutdown, &self.stats, self.queue_deadline);
+    }
+
+    /// Tell whoever drains `dst`'s mailbox that `peer` is dead. Like
+    /// [`CommHandle::send_shutdown`], this bypasses the network model —
+    /// failure notification is local control, not modeled traffic. Chaos
+    /// harnesses use it to inject deaths on the in-process backend; the
+    /// TCP reader threads use the equivalent path on socket death.
+    pub fn send_peer_down(&self, dst: Rank, peer: Rank) {
+        self.route.deliver(
+            dst,
+            Envelope::PeerDown { peer },
+            &self.stats,
+            self.queue_deadline,
+        );
     }
 }
 
@@ -286,6 +369,11 @@ impl Communicator {
     /// This rank's flight-recorder handle (see [`CommHandle::recorder`]).
     pub fn recorder(&self) -> &Recorder {
         self.handle.recorder()
+    }
+
+    /// This rank's per-peer liveness view (see [`Membership`]).
+    pub fn membership(&self) -> &Arc<Membership> {
+        self.handle.membership()
     }
 
     /// Clone the send half.
@@ -408,6 +496,8 @@ impl World {
                     route: route.clone(),
                     stats: Arc::new(CommStats::with_recorder(recorder)),
                     queue_deadline: cfg.queue_deadline,
+                    membership: Arc::new(Membership::new(rank, cfg.nranks, trace_clock.clone())),
+                    fault: cfg.fault_hook.clone(),
                 },
                 inbox: Inbox { rx },
                 host_barrier: Arc::clone(&host_barrier),
@@ -633,6 +723,7 @@ mod tests {
         // through the shaper must take >= 20ms even under Instant model.
         let opts = SimOpts {
             planet: Planet::uniform(2, Duration::from_millis(20)),
+            ..SimOpts::default()
         };
         let out = World::launch_sim(WorldConfig::instant(2), opts, |c| {
             let peer = 1 - c.rank();

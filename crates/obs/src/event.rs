@@ -165,6 +165,21 @@ pub enum EventKind {
         /// Step duration.
         dur_ns: u64,
     },
+    /// A peer was declared down by the failure detector (connection
+    /// reset, read EOF, or suspicion timeout) — the membership layer's
+    /// local verdict, recorded before any eviction consensus runs.
+    PeerDown {
+        /// The rank that stopped responding.
+        peer: u32,
+    },
+    /// Survivors agreed (SPMD-fenced) to evict a rank: every round ≥
+    /// `from_round` is built over the surviving population.
+    Eviction {
+        /// The evicted rank.
+        peer: u32,
+        /// First round governed by the shrunken live set.
+        from_round: u64,
+    },
 }
 
 impl EventKind {
@@ -184,6 +199,8 @@ impl EventKind {
             EventKind::TunerDecision { .. } => "tuner_decision",
             EventKind::PolicySwitch { .. } => "policy_switch",
             EventKind::StepSpan { .. } => "step",
+            EventKind::PeerDown { .. } => "peer_down",
+            EventKind::Eviction { .. } => "eviction",
         }
     }
 
@@ -266,6 +283,11 @@ mod tests {
             EventKind::StepSpan {
                 step: 40,
                 dur_ns: 2_000_000,
+            },
+            EventKind::PeerDown { peer: 3 },
+            EventKind::Eviction {
+                peer: 3,
+                from_round: 42,
             },
         ]
     }

@@ -407,6 +407,13 @@ pub struct EngineCore {
     /// here (the engine is the inbox's consumer on engine-driven ranks),
     /// and its flight recorder is where every engine event lands.
     comm_stats: Arc<CommStats>,
+    /// Peers this rank has been told are dead ([`Envelope::PeerDown`]).
+    /// Every receive expected from a down peer — in-flight instances and
+    /// instances created later — is satisfied with a null payload, so a
+    /// round never hangs on a corpse: its contribution is simply absent
+    /// (the Fig. 7 null-contribution semantics). Empty in a healthy run,
+    /// so the liveness machinery costs one `is_empty` check per event.
+    down: HashSet<Rank>,
 }
 
 impl EngineCore {
@@ -426,6 +433,7 @@ impl EngineCore {
             pre_register: HashMap::new(),
             stats,
             comm_stats,
+            down: HashSet::new(),
         }
     }
 
@@ -471,7 +479,47 @@ impl EngineCore {
                 true
             }
             Envelope::Shutdown => false,
+            Envelope::PeerDown { peer } => {
+                self.on_peer_down(peer);
+                true
+            }
         }
+    }
+
+    /// Mark `peer` dead. Every unfired receive from it — across all
+    /// in-flight instances of all collectives — fires with a null
+    /// payload, and instances created from now on are born with those
+    /// nulls pre-filled, so progress never waits on the corpse.
+    pub fn on_peer_down(&mut self, peer: Rank) {
+        if !self.down.insert(peer) {
+            return;
+        }
+        let colls: Vec<CollId> = self.colls.keys().copied().collect();
+        for coll in colls {
+            let rounds: Vec<u64> = self
+                .colls
+                .get(&coll)
+                .map(|cs| cs.instances.keys().copied().collect())
+                .unwrap_or_default();
+            for round in rounds {
+                let mut to_fire = Vec::new();
+                {
+                    let Some(cs) = self.colls.get_mut(&coll) else {
+                        continue;
+                    };
+                    let Some(inst) = cs.instances.get_mut(&round) else {
+                        continue;
+                    };
+                    synthesize_peer_down(inst, &self.down, &mut to_fire);
+                }
+                self.drive(coll, round, to_fire);
+            }
+        }
+    }
+
+    /// Ranks declared dead so far (see [`EngineCore::on_peer_down`]).
+    pub fn down(&self) -> &HashSet<Rank> {
+        &self.down
     }
 
     fn run(&mut self, cmd_rx: Receiver<Cmd>, inbox: Inbox) {
@@ -560,6 +608,7 @@ impl EngineCore {
             inst.snapshotted = true;
         }
         to_fire.extend(inst.dag.on_activate(&inst.sched));
+        synthesize_peer_down(inst, &self.down, &mut to_fire);
         self.drive(coll, round, to_fire);
     }
 
@@ -613,6 +662,7 @@ impl EngineCore {
             }
             None => EngineStats::bump(&self.stats.dropped_unmatched),
         }
+        synthesize_peer_down(inst, &self.down, &mut to_fire);
         self.drive(coll, round, to_fire);
     }
 
@@ -647,9 +697,14 @@ impl EngineCore {
                     // Zero-copy fan-out: cloning the slot's payload is a
                     // reference-count bump, so a tree/ring schedule that
                     // sends one buffer to k peers shares one allocation.
-                    let payload = inst.bufs[src].clone().expect("SendData from an empty slot");
-                    self.comm
-                        .send_payload(peer, WireTag::new(coll, round, sem), Some(payload));
+                    // An empty slot (a null contribution inherited from a
+                    // dead upstream peer) forwards as a payload-less
+                    // message, so nulls propagate instead of stalling.
+                    self.comm.send_payload(
+                        peer,
+                        WireTag::new(coll, round, sem),
+                        inst.bufs[src].clone(),
+                    );
                 }
                 OpKind::SendCtl { peer, sem } => {
                     self.comm.send(peer, WireTag::new(coll, round, sem), None);
@@ -664,18 +719,30 @@ impl EngineCore {
                     }
                 }
                 OpKind::Combine { op, src, dst } => {
-                    let s = inst.bufs[src].take().expect("Combine src empty");
-                    let d = inst.bufs[dst].as_mut().expect("Combine dst empty");
-                    // Copy-on-write: a uniquely-owned accumulator mutates
-                    // in place; one cloned onto the wire gets a *fused*
-                    // single-pass `out = dst ⊕ src` into a buffer drawn
-                    // from the scratch pool (harvested from completed
-                    // rounds), so the steady state allocates nothing. A
-                    // wire-borne source (a TCP frame's raw bytes) folds
-                    // in while decoding — no intermediate buffer.
-                    d.reduce_assign_pooled(&s, op, scratch)
-                        .expect("Combine dtype/len mismatch");
-                    inst.bufs[src] = Some(s);
+                    // Null tolerance: an empty source (a dead peer's
+                    // never-sent contribution) folds in as the identity —
+                    // skip; an empty accumulator adopts the source.
+                    match (inst.bufs[src].take(), inst.bufs[dst].is_some()) {
+                        (None, _) => {}
+                        (Some(s), false) => {
+                            inst.bufs[dst] = Some(s.clone());
+                            inst.bufs[src] = Some(s);
+                        }
+                        (Some(s), true) => {
+                            let d = inst.bufs[dst].as_mut().expect("Combine dst filled");
+                            // Copy-on-write: a uniquely-owned accumulator
+                            // mutates in place; one cloned onto the wire
+                            // gets a *fused* single-pass `out = dst ⊕ src`
+                            // into a buffer drawn from the scratch pool
+                            // (harvested from completed rounds), so the
+                            // steady state allocates nothing. A wire-borne
+                            // source (a TCP frame's raw bytes) folds in
+                            // while decoding — no intermediate buffer.
+                            d.reduce_assign_pooled(&s, op, scratch)
+                                .expect("Combine dtype/len mismatch");
+                            inst.bufs[src] = Some(s);
+                        }
+                    }
                 }
                 OpKind::Copy { src, dst } => {
                     inst.bufs[dst] = inst.bufs[src].clone();
@@ -688,8 +755,8 @@ impl EngineCore {
                 } => {
                     // Zero-copy extraction: the first Combine into the
                     // viewed chunk materializes it with one fused pass.
-                    let s = inst.bufs[src].as_ref().expect("SliceView src empty");
-                    inst.bufs[dst] = Some(s.view(start, len));
+                    // A null source slices to a null chunk.
+                    inst.bufs[dst] = inst.bufs[src].as_ref().map(|s| s.view(start, len));
                 }
                 OpKind::CopyAt {
                     src,
@@ -697,7 +764,14 @@ impl EngineCore {
                     dst_start,
                     dst_len,
                 } => {
-                    let s = inst.bufs[src].take().expect("CopyAt src empty");
+                    // A null source leaves its tile of the assembly
+                    // buffer untouched (the dead peer's chunk is simply
+                    // absent; eviction rebuilds schedules over the live
+                    // set within a bounded number of rounds).
+                    let Some(s) = inst.bufs[src].take() else {
+                        queue.extend(inst.dag.mark_fired(&inst.sched, id));
+                        continue;
+                    };
                     if inst.bufs[dst].is_none() {
                         // Dirty pooled buffer: the schedule contract is
                         // that CopyAt writes tile all of `dst` before it
@@ -837,6 +911,31 @@ fn collect_garbage(
     *gc_floor = (*gc_floor).max(floor);
     let f = *gc_floor;
     completed_rounds.retain(|&r| r >= f);
+}
+
+/// Fire every still-pending receive from a dead peer with a null payload
+/// (the message that will never come). Idempotent: already-fired and
+/// already-pending receives are left alone, so calling this on every
+/// activation/message is safe; with an empty down set it costs one check.
+fn synthesize_peer_down(inst: &mut Instance, down: &HashSet<Rank>, to_fire: &mut Vec<OpId>) {
+    if down.is_empty() {
+        return;
+    }
+    let Instance {
+        sched,
+        dag,
+        recv_route,
+        pending_payloads,
+        ..
+    } = inst;
+    for (&(peer, _sem), &op) in recv_route.iter() {
+        if down.contains(&peer) && !dag.is_fired(op) && !pending_payloads.contains_key(&op) {
+            pending_payloads.insert(op, None);
+            if dag.on_message(sched, op) {
+                to_fire.push(op);
+            }
+        }
+    }
 }
 
 fn new_instance(
@@ -1135,6 +1234,7 @@ mod tests {
             let cfg = WorldConfig::instant(2);
             let opts = SimOpts {
                 planet: pcoll_comm::Planet::uniform(2, Duration::from_millis(5)),
+                ..SimOpts::default()
             };
             let mut sim = SimWorld::new(cfg, opts);
             let elapsed = Arc::new(Mutex::new(Vec::new()));
@@ -1280,6 +1380,12 @@ mod tests {
             );
             eng.activate(CollId(1), 0);
             let _ = sink.wait_for(1);
+            // Round 0 may have been externally activated here (the peer's
+            // data message can race our own Activate command through the
+            // engine's select loop — a benign, legal ordering). What the
+            // straggler below must never do is *add* an external
+            // activation, so assert on the delta.
+            let externals_before = eng.stats().external_activations.load(Ordering::Relaxed);
             // Let the peer finish round 0 (and drop its instance) before
             // the straggler lands; same-channel FIFO then guarantees the
             // duplicate arrives after the original did.
@@ -1309,7 +1415,7 @@ mod tests {
             eng_barrier_and_shutdown(&eng);
             (
                 late,
-                externals,
+                externals - externals_before,
                 completions,
                 results_after_straggler,
                 round1,
@@ -1339,6 +1445,7 @@ mod tests {
         let cfg = WorldConfig::instant(2);
         let opts = SimOpts {
             planet: pcoll_comm::Planet::uniform(2, Duration::from_millis(5)),
+            ..SimOpts::default()
         };
         let mut sim = SimWorld::new(cfg, opts);
         let sinks: Vec<_> = (0..2).map(|_| Arc::new(Sink::default())).collect();

@@ -190,6 +190,25 @@ impl Schedule {
         Ok(())
     }
 
+    /// Rewrite every op's peer rank through `map` (`map[virtual] = real`).
+    ///
+    /// Post-eviction schedules are built SPMD over the *live* population —
+    /// a compacted virtual world of `map.len()` ranks — and then lifted
+    /// back onto the real rank numbering with this call, so every builder
+    /// stays oblivious to holes in the rank space.
+    pub fn remap_peers(&mut self, map: &[Rank]) {
+        for op in &mut self.ops {
+            match &mut op.kind {
+                OpKind::SendData { peer, .. }
+                | OpKind::SendCtl { peer, .. }
+                | OpKind::Recv { peer, .. } => {
+                    *peer = map[*peer];
+                }
+                _ => {}
+            }
+        }
+    }
+
     /// Receive operations indexed by their matching key, used by the engine
     /// to route arriving messages.
     pub fn recv_index(&self) -> impl Iterator<Item = ((Rank, u32), OpId)> + '_ {

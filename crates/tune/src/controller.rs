@@ -111,6 +111,38 @@ impl Controller {
         }
     }
 
+    /// Rebuild the arm set for a shrunken world (rank eviction): arms
+    /// become [`spectrum`]`(p_live)`, and every arm present in both
+    /// spectra carries its learned EWMA value and play count over, so the
+    /// bandit does not restart from scratch after a death. The current
+    /// arm keeps its policy if that policy survived; otherwise its index
+    /// is clamped, which lands on a near neighbor in synchrony (the
+    /// spectrum orders async→sync). Deterministic — every survivor
+    /// calling this with the same `p_live` ends in the same state (the
+    /// SPMD contract).
+    pub fn renormalize(&mut self, p_live: usize) {
+        let new_arms = spectrum(p_live);
+        let mut values = vec![0.0; new_arms.len()];
+        let mut counts = vec![0u64; new_arms.len()];
+        let mut total = 0u64;
+        for (j, arm) in new_arms.iter().enumerate() {
+            if let Some(i) = self.arms.iter().position(|a| a == arm) {
+                values[j] = self.values[i];
+                counts[j] = self.counts[i];
+                total += self.counts[i];
+            }
+        }
+        let cur_policy = self.arms[self.current];
+        self.current = new_arms
+            .iter()
+            .position(|a| *a == cur_policy)
+            .unwrap_or_else(|| self.current.min(new_arms.len() - 1));
+        self.arms = new_arms;
+        self.values = values;
+        self.counts = counts;
+        self.total = total;
+    }
+
     /// Record `reward` for the currently selected arm, then select and
     /// return the next arm's policy.
     pub fn step(&mut self, reward: f64) -> QuorumPolicy {
@@ -300,6 +332,41 @@ mod tests {
         c.seed_values(&priors);
         let next = c.step(priors[3]);
         assert_eq!(next, arms[5], "values {:?}", c.values());
+    }
+
+    #[test]
+    fn renormalize_carries_learned_values_into_the_smaller_world() {
+        let mut c = Controller::new(ControllerKind::Ucb { explore: 0.5 }, spectrum(16), 0);
+        // Play a few arms so there is state to carry.
+        for r in [3.0, 7.0, 5.0, 9.0, 2.0, 8.0] {
+            c.step(r);
+        }
+        let old: Vec<(QuorumPolicy, f64)> = c
+            .arms()
+            .iter()
+            .copied()
+            .zip(c.values().iter().copied())
+            .collect();
+        let cur = c.current_policy();
+        c.renormalize(12); // 4 ranks evicted from a 16-rank world
+        assert_eq!(c.arms(), spectrum(12).as_slice());
+        // Arms shared by both spectra keep their EWMA values.
+        for (arm, v) in &old {
+            if let Some(j) = c.arms().iter().position(|a| a == arm) {
+                assert_eq!(c.values()[j], *v, "{arm:?}");
+            }
+        }
+        // Solo / Majority / Full always survive; the current arm maps to
+        // its own policy when that policy still exists.
+        if c.arms().contains(&cur) {
+            assert_eq!(c.current_policy(), cur);
+        }
+        // And the controller still steps deterministically afterwards.
+        let mut d = c.clone();
+        for t in 0..20 {
+            let r = ((t * 13) % 7) as f64;
+            assert_eq!(c.step(r), d.step(r), "diverged at {t}");
+        }
     }
 
     #[test]

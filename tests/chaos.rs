@@ -1,0 +1,142 @@
+//! Chaos: dead ranks are detected, evicted by consensus, and survived —
+//! on the TCP backend with a real `kill -9` mid-run, and on the
+//! simulation backend with scripted kills replayed bit-identically.
+//!
+//! The TCP half uses the self-exec idiom of `transport_conformance`: the
+//! test binary re-`exec`s itself with `--exact <test name>`, each worker
+//! process becomes one rank, and only the parent reaches the assertions.
+//! The launch goes through `launch_tcp_tolerant`, which forgives a
+//! worker's death exactly when the survivors' reports declare it down.
+
+use eager_sgd_repro::comm::{
+    is_tcp_worker, launch_tcp_tolerant, DType, Fault, FaultPlan, ReduceOp, TcpOpts, TimePoint,
+    TypedBuf, WorldConfig,
+};
+use eager_sgd_repro::pcoll::{PartialOpts, QuorumPolicy, RankCtx, SimHarness, SimSpec, StaleMode};
+use std::time::Duration;
+
+const P: usize = 8;
+const VICTIM: usize = P - 1;
+const PRE: u64 = 6;
+const POST: u64 = 6;
+
+/// A rank `kill -9`s itself mid-run; the seven survivors detect the
+/// death, agree on an eviction fence, and keep the collective running
+/// over the live set. Mass conservation (Fig. 7's invariant) holds
+/// throughout: with every rank contributing 1.0 under
+/// [`StaleMode::Replace`], a completed round's sum is an integral count
+/// of joined contributions — at most one unit per rank — never exceeding
+/// the population the round was scheduled over.
+#[test]
+fn tcp_kill_dash_nine_mid_run_is_evicted_and_mass_is_conserved() {
+    let cfg = WorldConfig::instant(P);
+    let name = "tcp_kill_dash_nine_mid_run_is_evicted_and_mass_is_conserved";
+    let opts =
+        TcpOpts::labeled(name).with_child_args(vec![name.to_string(), "--exact".to_string()]);
+    let Some((results, evicted)) = launch_tcp_tolerant(cfg, opts, |c| {
+        let ctx = RankCtx::new(c);
+        let mut ar = ctx.partial_allreduce(
+            DType::F64,
+            32,
+            ReduceOp::Sum,
+            QuorumPolicy::Majority,
+            PartialOpts {
+                stale_mode: StaleMode::Replace,
+                ..PartialOpts::default()
+            },
+        );
+        let mut sums = Vec::new();
+        for _ in 0..PRE {
+            let out = ar.allreduce(&TypedBuf::from(vec![1.0f64; 32]));
+            sums.push(out.data.as_f64().unwrap()[0]);
+        }
+        if ctx.rank() == VICTIM {
+            // Die without a goodbye — the real failure mode, not a clean
+            // shutdown. SIGKILL cannot be caught, so nothing below runs.
+            let _ = std::process::Command::new("sh")
+                .arg("-c")
+                .arg(format!("kill -9 {}", std::process::id()))
+                .status();
+            unreachable!("kill -9 did not take");
+        }
+        // Survivors: the victim's sockets EOF almost immediately; wait
+        // for the local liveness view to notice, then evict by consensus.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while !ctx.membership().is_down(VICTIM) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "victim death never detected"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let fence = ctx.evict(&ar, &[VICTIM]);
+        assert!(fence >= PRE, "fence {fence} precedes requested rounds");
+        assert_eq!(ar.evicted_ranks(), vec![VICTIM]);
+        assert!(ctx.membership().is_evicted(VICTIM));
+        for _ in 0..POST {
+            let out = ar.allreduce(&TypedBuf::from(vec![1.0f64; 32]));
+            sums.push(out.data.as_f64().unwrap()[0]);
+        }
+        ctx.finalize();
+        sums
+    }) else {
+        return; // worker for another label (never happens in this binary)
+    };
+    assert_eq!(evicted, vec![VICTIM]);
+    assert!(results[VICTIM].is_none(), "the victim reports nothing");
+    for (rank, slot) in results.iter().enumerate() {
+        if rank == VICTIM {
+            continue;
+        }
+        let sums = slot.as_ref().expect("survivor reported");
+        assert_eq!(sums.len(), (PRE + POST) as usize, "rank {rank}");
+        for (round, s) in sums.iter().enumerate() {
+            let cap = if round < PRE as usize { P } else { P - 1 } as f64;
+            assert!(
+                (s.round() - s).abs() < 1e-9 && *s >= 1.0 && *s <= cap,
+                "rank {rank} round {round}: sum {s} breaks mass conservation (cap {cap})"
+            );
+        }
+    }
+}
+
+/// The sim backend's scripted kills: staggered deaths are evicted at
+/// deterministic fences, survivors finish every round, and the whole
+/// chaos run — fences included — replays bit-identically from the seed.
+#[test]
+fn sim_scripted_kills_replay_bit_identically() {
+    if is_tcp_worker() {
+        return; // a TCP worker re-exec'ed for the other test
+    }
+    let mut spec = SimSpec::linear_skew(16, 40, Duration::from_millis(1), QuorumPolicy::Majority);
+    spec.opts.faults = FaultPlan::none()
+        .with(Fault::Kill {
+            rank: 2,
+            at: TimePoint::ZERO + Duration::from_millis(120),
+        })
+        .with(Fault::Kill {
+            rank: 9,
+            at: TimePoint::ZERO + Duration::from_millis(400),
+        });
+    let a = SimHarness::run(spec.clone());
+    let b = SimHarness::run(spec);
+    assert_eq!(
+        a.digest(),
+        b.digest(),
+        "chaos run must replay bit-identically"
+    );
+    assert_eq!(a.evictions, b.evictions);
+    assert_eq!(
+        a.live,
+        (0..16).filter(|r| *r != 2 && *r != 9).collect::<Vec<_>>()
+    );
+    let evicted: Vec<usize> = a.evictions.iter().flat_map(|(_, d)| d.clone()).collect();
+    assert_eq!(evicted, vec![2, 9]);
+    for &r in &a.live {
+        assert_eq!(
+            a.traces[r].last().unwrap().round,
+            39,
+            "survivor {r} must finish every round"
+        );
+    }
+}

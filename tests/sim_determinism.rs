@@ -33,6 +33,7 @@ fn wan_spec(p: usize, rounds: u64, seed: u64, policy: QuorumPolicy) -> SimSpec {
         },
         opts: SimOpts {
             planet: Planet::wan(),
+            ..SimOpts::default()
         },
         policy,
         rounds,

@@ -164,7 +164,7 @@ fn shutdown_drains_in_flight_messages() {
                     assert_eq!(m.tag.sem, got, "drained messages must stay FIFO");
                     got += 1;
                 }
-                Some(Envelope::Shutdown) => continue,
+                Some(Envelope::Shutdown) | Some(Envelope::PeerDown { .. }) => continue,
                 None => break,
             }
         }
@@ -217,7 +217,7 @@ fn slow_reader_exerts_bounded_backpressure() {
                         assert_eq!(p.to_buf().as_f32().unwrap()[0], got as f32);
                         got += 1;
                     }
-                    Some(Envelope::Shutdown) => continue,
+                    Some(Envelope::Shutdown) | Some(Envelope::PeerDown { .. }) => continue,
                     None => break,
                 }
             }
