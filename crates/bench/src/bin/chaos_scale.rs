@@ -3,12 +3,14 @@
 //! Two parts (select with `--part sim|tcp`, default both):
 //!
 //! - **sim** — P = 64 ranks on the discrete-event backend with four
-//!   scripted, staggered `kill`s. The harness evicts each victim at a
-//!   deterministic fence; after the last eviction the surviving 60-rank
-//!   Majority collective must deliver a mean NAP within 10% of
-//!   [`eager_sgd::NapModel`]'s closed form *for the surviving
-//!   population* — the recovered system behaves like a world that was
-//!   born at the smaller size.
+//!   scripted, staggered `kill`s followed by four staggered rejoins. The
+//!   harness evicts each victim at a deterministic fence; in the
+//!   shrunken window the surviving 60-rank Majority collective must
+//!   deliver a mean NAP within 10% of [`eager_sgd::NapModel`]'s closed
+//!   form *for the surviving population*. Then the victims come back
+//!   (`Fault::Rejoin` → admission fences), and the tail NAP must return
+//!   to within 10% of the *full-world* closed form — the grown-back
+//!   system behaves like one that never lost a rank.
 //! - **tcp** — P = 8 real processes over loopback; one rank `kill -9`s
 //!   itself mid-run. The survivors detect the EOF, run the eviction
 //!   consensus (fence Max-allreduce + live-set barrier), finish their
@@ -43,9 +45,13 @@ struct SimChaosRow {
     rounds: u64,
     kills: Vec<usize>,
     fences: Vec<u64>,
-    measured_nap_tail: f64,
-    predicted_nap: f64,
-    rel_err: f64,
+    admit_fences: Vec<u64>,
+    measured_nap_shrunk: f64,
+    predicted_nap_shrunk: f64,
+    rel_err_shrunk: f64,
+    measured_nap_grown: f64,
+    predicted_nap_grown: f64,
+    rel_err_grown: f64,
     events: u64,
 }
 
@@ -53,12 +59,14 @@ fn run_sim_part(args: &HarnessArgs) -> (bool, Option<SimChaosRow>) {
     let p = 64;
     let rounds: u64 = if args.quick { 220 } else { 440 };
     // Four staggered victims, spread across the rank space; each dies a
-    // few rounds after the previous eviction settled.
+    // few rounds after the previous eviction settled, and each comes
+    // back (staggered again) once the shrunken world has had a window
+    // to show its steady state.
     let victims = [5usize, 13, 21, 37];
     let step = SKEW_UNIT * (p as u32 + 1) * 2; // linear_skew's round period
     comment(&format!(
-        "part sim: P={p}, Majority, {rounds} rounds, kills at rounds ~10/20/30/40 \
-         (ranks {victims:?}), linear skew {}us/rank",
+        "part sim: P={p}, Majority, {rounds} rounds, kills at rounds ~10/20/30/40, \
+         rejoins at ~60/65/70/75 (ranks {victims:?}), linear skew {}us/rank",
         SKEW_UNIT.as_micros()
     ));
     let mut spec = SimSpec::linear_skew(p, rounds, SKEW_UNIT, QuorumPolicy::Majority);
@@ -69,6 +77,10 @@ fn run_sim_part(args: &HarnessArgs) -> (bool, Option<SimChaosRow>) {
             rank: v,
             at: TimePoint::ZERO + step * (10 * (i as u32 + 1)),
         });
+        plan = plan.with(Fault::Rejoin {
+            rank: v,
+            at: TimePoint::ZERO + step * (60 + 5 * (i as u32)),
+        });
     }
     spec.opts.faults = plan;
     let rep = SimHarness::run(spec);
@@ -76,47 +88,83 @@ fn run_sim_part(args: &HarnessArgs) -> (bool, Option<SimChaosRow>) {
     let survivors: Vec<usize> = (0..p).filter(|r| !victims.contains(r)).collect();
     let mut ok = shape_check(
         "all-victims-evicted",
-        rep.live == survivors && rep.evictions.iter().flat_map(|(_, d)| d).count() == victims.len(),
-        &format!(
-            "evictions {:?}, live {} ranks",
-            rep.evictions,
-            rep.live.len()
-        ),
+        rep.evictions.iter().flat_map(|(_, d)| d).count() == victims.len(),
+        &format!("evictions {:?}", rep.evictions),
+    );
+    ok &= shape_check(
+        "all-victims-readmitted",
+        rep.live == (0..p).collect::<Vec<_>>()
+            && rep.rejoins.iter().flat_map(|(_, j)| j).count() == victims.len(),
+        &format!("rejoins {:?}, live {} ranks", rep.rejoins, rep.live.len()),
     );
     let fences: Vec<u64> = rep.evictions.iter().map(|(f, _)| *f).collect();
+    let admit_fences: Vec<u64> = rep.rejoins.iter().map(|(f, _)| *f).collect();
     ok &= shape_check(
         "fences-nondecreasing",
-        fences.windows(2).all(|w| w[0] <= w[1]),
-        &format!("{fences:?}"),
+        fences.windows(2).all(|w| w[0] <= w[1])
+            && admit_fences.windows(2).all(|w| w[0] <= w[1])
+            && fences.last() <= admit_fences.first(),
+        &format!("evict {fences:?}, admit {admit_fences:?}"),
     );
 
-    // Closed form for the *surviving* population: the model sees the
-    // survivors' exact injector offsets.
+    // Shrunken window: between the last eviction fence and the first
+    // admission fence the closed form for the *surviving* population
+    // must hold (the model sees the survivors' exact injector offsets).
     let offsets_ms: Vec<f64> = survivors.iter().map(|&r| r as f64 * 0.05).collect();
-    let predicted = NapModel::new(offsets_ms, 0.0, 0.0)
+    let predicted_shrunk = NapModel::new(offsets_ms, 0.0, 0.0)
         .predict(QuorumPolicy::Majority)
         .e_nap;
-    let tail_from = (*fences.last().unwrap_or(&0) + 1) as usize;
-    let measured = mean_nap(&rep.nap_per_round, tail_from, rounds as usize);
-    let rel_err = (measured - predicted).abs() / predicted;
+    let shrunk_from = (*fences.last().unwrap_or(&0) + 1) as usize;
+    let shrunk_to = *admit_fences.first().unwrap_or(&rounds) as usize;
+    let measured_shrunk = mean_nap(&rep.nap_per_round, shrunk_from, shrunk_to);
+    let rel_err_shrunk = (measured_shrunk - predicted_shrunk).abs() / predicted_shrunk;
+
+    // Grown-back tail: after the last admission fence the *full-world*
+    // closed form must hold again — Fig. 7's NAP recovers.
+    let offsets_full_ms: Vec<f64> = (0..p).map(|r| r as f64 * 0.05).collect();
+    let predicted_grown = NapModel::new(offsets_full_ms, 0.0, 0.0)
+        .predict(QuorumPolicy::Majority)
+        .e_nap;
+    let grown_from = (*admit_fences.last().unwrap_or(&0) + 1) as usize;
+    let measured_grown = mean_nap(&rep.nap_per_round, grown_from, rounds as usize);
+    let rel_err_grown = (measured_grown - predicted_grown).abs() / predicted_grown;
+
     row(&[
-        "survivors",
-        "tail_rounds",
+        "window",
+        "population",
+        "rounds",
         "measured_nap",
         "predicted_nap",
         "rel_err",
     ]);
     row(&[
+        "shrunken".into(),
         survivors.len().to_string(),
-        (rounds as usize - tail_from).to_string(),
-        format!("{measured:.2}"),
-        format!("{predicted:.2}"),
-        format!("{:.1}%", 100.0 * rel_err),
+        (shrunk_to.saturating_sub(shrunk_from)).to_string(),
+        format!("{measured_shrunk:.2}"),
+        format!("{predicted_shrunk:.2}"),
+        format!("{:.1}%", 100.0 * rel_err_shrunk),
+    ]);
+    row(&[
+        "grown".into(),
+        p.to_string(),
+        (rounds as usize - grown_from).to_string(),
+        format!("{measured_grown:.2}"),
+        format!("{predicted_grown:.2}"),
+        format!("{:.1}%", 100.0 * rel_err_grown),
     ]);
     ok &= shape_check(
         "post-eviction-nap-within-10pct",
-        rel_err <= 0.10,
-        &format!("measured {measured:.2} vs closed form {predicted:.2} for 60 survivors"),
+        rel_err_shrunk <= 0.10,
+        &format!(
+            "measured {measured_shrunk:.2} vs closed form {predicted_shrunk:.2} for {} survivors",
+            survivors.len()
+        ),
+    );
+    ok &= shape_check(
+        "post-rejoin-nap-within-10pct-of-full-world",
+        rel_err_grown <= 0.10,
+        &format!("measured {measured_grown:.2} vs closed form {predicted_grown:.2} for {p} ranks"),
     );
     (
         ok,
@@ -126,9 +174,13 @@ fn run_sim_part(args: &HarnessArgs) -> (bool, Option<SimChaosRow>) {
             rounds,
             kills: victims.to_vec(),
             fences,
-            measured_nap_tail: measured,
-            predicted_nap: predicted,
-            rel_err,
+            admit_fences,
+            measured_nap_shrunk: measured_shrunk,
+            predicted_nap_shrunk: predicted_shrunk,
+            rel_err_shrunk,
+            measured_nap_grown: measured_grown,
+            predicted_nap_grown: predicted_grown,
+            rel_err_grown,
             events: rep.events,
         }),
     )

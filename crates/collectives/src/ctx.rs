@@ -231,6 +231,90 @@ impl RankCtx {
         fence_round
     }
 
+    /// Re-admit `joiners` into a partial allreduce — the eviction fence
+    /// run in reverse. Every participant of the *expanded* world
+    /// (survivors **and** joiners) must call this with the same
+    /// `joiners` set (SPMD). Returns the admission fence round `F`:
+    /// rounds ≥ `F` are scheduled over the grown live set.
+    ///
+    /// Protocol: all participants Max-allreduce their build horizons
+    /// over the expanded live set to agree on an admission fence `F` no
+    /// rank has built past, apply `admit_from(F, joiners)` locally
+    /// (joiners additionally fast-forward their round counter to `F` —
+    /// rounds < `F` ran while they were absent), then barrier over the
+    /// expanded live set.
+    ///
+    /// Joiner precondition: before calling this, a joiner must have
+    /// registered its collectives in SPMD order and installed the
+    /// survivors' segment state with
+    /// [`PartialAllreduce::import_state`] — its membership-event epoch
+    /// must match the survivors' so the consensus collective ids line
+    /// up, and its membership log must already know which rounds it was
+    /// absent from.
+    ///
+    /// Why a joiner cannot pollute rounds < `F`: the fence is the max
+    /// horizon over every participant, so every round any survivor has
+    /// started (or seen a message for) lies below `F`; the joiner's
+    /// first deposit after fast-forward is for round `F` itself, and it
+    /// sends nothing before the fence consensus completes. Survivors
+    /// apply `admit_from` *before* entering the barrier, so barrier
+    /// completion implies every participant builds rounds ≥ `F` over
+    /// the identical grown live set — no round mixes shrunken and grown
+    /// schedules.
+    pub fn admit(&self, ar: &mut PartialAllreduce, joiners: &[Rank]) -> u64 {
+        let mut live = ar.live_ranks();
+        for &j in joiners {
+            if !live.contains(&j) {
+                live.push(j);
+            }
+        }
+        live.sort_unstable();
+        assert!(
+            live.contains(&self.rank),
+            "rank {} is neither a survivor nor a joiner",
+            self.rank
+        );
+        // Epoch counts *all* membership events (evictions and
+        // admissions), so the reserved id pair never collides with an
+        // earlier fence's — mixed evict/admit sequences stay aligned.
+        let epoch = ar.eviction_epoch();
+        let base = EVICTION_COLL_BASE + 2 * epoch as u32;
+        for &j in joiners {
+            // Reverse the liveness verdict *before* the fence consensus:
+            // the transport drops sends to Down peers, so a survivor's
+            // fence contribution toward the joiner would never leave the
+            // building otherwise. Entering this SPMD call *is* the
+            // admission decision; the allreduce below only computes the
+            // fence round. The one sanctioned Evicted → Alive transition.
+            self.membership.readmit(j);
+            // The engine's null-synthesis verdict reverses too, and it
+            // must land before the fence activations staged below (the
+            // command channel is ordered) — otherwise every instance this
+            // engine builds from here on, fence included, would keep
+            // nulling the joiner's contributions.
+            self.engine.peer_up(j);
+        }
+        let mut fence = SyncAllreduce::register_over(
+            &self.engine,
+            CollId(base),
+            &live,
+            self.rank,
+            DType::I64,
+            1,
+            ReduceOp::Max,
+            None,
+        );
+        let gate = SyncBarrier::register_over(&self.engine, CollId(base + 1), &live, self.rank);
+        let agreed = fence.allreduce(&TypedBuf::from(vec![ar.horizon() as i64]));
+        let fence_round = agreed.as_i64().unwrap()[0] as u64;
+        if joiners.contains(&self.rank) {
+            ar.fast_forward_to(fence_round);
+        }
+        ar.admit_from(fence_round, joiners);
+        gate.wait();
+        fence_round
+    }
+
     /// Host-side (non-modeled) barrier for bench/test alignment.
     ///
     /// Thread-world scaffolding only: under the TCP transport each
@@ -337,6 +421,76 @@ mod tests {
                 assert_eq!(sums.len(), 10);
             } else {
                 assert_eq!(sums.len(), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn admit_reverses_eviction_and_the_world_grows_back() {
+        // Four ranks in lockstep; ranks 0-2 evict rank 3, run three
+        // shrunken rounds, then all four run the admission fence and the
+        // full-world sums come back. The evictee applies the eviction
+        // segment locally (it cannot join the survivors' consensus, but
+        // under Full-quorum lockstep the fence is deterministic) so its
+        // membership epoch lines up for the admission collective ids.
+        let p = 4;
+        let out = World::launch(WorldConfig::instant(p), move |c| {
+            let ctx = RankCtx::new(c);
+            let mut ar = ctx.partial_allreduce(
+                DType::F32,
+                8,
+                ReduceOp::Sum,
+                QuorumPolicy::Full,
+                PartialOpts::default(),
+            );
+            let me = ctx.rank() as f32 + 1.0; // contributions 1..=4
+            let mut sums = Vec::new();
+            for _ in 0..5 {
+                let out = ar.allreduce(&TypedBuf::from(vec![me; 8]));
+                sums.push(out.data.as_f32().unwrap()[0]);
+            }
+            // Full quorum leaves every rank at next_round = 5: the fence
+            // the survivors will agree on is exactly 5.
+            if ctx.rank() == 3 {
+                ar.evict_from(5, &[3]);
+            } else {
+                let fence = ctx.evict(&ar, &[3]);
+                assert_eq!(fence, 5);
+                for _ in 0..3 {
+                    let out = ar.allreduce(&TypedBuf::from(vec![me; 8]));
+                    sums.push(out.data.as_f32().unwrap()[0]);
+                }
+            }
+            // Shrunken Full-quorum lockstep again: survivors sit at
+            // next_round = 8, the evictee still at 5 — the admission
+            // fence must be the max, 8.
+            let fence = ctx.admit(&mut ar, &[3]);
+            assert_eq!(fence, 8, "rank {}", ctx.rank());
+            assert_eq!(ar.live_ranks(), vec![0, 1, 2, 3]);
+            assert_eq!(ar.evicted_ranks(), Vec::<usize>::new());
+            assert_eq!(ar.eviction_epoch(), 2);
+            assert!(ctx.membership().live().contains(&3));
+            for _ in 0..5 {
+                let out = ar.allreduce(&TypedBuf::from(vec![me; 8]));
+                sums.push(out.data.as_f32().unwrap()[0]);
+            }
+            ctx.finalize();
+            sums
+        });
+        for (rank, sums) in out.iter().enumerate() {
+            if rank == 3 {
+                // 5 full rounds, then 5 post-admission full rounds.
+                assert_eq!(sums.len(), 10, "rank {rank}");
+                for (r, s) in sums.iter().enumerate() {
+                    assert_eq!(*s, 10.0, "rank {rank} round {r}");
+                }
+            } else {
+                // 5 full, 3 shrunken (1+2+3 = 6), 5 grown-back full.
+                assert_eq!(sums.len(), 13, "rank {rank}");
+                for (r, s) in sums.iter().enumerate() {
+                    let want = if (5..8).contains(&r) { 6.0 } else { 10.0 };
+                    assert_eq!(*s, want, "rank {rank} round {r}");
+                }
             }
         }
     }

@@ -178,42 +178,76 @@ impl PolicyTimeline {
     pub fn segments(&self) -> Vec<(u64, QuorumPolicy)> {
         self.segments.lock().clone()
     }
+
+    /// Replace a pristine timeline with `segments` — the joiner's state
+    /// transfer (see [`MembershipLog::import`]): a re-admitted rank
+    /// missed every policy switch since it died, so it installs the
+    /// survivors' timeline wholesale before entering its first round
+    /// back. Panics if this timeline already recorded switches, if the
+    /// segments don't start at round 0, or if boundaries are not
+    /// strictly increasing.
+    pub fn import(&self, segments: Vec<(u64, QuorumPolicy)>) {
+        let mut segs = self.segments.lock();
+        assert!(
+            segs.len() == 1,
+            "import requires a pristine timeline (has {} switches)",
+            segs.len() - 1
+        );
+        assert!(
+            segments.first().is_some_and(|(from, _)| *from == 0),
+            "imported segments must start at round 0"
+        );
+        assert!(
+            segments.windows(2).all(|w| w[0].0 < w[1].0),
+            "imported segment boundaries must strictly increase"
+        );
+        *segs = segments;
+    }
 }
 
 /// Append-only round → live-set schedule, the membership counterpart of
-/// [`PolicyTimeline`]: survivors of a rank failure agree (via the same
-/// decide → fence consensus the policy switches use) on a round `F` from
-/// which the evicted ranks are treated as permanently absent. Rounds
-/// before `F` keep their full-world schedule shape (in-flight instances
-/// complete through the engine's peer-down null synthesis); rounds ≥ `F`
-/// are built over the *compacted* live set — candidates are drawn from
-/// live ranks only, no message is ever addressed to an evicted rank, and
-/// the data phase falls back to the any-P segmented ring when the live
-/// population is not a power of two.
+/// [`PolicyTimeline`]: the live ranks agree (via the same decide → fence
+/// consensus the policy switches use) on a round `F` from which the live
+/// set *changes* — shrinking when survivors evict a dead rank, growing
+/// when they re-admit a joiner. Rounds before `F` keep their previous
+/// schedule shape (in-flight instances complete through the engine's
+/// peer-down null synthesis); rounds ≥ `F` are built over the new live
+/// set — candidates are drawn from live ranks only, no message is ever
+/// addressed to an absent rank, and the data phase falls back to the
+/// any-P segmented ring when the live population is not a power of two.
 ///
 /// SPMD contract: identical segments on every live rank, and a segment
-/// for round `F` must be applied on every survivor before any rank can
-/// send a message for round `F` (see [`crate::RankCtx::evict`]).
+/// for round `F` must be applied on every participant of round `F`
+/// (survivors *and* joiners) before any rank can send a message for
+/// round `F` (see [`crate::RankCtx::evict`] and
+/// [`crate::RankCtx::admit`]).
 #[derive(Debug)]
-pub struct EvictionLog {
+pub struct MembershipLog {
     /// `(from_round, sorted live ranks)`, strictly increasing in
-    /// `from_round`, strictly shrinking in population.
+    /// `from_round`.
     segments: Mutex<Vec<(u64, Vec<Rank>)>>,
-    /// False until the first eviction lands: lets the per-round hot paths
-    /// skip the lock and the live-set clone while the world is whole (the
-    /// overwhelmingly common case — failure handling must cost nothing
-    /// when nothing fails).
-    shrunk: AtomicBool,
+    /// False until the first membership change lands: lets the per-round
+    /// hot paths skip the lock and the live-set clone while the world is
+    /// whole and has always been (the overwhelmingly common case —
+    /// failure handling must cost nothing when nothing fails). Latched:
+    /// once any segment exists it stays true forever, even if the world
+    /// grows back to full size (old shrunken segments still govern their
+    /// rounds).
+    changed: AtomicBool,
     /// Initial world size (the `p` every global rank id lives in).
     p: usize,
 }
 
-impl EvictionLog {
+/// The pre-rejoin name of [`MembershipLog`], kept as an alias: a log
+/// whose segments could only shrink.
+pub type EvictionLog = MembershipLog;
+
+impl MembershipLog {
     /// A log where all `p` ranks are live from round 0.
     pub fn new(p: usize) -> Self {
-        EvictionLog {
+        MembershipLog {
             segments: Mutex::new(vec![(0, (0..p).collect())]),
-            shrunk: AtomicBool::new(false),
+            changed: AtomicBool::new(false),
             p,
         }
     }
@@ -225,14 +259,17 @@ impl EvictionLog {
             .rev()
             .find(|(from, _)| *from <= round)
             .map(|(_, live)| live.clone())
-            .expect("eviction log starts at round 0")
+            .expect("membership log starts at round 0")
     }
 
-    /// `Some(live ranks)` when `round` runs over a shrunken world, `None`
+    /// `Some(live ranks)` when `round` runs over a partial world, `None`
     /// when all `p` ranks participate — without touching the lock until
-    /// the first eviction has actually happened.
-    pub fn live_if_shrunk(&self, round: u64) -> Option<Vec<Rank>> {
-        if !self.shrunk.load(Ordering::Acquire) {
+    /// the first membership change has actually happened. A round
+    /// governed by a full-size segment (e.g. after every evicted rank
+    /// rejoined) also returns `None`: a full live set is the identity
+    /// mapping, so the virtual-world compaction is skippable.
+    pub fn live_if_partial(&self, round: u64) -> Option<Vec<Rank>> {
+        if !self.changed.load(Ordering::Acquire) {
             return None;
         }
         let live = self.live_at(round);
@@ -241,13 +278,13 @@ impl EvictionLog {
 
     /// Mark `dead` as evicted for every round ≥ `from_round`. Panics if
     /// `from_round` precedes the current tail segment (append-only, like
-    /// the policy timeline) or if a dead rank was never live.
+    /// the policy timeline).
     pub fn evict_from(&self, from_round: u64, dead: &[Rank]) {
         let mut segs = self.segments.lock();
-        let (tail_from, tail_live) = segs.last().cloned().expect("eviction log never empty");
+        let (tail_from, tail_live) = segs.last().cloned().expect("membership log never empty");
         assert!(
             from_round >= tail_from,
-            "eviction segments are append-only: {from_round} < {tail_from}"
+            "membership segments are append-only: {from_round} < {tail_from}"
         );
         let live: Vec<Rank> = tail_live
             .iter()
@@ -259,28 +296,93 @@ impl EvictionLog {
         }
         assert!(!live.is_empty(), "cannot evict the last live rank");
         if from_round == tail_from {
-            segs.last_mut().expect("eviction log never empty").1 = live;
+            segs.last_mut().expect("membership log never empty").1 = live;
         } else {
             segs.push((from_round, live));
         }
-        self.shrunk.store(true, Ordering::Release);
+        self.changed.store(true, Ordering::Release);
     }
 
-    /// Number of eviction events applied so far.
+    /// Re-admit `joiners` for every round ≥ `from_round` — the grow
+    /// direction of [`MembershipLog::evict_from`]. Panics if `from_round`
+    /// precedes the current tail segment or a joiner is outside the
+    /// original world (rank ids are stable across evictions; growth
+    /// re-admits previously evicted ranks, it does not mint new ids).
+    pub fn admit_from(&self, from_round: u64, joiners: &[Rank]) {
+        let mut segs = self.segments.lock();
+        let (tail_from, tail_live) = segs.last().cloned().expect("membership log never empty");
+        assert!(
+            from_round >= tail_from,
+            "membership segments are append-only: {from_round} < {tail_from}"
+        );
+        let mut live = tail_live.clone();
+        for &j in joiners {
+            assert!(
+                j < self.p,
+                "joiner {j} outside the original world {}",
+                self.p
+            );
+            if !live.contains(&j) {
+                live.push(j);
+            }
+        }
+        if live.len() == tail_live.len() {
+            return; // all already live
+        }
+        live.sort_unstable();
+        if from_round == tail_from {
+            segs.last_mut().expect("membership log never empty").1 = live;
+        } else {
+            segs.push((from_round, live));
+        }
+        self.changed.store(true, Ordering::Release);
+    }
+
+    /// Number of membership events (evictions + admissions) applied so
+    /// far.
     pub fn epoch(&self) -> usize {
         self.segments.lock().len() - 1
     }
 
-    /// All ranks evicted so far (complement of the tail live set).
+    /// All ranks currently absent (complement of the tail live set).
     pub fn evicted(&self) -> Vec<Rank> {
         let segs = self.segments.lock();
-        let live = &segs.last().expect("eviction log never empty").1;
+        let live = &segs.last().expect("membership log never empty").1;
         (0..self.p).filter(|r| !live.contains(r)).collect()
     }
 
     /// Snapshot of the `(from_round, live ranks)` segments.
     pub fn segments(&self) -> Vec<(u64, Vec<Rank>)> {
         self.segments.lock().clone()
+    }
+
+    /// Replace a pristine log with `segments` — the joiner's state
+    /// transfer: a rank re-admitted at an admission fence missed every
+    /// membership event since it died, so it installs the survivors'
+    /// segment history wholesale before entering its first round back.
+    /// Panics if this log has already recorded events of its own (the
+    /// two histories cannot be merged), if the segments don't start at
+    /// round 0, or if boundaries are not strictly increasing.
+    pub fn import(&self, segments: Vec<(u64, Vec<Rank>)>) {
+        let mut segs = self.segments.lock();
+        assert!(
+            segs.len() == 1,
+            "import requires a pristine log (has {} events)",
+            segs.len() - 1
+        );
+        assert!(
+            segments.first().is_some_and(|(from, _)| *from == 0),
+            "imported segments must start at round 0"
+        );
+        assert!(
+            segments.windows(2).all(|w| w[0].0 < w[1].0),
+            "imported segment boundaries must strictly increase"
+        );
+        let had_events = segments.len() > 1;
+        *segs = segments;
+        if had_events {
+            self.changed.store(true, Ordering::Release);
+        }
     }
 }
 
@@ -477,7 +579,7 @@ struct PartialTemplate {
     p: usize,
     op: ReduceOp,
     timeline: Arc<PolicyTimeline>,
-    evictions: Arc<EvictionLog>,
+    membership: Arc<MembershipLog>,
     seed: u64,
     coll: CollId,
 }
@@ -487,13 +589,14 @@ impl CollectiveTemplate for PartialTemplate {
         self.shared
             .built_horizon
             .fetch_max(round + 1, Ordering::Relaxed);
-        // Post-eviction rounds run over the compacted live set: the
-        // schedule is built in a virtual world of `p_live` ranks (this
-        // rank's virtual id is its index in the sorted live set, and the
-        // policy's candidates are drawn from the virtual world) and its
-        // peer ids are then remapped back to global ranks. Healthy runs
-        // take the `p_live == p` fast path untouched.
-        let live = self.evictions.live_if_shrunk(round);
+        // Rounds after a membership change run over the round's live
+        // set: the schedule is built in a virtual world of `p_live`
+        // ranks (this rank's virtual id is its index in the sorted live
+        // set, and the policy's candidates are drawn from the virtual
+        // world) and its peer ids are then remapped back to global
+        // ranks. Healthy runs take the `p_live == p` fast path
+        // untouched.
+        let live = self.membership.live_if_partial(round);
         let (vrank, p_live) = match &live {
             None => (self.rank, self.p),
             Some(live) => {
@@ -593,7 +696,7 @@ impl CollectiveTemplate for PartialTemplate {
             // Candidates live in the round's (possibly compacted) virtual
             // world — the same derivation `build` uses.
             QuorumPolicy::Majority | QuorumPolicy::Chain(_) => {
-                let (vrank, p_live) = match self.evictions.live_if_shrunk(round) {
+                let (vrank, p_live) = match self.membership.live_if_partial(round) {
                     None => (self.rank, self.p),
                     Some(live) => match live.iter().position(|&r| r == self.rank) {
                         Some(v) => (v, live.len()),
@@ -684,7 +787,7 @@ pub struct PartialAllreduce {
     coll: CollId,
     next_round: u64,
     timeline: Arc<PolicyTimeline>,
-    evictions: Arc<EvictionLog>,
+    membership: Arc<MembershipLog>,
     seed: u64,
     p: usize,
 }
@@ -732,7 +835,7 @@ impl PartialAllreduce {
             built_horizon: AtomicU64::new(0),
         });
         let timeline = Arc::new(PolicyTimeline::new(policy));
-        let evictions = Arc::new(EvictionLog::new(p));
+        let membership = Arc::new(MembershipLog::new(p));
         host.register_template(
             coll,
             Box::new(PartialTemplate {
@@ -741,7 +844,7 @@ impl PartialAllreduce {
                 p,
                 op,
                 timeline: Arc::clone(&timeline),
-                evictions: Arc::clone(&evictions),
+                membership: Arc::clone(&membership),
                 seed,
                 coll,
             }),
@@ -752,7 +855,7 @@ impl PartialAllreduce {
             coll,
             next_round: 0,
             timeline,
-            evictions,
+            membership,
             seed,
             p,
         }
@@ -762,7 +865,7 @@ impl PartialAllreduce {
     /// that round (all ranks for solo/full, the chain/race set otherwise),
     /// as **global** rank ids — evicted ranks are never candidates.
     pub fn candidates(&self, round: u64) -> Vec<Rank> {
-        match self.evictions.live_if_shrunk(round) {
+        match self.membership.live_if_partial(round) {
             None => self
                 .timeline
                 .policy_at(round)
@@ -830,22 +933,86 @@ impl PartialAllreduce {
             "cannot evict from round {from_round}: rounds < {} were already requested",
             self.next_round
         );
-        self.evictions.evict_from(from_round, dead);
+        self.membership.evict_from(from_round, dead);
     }
 
-    /// The ranks live in the current tail segment (i.e. not yet evicted).
+    /// Re-admit `joiners` for every round ≥ `from_round`: those rounds
+    /// build their schedules over the grown live set — the reverse of
+    /// [`PartialAllreduce::evict_from`], with the same SPMD + consensus
+    /// contract. Every participant of round `from_round` (survivors and
+    /// joiners alike) must apply the identical admission, and no rank
+    /// may enter round `from_round` before all of them have.
+    /// [`crate::RankCtx::admit`] packages the admission-fence protocol
+    /// that provides this ordering; the simulation harness applies it
+    /// omnisciently at one virtual instant.
+    pub fn admit_from(&self, from_round: u64, joiners: &[Rank]) {
+        assert!(
+            from_round >= self.next_round,
+            "cannot admit from round {from_round}: rounds < {} were already requested",
+            self.next_round
+        );
+        self.membership.admit_from(from_round, joiners);
+    }
+
+    /// The ranks live in the current tail segment (i.e. not currently
+    /// evicted).
     pub fn live_ranks(&self) -> Vec<Rank> {
-        self.evictions.live_at(u64::MAX)
+        self.membership.live_at(u64::MAX)
     }
 
-    /// All ranks evicted so far.
+    /// All ranks currently evicted.
     pub fn evicted_ranks(&self) -> Vec<Rank> {
-        self.evictions.evicted()
+        self.membership.evicted()
     }
 
-    /// Number of eviction events applied so far.
+    /// Number of membership events (evictions + admissions) applied so
+    /// far.
     pub fn eviction_epoch(&self) -> usize {
-        self.evictions.epoch()
+        self.membership.epoch()
+    }
+
+    /// Snapshot of the `(from_round, live ranks)` membership segments —
+    /// what a joiner's state transfer ships (see
+    /// [`PartialAllreduce::import_state`]).
+    pub fn membership_segments(&self) -> Vec<(u64, Vec<Rank>)> {
+        self.membership.segments()
+    }
+
+    /// Snapshot of the `(from_round, policy)` timeline segments — the
+    /// other half of the joiner's state transfer.
+    pub fn policy_segments(&self) -> Vec<(u64, QuorumPolicy)> {
+        self.timeline.segments()
+    }
+
+    /// Install the survivors' full segment state on a freshly registered
+    /// handle — the joiner side of the admission protocol. The joiner
+    /// registers its collectives in SPMD order exactly like a newborn
+    /// rank, then imports the policy timeline and membership log the
+    /// survivors shipped it, then fast-forwards to the admission fence
+    /// ([`PartialAllreduce::fast_forward_to`]). Panics if this handle
+    /// already made local progress (deposits or segment appends of its
+    /// own) — import is for pristine handles only.
+    pub fn import_state(
+        &self,
+        policy_segments: Vec<(u64, QuorumPolicy)>,
+        membership_segments: Vec<(u64, Vec<Rank>)>,
+    ) {
+        assert_eq!(
+            self.next_round, 0,
+            "import_state on a handle that already ran rounds"
+        );
+        self.timeline.import(policy_segments);
+        self.membership.import(membership_segments);
+    }
+
+    /// Advance this handle's round counter to `round` without running
+    /// the skipped rounds — the joiner's final admission step: its first
+    /// deposit after re-admission must be for the admission fence `F`,
+    /// the first round whose schedule includes it again. Rounds < `F`
+    /// happened while it was dead; their results are gone. No-op when
+    /// `round` is already reached.
+    pub fn fast_forward_to(&mut self, round: u64) {
+        self.next_round = self.next_round.max(round);
     }
 
     /// One past the highest round this rank has *seen* — deposited

@@ -165,6 +165,10 @@ pub struct SimReport {
     /// Evictions the harness applied, as `(fence_round, ranks evicted at
     /// that fence)` — empty unless the spec scripts [`Fault::Kill`]s.
     pub evictions: Vec<(u64, Vec<Rank>)>,
+    /// Admissions the harness applied, as `(fence_round, ranks
+    /// re-admitted at that fence)` — empty unless the spec scripts
+    /// [`Fault::Rejoin`]s.
+    pub rejoins: Vec<(u64, Vec<Rank>)>,
     /// Ranks still alive at the end of the run.
     pub live: Vec<Rank>,
     /// Head element of each rank's latest result buffer.
@@ -224,13 +228,15 @@ pub struct SimHarness {
     window_start_round: u64,
     window_start_time: Duration,
     window_start_fresh: u64,
-    /// Whether the fault plan can kill ranks (gates the per-event death
-    /// scan so fault-free runs pay nothing).
+    /// Whether the fault plan can change membership (gates the per-event
+    /// death scan so fault-free runs pay nothing).
     chaos: bool,
-    /// Ranks this harness has already evicted from every live timeline.
+    /// Ranks this harness has already evicted from every timeline.
     evicted: Vec<bool>,
     /// `(fence_round, ranks evicted)` in application order.
     evictions: Vec<(u64, Vec<Rank>)>,
+    /// `(fence_round, ranks re-admitted)` in application order.
+    rejoins: Vec<(u64, Vec<Rank>)>,
 }
 
 impl SimHarness {
@@ -281,7 +287,7 @@ impl SimHarness {
             .faults
             .faults
             .iter()
-            .any(|f| matches!(f, Fault::Kill { .. }));
+            .any(|f| matches!(f, Fault::Kill { .. } | Fault::Rejoin { .. }));
         SimHarness {
             spec,
             sim,
@@ -296,6 +302,7 @@ impl SimHarness {
             chaos,
             evicted: vec![false; p],
             evictions: Vec::new(),
+            rejoins: Vec::new(),
         }
     }
 
@@ -389,6 +396,9 @@ impl SimHarness {
                     }
                     self.poll_outcome(dst);
                 }
+                SimEvent::Rejoin { rank } => {
+                    self.apply_rejoin(rank);
+                }
             }
             if self.chaos {
                 self.apply_evictions();
@@ -434,6 +444,7 @@ impl SimHarness {
             mean_nap: mean,
             switches: std::mem::take(&mut self.switches),
             evictions: std::mem::take(&mut self.evictions),
+            rejoins: std::mem::take(&mut self.rejoins),
             live: self.sim.live_ranks(),
             finals: self.ranks.iter().map(|r| r.last_result).collect(),
         }
@@ -455,15 +466,72 @@ impl SimHarness {
             return;
         }
         let fence = self.ranks.iter().map(|r| r.ar.horizon()).max().unwrap_or(0);
-        for (rank, r) in self.ranks.iter().enumerate() {
-            if !self.sim.is_dead(rank) {
-                r.ar.evict_from(fence, &newly);
-            }
+        // Applied on *every* frontend, the dead ones included: a corpse's
+        // timeline is inert (its timers are skipped), but keeping its
+        // membership log in lockstep is what lets a later scripted
+        // [`Fault::Rejoin`] re-admit it with matching epochs — the sim's
+        // stand-in for the admission state transfer a relaunched TCP
+        // worker receives over the rendezvous connection.
+        for r in &self.ranks {
+            r.ar.evict_from(fence, &newly);
         }
         for &r in &newly {
             self.evicted[r] = true;
         }
         self.evictions.push((fence, newly));
+    }
+
+    /// Reverse an eviction for `joiner` at an admission fence no rank has
+    /// built past — the eviction fence run backwards. The harness owns
+    /// every frontend, so (exactly as in [`SimHarness::apply_evictions`])
+    /// it reads the fence directly as the `max` of all horizons instead
+    /// of running the live set's Max-allreduce; the schedules that result
+    /// are identical to [`crate::ctx::RankCtx::admit`]'s. The joiner
+    /// fast-forwards to the fence (the rounds it missed are gone — they
+    /// ran over the shrunken world) and its deposit timer is re-seeded so
+    /// its first post-rejoin contribution is exactly round `fence`.
+    fn apply_rejoin(&mut self, joiner: usize) {
+        if !self.evicted[joiner] {
+            // Back before anyone evicted it: nothing to reverse — just
+            // resume its deposit schedule where it stopped.
+            let round = self.ranks[joiner].deposited;
+            self.ranks[joiner].waiting = None;
+            self.reseed_deposit_timer(joiner, round);
+            return;
+        }
+        let fence = self.ranks.iter().map(|r| r.ar.horizon()).max().unwrap_or(0);
+        let joiners = vec![joiner];
+        self.ranks[joiner].ar.fast_forward_to(fence);
+        self.ranks[joiner].deposited = fence.min(self.spec.rounds);
+        self.ranks[joiner].waiting = None;
+        for r in &self.ranks {
+            r.ar.admit_from(fence, &joiners);
+        }
+        self.evicted[joiner] = false;
+        self.reseed_deposit_timer(joiner, fence);
+        self.rejoins.push((fence, joiners));
+    }
+
+    /// Schedule `rank`'s next deposit timer for `round` after a rejoin
+    /// (the sim clamps instants already in the past to "now").
+    fn reseed_deposit_timer(&mut self, rank: usize, round: u64) {
+        if round >= self.spec.rounds {
+            return;
+        }
+        let at = match &self.spec.pacing {
+            Pacing::Global { step, offsets } => {
+                pcoll_comm::TimePoint::ZERO + *step * (round as u32) + offsets[rank]
+            }
+            Pacing::SelfPaced { compute, hiccup } => {
+                let extra = if hiccup.hits(rank, round, self.ranks.len()) {
+                    hiccup.extra
+                } else {
+                    Duration::ZERO
+                };
+                self.sim.now() + compute[rank] + extra
+            }
+        };
+        self.sim.schedule_timer(at, rank, round);
     }
 
     /// Deposit `round` on `rank` and schedule what follows.
@@ -773,6 +841,75 @@ mod tests {
         for &r in &rep.live {
             assert_eq!(rep.traces[r].last().unwrap().round, 11, "rank {r}");
         }
+    }
+
+    #[test]
+    fn scripted_rejoin_grows_the_world_back_and_nap_recovers() {
+        use pcoll_comm::{FaultPlan, TimePoint};
+        let p = 8;
+        let mut spec = SimSpec::linear_skew(p, 40, Duration::from_millis(1), QuorumPolicy::Full);
+        spec.opts.faults = FaultPlan::none()
+            .with(Fault::Kill {
+                rank: 3,
+                at: TimePoint::ZERO + Duration::from_millis(200),
+            })
+            .with(Fault::Rejoin {
+                rank: 3,
+                at: TimePoint::ZERO + Duration::from_millis(500),
+            });
+        let rep = SimHarness::run(spec);
+        assert_eq!(rep.live, (0..p).collect::<Vec<_>>());
+        assert_eq!(rep.evictions.len(), 1);
+        assert_eq!(rep.rejoins.len(), 1);
+        let (evict_fence, ref dead) = rep.evictions[0];
+        let (admit_fence, ref joined) = rep.rejoins[0];
+        assert_eq!(dead, &vec![3]);
+        assert_eq!(joined, &vec![3]);
+        assert!(
+            admit_fence > evict_fence,
+            "admission fence {admit_fence} must follow eviction fence {evict_fence}"
+        );
+        // Shrunken steady state: exactly the 7 survivors are fresh.
+        // (Rounds right at the eviction fence may be stuck pre-fence Full
+        // rounds missing the victim — skip a small margin.)
+        let (lo, hi) = (evict_fence as usize + 2, admit_fence as usize - 2);
+        assert!(lo < hi, "fences too close to observe the shrunken phase");
+        for r in lo..hi {
+            assert_eq!(rep.nap_per_round[r], 7, "shrunken round {r}");
+        }
+        // Grown back: from the admission fence on, all 8 are fresh again
+        // — the Fig. 7 full-world NAP recovers.
+        for r in admit_fence as usize..40 {
+            assert_eq!(rep.nap_per_round[r], 8, "post-admission round {r}");
+        }
+        // Everyone (the rejoiner included) finishes the final round.
+        for r in 0..p {
+            assert_eq!(rep.traces[r].last().unwrap().round, 39, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn kill_evict_rejoin_replays_bit_identically() {
+        use pcoll_comm::{FaultPlan, TimePoint};
+        let mut spec =
+            SimSpec::linear_skew(8, 30, Duration::from_millis(1), QuorumPolicy::Majority);
+        spec.opts.faults = FaultPlan::none()
+            .with(Fault::Kill {
+                rank: 5,
+                at: TimePoint::ZERO + Duration::from_millis(150),
+            })
+            .with(Fault::Rejoin {
+                rank: 5,
+                at: TimePoint::ZERO + Duration::from_millis(400),
+            });
+        let a = SimHarness::run(spec.clone());
+        let b = SimHarness::run(spec);
+        assert_eq!(a.digest(), b.digest());
+        assert_eq!(a.evictions, b.evictions);
+        assert_eq!(a.rejoins, b.rejoins);
+        assert_eq!(a.live, b.live);
+        assert_eq!(a.events, b.events);
+        assert!(!a.evictions.is_empty() && !a.rejoins.is_empty());
     }
 
     #[test]

@@ -79,7 +79,9 @@ pub use pool::BytePool;
 pub use sim::{Fault, FaultPlan, Planet, Region, SimEvent, SimOpts, SimWorld};
 pub use stats::{CommStats, CommStatsSnapshot};
 pub use tag::{CollId, Message, Rank, WireTag};
-pub use transport::{is_tcp_worker, launch_tcp_tolerant, TcpOpts, Transport};
+pub use transport::{
+    is_tcp_rejoiner, is_tcp_worker, launch_tcp_tolerant, RendezvousClient, TcpOpts, Transport,
+};
 pub use world::{
     CommHandle, Communicator, Envelope, FaultAction, FaultHook, Inbox, World, WorldConfig,
     DEFAULT_QUEUE_CAPACITY, DEFAULT_QUEUE_DEADLINE,

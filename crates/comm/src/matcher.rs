@@ -97,7 +97,7 @@ impl Matcher {
                 }
                 // Matcher callers do their own liveness handling (or none);
                 // the notification is consumed so matching keeps draining.
-                Envelope::PeerDown { .. } => {}
+                Envelope::PeerDown { .. } | Envelope::PeerUp { .. } => {}
             }
         }
     }
@@ -130,7 +130,7 @@ impl Matcher {
                     self.shutdown_seen = true;
                     return None;
                 }
-                Envelope::PeerDown { .. } => {}
+                Envelope::PeerDown { .. } | Envelope::PeerUp { .. } => {}
             }
         }
     }
@@ -203,7 +203,7 @@ impl Matcher {
                     self.shutdown_seen = true;
                     return None;
                 }
-                Envelope::PeerDown { .. } => {}
+                Envelope::PeerDown { .. } | Envelope::PeerUp { .. } => {}
             }
         }
     }

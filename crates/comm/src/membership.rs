@@ -16,12 +16,16 @@
 //!   read through the transport [`Clock`], so the same detector runs
 //!   under wall time (inproc/TCP) and virtual time (the simulator).
 //!
-//! Status is monotonic per peer: `Alive → Suspect → Down → Evicted`.
-//! `Down` is a *local* verdict; `Evicted` records the SPMD-fenced
-//! agreement (see `pcoll`'s eviction protocol) that every survivor
-//! treats the rank as permanently absent. The `epoch` counter bumps on
-//! every down/evict transition so pollers can cheaply detect "membership
-//! changed since I last looked".
+//! Status is monotonic per peer: `Alive → Suspect → Down → Evicted` —
+//! with one sanctioned reverse edge. `Down` is a *local* verdict;
+//! `Evicted` records the SPMD-fenced agreement (see `pcoll`'s eviction
+//! protocol) that every survivor treats the rank as absent. When the
+//! survivors later run the *admission* fence in reverse,
+//! [`Membership::readmit`] moves the peer straight back to `Alive`:
+//! no local evidence may resurrect a down peer, but a consensus
+//! decision can. The `epoch` counter bumps on every down/evict/readmit
+//! transition so pollers can cheaply detect "membership changed since I
+//! last looked".
 
 use crate::tag::Rank;
 use crate::time::Clock;
@@ -224,6 +228,26 @@ impl Membership {
         }
     }
 
+    /// Record the SPMD-fenced *re-admission* agreement for `peer`: the
+    /// one sanctioned reverse transition in the otherwise monotonic
+    /// status ladder. Local evidence (`observe`) can never resurrect a
+    /// down or evicted peer — only the consensus admission fence may,
+    /// because it proves every live rank switches its schedules in the
+    /// same round. Resets the peer to `Alive` with fresh timing state
+    /// (stale silence from before the death must not instantly re-trip
+    /// the detector) and bumps the epoch when the status changed.
+    pub fn readmit(&self, peer: Rank) {
+        let Some(p) = self.peers.get(peer) else {
+            return;
+        };
+        p.last_heard_ns
+            .store(self.clock.now().as_nanos(), Ordering::Relaxed);
+        p.mean_interval_ns.store(0, Ordering::Relaxed);
+        if p.status.swap(ST_ALIVE, Ordering::AcqRel) != ST_ALIVE {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
     /// `peer`'s current status.
     pub fn status(&self, peer: Rank) -> PeerStatus {
         match self.peers[peer].status.load(Ordering::Relaxed) {
@@ -344,6 +368,29 @@ mod tests {
         assert_eq!(m.epoch(), 2);
         m.evict(3);
         assert_eq!(m.epoch(), 2, "re-evicting does not bump the epoch");
+    }
+
+    #[test]
+    fn readmit_reverses_eviction_and_resets_the_detector() {
+        let (m, clock) = virtual_membership(4);
+        m.report_down(3);
+        m.evict(3);
+        assert_eq!(m.status(3), PeerStatus::Evicted);
+        let epoch_before = m.epoch();
+        // Long-dead: without a timing reset, re-admission would inherit
+        // the stale silence and instantly re-trip the detector.
+        clock.advance(Duration::from_secs(60));
+        m.readmit(3);
+        assert_eq!(m.status(3), PeerStatus::Alive);
+        assert_eq!(m.suspicion(3), 0.0, "readmit must reset timing state");
+        assert_eq!(m.live(), vec![0, 1, 2, 3]);
+        assert_eq!(m.epoch(), epoch_before + 1);
+        m.readmit(3);
+        assert_eq!(
+            m.epoch(),
+            epoch_before + 1,
+            "re-readmitting does not bump the epoch"
+        );
     }
 
     #[test]

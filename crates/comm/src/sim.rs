@@ -220,6 +220,19 @@ pub enum Fault {
         /// When the cut happens.
         at: TimePoint,
     },
+    /// A previously killed `rank` comes back at `at`: its dead flag
+    /// clears, every live rank's membership view re-admits it, and the
+    /// driver is handed a [`SimEvent::Rejoin`] so it can run the
+    /// admission-fence protocol (state import, fence agreement, schedule
+    /// rebuild) at that exact virtual instant. Paired with
+    /// [`Fault::Kill`], this makes a full kill → evict → rejoin cycle a
+    /// pure function of `(config, seed)` — it replays bit-identically.
+    Rejoin {
+        /// The rank that comes back.
+        rank: Rank,
+        /// When it rejoins (must be after its kill to have any effect).
+        at: TimePoint,
+    },
 }
 
 /// A scripted set of [`Fault`]s for one simulated run. Because the sim is
@@ -275,6 +288,11 @@ enum EventKind {
     Kill {
         rank: Rank,
     },
+    /// A scripted [`Fault::Rejoin`] coming due (surfaced as
+    /// [`SimEvent::Rejoin`] so the driver can run admission).
+    Rejoin {
+        rank: Rank,
+    },
 }
 
 struct SimEntry {
@@ -315,6 +333,14 @@ pub enum SimEvent {
         rank: Rank,
         /// The caller's opaque token.
         token: u64,
+    },
+    /// A scripted [`Fault::Rejoin`] came due: `rank`'s dead flag is
+    /// cleared and every live membership view has re-admitted it. The
+    /// driver must now run the admission-fence protocol before the
+    /// joiner participates in any round.
+    Rejoin {
+        /// The rank that just came back.
+        rank: Rank,
     },
 }
 
@@ -395,7 +421,14 @@ impl SimWorld {
             })
             .collect();
         let memberships = (0..cfg.nranks)
-            .map(|rank| Arc::new(Membership::new(rank, cfg.nranks, clock.clone())))
+            .map(|rank| {
+                Arc::new(Membership::with_grace(
+                    rank,
+                    cfg.nranks,
+                    clock.clone(),
+                    cfg.suspicion_grace(),
+                ))
+            })
             .collect();
         let mut w = SimWorld {
             rng_state: (cfg.seed ^ 0x5EED) | 1,
@@ -418,21 +451,22 @@ impl SimWorld {
             dropped_by_fault: 0,
             cfg,
         };
-        // Scripted kills become schedule entries so they interleave with
-        // deliveries in deterministic (due, seq) order.
-        let kills: Vec<(TimePoint, Rank)> = w
+        // Scripted kills and rejoins become schedule entries so they
+        // interleave with deliveries in deterministic (due, seq) order.
+        let membership_events: Vec<(TimePoint, EventKind)> = w
             .faults
             .iter()
             .filter_map(|f| match f {
-                Fault::Kill { rank, at } => Some((*at, *rank)),
+                Fault::Kill { rank, at } => Some((*at, EventKind::Kill { rank: *rank })),
+                Fault::Rejoin { rank, at } => Some((*at, EventKind::Rejoin { rank: *rank })),
                 _ => None,
             })
             .collect();
-        for (at, rank) in kills {
+        for (at, kind) in membership_events {
             w.heap.push(Reverse(SimEntry {
                 due: at,
                 seq: w.seq,
-                kind: EventKind::Kill { rank },
+                kind,
             }));
             w.seq += 1;
         }
@@ -534,6 +568,58 @@ impl SimWorld {
         }
     }
 
+    /// Bring a killed `rank` back *now*: clears its dead flag, re-admits
+    /// it in every live rank's membership view, and resets the joiner's
+    /// own view to the current world (live peers alive with fresh timing
+    /// state, dead peers down) — the simulator's stand-in for a freshly
+    /// relaunched process that learned the membership from the admission
+    /// state transfer. The *collective* side of admission (fence
+    /// agreement, schedule rebuild) is the driver's job, triggered by the
+    /// [`SimEvent::Rejoin`] this surfaces through [`SimWorld::step`] when
+    /// scripted. Idempotent: rejoining a live rank is a no-op.
+    pub fn rejoin(&mut self, rank: Rank) {
+        assert!(rank < self.cfg.nranks, "rank {rank} out of range");
+        if !self.dead[rank] {
+            return;
+        }
+        self.dead[rank] = false;
+        let now = self.clock.now();
+        for r in 0..self.cfg.nranks {
+            if r == rank || self.dead[r] {
+                continue;
+            }
+            self.memberships[r].readmit(rank);
+            // Mirror [`SimWorld::kill`]'s PeerDown fan-out: every
+            // survivor's engine must drop its null-synthesis verdict for
+            // the joiner before rounds past the admission fence are
+            // built, or the joiner's contributions stay nulled forever.
+            // Pushed after the Rejoin event that surfaced this call, so
+            // drivers run the admission protocol first, then the engines
+            // learn of the comeback — still before any post-fence
+            // deposit timer can fire.
+            self.heap.push(Reverse(SimEntry {
+                due: now,
+                seq: self.seq,
+                kind: EventKind::Deliver {
+                    src: rank,
+                    dst: r,
+                    env: Envelope::PeerUp { peer: rank },
+                    delay_ns: 0,
+                    held_ns: 0,
+                    held_behind: 0,
+                },
+            }));
+            self.seq += 1;
+        }
+        for q in 0..self.cfg.nranks {
+            if self.dead[q] {
+                self.memberships[rank].report_down(q);
+            } else {
+                self.memberships[rank].readmit(q);
+            }
+        }
+    }
+
     /// Take `rank`'s receive half (once).
     pub fn take_inbox(&mut self, rank: Rank) -> Inbox {
         Inbox {
@@ -607,7 +693,7 @@ impl SimWorld {
             }
             let bytes = match &env {
                 Envelope::Data(m) => m.wire_bytes(),
-                Envelope::Shutdown | Envelope::PeerDown { .. } => 0,
+                Envelope::Shutdown | Envelope::PeerDown { .. } | Envelope::PeerUp { .. } => 0,
             };
             let mut latency = self.planet.one_way(self.regions[src], self.regions[dst])
                 + self.cfg.network.base_latency(bytes)
@@ -699,6 +785,16 @@ impl SimWorld {
                     self.kill(rank);
                     continue;
                 }
+                EventKind::Rejoin { rank } => {
+                    // Scripted comeback: only meaningful for a rank that
+                    // is actually dead; surfaced so the driver runs the
+                    // admission protocol at this exact instant.
+                    if !self.dead[rank] {
+                        continue;
+                    }
+                    self.rejoin(rank);
+                    return Some(SimEvent::Rejoin { rank });
+                }
                 EventKind::Deliver {
                     src,
                     dst,
@@ -721,6 +817,7 @@ impl SimWorld {
                     if self.dead[rank] {
                         continue;
                     }
+                    self.maybe_sweep(rank);
                     return Some(SimEvent::Timer { rank, token });
                 }
             }
@@ -777,8 +874,19 @@ impl SimWorld {
                         });
                 }
             }
+            // Membership was already flipped by [`SimWorld::rejoin`];
+            // record the event on the receiving rank's timeline so the
+            // flight recorder shows when each survivor learned of it.
+            Envelope::PeerUp { peer } => {
+                self.stats[dst]
+                    .recorder()
+                    .record(pcoll_obs::LEVEL_SPANS, || pcoll_obs::EventKind::PeerUp {
+                        peer: *peer as u32,
+                    });
+            }
             Envelope::Shutdown => {}
         }
+        self.maybe_sweep(dst);
         if self.mb_txs[dst].try_send(env).is_err() {
             // A full mailbox here means the driver is not draining
             // after deliveries — a bug in the harness, not a
@@ -791,6 +899,20 @@ impl SimWorld {
             );
         }
         SimEvent::Deliver { dst }
+    }
+
+    /// When [`WorldConfig::suspect_timeout`] is set, sweep `rank`'s
+    /// membership view so a hung (not dead) peer that has been silent
+    /// longer than the timeout reaches [`crate::PeerStatus::Suspect`]
+    /// without the driver polling. Gated on the knob so the default
+    /// configuration pays nothing per event.
+    fn maybe_sweep(&self, rank: Rank) {
+        if self.cfg.suspect_timeout.is_some() {
+            // With grace = suspect_timeout, suspicion crosses 1.0 once
+            // the silence exceeds max(EWMA gap, timeout) — i.e. "silent
+            // longer than the configured timeout".
+            self.memberships[rank].sweep_suspects(1.0);
+        }
     }
 
     /// Whether the schedule is exhausted (nothing queued, nothing staged).
@@ -951,6 +1073,71 @@ mod tests {
             log
         };
         assert_eq!(run(), run(), "same seed, same schedule, same log");
+    }
+
+    #[test]
+    fn hung_peer_reaches_suspect_only_with_suspect_timeout() {
+        use crate::membership::PeerStatus;
+        // One virtual second of total silence, observed at a timer fire.
+        let cfg = WorldConfig::instant(3).with_suspect_timeout(Duration::from_millis(50));
+        let mut w = SimWorld::new(cfg, SimOpts::default());
+        w.schedule_timer(TimePoint::from_nanos(1_000_000_000), 0, 1);
+        assert_eq!(w.step(), Some(SimEvent::Timer { rank: 0, token: 1 }));
+        assert_eq!(w.membership(0).status(1), PeerStatus::Suspect);
+        assert_eq!(w.membership(0).status(2), PeerStatus::Suspect);
+        // Without the knob the same silence (well past the default grace)
+        // never trips anything: no automatic sweep runs.
+        let mut w2 = SimWorld::new(WorldConfig::instant(3), SimOpts::default());
+        w2.schedule_timer(TimePoint::from_nanos(1_000_000_000), 0, 1);
+        assert_eq!(w2.step(), Some(SimEvent::Timer { rank: 0, token: 1 }));
+        assert_eq!(w2.membership(0).status(1), PeerStatus::Alive);
+    }
+
+    #[test]
+    fn scripted_rejoin_clears_death_and_readmits_in_every_view() {
+        let ms = |n: u64| TimePoint::from_nanos(n * 1_000_000);
+        let faults = FaultPlan::none()
+            .with(Fault::Kill {
+                rank: 1,
+                at: ms(10),
+            })
+            .with(Fault::Rejoin {
+                rank: 1,
+                at: ms(30),
+            });
+        let mut w = SimWorld::new(
+            WorldConfig::instant(3),
+            SimOpts {
+                faults,
+                ..SimOpts::default()
+            },
+        );
+        let inboxes: Vec<Inbox> = (0..3).map(|r| w.take_inbox(r)).collect();
+        let mut saw_down = false;
+        let mut rejoined_at = None;
+        while let Some(ev) = w.step() {
+            match ev {
+                SimEvent::Deliver { dst } => {
+                    if let Some(Envelope::PeerDown { peer }) = inboxes[dst].try_recv() {
+                        assert_eq!(peer, 1);
+                        saw_down = true;
+                        assert!(w.is_dead(1), "PeerDown precedes the comeback");
+                    }
+                }
+                SimEvent::Rejoin { rank } => {
+                    assert_eq!(rank, 1);
+                    rejoined_at = Some(w.now());
+                }
+                SimEvent::Timer { .. } => {}
+            }
+        }
+        assert!(saw_down, "kill must fan PeerDown to the survivors");
+        assert_eq!(rejoined_at, Some(ms(30)));
+        assert!(!w.is_dead(1));
+        assert_eq!(w.live_ranks(), vec![0, 1, 2]);
+        for r in 0..3 {
+            assert_eq!(w.membership(r).live(), vec![0, 1, 2], "rank {r} view");
+        }
     }
 
     #[test]

@@ -24,14 +24,36 @@
 //!   connection and half-closes it. Peer readers stop at `GOODBYE`, which
 //!   replaces the in-memory [`Envelope::Shutdown`] drop semantics with an
 //!   orderly drain: everything sent before a rank finished is delivered.
-//! - **Rendezvous.** [`launch_tcp`] in a parent process binds a loopback
+//! - **Rendezvous.** [`launch_tcp`] in a parent process binds a
 //!   listener, then re-`exec`s the current binary once per rank (the
-//!   `mpirun` stand-in). Workers report their own listener port to the
-//!   parent, receive the full port map, and build the pairwise mesh
-//!   (each rank dials the listeners of all lower ranks and accepts from
-//!   all higher ones). Each rank's closure
-//!   result returns to the parent as JSON over its rendezvous connection,
-//!   so `launch_tcp` has the same `Vec<T>` shape as `World::launch`.
+//!   `mpirun` stand-in). Workers report their own advertised mesh
+//!   address to the parent, receive the full address map, and build the
+//!   pairwise mesh (each rank dials the listeners of all lower ranks
+//!   and accepts from all higher ones). Each rank's closure result
+//!   returns to the parent as JSON over its rendezvous connection, so
+//!   `launch_tcp` has the same `Vec<T>` shape as `World::launch` — and
+//!   because results travel over that connection (never through shared
+//!   memory or the exit status), collection works identically when the
+//!   workers run on other hosts.
+//! - **External launch / multi-host.** [`TcpOpts::listen`] (or
+//!   `PCOLL_TCP_LISTEN`) switches the parent to externally launched
+//!   workers: it binds the given address — possibly on a routable
+//!   interface — and spawns nothing; the operator starts one worker per
+//!   rank anywhere, with `PCOLL_TCP_RANK` / `PCOLL_TCP_NRANKS` /
+//!   `PCOLL_TCP_PARENT` / `PCOLL_TCP_LABEL` in the environment. Workers
+//!   split their mesh bind address (`PCOLL_TCP_BIND`, default loopback)
+//!   from the address they advertise to peers (`PCOLL_TCP_ADVERTISE`),
+//!   so a rank behind NAT or on a multi-NIC box can bind the wildcard
+//!   interface yet hand out its routable name.
+//! - **Rejoin.** The rendezvous listener and every rank's mesh listener
+//!   stay alive for the whole run. A relaunched worker (env
+//!   `PCOLL_TCP_REJOIN=1`, or automatic under [`TcpOpts::respawn`])
+//!   re-registers with the parent, dials every live peer — whose accept
+//!   threads splice a fresh connection into the dead rank's slot — and
+//!   fetches the state it missed through the parent's blackboard
+//!   ([`RendezvousClient`]); the app layer then runs the admission
+//!   fence (`RankCtx::admit` in the `pcoll` crate) to bring it back
+//!   into the collectives.
 //!
 //! A binary may contain several `launch_tcp` call sites; each is named by
 //! [`TcpOpts::label`], and a worker process only serves the call site
@@ -51,12 +73,12 @@ use crossbeam::channel::{
     bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TrySendError,
 };
 use serde::json::Value;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::process::{Child, Command, Stdio};
-use std::sync::atomic::Ordering;
-use std::sync::{Arc, Barrier};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -113,6 +135,22 @@ pub struct TcpOpts {
     /// launch (and all workers are killed). Overridable via the
     /// `PCOLL_TCP_TIMEOUT_SECS` environment variable.
     pub timeout: Duration,
+    /// Parent rendezvous listen address (`"host:port"`). `None` — the
+    /// default — binds an ephemeral loopback port and self-`exec`s one
+    /// worker process per rank. `Some` switches to *externally launched*
+    /// workers: the parent binds here, spawns nothing, and waits for
+    /// `nranks` workers started by the operator with the `PCOLL_TCP_*`
+    /// environment pointing back at this address. Settable via
+    /// `PCOLL_TCP_LISTEN`.
+    pub listen: Option<String>,
+    /// Relaunch a worker whose process dies mid-run (once per rank),
+    /// with `PCOLL_TCP_REJOIN=1` in its environment so it comes back
+    /// asking for re-admission instead of an initial mesh slot. Only
+    /// meaningful in self-`exec` mode (externally launched workers are
+    /// the operator's to relaunch), and only useful with a closure that
+    /// takes the rejoin path (see [`is_tcp_rejoiner`] and the `pcoll`
+    /// crate's `RankCtx::admit`).
+    pub respawn: bool,
 }
 
 impl TcpOpts {
@@ -127,12 +165,28 @@ impl TcpOpts {
             child_args: None,
             inherit_stdout: false,
             timeout,
+            listen: std::env::var(ENV_LISTEN).ok(),
+            respawn: false,
         }
     }
 
     /// Builder: explicit worker argv.
     pub fn with_child_args(mut self, args: Vec<String>) -> Self {
         self.child_args = Some(args);
+        self
+    }
+
+    /// Builder: externally launched workers — the parent binds `addr`
+    /// and spawns nothing (see [`TcpOpts::listen`]).
+    pub fn with_listen(mut self, addr: impl Into<String>) -> Self {
+        self.listen = Some(addr.into());
+        self
+    }
+
+    /// Builder: relaunch dead workers once for rejoin (see
+    /// [`TcpOpts::respawn`]).
+    pub fn with_respawn(mut self) -> Self {
+        self.respawn = true;
         self
     }
 }
@@ -142,12 +196,26 @@ const ENV_NRANKS: &str = "PCOLL_TCP_NRANKS";
 const ENV_PARENT: &str = "PCOLL_TCP_PARENT";
 const ENV_LABEL: &str = "PCOLL_TCP_LABEL";
 const ENV_TIMEOUT: &str = "PCOLL_TCP_TIMEOUT_SECS";
+const ENV_LISTEN: &str = "PCOLL_TCP_LISTEN";
+const ENV_BIND: &str = "PCOLL_TCP_BIND";
+const ENV_ADVERTISE: &str = "PCOLL_TCP_ADVERTISE";
+const ENV_REJOIN: &str = "PCOLL_TCP_REJOIN";
 
 /// True when this process is a re-`exec`ed TCP rank worker. Callers use
 /// this to skip work that only the parent should do (e.g. the in-process
 /// half of a both-backends comparison).
 pub fn is_tcp_worker() -> bool {
     std::env::var_os(ENV_RANK).is_some()
+}
+
+/// True when this process is a relaunched worker that must *rejoin* a
+/// running world: its previous incarnation was evicted, so instead of
+/// taking an initial mesh slot it dials every live peer and the SPMD
+/// closure must take the rejoin path — import the policy/membership
+/// history from the blackboard ([`RendezvousClient`]) and enter the
+/// admission fence rather than computing from round 0.
+pub fn is_tcp_rejoiner() -> bool {
+    std::env::var_os(ENV_REJOIN).is_some()
 }
 
 // ---------------------------------------------------------------------------
@@ -248,10 +316,14 @@ impl Route {
 }
 
 /// Per-peer outbound queues plus the local inbox (self-sends short-circuit
-/// the sockets; a rank is always FIFO with itself).
+/// the sockets; a rank is always FIFO with itself). Each slot is
+/// lock-wrapped so a mid-run mesh reconnect — a rejoining rank dialing
+/// back in — can splice a fresh writer in place of the dead one; the
+/// steady-state cost is one uncontended lock plus a sender refcount bump
+/// per remote send, and no allocation.
 pub(crate) struct TcpPeers {
     rank: Rank,
-    txs: Vec<Option<Sender<PeerCmd>>>,
+    txs: Vec<Mutex<Option<Sender<PeerCmd>>>>,
     local: Sender<Envelope>,
     membership: Arc<Membership>,
 }
@@ -263,11 +335,23 @@ impl TcpPeers {
         } else if self.membership.is_down(dst) {
             // A send to a declared-dead peer drops immediately instead of
             // queueing behind a writer that can only fail (or, worse,
-            // blocking a full queue out to the deadline panic).
+            // blocking a full queue out to the deadline panic). This is
+            // also what gates a rejoiner's spliced-in connection: it goes
+            // unused until the admission fence readmits the rank.
             stats.dropped_peer_down.fetch_add(1, Ordering::Relaxed);
-        } else if let Some(tx) = &self.txs[dst] {
-            bounded_send(tx, PeerCmd::Deliver(env), stats, deadline, "peer writer");
+        } else if let Some(tx) = self.peer_tx(dst) {
+            bounded_send(&tx, PeerCmd::Deliver(env), stats, deadline, "peer writer");
         }
+    }
+
+    /// Install a fresh writer queue for `peer` (mesh reconnect).
+    fn swap_peer(&self, peer: Rank, tx: Sender<PeerCmd>) {
+        *self.txs[peer].lock().expect("peer slot") = Some(tx);
+    }
+
+    /// The current writer queue for `peer`, if any.
+    fn peer_tx(&self, peer: Rank) -> Option<Sender<PeerCmd>> {
+        self.txs[peer].lock().expect("peer slot").clone()
     }
 }
 
@@ -552,8 +636,8 @@ fn writer_loop(
                 scratch
             }
             Envelope::Shutdown => &[FRAME_SHUTDOWN],
-            // Never crosses the wire: a peer-death verdict is local.
-            Envelope::PeerDown { .. } => return true,
+            // Never crosses the wire: liveness verdicts are local.
+            Envelope::PeerDown { .. } | Envelope::PeerUp { .. } => return true,
         };
         match write_frame(w, body) {
             Ok(()) => true,
@@ -716,13 +800,246 @@ fn remaining(deadline: Instant) -> Duration {
         .max(Duration::from_millis(1))
 }
 
+fn bad_frame(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_owned())
+}
+
+// ---------------------------------------------------------------------------
+// Rendezvous blackboard (state transfer for rejoin)
+// ---------------------------------------------------------------------------
+
+/// Key-value side channel on a worker's rendezvous connection. The
+/// parent keeps a blackboard that any worker can write
+/// ([`RendezvousClient::put`]) and any worker — including one that
+/// joined mid-run — can read ([`RendezvousClient::get`], blocking until
+/// the key exists). The admission-fence protocol uses it to hand a
+/// rejoining rank the policy/membership history it missed; the API is
+/// deliberately JSON-text-in / JSON-text-out so app crates stay
+/// decoupled from this crate's wire codec. Cloneable; clones share the
+/// one underlying parent connection (an internal lock serializes use).
+#[derive(Clone)]
+pub struct RendezvousClient {
+    link: Arc<Mutex<TcpStream>>,
+}
+
+impl RendezvousClient {
+    /// Publish `json` (must parse as JSON) under `key` on the parent's
+    /// blackboard, overwriting any previous value.
+    pub fn put(&self, key: &str, json: &str) {
+        let value = Value::parse(json).expect("RendezvousClient::put: invalid json");
+        let stream = self.link.lock().expect("rendezvous link");
+        write_json(
+            &stream,
+            &obj(vec![
+                ("kind", Value::Str("put".into())),
+                ("key", Value::Str(key.into())),
+                ("value", value),
+            ]),
+        )
+        .expect("rendezvous put");
+    }
+
+    /// Fetch `key` from the parent's blackboard as JSON text, blocking
+    /// until some worker has `put` it (bounded by the launch watchdog —
+    /// a key that never appears panics rather than deadlocking).
+    pub fn get(&self, key: &str) -> String {
+        let stream = self.link.lock().expect("rendezvous link");
+        write_json(
+            &stream,
+            &obj(vec![
+                ("kind", Value::Str("get".into())),
+                ("key", Value::Str(key.into())),
+            ]),
+        )
+        .expect("rendezvous get");
+        let reply = read_json(&stream).expect("rendezvous get reply");
+        match reply.field("found") {
+            Ok(Value::Bool(true)) => reply.field("value").expect("get value").to_json(),
+            _ => panic!("rendezvous get: key {key:?} never appeared before the watchdog"),
+        }
+    }
+}
+
+/// Parent-side shared rendezvous state: the worker address book, the
+/// set of ranks whose connection died (and has not reconnected), and
+/// the blackboard.
+struct RendezvousState {
+    addrs: Mutex<Vec<String>>,
+    down: Mutex<BTreeSet<Rank>>,
+    board: Mutex<HashMap<String, Value>>,
+    board_cv: Condvar,
+}
+
+impl RendezvousState {
+    fn new(addrs: Vec<String>) -> Self {
+        RendezvousState {
+            addrs: Mutex::new(addrs),
+            down: Mutex::new(BTreeSet::new()),
+            board: Mutex::new(HashMap::new()),
+            board_cv: Condvar::new(),
+        }
+    }
+
+    fn board_put(&self, key: String, value: Value) {
+        self.board.lock().expect("board").insert(key, value);
+        self.board_cv.notify_all();
+    }
+
+    /// Blocking lookup: waits up to `timeout` for the key to appear.
+    fn board_get(&self, key: &str, timeout: Duration) -> Option<Value> {
+        let deadline = Instant::now() + timeout;
+        let mut board = self.board.lock().expect("board");
+        loop {
+            if let Some(v) = board.get(key) {
+                return Some(v.clone());
+            }
+            let left = deadline.checked_duration_since(Instant::now())?;
+            let (b, _) = self.board_cv.wait_timeout(board, left).expect("board");
+            board = b;
+        }
+    }
+
+    fn mark_down(&self, rank: Rank) {
+        self.down.lock().expect("down").insert(rank);
+    }
+
+    /// The address map + down set as one port-map JSON message.
+    fn port_map(&self, nranks: usize, seed: u64) -> Value {
+        let addrs = self.addrs.lock().expect("addrs");
+        let down = self.down.lock().expect("down");
+        obj(vec![
+            ("nranks", Value::Int(nranks as i128)),
+            ("seed", Value::Int(seed as i128)),
+            (
+                "addrs",
+                Value::Arr(addrs.iter().map(|a| Value::Str(a.clone())).collect()),
+            ),
+            (
+                "down",
+                Value::Arr(down.iter().map(|&r| Value::Int(r as i128)).collect()),
+            ),
+        ])
+    }
+}
+
+/// Serve one worker's rendezvous connection until its final report (or
+/// its death): `put`/`get` frames hit the shared blackboard; the first
+/// frame *without* a `kind` field is the worker's result. On a read
+/// error the rank is recorded in [`RendezvousState::down`], so a later
+/// rejoin hello learns which peers are gone.
+fn serve_worker_conn(
+    rank: Rank,
+    s: TcpStream,
+    state: Arc<RendezvousState>,
+    tx: Sender<(Rank, std::io::Result<Value>)>,
+    timeout: Duration,
+) {
+    let _ = s.set_read_timeout(Some(timeout));
+    loop {
+        match read_json(&s) {
+            Ok(v) => match v.field("kind") {
+                Ok(Value::Str(kind)) if kind == "put" => {
+                    let (Ok(Value::Str(key)), Ok(value)) = (v.field("key"), v.field("value"))
+                    else {
+                        let _ = tx.send((rank, Err(bad_frame("malformed put"))));
+                        return;
+                    };
+                    state.board_put(key.clone(), value.clone());
+                }
+                Ok(Value::Str(kind)) if kind == "get" => {
+                    let Ok(Value::Str(key)) = v.field("key") else {
+                        let _ = tx.send((rank, Err(bad_frame("malformed get"))));
+                        return;
+                    };
+                    let reply = match state.board_get(key, timeout) {
+                        Some(value) => obj(vec![("found", Value::Bool(true)), ("value", value)]),
+                        None => obj(vec![("found", Value::Bool(false))]),
+                    };
+                    if write_json(&s, &reply).is_err() {
+                        state.mark_down(rank);
+                        let _ = tx.send((rank, Err(bad_frame("get reply failed"))));
+                        return;
+                    }
+                }
+                _ => {
+                    let _ = tx.send((rank, Ok(v)));
+                    return;
+                }
+            },
+            Err(e) => {
+                state.mark_down(rank);
+                let _ = tx.send((rank, Err(e)));
+                return;
+            }
+        }
+    }
+}
+
+/// Mid-run rendezvous service: keeps accepting connections after the
+/// initial world is up so an evicted-and-relaunched rank can come back.
+/// Each late hello (which must carry `rejoin: true`) gets the current
+/// address book + down set, then its connection is served like any
+/// other worker's (blackboard traffic + final report).
+fn rendezvous_service(
+    listener: TcpListener,
+    state: Arc<RendezvousState>,
+    res_tx: Sender<(Rank, std::io::Result<Value>)>,
+    stop: Arc<AtomicBool>,
+    nranks: usize,
+    seed: u64,
+    timeout: Duration,
+) {
+    let _ = listener.set_nonblocking(true);
+    let mut served = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((s, _)) => {
+                let _ = s.set_nonblocking(false);
+                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(Some(timeout));
+                let Ok(hello) = read_json(&s) else { continue };
+                let Ok(rank) = hello.field("rank").and_then(Value::as_int) else {
+                    continue;
+                };
+                let rank = rank as usize;
+                if rank >= nranks || !matches!(hello.field("rejoin"), Ok(Value::Bool(true))) {
+                    eprintln!("pcoll-comm: ignoring stray rendezvous connection (rank {rank})");
+                    continue;
+                }
+                if let Ok(Value::Str(a)) = hello.field("addr") {
+                    state.addrs.lock().expect("addrs")[rank] = a.clone();
+                }
+                state.down.lock().expect("down").remove(&rank);
+                if write_json(&s, &state.port_map(nranks, seed)).is_err() {
+                    continue;
+                }
+                let state2 = Arc::clone(&state);
+                let tx = res_tx.clone();
+                served.push(
+                    std::thread::Builder::new()
+                        .name(format!("pcoll-tcp-rejoin-{rank}"))
+                        .spawn(move || serve_worker_conn(rank, s, state2, tx, timeout))
+                        .expect("spawn rejoin server"),
+                );
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in served {
+        let _ = h.join();
+    }
+}
+
 /// Dial a peer with exponential backoff plus jitter. Racing workers can
 /// reach `connect` before the peer's listener backlog is ready, and a
 /// refused connection during mesh construction deserves a few attempts
 /// before it fails the rank. Jitter decorrelates the retry storms of
 /// many workers dialing the same listener.
 fn connect_with_retries(
-    port: u16,
+    addr: &str,
     deadline: Instant,
     seed: u64,
     what: &str,
@@ -731,7 +1048,7 @@ fn connect_with_retries(
     let mut rng = seed | 1;
     let mut attempts = 0u32;
     loop {
-        match TcpStream::connect(("127.0.0.1", port)) {
+        match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
             Err(e) => {
                 attempts += 1;
@@ -888,7 +1205,13 @@ fn run_parent_impl<T: serde::Deserialize>(
     tolerant: bool,
 ) -> (Vec<Option<T>>, Vec<Rank>) {
     let nranks = cfg.nranks;
-    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind rendezvous listener");
+    // An explicit listen address switches the parent to *externally
+    // launched* workers: bind where told (possibly a routable
+    // interface), spawn nothing, and wait for the operator's workers.
+    let external = opts.listen.is_some();
+    let bind_addr = opts.listen.clone().unwrap_or_else(|| "127.0.0.1:0".into());
+    let listener = TcpListener::bind(&bind_addr)
+        .unwrap_or_else(|e| panic!("bind rendezvous listener on {bind_addr}: {e}"));
     let addr = listener.local_addr().expect("rendezvous addr");
     let exe = std::env::current_exe().expect("current_exe for self-exec");
     let args: Vec<String> = opts
@@ -899,35 +1222,29 @@ fn run_parent_impl<T: serde::Deserialize>(
     let mut guard = ChildGuard {
         children: Vec::new(),
     };
-    for rank in 0..nranks {
-        let mut cmd = Command::new(&exe);
-        cmd.args(&args)
-            .env(ENV_RANK, rank.to_string())
-            .env(ENV_NRANKS, nranks.to_string())
-            .env(ENV_PARENT, addr.to_string())
-            .env(ENV_LABEL, &opts.label)
-            // Trace settings cross the exec boundary as environment:
-            // a programmatic `with_trace` reaches every worker.
-            .env(pcoll_obs::ENV_TRACE, cfg.trace.level.to_string())
-            .env(pcoll_obs::ENV_TRACE_CAP, cfg.trace.capacity.to_string())
-            .stdin(Stdio::null());
-        if !opts.inherit_stdout {
-            cmd.stdout(Stdio::null());
+    if external {
+        eprintln!(
+            "pcoll-comm: rendezvous on {addr}: waiting for {nranks} externally \
+             launched workers (label {:?})",
+            opts.label
+        );
+    } else {
+        for rank in 0..nranks {
+            let child =
+                spawn_worker_process(&exe, &args, rank, cfg, opts, &addr.to_string(), false);
+            guard.children.push((rank, child));
         }
-        let child = cmd
-            .spawn()
-            .unwrap_or_else(|e| panic!("spawn tcp rank worker {rank}: {e}"));
-        guard.children.push((rank, child));
     }
 
-    // Phase 1: collect hellos (worker rank + its mesh listener port).
-    // Any worker exit during rendezvous — even a clean one — means it
-    // will never connect (bad argv, a `--exact` filter matching no test,
-    // a panic before the launch call): fail fast with the real cause
-    // instead of blocking out the whole watchdog window.
+    // Phase 1: collect hellos (worker rank + its advertised mesh
+    // address). Any spawned worker's exit during rendezvous — even a
+    // clean one — means it will never connect (bad argv, a `--exact`
+    // filter matching no test, a panic before the launch call): fail
+    // fast with the real cause instead of blocking out the whole
+    // watchdog window. (In external mode there are no children to poll.)
     let deadline = Instant::now() + opts.timeout;
     let mut conns: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
-    let mut ports: Vec<u16> = vec![0; nranks];
+    let mut addrs: Vec<String> = vec![String::new(); nranks];
     for _ in 0..nranks {
         let mut check_children = || {
             for (rank, child) in &mut guard.children {
@@ -954,67 +1271,96 @@ fn run_parent_impl<T: serde::Deserialize>(
             .field("rank")
             .and_then(Value::as_int)
             .expect("hello.rank") as usize;
-        let port = hello
-            .field("port")
-            .and_then(Value::as_int)
-            .expect("hello.port") as u16;
+        let worker_addr = match hello.field("addr") {
+            Ok(Value::Str(a)) => a.clone(),
+            _ => panic!("hello missing mesh addr"),
+        };
         assert!(rank < nranks && conns[rank].is_none(), "duplicate hello");
-        ports[rank] = port;
+        addrs[rank] = worker_addr;
         conns[rank] = Some(s);
     }
 
-    // Phase 2: broadcast the port map (and the world parameters the
+    // Phase 2: broadcast the address map (and the world parameters the
     // workers must agree on — catches parent/worker config drift).
-    let pm = obj(vec![
-        ("nranks", Value::Int(nranks as i128)),
-        ("seed", Value::Int(cfg.seed as i128)),
-        (
-            "ports",
-            Value::Arr(ports.iter().map(|&p| Value::Int(p as i128)).collect()),
-        ),
-    ]);
+    let state = Arc::new(RendezvousState::new(addrs));
+    let pm = state.port_map(nranks, cfg.seed);
     for s in conns.iter().flatten() {
-        write_json(s, &pm).expect("send port map");
+        write_json(s, &pm).expect("send address map");
     }
 
-    // Phase 3: collect per-rank results concurrently (ranks finish in any
-    // order; a panic report must not hide behind a slower rank's read).
+    // Phase 3: serve every worker connection concurrently (results can
+    // arrive in any order; a panic report must not hide behind a slower
+    // rank's read; blackboard put/get frames ride the same streams),
+    // and keep the rendezvous listener alive so an evicted-and-
+    // relaunched rank can dial back in for rejoin.
     let (res_tx, res_rx) = unbounded();
     let mut readers = Vec::new();
     for (rank, conn) in conns.into_iter().enumerate() {
         let s = conn.expect("all conns collected");
         let tx = res_tx.clone();
+        let state2 = Arc::clone(&state);
         let timeout = opts.timeout;
         readers.push(
             std::thread::Builder::new()
                 .name(format!("pcoll-tcp-result-{rank}"))
-                .spawn(move || {
-                    let _ = s.set_read_timeout(Some(timeout));
-                    let _ = tx.send((rank, read_json(&s)));
-                })
+                .spawn(move || serve_worker_conn(rank, s, state2, tx, timeout))
                 .expect("spawn result reader"),
         );
     }
+    let stop = Arc::new(AtomicBool::new(false));
+    let service = {
+        let state2 = Arc::clone(&state);
+        let tx = res_tx.clone();
+        let stop2 = Arc::clone(&stop);
+        let (seed, timeout) = (cfg.seed, opts.timeout);
+        std::thread::Builder::new()
+            .name("pcoll-tcp-rendezvous".into())
+            .spawn(move || rendezvous_service(listener, state2, tx, stop2, nranks, seed, timeout))
+            .expect("spawn rendezvous service")
+    };
     drop(res_tx);
 
     let mut results: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
     let mut missing: Vec<Rank> = Vec::new();
     let mut evicted: BTreeSet<Rank> = BTreeSet::new();
-    for _ in 0..nranks {
+    // Ranks whose *connection* died at some point, even if a relaunched
+    // incarnation later reported: their first process may have exited
+    // with any status (kill -9 is a signal, not an exit code).
+    let mut ever_down: BTreeSet<Rank> = BTreeSet::new();
+    let mut respawned = vec![false; nranks];
+    let mut done = 0usize;
+    while done < nranks {
         let (rank, report) = res_rx
             .recv_timeout(opts.timeout + Duration::from_secs(5))
             .expect("result readers stalled");
         let report = match report {
             Ok(r) => r,
-            Err(e) if tolerant => {
-                // Dead worker: its socket closed without a report. Whether
-                // that is an eviction or a run failure is decided below,
-                // once the survivors' reports are in.
-                eprintln!("pcoll-comm: tcp rank {rank}: no result from worker: {e}");
-                missing.push(rank as Rank);
-                continue;
+            Err(e) => {
+                ever_down.insert(rank as Rank);
+                if opts.respawn && !external && !respawned[rank] {
+                    // Elastic mode: give the dead rank's slot a second
+                    // process. It comes back through the rendezvous with
+                    // `rejoin: true`, and must be re-admitted by the
+                    // app's admission fence before it contributes; its
+                    // eventual report (or second death) settles the slot.
+                    eprintln!("pcoll-comm: tcp rank {rank} died ({e}); relaunching for rejoin");
+                    respawned[rank] = true;
+                    let child =
+                        spawn_worker_process(&exe, &args, rank, cfg, opts, &addr.to_string(), true);
+                    guard.children.push((rank, child));
+                    continue;
+                }
+                if tolerant {
+                    // Dead worker: its socket closed without a report.
+                    // Whether that is an eviction or a run failure is
+                    // decided below, once the survivors' reports are in.
+                    eprintln!("pcoll-comm: tcp rank {rank}: no result from worker: {e}");
+                    missing.push(rank as Rank);
+                    done += 1;
+                    continue;
+                }
+                panic!("tcp rank {rank}: no result from worker: {e}");
             }
-            Err(e) => panic!("tcp rank {rank}: no result from worker: {e}"),
         };
         if let Ok(Value::Arr(down)) = report.field("evicted") {
             for v in down {
@@ -1036,6 +1382,9 @@ fn run_parent_impl<T: serde::Deserialize>(
             panic!("tcp rank {rank} panicked: {msg}");
         }
         let value = report.field("value").expect("result value");
+        if results[rank].is_none() {
+            done += 1;
+        }
         results[rank] = Some(
             T::from_value(value)
                 .unwrap_or_else(|e| panic!("tcp rank {rank}: result deserialization failed: {e}")),
@@ -1044,6 +1393,8 @@ fn run_parent_impl<T: serde::Deserialize>(
     for j in readers {
         let _ = j.join();
     }
+    stop.store(true, Ordering::Release);
+    let _ = service.join();
     // A silent death only counts as an eviction if a survivor noticed it;
     // a rank nobody declared down means the run itself is broken.
     for &rank in &missing {
@@ -1053,18 +1404,177 @@ fn run_parent_impl<T: serde::Deserialize>(
         );
     }
 
-    // Phase 4: reap workers. Evicted workers are allowed to die with any
-    // status (kill -9 shows up as a signal, not an exit code).
+    // Phase 4: reap workers. Evicted workers — and the first incarnation
+    // of a rank that was relaunched for rejoin — are allowed to die with
+    // any status (kill -9 shows up as a signal, not an exit code).
     for (rank, child) in &mut guard.children {
         let status = child.wait().expect("wait tcp worker");
         assert!(
-            status.success() || (tolerant && evicted.contains(rank)),
+            status.success() || ever_down.contains(rank) || (tolerant && evicted.contains(rank)),
             "tcp worker for rank {rank} exited with {status}"
         );
     }
     guard.children.clear();
 
     (results, evicted.into_iter().collect())
+}
+
+/// Spawn one rank worker (the self-`exec` path). `rejoin` marks the
+/// relaunch of a dead rank: the fresh process comes up knowing it must
+/// ask the running world for re-admission instead of taking an initial
+/// mesh slot.
+fn spawn_worker_process(
+    exe: &std::path::Path,
+    args: &[String],
+    rank: Rank,
+    cfg: &WorldConfig,
+    opts: &TcpOpts,
+    parent_addr: &str,
+    rejoin: bool,
+) -> Child {
+    let mut cmd = Command::new(exe);
+    cmd.args(args)
+        .env(ENV_RANK, rank.to_string())
+        .env(ENV_NRANKS, cfg.nranks.to_string())
+        .env(ENV_PARENT, parent_addr)
+        .env(ENV_LABEL, &opts.label)
+        // Trace settings cross the exec boundary as environment:
+        // a programmatic `with_trace` reaches every worker.
+        .env(pcoll_obs::ENV_TRACE, cfg.trace.level.to_string())
+        .env(pcoll_obs::ENV_TRACE_CAP, cfg.trace.capacity.to_string())
+        // Children must not re-enter parent (listen) mode or inherit a
+        // stale rejoin marker from this process's own environment.
+        .env_remove(ENV_LISTEN)
+        .stdin(Stdio::null());
+    if rejoin {
+        cmd.env(ENV_REJOIN, "1");
+    } else {
+        cmd.env_remove(ENV_REJOIN);
+    }
+    if !opts.inherit_stdout {
+        cmd.stdout(Stdio::null());
+    }
+    cmd.spawn()
+        .unwrap_or_else(|e| panic!("spawn tcp rank worker {rank}: {e}"))
+}
+
+/// Spawn the writer/reader thread pair for one mesh connection; returns
+/// the writer's command queue plus both join handles.
+#[allow(clippy::too_many_arguments)]
+fn spawn_peer_threads(
+    stream: TcpStream,
+    rank: Rank,
+    peer: Rank,
+    membership: &Arc<Membership>,
+    inbox_tx: &Sender<Envelope>,
+    stats: &Arc<CommStats>,
+    queue_capacity: usize,
+    queue_deadline: Duration,
+) -> (
+    Sender<PeerCmd>,
+    std::thread::JoinHandle<()>,
+    std::thread::JoinHandle<()>,
+) {
+    let read_half = stream.try_clone().expect("clone mesh stream");
+    let (tx, rx) = bounded(queue_capacity);
+    let writer_membership = Arc::clone(membership);
+    let writer_inbox = inbox_tx.clone();
+    let writer_stats = Arc::clone(stats);
+    let w = std::thread::Builder::new()
+        .name(format!("pcoll-tcpw-{rank}-{peer}"))
+        .spawn(move || {
+            writer_loop(
+                stream,
+                rx,
+                peer,
+                writer_membership,
+                writer_inbox,
+                writer_stats,
+            )
+        })
+        .expect("spawn writer");
+    let inbox = inbox_tx.clone();
+    let reader_stats = Arc::clone(stats);
+    let reader_membership = Arc::clone(membership);
+    let r = std::thread::Builder::new()
+        .name(format!("pcoll-tcpr-{rank}-{peer}"))
+        .spawn(move || {
+            reader_loop(
+                read_half,
+                peer,
+                inbox,
+                reader_stats,
+                reader_membership,
+                queue_deadline,
+            )
+        })
+        .expect("spawn reader");
+    (tx, w, r)
+}
+
+/// Mid-run mesh accept loop: the mesh listener outlives initial setup so
+/// an evicted-and-relaunched rank can dial back in. Each accepted
+/// connection identifies itself with the usual 4-byte rank id and gets a
+/// fresh writer/reader pair spliced into its slot. The rank's `Down`
+/// mark stays until the app-level admission fence calls
+/// [`Membership::readmit`] — sends stay suppressed until the world has
+/// actually agreed to take the rank back.
+#[allow(clippy::too_many_arguments)]
+fn mesh_accept_loop(
+    listener: TcpListener,
+    rank: Rank,
+    nranks: usize,
+    peers: Arc<TcpPeers>,
+    membership: Arc<Membership>,
+    inbox_tx: Sender<Envelope>,
+    stats: Arc<CommStats>,
+    queue_capacity: usize,
+    queue_deadline: Duration,
+    stop: Arc<AtomicBool>,
+) {
+    let _ = listener.set_nonblocking(true);
+    let mut spliced = Vec::new();
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((s, _)) => {
+                let _ = s.set_nonblocking(false);
+                let _ = s.set_nodelay(true);
+                // Bound the id read so a wedged dialer cannot stall the
+                // accept loop; a healthy rejoiner writes it immediately.
+                let _ = s.set_read_timeout(Some(Duration::from_secs(2)));
+                let mut id = [0u8; 4];
+                if (&s).read_exact(&mut id).is_err() {
+                    continue;
+                }
+                let _ = s.set_read_timeout(None);
+                let peer = u32::from_le_bytes(id) as usize;
+                if peer >= nranks || peer == rank {
+                    eprintln!("pcoll-comm: ignoring stray mesh connection (id {peer})");
+                    continue;
+                }
+                let (tx, w, r) = spawn_peer_threads(
+                    s,
+                    rank,
+                    peer,
+                    &membership,
+                    &inbox_tx,
+                    &stats,
+                    queue_capacity,
+                    queue_deadline,
+                );
+                peers.swap_peer(peer, tx);
+                spliced.push(w);
+                spliced.push(r);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    for h in spliced {
+        let _ = h.join();
+    }
 }
 
 fn run_worker<T, F>(cfg: WorldConfig, opts: &TcpOpts, f: F) -> !
@@ -1086,60 +1596,124 @@ where
          (launch arguments must be deterministic)"
     );
     let parent_addr = std::env::var(ENV_PARENT).expect("parent addr env");
+    let rejoiner = is_tcp_rejoiner();
     let deadline = Instant::now() + opts.timeout;
 
-    // Mesh listener first, so its port rides along in the hello.
-    let mesh_listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind mesh listener");
+    // Mesh listener first, so its address rides along in the hello.
+    // `PCOLL_TCP_BIND` picks the interface (default: loopback, ephemeral
+    // port); `PCOLL_TCP_ADVERTISE` overrides what the *peers* are told
+    // to dial — the NAT / multi-NIC split: bind the wildcard interface,
+    // advertise the routable name.
+    let mesh_bind = std::env::var(ENV_BIND).unwrap_or_else(|_| "127.0.0.1:0".into());
+    let mesh_listener = TcpListener::bind(&mesh_bind)
+        .unwrap_or_else(|e| panic!("bind mesh listener on {mesh_bind}: {e}"));
     let mesh_port = mesh_listener.local_addr().expect("mesh addr").port();
+    let advertise = match std::env::var(ENV_ADVERTISE) {
+        // A full host:port with a real port is taken verbatim; a bare
+        // host (or host:0) gets the actually-bound port appended.
+        Ok(a)
+            if a.rsplit_once(':')
+                .is_some_and(|(_, p)| p.parse::<u16>().is_ok_and(|p| p != 0)) =>
+        {
+            a
+        }
+        Ok(host) => format!("{}:{mesh_port}", host.trim_end_matches(":0")),
+        Err(_) => {
+            // Derive from the bind address, falling back to loopback for
+            // the wildcard interface.
+            let host = match mesh_bind.rsplit_once(':') {
+                Some((h, _)) if !h.is_empty() && h != "0.0.0.0" && h != "[::]" => h,
+                _ => "127.0.0.1",
+            };
+            format!("{host}:{mesh_port}")
+        }
+    };
 
-    let parent = TcpStream::connect(&parent_addr).expect("connect rendezvous");
+    // Rendezvous dial retries: an externally launched worker may
+    // legitimately start before the parent's listener is up.
+    let parent = connect_with_retries(
+        &parent_addr,
+        deadline,
+        cfg.seed ^ 0xBEEF ^ rank as u64,
+        "connect rendezvous",
+    )
+    .expect("connect rendezvous");
     parent.set_nodelay(true).expect("nodelay");
     write_json(
         &parent,
         &obj(vec![
             ("rank", Value::Int(rank as i128)),
-            ("port", Value::Int(mesh_port as i128)),
+            ("addr", Value::Str(advertise)),
+            ("rejoin", Value::Bool(rejoiner)),
         ]),
     )
     .expect("send hello");
     parent
         .set_read_timeout(Some(remaining(deadline)))
         .expect("set rendezvous timeout");
-    let pm = read_json(&parent).expect("port map");
+    let pm = read_json(&parent).expect("address map");
     let pm_seed = pm.field("seed").and_then(Value::as_int).expect("pm.seed") as u64;
     assert_eq!(pm_seed, cfg.seed, "worker/parent seed drift");
-    let ports: Vec<u16> = pm
-        .field("ports")
+    let addrs: Vec<String> = pm
+        .field("addrs")
         .and_then(Value::as_arr)
-        .expect("pm.ports")
+        .expect("pm.addrs")
         .iter()
-        .map(|v| v.as_int().expect("port int") as u16)
+        .map(|v| match v {
+            Value::Str(s) => s.clone(),
+            other => panic!("non-string mesh addr {other:?}"),
+        })
         .collect();
-    assert_eq!(ports.len(), cfg.nranks, "worker/parent world-size drift");
+    assert_eq!(addrs.len(), cfg.nranks, "worker/parent world-size drift");
+    let down: BTreeSet<Rank> = match pm.field("down") {
+        Ok(Value::Arr(d)) => d
+            .iter()
+            .filter_map(|v| v.as_int().ok())
+            .map(|r| r as Rank)
+            .collect(),
+        _ => BTreeSet::new(),
+    };
 
-    // Pairwise mesh: connect down, accept up; a 4-byte rank id identifies
-    // each accepted stream.
+    // Pairwise mesh. Initial launch: connect down, accept up; a 4-byte
+    // rank id identifies each accepted stream. Rejoin: dial *every*
+    // live peer — their mid-run accept threads splice us back in —
+    // and accept nobody.
     let mut streams: Vec<Option<TcpStream>> = (0..cfg.nranks).map(|_| None).collect();
-    for (peer, &port) in ports.iter().enumerate().take(rank) {
-        let retry_seed = cfg.seed ^ ((rank as u64) << 32) ^ peer as u64;
-        let s = connect_with_retries(port, deadline, retry_seed, "connect mesh peer")
-            .expect("connect mesh peer");
-        s.set_nodelay(true).expect("nodelay");
-        (&s).write_all(&(rank as u32).to_le_bytes())
-            .expect("send mesh id");
-        streams[peer] = Some(s);
-    }
-    for _ in rank + 1..cfg.nranks {
-        let s = accept_with_deadline(&mesh_listener, deadline, "mesh peer", &mut || Ok(()))
-            .expect("mesh accept");
-        let mut id = [0u8; 4];
-        (&s).read_exact(&mut id).expect("read mesh id");
-        let peer = u32::from_le_bytes(id) as usize;
-        assert!(
-            peer > rank && peer < cfg.nranks && streams[peer].is_none(),
-            "bad mesh id {peer}"
-        );
-        streams[peer] = Some(s);
+    if rejoiner {
+        for (peer, peer_addr) in addrs.iter().enumerate() {
+            if peer == rank || down.contains(&peer) {
+                continue;
+            }
+            let retry_seed = cfg.seed ^ ((rank as u64) << 32) ^ peer as u64;
+            let s = connect_with_retries(peer_addr, deadline, retry_seed, "redial mesh peer")
+                .expect("redial mesh peer");
+            s.set_nodelay(true).expect("nodelay");
+            (&s).write_all(&(rank as u32).to_le_bytes())
+                .expect("send mesh id");
+            streams[peer] = Some(s);
+        }
+    } else {
+        for (peer, peer_addr) in addrs.iter().enumerate().take(rank) {
+            let retry_seed = cfg.seed ^ ((rank as u64) << 32) ^ peer as u64;
+            let s = connect_with_retries(peer_addr, deadline, retry_seed, "connect mesh peer")
+                .expect("connect mesh peer");
+            s.set_nodelay(true).expect("nodelay");
+            (&s).write_all(&(rank as u32).to_le_bytes())
+                .expect("send mesh id");
+            streams[peer] = Some(s);
+        }
+        for _ in rank + 1..cfg.nranks {
+            let s = accept_with_deadline(&mesh_listener, deadline, "mesh peer", &mut || Ok(()))
+                .expect("mesh accept");
+            let mut id = [0u8; 4];
+            (&s).read_exact(&mut id).expect("read mesh id");
+            let peer = u32::from_le_bytes(id) as usize;
+            assert!(
+                peer > rank && peer < cfg.nranks && streams[peer].is_none(),
+                "bad mesh id {peer}"
+            );
+            streams[peer] = Some(s);
+        }
     }
 
     // Socket threads + routing. All queues are bounded: the writer
@@ -1153,62 +1727,72 @@ where
     let recorder =
         pcoll_obs::TraceConfig::from_env().recorder(rank as u32, pcoll_obs::Clock::wall());
     let stats = Arc::new(CommStats::with_recorder(recorder));
-    let membership = Arc::new(Membership::new(rank, cfg.nranks, pcoll_obs::Clock::wall()));
+    let membership = Arc::new(Membership::with_grace(
+        rank,
+        cfg.nranks,
+        pcoll_obs::Clock::wall(),
+        cfg.suspicion_grace(),
+    ));
+    // A rejoiner starts life already knowing who is gone.
+    for &d in &down {
+        if d != rank {
+            membership.report_down(d);
+        }
+    }
     let (inbox_tx, inbox_rx) = bounded(cfg.queue_capacity);
-    let mut txs: Vec<Option<Sender<PeerCmd>>> = (0..cfg.nranks).map(|_| None).collect();
-    let mut finishers: Vec<(Rank, Sender<PeerCmd>)> = Vec::new();
+    let peers = Arc::new(TcpPeers {
+        rank,
+        txs: (0..cfg.nranks).map(|_| Mutex::new(None)).collect(),
+        local: inbox_tx.clone(),
+        membership: Arc::clone(&membership),
+    });
     let mut writers = Vec::new();
     let mut readers = Vec::new();
     for (peer, slot) in streams.into_iter().enumerate() {
         let Some(stream) = slot else { continue };
-        let read_half = stream.try_clone().expect("clone mesh stream");
-        let (tx, rx) = bounded(cfg.queue_capacity);
-        finishers.push((peer, tx.clone()));
-        txs[peer] = Some(tx);
-        let writer_membership = Arc::clone(&membership);
-        let writer_inbox = inbox_tx.clone();
-        let writer_stats = Arc::clone(&stats);
-        writers.push(
-            std::thread::Builder::new()
-                .name(format!("pcoll-tcpw-{rank}-{peer}"))
-                .spawn(move || {
-                    writer_loop(
-                        stream,
-                        rx,
-                        peer,
-                        writer_membership,
-                        writer_inbox,
-                        writer_stats,
-                    )
-                })
-                .expect("spawn writer"),
+        let (tx, w, r) = spawn_peer_threads(
+            stream,
+            rank,
+            peer,
+            &membership,
+            &inbox_tx,
+            &stats,
+            cfg.queue_capacity,
+            cfg.queue_deadline,
         );
-        let inbox = inbox_tx.clone();
-        let reader_stats = Arc::clone(&stats);
-        let reader_membership = Arc::clone(&membership);
-        let reader_deadline = cfg.queue_deadline;
-        readers.push(
-            std::thread::Builder::new()
-                .name(format!("pcoll-tcpr-{rank}-{peer}"))
-                .spawn(move || {
-                    reader_loop(
-                        read_half,
-                        peer,
-                        inbox,
-                        reader_stats,
-                        reader_membership,
-                        reader_deadline,
-                    )
-                })
-                .expect("spawn reader"),
-        );
+        peers.swap_peer(peer, tx);
+        writers.push(w);
+        readers.push(r);
     }
-    let route = Route::Tcp(Arc::new(TcpPeers {
-        rank,
-        txs,
-        local: inbox_tx,
-        membership: Arc::clone(&membership),
-    }));
+    // The mesh listener stays alive for the whole run so a relaunched
+    // rank can dial back in (see `mesh_accept_loop`).
+    let accept_stop = Arc::new(AtomicBool::new(false));
+    let accept_thread = {
+        let peers2 = Arc::clone(&peers);
+        let membership2 = Arc::clone(&membership);
+        let inbox2 = inbox_tx.clone();
+        let stats2 = Arc::clone(&stats);
+        let stop2 = Arc::clone(&accept_stop);
+        let (capacity, q_deadline, nranks) = (cfg.queue_capacity, cfg.queue_deadline, cfg.nranks);
+        std::thread::Builder::new()
+            .name(format!("pcoll-tcpa-{rank}"))
+            .spawn(move || {
+                mesh_accept_loop(
+                    mesh_listener,
+                    rank,
+                    nranks,
+                    peers2,
+                    membership2,
+                    inbox2,
+                    stats2,
+                    capacity,
+                    q_deadline,
+                    stop2,
+                )
+            })
+            .expect("spawn mesh accept thread")
+    };
+    let route = Route::Tcp(Arc::clone(&peers));
 
     // The network model composes on top of the sockets: shape on the
     // sender side, then write. Per-rank jitter streams are decorrelated
@@ -1232,6 +1816,12 @@ where
         }
     };
 
+    // The rendezvous connection doubles as the blackboard link; the app
+    // gets a cloneable client and the final report goes over the same
+    // (lock-serialized) stream.
+    let rendezvous = RendezvousClient {
+        link: Arc::new(Mutex::new(parent)),
+    };
     let comm = Communicator {
         handle: CommHandle {
             rank,
@@ -1249,6 +1839,7 @@ where
         // a modeled collective) degenerates to a no-op. Cross-rank
         // alignment over TCP must use the message-based `RankCtx::barrier`.
         host_barrier: Arc::new(Barrier::new(1)),
+        rendezvous: Some(rendezvous.clone()),
     };
 
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || f(comm)));
@@ -1262,17 +1853,25 @@ where
     if let Some(j) = net_join {
         let _ = j.join();
     }
-    for (peer, tx) in finishers {
+    for peer in 0..cfg.nranks {
         // `Finish` must queue behind all prior deliveries — but never
         // behind a corpse: draining toward a dead peer is skipped
         // outright, and a full queue gets a *bounded* wait (not the full
         // backpressure deadline) before the skip is recorded and teardown
         // moves on. A writer wedged past that is the parent watchdog's
-        // problem, not a reason to hang every healthy goodbye.
+        // problem, not a reason to hang every healthy goodbye. The
+        // *current* slot contents matter: a peer that died and rejoined
+        // drains through its spliced-in writer, not the dead original.
+        if peer == rank {
+            continue;
+        }
         if membership.is_down(peer) {
             stats.drain_skips.fetch_add(1, Ordering::Relaxed);
             continue;
         }
+        let Some(tx) = peers.peer_tx(peer) else {
+            continue;
+        };
         let wait = GOODBYE_DRAIN_WAIT.min(cfg.queue_deadline);
         if matches!(
             tx.send_timeout(PeerCmd::Finish, wait),
@@ -1281,6 +1880,7 @@ where
             stats.drain_skips.fetch_add(1, Ordering::Relaxed);
         }
     }
+    accept_stop.store(true, Ordering::Release);
     for w in writers {
         let _ = w.join();
     }
@@ -1319,12 +1919,19 @@ where
             )
         }
     };
-    let _ = write_json(&parent, &report);
+    {
+        let stream = rendezvous.link.lock().expect("rendezvous link");
+        let _ = write_json(&stream, &report);
+    }
 
     for r in readers {
         let _ = r.join();
     }
-    drop(parent);
+    // The accept thread joins any spliced-in connection threads before
+    // returning (their peers goodbye in their own teardown, like the
+    // original mesh readers above).
+    let _ = accept_thread.join();
+    drop(rendezvous);
     std::process::exit(code);
 }
 

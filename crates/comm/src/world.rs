@@ -59,6 +59,17 @@ pub enum Envelope {
         /// The rank that died.
         peer: Rank,
     },
+    /// The admission fence readmitted `peer`: whoever drains this mailbox
+    /// (the schedule engine) must stop synthesizing null contributions
+    /// for that rank — rounds at or past the fence expect its real data
+    /// again. The eviction verdict in reverse; only the SPMD-fenced
+    /// admission protocol may send it (local evidence can never
+    /// resurrect a peer). Injected by [`crate::sim::SimWorld::rejoin`]
+    /// under virtual time and by the admission fence on live transports.
+    PeerUp {
+        /// The rank that was readmitted.
+        peer: Rank,
+    },
 }
 
 /// What a [`FaultHook`] decides for one message about to be routed.
@@ -119,6 +130,13 @@ pub struct WorldConfig {
     /// Optional chaos hook consulted on every in-process data send
     /// (see [`FaultHook`]). `None` — the default — costs one branch.
     pub fault_hook: Option<FaultHook>,
+    /// Idle deadline for the failure detector: a peer silent for longer
+    /// than this is eligible for [`Membership::sweep_suspects`], so a
+    /// *hung* (not dead) rank eventually reaches `Suspect`. `None` — the
+    /// default — keeps [`crate::membership::DEFAULT_SUSPICION_GRACE`]
+    /// and, on the sim backend, disables the automatic per-delivery
+    /// sweep (the detector then only reacts to hard evidence).
+    pub suspect_timeout: Option<Duration>,
 }
 
 impl WorldConfig {
@@ -132,6 +150,7 @@ impl WorldConfig {
             queue_deadline: DEFAULT_QUEUE_DEADLINE,
             trace: TraceConfig::from_env(),
             fault_hook: None,
+            suspect_timeout: None,
         }
     }
 
@@ -177,6 +196,21 @@ impl WorldConfig {
     pub fn with_fault_hook(mut self, hook: FaultHook) -> Self {
         self.fault_hook = Some(hook);
         self
+    }
+
+    /// Set the failure detector's idle deadline (see
+    /// [`WorldConfig::suspect_timeout`]).
+    pub fn with_suspect_timeout(mut self, timeout: Duration) -> Self {
+        assert!(!timeout.is_zero(), "suspect timeout must be positive");
+        self.suspect_timeout = Some(timeout);
+        self
+    }
+
+    /// The detector grace period this config implies: the configured
+    /// suspect timeout, or the default grace.
+    pub fn suspicion_grace(&self) -> Duration {
+        self.suspect_timeout
+            .unwrap_or(crate::membership::DEFAULT_SUSPICION_GRACE)
     }
 }
 
@@ -303,6 +337,19 @@ impl CommHandle {
             self.queue_deadline,
         );
     }
+
+    /// Tell whoever drains `dst`'s mailbox that `peer` was readmitted by
+    /// the admission fence — the reverse of
+    /// [`CommHandle::send_peer_down`], with the same local-control,
+    /// unmodeled-traffic semantics.
+    pub fn send_peer_up(&self, dst: Rank, peer: Rank) {
+        self.route.deliver(
+            dst,
+            Envelope::PeerUp { peer },
+            &self.stats,
+            self.queue_deadline,
+        );
+    }
 }
 
 /// Receiving half of a rank's communicator: the raw mailbox.
@@ -340,6 +387,7 @@ pub struct Communicator {
     pub(crate) handle: CommHandle,
     pub(crate) inbox: Inbox,
     pub(crate) host_barrier: Arc<Barrier>,
+    pub(crate) rendezvous: Option<crate::transport::RendezvousClient>,
 }
 
 impl Communicator {
@@ -419,6 +467,18 @@ impl Communicator {
     pub fn inbox(&self) -> &Inbox {
         &self.inbox
     }
+
+    /// The rendezvous blackboard client — TCP transport only. A tiny
+    /// key-value side channel through the launch parent, used by the
+    /// admission-fence protocol to hand a rejoining rank the
+    /// policy/membership history it missed (see
+    /// [`crate::transport::RendezvousClient`]). `None` on the
+    /// in-process and sim backends, where the harness can share state
+    /// in memory. Grab a clone *before* handing the communicator to an
+    /// engine — the client outlives [`Communicator::split`].
+    pub fn rendezvous(&self) -> Option<crate::transport::RendezvousClient> {
+        self.rendezvous.clone()
+    }
 }
 
 /// The world launcher (see module docs).
@@ -496,11 +556,17 @@ impl World {
                     route: route.clone(),
                     stats: Arc::new(CommStats::with_recorder(recorder)),
                     queue_deadline: cfg.queue_deadline,
-                    membership: Arc::new(Membership::new(rank, cfg.nranks, trace_clock.clone())),
+                    membership: Arc::new(Membership::with_grace(
+                        rank,
+                        cfg.nranks,
+                        trace_clock.clone(),
+                        cfg.suspicion_grace(),
+                    )),
                     fault: cfg.fault_hook.clone(),
                 },
                 inbox: Inbox { rx },
                 host_barrier: Arc::clone(&host_barrier),
+                rendezvous: None,
             };
             let f = Arc::clone(&f);
             joins.push(

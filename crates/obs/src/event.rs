@@ -180,6 +180,14 @@ pub enum EventKind {
         /// First round governed by the shrunken live set.
         from_round: u64,
     },
+    /// The admission fence readmitted a previously evicted rank: this
+    /// rank's engine stops synthesizing null contributions for it —
+    /// the [`EventKind::PeerDown`] verdict in reverse, and only ever
+    /// emitted by the SPMD-fenced admission protocol.
+    PeerUp {
+        /// The readmitted rank.
+        peer: u32,
+    },
 }
 
 impl EventKind {
@@ -201,6 +209,7 @@ impl EventKind {
             EventKind::StepSpan { .. } => "step",
             EventKind::PeerDown { .. } => "peer_down",
             EventKind::Eviction { .. } => "eviction",
+            EventKind::PeerUp { .. } => "peer_up",
         }
     }
 
@@ -289,6 +298,7 @@ mod tests {
                 peer: 3,
                 from_round: 42,
             },
+            EventKind::PeerUp { peer: 3 },
         ]
     }
 

@@ -210,6 +210,9 @@ enum Cmd {
         coll: CollId,
         round: u64,
     },
+    PeerUp {
+        peer: Rank,
+    },
     Shutdown,
 }
 
@@ -327,6 +330,17 @@ impl Engine {
     /// collective call). Creates the instance if no message beat us to it.
     pub fn activate(&self, coll: CollId, round: u64) {
         let _ = self.cmd_tx.send(Cmd::Activate { coll, round });
+    }
+
+    /// Reverse a peer-death verdict: the admission fence readmitted
+    /// `peer`, so instances created from now on must wait for its real
+    /// contributions instead of synthesizing nulls. Ordered on the
+    /// command channel, so it takes effect before any activation staged
+    /// after it — the caller sends this before activating the fence
+    /// collectives, guaranteeing no post-fence round is born with the
+    /// joiner nulled out.
+    pub fn peer_up(&self, peer: Rank) {
+        let _ = self.cmd_tx.send(Cmd::PeerUp { peer });
     }
 
     /// Engine counters.
@@ -483,6 +497,10 @@ impl EngineCore {
                 self.on_peer_down(peer);
                 true
             }
+            Envelope::PeerUp { peer } => {
+                self.on_peer_up(peer);
+                true
+            }
         }
     }
 
@@ -517,6 +535,15 @@ impl EngineCore {
         }
     }
 
+    /// Reverse the death verdict for `peer` (see [`Engine::peer_up`]).
+    /// In-flight instances keep any nulls already synthesized — those
+    /// rounds predate the admission fence, where the joiner's
+    /// contribution is legitimately absent. Instances created from now
+    /// on (rounds at or past the fence) wait for its real messages.
+    pub fn on_peer_up(&mut self, peer: Rank) {
+        self.down.remove(&peer);
+    }
+
     /// Ranks declared dead so far (see [`EngineCore::on_peer_down`]).
     pub fn down(&self) -> &HashSet<Rank> {
         &self.down
@@ -528,6 +555,7 @@ impl EngineCore {
                 recv(cmd_rx) -> cmd => match cmd {
                     Ok(Cmd::Register { coll, template }) => self.register(coll, template),
                     Ok(Cmd::Activate { coll, round }) => self.activate(coll, round),
+                    Ok(Cmd::PeerUp { peer }) => self.on_peer_up(peer),
                     Ok(Cmd::Shutdown) | Err(_) => return,
                 },
                 recv(inbox.receiver()) -> env => match env {

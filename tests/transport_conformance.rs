@@ -164,7 +164,9 @@ fn shutdown_drains_in_flight_messages() {
                     assert_eq!(m.tag.sem, got, "drained messages must stay FIFO");
                     got += 1;
                 }
-                Some(Envelope::Shutdown) | Some(Envelope::PeerDown { .. }) => continue,
+                Some(Envelope::Shutdown | Envelope::PeerDown { .. } | Envelope::PeerUp { .. }) => {
+                    continue
+                }
                 None => break,
             }
         }
@@ -217,7 +219,9 @@ fn slow_reader_exerts_bounded_backpressure() {
                         assert_eq!(p.to_buf().as_f32().unwrap()[0], got as f32);
                         got += 1;
                     }
-                    Some(Envelope::Shutdown) | Some(Envelope::PeerDown { .. }) => continue,
+                    Some(
+                        Envelope::Shutdown | Envelope::PeerDown { .. } | Envelope::PeerUp { .. },
+                    ) => continue,
                     None => break,
                 }
             }
